@@ -1,0 +1,50 @@
+//! Benchmarks of the packet-level simulator: event throughput under
+//! the motivating scenario, a static hybrid deployment, and a dynamic
+//! LRU deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccn_sim::scenario::{steady_state, SteadyStateConfig};
+use ccn_sim::workload::zipf_irm;
+use ccn_sim::{CachingMode, Network, OriginConfig, SimConfig, Simulator};
+use ccn_topology::{datasets, generators};
+
+fn simulator_benches(c: &mut Criterion) {
+    c.bench_function("motivating_table1", |b| {
+        b.iter(|| ccn_sim::scenario::motivating().expect("valid scenario"))
+    });
+
+    // Static hybrid deployment on Abilene at three workload sizes.
+    let mut group = c.benchmark_group("steady_state_abilene");
+    for &requests in &[1_000u64, 10_000] {
+        let horizon = requests as f64 / (11.0 * 0.01); // 11 clients x 0.01 req/ms
+        let config = SteadyStateConfig {
+            horizon_ms: horizon,
+            ..SteadyStateConfig::default()
+        };
+        group.throughput(Throughput::Elements(requests));
+        group.bench_with_input(BenchmarkId::from_parameter(requests), &config, |b, cfg| {
+            b.iter(|| steady_state(datasets::abilene(), black_box(cfg)).expect("runs"))
+        });
+    }
+    group.finish();
+
+    // Dynamic LRU with edge caching on a 20-router ring.
+    c.bench_function("dynamic_lru_ring20", |b| {
+        let requests =
+            zipf_irm(&(0..20).collect::<Vec<_>>(), 0.8, 10_000, 0.005, 50_000.0, 9).expect("valid");
+        b.iter(|| {
+            let net = Network::builder(generators::ring(20, 1.0).expect("valid"))
+                .default_lru_capacity(100)
+                .caching(CachingMode::Edge)
+                .origin(OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() })
+                .build()
+                .expect("valid network");
+            Simulator::new(net, SimConfig::default()).run(black_box(&requests)).expect("runs")
+        })
+    });
+}
+
+criterion_group!(benches, simulator_benches);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks of the three optimal-strategy solvers: exact convex
+//! minimization, the Lemma-2 fixed point, and Theorem 2's closed form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ccn_model::{CacheModel, ModelParams};
+
+fn solver_benches(c: &mut Criterion) {
+    let params = ModelParams::builder().alpha(0.8).build().expect("valid defaults");
+    let model = CacheModel::new(params).expect("valid model");
+
+    let mut group = c.benchmark_group("solvers");
+    group.bench_function("exact_minimization", |b| {
+        b.iter(|| black_box(&model).optimal_exact().expect("solves"))
+    });
+    group.bench_function("lemma2_fixed_point_brent", |b| {
+        b.iter(|| black_box(&model).optimal_fixed_point().expect("solves"))
+    });
+    group.bench_function("lemma2_fixed_point_newton", |b| {
+        b.iter(|| black_box(&model).optimal_fixed_point_newton().expect("solves"))
+    });
+    group.bench_function("theorem2_closed_form", |b| {
+        b.iter(|| black_box(&model).closed_form_alpha1())
+    });
+    group.finish();
+
+    // Sensitivity of solve time to network size (Figure 6's sweep).
+    let mut group = c.benchmark_group("solvers_vs_network_size");
+    for n in [10.0, 100.0, 500.0] {
+        let params = ModelParams::builder()
+            .routers_f64(n)
+            .alpha(0.8)
+            .build()
+            .expect("valid params");
+        let model = CacheModel::new(params).expect("valid model");
+        group.bench_with_input(BenchmarkId::new("exact", n as u64), &model, |b, m| {
+            b.iter(|| m.optimal_exact().expect("solves"))
+        });
+    }
+    group.finish();
+
+    // A full figure-4 style sweep: 5 curves x 50 alphas.
+    c.bench_function("figure4_full_sweep", |b| {
+        b.iter(|| ccn_bench::figure_data(ccn_bench::Figure::Fig4).expect("sweeps"))
+    });
+}
+
+criterion_group!(benches, solver_benches);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmarks of the topology substrate: all-pairs shortest paths on
+//! the four evaluation datasets and on growing synthetic backbones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ccn_topology::shortest_path::all_pairs;
+use ccn_topology::{datasets, generators, params};
+
+fn topology_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_pairs_datasets");
+    for graph in datasets::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(graph.name().to_owned()),
+            &graph,
+            |b, g| b.iter(|| all_pairs(black_box(g))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("all_pairs_scaling");
+    for n in [50usize, 100, 200] {
+        let graph = generators::barabasi_albert(n, 2, 5.0, 42).expect("valid generator");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| all_pairs(black_box(g)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("table3_parameter_extraction", |b| {
+        let graph = datasets::cernet();
+        b.iter(|| params::extract(black_box(&graph)))
+    });
+
+    c.bench_function("dataset_construction", |b| b.iter(datasets::all));
+}
+
+criterion_group!(benches, topology_benches);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks of the Zipf substrate: harmonic numbers (exact vs
+//! Euler–Maclaurin), CDF evaluation, and rank sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use ccn_zipf::{generalized_harmonic, generalized_harmonic_exact, ContinuousZipf, Zipf, ZipfSampler};
+
+fn zipf_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harmonic");
+    group.bench_function("exact_1e6", |b| {
+        b.iter(|| generalized_harmonic_exact(black_box(1_000_000), black_box(0.8)))
+    });
+    group.bench_function("euler_maclaurin_1e12", |b| {
+        b.iter(|| generalized_harmonic(black_box(1_000_000_000_000), black_box(0.8)))
+    });
+    group.finish();
+
+    let discrete = Zipf::new(0.8, 1_000_000).expect("valid");
+    let continuous = ContinuousZipf::new(0.8, 1e6).expect("valid");
+    let mut group = c.benchmark_group("cdf");
+    group.bench_function("discrete", |b| b.iter(|| discrete.cdf(black_box(12_345))));
+    group.bench_function("continuous_eq6", |b| b.iter(|| continuous.cdf(black_box(12_345.0))));
+    group.finish();
+
+    let mut group = c.benchmark_group("sampler");
+    for &(label, n) in &[("cached_64k", 1u64 << 16), ("rejection_1e9", 1_000_000_000)] {
+        let sampler = ZipfSampler::new(0.8, n).expect("valid");
+        group.bench_with_input(BenchmarkId::new("sample", label), &sampler, |b, s| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| s.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, zipf_benches);
+criterion_main!(benches);

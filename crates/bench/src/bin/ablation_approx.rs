@@ -1,0 +1,62 @@
+//! Ablation: how much error do Lemma 2's approximations
+//! (`n − 1 ≈ n`, `1 + (n−1)ℓ ≈ n·ℓ`) and Theorem 2's closed form
+//! introduce, versus the exact convex minimization of `T_w`?
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin ablation_approx`
+
+use std::fmt::Write as _;
+
+use ccn_model::{CacheModel, ModelParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("ablation: |l*(approx) - l*(exact)| across the Table IV grid\n");
+    println!(
+        "{:>5} {:>6} {:>6} | {:>9} {:>11} {:>12}",
+        "s", "n", "alpha", "exact l*", "fixed-point", "closed-form"
+    );
+    let mut csv = String::from("s,n,alpha,exact,fixed_point,closed_form\n");
+    let mut worst_fp: f64 = 0.0;
+    let mut worst_cf: f64 = 0.0;
+    let mut worst_fp_by_n: Vec<(f64, f64)> = Vec::new();
+    for &n in &[10.0, 20.0, 100.0, 500.0] {
+        let mut worst_at_n: f64 = 0.0;
+        for &s in &[0.3, 0.8, 1.3, 1.8] {
+            for &alpha in &[0.4, 0.8, 1.0] {
+                let params = ModelParams::builder()
+                    .zipf_exponent(s)
+                    .routers_f64(n)
+                    .alpha(alpha)
+                    .build()?;
+                let model = CacheModel::new(params)?;
+                let exact = model.optimal_exact()?.ell_star;
+                let fp = model.optimal_fixed_point()?.ell_star;
+                let cf = model.closed_form_alpha1().ell_star;
+                worst_fp = worst_fp.max((fp - exact).abs());
+                worst_at_n = worst_at_n.max((fp - exact).abs());
+                if alpha == 1.0 {
+                    worst_cf = worst_cf.max((cf - exact).abs());
+                }
+                println!(
+                    "{s:>5} {n:>6} {alpha:>6} | {exact:>9.4} {fp:>11.4} {cf:>12.4}"
+                );
+                let _ = writeln!(csv, "{s},{n},{alpha},{exact},{fp},{cf}");
+            }
+        }
+        worst_fp_by_n.push((n, worst_at_n));
+    }
+    let path = ccn_bench::experiment_dir().join("ablation_approx.csv");
+    std::fs::write(&path, csv)?;
+    println!("\nworst fixed-point error: {worst_fp:.4}");
+    println!("worst closed-form error (alpha=1 rows): {worst_cf:.4}");
+    for (n, e) in &worst_fp_by_n {
+        println!("  worst fixed-point error at n = {n:>3}: {e:.4}");
+    }
+    println!("(error shrinks as n grows, consistent with the n >> 1 assumption)");
+    println!("csv written to {}", path.display());
+    let first = worst_fp_by_n.first().expect("non-empty").1;
+    let last = worst_fp_by_n.last().expect("non-empty").1;
+    assert!(last < first, "fixed-point error must shrink as n grows");
+    assert!(last < 0.05, "at n = 500 the approximation is tight");
+    assert!(worst_cf < 0.1, "closed form is an alpha=1 approximation");
+    Ok(())
+}

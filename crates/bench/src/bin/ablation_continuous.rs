@@ -1,0 +1,76 @@
+//! Ablation: error of the continuous CDF approximation (Eq. 6) versus
+//! the exact harmonic-sum Zipf CDF, both on the raw CDF and pushed
+//! through the routing-performance model `T(x)`.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin ablation_continuous`
+
+use std::fmt::Write as _;
+
+use ccn_model::{CacheModel, ModelParams};
+use ccn_zipf::ContinuousZipf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("ablation: continuous approximation (Eq. 6) vs discrete harmonic sums\n");
+    println!("{:>5} {:>10} | {:>12} {:>14}", "s", "N", "max |dF|", "max rel dT");
+    let mut csv = String::from("s,catalogue,max_cdf_dev,max_t_rel_dev\n");
+    for &s in &[0.3, 0.8, 1.2, 1.7] {
+        for &n_cat in &[1e4, 1e6] {
+            let f = ContinuousZipf::new(s, n_cat)?;
+            let cdf_dev = f.max_deviation_from_discrete(128)?;
+
+            let params = ModelParams::builder()
+                .zipf_exponent(s)
+                .catalogue(n_cat)
+                .build()?;
+            let model = CacheModel::new(params)?;
+            let mut t_dev: f64 = 0.0;
+            for i in 0..=20 {
+                let x = 1000.0 * f64::from(i) / 20.0;
+                let cont = model.routing_performance(x);
+                let disc = model.routing_performance_discrete(x);
+                t_dev = t_dev.max((cont - disc).abs() / disc.max(1e-12));
+            }
+            println!("{s:>5} {n_cat:>10.0} | {cdf_dev:>12.5} {t_dev:>14.5}");
+            let _ = writeln!(csv, "{s},{n_cat},{cdf_dev},{t_dev}");
+            if s < 1.0 {
+                assert!(t_dev < 0.05, "T deviation stays small for s < 1, got {t_dev}");
+            }
+        }
+    }
+    // How much does the Eq. 6 error bias the *optimum* itself? Compare
+    // the continuous optimizer against the fully discrete one (exact
+    // harmonic sums, integer slots) on a moderate catalogue.
+    println!("\noptimum bias: continuous vs fully discrete optimizer (N = 2e4, c = 200, alpha = 0.9)");
+    println!("{:>5} | {:>12} {:>12} {:>10}", "s", "l*(cont)", "l*(disc)", "|delta|");
+    let mut worst_bias: f64 = 0.0;
+    for &s in &[0.3, 0.8, 1.2, 1.7] {
+        let params = ModelParams::builder()
+            .zipf_exponent(s)
+            .catalogue(2e4)
+            .capacity(200.0)
+            .alpha(0.9)
+            .build()?;
+        let model = CacheModel::new(params)?;
+        let cont = model.optimal_exact()?.ell_star;
+        let disc = model.optimal_exact_discrete()?.ell_star;
+        let delta = (cont - disc).abs();
+        if s > 1.0 {
+            worst_bias = worst_bias.max(delta);
+        }
+        println!("{s:>5} | {cont:>12.4} {disc:>12.4} {delta:>10.4}");
+        if s < 1.0 {
+            assert!(delta < 0.03, "continuous optimum is unbiased for s < 1");
+        }
+    }
+    println!("(s > 1 worst optimum bias: {worst_bias:.4})");
+
+    let path = ccn_bench::experiment_dir().join("ablation_continuous.csv");
+    std::fs::write(&path, csv)?;
+    println!("\nfor s < 1 the approximation is excellent at any catalogue scale;");
+    println!("for s > 1 the continuous CDF misses the probability atom at rank 1");
+    println!("(f(1) = 1/zeta(s) stays bounded away from 0), so Eq. 6 — and every");
+    println!("figure of the paper in the s > 1 region — carries a head error that");
+    println!("N >> 1 does NOT remove; see EXPERIMENTS.md");
+    println!("csv written to {}", path.display());
+    Ok(())
+}

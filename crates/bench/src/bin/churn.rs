@@ -1,0 +1,51 @@
+//! Churn ablation: how many coordinated contents must move when a
+//! router joins or leaves, under the three placement schemes?
+//!
+//! The paper's coordination cost `W(x)` prices the *steady-state*
+//! traffic of one provisioning round; under churn the dominant cost is
+//! content movement, and the placement scheme decides it. Range and
+//! modular-hash partitions relocate most of the pool on any membership
+//! change; rendezvous hashing relocates only the ideal `1/n` share.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin churn`
+
+use std::fmt::Write as _;
+
+use ccn_sim::Placement;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let contents = 10_000u64;
+    println!("churn ablation: contents moved when one router joins (pool = {contents})\n");
+    println!(
+        "{:>4} -> {:>4} | {:>10} {:>10} {:>12} | {:>8}",
+        "n", "n+1", "range", "mod-hash", "rendezvous", "ideal"
+    );
+    let mut csv = String::from("n,range,hash,rendezvous,ideal\n");
+    for n in [5usize, 10, 20, 50, 100] {
+        let before: Vec<usize> = (0..n).collect();
+        let after: Vec<usize> = (0..=n).collect();
+        let moved = |make: fn(u64, u64, Vec<usize>) -> Placement| {
+            let a = make(1, contents + 1, before.clone());
+            let b = make(1, contents + 1, after.clone());
+            a.movement_cost(&b)
+        };
+        let range = moved(Placement::range);
+        let hash = moved(Placement::hash);
+        let hrw = moved(Placement::rendezvous);
+        let ideal = contents / (n as u64 + 1);
+        println!(
+            "{n:>4} -> {:>4} | {range:>10} {hash:>10} {hrw:>12} | {ideal:>8}",
+            n + 1
+        );
+        let _ = writeln!(csv, "{n},{range},{hash},{hrw},{ideal}");
+        assert!(hrw < 2 * ideal, "rendezvous moves ~1/(n+1) of the pool");
+        assert!(hrw * 3 < hash, "modular hashing reshuffles most of the pool");
+        assert!(hrw * 2 < range, "range slices shift wholesale");
+    }
+    let path = ccn_bench::experiment_dir().join("churn.csv");
+    std::fs::write(&path, csv)?;
+    println!("\nrendezvous hashing tracks the 1/(n+1) ideal; the others reshuffle");
+    println!("most of the coordinated pool on every membership change");
+    println!("csv written to {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! The Theorem-2 erratum, quantified: the published closed form
+//! `l* = 1/(gamma^{1/s} n^{1-1/s} + 1)` versus the corrected
+//! `l* = 1/(gamma^{-1/s} n^{1-1/s} + 1)`, both compared against the
+//! exact minimizer of `T_w` at `alpha = 1`.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin erratum`
+
+use std::fmt::Write as _;
+
+use ccn_model::{CacheModel, ModelParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Theorem 2 erratum: published vs corrected closed form (alpha = 1)\n");
+    println!(
+        "{:>5} {:>6} | {:>9} {:>11} {:>11} | {:>10} {:>10}",
+        "s", "gamma", "exact l*", "corrected", "published", "err(corr)", "err(pub)"
+    );
+    let mut csv = String::from("s,gamma,exact,corrected,published\n");
+    let mut corr_worst: f64 = 0.0;
+    let mut pub_worst: f64 = 0.0;
+    for &s in &[0.3, 0.5, 0.8, 1.2, 1.5, 1.9] {
+        for &gamma in &[1.0, 2.0, 5.0, 10.0] {
+            let params = ModelParams::builder()
+                .zipf_exponent(s)
+                .latency_tiers(0.0, 2.2842, gamma)
+                .alpha(1.0)
+                .build()?;
+            let model = CacheModel::new(params)?;
+            let exact = model.optimal_exact()?.ell_star;
+            let corrected = model.closed_form_alpha1().ell_star;
+            let published = model.published_closed_form_alpha1().ell_star;
+            let e_c = (corrected - exact).abs();
+            let e_p = (published - exact).abs();
+            corr_worst = corr_worst.max(e_c);
+            pub_worst = pub_worst.max(e_p);
+            println!(
+                "{s:>5} {gamma:>6} | {exact:>9.4} {corrected:>11.4} {published:>11.4} | {e_c:>10.4} {e_p:>10.4}"
+            );
+            let _ = writeln!(csv, "{s},{gamma},{exact},{corrected},{published}");
+        }
+    }
+    let path = ccn_bench::experiment_dir().join("erratum.csv");
+    std::fs::write(&path, csv)?;
+    println!("\nworst error — corrected: {corr_worst:.4}, published: {pub_worst:.4}");
+    println!("the two coincide only at gamma = 1; the published form moves the");
+    println!("wrong way with gamma, contradicting the paper's own Figures 4/5");
+    println!("csv written to {}", path.display());
+    assert!(corr_worst < 0.08, "corrected form tracks the exact optimum");
+    assert!(pub_worst > 0.3, "published form diverges badly somewhere in the grid");
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Regenerates the paper's Figure 10: origin load reduction G_O vs network size n, for alpha in {0.2..1}.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin fig10`
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = ccn_bench::run_figure(ccn_bench::Figure::Fig10)?;
+
+    // Shape checks: at alpha = 1 the reduction grows with n; for small
+    // alpha it is roughly flat-to-declining; higher alpha dominates.
+    for s in &data.series {
+        let first = s.points.first().expect("non-empty").1;
+        let last = s.points.last().expect("non-empty").1;
+        if s.label == "alpha=1" {
+            assert!(last > first, "alpha=1: G_O grows with n");
+        }
+        println!("{}: G_O {first:.3} -> {last:.3} over n in [10, 500]", s.label);
+    }
+    for pair in data.series.windows(2) {
+        for (a, b) in pair[0].points.iter().zip(&pair[1].points) {
+            assert!(b.1 >= a.1 - 1e-9, "higher alpha dominates at n={}", a.0);
+        }
+    }
+    println!("shape checks PASSED: alpha=1 grows with n; higher alpha dominates");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Regenerates the paper's Figure 11: origin load reduction G_O vs unit coordination cost w, for alpha in {0.2..1}.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin fig11`
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = ccn_bench::run_figure(ccn_bench::Figure::Fig11)?;
+
+    // Shape checks: small alpha decays rapidly with w; alpha = 1 is
+    // invariant to w.
+    for s in &data.series {
+        let first = s.points.first().expect("non-empty").1;
+        let last = s.points.last().expect("non-empty").1;
+        if s.label == "alpha=1" {
+            assert!((first - last).abs() < 1e-6, "alpha=1: invariant in w");
+        } else {
+            assert!(last < first, "{}: G_O must fall with w", s.label);
+        }
+    }
+    println!("shape checks PASSED: alpha=1 invariant; alpha<1 decreasing in w");
+    Ok(())
+}

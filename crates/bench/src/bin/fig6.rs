@@ -1,0 +1,24 @@
+//! Regenerates the paper's Figure 6: optimal strategy l* vs network size n, for alpha in {0.2..1}.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin fig6`
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = ccn_bench::run_figure(ccn_bench::Figure::Fig6)?;
+
+    // Shape checks: for alpha < 1, l* decreases as n grows (more
+    // routers -> more coordination traffic); larger alpha dominates.
+    for s in &data.series {
+        if s.label != "alpha=1" {
+            let first = s.points.first().expect("non-empty").1;
+            let last = s.points.last().expect("non-empty").1;
+            assert!(last < first, "{}: l* must fall with n", s.label);
+        }
+    }
+    for pair in data.series.windows(2) {
+        for (a, b) in pair[0].points.iter().zip(&pair[1].points) {
+            assert!(b.1 >= a.1 - 1e-9, "higher alpha dominates at n={}", a.0);
+        }
+    }
+    println!("shape checks PASSED: l* falls with n for alpha<1; higher alpha dominates");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Regenerates the paper's Figure 7: optimal strategy l* vs unit coordination cost w, for alpha in {0.2..1}.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin fig7`
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = ccn_bench::run_figure(ccn_bench::Figure::Fig7)?;
+
+    // Shape checks: at alpha = 1 the curve is flat near its maximum;
+    // for small alpha it decreases drastically with w.
+    for s in &data.series {
+        let first = s.points.first().expect("non-empty").1;
+        let last = s.points.last().expect("non-empty").1;
+        if s.label == "alpha=1" {
+            assert!((first - last).abs() < 1e-6, "alpha=1: constant in w");
+        } else {
+            assert!(last < first, "{}: l* must fall with w", s.label);
+        }
+    }
+    println!("shape checks PASSED: alpha=1 flat; alpha<1 decreasing in w");
+    Ok(())
+}

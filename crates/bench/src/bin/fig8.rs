@@ -1,0 +1,21 @@
+//! Regenerates the paper's Figure 8: origin load reduction G_O vs alpha, for gamma in {2,4,6,8,10}.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin fig8`
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = ccn_bench::run_figure(ccn_bench::Figure::Fig8)?;
+
+    // Shape checks: G_O grows with alpha; higher gamma dominates.
+    for s in &data.series {
+        let first = s.points.first().expect("non-empty").1;
+        let last = s.points.last().expect("non-empty").1;
+        assert!(last > first, "{}: G_O must grow with alpha", s.label);
+    }
+    for pair in data.series.windows(2) {
+        for (a, b) in pair[0].points.iter().zip(&pair[1].points) {
+            assert!(b.1 >= a.1 - 1e-9, "higher gamma dominates at alpha={}", a.0);
+        }
+    }
+    println!("shape checks PASSED: G_O monotone in alpha; higher gamma dominates");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! The `(s, α)` phase map: where do the three provisioning regimes
+//! live? The quantitative rendering of the paper's §IV-D dichotomy
+//! ("different ranges of the Zipf exponent can lead to opposite
+//! optimal strategies").
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin phase_map`
+
+use std::fmt::Write as _;
+
+use ccn_model::regimes::{phase_map, Regime};
+use ccn_model::presets;
+use ccn_numerics::sweep::linspace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = presets::table_iv_defaults()?;
+    let mut s_grid = linspace(0.1, 0.95, 12);
+    s_grid.extend(linspace(1.05, 1.9, 12));
+    let alpha_grid = linspace(0.02, 1.0, 40);
+    let map = phase_map(base, &s_grid, &alpha_grid)?;
+    println!("{}", map.render());
+    println!(
+        "regime shares: no-coordination {:.1}%, mixed {:.1}%, full {:.1}%",
+        map.fraction(Regime::NoCoordination) * 100.0,
+        map.fraction(Regime::Mixed) * 100.0,
+        map.fraction(Regime::FullCoordination) * 100.0
+    );
+
+    let mut csv = String::from("s,alpha,ell_star,regime\n");
+    for (i, &s) in map.s_grid.iter().enumerate() {
+        for (j, &alpha) in map.alpha_grid.iter().enumerate() {
+            let (ell, regime) = map.cells[i][j];
+            let _ = writeln!(csv, "{s},{alpha},{ell},{regime:?}");
+        }
+    }
+    let path = ccn_bench::experiment_dir().join("phase_map.csv");
+    std::fs::write(&path, csv)?;
+    println!("csv written to {}", path.display());
+
+    // Shape checks: every row starts in the no-coordination regime at
+    // tiny alpha, and the s < 1 rows reach higher levels at alpha = 1
+    // than the s > 1 rows (the paper's opposite-limits claim).
+    for (i, row) in map.cells.iter().enumerate() {
+        assert_eq!(
+            row[0].1,
+            Regime::NoCoordination,
+            "s={}: cost-only objective must shun coordination",
+            map.s_grid[i]
+        );
+    }
+    let ell_at_one = |s_target: f64| {
+        let i = map
+            .s_grid
+            .iter()
+            .position(|&s| (s - s_target).abs() < 0.05)
+            .expect("grid point present");
+        map.cells[i].last().expect("non-empty row").0
+    };
+    assert!(ell_at_one(0.25) > ell_at_one(1.82));
+    println!("shape checks PASSED: tiny alpha => no coordination; s<1 out-coordinates s>1 at alpha=1");
+    Ok(())
+}

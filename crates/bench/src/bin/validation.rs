@@ -1,0 +1,77 @@
+//! Model-validation experiment (beyond the paper): deploys the
+//! analytical model's hybrid storage layout in the packet-level
+//! simulator on every evaluation topology and compares predicted vs
+//! measured tier fractions across the coordination-level sweep.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin validation`
+
+use std::fmt::Write as _;
+
+use ccn_model::{CacheModel, ModelParams};
+use ccn_sim::scenario::{steady_state, SteadyStateConfig};
+use ccn_sim::OriginConfig;
+use ccn_topology::datasets;
+
+const CATALOGUE: u64 = 5_000;
+const CAPACITY: u64 = 100;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut csv = String::from("topology,ell,predicted_origin,measured_origin,predicted_local,measured_local\n");
+    let mut worst: f64 = 0.0;
+    for graph in datasets::all() {
+        let name = graph.name().to_owned();
+        let params = ModelParams::builder()
+            .zipf_exponent(0.8)
+            .routers_f64(graph.node_count() as f64)
+            .catalogue(CATALOGUE as f64)
+            .capacity(CAPACITY as f64)
+            .latency_tiers(0.0, 1.0, 5.0)
+            .alpha(1.0)
+            .build()?;
+        let model = CacheModel::new(params)?;
+        println!("== {name} ==");
+        println!(
+            "{:>5} | {:>10} {:>10} | {:>10} {:>10}",
+            "l", "orig(mod)", "orig(sim)", "local(mod)", "local(sim)"
+        );
+        for &ell in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let predicted = model.breakdown(ell * CAPACITY as f64);
+            let measured = steady_state(
+                graph.clone(),
+                &SteadyStateConfig {
+                    zipf_exponent: 0.8,
+                    catalogue: CATALOGUE,
+                    capacity: CAPACITY,
+                    ell,
+                    rate_per_ms: 0.01,
+                    horizon_ms: 100_000.0,
+                    origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() },
+                    seed: 99,
+                },
+            )?;
+            println!(
+                "{ell:>5.2} | {:>10.3} {:>10.3} | {:>10.3} {:>10.3}",
+                predicted.origin_fraction,
+                measured.origin_load(),
+                predicted.local_fraction,
+                measured.local_hit_ratio()
+            );
+            let _ = writeln!(
+                csv,
+                "{name},{ell},{},{},{},{}",
+                predicted.origin_fraction,
+                measured.origin_load(),
+                predicted.local_fraction,
+                measured.local_hit_ratio()
+            );
+            worst = worst.max((predicted.origin_fraction - measured.origin_load()).abs());
+        }
+        println!();
+    }
+    let path = ccn_bench::experiment_dir().join("validation.csv");
+    std::fs::write(&path, csv)?;
+    println!("worst origin-fraction deviation across all topologies and levels: {worst:.4}");
+    println!("csv written to {}", path.display());
+    assert!(worst < 0.05, "analytical model tracks the packet-level simulator");
+    Ok(())
+}

@@ -1,0 +1,386 @@
+//! Shared harness for the experiment regenerators.
+//!
+//! Every table and figure of the paper's evaluation section has a
+//! binary in `src/bin/` that reuses this library: [`figure_data`]
+//! computes the swept series for Figures 4–13, [`run_figure`] prints
+//! them as an ASCII chart plus the raw rows, and [`write_csv`] persists
+//! them under `target/experiments/` for external plotting.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use ccn_model::{presets, CacheModel, ModelError, ModelParams};
+use ccn_numerics::sweep::linspace;
+
+/// One plotted curve: a label and its `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. `"gamma=4"`).
+    pub label: String,
+    /// The curve's points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A complete figure: axes metadata plus its curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureData {
+    /// Figure identifier (e.g. `"fig4"`).
+    pub name: String,
+    /// Human title matching the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+/// Which quantity a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// The optimal coordination level `ℓ*` (Figures 4–7).
+    EllStar,
+    /// The origin load reduction `G_O` (Figures 8–11).
+    OriginGain,
+    /// The routing performance improvement `G_R` (Figures 12–13).
+    RoutingGain,
+}
+
+impl Metric {
+    fn label(self) -> &'static str {
+        match self {
+            Metric::EllStar => "optimal strategy l*",
+            Metric::OriginGain => "origin load reduction G_O",
+            Metric::RoutingGain => "routing improvement G_R",
+        }
+    }
+
+    /// Evaluates the metric on one parameter set (exact solver).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn evaluate(self, params: ModelParams) -> Result<f64, ModelError> {
+        let model = CacheModel::new(params)?;
+        let opt = model.optimal_exact()?;
+        Ok(match self {
+            Metric::EllStar => opt.ell_star,
+            Metric::OriginGain => model.gains(opt.x_star).origin_load_reduction,
+            Metric::RoutingGain => model.gains(opt.x_star).routing_improvement,
+        })
+    }
+}
+
+/// The figures of the paper's evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    /// ℓ* vs α for γ ∈ {2,4,6,8,10}.
+    Fig4,
+    /// ℓ* vs s for α ∈ {0.2..1}.
+    Fig5,
+    /// ℓ* vs n for α ∈ {0.2..1}.
+    Fig6,
+    /// ℓ* vs w for α ∈ {0.2..1}.
+    Fig7,
+    /// G_O vs α for γ ∈ {2,4,6,8,10}.
+    Fig8,
+    /// G_O vs s for α ∈ {0.2..1}.
+    Fig9,
+    /// G_O vs n for α ∈ {0.2..1}.
+    Fig10,
+    /// G_O vs w for α ∈ {0.2..1}.
+    Fig11,
+    /// G_R vs α for γ ∈ {2,4,6,8,10}.
+    Fig12,
+    /// G_R vs s for α ∈ {0.2..1}.
+    Fig13,
+}
+
+impl Figure {
+    /// All figures in paper order.
+    pub const ALL: [Figure; 10] = [
+        Figure::Fig4,
+        Figure::Fig5,
+        Figure::Fig6,
+        Figure::Fig7,
+        Figure::Fig8,
+        Figure::Fig9,
+        Figure::Fig10,
+        Figure::Fig11,
+        Figure::Fig12,
+        Figure::Fig13,
+    ];
+
+    /// The quantity the figure plots.
+    #[must_use]
+    pub fn metric(self) -> Metric {
+        match self {
+            Figure::Fig4 | Figure::Fig5 | Figure::Fig6 | Figure::Fig7 => Metric::EllStar,
+            Figure::Fig8 | Figure::Fig9 | Figure::Fig10 | Figure::Fig11 => Metric::OriginGain,
+            Figure::Fig12 | Figure::Fig13 => Metric::RoutingGain,
+        }
+    }
+
+    /// The figure's identifier (`"fig4"`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Figure::Fig4 => "fig4",
+            Figure::Fig5 => "fig5",
+            Figure::Fig6 => "fig6",
+            Figure::Fig7 => "fig7",
+            Figure::Fig8 => "fig8",
+            Figure::Fig9 => "fig9",
+            Figure::Fig10 => "fig10",
+            Figure::Fig11 => "fig11",
+            Figure::Fig12 => "fig12",
+            Figure::Fig13 => "fig13",
+        }
+    }
+}
+
+/// The Zipf grid of Figures 5/9/13: `[0.1, 1) ∪ (1, 1.9]`, skipping
+/// the singular point.
+#[must_use]
+pub fn zipf_grid(points_per_side: usize) -> Vec<f64> {
+    let mut grid = linspace(0.1, 0.98, points_per_side);
+    grid.extend(linspace(1.02, 1.9, points_per_side));
+    grid
+}
+
+/// Computes the full series set for a figure. Sweep densities match
+/// the paper's plots (dozens of points per curve).
+///
+/// # Errors
+///
+/// Propagates parameter/solver failures.
+pub fn figure_data(figure: Figure) -> Result<FigureData, ModelError> {
+    let metric = figure.metric();
+    let (x_label, series): (&str, Vec<Series>) = match figure {
+        Figure::Fig4 | Figure::Fig8 | Figure::Fig12 => {
+            let alphas = linspace(0.02, 1.0, 50);
+            let mut all = Vec::new();
+            for &gamma in &presets::GAMMA_SERIES {
+                let mut points = Vec::new();
+                for &alpha in &alphas {
+                    let params = presets::fig4_family(gamma, alpha)?;
+                    points.push((alpha, metric.evaluate(params)?));
+                }
+                all.push(Series { label: format!("gamma={gamma}"), points });
+            }
+            ("trade-off weight alpha", all)
+        }
+        Figure::Fig5 | Figure::Fig9 | Figure::Fig13 => {
+            let grid = zipf_grid(25);
+            let mut all = Vec::new();
+            for &alpha in &presets::ALPHA_SERIES {
+                let mut points = Vec::new();
+                for &s in &grid {
+                    let params = presets::fig5_family(s, alpha)?;
+                    points.push((s, metric.evaluate(params)?));
+                }
+                all.push(Series { label: format!("alpha={alpha}"), points });
+            }
+            ("zipf exponent s", all)
+        }
+        Figure::Fig6 | Figure::Fig10 => {
+            let ns = linspace(10.0, 500.0, 50);
+            let mut all = Vec::new();
+            for &alpha in &presets::ALPHA_SERIES {
+                let mut points = Vec::new();
+                for &n in &ns {
+                    let params = presets::fig6_family(n, alpha)?;
+                    points.push((n, metric.evaluate(params)?));
+                }
+                all.push(Series { label: format!("alpha={alpha}"), points });
+            }
+            ("network size n", all)
+        }
+        Figure::Fig7 | Figure::Fig11 => {
+            let ws = linspace(10.0, 100.0, 46);
+            let mut all = Vec::new();
+            for &alpha in &presets::ALPHA_SERIES {
+                let mut points = Vec::new();
+                for &w in &ws {
+                    let params = presets::fig7_family(w, alpha)?;
+                    points.push((w, metric.evaluate(params)?));
+                }
+                all.push(Series { label: format!("alpha={alpha}"), points });
+            }
+            ("unit coordination cost w (ms)", all)
+        }
+    };
+    Ok(FigureData {
+        name: figure.name().to_owned(),
+        title: format!("{} — {}", figure.name(), metric.label()),
+        x_label: x_label.to_owned(),
+        y_label: metric.label().to_owned(),
+        series,
+    })
+}
+
+/// Directory experiment CSVs are written to (`target/experiments`),
+/// created on first use.
+#[must_use]
+pub fn experiment_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("can create target/experiments");
+    dir.canonicalize().unwrap_or(dir)
+}
+
+/// Writes a figure's series as a tidy CSV (`x,series,y` rows) and
+/// returns the path.
+#[must_use]
+pub fn write_csv(figure: &FigureData) -> PathBuf {
+    let mut out = String::from("x,series,y\n");
+    for s in &figure.series {
+        for &(x, y) in &s.points {
+            let _ = writeln!(out, "{x},{},{y}", s.label);
+        }
+    }
+    let path = experiment_dir().join(format!("{}.csv", figure.name));
+    fs::write(&path, out).expect("can write experiment csv");
+    path
+}
+
+/// Renders a figure as an ASCII chart with one glyph per series.
+#[must_use]
+pub fn ascii_chart(figure: &FigureData, width: usize, height: usize) -> String {
+    const GLYPHS: [char; 8] = ['o', '+', 'x', '*', '#', '@', '%', '&'];
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in &figure.series {
+        for &(x, y) in &s.points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if !x_min.is_finite() || x_max <= x_min {
+        return format!("{} (no data)\n", figure.title);
+    }
+    if y_max <= y_min {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (i, s) in figure.series.iter().enumerate() {
+        let glyph = GLYPHS[i % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let row = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - row][col.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", figure.title);
+    let _ = writeln!(out, "  y: {} in [{y_min:.3}, {y_max:.3}]", figure.y_label);
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "  |{line}|");
+    }
+    let _ = writeln!(out, "  x: {} in [{x_min:.3}, {x_max:.3}]", figure.x_label);
+    for (i, s) in figure.series.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", GLYPHS[i % GLYPHS.len()], s.label);
+    }
+    out
+}
+
+/// Full render pipeline for a figure binary: compute, persist CSV,
+/// print chart and rows.
+///
+/// # Errors
+///
+/// Propagates computation failures.
+pub fn run_figure(figure: Figure) -> Result<FigureData, ModelError> {
+    let data = figure_data(figure)?;
+    let path = write_csv(&data);
+    println!("{}", ascii_chart(&data, 72, 20));
+    println!("csv written to {}", path.display());
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_grid_excludes_singularity() {
+        let grid = zipf_grid(10);
+        assert!(grid.iter().all(|&s| (s - 1.0).abs() > 0.01));
+        assert_eq!(grid.len(), 20);
+    }
+
+    #[test]
+    fn figure_metadata_is_consistent() {
+        for f in Figure::ALL {
+            assert!(f.name().starts_with("fig"));
+        }
+        assert_eq!(Figure::Fig4.metric(), Metric::EllStar);
+        assert_eq!(Figure::Fig9.metric(), Metric::OriginGain);
+        assert_eq!(Figure::Fig13.metric(), Metric::RoutingGain);
+    }
+
+    #[test]
+    fn fig4_series_have_expected_shape() {
+        let data = figure_data(Figure::Fig4).unwrap();
+        assert_eq!(data.series.len(), 5);
+        for s in &data.series {
+            assert_eq!(s.points.len(), 50);
+            // ell* monotone in alpha.
+            for w in s.points.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-6, "{}: {w:?}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_chart_renders_every_series_glyph() {
+        let data = FigureData {
+            name: "test".into(),
+            title: "test".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series { label: "a".into(), points: vec![(0.0, 0.0), (1.0, 1.0)] },
+                Series { label: "b".into(), points: vec![(0.0, 1.0), (1.0, 0.0)] },
+            ],
+        };
+        let chart = ascii_chart(&data, 20, 10);
+        assert!(chart.contains('o'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("a\n") || chart.contains("a"));
+    }
+
+    #[test]
+    fn empty_figure_renders_gracefully() {
+        let data = FigureData {
+            name: "empty".into(),
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        assert!(ascii_chart(&data, 10, 5).contains("no data"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let data = FigureData {
+            name: "unit-test-csv".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series { label: "a".into(), points: vec![(1.0, 2.0)] }],
+        };
+        let path = write_csv(&data);
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "x,series,y\n1,a,2\n");
+    }
+}

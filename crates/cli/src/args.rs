@@ -1,0 +1,152 @@
+//! A small `--flag value` argument parser (std-only by design; the
+//! workspace's dependency policy admits no CLI framework).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+/// A user-facing argument error (printed, not propagated as a panic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw tokens (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for a missing subcommand, a flag without a
+    /// value, a duplicated flag, or stray positional tokens.
+    pub fn parse(tokens: &[String]) -> Result<Args, ArgError> {
+        let mut iter = tokens.iter();
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand; try `ccn help`".into()))?
+            .clone();
+        if command.starts_with("--") {
+            return Err(ArgError(format!("expected a subcommand before {command}")));
+        }
+        let mut flags = HashMap::new();
+        while let Some(token) = iter.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {token:?}")));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            if flags.insert(key.to_owned(), value.clone()).is_some() {
+                return Err(ArgError(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// A string flag, or `default` when absent.
+    #[must_use]
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_owned())
+    }
+
+    /// An optional string flag.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A numeric flag, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when present but unparsable.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{key}: {raw:?} is not a number"))),
+        }
+    }
+
+    /// An integer flag, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when present but unparsable.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{key}: {raw:?} is not an integer"))),
+        }
+    }
+
+    /// Rejects any flag outside `allowed` so typos fail loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] naming the first unknown flag.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{key} for `{}` (allowed: {})",
+                    self.command,
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(&tokens.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["solve", "--s", "0.8", "--alpha", "0.9"]).unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.f64_or("s", 0.0).unwrap(), 0.8);
+        assert_eq!(a.f64_or("missing", 7.0).unwrap(), 7.0);
+        assert_eq!(a.str_or("topology", "us-a"), "us-a");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--solve"]).is_err());
+        assert!(parse(&["solve", "--s"]).is_err());
+        assert!(parse(&["solve", "stray"]).is_err());
+        assert!(parse(&["solve", "--s", "1", "--s", "2"]).is_err());
+        let a = parse(&["solve", "--s", "abc"]).unwrap();
+        assert!(a.f64_or("s", 0.0).is_err());
+        assert!(a.u64_or("s", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_caught() {
+        let a = parse(&["solve", "--bogus", "1"]).unwrap();
+        let err = a.ensure_known(&["s", "alpha"]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+        assert!(a.ensure_known(&["bogus"]).is_ok());
+    }
+}

@@ -1,0 +1,309 @@
+//! Subcommand implementations.
+
+use std::fmt::Write as _;
+
+use ccn_model::planner::{capacity_for_target_origin_load, plan, PlannerConfig};
+use ccn_model::{CacheModel, ModelParams};
+use ccn_sim::scenario::{steady_state, SteadyStateConfig};
+use ccn_sim::OriginConfig;
+use ccn_topology::{datasets, export, io, metrics, params, Graph};
+
+use crate::args::{ArgError, Args};
+
+/// Usage text for `ccn help` (and argument errors).
+pub const USAGE: &str = "\
+ccn — coordinated in-network caching toolkit (ICDCS'13 reproduction)
+
+USAGE: ccn <command> [--flag value]...
+
+COMMANDS
+  solve      optimal coordination level for explicit model parameters
+             --s 0.8 --n 20 --catalogue 1e6 --capacity 1e3
+             --gamma 5 --alpha 0.8 --w 26.7 --d1-d0 2.2842
+  plan       provisioning plan for a topology
+             --topology abilene|cernet|geant|us-a|<edge-list file>
+             --s --catalogue --capacity --alpha --gamma
+  topology   inspect a topology (Table II/III parameters, structure)
+             --topology <name|file> [--dot out.dot]
+  simulate   steady-state packet simulation of a provisioned deployment
+             --topology <name|file> --ell 0.5 --s 0.8
+             --catalogue 5000 --capacity 100 --horizon 60000 --seed 42
+  capacity   smallest per-router capacity meeting a target origin load
+             --topology <name|file> --target 0.3 --max 1e6
+             --s --catalogue --alpha --gamma
+  help       this text
+";
+
+fn load_topology(spec: &str) -> Result<Graph, ArgError> {
+    match spec.to_ascii_lowercase().as_str() {
+        "abilene" => Ok(datasets::abilene()),
+        "cernet" => Ok(datasets::cernet()),
+        "geant" => Ok(datasets::geant()),
+        "us-a" | "usa" | "us_a" => Ok(datasets::us_a()),
+        path => {
+            let file = std::fs::File::open(path).map_err(|e| {
+                ArgError(format!("--topology {spec:?}: not a built-in name and {e}"))
+            })?;
+            io::read_edge_list(std::io::BufReader::new(file))
+                .map_err(|e| ArgError(format!("--topology {spec:?}: {e}")))
+        }
+    }
+}
+
+fn solve(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&["s", "n", "catalogue", "capacity", "gamma", "alpha", "w", "d1-d0"])?;
+    let params = ModelParams::builder()
+        .zipf_exponent(args.f64_or("s", 0.8)?)
+        .routers_f64(args.f64_or("n", 20.0)?)
+        .catalogue(args.f64_or("catalogue", 1e6)?)
+        .capacity(args.f64_or("capacity", 1e3)?)
+        .latency_tiers(0.0, args.f64_or("d1-d0", 2.2842)?, args.f64_or("gamma", 5.0)?)
+        .amortized_unit_cost(args.f64_or("w", 26.7)?)
+        .alpha(args.f64_or("alpha", 0.8)?)
+        .build()
+        .map_err(|e| ArgError(e.to_string()))?;
+    let model = CacheModel::new(params).map_err(|e| ArgError(e.to_string()))?;
+    let opt = model.optimal_exact().map_err(|e| ArgError(e.to_string()))?;
+    let gains = model.gains(opt.x_star);
+    let b = model.breakdown(opt.x_star);
+    let mut out = String::new();
+    let _ = writeln!(out, "optimal strategy: l* = {:.4} (x* = {:.0} of {:.0} slots)", opt.ell_star, opt.x_star, params.capacity());
+    let _ = writeln!(out, "tiers at l*: local {:.1}%, peer {:.1}%, origin {:.1}%", b.local_fraction * 100.0, b.peer_fraction * 100.0, b.origin_fraction * 100.0);
+    let _ = writeln!(out, "gains vs non-coordinated: G_O = {:.1}%, G_R = {:.1}%", gains.origin_load_reduction * 100.0, gains.routing_improvement * 100.0);
+    Ok(out)
+}
+
+fn plan_cmd(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&["topology", "s", "catalogue", "capacity", "alpha", "gamma"])?;
+    let graph = load_topology(&args.str_or("topology", "us-a"))?;
+    let topo = params::extract(&graph);
+    let config = PlannerConfig {
+        zipf_exponent: args.f64_or("s", 0.8)?,
+        catalogue: args.f64_or("catalogue", 1e6)?,
+        capacity: args.f64_or("capacity", 1e3)?,
+        alpha: args.f64_or("alpha", 0.8)?,
+        gamma: args.f64_or("gamma", 5.0)?,
+        use_hop_metric: true,
+    };
+    let plan = plan(&topo, &config).map_err(|e| ArgError(e.to_string()))?;
+    Ok(plan.report())
+}
+
+fn topology_cmd(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&["topology", "dot"])?;
+    let graph = load_topology(&args.str_or("topology", "abilene"))?;
+    let p = params::extract(&graph);
+    let degrees = metrics::degree_stats(&graph);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", export::to_ascii(&graph));
+    let _ = writeln!(out, "model parameters (paper Table III):");
+    let _ = writeln!(out, "  n = {}", p.n);
+    let _ = writeln!(out, "  w = {:.1} ms (max pairwise latency)", p.w_ms);
+    let _ = writeln!(out, "  d1-d0 = {:.1} ms / {:.4} hops", p.mean_latency_ms, p.mean_hops);
+    let _ = writeln!(out, "  diameter = {} hops", p.diameter_hops);
+    let _ = writeln!(
+        out,
+        "structure: degrees {}..{} (mean {:.2}), clustering {:.3}",
+        degrees.min,
+        degrees.max,
+        degrees.mean,
+        metrics::clustering_coefficient(&graph)
+    );
+    if let Some(path) = args.get("dot") {
+        std::fs::write(path, export::to_dot(&graph))
+            .map_err(|e| ArgError(format!("--dot {path:?}: {e}")))?;
+        let _ = writeln!(out, "dot written to {path}");
+    }
+    Ok(out)
+}
+
+fn simulate(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&[
+        "topology", "ell", "s", "catalogue", "capacity", "rate", "horizon", "seed",
+        "origin-latency", "origin-hops",
+    ])?;
+    let graph = load_topology(&args.str_or("topology", "abilene"))?;
+    let config = SteadyStateConfig {
+        zipf_exponent: args.f64_or("s", 0.8)?,
+        catalogue: args.u64_or("catalogue", 5_000)?,
+        capacity: args.u64_or("capacity", 100)?,
+        ell: args.f64_or("ell", 0.5)?,
+        rate_per_ms: args.f64_or("rate", 0.01)?,
+        horizon_ms: args.f64_or("horizon", 60_000.0)?,
+        origin: OriginConfig {
+            latency_ms: args.f64_or("origin-latency", 50.0)?,
+            hops: args.u64_or("origin-hops", 4)? as u32,
+            gateway: None,
+        },
+        seed: args.u64_or("seed", 42)?,
+    };
+    let m = steady_state(graph, &config).map_err(|e| ArgError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "simulated {} requests (l = {})", m.completed, config.ell);
+    let _ = writeln!(out, "  origin load  : {:.2}%", m.origin_load() * 100.0);
+    let _ = writeln!(out, "  local hits   : {:.2}%", m.local_hit_ratio() * 100.0);
+    let _ = writeln!(out, "  peer hits    : {:.2}%", m.peer_hit_ratio() * 100.0);
+    let _ = writeln!(out, "  avg hops     : {:.3}", m.avg_hops());
+    let _ = writeln!(out, "  avg latency  : {:.2} ms", m.avg_latency_ms());
+    if let Some(p99) = m.latency_percentile(0.99) {
+        let _ = writeln!(out, "  p99 latency  : {p99:.2} ms");
+    }
+    let _ = writeln!(out, "  messages     : {} interests, {} data", m.interest_messages, m.data_messages);
+    Ok(out)
+}
+
+fn capacity_cmd(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&["topology", "target", "max", "s", "catalogue", "alpha", "gamma"])?;
+    let graph = load_topology(&args.str_or("topology", "us-a"))?;
+    let topo = params::extract(&graph);
+    let config = PlannerConfig {
+        zipf_exponent: args.f64_or("s", 0.8)?,
+        catalogue: args.f64_or("catalogue", 1e6)?,
+        capacity: 1.0, // replaced by the search
+        alpha: args.f64_or("alpha", 0.8)?,
+        gamma: args.f64_or("gamma", 5.0)?,
+        use_hop_metric: true,
+    };
+    let target = args.f64_or("target", 0.3)?;
+    let c_max = args.f64_or("max", 1e6)?;
+    let (c, plan) = capacity_for_target_origin_load(&topo, &config, target, c_max)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "smallest capacity meeting origin load <= {:.1}%: c = {:.0} slots per router",
+        target * 100.0,
+        c.ceil()
+    );
+    let _ = writeln!(out);
+    let _ = write!(out, "{}", plan.report());
+    Ok(out)
+}
+
+/// Runs a parsed command, returning its rendered report.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for unknown commands, bad flags, or failing
+/// domain operations.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_str() {
+        "solve" => solve(args),
+        "plan" => plan_cmd(args),
+        "topology" => topology_cmd(args),
+        "simulate" => simulate(args),
+        "capacity" => capacity_cmd(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, ArgError> {
+        let owned: Vec<String> = tokens.iter().map(|s| (*s).to_owned()).collect();
+        run(&Args::parse(&owned).unwrap())
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let text = run_tokens(&["help"]).unwrap();
+        for cmd in ["solve", "plan", "topology", "simulate", "capacity"] {
+            assert!(text.contains(cmd), "usage is missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run_tokens(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn solve_defaults_match_the_library() {
+        let text = run_tokens(&["solve"]).unwrap();
+        assert!(text.contains("l* = 0.92"), "{text}");
+        assert!(text.contains("G_O"));
+    }
+
+    #[test]
+    fn solve_rejects_bad_parameters() {
+        let err = run_tokens(&["solve", "--s", "1.0"]).unwrap_err();
+        assert!(err.to_string().contains('s'));
+        let err = run_tokens(&["solve", "--bogus", "1"]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn plan_on_builtin_topologies() {
+        for name in ["abilene", "cernet", "geant", "us-a"] {
+            let text = run_tokens(&["plan", "--topology", name]).unwrap();
+            assert!(text.contains("optimal coordination level"), "{name}: {text}");
+        }
+    }
+
+    #[test]
+    fn topology_reports_table3_parameters() {
+        let text = run_tokens(&["topology", "--topology", "geant"]).unwrap();
+        assert!(text.contains("n = 23"));
+        assert!(text.contains("diameter"));
+        assert!(text.contains("clustering"));
+    }
+
+    #[test]
+    fn topology_loads_edge_list_files() {
+        let dir = std::env::temp_dir().join("ccn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.topo");
+        std::fs::write(&path, "# name: Tiny\nnode a 0 0\nnode b 1 1\nedge a b 3.0\n").unwrap();
+        let text =
+            run_tokens(&["topology", "--topology", path.to_str().unwrap()]).unwrap();
+        assert!(text.contains("Tiny"));
+        assert!(text.contains("n = 2"));
+        let missing = run_tokens(&["topology", "--topology", "/nonexistent/x.topo"]);
+        assert!(missing.is_err());
+    }
+
+    #[test]
+    fn simulate_produces_metrics() {
+        let text = run_tokens(&[
+            "simulate",
+            "--topology",
+            "abilene",
+            "--ell",
+            "0.8",
+            "--horizon",
+            "5000",
+        ])
+        .unwrap();
+        assert!(text.contains("origin load"));
+        assert!(text.contains("p99 latency"));
+    }
+
+    #[test]
+    fn capacity_command_reports_a_plan() {
+        let text = run_tokens(&[
+            "capacity",
+            "--topology",
+            "us-a",
+            "--catalogue",
+            "100000",
+            "--target",
+            "0.4",
+        ])
+        .unwrap();
+        assert!(text.contains("smallest capacity"));
+        assert!(text.contains("provisioning plan"));
+        let err = run_tokens(&["capacity", "--target", "2.0"]).unwrap_err();
+        assert!(err.to_string().contains("target"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_level() {
+        let err = run_tokens(&["simulate", "--ell", "1.5", "--horizon", "1000"]).unwrap_err();
+        assert!(err.to_string().contains("coordination level"));
+    }
+}

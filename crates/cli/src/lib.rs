@@ -1,0 +1,31 @@
+//! Library backing the `ccn` command-line tool.
+//!
+//! Every subcommand is a function returning its report as a `String`,
+//! so the behaviour is unit-testable without spawning processes:
+//!
+//! - `ccn solve` — optimal strategy and gains for explicit parameters;
+//! - `ccn plan` — provisioning plan for a named or imported topology;
+//! - `ccn topology` — Table II/III parameters, structure, DOT export;
+//! - `ccn simulate` — steady-state packet simulation of a deployment;
+//! - `ccn help` — usage.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod args;
+mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, USAGE};
+
+/// Entry point shared by `main` and tests: parses tokens and runs the
+/// subcommand, returning the rendered report.
+///
+/// # Errors
+///
+/// Returns a user-facing error string for malformed arguments or
+/// failing domain operations.
+pub fn dispatch(tokens: &[String]) -> Result<String, String> {
+    let args = Args::parse(tokens).map_err(|e| e.to_string())?;
+    run(&args).map_err(|e| e.to_string())
+}

@@ -1,0 +1,18 @@
+//! The `ccn` binary: thin shell around [`ccn_cli::dispatch`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let tokens = if tokens.is_empty() { vec!["help".to_owned()] } else { tokens };
+    match ccn_cli::dispatch(&tokens) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

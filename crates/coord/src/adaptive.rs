@@ -1,0 +1,209 @@
+//! Online self-adaptive coordination (the paper's §VII future work).
+//!
+//! The static analysis assumes the Zipf exponent `s` is known. In a
+//! running network it drifts; the adaptive coordinator closes the
+//! loop:
+//!
+//! 1. observe a window of client requests (ranks);
+//! 2. re-estimate `s` by maximum likelihood (`ccn-zipf::fit`);
+//! 3. re-solve the optimal coordination level under the new estimate;
+//! 4. re-provision **only** when the optimum moved by more than a
+//!    hysteresis threshold — every re-provisioning costs a full
+//!    `W(x)` round, so flapping is worse than slight staleness.
+
+use ccn_model::ModelParams;
+use ccn_zipf::fit_mle;
+
+use crate::{CoordError, Coordinator, CoordinatorConfig, ProvisioningRound};
+
+/// Configuration of the adaptive loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Minimum observed requests before an estimate is trusted.
+    pub min_samples: usize,
+    /// Re-provision only when `|ℓ_new − ℓ_current|` exceeds this.
+    pub hysteresis: f64,
+    /// Underlying round coordinator configuration.
+    pub coordinator: CoordinatorConfig,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self { min_samples: 1_000, hysteresis: 0.05, coordinator: CoordinatorConfig::default() }
+    }
+}
+
+/// What one adaptation step decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Adaptation {
+    /// Not enough observations yet; nothing changed.
+    InsufficientData {
+        /// Observations seen so far.
+        observed: usize,
+    },
+    /// The optimum moved less than the hysteresis; nothing changed.
+    WithinHysteresis {
+        /// Freshly estimated exponent.
+        estimated_s: f64,
+        /// The optimum under the new estimate.
+        candidate_ell: f64,
+    },
+    /// Re-provisioned: a full coordination round was executed.
+    Reprovisioned {
+        /// Freshly estimated exponent.
+        estimated_s: f64,
+        /// The executed round.
+        round: ProvisioningRound,
+    },
+}
+
+/// The adaptive coordinator: owns the current provisioning state and a
+/// sliding observation window.
+#[derive(Debug)]
+pub struct AdaptiveCoordinator {
+    config: AdaptiveConfig,
+    params: ModelParams,
+    coordinator: Coordinator,
+    window: Vec<u64>,
+    current_ell: f64,
+    rounds_executed: u64,
+}
+
+impl AdaptiveCoordinator {
+    /// Creates the loop around initial parameters; the initial
+    /// coordination level is solved immediately (without counting as a
+    /// re-provisioning round).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors from the initial solve.
+    pub fn new(params: ModelParams, config: AdaptiveConfig) -> Result<Self, CoordError> {
+        let coordinator = Coordinator::new(config.coordinator);
+        let initial = coordinator.provision(params)?;
+        Ok(Self {
+            config,
+            params,
+            coordinator,
+            window: Vec::new(),
+            current_ell: initial.strategy.ell_star,
+            rounds_executed: 0,
+        })
+    }
+
+    /// The currently enacted coordination level.
+    #[must_use]
+    pub fn current_ell(&self) -> f64 {
+        self.current_ell
+    }
+
+    /// Number of re-provisioning rounds executed by [`Self::adapt`].
+    #[must_use]
+    pub fn rounds_executed(&self) -> u64 {
+        self.rounds_executed
+    }
+
+    /// Feeds observed request ranks into the sliding window.
+    pub fn observe(&mut self, ranks: impl IntoIterator<Item = u64>) {
+        self.window.extend(ranks);
+    }
+
+    /// Runs one adaptation step over the current window; on success
+    /// the window is cleared.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures ([`CoordError::Fit`]) and model
+    /// failures from re-solving.
+    pub fn adapt(&mut self) -> Result<Adaptation, CoordError> {
+        if self.window.len() < self.config.min_samples {
+            return Ok(Adaptation::InsufficientData { observed: self.window.len() });
+        }
+        let fit = fit_mle(&self.window, self.params.catalogue() as u64)?;
+        self.window.clear();
+        let candidate_params = self.params.with_zipf_exponent(fit.exponent)?;
+        let model = ccn_model::CacheModel::new(candidate_params)?;
+        let candidate = model.optimal_exact()?;
+        if (candidate.ell_star - self.current_ell).abs() <= self.config.hysteresis {
+            return Ok(Adaptation::WithinHysteresis {
+                estimated_s: fit.exponent,
+                candidate_ell: candidate.ell_star,
+            });
+        }
+        let round = self.coordinator.provision(candidate_params)?;
+        self.params = candidate_params;
+        self.current_ell = round.strategy.ell_star;
+        self.rounds_executed += 1;
+        Ok(Adaptation::Reprovisioned { estimated_s: fit.exponent, round })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccn_zipf::ZipfSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(s: f64) -> ModelParams {
+        ModelParams::builder()
+            .zipf_exponent(s)
+            .catalogue(10_000.0)
+            .capacity(100.0)
+            .alpha(0.9)
+            .build()
+            .unwrap()
+    }
+
+    fn draw(s: f64, count: usize, seed: u64) -> Vec<u64> {
+        let sampler = ZipfSampler::new(s, 10_000).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        sampler.sample_many(&mut rng, count)
+    }
+
+    #[test]
+    fn needs_enough_samples() {
+        let mut a = AdaptiveCoordinator::new(params(0.8), AdaptiveConfig::default()).unwrap();
+        a.observe(draw(0.8, 10, 1));
+        assert!(matches!(a.adapt().unwrap(), Adaptation::InsufficientData { observed: 10 }));
+        assert_eq!(a.rounds_executed(), 0);
+    }
+
+    #[test]
+    fn stable_popularity_stays_within_hysteresis() {
+        let mut a = AdaptiveCoordinator::new(params(0.8), AdaptiveConfig::default()).unwrap();
+        a.observe(draw(0.8, 20_000, 2));
+        match a.adapt().unwrap() {
+            Adaptation::WithinHysteresis { estimated_s, .. } => {
+                assert!((estimated_s - 0.8).abs() < 0.05, "estimated {estimated_s}");
+            }
+            other => panic!("expected hysteresis hold, got {other:?}"),
+        }
+        assert_eq!(a.rounds_executed(), 0);
+    }
+
+    #[test]
+    fn popularity_shift_triggers_reprovisioning() {
+        let mut a = AdaptiveCoordinator::new(params(0.4), AdaptiveConfig::default()).unwrap();
+        let before = a.current_ell();
+        // The workload turns much more concentrated.
+        a.observe(draw(1.6, 30_000, 3));
+        match a.adapt().unwrap() {
+            Adaptation::Reprovisioned { estimated_s, round } => {
+                assert!((estimated_s - 1.6).abs() < 0.1, "estimated {estimated_s}");
+                assert!(round.cost.messages > 0);
+            }
+            other => panic!("expected reprovisioning, got {other:?}"),
+        }
+        assert_eq!(a.rounds_executed(), 1);
+        assert!((a.current_ell() - before).abs() > 0.05, "level actually moved");
+    }
+
+    #[test]
+    fn window_clears_after_adaptation() {
+        let mut a = AdaptiveCoordinator::new(params(0.8), AdaptiveConfig::default()).unwrap();
+        a.observe(draw(0.8, 5_000, 4));
+        let _ = a.adapt().unwrap();
+        // Window cleared: next adapt sees no data.
+        assert!(matches!(a.adapt().unwrap(), Adaptation::InsufficientData { observed: 0 }));
+    }
+}

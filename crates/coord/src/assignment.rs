@@ -1,0 +1,143 @@
+//! Per-router slice assignments of the coordinated rank range.
+
+use ccn_topology::{metrics, Graph};
+
+use std::ops::Range;
+
+/// One router's share of the coordinated content range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterAssignment {
+    /// The router this slice belongs to.
+    pub router: usize,
+    /// Local (non-coordinated) popularity prefix: ranks `1..=prefix`.
+    pub local_prefix: u64,
+    /// Half-open coordinated rank range this router must hold.
+    pub slice: Range<u64>,
+}
+
+impl RouterAssignment {
+    /// Number of coordinated contents assigned.
+    #[must_use]
+    pub fn slice_len(&self) -> u64 {
+        self.slice.end - self.slice.start
+    }
+
+    /// Total storage demand of this assignment in contents.
+    #[must_use]
+    pub fn storage_demand(&self) -> u64 {
+        self.local_prefix + self.slice_len()
+    }
+}
+
+/// Splits the coordinated range `[start, start + n·x)` into `n`
+/// contiguous slices of `x` contents each, one per router, with every
+/// router also pinning the shared local prefix `1..=prefix`.
+#[must_use]
+pub fn contiguous_slices(prefix: u64, start: u64, x: u64, routers: usize) -> Vec<RouterAssignment> {
+    (0..routers)
+        .map(|i| RouterAssignment {
+            router: i,
+            local_prefix: prefix,
+            slice: (start + i as u64 * x)..(start + (i as u64 + 1) * x),
+        })
+        .collect()
+}
+
+/// Like [`contiguous_slices`], but slice order follows closeness
+/// centrality: the *hottest* coordinated slice (lowest ranks, highest
+/// request mass) goes to the *most central* router, minimizing the
+/// popularity-weighted peer distance. Returns assignments in the
+/// centrality order — feed the same order to
+/// `ccn_sim::Placement::range` to deploy it.
+///
+/// Falls back to node order for degenerate graphs (no latency
+/// information).
+#[must_use]
+pub fn centrality_ordered_slices(
+    graph: &Graph,
+    prefix: u64,
+    start: u64,
+    x: u64,
+) -> Vec<RouterAssignment> {
+    let centrality = metrics::closeness_centrality(graph);
+    let mut order: Vec<usize> = (0..graph.node_count()).collect();
+    order.sort_by(|&a, &b| {
+        centrality[b]
+            .total_cmp(&centrality[a])
+            .then(a.cmp(&b))
+    });
+    order
+        .into_iter()
+        .enumerate()
+        .map(|(i, router)| RouterAssignment {
+            router,
+            local_prefix: prefix,
+            slice: (start + i as u64 * x)..(start + (i as u64 + 1) * x),
+        })
+        .collect()
+}
+
+/// The router order implied by a slice assignment (slice-start order),
+/// for constructing a matching `Placement`.
+#[must_use]
+pub fn slice_order(assignments: &[RouterAssignment]) -> Vec<usize> {
+    let mut sorted: Vec<&RouterAssignment> = assignments.iter().collect();
+    sorted.sort_by_key(|a| a.slice.start);
+    sorted.iter().map(|a| a.router).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_are_disjoint_and_cover_the_range() {
+        let assignments = contiguous_slices(900, 901, 100, 20);
+        assert_eq!(assignments.len(), 20);
+        let mut covered = Vec::new();
+        for a in &assignments {
+            assert_eq!(a.slice_len(), 100);
+            assert_eq!(a.storage_demand(), 1000);
+            covered.extend(a.slice.clone());
+        }
+        covered.sort_unstable();
+        let expected: Vec<u64> = (901..901 + 2000).collect();
+        assert_eq!(covered, expected, "disjoint cover of the coordinated range");
+    }
+
+    #[test]
+    fn centrality_order_puts_hot_slices_at_the_center() {
+        use ccn_topology::generators;
+        // On a 7-line the middle router (3) is most central, so it
+        // must receive the hottest (first) slice.
+        let g = generators::line(7, 1.0).unwrap();
+        let assignments = centrality_ordered_slices(&g, 90, 91, 10);
+        assert_eq!(assignments.len(), 7);
+        let hottest = assignments.iter().min_by_key(|a| a.slice.start).unwrap();
+        assert_eq!(hottest.router, 3, "center of the line takes the hot slice");
+        // Ends of the line get the coldest slices.
+        let coldest = assignments.iter().max_by_key(|a| a.slice.start).unwrap();
+        assert!(coldest.router == 0 || coldest.router == 6);
+        // Every router appears exactly once.
+        let mut routers: Vec<usize> = assignments.iter().map(|a| a.router).collect();
+        routers.sort_unstable();
+        assert_eq!(routers, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_order_reconstructs_the_deployment_order() {
+        use ccn_topology::generators;
+        let g = generators::line(5, 1.0).unwrap();
+        let assignments = centrality_ordered_slices(&g, 0, 1, 4);
+        let order = slice_order(&assignments);
+        assert_eq!(order[0], 2, "line center holds the first slice");
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn zero_x_means_empty_slices() {
+        let assignments = contiguous_slices(1000, 1001, 0, 5);
+        assert!(assignments.iter().all(|a| a.slice_len() == 0));
+        assert!(assignments.iter().all(|a| a.storage_demand() == 1000));
+    }
+}

@@ -1,0 +1,220 @@
+//! The round-based provisioning coordinator.
+
+use ccn_model::{CacheModel, ModelParams, OptimalStrategy};
+use ccn_topology::Graph;
+
+use crate::assignment::contiguous_slices;
+use crate::distributed::{dissemination_cost, Dissemination, DisseminationCost};
+use crate::{CoordError, CostAccounting, Message, RouterAssignment};
+
+/// Coordinator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoordinatorConfig {
+    /// Number of (rank, count) samples each router includes in its
+    /// statistics report.
+    pub stats_samples: usize,
+    /// Maximum router RTT in ms, used for the convergence-time bound
+    /// (the paper's `w = max d_ij`; one-way latency is half the RTT).
+    pub max_rtt_ms: f64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self { stats_samples: 64, max_rtt_ms: 2.0 * 26.7 }
+    }
+}
+
+/// The outcome of one provisioning round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvisioningRound {
+    /// The optimal strategy the round enacted.
+    pub strategy: OptimalStrategy,
+    /// Per-router slice assignments.
+    pub assignments: Vec<RouterAssignment>,
+    /// Traffic and convergence-time accounting.
+    pub cost: CostAccounting,
+}
+
+/// The conceptually centralized coordinator of §III-A. It can be
+/// implemented distributedly in practice; this simulation keeps it
+/// centralized but accounts for the messages a distributed realization
+/// would exchange.
+#[derive(Debug, Clone, Default)]
+pub struct Coordinator {
+    config: CoordinatorConfig,
+}
+
+impl Coordinator {
+    /// Creates a coordinator.
+    #[must_use]
+    pub fn new(config: CoordinatorConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs one full provisioning round for the given model
+    /// parameters: collect → solve → disseminate → acknowledge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/solver failures as [`CoordError::Model`].
+    pub fn provision(&self, params: ModelParams) -> Result<ProvisioningRound, CoordError> {
+        let n = params.routers().round() as usize;
+        if n < 2 {
+            return Err(CoordError::Protocol {
+                reason: format!("coordination needs at least 2 routers, got {n}"),
+            });
+        }
+        let model = CacheModel::new(params)?;
+        let strategy = model.optimal_exact()?;
+        let c = params.capacity().round() as u64;
+        let x = strategy.x_star.round() as u64;
+        let prefix = c - x.min(c);
+        let assignments = contiguous_slices(prefix, prefix + 1, x, n);
+
+        let mut cost = CostAccounting::default();
+        // Phase 1: collect statistics (parallel; one report each).
+        for router in 0..n {
+            cost.record(&Message::StatsReport { router, samples: self.config.stats_samples });
+        }
+        // Phase 2: disseminate directives and per-content placement
+        // entries (the w·n·x communication term of Eq. 3).
+        for a in &assignments {
+            cost.record(&Message::Directive { router: a.router });
+            for rank in a.slice.clone() {
+                cost.record(&Message::PlacementEntry { router: a.router, rank });
+            }
+        }
+        // Phase 3: acknowledgements.
+        for router in 0..n {
+            cost.record(&Message::Ack { router });
+        }
+        // Each phase completes within the slowest router's one-way
+        // latency; collect+disseminate+ack is three traversals.
+        cost.convergence_ms = 1.5 * self.config.max_rtt_ms;
+        Ok(ProvisioningRound { strategy, assignments, cost })
+    }
+
+    /// Like [`Coordinator::provision`], but additionally costs the
+    /// round's physical realization on a concrete topology under the
+    /// chosen dissemination strategy (link crossings + convergence
+    /// bound from actual pairwise latencies).
+    ///
+    /// The topology's router count must match the model's `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoordError::Protocol`] on a router-count mismatch and
+    /// propagates model/dissemination failures.
+    pub fn provision_over(
+        &self,
+        graph: &Graph,
+        params: ModelParams,
+        strategy: Dissemination,
+    ) -> Result<(ProvisioningRound, DisseminationCost), CoordError> {
+        let n_model = params.routers().round() as usize;
+        if graph.node_count() != n_model {
+            return Err(CoordError::Protocol {
+                reason: format!(
+                    "topology has {} routers but the model was solved for {n_model}",
+                    graph.node_count()
+                ),
+            });
+        }
+        let round = self.provision(params)?;
+        let entries = round.strategy.x_star.round() as u64;
+        let physical = dissemination_cost(graph, strategy, entries)?;
+        Ok((round, physical))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccn_model::ModelParams;
+
+    fn params(alpha: f64) -> ModelParams {
+        ModelParams::builder().alpha(alpha).build().unwrap()
+    }
+
+    #[test]
+    fn round_produces_assignments_for_every_router() {
+        let round = Coordinator::default().provision(params(0.9)).unwrap();
+        assert_eq!(round.assignments.len(), 20);
+        let x = round.strategy.x_star.round() as u64;
+        assert!(round.assignments.iter().all(|a| a.slice_len() == x));
+        assert!(round.assignments.iter().all(|a| a.storage_demand() <= 1000));
+    }
+
+    #[test]
+    fn accounted_entries_match_n_times_x() {
+        let round = Coordinator::default().provision(params(0.9)).unwrap();
+        let x = round.strategy.x_star.round() as u64;
+        assert_eq!(round.cost.placement_entries, 20 * x);
+        // Collect + directives + acks on top of entries.
+        assert_eq!(round.cost.messages, 20 + 20 + 20 * x + 20);
+    }
+
+    #[test]
+    fn realized_cost_matches_model_w() {
+        let p = params(0.9);
+        let round = Coordinator::default().provision(p).unwrap();
+        let model = CacheModel::new(p).unwrap();
+        let x = round.strategy.x_star.round();
+        let realized = round.cost.model_cost(p.unit_cost(), p.fixed_cost());
+        let predicted = model.coordination_cost(x);
+        assert!(
+            (realized - predicted).abs() < 1e-9,
+            "realized {realized} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn alpha_zero_round_is_nearly_free() {
+        let round = Coordinator::default().provision(params(0.0)).unwrap();
+        assert_eq!(round.cost.placement_entries, 0, "no coordination when alpha = 0");
+        // Still pays the fixed collect/ack traffic.
+        assert_eq!(round.cost.messages, 60);
+    }
+
+    #[test]
+    fn provision_over_costs_the_physical_round() {
+        use crate::distributed::{best_coordinator, Dissemination};
+        let graph = ccn_topology::datasets::us_a();
+        let params = ModelParams::builder()
+            .routers(graph.node_count() as u32)
+            .alpha(0.9)
+            .build()
+            .unwrap();
+        let hub = best_coordinator(&graph).unwrap();
+        let (round, physical) = Coordinator::default()
+            .provision_over(&graph, params, Dissemination::Centralized { coordinator: hub })
+            .unwrap();
+        // Physical link crossings dominate the abstract end-to-end
+        // message count (multi-hop paths).
+        assert!(physical.link_crossings >= round.cost.messages);
+        assert!(physical.convergence_ms > 0.0);
+        // Entry crossings carry exactly x* entries per router path.
+        assert!(physical.entry_crossings > 0);
+    }
+
+    #[test]
+    fn provision_over_rejects_mismatched_topology() {
+        let graph = ccn_topology::datasets::abilene(); // 11 routers
+        let params = ModelParams::builder().routers(20).build().unwrap();
+        let r = Coordinator::default().provision_over(
+            &graph,
+            params,
+            crate::distributed::Dissemination::Flooding,
+        );
+        assert!(matches!(r, Err(CoordError::Protocol { .. })));
+    }
+
+    #[test]
+    fn convergence_is_gated_by_max_rtt() {
+        let slow = Coordinator::new(CoordinatorConfig { stats_samples: 8, max_rtt_ms: 100.0 });
+        let fast = Coordinator::new(CoordinatorConfig { stats_samples: 8, max_rtt_ms: 10.0 });
+        let a = slow.provision(params(0.8)).unwrap();
+        let b = fast.provision(params(0.8)).unwrap();
+        assert!(a.cost.convergence_ms > b.cost.convergence_ms);
+    }
+}

@@ -1,0 +1,65 @@
+//! Cost accounting: tallies protocol traffic and checks it against the
+//! model's `W(x) = w·n·x + ŵ`.
+
+use crate::Message;
+
+/// Tally of the traffic and time one provisioning round consumed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostAccounting {
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Placement entries among them (the `n·x` term of Eq. 3).
+    pub placement_entries: u64,
+    /// Total bytes on the wire.
+    pub bytes: u64,
+    /// Wall-clock convergence time in ms: the protocol phases are
+    /// parallel across routers, so each phase costs the *maximum*
+    /// router RTT — the paper's rationale for `w = max_{i,j} d_ij`.
+    pub convergence_ms: f64,
+}
+
+impl CostAccounting {
+    /// Records one message.
+    pub fn record(&mut self, message: &Message) {
+        self.messages += 1;
+        self.bytes += message.size_bytes();
+        if matches!(message, Message::PlacementEntry { .. }) {
+            self.placement_entries += 1;
+        }
+    }
+
+    /// The communication cost in the model's units: placement entries
+    /// weighted by the unit coordination cost `w`, plus the fixed
+    /// cost `ŵ` — directly comparable with
+    /// `ccn_model::CacheModel::coordination_cost`.
+    #[must_use]
+    pub fn model_cost(&self, unit_cost: f64, fixed_cost: f64) -> f64 {
+        unit_cost * self.placement_entries as f64 + fixed_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_messages_and_bytes() {
+        let mut acc = CostAccounting::default();
+        acc.record(&Message::StatsReport { router: 0, samples: 2 });
+        acc.record(&Message::PlacementEntry { router: 0, rank: 5 });
+        acc.record(&Message::PlacementEntry { router: 1, rank: 6 });
+        acc.record(&Message::Ack { router: 0 });
+        assert_eq!(acc.messages, 4);
+        assert_eq!(acc.placement_entries, 2);
+        assert!(acc.bytes > 0);
+    }
+
+    #[test]
+    fn model_cost_is_linear_in_entries() {
+        let mut acc = CostAccounting::default();
+        for rank in 0..10 {
+            acc.record(&Message::PlacementEntry { router: 0, rank });
+        }
+        assert!((acc.model_cost(0.5, 3.0) - (0.5 * 10.0 + 3.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+use ccn_model::ModelError;
+use ccn_zipf::ZipfError;
+
+/// Errors produced by the coordination layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoordError {
+    /// The underlying optimization model failed.
+    Model(ModelError),
+    /// Online exponent estimation failed.
+    Fit(ZipfError),
+    /// A protocol precondition was violated.
+    Protocol {
+        /// Explanation of the violated precondition.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::Model(e) => write!(f, "model error: {e}"),
+            CoordError::Fit(e) => write!(f, "estimation error: {e}"),
+            CoordError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+        }
+    }
+}
+
+impl Error for CoordError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoordError::Model(e) => Some(e),
+            CoordError::Fit(e) => Some(e),
+            CoordError::Protocol { .. } => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoordError {
+    fn from(e: ModelError) -> Self {
+        CoordError::Model(e)
+    }
+}
+
+impl From<ZipfError> for CoordError {
+    fn from(e: ZipfError) -> Self {
+        CoordError::Fit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoordError::Protocol { reason: "no routers".into() };
+        assert!(e.to_string().contains("no routers"));
+        assert!(Error::source(&e).is_none());
+        let e = CoordError::from(ZipfError::DegenerateSample { reason: "empty" });
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoordError>();
+    }
+}

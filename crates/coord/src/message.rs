@@ -1,0 +1,98 @@
+//! Protocol messages and their wire-size accounting.
+
+/// A coordination-protocol message. Sizes are deliberately simple,
+/// deterministic functions of the payload so that cost accounting is
+/// reproducible.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Message {
+    /// Router → coordinator: local request statistics.
+    StatsReport {
+        /// Reporting router.
+        router: usize,
+        /// Number of (rank, count) samples included.
+        samples: usize,
+    },
+    /// Coordinator → router: provisioning directive (coordination
+    /// level and slice boundaries).
+    Directive {
+        /// Target router.
+        router: usize,
+    },
+    /// Coordinator → router: one placement entry for one coordinated
+    /// content — the per-content term of Eq. 3.
+    PlacementEntry {
+        /// Target router.
+        router: usize,
+        /// Coordinated content rank.
+        rank: u64,
+    },
+    /// Router → coordinator: acknowledgement.
+    Ack {
+        /// Acknowledging router.
+        router: usize,
+    },
+}
+
+/// Fixed per-message header size in bytes.
+pub const HEADER_BYTES: u64 = 16;
+
+/// Bytes per (rank, count) statistics sample.
+pub const SAMPLE_BYTES: u64 = 12;
+
+/// Bytes per placement entry payload.
+pub const ENTRY_BYTES: u64 = 8;
+
+impl Message {
+    /// Wire size of this message in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Message::StatsReport { samples, .. } => {
+                HEADER_BYTES + SAMPLE_BYTES * (*samples as u64)
+            }
+            Message::Directive { .. } => HEADER_BYTES + 24,
+            Message::PlacementEntry { .. } => HEADER_BYTES + ENTRY_BYTES,
+            Message::Ack { .. } => HEADER_BYTES,
+        }
+    }
+
+    /// The router this message is addressed to or from.
+    #[must_use]
+    pub fn router(&self) -> usize {
+        match self {
+            Message::StatsReport { router, .. }
+            | Message::Directive { router }
+            | Message::PlacementEntry { router, .. }
+            | Message::Ack { router } => *router,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_positive_and_payload_sensitive() {
+        let small = Message::StatsReport { router: 0, samples: 1 };
+        let large = Message::StatsReport { router: 0, samples: 100 };
+        assert!(large.size_bytes() > small.size_bytes());
+        assert_eq!(Message::Ack { router: 1 }.size_bytes(), HEADER_BYTES);
+        assert_eq!(
+            Message::PlacementEntry { router: 1, rank: 42 }.size_bytes(),
+            HEADER_BYTES + ENTRY_BYTES
+        );
+    }
+
+    #[test]
+    fn router_accessor_covers_all_variants() {
+        let msgs = [
+            Message::StatsReport { router: 3, samples: 0 },
+            Message::Directive { router: 3 },
+            Message::PlacementEntry { router: 3, rank: 1 },
+            Message::Ack { router: 3 },
+        ];
+        assert!(msgs.iter().all(|m| m.router() == 3));
+    }
+}

@@ -1,0 +1,157 @@
+//! Coordination under message loss.
+//!
+//! The paper's `W(x)` prices a loss-free round. Real control planes
+//! retransmit: with per-message loss probability `p` and
+//! acknowledgement-triggered retransmission, each message costs
+//! `1/(1−p)` transmissions in expectation, and the round's convergence
+//! bound stretches by the expected number of retransmission rounds for
+//! the *slowest* message (a maximum over geometric random variables).
+//! This module quantifies both — analytically and by seeded Monte
+//! Carlo — so the loss-free `W(x)` can be read as a lower bound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::CoordError;
+
+/// Cost inflation of one provisioning round under message loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossReport {
+    /// Per-message loss probability.
+    pub loss_probability: f64,
+    /// Expected transmissions per message, `1/(1−p)`.
+    pub expected_transmissions: f64,
+    /// Analytic estimate of the expected number of attempts needed by
+    /// the slowest of `messages` parallel messages (the round's
+    /// convergence multiplier): the classic extreme-value asymptotic
+    /// `E[max of m geometrics] ≈ log_{1/p}(m) + γ/ln(1/p) + 1/2`.
+    pub expected_rounds: f64,
+    /// Monte-Carlo measurement of the same maximum (seeded).
+    pub simulated_rounds: f64,
+    /// Total transmissions measured across the simulated round.
+    pub simulated_transmissions: u64,
+}
+
+/// Quantifies retransmission inflation for a round of `messages`
+/// parallel messages under i.i.d. loss probability `p`, using `trials`
+/// Monte-Carlo repetitions with the given seed.
+///
+/// # Errors
+///
+/// Returns [`CoordError::Protocol`] for `p ∉ [0, 1)`, zero messages,
+/// or zero trials.
+pub fn loss_inflation(
+    messages: u64,
+    p: f64,
+    trials: u32,
+    seed: u64,
+) -> Result<LossReport, CoordError> {
+    if !(0.0..1.0).contains(&p) {
+        return Err(CoordError::Protocol {
+            reason: format!("loss probability {p} outside [0, 1)"),
+        });
+    }
+    if messages == 0 || trials == 0 {
+        return Err(CoordError::Protocol {
+            reason: "need at least one message and one trial".into(),
+        });
+    }
+    let expected_transmissions = 1.0 / (1.0 - p);
+    let expected_rounds = if p == 0.0 {
+        1.0
+    } else {
+        // Extreme-value asymptotic for the max of m iid geometrics.
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        let ln_inv_p = (1.0 / p).ln();
+        ((messages as f64).ln() + EULER_GAMMA) / ln_inv_p + 0.5
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total_rounds = 0u64;
+    let mut total_tx = 0u64;
+    for _ in 0..trials {
+        let mut worst = 0u64;
+        for _ in 0..messages {
+            // Attempts until first success.
+            let mut attempts = 1u64;
+            while rng.gen::<f64>() < p {
+                attempts += 1;
+            }
+            total_tx += attempts;
+            worst = worst.max(attempts);
+        }
+        total_rounds += worst;
+    }
+    Ok(LossReport {
+        loss_probability: p,
+        expected_transmissions,
+        expected_rounds,
+        simulated_rounds: total_rounds as f64 / f64::from(trials),
+        simulated_transmissions: total_tx,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_round_is_free() {
+        let r = loss_inflation(100, 0.0, 10, 1).unwrap();
+        assert_eq!(r.expected_transmissions, 1.0);
+        assert_eq!(r.expected_rounds, 1.0);
+        assert_eq!(r.simulated_rounds, 1.0);
+        assert_eq!(r.simulated_transmissions, 1_000);
+    }
+
+    #[test]
+    fn analytic_and_simulated_agree() {
+        let r = loss_inflation(200, 0.1, 400, 7).unwrap();
+        // Per-message inflation: 1/(1-0.1) = 1.111...
+        let measured_per_msg = r.simulated_transmissions as f64 / (200.0 * 400.0);
+        assert!(
+            (measured_per_msg - r.expected_transmissions).abs() < 0.02,
+            "per-message {measured_per_msg} vs {}",
+            r.expected_transmissions
+        );
+        // Convergence multiplier: analytic approx within 15% of MC.
+        assert!(
+            (r.expected_rounds - r.simulated_rounds).abs() / r.simulated_rounds < 0.15,
+            "rounds {} vs {}",
+            r.expected_rounds,
+            r.simulated_rounds
+        );
+    }
+
+    #[test]
+    fn more_loss_means_more_rounds() {
+        let low = loss_inflation(100, 0.05, 100, 3).unwrap();
+        let high = loss_inflation(100, 0.3, 100, 3).unwrap();
+        assert!(high.expected_rounds > low.expected_rounds);
+        assert!(high.simulated_rounds > low.simulated_rounds);
+        assert!(high.expected_transmissions > low.expected_transmissions);
+    }
+
+    #[test]
+    fn more_messages_stretch_the_tail() {
+        // The slowest of many messages takes longer than of few.
+        let few = loss_inflation(10, 0.2, 200, 4).unwrap();
+        let many = loss_inflation(10_000, 0.2, 200, 4).unwrap();
+        assert!(many.simulated_rounds > few.simulated_rounds);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(loss_inflation(10, 1.0, 10, 1).is_err());
+        assert!(loss_inflation(10, -0.1, 10, 1).is_err());
+        assert!(loss_inflation(0, 0.1, 10, 1).is_err());
+        assert!(loss_inflation(10, 0.1, 0, 1).is_err());
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let a = loss_inflation(50, 0.15, 50, 9).unwrap();
+        let b = loss_inflation(50, 0.15, 50, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

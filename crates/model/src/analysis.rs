@@ -1,0 +1,196 @@
+//! Sensitivity and stability analysis of the optimal strategy.
+//!
+//! The paper observes (Figure 4) that `ℓ*(α)` has a *sensitive range*:
+//! a window of trade-off weights in which the optimal coordination
+//! level reacts sharply to small changes of `α` — e.g. `α ∈ [0.2, 0.4]`
+//! for `γ = 2` shifting to `[0.6, 0.8]` for `γ = 10`. Operators should
+//! tune `α` carefully inside this window. This module quantifies the
+//! phenomenon: [`ell_star_curve`] traces `ℓ*(α)`,
+//! [`alpha_sensitivity`] estimates `dℓ*/dα`, and [`sensitive_range`]
+//! extracts the window where sensitivity exceeds half its peak.
+
+use crate::{CacheModel, ModelError, ModelParams};
+
+/// A traced `ℓ*(α)` curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllStarCurve {
+    /// The α grid.
+    pub alphas: Vec<f64>,
+    /// The optimal coordination level at each α.
+    pub ell_stars: Vec<f64>,
+}
+
+/// The sensitive range of the trade-off weight (Figure 4's
+/// phenomenon): where `dℓ*/dα` exceeds `threshold × max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitiveRange {
+    /// Lower edge of the sensitive window.
+    pub alpha_low: f64,
+    /// Upper edge of the sensitive window.
+    pub alpha_high: f64,
+    /// Peak sensitivity `max_α dℓ*/dα`.
+    pub peak_sensitivity: f64,
+    /// α at which the peak occurs.
+    pub peak_alpha: f64,
+}
+
+fn solve_ell(params: ModelParams, alpha: f64) -> Result<f64, ModelError> {
+    let model = CacheModel::new(params.with_alpha(alpha)?)?;
+    Ok(model.optimal_exact()?.ell_star)
+}
+
+/// Traces `ℓ*(α)` over `points` uniformly spaced weights in
+/// `[alpha_lo, alpha_hi]` using the exact solver.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] for a malformed α interval
+/// and propagates solver errors.
+pub fn ell_star_curve(
+    params: ModelParams,
+    alpha_lo: f64,
+    alpha_hi: f64,
+    points: usize,
+) -> Result<EllStarCurve, ModelError> {
+    if !(0.0..=1.0).contains(&alpha_lo) || !(0.0..=1.0).contains(&alpha_hi) || alpha_lo > alpha_hi
+    {
+        return Err(ModelError::InvalidParameter {
+            name: "alpha range",
+            value: alpha_lo,
+            constraint: "0 <= alpha_lo <= alpha_hi <= 1",
+        });
+    }
+    let points = points.max(2);
+    let mut alphas = Vec::with_capacity(points);
+    let mut ells = Vec::with_capacity(points);
+    for i in 0..points {
+        let a = alpha_lo + (alpha_hi - alpha_lo) * i as f64 / (points - 1) as f64;
+        alphas.push(a);
+        ells.push(solve_ell(params, a)?);
+    }
+    Ok(EllStarCurve { alphas, ell_stars: ells })
+}
+
+/// Central-difference estimate of `dℓ*/dα` at `alpha` (one-sided at the
+/// `[0, 1]` boundary).
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn alpha_sensitivity(params: ModelParams, alpha: f64, h: f64) -> Result<f64, ModelError> {
+    let lo = (alpha - h).max(0.0);
+    let hi = (alpha + h).min(1.0);
+    let e_lo = solve_ell(params, lo)?;
+    let e_hi = solve_ell(params, hi)?;
+    Ok((e_hi - e_lo) / (hi - lo))
+}
+
+/// Locates the sensitive α-window: the contiguous span around the peak
+/// of `dℓ*/dα` where sensitivity stays above `threshold` times the
+/// peak. `threshold` is clamped into `(0, 1]`.
+///
+/// # Errors
+///
+/// Propagates solver errors from the underlying curve trace.
+pub fn sensitive_range(
+    params: ModelParams,
+    points: usize,
+    threshold: f64,
+) -> Result<SensitiveRange, ModelError> {
+    let threshold = threshold.clamp(1e-6, 1.0);
+    let curve = ell_star_curve(params, 0.0, 1.0, points.max(8))?;
+    let n = curve.alphas.len();
+    // Forward differences as sensitivity samples at midpoints.
+    let mut sens = Vec::with_capacity(n - 1);
+    for i in 0..n - 1 {
+        let da = curve.alphas[i + 1] - curve.alphas[i];
+        sens.push((curve.ell_stars[i + 1] - curve.ell_stars[i]) / da);
+    }
+    let (peak_idx, &peak) = sens
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("sensitivities are finite"))
+        .expect("at least one interval");
+    let cut = peak * threshold;
+    let mut lo = peak_idx;
+    while lo > 0 && sens[lo - 1] >= cut {
+        lo -= 1;
+    }
+    let mut hi = peak_idx;
+    while hi + 1 < sens.len() && sens[hi + 1] >= cut {
+        hi += 1;
+    }
+    Ok(SensitiveRange {
+        alpha_low: curve.alphas[lo],
+        alpha_high: curve.alphas[hi + 1],
+        peak_sensitivity: peak,
+        peak_alpha: 0.5 * (curve.alphas[peak_idx] + curve.alphas[peak_idx + 1]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn curve_is_monotone_nondecreasing_in_alpha() {
+        let params = presets::table_iv_defaults().unwrap();
+        let curve = ell_star_curve(params, 0.0, 1.0, 21).unwrap();
+        for w in curve.ell_stars.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "ell* must grow with alpha: {w:?}");
+        }
+        assert!(curve.ell_stars[0] < 0.05, "alpha=0 favours no coordination");
+        assert!(*curve.ell_stars.last().unwrap() > 0.5, "alpha=1 favours coordination");
+    }
+
+    #[test]
+    fn rejects_malformed_alpha_range() {
+        let params = presets::table_iv_defaults().unwrap();
+        assert!(ell_star_curve(params, 0.8, 0.2, 5).is_err());
+        assert!(ell_star_curve(params, -0.1, 0.5, 5).is_err());
+    }
+
+    #[test]
+    fn sensitivity_positive_in_transition() {
+        let params = presets::table_iv_defaults().unwrap();
+        let s = alpha_sensitivity(params, 0.5, 0.01).unwrap();
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn higher_gamma_dominates_pointwise_and_has_a_sensitive_range() {
+        // Figure 4's pointwise claim: for the same alpha, a higher
+        // gamma yields a higher coordination level. (The prose also
+        // claims the sensitive window moves to *higher* alpha as gamma
+        // grows, which contradicts this dominance for S-shaped curves;
+        // the model implies the opposite shift — see EXPERIMENTS.md.)
+        let curve = |gamma: f64| {
+            let p = presets::fig4_family(gamma, 0.5).unwrap();
+            ell_star_curve(p, 0.05, 1.0, 20).unwrap()
+        };
+        let lo = curve(2.0);
+        let hi = curve(10.0);
+        for (a, (e2, e10)) in lo
+            .alphas
+            .iter()
+            .zip(lo.ell_stars.iter().zip(hi.ell_stars.iter()))
+        {
+            assert!(e10 >= e2, "alpha={a}: gamma=10 ({e10}) below gamma=2 ({e2})");
+        }
+        // And the sensitive-range machinery finds a positive peak.
+        let p = presets::fig4_family(2.0, 0.5).unwrap();
+        let r = sensitive_range(p, 101, 0.5).unwrap();
+        assert!(r.alpha_low <= r.alpha_high);
+        assert!(r.peak_sensitivity > 0.0);
+        let p10 = presets::fig4_family(10.0, 0.5).unwrap();
+        let r10 = sensitive_range(p10, 101, 0.5).unwrap();
+        // Model-implied direction: larger gamma transitions earlier.
+        assert!(
+            r10.peak_alpha <= r.peak_alpha + 0.05,
+            "gamma=10 peak {} vs gamma=2 peak {}",
+            r10.peak_alpha,
+            r.peak_alpha
+        );
+    }
+}

@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+use ccn_numerics::NumericsError;
+use ccn_zipf::ZipfError;
+
+/// Errors produced when building or solving the performance–cost model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A parameter violated one of Lemma 1's existence conditions.
+    InvalidParameter {
+        /// The offending parameter's name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// The Lemma-1 (or domain) constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The underlying Zipf machinery rejected the popularity setup.
+    Zipf(ZipfError),
+    /// A numerical solver failed.
+    Numerics(NumericsError),
+    /// A solver was invoked outside its validity domain (e.g. the
+    /// closed form at `α != 1`).
+    SolverDomain {
+        /// Which solver was misused.
+        solver: &'static str,
+        /// Why the parameters are outside its domain.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name} = {value}: must satisfy {constraint}")
+            }
+            ModelError::Zipf(e) => write!(f, "zipf error: {e}"),
+            ModelError::Numerics(e) => write!(f, "numerical error: {e}"),
+            ModelError::SolverDomain { solver, reason } => {
+                write!(f, "solver {solver} used outside its domain: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Zipf(e) => Some(e),
+            ModelError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ZipfError> for ModelError {
+    fn from(e: ZipfError) -> Self {
+        ModelError::Zipf(e)
+    }
+}
+
+impl From<NumericsError> for ModelError {
+    fn from(e: NumericsError) -> Self {
+        ModelError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_constraint() {
+        let e = ModelError::InvalidParameter {
+            name: "s",
+            value: 1.0,
+            constraint: "s in (0,1) or (1,2)",
+        };
+        assert!(e.to_string().contains("s = 1"));
+    }
+
+    #[test]
+    fn wraps_sources() {
+        let e = ModelError::from(ZipfError::InvalidCatalogue { n: 0.0 });
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

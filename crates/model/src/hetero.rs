@@ -1,0 +1,289 @@
+//! Heterogeneous-capacity extension (the paper's future work, §VII).
+//!
+//! The base model assumes every router has the same capacity `c`. Here
+//! router `i` has capacity `c_i` and devotes a fraction `ℓ_i` to the
+//! coordinated pool:
+//!
+//! - local prefix: the top `k_i = (1 − ℓ_i)·c_i` contents;
+//! - coordinated pool: `X = Σ_i ℓ_i·c_i` *distinct* contents placed at
+//!   ranks `(k_max, k_max + X]` where `k_max = max_i k_i`, which keeps
+//!   the pool disjoint from every local prefix.
+//!
+//! A client attached to router `i` then sees a local hit for ranks
+//! `≤ k_i`, a peer hit for ranks in `(k_i, k_max + X]` (either another
+//! router's larger local prefix or the pool), and the origin
+//! otherwise. With all capacities equal this reduces exactly to Eq. 2.
+
+use ccn_numerics::minimize_convex;
+use ccn_zipf::ContinuousZipf;
+
+use crate::{ModelError, ModelParams};
+
+/// Heterogeneous-capacity variant of the performance–cost model.
+///
+/// Latency tiers, popularity, trade-off weight, and unit cost come
+/// from a base [`ModelParams`]; its homogeneous `capacity` is ignored
+/// in favour of the per-router list.
+#[derive(Debug, Clone)]
+pub struct HeteroModel {
+    base: ModelParams,
+    capacities: Vec<f64>,
+    f: ContinuousZipf,
+}
+
+/// Result of optimizing per-router coordination levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroStrategy {
+    /// Coordination level per router, aligned with the capacity list.
+    pub levels: Vec<f64>,
+    /// Total coordinated pool size `Σ ℓ_i·c_i` in contents.
+    pub pool_size: f64,
+    /// Objective value at the optimum.
+    pub objective_value: f64,
+}
+
+impl HeteroModel {
+    /// Builds the heterogeneous model from base parameters and a
+    /// per-router capacity list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when fewer than two
+    /// routers are given, any capacity is non-positive, or the total
+    /// capacity reaches the catalogue size.
+    pub fn new(base: ModelParams, capacities: Vec<f64>) -> Result<Self, ModelError> {
+        if capacities.len() < 2 {
+            return Err(ModelError::InvalidParameter {
+                name: "capacities",
+                value: capacities.len() as f64,
+                constraint: "at least 2 routers",
+            });
+        }
+        for &c in &capacities {
+            if !c.is_finite() || c <= 0.0 {
+                return Err(ModelError::InvalidParameter {
+                    name: "capacity",
+                    value: c,
+                    constraint: "each capacity > 0 and finite",
+                });
+            }
+        }
+        let total: f64 = capacities.iter().sum();
+        if total >= base.catalogue() {
+            return Err(ModelError::InvalidParameter {
+                name: "total capacity",
+                value: total,
+                constraint: "sum of capacities < catalogue N",
+            });
+        }
+        let f = ContinuousZipf::new(base.zipf_exponent(), base.catalogue())?;
+        Ok(Self { base, capacities, f })
+    }
+
+    /// The per-router capacities.
+    #[must_use]
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    /// Expected latency averaged over clients (one client population
+    /// per router, uniform request share) for the given per-router
+    /// levels. Levels are clamped into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len()` differs from the router count.
+    #[must_use]
+    pub fn routing_performance(&self, levels: &[f64]) -> f64 {
+        assert_eq!(levels.len(), self.capacities.len(), "one level per router");
+        let p = &self.base;
+        let locals: Vec<f64> = self
+            .capacities
+            .iter()
+            .zip(levels)
+            .map(|(&c, &l)| (1.0 - l.clamp(0.0, 1.0)) * c)
+            .collect();
+        let k_max = locals.iter().fold(0.0f64, |m, &k| m.max(k));
+        let pool: f64 = self
+            .capacities
+            .iter()
+            .zip(levels)
+            .map(|(&c, &l)| l.clamp(0.0, 1.0) * c)
+            .sum();
+        let f_net = self.f.cdf(k_max + pool);
+        let mut acc = 0.0;
+        for &k_i in &locals {
+            let f_local = self.f.cdf(k_i).min(f_net);
+            acc += f_local * p.d0() + (f_net - f_local) * p.d1() + (1.0 - f_net) * p.d2();
+        }
+        acc / locals.len() as f64
+    }
+
+    /// Coordination cost `w·Σ ℓ_i·c_i + ŵ`.
+    #[must_use]
+    pub fn coordination_cost(&self, levels: &[f64]) -> f64 {
+        let pool: f64 = self
+            .capacities
+            .iter()
+            .zip(levels)
+            .map(|(&c, &l)| l.clamp(0.0, 1.0) * c)
+            .sum();
+        self.base.unit_cost() * pool + self.base.fixed_cost()
+    }
+
+    /// Combined objective `α·T + (1−α)·W` for per-router levels.
+    #[must_use]
+    pub fn objective(&self, levels: &[f64]) -> f64 {
+        let a = self.base.alpha();
+        a * self.routing_performance(levels) + (1.0 - a) * self.coordination_cost(levels)
+    }
+
+    /// Optimizes a single *uniform* coordination level shared by every
+    /// router (the natural generalization of the paper's `ℓ*`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical failures from the minimizer.
+    pub fn optimize_uniform_level(&self) -> Result<HeteroStrategy, ModelError> {
+        let obj = |l: f64| {
+            let levels = vec![l; self.capacities.len()];
+            self.objective(&levels)
+        };
+        let min = minimize_convex(obj, 0.0, 1.0, 1e-10)?;
+        let levels = vec![min.argmin; self.capacities.len()];
+        Ok(HeteroStrategy {
+            pool_size: self
+                .capacities
+                .iter()
+                .zip(&levels)
+                .map(|(&c, &l)| c * l)
+                .sum(),
+            objective_value: min.value,
+            levels,
+        })
+    }
+
+    /// Optimizes per-router levels by cyclic coordinate descent
+    /// starting from the uniform optimum: each pass minimizes the
+    /// objective over one router's level with the others fixed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical failures from the inner minimizer.
+    pub fn optimize_per_router(&self, passes: usize) -> Result<HeteroStrategy, ModelError> {
+        let mut best = self.optimize_uniform_level()?;
+        let mut levels = best.levels.clone();
+        for _ in 0..passes {
+            for i in 0..levels.len() {
+                let min = minimize_convex(
+                    |l| {
+                        let mut trial = levels.clone();
+                        trial[i] = l;
+                        self.objective(&trial)
+                    },
+                    0.0,
+                    1.0,
+                    1e-9,
+                )?;
+                levels[i] = min.argmin;
+            }
+        }
+        let value = self.objective(&levels);
+        if value <= best.objective_value {
+            best = HeteroStrategy {
+                pool_size: self
+                    .capacities
+                    .iter()
+                    .zip(&levels)
+                    .map(|(&c, &l)| c * l)
+                    .sum(),
+                objective_value: value,
+                levels,
+            };
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheModel, ModelParams};
+
+    fn base(alpha: f64) -> ModelParams {
+        ModelParams::builder().alpha(alpha).build().unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_capacity_lists() {
+        assert!(HeteroModel::new(base(0.8), vec![1000.0]).is_err());
+        assert!(HeteroModel::new(base(0.8), vec![1000.0, -5.0]).is_err());
+        assert!(HeteroModel::new(base(0.8), vec![1e6, 1e6]).is_err());
+    }
+
+    #[test]
+    fn homogeneous_case_reduces_to_base_model() {
+        let params = base(0.8);
+        let n = params.routers() as usize;
+        let hetero = HeteroModel::new(params, vec![params.capacity(); n]).unwrap();
+        let flat = CacheModel::new(params).unwrap();
+        for &l in &[0.0, 0.25, 0.5, 0.9] {
+            let x = l * params.capacity();
+            let t_hetero = hetero.routing_performance(&vec![l; n]);
+            let t_flat = flat.routing_performance(x);
+            assert!(
+                (t_hetero - t_flat).abs() < 1e-9,
+                "l={l}: hetero {t_hetero} vs flat {t_flat}"
+            );
+            let w_hetero = hetero.coordination_cost(&vec![l; n]);
+            let w_flat = flat.coordination_cost(x);
+            assert!((w_hetero - w_flat).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_optimum_matches_base_model_when_homogeneous() {
+        let params = base(0.9);
+        let n = params.routers() as usize;
+        let hetero = HeteroModel::new(params, vec![params.capacity(); n]).unwrap();
+        let uni = hetero.optimize_uniform_level().unwrap();
+        let flat = CacheModel::new(params).unwrap().optimal_exact().unwrap();
+        assert!(
+            (uni.levels[0] - flat.ell_star).abs() < 1e-4,
+            "uniform {} vs flat {}",
+            uni.levels[0],
+            flat.ell_star
+        );
+    }
+
+    #[test]
+    fn per_router_never_worse_than_uniform() {
+        let mut caps = vec![200.0; 10];
+        caps.extend(vec![2000.0; 10]);
+        let hetero = HeteroModel::new(base(0.8), caps).unwrap();
+        let uni = hetero.optimize_uniform_level().unwrap();
+        let per = hetero.optimize_per_router(3).unwrap();
+        assert!(
+            per.objective_value <= uni.objective_value + 1e-9,
+            "per-router {} vs uniform {}",
+            per.objective_value,
+            uni.objective_value
+        );
+        assert_eq!(per.levels.len(), 20);
+    }
+
+    #[test]
+    fn more_total_capacity_lowers_latency() {
+        let small = HeteroModel::new(base(1.0), vec![500.0; 20]).unwrap();
+        let large = HeteroModel::new(base(1.0), vec![5000.0; 20]).unwrap();
+        let l = vec![0.5; 20];
+        assert!(large.routing_performance(&l) < small.routing_performance(&l));
+    }
+
+    #[test]
+    #[should_panic(expected = "one level per router")]
+    fn mismatched_levels_panic() {
+        let hetero = HeteroModel::new(base(0.8), vec![100.0, 200.0]).unwrap();
+        let _ = hetero.routing_performance(&[0.5]);
+    }
+}

@@ -1,0 +1,41 @@
+/// How request traffic splits across the three latency tiers for a
+/// given coordination slice `x` (Eq. 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Fraction of requests served by the client's own router
+    /// (`F(c − x)`), at latency `d0`.
+    pub local_fraction: f64,
+    /// Fraction served by an in-network peer
+    /// (`F(c − x + n·x) − F(c − x)`), at latency `d1`.
+    pub peer_fraction: f64,
+    /// Fraction escaping to the origin (`1 − F(c − x + n·x)`), at
+    /// latency `d2`.
+    pub origin_fraction: f64,
+    /// The expected latency `T(x)` — the tier fractions weighted by
+    /// `d0`, `d1`, `d2`.
+    pub expected_latency: f64,
+}
+
+impl LatencyBreakdown {
+    /// Sum of the three fractions; 1 up to floating-point error.
+    #[must_use]
+    pub fn total_fraction(&self) -> f64 {
+        self.local_fraction + self.peer_fraction + self.origin_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_adds_up() {
+        let b = LatencyBreakdown {
+            local_fraction: 0.2,
+            peer_fraction: 0.3,
+            origin_fraction: 0.5,
+            expected_latency: 1.0,
+        };
+        assert!((b.total_fraction() - 1.0).abs() < 1e-12);
+    }
+}

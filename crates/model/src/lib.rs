@@ -1,0 +1,106 @@
+//! The performance–cost model of *"Coordinating In-Network Caching in
+//! Content-Centric Networks: Model and Analysis"* (ICDCS 2013) — the
+//! paper's primary contribution.
+//!
+//! # The model
+//!
+//! A single-domain CCN has `n` routers, each with storage capacity `c`
+//! (contents are unit size), serving a catalogue of `N` objects whose
+//! popularity is Zipf(`s`). Each router splits its store:
+//!
+//! - `c − x` slots hold the globally most popular objects
+//!   (**non-coordinated**, every router holds the same prefix);
+//! - `x` slots join a network-wide **coordinated** pool in which all
+//!   `n·x` slots hold *distinct* objects (ranks `c−x+1 ..= c−x+n·x`).
+//!
+//! Requests hit three latency tiers: `d0` (local router), `d1`
+//! (in-network peer), `d2` (origin). The expected latency is Eq. 2:
+//!
+//! ```text
+//! T(x) = F(c−x)·d0 + [F(c−x+n·x) − F(c−x)]·d1 + [1 − F(c−x+n·x)]·d2
+//! ```
+//!
+//! with `F` the (continuous) Zipf CDF. Coordination costs
+//! `W(x) = w·n·x + ŵ` (Eq. 3), and the provisioning objective is the
+//! convex combination `T_w(x) = α·T(x) + (1−α)·W(x)` (Eq. 4). The
+//! **optimal strategy** is `ℓ* = x*/c` minimizing `T_w`.
+//!
+//! # What this crate provides
+//!
+//! - [`ModelParams`]: validated parameter set (Lemma 1's conditions)
+//!   with a builder and the paper's Table-IV presets ([`presets`]);
+//! - [`CacheModel`]: `T`, `W`, `T_w` (continuous and discrete) and the
+//!   three optimal-strategy solvers — exact convex minimization,
+//!   the Lemma-2 fixed point, and Theorem 2's closed form —
+//!   plus the performance gains `G_O` and `G_R` (§IV-E);
+//! - [`verify`]: numerical verification of Lemma 1 (convexity /
+//!   existence) and Theorem 1 (uniqueness) on arbitrary parameters;
+//! - [`analysis`]: sensitivity of `ℓ*` to `α` and the "sensitive
+//!   range" phenomenon of Figure 4;
+//! - [`tradeoff`]: the unfolded performance-vs-cost Pareto frontier,
+//!   its knee, and the inverse mapping from a level back to `α`;
+//! - [`regimes`]: classification of the optimum into its three regimes
+//!   and the `(s, α)` phase map of §IV-D's dichotomy;
+//! - [`hetero`]: the heterogeneous-capacity extension sketched in the
+//!   paper's future work;
+//! - [`planner`]: turns measured topology aggregates
+//!   (`ccn-topology::params`) into a provisioning recommendation.
+//!
+//! # Erratum implemented here
+//!
+//! The published closed form (Eq. 8) reads
+//! `ℓ* ≈ 1/(γ^{1/s}·n^{1−1/s} + 1)`, which *decreases* in `γ` and
+//! contradicts both the paper's own Figure 4 ("a higher γ leads to a
+//! higher level of coordination") and its Figure-5 anchors. Solving
+//! the paper's first-order condition (Eq. 10) yields
+//! `ℓ* ≈ 1/(γ^{−1/s}·n^{1−1/s} + 1)`, which reproduces those anchors
+//! exactly (ℓ* ≈ 0.94 at s = 0.8 and ℓ* ≈ 0.35 as s → 2 for γ = 5,
+//! n = 20). [`CacheModel::closed_form_alpha1`] implements the
+//! corrected form; the literal published expression is kept as
+//! [`CacheModel::published_closed_form_alpha1`] for comparison. See
+//! `EXPERIMENTS.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use ccn_model::{ModelParams, CacheModel};
+//!
+//! # fn main() -> Result<(), ccn_model::ModelError> {
+//! let params = ModelParams::builder()
+//!     .zipf_exponent(0.8)
+//!     .routers(20)
+//!     .catalogue(1e6)
+//!     .capacity(1e3)
+//!     .latency_tiers(0.0, 2.2842, 5.0) // d0, d1−d0, γ
+//!     .amortized_unit_cost(26.7)       // w in ms, amortized per content
+//!     .alpha(0.8)
+//!     .build()?;
+//! let model = CacheModel::new(params)?;
+//! let opt = model.optimal_exact()?;
+//! assert!(opt.ell_star > 0.0 && opt.ell_star < 1.0);
+//! let gains = model.gains(opt.x_star);
+//! assert!(gains.origin_load_reduction > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod analysis;
+pub mod hetero;
+pub mod planner;
+pub mod presets;
+pub mod regimes;
+pub mod tradeoff;
+pub mod verify;
+
+mod error;
+mod latency;
+mod model;
+mod params;
+
+pub use error::ModelError;
+pub use latency::LatencyBreakdown;
+pub use model::{CacheModel, Gains, OptimalStrategy, SolveMethod};
+pub use params::{ModelParams, ModelParamsBuilder};

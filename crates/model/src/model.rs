@@ -1,0 +1,751 @@
+use ccn_numerics::{brent, minimize_convex, newton_bisect};
+use ccn_zipf::{harmonic, ContinuousZipf};
+
+use crate::{LatencyBreakdown, ModelError, ModelParams};
+
+/// Which solver produced an [`OptimalStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SolveMethod {
+    /// Exact convex minimization of `T_w` over `[0, c]` (no Lemma-2
+    /// approximations).
+    Exact,
+    /// Root of the Lemma-2 fixed-point condition
+    /// `a·ℓ^{−s} = (1−ℓ)^{−s} + b` (Eq. 7).
+    FixedPoint,
+    /// Theorem 2's closed form for `α = 1`, with the γ-exponent sign
+    /// corrected (see the crate-level erratum note).
+    ClosedFormAlpha1,
+    /// The closed form exactly as published (Eq. 8); kept for
+    /// comparison against the erratum.
+    PublishedClosedFormAlpha1,
+}
+
+impl std::fmt::Display for SolveMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SolveMethod::Exact => "exact",
+            SolveMethod::FixedPoint => "fixed-point",
+            SolveMethod::ClosedFormAlpha1 => "closed-form",
+            SolveMethod::PublishedClosedFormAlpha1 => "published-closed-form",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An optimal provisioning strategy: how much of each router's storage
+/// to dedicate to coordinated caching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalStrategy {
+    /// Optimal coordinated slice per router, `x* ∈ [0, c]` contents.
+    pub x_star: f64,
+    /// Optimal coordination level `ℓ* = x*/c ∈ [0, 1]`.
+    pub ell_star: f64,
+    /// Objective value `T_w(x*)`.
+    pub objective_value: f64,
+    /// Solver that produced this strategy.
+    pub method: SolveMethod,
+}
+
+/// Performance gains of a strategy relative to fully non-coordinated
+/// caching (`x = 0`), §IV-E of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gains {
+    /// Origin load reduction `G_O ∈ [0, 1]`.
+    pub origin_load_reduction: f64,
+    /// Routing performance improvement `G_R = 1 − T(x*)/T(0)`.
+    pub routing_improvement: f64,
+    /// Absolute origin load (escape probability) under the strategy.
+    pub origin_load: f64,
+    /// Absolute origin load under non-coordinated caching.
+    pub origin_load_noncoordinated: f64,
+}
+
+/// The paper's performance–cost model, bound to a validated parameter
+/// set: evaluates `T`, `W`, `T_w` and solves for the optimal strategy.
+///
+/// # Example
+///
+/// ```
+/// use ccn_model::{CacheModel, ModelParams};
+///
+/// # fn main() -> Result<(), ccn_model::ModelError> {
+/// let model = CacheModel::new(ModelParams::builder().alpha(1.0).build()?)?;
+/// let exact = model.optimal_exact()?;
+/// let closed = model.closed_form_alpha1();
+/// assert!((exact.ell_star - closed.ell_star).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    params: ModelParams,
+    f: ContinuousZipf,
+}
+
+impl CacheModel {
+    /// Binds the model to a validated parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::Zipf`] if the popularity CDF cannot be
+    /// constructed (catalogue too small).
+    pub fn new(params: ModelParams) -> Result<Self, ModelError> {
+        let f = ContinuousZipf::new(params.zipf_exponent(), params.catalogue())?;
+        Ok(Self { params, f })
+    }
+
+    /// The bound parameters.
+    #[must_use]
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// The continuous popularity CDF `F(·; s, N)` (Eq. 6).
+    #[must_use]
+    pub fn popularity(&self) -> &ContinuousZipf {
+        &self.f
+    }
+
+    fn clamp_x(&self, x: f64) -> f64 {
+        x.clamp(0.0, self.params.capacity())
+    }
+
+    /// Tier split and expected latency at coordination slice `x`
+    /// (Eq. 2). `x` is clamped into `[0, c]`.
+    #[must_use]
+    pub fn breakdown(&self, x: f64) -> LatencyBreakdown {
+        let p = &self.params;
+        let x = self.clamp_x(x);
+        let local_boundary = p.capacity() - x;
+        let coop_boundary = p.capacity() + (p.routers() - 1.0) * x;
+        let f_local = self.f.cdf(local_boundary);
+        let f_coop = self.f.cdf(coop_boundary).max(f_local);
+        let local = f_local;
+        let peer = f_coop - f_local;
+        let origin = 1.0 - f_coop;
+        LatencyBreakdown {
+            local_fraction: local,
+            peer_fraction: peer,
+            origin_fraction: origin,
+            expected_latency: local * p.d0() + peer * p.d1() + origin * p.d2(),
+        }
+    }
+
+    /// The routing performance `T(x)` — expected latency per request
+    /// under the continuous approximation (Eq. 2 + Eq. 6).
+    #[must_use]
+    pub fn routing_performance(&self, x: f64) -> f64 {
+        self.breakdown(x).expected_latency
+    }
+
+    /// `T(x)` computed with the *discrete* Zipf CDF (harmonic sums)
+    /// instead of the continuous approximation — the ground truth the
+    /// paper approximates. Storage break points are rounded to whole
+    /// contents.
+    #[must_use]
+    pub fn routing_performance_discrete(&self, x: f64) -> f64 {
+        let p = &self.params;
+        let x = self.clamp_x(x);
+        let s = p.zipf_exponent();
+        let n_cat = p.catalogue();
+        let local_boundary = (p.capacity() - x).round().max(0.0);
+        let coop_boundary = (p.capacity() + (p.routers() - 1.0) * x).round().min(n_cat);
+        let h_total = harmonic::generalized_harmonic_f64(n_cat, s);
+        let f_local = harmonic::generalized_harmonic_f64(local_boundary, s) / h_total;
+        let f_coop = (harmonic::generalized_harmonic_f64(coop_boundary, s) / h_total).max(f_local);
+        f_local * p.d0() + (f_coop - f_local) * p.d1() + (1.0 - f_coop) * p.d2()
+    }
+
+    /// The coordination cost `W(x) = w·n·x + ŵ` (Eq. 3).
+    #[must_use]
+    pub fn coordination_cost(&self, x: f64) -> f64 {
+        let p = &self.params;
+        p.unit_cost() * p.routers() * self.clamp_x(x) + p.fixed_cost()
+    }
+
+    /// The combined objective `T_w(x) = α·T(x) + (1−α)·W(x)` (Eq. 4).
+    #[must_use]
+    pub fn objective(&self, x: f64) -> f64 {
+        let a = self.params.alpha();
+        a * self.routing_performance(x) + (1.0 - a) * self.coordination_cost(x)
+    }
+
+    /// The Lemma-2 coefficients `(a, b)` of the fixed-point condition
+    /// `a·ℓ^{−s} = (1−ℓ)^{−s} + b`:
+    /// `a ≈ γ·n^{1−s}`,
+    /// `b ≈ ((1−α)/α)·((N^{1−s}−1)/(1−s))·((n−1)·w/(d1−d0))·c^s`.
+    ///
+    /// `b` is `+∞` at `α = 0` (cost-only objective).
+    #[must_use]
+    pub fn lemma2_coefficients(&self) -> (f64, f64) {
+        let p = &self.params;
+        let s = p.zipf_exponent();
+        let a = p.gamma() * p.routers().powf(1.0 - s);
+        let alpha = p.alpha();
+        let b = if alpha == 0.0 {
+            f64::INFINITY
+        } else {
+            (1.0 - alpha) / alpha * (p.catalogue().powf(1.0 - s) - 1.0) / (1.0 - s)
+                * ((p.routers() - 1.0) * p.unit_cost() / (p.d1() - p.d0()))
+                * p.capacity().powf(s)
+        };
+        (a, b)
+    }
+
+    /// Solves for the optimal strategy by exact convex minimization of
+    /// `T_w` over `[0, c]` — no Lemma-2 approximations, boundary optima
+    /// included.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::Numerics`] if the minimizer fails
+    /// (which Lemma 1's convexity guarantee rules out for valid
+    /// parameters).
+    pub fn optimal_exact(&self) -> Result<OptimalStrategy, ModelError> {
+        let c = self.params.capacity();
+        let tol = (c * 1e-12).max(1e-12);
+        let min = minimize_convex(|x| self.objective(x), 0.0, c, tol)?;
+        Ok(OptimalStrategy {
+            x_star: min.argmin,
+            ell_star: min.argmin / c,
+            objective_value: min.value,
+            method: SolveMethod::Exact,
+        })
+    }
+
+    /// Solves the Lemma-2 fixed-point condition (Eq. 7) by Brent's
+    /// method; Theorem 1 guarantees a unique root in `(0, 1)`.
+    ///
+    /// At `α = 0` the cost term dominates completely and the strategy
+    /// degenerates to `ℓ* = 0` (returned without root finding).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::Numerics`] if bracketing fails, which
+    /// indicates parameters outside Lemma 1's conditions.
+    pub fn optimal_fixed_point(&self) -> Result<OptimalStrategy, ModelError> {
+        let c = self.params.capacity();
+        let s = self.params.zipf_exponent();
+        let (a, b) = self.lemma2_coefficients();
+        if !b.is_finite() {
+            return Ok(OptimalStrategy {
+                x_star: 0.0,
+                ell_star: 0.0,
+                objective_value: self.objective(0.0),
+                method: SolveMethod::FixedPoint,
+            });
+        }
+        let g = |ell: f64| a * ell.powf(-s) - (1.0 - ell).powf(-s) - b;
+        let eps = 1e-12;
+        // For extreme exponents the unique root can sit closer to a
+        // boundary than f64 can resolve; clamp to the boundary then.
+        let ell = if g(eps) <= 0.0 {
+            0.0
+        } else if g(1.0 - eps) >= 0.0 {
+            1.0
+        } else {
+            brent(g, eps, 1.0 - eps, 1e-14)?.x
+        };
+        Ok(OptimalStrategy {
+            x_star: ell * c,
+            ell_star: ell,
+            objective_value: self.objective(ell * c),
+            method: SolveMethod::FixedPoint,
+        })
+    }
+
+    /// The discrete objective `α·T_discrete(x) + (1−α)·W(x)` at an
+    /// integer slice `x` — no Eq. 6 approximation anywhere.
+    #[must_use]
+    pub fn objective_discrete(&self, x: f64) -> f64 {
+        let a = self.params.alpha();
+        a * self.routing_performance_discrete(x) + (1.0 - a) * self.coordination_cost(x)
+    }
+
+    /// Minimizes the *discrete* objective over integer slices
+    /// `x ∈ {0, …, c}` by integer ternary search plus a neighbourhood
+    /// scan and boundary probes. This sidesteps Eq. 6 entirely —
+    /// relevant for `s > 1`, where the continuous approximation misses
+    /// the head atom and biases the optimum (see the
+    /// `ablation_continuous` experiment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for capacities too
+    /// large to enumerate as integer slots.
+    pub fn optimal_exact_discrete(&self) -> Result<OptimalStrategy, ModelError> {
+        let c = self.params.capacity();
+        if c > 1e15 {
+            return Err(ModelError::InvalidParameter {
+                name: "c",
+                value: c,
+                constraint: "capacity representable as an integer slot count",
+            });
+        }
+        let c_int = c.round() as i64;
+        let eval = |x: i64| self.objective_discrete(x as f64);
+        // Integer ternary search on the (near-)unimodal objective.
+        let (mut lo, mut hi) = (0i64, c_int);
+        while hi - lo > 3 {
+            let m1 = lo + (hi - lo) / 3;
+            let m2 = hi - (hi - lo) / 3;
+            if eval(m1) <= eval(m2) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        // Neighbourhood scan around the bracket plus the boundaries
+        // (the CDF clamp can hide a boundary dip, as in the continuous
+        // case).
+        let mut best_x = 0i64;
+        let mut best_v = f64::INFINITY;
+        let mut candidates: Vec<i64> = (lo.saturating_sub(2)..=(hi + 2).min(c_int)).collect();
+        candidates.push(0);
+        candidates.push(c_int);
+        for x in candidates {
+            if !(0..=c_int).contains(&x) {
+                continue;
+            }
+            let v = eval(x);
+            if v < best_v {
+                best_v = v;
+                best_x = x;
+            }
+        }
+        Ok(OptimalStrategy {
+            x_star: best_x as f64,
+            ell_star: best_x as f64 / c,
+            objective_value: best_v,
+            method: SolveMethod::Exact,
+        })
+    }
+
+    /// Like [`CacheModel::optimal_fixed_point`] but solved with
+    /// safeguarded Newton iterations using the residual's analytic
+    /// derivative `g'(ℓ) = −a·s·ℓ^{−s−1} − s·(1−ℓ)^{−s−1}` — fewer
+    /// function evaluations at the same tolerance (see the `solvers`
+    /// bench).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CacheModel::optimal_fixed_point`].
+    pub fn optimal_fixed_point_newton(&self) -> Result<OptimalStrategy, ModelError> {
+        let c = self.params.capacity();
+        let s = self.params.zipf_exponent();
+        let (a, b) = self.lemma2_coefficients();
+        if !b.is_finite() {
+            return Ok(OptimalStrategy {
+                x_star: 0.0,
+                ell_star: 0.0,
+                objective_value: self.objective(0.0),
+                method: SolveMethod::FixedPoint,
+            });
+        }
+        let g = |ell: f64| a * ell.powf(-s) - (1.0 - ell).powf(-s) - b;
+        let dg = |ell: f64| -a * s * ell.powf(-s - 1.0) - s * (1.0 - ell).powf(-s - 1.0);
+        let eps = 1e-12;
+        let ell = if g(eps) <= 0.0 {
+            0.0
+        } else if g(1.0 - eps) >= 0.0 {
+            1.0
+        } else {
+            newton_bisect(g, dg, eps, 1.0 - eps, 1e-14)?.x
+        };
+        Ok(OptimalStrategy {
+            x_star: ell * c,
+            ell_star: ell,
+            objective_value: self.objective(ell * c),
+            method: SolveMethod::FixedPoint,
+        })
+    }
+
+    /// Theorem 2's closed-form optimum for `α = 1` with the γ-exponent
+    /// corrected: `ℓ* = 1/(γ^{−1/s}·n^{1−1/s} + 1)`.
+    ///
+    /// The returned strategy optimizes the *routing-only* objective
+    /// regardless of the parameter set's `α`; the reported
+    /// `objective_value` is still `T_w` at the bound `α`.
+    #[must_use]
+    pub fn closed_form_alpha1(&self) -> OptimalStrategy {
+        let p = &self.params;
+        let s = p.zipf_exponent();
+        let ell = 1.0
+            / (p.gamma().powf(-1.0 / s) * p.routers().powf(1.0 - 1.0 / s) + 1.0);
+        OptimalStrategy {
+            x_star: ell * p.capacity(),
+            ell_star: ell,
+            objective_value: self.objective(ell * p.capacity()),
+            method: SolveMethod::ClosedFormAlpha1,
+        }
+    }
+
+    /// The closed form exactly as published (Eq. 8):
+    /// `ℓ* = 1/(γ^{1/s}·n^{1−1/s} + 1)`. Retained so benches can
+    /// quantify the erratum; do not use for provisioning.
+    #[must_use]
+    pub fn published_closed_form_alpha1(&self) -> OptimalStrategy {
+        let p = &self.params;
+        let s = p.zipf_exponent();
+        let ell = 1.0
+            / (p.gamma().powf(1.0 / s) * p.routers().powf(1.0 - 1.0 / s) + 1.0);
+        OptimalStrategy {
+            x_star: ell * p.capacity(),
+            ell_star: ell,
+            objective_value: self.objective(ell * p.capacity()),
+            method: SolveMethod::PublishedClosedFormAlpha1,
+        }
+    }
+
+    /// Fraction of requests escaping to the origin at slice `x`.
+    #[must_use]
+    pub fn origin_load(&self, x: f64) -> f64 {
+        self.breakdown(x).origin_fraction
+    }
+
+    /// Performance gains of slice `x_star` versus non-coordinated
+    /// caching (§IV-E): origin load reduction `G_O` and routing
+    /// improvement `G_R`.
+    #[must_use]
+    pub fn gains(&self, x_star: f64) -> Gains {
+        let load_opt = self.origin_load(x_star);
+        let load_nc = self.origin_load(0.0);
+        let g_o = if load_nc > 0.0 { 1.0 - load_opt / load_nc } else { 0.0 };
+        let t_opt = self.routing_performance(x_star);
+        let t_nc = self.routing_performance(0.0);
+        let g_r = if t_nc > 0.0 { 1.0 - t_opt / t_nc } else { 0.0 };
+        Gains {
+            origin_load_reduction: g_o,
+            routing_improvement: g_r,
+            origin_load: load_opt,
+            origin_load_noncoordinated: load_nc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelParams;
+    use proptest::prelude::*;
+
+    fn model_with(alpha: f64) -> CacheModel {
+        CacheModel::new(ModelParams::builder().alpha(alpha).build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let m = model_with(0.8);
+        for x in [0.0, 100.0, 500.0, 1000.0] {
+            let b = m.breakdown(x);
+            assert!((b.total_fraction() - 1.0).abs() < 1e-12, "x={x}");
+            assert!(b.local_fraction >= 0.0 && b.peer_fraction >= 0.0 && b.origin_fraction >= 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_slice_has_no_peer_traffic() {
+        let m = model_with(0.8);
+        let b = m.breakdown(0.0);
+        assert!(b.peer_fraction.abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_coordination_reduces_origin_load() {
+        let m = model_with(0.8);
+        assert!(m.origin_load(800.0) < m.origin_load(100.0));
+        assert!(m.origin_load(100.0) < m.origin_load(0.0));
+    }
+
+    #[test]
+    fn t_at_zero_matches_paper_formula() {
+        // T(0) = ((N^{1-s} - c^{1-s}) d2 + (c^{1-s} - 1) d0)/(N^{1-s} - 1)
+        let m = model_with(0.8);
+        let p = m.params();
+        let (s, n_cat, c) = (p.zipf_exponent(), p.catalogue(), p.capacity());
+        let expect = ((n_cat.powf(1.0 - s) - c.powf(1.0 - s)) * p.d2()
+            + (c.powf(1.0 - s) - 1.0) * p.d0())
+            / (n_cat.powf(1.0 - s) - 1.0);
+        assert!((m.routing_performance(0.0) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discrete_and_continuous_t_agree_at_paper_scale() {
+        let m = model_with(0.8);
+        for x in [0.0, 250.0, 500.0, 999.0] {
+            let cont = m.routing_performance(x);
+            let disc = m.routing_performance_discrete(x);
+            let rel = (cont - disc).abs() / disc.max(1e-9);
+            assert!(rel < 0.02, "x={x}: continuous {cont} vs discrete {disc}");
+        }
+    }
+
+    #[test]
+    fn coordination_cost_is_linear_with_intercept() {
+        let p = ModelParams::builder().raw_unit_cost(2.0).fixed_cost(7.0).build().unwrap();
+        let m = CacheModel::new(p).unwrap();
+        assert!((m.coordination_cost(0.0) - 7.0).abs() < 1e-12);
+        let w_n = 2.0 * 20.0;
+        assert!((m.coordination_cost(10.0) - (7.0 + w_n * 10.0)).abs() < 1e-9);
+        // Clamped above c.
+        assert_eq!(m.coordination_cost(5000.0), m.coordination_cost(1000.0));
+    }
+
+    #[test]
+    fn exact_and_fixed_point_agree_on_defaults() {
+        // Lemma 2 drops (n-1) ≈ n and 1+(n-1)ℓ ≈ nℓ, so at n = 20 the
+        // fixed point deviates from the exact optimum by up to ~0.07
+        // in ℓ (the `ablation_approx` bench quantifies this).
+        for alpha in [0.3, 0.5, 0.7, 0.9, 1.0] {
+            let m = model_with(alpha);
+            let exact = m.optimal_exact().unwrap();
+            let fp = m.optimal_fixed_point().unwrap();
+            assert!(
+                (exact.ell_star - fp.ell_star).abs() < 0.08,
+                "alpha={alpha}: exact {} vs fixed-point {}",
+                exact.ell_star,
+                fp.ell_star
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_optimum_tracks_continuous_for_flat_exponents() {
+        // For s < 1 Eq. 6 is accurate, so the two optima agree.
+        let m = model_with(0.9);
+        let cont = m.optimal_exact().unwrap();
+        let disc = m.optimal_exact_discrete().unwrap();
+        assert!(
+            (cont.ell_star - disc.ell_star).abs() < 0.02,
+            "continuous {} vs discrete {}",
+            cont.ell_star,
+            disc.ell_star
+        );
+        // The discrete objective at the discrete optimum is never
+        // worse than at the rounded continuous optimum.
+        assert!(
+            disc.objective_value <= m.objective_discrete(cont.x_star.round()) + 1e-12
+        );
+    }
+
+    #[test]
+    fn discrete_optimum_never_beaten_by_integer_grid() {
+        for s in [0.5, 1.3, 1.8] {
+            let p = ModelParams::builder()
+                .zipf_exponent(s)
+                .catalogue(20_000.0)
+                .capacity(200.0)
+                .alpha(0.9)
+                .build()
+                .unwrap();
+            let m = CacheModel::new(p).unwrap();
+            let disc = m.optimal_exact_discrete().unwrap();
+            for x in 0..=200 {
+                assert!(
+                    m.objective_discrete(f64::from(x)) >= disc.objective_value - 1e-12,
+                    "s={s}: grid point x={x} beats the discrete optimum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn newton_and_brent_fixed_points_agree() {
+        for alpha in [0.3, 0.7, 1.0] {
+            for s in [0.4, 0.8, 1.5] {
+                let p = ModelParams::builder().zipf_exponent(s).alpha(alpha).build().unwrap();
+                let m = CacheModel::new(p).unwrap();
+                let brent = m.optimal_fixed_point().unwrap();
+                let newton = m.optimal_fixed_point_newton().unwrap();
+                assert!(
+                    (brent.ell_star - newton.ell_star).abs() < 1e-9,
+                    "alpha={alpha} s={s}: {} vs {}",
+                    brent.ell_star,
+                    newton.ell_star
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_exact_at_alpha_one() {
+        for s in [0.3, 0.8, 1.3, 1.8] {
+            for gamma in [2.0, 5.0, 10.0] {
+                let p = ModelParams::builder()
+                    .zipf_exponent(s)
+                    .latency_tiers(0.0, 2.2842, gamma)
+                    .alpha(1.0)
+                    .build()
+                    .unwrap();
+                let m = CacheModel::new(p).unwrap();
+                let exact = m.optimal_exact().unwrap();
+                let closed = m.closed_form_alpha1();
+                assert!(
+                    (exact.ell_star - closed.ell_star).abs() < 0.06,
+                    "s={s} gamma={gamma}: exact {} vs closed {}",
+                    exact.ell_star,
+                    closed.ell_star
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_anchors_from_the_paper_text() {
+        // At alpha=1, gamma=5, n=20 the paper's Figure 5 shows ell*
+        // decreasing from ~1 (s -> 0) to ~0.35 (s -> 2).
+        let at = |s: f64| {
+            let p = ModelParams::builder()
+                .zipf_exponent(s)
+                .alpha(1.0)
+                .build()
+                .unwrap();
+            CacheModel::new(p).unwrap().closed_form_alpha1().ell_star
+        };
+        assert!(at(0.1) > 0.95, "s->0 should approach 1, got {}", at(0.1));
+        let tail = at(1.95);
+        assert!((tail - 0.35).abs() < 0.05, "s->2 should approach ~0.35, got {tail}");
+        assert!((at(0.8) - 0.94).abs() < 0.03, "s=0.8 anchor, got {}", at(0.8));
+    }
+
+    #[test]
+    fn published_closed_form_decreases_with_gamma_showing_the_erratum() {
+        let at = |gamma: f64| {
+            let p = ModelParams::builder()
+                .latency_tiers(0.0, 2.2842, gamma)
+                .alpha(1.0)
+                .build()
+                .unwrap();
+            let m = CacheModel::new(p).unwrap();
+            (m.closed_form_alpha1().ell_star, m.published_closed_form_alpha1().ell_star)
+        };
+        let (corr2, pub2) = at(2.0);
+        let (corr10, pub10) = at(10.0);
+        // Corrected form: more coordination when the origin is farther.
+        assert!(corr10 > corr2);
+        // Published form moves the wrong way.
+        assert!(pub10 < pub2);
+        // They coincide only at gamma = 1.
+        let (c1, p1) = at(1.0);
+        assert!((c1 - p1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ell_star_monotone_in_alpha() {
+        let mut prev = -1.0;
+        for alpha in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let ell = model_with(alpha).optimal_exact().unwrap().ell_star;
+            assert!(ell >= prev - 1e-9, "alpha={alpha}: {ell} < {prev}");
+            prev = ell;
+        }
+    }
+
+    #[test]
+    fn ell_star_decreases_with_unit_cost_at_low_alpha() {
+        // Figure 7's phenomenon.
+        let at = |w: f64| {
+            let p = ModelParams::builder()
+                .alpha(0.3)
+                .amortized_unit_cost(w)
+                .build()
+                .unwrap();
+            CacheModel::new(p).unwrap().optimal_exact().unwrap().ell_star
+        };
+        assert!(at(100.0) < at(10.0));
+    }
+
+    #[test]
+    fn alpha_zero_degenerates_to_no_coordination() {
+        let m = model_with(0.0);
+        assert_eq!(m.optimal_fixed_point().unwrap().ell_star, 0.0);
+        let exact = m.optimal_exact().unwrap();
+        assert!(exact.ell_star < 1e-9, "got {}", exact.ell_star);
+    }
+
+    #[test]
+    fn gains_are_well_behaved() {
+        let m = model_with(0.9);
+        let opt = m.optimal_exact().unwrap();
+        let g = m.gains(opt.x_star);
+        assert!((0.0..=1.0).contains(&g.origin_load_reduction), "{g:?}");
+        assert!((0.0..1.0).contains(&g.routing_improvement), "{g:?}");
+        assert!(g.origin_load <= g.origin_load_noncoordinated);
+        // No coordination: both gains vanish.
+        let zero = m.gains(0.0);
+        assert!(zero.origin_load_reduction.abs() < 1e-12);
+        assert!(zero.routing_improvement.abs() < 1e-12);
+    }
+
+    #[test]
+    fn g_o_matches_paper_closed_form() {
+        // G_O = ((c+(n-1)x)^{1-s} - c^{1-s})/(N^{1-s} - c^{1-s})
+        let m = model_with(0.9);
+        let p = m.params();
+        let (s, n_cat, c, n) = (p.zipf_exponent(), p.catalogue(), p.capacity(), p.routers());
+        for x in [100.0, 500.0, 900.0] {
+            let expect = ((c + (n - 1.0) * x).powf(1.0 - s) - c.powf(1.0 - s))
+                / (n_cat.powf(1.0 - s) - c.powf(1.0 - s));
+            let got = m.gains(x).origin_load_reduction;
+            assert!((got - expect).abs() < 1e-9, "x={x}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn objective_is_convex_on_defaults() {
+        for alpha in [0.2, 0.6, 1.0] {
+            let m = model_with(alpha);
+            let report = ccn_numerics::convexity_report(
+                |x| m.objective(x),
+                0.0,
+                m.params().capacity(),
+                401,
+                1e-9,
+            );
+            assert!(report.is_convex(), "alpha={alpha}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn upper_zipf_branch_works() {
+        let p = ModelParams::builder().zipf_exponent(1.5).alpha(0.9).build().unwrap();
+        let m = CacheModel::new(p).unwrap();
+        let exact = m.optimal_exact().unwrap();
+        let fp = m.optimal_fixed_point().unwrap();
+        assert!((exact.ell_star - fp.ell_star).abs() < 0.05);
+        let g = m.gains(exact.x_star);
+        assert!(g.origin_load_reduction > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn exact_solver_never_beaten_by_grid(
+            s in prop::sample::select(vec![0.3, 0.6, 0.8, 1.2, 1.5, 1.9]),
+            alpha in 0.05f64..1.0,
+            gamma in 1.0f64..10.0,
+        ) {
+            let p = ModelParams::builder()
+                .zipf_exponent(s)
+                .latency_tiers(0.0, 2.2842, gamma)
+                .alpha(alpha)
+                .build()
+                .unwrap();
+            let m = CacheModel::new(p).unwrap();
+            let opt = m.optimal_exact().unwrap();
+            for i in 0..=50 {
+                let x = 1000.0 * i as f64 / 50.0;
+                prop_assert!(
+                    m.objective(x) >= opt.objective_value - 1e-9,
+                    "grid point x={x} beats optimum"
+                );
+            }
+        }
+
+        #[test]
+        fn solve_methods_display(alpha in 0.0f64..=1.0) {
+            let m = model_with(alpha);
+            let opt = m.optimal_exact().unwrap();
+            prop_assert_eq!(opt.method.to_string(), "exact");
+        }
+    }
+}

@@ -1,0 +1,467 @@
+use crate::ModelError;
+
+/// Validated parameters of the performance–cost model (§III of the
+/// paper), satisfying the existence conditions of Lemma 1:
+///
+/// - capacity `c > 0` and coordination slice `x ∈ [0, c]`,
+/// - catalogue `N ≫ 1` (we require `N > c` so the origin matters),
+/// - routers `n > 1`,
+/// - Zipf exponent `s ∈ (0, 1) ∪ (1, 2)`,
+/// - latency tiers `d0 < d1 ≤ d2`.
+///
+/// Construct through [`ModelParams::builder`]; every accessor returns
+/// the validated value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    s: f64,
+    n: f64,
+    catalogue: f64,
+    capacity: f64,
+    d0: f64,
+    d1: f64,
+    d2: f64,
+    unit_cost: f64,
+    fixed_cost: f64,
+    alpha: f64,
+}
+
+impl ModelParams {
+    /// Starts a builder preloaded with the paper's Table-IV defaults:
+    /// `s = 0.8`, `n = 20`, `N = 10⁶`, `c = 10³`, `d0 = 0`,
+    /// `d1 − d0 = 2.2842` (hops), `γ = 5`, `w = 26.7` amortized per
+    /// content, `ŵ = 0`, `α = 0.8`.
+    #[must_use]
+    pub fn builder() -> ModelParamsBuilder {
+        ModelParamsBuilder::new()
+    }
+
+    /// Zipf exponent `s`.
+    #[must_use]
+    pub fn zipf_exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Number of routers `n`.
+    #[must_use]
+    pub fn routers(&self) -> f64 {
+        self.n
+    }
+
+    /// Catalogue size `N`.
+    #[must_use]
+    pub fn catalogue(&self) -> f64 {
+        self.catalogue
+    }
+
+    /// Per-router storage capacity `c` in unit-size contents.
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Local-hit latency `d0`.
+    #[must_use]
+    pub fn d0(&self) -> f64 {
+        self.d0
+    }
+
+    /// Peer-hit latency `d1`.
+    #[must_use]
+    pub fn d1(&self) -> f64 {
+        self.d1
+    }
+
+    /// Origin latency `d2`.
+    #[must_use]
+    pub fn d2(&self) -> f64 {
+        self.d2
+    }
+
+    /// Unit coordination cost `w` (per coordinated content per router,
+    /// in the same units as the latencies).
+    #[must_use]
+    pub fn unit_cost(&self) -> f64 {
+        self.unit_cost
+    }
+
+    /// Fixed coordination cost `ŵ` (computation + enforcement).
+    #[must_use]
+    pub fn fixed_cost(&self) -> f64 {
+        self.fixed_cost
+    }
+
+    /// Trade-off weight `α ∈ [0, 1]` between routing performance and
+    /// coordination cost.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The tiered latency ratio `γ = (d2 − d1)/(d1 − d0)`.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        (self.d2 - self.d1) / (self.d1 - self.d0)
+    }
+
+    /// First-tier latency ratio `t1 = d1/d0` (∞ when `d0 = 0`).
+    #[must_use]
+    pub fn t1(&self) -> f64 {
+        self.d1 / self.d0
+    }
+
+    /// Second-tier latency ratio `t2 = d2/d1`.
+    #[must_use]
+    pub fn t2(&self) -> f64 {
+        self.d2 / self.d1
+    }
+
+    /// Returns a copy with a different trade-off weight `α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `alpha ∉ [0, 1]`.
+    pub fn with_alpha(mut self, alpha: f64) -> Result<Self, ModelError> {
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(ModelError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "alpha in [0, 1]",
+            });
+        }
+        self.alpha = alpha;
+        Ok(self)
+    }
+
+    /// Returns a copy with a different Zipf exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if
+    /// `s ∉ (0, 1) ∪ (1, 2)`.
+    pub fn with_zipf_exponent(self, s: f64) -> Result<Self, ModelError> {
+        ModelParamsBuilder::from(self).zipf_exponent(s).build()
+    }
+
+    /// Returns a copy with a different router count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `n <= 1`.
+    pub fn with_routers(self, n: f64) -> Result<Self, ModelError> {
+        ModelParamsBuilder::from(self).routers_f64(n).build()
+    }
+
+    /// Returns a copy with a different unit coordination cost `w`,
+    /// amortized per catalogue content like
+    /// [`ModelParamsBuilder::amortized_unit_cost`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `w_raw <= 0`.
+    pub fn with_amortized_unit_cost(self, w_raw: f64) -> Result<Self, ModelError> {
+        ModelParamsBuilder::from(self).amortized_unit_cost(w_raw).build()
+    }
+}
+
+/// Builder for [`ModelParams`] (see the paper's Table IV for typical
+/// ranges). All setters return `&mut self` for chaining; [`Self::build`]
+/// validates the full Lemma-1 condition set.
+#[derive(Debug, Clone)]
+pub struct ModelParamsBuilder {
+    s: f64,
+    n: f64,
+    catalogue: f64,
+    capacity: f64,
+    d0: f64,
+    d1_minus_d0: f64,
+    gamma: f64,
+    /// Raw unit cost and whether to amortize it by the catalogue size.
+    unit_cost_raw: f64,
+    amortize: bool,
+    fixed_cost: f64,
+    alpha: f64,
+}
+
+impl Default for ModelParamsBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<ModelParams> for ModelParamsBuilder {
+    fn from(p: ModelParams) -> Self {
+        Self {
+            s: p.s,
+            n: p.n,
+            catalogue: p.catalogue,
+            capacity: p.capacity,
+            d0: p.d0,
+            d1_minus_d0: p.d1 - p.d0,
+            gamma: p.gamma(),
+            unit_cost_raw: p.unit_cost,
+            amortize: false,
+            fixed_cost: p.fixed_cost,
+            alpha: p.alpha,
+        }
+    }
+}
+
+impl ModelParamsBuilder {
+    /// Creates a builder with the paper's Table-IV defaults.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            s: 0.8,
+            n: 20.0,
+            catalogue: 1e6,
+            capacity: 1e3,
+            d0: 0.0,
+            d1_minus_d0: 2.2842,
+            gamma: 5.0,
+            unit_cost_raw: 26.7,
+            amortize: true,
+            fixed_cost: 0.0,
+            alpha: 0.8,
+        }
+    }
+
+    /// Sets the Zipf exponent `s`.
+    pub fn zipf_exponent(&mut self, s: f64) -> &mut Self {
+        self.s = s;
+        self
+    }
+
+    /// Sets the number of routers `n`.
+    pub fn routers(&mut self, n: u32) -> &mut Self {
+        self.n = f64::from(n);
+        self
+    }
+
+    /// Sets the number of routers as a real value (for continuum
+    /// sweeps such as Figure 6).
+    pub fn routers_f64(&mut self, n: f64) -> &mut Self {
+        self.n = n;
+        self
+    }
+
+    /// Sets the catalogue size `N`.
+    pub fn catalogue(&mut self, n: f64) -> &mut Self {
+        self.catalogue = n;
+        self
+    }
+
+    /// Sets the per-router capacity `c`.
+    pub fn capacity(&mut self, c: f64) -> &mut Self {
+        self.capacity = c;
+        self
+    }
+
+    /// Sets the latency tiers via `d0`, the gap `d1 − d0`, and the
+    /// tiered latency ratio `γ` — the parameterization the paper's
+    /// figures use (`d2` follows as `d1 + γ·(d1 − d0)`).
+    pub fn latency_tiers(&mut self, d0: f64, d1_minus_d0: f64, gamma: f64) -> &mut Self {
+        self.d0 = d0;
+        self.d1_minus_d0 = d1_minus_d0;
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets the latency tiers from absolute values `d0 < d1 ≤ d2`.
+    pub fn absolute_latencies(&mut self, d0: f64, d1: f64, d2: f64) -> &mut Self {
+        self.d0 = d0;
+        self.d1_minus_d0 = d1 - d0;
+        self.gamma = if d1 > d0 { (d2 - d1) / (d1 - d0) } else { f64::NAN };
+        self
+    }
+
+    /// Sets the unit coordination cost `w` **amortized per catalogue
+    /// content**: the stored value is `w_raw / N`.
+    ///
+    /// The paper measures `w` as the maximum pairwise latency
+    /// (milliseconds, Table III) but plots figures in which the
+    /// communication cost is commensurate with per-request latency;
+    /// that requires amortizing the per-round coordination traffic
+    /// across the catalogue (see `EXPERIMENTS.md`, "unit-cost
+    /// calibration"). This is the figure-faithful choice and the
+    /// builder default.
+    pub fn amortized_unit_cost(&mut self, w_raw: f64) -> &mut Self {
+        self.unit_cost_raw = w_raw;
+        self.amortize = true;
+        self
+    }
+
+    /// Sets the unit coordination cost `w` directly, without
+    /// amortization (per coordinated content per router).
+    pub fn raw_unit_cost(&mut self, w: f64) -> &mut Self {
+        self.unit_cost_raw = w;
+        self.amortize = false;
+        self
+    }
+
+    /// Sets the fixed coordination cost `ŵ`.
+    pub fn fixed_cost(&mut self, w_hat: f64) -> &mut Self {
+        self.fixed_cost = w_hat;
+        self
+    }
+
+    /// Sets the trade-off weight `α ∈ [0, 1]`.
+    pub fn alpha(&mut self, alpha: f64) -> &mut Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Validates every Lemma-1 condition and produces the parameter
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] naming the first
+    /// violated condition.
+    pub fn build(&self) -> Result<ModelParams, ModelError> {
+        let err = |name, value, constraint| {
+            Err(ModelError::InvalidParameter { name, value, constraint })
+        };
+        if !self.s.is_finite() || self.s <= 0.0 || self.s >= 2.0 || (self.s - 1.0).abs() < 1e-9 {
+            return err("s", self.s, "s in (0,1) or (1,2) (Lemma 1)");
+        }
+        if !self.n.is_finite() || self.n <= 1.0 {
+            return err("n", self.n, "n > 1 routers (Lemma 1)");
+        }
+        if !self.capacity.is_finite() || self.capacity <= 0.0 {
+            return err("c", self.capacity, "capacity c > 0 (Lemma 1)");
+        }
+        if !self.catalogue.is_finite() || self.catalogue <= self.capacity {
+            return err("N", self.catalogue, "catalogue N > c (Lemma 1: N >> 1)");
+        }
+        if !self.d0.is_finite() || self.d0 < 0.0 {
+            return err("d0", self.d0, "d0 >= 0 and finite");
+        }
+        if !self.d1_minus_d0.is_finite() || self.d1_minus_d0 <= 0.0 {
+            return err("d1-d0", self.d1_minus_d0, "d1 > d0 (Lemma 1)");
+        }
+        if !self.gamma.is_finite() || self.gamma < 0.0 {
+            return err("gamma", self.gamma, "gamma >= 0 so that d2 >= d1 (Lemma 1)");
+        }
+        if !self.unit_cost_raw.is_finite() || self.unit_cost_raw <= 0.0 {
+            return err("w", self.unit_cost_raw, "unit coordination cost w > 0");
+        }
+        if !self.fixed_cost.is_finite() || self.fixed_cost < 0.0 {
+            return err("w_hat", self.fixed_cost, "fixed cost w_hat >= 0");
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return err("alpha", self.alpha, "alpha in [0, 1]");
+        }
+        let d1 = self.d0 + self.d1_minus_d0;
+        let d2 = d1 + self.gamma * self.d1_minus_d0;
+        let unit_cost = if self.amortize {
+            self.unit_cost_raw / self.catalogue
+        } else {
+            self.unit_cost_raw
+        };
+        Ok(ModelParams {
+            s: self.s,
+            n: self.n,
+            catalogue: self.catalogue,
+            capacity: self.capacity,
+            d0: self.d0,
+            d1,
+            d2,
+            unit_cost,
+            fixed_cost: self.fixed_cost,
+            alpha: self.alpha,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_table_iv() {
+        let p = ModelParams::builder().build().unwrap();
+        assert_eq!(p.zipf_exponent(), 0.8);
+        assert_eq!(p.routers(), 20.0);
+        assert_eq!(p.catalogue(), 1e6);
+        assert_eq!(p.capacity(), 1e3);
+        assert!((p.gamma() - 5.0).abs() < 1e-12);
+        assert!((p.d1() - 2.2842).abs() < 1e-12);
+        assert!((p.d2() - 6.0 * 2.2842).abs() < 1e-9);
+        // Default w is amortized: 26.7 / 1e6.
+        assert!((p.unit_cost() - 26.7e-6).abs() < 1e-12);
+    }
+
+    type Mutator = Box<dyn Fn(&mut ModelParamsBuilder) -> &mut ModelParamsBuilder>;
+
+    #[test]
+    fn rejects_each_lemma1_violation() {
+        let cases: Vec<(&str, Mutator)> = vec![
+            ("s", Box::new(|b| b.zipf_exponent(1.0))),
+            ("s", Box::new(|b| b.zipf_exponent(2.0))),
+            ("s", Box::new(|b| b.zipf_exponent(-0.3))),
+            ("n", Box::new(|b| b.routers_f64(1.0))),
+            ("c", Box::new(|b| b.capacity(0.0))),
+            ("N", Box::new(|b| b.catalogue(10.0).capacity(100.0))),
+            ("d1-d0", Box::new(|b| b.latency_tiers(0.0, 0.0, 5.0))),
+            ("gamma", Box::new(|b| b.latency_tiers(0.0, 1.0, -1.0))),
+            ("w", Box::new(|b| b.raw_unit_cost(0.0))),
+            ("w_hat", Box::new(|b| b.fixed_cost(-1.0))),
+            ("alpha", Box::new(|b| b.alpha(1.5))),
+        ];
+        for (name, mutate) in cases {
+            let mut b = ModelParams::builder();
+            mutate(&mut b);
+            let e = b.build().expect_err(name);
+            match e {
+                ModelError::InvalidParameter { name: got, .. } => {
+                    assert_eq!(got, name, "wrong parameter blamed");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absolute_latencies_derive_gamma() {
+        let p = ModelParams::builder()
+            .absolute_latencies(10.0, 25.0, 100.0)
+            .build()
+            .unwrap();
+        assert!((p.gamma() - 5.0).abs() < 1e-12);
+        assert!((p.t1() - 2.5).abs() < 1e-12);
+        assert!((p.t2() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_alpha_round_trips() {
+        let p = ModelParams::builder().build().unwrap();
+        let q = p.with_alpha(0.25).unwrap();
+        assert_eq!(q.alpha(), 0.25);
+        assert_eq!(q.zipf_exponent(), p.zipf_exponent());
+        assert!(p.with_alpha(-0.1).is_err());
+        assert!(p.with_alpha(1.1).is_err());
+    }
+
+    #[test]
+    fn with_modifiers_preserve_unit_cost_amortization() {
+        let p = ModelParams::builder().build().unwrap();
+        // Round-tripping through a builder must not re-amortize.
+        let q = p.with_zipf_exponent(1.3).unwrap();
+        assert_eq!(q.unit_cost(), p.unit_cost());
+        let r = p.with_routers(100.0).unwrap();
+        assert_eq!(r.unit_cost(), p.unit_cost());
+    }
+
+    #[test]
+    fn raw_unit_cost_is_not_amortized() {
+        let p = ModelParams::builder().raw_unit_cost(0.5).build().unwrap();
+        assert_eq!(p.unit_cost(), 0.5);
+    }
+
+    #[test]
+    fn gamma_zero_allows_flat_upper_tiers() {
+        // d2 == d1 is allowed (d1 <= d2 in Lemma 1).
+        let p = ModelParams::builder().latency_tiers(0.0, 1.0, 0.0).build().unwrap();
+        assert_eq!(p.d1(), p.d2());
+    }
+}

@@ -1,0 +1,305 @@
+//! Provisioning planner: from measured topology aggregates to a
+//! concrete storage-provisioning recommendation.
+//!
+//! This is the workflow the paper implies for a network carrier:
+//! extract `n`, `w`, and `d1 − d0` from the running network
+//! (`ccn-topology::params`, Table III), pick the workload parameters
+//! (`s`, `N`, `c`) and the business trade-off (`α`, `γ`), then solve
+//! for the optimal coordination level and report the expected gains.
+
+use ccn_topology::params::TopologyParams;
+
+use crate::{analysis, verify, CacheModel, Gains, ModelError, ModelParams, OptimalStrategy};
+
+/// Workload and policy knobs that complement the measured topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Zipf exponent of the expected content popularity.
+    pub zipf_exponent: f64,
+    /// Catalogue size `N` in contents.
+    pub catalogue: f64,
+    /// Per-router storage capacity `c` in contents.
+    pub capacity: f64,
+    /// Trade-off weight `α` between routing performance and cost.
+    pub alpha: f64,
+    /// Tiered latency ratio `γ = (d2 − d1)/(d1 − d0)`; how much worse
+    /// the origin is than an in-network peer.
+    pub gamma: f64,
+    /// Use the hop metric for `d1 − d0` (the paper's choice) rather
+    /// than milliseconds.
+    pub use_hop_metric: bool,
+}
+
+impl Default for PlannerConfig {
+    /// The paper's Table-IV workload: `s = 0.8`, `N = 10⁶`, `c = 10³`,
+    /// `α = 0.8`, `γ = 5`, hop metric.
+    fn default() -> Self {
+        Self {
+            zipf_exponent: 0.8,
+            catalogue: 1e6,
+            capacity: 1e3,
+            alpha: 0.8,
+            gamma: 5.0,
+            use_hop_metric: true,
+        }
+    }
+}
+
+/// A complete provisioning recommendation for one topology.
+#[derive(Debug, Clone)]
+pub struct ProvisioningPlan {
+    /// Name of the planned topology.
+    pub topology: String,
+    /// The model parameters the plan was solved under.
+    pub params: ModelParams,
+    /// The optimal strategy (exact solver).
+    pub strategy: OptimalStrategy,
+    /// Expected gains versus non-coordinated caching.
+    pub gains: Gains,
+    /// Whether Lemma 1's convexity held on this parameter set.
+    pub lemma1_convex: bool,
+    /// Whether Theorem 1's uniqueness held on this parameter set.
+    pub theorem1_unique: bool,
+}
+
+impl ProvisioningPlan {
+    /// Renders the plan as an operator-facing text report.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let p = &self.params;
+        format!(
+            "provisioning plan for {topo}\n\
+             routers n = {n:.0}, catalogue N = {cat:.0}, capacity c = {cap:.0}\n\
+             zipf s = {s}, gamma = {gamma:.2}, alpha = {alpha:.2}\n\
+             optimal coordination level l* = {ell:.4} ({x:.0} of {cap:.0} slots per router)\n\
+             origin load: {lo:.2}% (was {lnc:.2}%), reduction G_O = {go:.1}%\n\
+             routing improvement G_R = {gr:.1}%\n\
+             model checks: lemma1 convex = {l1}, theorem1 unique = {t1}\n",
+            topo = self.topology,
+            n = p.routers(),
+            cat = p.catalogue(),
+            cap = p.capacity(),
+            s = p.zipf_exponent(),
+            gamma = p.gamma(),
+            alpha = p.alpha(),
+            ell = self.strategy.ell_star,
+            x = self.strategy.x_star,
+            lo = self.gains.origin_load * 100.0,
+            lnc = self.gains.origin_load_noncoordinated * 100.0,
+            go = self.gains.origin_load_reduction * 100.0,
+            gr = self.gains.routing_improvement * 100.0,
+            l1 = self.lemma1_convex,
+            t1 = self.theorem1_unique,
+        )
+    }
+}
+
+/// Builds model parameters from measured topology aggregates and a
+/// planner configuration.
+///
+/// `d1 − d0` comes from the topology's mean pairwise distance (hops or
+/// milliseconds per `use_hop_metric`); the unit coordination cost is
+/// the topology's `w` (max pairwise latency) amortized per catalogue
+/// content, the calibration under which the paper's figures are
+/// reproducible (see `EXPERIMENTS.md`).
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] if the combination
+/// violates Lemma 1's conditions (e.g. a single-router topology).
+pub fn params_from_topology(
+    topo: &TopologyParams,
+    config: &PlannerConfig,
+) -> Result<ModelParams, ModelError> {
+    let d1_minus_d0 = if config.use_hop_metric {
+        topo.mean_hops
+    } else {
+        topo.mean_latency_ms
+    };
+    ModelParams::builder()
+        .zipf_exponent(config.zipf_exponent)
+        .routers_f64(topo.n as f64)
+        .catalogue(config.catalogue)
+        .capacity(config.capacity)
+        .latency_tiers(0.0, d1_minus_d0, config.gamma)
+        .amortized_unit_cost(topo.w_ms)
+        .alpha(config.alpha)
+        .build()
+}
+
+/// Produces a full provisioning plan for a measured topology.
+///
+/// # Errors
+///
+/// Propagates parameter-validation and solver errors.
+pub fn plan(topo: &TopologyParams, config: &PlannerConfig) -> Result<ProvisioningPlan, ModelError> {
+    let params = params_from_topology(topo, config)?;
+    let model = CacheModel::new(params)?;
+    let strategy = model.optimal_exact()?;
+    let gains = model.gains(strategy.x_star);
+    let lemma1 = verify::check_lemma1(&model, 201)?;
+    let theorem1 = verify::check_theorem1(&model, 2001);
+    Ok(ProvisioningPlan {
+        topology: topo.name.clone(),
+        params,
+        strategy,
+        gains,
+        lemma1_convex: lemma1.convex,
+        theorem1_unique: theorem1.holds(),
+    })
+}
+
+/// Traces how the recommendation changes across the whole `α` range —
+/// the operator-facing version of Figure 4 for a concrete topology.
+///
+/// # Errors
+///
+/// Propagates parameter-validation and solver errors.
+pub fn alpha_sweep(
+    topo: &TopologyParams,
+    config: &PlannerConfig,
+    points: usize,
+) -> Result<analysis::EllStarCurve, ModelError> {
+    let params = params_from_topology(topo, config)?;
+    analysis::ell_star_curve(params, 0.0, 1.0, points)
+}
+
+/// Inverse capacity planning: the smallest per-router capacity whose
+/// optimal strategy meets a target origin load, found by bisection on
+/// `c` (origin load at the optimum decreases monotonically in `c`).
+///
+/// Searches `c ∈ [1, c_max]`; returns the capacity and the plan at
+/// that capacity.
+///
+/// # Errors
+///
+/// Returns [`ModelError::SolverDomain`] when even `c_max` cannot meet
+/// the target, [`ModelError::InvalidParameter`] for a non-sensical
+/// target, and propagates solver failures.
+pub fn capacity_for_target_origin_load(
+    topo: &TopologyParams,
+    config: &PlannerConfig,
+    target_origin_load: f64,
+    c_max: f64,
+) -> Result<(f64, ProvisioningPlan), ModelError> {
+    if !(0.0..1.0).contains(&target_origin_load) {
+        return Err(ModelError::InvalidParameter {
+            name: "target_origin_load",
+            value: target_origin_load,
+            constraint: "target in [0, 1)",
+        });
+    }
+    // Lemma 1 needs N > c; clamp the search ceiling below the catalogue.
+    let c_max = c_max.min(config.catalogue - 1.0);
+    let load_at = |c: f64| -> Result<f64, ModelError> {
+        let cfg = PlannerConfig { capacity: c, ..*config };
+        let params = params_from_topology(topo, &cfg)?;
+        let model = CacheModel::new(params)?;
+        let opt = model.optimal_exact()?;
+        Ok(model.origin_load(opt.x_star))
+    };
+    if load_at(c_max)? > target_origin_load {
+        return Err(ModelError::SolverDomain {
+            solver: "capacity_for_target_origin_load",
+            reason: "target origin load unreachable even at the maximum capacity",
+        });
+    }
+    let (mut lo, mut hi) = (1.0f64, c_max);
+    // Bisect to ~0.1% capacity resolution.
+    for _ in 0..60 {
+        if hi / lo < 1.001 {
+            break;
+        }
+        let mid = (lo * hi).sqrt();
+        if load_at(mid)? > target_origin_load {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let plan = plan(topo, &PlannerConfig { capacity: hi, ..*config })?;
+    Ok((hi, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccn_topology::{datasets, params::extract};
+
+    #[test]
+    fn plans_all_four_paper_topologies() {
+        for graph in datasets::all() {
+            let topo = extract(&graph);
+            let plan = plan(&topo, &PlannerConfig::default()).unwrap();
+            assert!(plan.lemma1_convex, "{}", topo.name);
+            assert!(plan.theorem1_unique, "{}", topo.name);
+            assert!((0.0..=1.0).contains(&plan.strategy.ell_star));
+            assert!(plan.gains.origin_load_reduction >= 0.0);
+            let report = plan.report();
+            assert!(report.contains(&topo.name));
+            assert!(report.contains("l* ="));
+        }
+    }
+
+    #[test]
+    fn hop_and_ms_metrics_both_work() {
+        let topo = extract(&datasets::abilene());
+        let hop = plan(&topo, &PlannerConfig { use_hop_metric: true, ..Default::default() }).unwrap();
+        let ms = plan(&topo, &PlannerConfig { use_hop_metric: false, ..Default::default() }).unwrap();
+        assert!((hop.params.d1() - topo.mean_hops).abs() < 1e-12);
+        assert!((ms.params.d1() - topo.mean_latency_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_sweep_is_monotone() {
+        let topo = extract(&datasets::us_a());
+        let curve = alpha_sweep(&topo, &PlannerConfig::default(), 11).unwrap();
+        for w in curve.ell_stars.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn inverse_capacity_meets_the_target() {
+        let topo = extract(&datasets::us_a());
+        let config = PlannerConfig { catalogue: 1e5, ..Default::default() };
+        let (c, plan) =
+            capacity_for_target_origin_load(&topo, &config, 0.3, 1e5).unwrap();
+        assert!(plan.gains.origin_load <= 0.3 + 1e-6, "plan load {}", plan.gains.origin_load);
+        // Minimality: 30% less capacity misses the target.
+        let smaller = PlannerConfig { capacity: c * 0.7, ..config };
+        let params = params_from_topology(&topo, &smaller).unwrap();
+        let model = CacheModel::new(params).unwrap();
+        let opt = model.optimal_exact().unwrap();
+        assert!(
+            model.origin_load(opt.x_star) > 0.3,
+            "a much smaller capacity should miss the target"
+        );
+    }
+
+    #[test]
+    fn inverse_capacity_rejects_unreachable_targets() {
+        let topo = extract(&datasets::us_a());
+        let config = PlannerConfig::default();
+        // Nearly zero origin load with a tiny maximum capacity.
+        assert!(matches!(
+            capacity_for_target_origin_load(&topo, &config, 0.001, 10.0),
+            Err(ModelError::SolverDomain { .. })
+        ));
+        assert!(capacity_for_target_origin_load(&topo, &config, 1.5, 1e6).is_err());
+    }
+
+    #[test]
+    fn degenerate_topology_is_rejected() {
+        let topo = TopologyParams {
+            name: "solo".into(),
+            n: 1,
+            w_ms: 10.0,
+            mean_latency_ms: 1.0,
+            mean_hops: 1.0,
+            mean_routed_hops: 1.0,
+            diameter_hops: 0,
+        };
+        assert!(plan(&topo, &PlannerConfig::default()).is_err());
+    }
+}

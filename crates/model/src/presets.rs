@@ -1,0 +1,108 @@
+//! Parameter presets matching the paper's Table IV.
+//!
+//! Each evaluation figure holds all-but-one parameter at these values:
+//!
+//! | Figures | α | γ | s | n | N | c | w | d1−d0 |
+//! |---|---|---|---|---|---|---|---|---|
+//! | 4, 8, 12 | (0,1) sweep | {2,4,6,8,10} | 0.8 | 20 | 10⁶ | 10³ | 26.7 | 2.2842 |
+//! | 5, 9, 13 | {0.2..1} | 5 | [0.1,1.9]\{1} sweep | 20 | 10⁶ | 10³ | 26.7 | 2.2842 |
+//! | 6, 10 | {0.2..1} | 5 | 0.8 | 10–500 sweep | 10⁶ | 10³ | 26.7 | 2.2842 |
+//! | 7, 11 | {0.2..1} | 5 | 0.8 | 20 | 10⁶ | 10³ | 10–100 sweep | 2.2842 |
+//!
+//! The US-A topology supplies `n = 20`, `w = 26.7 ms` and
+//! `d1 − d0 = 2.2842` hops (Table III).
+
+use crate::{ModelError, ModelParams};
+
+/// The γ values plotted in Figures 4, 8 and 12.
+pub const GAMMA_SERIES: [f64; 5] = [2.0, 4.0, 6.0, 8.0, 10.0];
+
+/// The α values plotted as separate curves in Figures 5–7, 9–11, 13.
+pub const ALPHA_SERIES: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Baseline Table-IV parameters (γ = 5, α = 0.8) from which each
+/// figure's sweep departs.
+///
+/// # Errors
+///
+/// Never fails for the built-in constants; the `Result` mirrors
+/// [`ModelParams::builder`]'s contract.
+pub fn table_iv_defaults() -> Result<ModelParams, ModelError> {
+    ModelParams::builder().build()
+}
+
+/// Parameters for one curve of Figures 4/8/12: γ from
+/// [`GAMMA_SERIES`], α supplied by the sweep.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] for out-of-range inputs.
+pub fn fig4_family(gamma: f64, alpha: f64) -> Result<ModelParams, ModelError> {
+    ModelParams::builder()
+        .latency_tiers(0.0, 2.2842, gamma)
+        .alpha(alpha)
+        .build()
+}
+
+/// Parameters for one point of Figures 5/9/13: Zipf exponent `s`
+/// swept, α from [`ALPHA_SERIES`], γ = 5.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] for out-of-range inputs
+/// (including the singular `s = 1`).
+pub fn fig5_family(s: f64, alpha: f64) -> Result<ModelParams, ModelError> {
+    ModelParams::builder().zipf_exponent(s).alpha(alpha).build()
+}
+
+/// Parameters for one point of Figures 6/10: network size `n` swept
+/// over 10–500, α from [`ALPHA_SERIES`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] for out-of-range inputs.
+pub fn fig6_family(n: f64, alpha: f64) -> Result<ModelParams, ModelError> {
+    ModelParams::builder().routers_f64(n).alpha(alpha).build()
+}
+
+/// Parameters for one point of Figures 7/11: unit coordination cost
+/// `w` swept over 10–100 ms, α from [`ALPHA_SERIES`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] for out-of-range inputs.
+pub fn fig7_family(w: f64, alpha: f64) -> Result<ModelParams, ModelError> {
+    ModelParams::builder().amortized_unit_cost(w).alpha(alpha).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let p = table_iv_defaults().unwrap();
+        assert_eq!(p.routers(), 20.0);
+        assert!((p.gamma() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_figure_families_build_over_their_grids() {
+        for &g in &GAMMA_SERIES {
+            assert!(fig4_family(g, 0.5).is_ok());
+        }
+        for &a in &ALPHA_SERIES {
+            assert!(fig5_family(0.3, a).is_ok());
+            assert!(fig5_family(1.9, a).is_ok());
+            assert!(fig6_family(10.0, a).is_ok());
+            assert!(fig6_family(500.0, a).is_ok());
+            assert!(fig7_family(10.0, a).is_ok());
+            assert!(fig7_family(100.0, a).is_ok());
+        }
+    }
+
+    #[test]
+    fn singular_exponent_rejected() {
+        assert!(fig5_family(1.0, 0.5).is_err());
+    }
+}

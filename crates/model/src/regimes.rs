@@ -1,0 +1,179 @@
+//! Regime classification and the `(s, α)` phase map.
+//!
+//! The paper's headline observation is that the optimal strategy can
+//! sit at either extreme — "different ranges of the Zipf exponent can
+//! lead to opposite optimal strategies" — or strictly between them.
+//! This module classifies a parameter set into its regime and sweeps
+//! the `(s, α)` plane into a phase map showing where each regime
+//! lives, the quantitative version of the paper's §IV-D discussion.
+
+use crate::{CacheModel, ModelError, ModelParams};
+
+/// Which provisioning regime a parameter set falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// `ℓ* ≈ 0`: dedicate everything to local replication.
+    NoCoordination,
+    /// `ℓ*` strictly interior: split the store.
+    Mixed,
+    /// `ℓ* ≈ 1`: dedicate everything to the coordinated pool.
+    FullCoordination,
+}
+
+impl Regime {
+    /// Classifies an optimal level with tolerance `eps` at the
+    /// boundaries.
+    #[must_use]
+    pub fn of(ell_star: f64, eps: f64) -> Regime {
+        if ell_star <= eps {
+            Regime::NoCoordination
+        } else if ell_star >= 1.0 - eps {
+            Regime::FullCoordination
+        } else {
+            Regime::Mixed
+        }
+    }
+
+    /// Single-character glyph for phase-map rendering.
+    #[must_use]
+    pub fn glyph(self) -> char {
+        match self {
+            Regime::NoCoordination => '.',
+            Regime::Mixed => '+',
+            Regime::FullCoordination => '#',
+        }
+    }
+}
+
+/// A sampled `(s, α)` phase map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseMap {
+    /// Zipf exponents sampled (row axis).
+    pub s_grid: Vec<f64>,
+    /// Trade-off weights sampled (column axis).
+    pub alpha_grid: Vec<f64>,
+    /// `cells[i][j]` = `(ℓ*, regime)` at `(s_grid[i], alpha_grid[j])`.
+    pub cells: Vec<Vec<(f64, Regime)>>,
+}
+
+impl PhaseMap {
+    /// Renders the map as ASCII art (rows: s descending; columns: α
+    /// ascending).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "phase map: rows s (top = high), cols alpha (left = low)");
+        let _ = writeln!(out, "  '.' no coordination   '+' mixed   '#' full coordination");
+        for (i, s) in self.s_grid.iter().enumerate().rev() {
+            let row: String = self.cells[i].iter().map(|&(_, r)| r.glyph()).collect();
+            let _ = writeln!(out, "  s={s:>4.2} |{row}|");
+        }
+        let _ = writeln!(
+            out,
+            "          alpha in [{:.2}, {:.2}]",
+            self.alpha_grid.first().copied().unwrap_or(0.0),
+            self.alpha_grid.last().copied().unwrap_or(0.0)
+        );
+        out
+    }
+
+    /// Fraction of sampled cells in the given regime.
+    #[must_use]
+    pub fn fraction(&self, regime: Regime) -> f64 {
+        let total: usize = self.cells.iter().map(Vec::len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let hits: usize = self
+            .cells
+            .iter()
+            .flatten()
+            .filter(|&&(_, r)| r == regime)
+            .count();
+        hits as f64 / total as f64
+    }
+}
+
+/// The boundary tolerance used by [`phase_map`].
+pub const REGIME_EPS: f64 = 0.02;
+
+/// Sweeps the `(s, α)` plane with all other parameters taken from
+/// `base`, classifying the optimal regime in every cell.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] for grids that touch the
+/// singular `s = 1` or leave the admissible ranges, and propagates
+/// solver failures.
+pub fn phase_map(
+    base: ModelParams,
+    s_grid: &[f64],
+    alpha_grid: &[f64],
+) -> Result<PhaseMap, ModelError> {
+    let mut cells = Vec::with_capacity(s_grid.len());
+    for &s in s_grid {
+        let mut row = Vec::with_capacity(alpha_grid.len());
+        for &alpha in alpha_grid {
+            let params = base.with_zipf_exponent(s)?.with_alpha(alpha)?;
+            let ell = CacheModel::new(params)?.optimal_exact()?.ell_star;
+            row.push((ell, Regime::of(ell, REGIME_EPS)));
+        }
+        cells.push(row);
+    }
+    Ok(PhaseMap { s_grid: s_grid.to_vec(), alpha_grid: alpha_grid.to_vec(), cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(Regime::of(0.0, 0.02), Regime::NoCoordination);
+        assert_eq!(Regime::of(0.01, 0.02), Regime::NoCoordination);
+        assert_eq!(Regime::of(0.5, 0.02), Regime::Mixed);
+        assert_eq!(Regime::of(0.99, 0.02), Regime::FullCoordination);
+        assert_eq!(Regime::of(1.0, 0.02), Regime::FullCoordination);
+    }
+
+    #[test]
+    fn phase_map_has_all_three_regimes() {
+        let base = presets::table_iv_defaults().unwrap();
+        let s_grid = [0.2, 0.5, 0.8, 1.3, 1.8];
+        let alpha_grid = [0.05, 0.2, 0.5, 0.8, 1.0];
+        let map = phase_map(base, &s_grid, &alpha_grid).unwrap();
+        assert!(map.fraction(Regime::NoCoordination) > 0.0, "{}", map.render());
+        assert!(map.fraction(Regime::Mixed) > 0.0, "{}", map.render());
+        let total = map.fraction(Regime::NoCoordination)
+            + map.fraction(Regime::Mixed)
+            + map.fraction(Regime::FullCoordination);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_alpha_is_always_no_coordination() {
+        let base = presets::table_iv_defaults().unwrap();
+        let map = phase_map(base, &[0.3, 0.8, 1.5], &[0.01]).unwrap();
+        for row in &map.cells {
+            assert_eq!(row[0].1, Regime::NoCoordination);
+        }
+    }
+
+    #[test]
+    fn render_contains_every_row() {
+        let base = presets::table_iv_defaults().unwrap();
+        let map = phase_map(base, &[0.4, 0.9], &[0.2, 0.9]).unwrap();
+        let text = map.render();
+        assert!(text.contains("s=0.40"));
+        assert!(text.contains("s=0.90"));
+        assert!(text.contains("alpha in [0.20, 0.90]"));
+    }
+
+    #[test]
+    fn singular_s_is_rejected() {
+        let base = presets::table_iv_defaults().unwrap();
+        assert!(phase_map(base, &[1.0], &[0.5]).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! The performance–cost trade-off as a Pareto frontier.
+//!
+//! The paper folds routing performance `T` and coordination cost `W`
+//! into one objective with a weight `α`. Operators often prefer the
+//! unfolded view: the set of coordination levels that are *Pareto
+//! optimal* (no other level is better on both axes), the knee of that
+//! frontier, and the inverse question "which `α` makes a given level
+//! optimal?". This module provides all three.
+
+use ccn_numerics::slope;
+
+use crate::{CacheModel, ModelError};
+
+/// One point of the performance–cost frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Coordination level `ℓ = x/c`.
+    pub ell: f64,
+    /// Coordinated slice `x` in contents.
+    pub x: f64,
+    /// Routing performance `T(x)` (lower is better).
+    pub routing_performance: f64,
+    /// Coordination cost `W(x)` (lower is better).
+    pub coordination_cost: f64,
+}
+
+/// Sweeps `ℓ ∈ [0, 1]` and keeps the Pareto-optimal points (no other
+/// sampled point is at least as good on both axes and strictly better
+/// on one), ordered by increasing cost.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] if `points < 2`.
+pub fn pareto_frontier(model: &CacheModel, points: usize) -> Result<Vec<ParetoPoint>, ModelError> {
+    if points < 2 {
+        return Err(ModelError::InvalidParameter {
+            name: "points",
+            value: points as f64,
+            constraint: "at least 2 sweep points",
+        });
+    }
+    let c = model.params().capacity();
+    let mut all: Vec<ParetoPoint> = (0..points)
+        .map(|i| {
+            let ell = i as f64 / (points - 1) as f64;
+            let x = ell * c;
+            ParetoPoint {
+                ell,
+                x,
+                routing_performance: model.routing_performance(x),
+                coordination_cost: model.coordination_cost(x),
+            }
+        })
+        .collect();
+    // Sort by cost; then a point is Pareto optimal iff its performance
+    // strictly improves on the best seen so far.
+    all.sort_by(|a, b| a.coordination_cost.total_cmp(&b.coordination_cost));
+    let mut frontier = Vec::new();
+    let mut best_t = f64::INFINITY;
+    for p in all {
+        if p.routing_performance < best_t - 1e-15 {
+            best_t = p.routing_performance;
+            frontier.push(p);
+        }
+    }
+    Ok(frontier)
+}
+
+/// The knee of a frontier: the point minimizing the normalized
+/// distance to the ideal corner (minimum cost, minimum latency).
+/// Returns `None` for an empty frontier.
+#[must_use]
+pub fn knee_point(frontier: &[ParetoPoint]) -> Option<ParetoPoint> {
+    let (t_min, t_max) = frontier.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
+        (acc.0.min(p.routing_performance), acc.1.max(p.routing_performance))
+    });
+    let (w_min, w_max) = frontier.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
+        (acc.0.min(p.coordination_cost), acc.1.max(p.coordination_cost))
+    });
+    let t_span = (t_max - t_min).max(1e-300);
+    let w_span = (w_max - w_min).max(1e-300);
+    frontier
+        .iter()
+        .min_by(|a, b| {
+            let da = ((a.routing_performance - t_min) / t_span).hypot((a.coordination_cost - w_min) / w_span);
+            let db = ((b.routing_performance - t_min) / t_span).hypot((b.coordination_cost - w_min) / w_span);
+            da.total_cmp(&db)
+        })
+        .copied()
+}
+
+/// The inverse problem: the trade-off weight `α` under which the given
+/// interior level `ℓ` is optimal.
+///
+/// At an interior optimum the first-order condition gives
+/// `α·T'(x) + (1−α)·W'(x) = 0`, i.e.
+/// `α = W'(x) / (W'(x) − T'(x))`, which lies in `(0, 1)` exactly when
+/// `T'(x) < 0` (coordinating more still improves latency at `x`).
+///
+/// # Errors
+///
+/// Returns [`ModelError::SolverDomain`] when `ℓ` is not strictly
+/// inside `(0, 1)` or the latency slope is non-negative there (such a
+/// level is never the optimum of any convex combination).
+pub fn alpha_for_level(model: &CacheModel, ell: f64) -> Result<f64, ModelError> {
+    if !(ell > 0.0 && ell < 1.0) {
+        return Err(ModelError::SolverDomain {
+            solver: "alpha_for_level",
+            reason: "level must be strictly inside (0, 1)",
+        });
+    }
+    let p = model.params();
+    let x = ell * p.capacity();
+    let h = p.capacity() * 1e-6;
+    let t_slope = slope(|x| model.routing_performance(x), x, h);
+    let w_slope = p.unit_cost() * p.routers();
+    if t_slope >= 0.0 {
+        return Err(ModelError::SolverDomain {
+            solver: "alpha_for_level",
+            reason: "latency no longer improves at this level; no alpha makes it optimal",
+        });
+    }
+    Ok(w_slope / (w_slope - t_slope))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheModel, ModelParams};
+
+    fn model() -> CacheModel {
+        CacheModel::new(ModelParams::builder().alpha(0.8).build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn frontier_is_monotone_both_axes() {
+        let f = pareto_frontier(&model(), 101).unwrap();
+        assert!(f.len() > 10, "a rich frontier exists");
+        for w in f.windows(2) {
+            assert!(w[1].coordination_cost > w[0].coordination_cost);
+            assert!(w[1].routing_performance < w[0].routing_performance);
+        }
+    }
+
+    #[test]
+    fn frontier_starts_at_zero_coordination() {
+        let f = pareto_frontier(&model(), 51).unwrap();
+        assert_eq!(f[0].ell, 0.0, "cheapest point is no coordination");
+    }
+
+    #[test]
+    fn rejects_tiny_sweeps() {
+        assert!(pareto_frontier(&model(), 1).is_err());
+    }
+
+    #[test]
+    fn knee_is_interior_and_on_frontier() {
+        let f = pareto_frontier(&model(), 101).unwrap();
+        let knee = knee_point(&f).unwrap();
+        assert!(f.contains(&knee));
+        assert!(knee.ell > 0.0 && knee.ell < 1.0, "knee at ell = {}", knee.ell);
+        assert!(knee_point(&[]).is_none());
+    }
+
+    #[test]
+    fn alpha_for_level_inverts_the_optimizer() {
+        let m = model();
+        for &ell in &[0.2, 0.5, 0.8] {
+            let alpha = alpha_for_level(&m, ell).unwrap();
+            assert!((0.0..1.0).contains(&alpha), "ell={ell}: alpha={alpha}");
+            // Re-solving with that alpha recovers the level.
+            let params = m.params().with_alpha(alpha).unwrap();
+            let re = CacheModel::new(params).unwrap().optimal_exact().unwrap();
+            assert!(
+                (re.ell_star - ell).abs() < 0.01,
+                "ell={ell}: recovered {}",
+                re.ell_star
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_for_level_rejects_boundary_and_saturated_levels() {
+        let m = model();
+        assert!(alpha_for_level(&m, 0.0).is_err());
+        assert!(alpha_for_level(&m, 1.0).is_err());
+        // Above the alpha=1 optimum, latency no longer improves.
+        let saturated = m.optimal_exact().unwrap().ell_star.max(
+            CacheModel::new(m.params().with_alpha(1.0).unwrap())
+                .unwrap()
+                .optimal_exact()
+                .unwrap()
+                .ell_star,
+        );
+        if saturated < 0.99 {
+            let beyond = (saturated + 1.0) / 2.0 + 0.004;
+            assert!(alpha_for_level(&m, beyond.min(0.999)).is_err());
+        }
+    }
+
+    #[test]
+    fn knee_balances_the_axes() {
+        // The knee must not sit at either extreme of the frontier.
+        let f = pareto_frontier(&model(), 201).unwrap();
+        let knee = knee_point(&f).unwrap();
+        let first = f.first().unwrap();
+        let last = f.last().unwrap();
+        assert_ne!(knee, *first);
+        assert_ne!(knee, *last);
+    }
+}

@@ -1,0 +1,122 @@
+//! Empirical convexity probing.
+//!
+//! Lemma 1 of the paper asserts the objective `T_w(x)` is convex on
+//! `[0, c]` under mild parameter conditions. `ccn-model::verify` uses
+//! [`convexity_report`] to check this claim numerically across the
+//! whole Table-IV parameter grid: a convex function has non-negative
+//! second differences at every interior grid point.
+
+/// Result of probing a function for convexity on a grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexityReport {
+    /// Number of interior grid points probed.
+    pub points: usize,
+    /// Most negative second difference observed (0 if none negative).
+    pub worst_violation: f64,
+    /// Grid abscissa of the worst violation, if any.
+    pub worst_at: Option<f64>,
+    /// Relative tolerance used to ignore floating-point noise.
+    pub tolerance: f64,
+}
+
+impl ConvexityReport {
+    /// Whether the function passed the convexity probe.
+    #[must_use]
+    pub fn is_convex(&self) -> bool {
+        self.worst_at.is_none()
+    }
+}
+
+/// Probes `f` for convexity on `[lo, hi]` with `points` uniformly
+/// spaced samples.
+///
+/// Second differences `f(x−h) − 2f(x) + f(x+h)` are required to be
+/// `>= −tol·scale` where `scale` is the largest absolute sampled value;
+/// this ignores floating-point noise on nearly linear stretches.
+///
+/// # Panics
+///
+/// Panics if `points < 3` or the interval is malformed; this is a
+/// diagnostic tool and misuse is a programming error.
+#[must_use]
+pub fn convexity_report(
+    f: impl Fn(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    tol: f64,
+) -> ConvexityReport {
+    assert!(points >= 3, "need at least 3 grid points");
+    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "malformed interval");
+    let h = (hi - lo) / (points - 1) as f64;
+    let values: Vec<f64> = (0..points).map(|i| f(lo + i as f64 * h)).collect();
+    let scale = values.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    let threshold = -tol * scale;
+    let mut worst = 0.0f64;
+    let mut worst_at = None;
+    for i in 1..points - 1 {
+        let second = values[i - 1] - 2.0 * values[i] + values[i + 1];
+        if second < threshold && second < worst {
+            worst = second;
+            worst_at = Some(lo + i as f64 * h);
+        }
+    }
+    ConvexityReport {
+        points: points - 2,
+        worst_violation: worst,
+        worst_at,
+        tolerance: tol,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_is_convex() {
+        let r = convexity_report(|x| x * x, -5.0, 5.0, 101, 1e-12);
+        assert!(r.is_convex());
+        assert_eq!(r.points, 99);
+    }
+
+    #[test]
+    fn linear_is_convex_despite_noise() {
+        let r = convexity_report(|x| 3.0 * x + 1e9, 0.0, 1.0, 101, 1e-9);
+        assert!(r.is_convex(), "violation {}", r.worst_violation);
+    }
+
+    #[test]
+    fn sine_is_not_convex() {
+        let r = convexity_report(f64::sin, 0.0, std::f64::consts::TAU, 101, 1e-12);
+        assert!(!r.is_convex());
+        assert!(r.worst_violation < 0.0);
+        // Sine is concave on (0, pi): the violation must be found there.
+        let at = r.worst_at.unwrap();
+        assert!(at > 0.0 && at < std::f64::consts::PI);
+    }
+
+    #[test]
+    fn paper_objective_shape_is_convex() {
+        // -a(c-x)^{1-s} - b(c+(n-1)x)^{1-s} + w x, s in (0,1): convex.
+        let (c, n, s) = (1000.0, 20.0, 0.8);
+        let f = move |x: f64| {
+            -(c - x).max(1e-9).powf(1.0 - s) - 4.0 * (c + (n - 1.0) * x).powf(1.0 - s)
+                + 0.01 * x
+        };
+        let r = convexity_report(f, 0.0, c - 1.0, 501, 1e-10);
+        assert!(r.is_convex(), "violation {} at {:?}", r.worst_violation, r.worst_at);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_points_panics() {
+        let _ = convexity_report(|x| x, 0.0, 1.0, 2, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed interval")]
+    fn reversed_interval_panics() {
+        let _ = convexity_report(|x| x, 1.0, 0.0, 10, 1e-9);
+    }
+}

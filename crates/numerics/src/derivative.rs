@@ -1,0 +1,72 @@
+//! Central finite differences.
+//!
+//! Used by `ccn-model::verify` to cross-check the paper's analytical
+//! first- and second-order derivatives of `T_w` (Appendix A) against
+//! numerical differentiation, and by the sensitivity analysis of the
+//! optimal strategy (`dℓ*/dα`).
+
+/// Central-difference estimate of `f'(x)` with step `h`.
+///
+/// Uses the symmetric two-point stencil `(f(x+h) − f(x−h)) / 2h`,
+/// accurate to `O(h²)` for smooth `f`.
+#[must_use]
+pub fn slope(f: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+/// Central-difference estimate of `f''(x)` with step `h`:
+/// `(f(x+h) − 2 f(x) + f(x−h)) / h²`, accurate to `O(h²)`.
+#[must_use]
+pub fn second_derivative(f: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
+    (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h)
+}
+
+/// Richardson-extrapolated first derivative: combines steps `h` and
+/// `h/2` to cancel the leading `O(h²)` error term, yielding `O(h⁴)`.
+#[must_use]
+pub fn slope_richardson(f: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
+    let coarse = slope(&f, x, h);
+    let fine = slope(&f, x, h / 2.0);
+    (4.0 * fine - coarse) / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_quadratic() {
+        let f = |x: f64| 3.0 * x * x + 2.0 * x + 1.0;
+        assert!((slope(f, 2.0, 1e-5) - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn second_derivative_of_quadratic_is_constant() {
+        let f = |x: f64| 3.0 * x * x;
+        for &x in &[-5.0, 0.0, 7.5] {
+            assert!((second_derivative(f, x, 1e-4) - 6.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn richardson_beats_plain_slope_on_exp() {
+        let x: f64 = 1.0;
+        let h = 1e-2;
+        let truth = x.exp();
+        let plain = (slope(f64::exp, x, h) - truth).abs();
+        let rich = (slope_richardson(f64::exp, x, h) - truth).abs();
+        assert!(rich < plain / 10.0, "richardson {rich} vs plain {plain}");
+    }
+
+    #[test]
+    fn power_law_derivatives_match_closed_form() {
+        // d/dx x^{-s} = -s x^{-s-1}; d²/dx² = s(s+1) x^{-s-2}.
+        let s = 0.8;
+        let f = move |x: f64| x.powf(-s);
+        let x = 5.0;
+        assert!((slope(f, x, 1e-5) - (-s * x.powf(-s - 1.0))).abs() < 1e-8);
+        assert!(
+            (second_derivative(f, x, 1e-4) - s * (s + 1.0) * x.powf(-s - 2.0)).abs() < 1e-6
+        );
+    }
+}

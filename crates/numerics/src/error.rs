@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// The search interval was empty, reversed, or non-finite.
+    InvalidInterval {
+        /// Lower endpoint supplied.
+        lo: f64,
+        /// Upper endpoint supplied.
+        hi: f64,
+    },
+    /// A root finder was called on an interval whose endpoint values do
+    /// not bracket a sign change.
+    NoSignChange {
+        /// Function value at the lower endpoint.
+        f_lo: f64,
+        /// Function value at the upper endpoint.
+        f_hi: f64,
+    },
+    /// The iteration budget was exhausted before reaching tolerance.
+    DidNotConverge {
+        /// Best abscissa at the point of failure.
+        best: f64,
+        /// Iterations consumed.
+        iterations: usize,
+    },
+    /// The objective returned a non-finite value during the search.
+    NonFiniteValue {
+        /// Abscissa at which the objective was non-finite.
+        at: f64,
+    },
+    /// The requested tolerance was zero, negative, or non-finite.
+    InvalidTolerance {
+        /// The rejected tolerance.
+        tol: f64,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid search interval [{lo}, {hi}]")
+            }
+            NumericsError::NoSignChange { f_lo, f_hi } => {
+                write!(
+                    f,
+                    "endpoint values {f_lo} and {f_hi} do not bracket a sign change"
+                )
+            }
+            NumericsError::DidNotConverge { best, iterations } => {
+                write!(
+                    f,
+                    "did not converge after {iterations} iterations (best abscissa {best})"
+                )
+            }
+            NumericsError::NonFiniteValue { at } => {
+                write!(f, "objective returned a non-finite value at {at}")
+            }
+            NumericsError::InvalidTolerance { tol } => {
+                write!(f, "invalid tolerance {tol}: must be a finite positive value")
+            }
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NumericsError::NoSignChange { f_lo: 1.0, f_hi: 2.0 };
+        assert!(e.to_string().contains("sign change"));
+        let e = NumericsError::InvalidInterval { lo: 2.0, hi: 1.0 };
+        assert!(e.to_string().contains('['));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

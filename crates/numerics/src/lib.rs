@@ -1,0 +1,51 @@
+//! Numerical substrate for the CCN coordinated-caching reproduction.
+//!
+//! The paper's optimal strategy is characterized three ways, each with
+//! different numerical needs:
+//!
+//! 1. Exact minimization of the convex objective `T_w(x)` over
+//!    `[0, c]` — [`minimize`] (golden-section with boundary handling);
+//! 2. The Lemma-2 fixed-point condition `a·ℓ^{-s} = (1-ℓ)^{-s} + b`,
+//!    solved by bracketed root finding — [`roots`] (bisection, Brent);
+//! 3. Verification of Lemma 1 (convexity) — [`convex`] probes second
+//!    differences on a grid, and [`derivative`] provides central
+//!    finite differences.
+//!
+//! [`sweep`] drives the evaluation section's parameter sweeps across
+//! threads.
+//!
+//! # Example
+//!
+//! ```
+//! use ccn_numerics::{minimize_convex, brent};
+//!
+//! # fn main() -> Result<(), ccn_numerics::NumericsError> {
+//! let min = minimize_convex(|x| (x - 3.0) * (x - 3.0), 0.0, 10.0, 1e-10)?;
+//! assert!((min.argmin - 3.0).abs() < 1e-6);
+//!
+//! let root = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-12)?;
+//! assert!((root.x - 2f64.sqrt()).abs() < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod convex;
+pub mod derivative;
+pub mod minimize;
+pub mod newton;
+pub mod roots;
+pub mod stats;
+pub mod sweep;
+
+mod error;
+
+pub use convex::{convexity_report, ConvexityReport};
+pub use derivative::{second_derivative, slope};
+pub use error::NumericsError;
+pub use minimize::{minimize_convex, Minimum};
+pub use newton::newton_bisect;
+pub use roots::{bisect, brent, Root};
+pub use sweep::sweep_parallel;

@@ -1,0 +1,184 @@
+//! Minimization of convex one-dimensional objectives.
+//!
+//! Lemma 1 of the paper proves `T_w(x)` is convex on `[0, c]`, so its
+//! minimum is found exactly by golden-section search; when the
+//! unconstrained minimizer falls outside `[0, c]`, the search converges
+//! to the correct boundary automatically (the objective is monotone on
+//! the interval in that case).
+
+use crate::NumericsError;
+
+/// A located minimum of a scalar function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minimum {
+    /// Abscissa of the minimum.
+    pub argmin: f64,
+    /// Objective value at [`Minimum::argmin`].
+    pub value: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+}
+
+const MAX_ITERS: usize = 500;
+const INV_PHI: f64 = 0.618_033_988_749_894_9;
+
+/// Golden-section search for the minimum of a convex `f` on `[lo, hi]`.
+///
+/// Tolerance is on the abscissa: the returned `argmin` is within `tol`
+/// of the true minimizer (for convex `f`). Boundary minima are
+/// returned exactly at the boundary when the interior probes are
+/// monotone toward it.
+///
+/// # Errors
+///
+/// - [`NumericsError::InvalidInterval`] / [`NumericsError::InvalidTolerance`]
+///   for malformed inputs;
+/// - [`NumericsError::NonFiniteValue`] when `f` returns NaN/∞ at a probe.
+pub fn minimize_convex(
+    f: impl Fn(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> Result<Minimum, NumericsError> {
+    if !lo.is_finite() || !hi.is_finite() || lo > hi {
+        return Err(NumericsError::InvalidInterval { lo, hi });
+    }
+    if !tol.is_finite() || tol <= 0.0 {
+        return Err(NumericsError::InvalidTolerance { tol });
+    }
+    if lo == hi {
+        let v = f(lo);
+        if !v.is_finite() {
+            return Err(NumericsError::NonFiniteValue { at: lo });
+        }
+        return Ok(Minimum { argmin: lo, value: v, iterations: 0 });
+    }
+    let probe = |x: f64| -> Result<f64, NumericsError> {
+        let v = f(x);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(NumericsError::NonFiniteValue { at: x })
+        }
+    };
+    let (orig_lo, orig_hi) = (lo, hi);
+    let mut c = hi - INV_PHI * (hi - lo);
+    let mut d = lo + INV_PHI * (hi - lo);
+    let mut fc = probe(c)?;
+    let mut fd = probe(d)?;
+    let mut iterations = 0;
+    while (hi - lo) > tol && iterations < MAX_ITERS {
+        iterations += 1;
+        if fc < fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - INV_PHI * (hi - lo);
+            fc = probe(c)?;
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + INV_PHI * (hi - lo);
+            fd = probe(d)?;
+        }
+    }
+    // Always probe the original endpoints: convex boundary minima
+    // otherwise land `tol` inside the interval, and mild boundary
+    // non-convexities (e.g. CDF clamping kinks in the cache model)
+    // can hide a lower value exactly at an endpoint.
+    let mid = 0.5 * (lo + hi);
+    let mut best = Minimum { argmin: mid, value: probe(mid)?, iterations };
+    for &x in &[orig_lo, orig_hi] {
+        let v = probe(x)?;
+        if v < best.value {
+            best = Minimum { argmin: x, value: v, iterations };
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn finds_interior_minimum() {
+        let m = minimize_convex(|x| (x - 3.0) * (x - 3.0) + 1.0, 0.0, 10.0, 1e-10).unwrap();
+        assert!((m.argmin - 3.0).abs() < 1e-6);
+        assert!((m.value - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn finds_left_boundary_minimum() {
+        // Monotone increasing on [0, 1]: minimum at 0 exactly.
+        let m = minimize_convex(|x| x + 1.0, 0.0, 1.0, 1e-10).unwrap();
+        assert_eq!(m.argmin, 0.0);
+        assert!((m.value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_right_boundary_minimum() {
+        let m = minimize_convex(|x| -x, 0.0, 1.0, 1e-10).unwrap();
+        assert_eq!(m.argmin, 1.0);
+        assert!((m.value + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_interval_is_ok() {
+        let m = minimize_convex(|x| x * x, 2.0, 2.0, 1e-10).unwrap();
+        assert_eq!(m.argmin, 2.0);
+        assert_eq!(m.value, 4.0);
+        assert_eq!(m.iterations, 0);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(minimize_convex(|x| x, 1.0, 0.0, 1e-9).is_err());
+        assert!(minimize_convex(|x| x, 0.0, 1.0, 0.0).is_err());
+        assert!(minimize_convex(|x| x, f64::INFINITY, 1.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn surfaces_non_finite_objective() {
+        let r = minimize_convex(|_| f64::NAN, 0.0, 1.0, 1e-9);
+        assert!(matches!(r, Err(NumericsError::NonFiniteValue { .. })));
+    }
+
+    /// Objective shaped like the paper's `T_w`: a sum of two opposing
+    /// power-law terms plus a linear cost, convex with an interior
+    /// minimum.
+    #[test]
+    fn paper_shaped_objective() {
+        let c = 1000.0;
+        let n = 20.0;
+        let f = |x: f64| {
+            let local = (c - x).max(1e-9);
+            let coop = c + (n - 1.0) * x;
+            -local.powf(0.2) - 4.0 * coop.powf(0.2) + 0.0005 * x
+        };
+        let m = minimize_convex(f, 0.0, c, 1e-9).unwrap();
+        assert!(m.argmin > 0.0 && m.argmin < c);
+        // First-order check via finite differences.
+        let h = 1e-4;
+        let g = (f(m.argmin + h) - f(m.argmin - h)) / (2.0 * h);
+        assert!(g.abs() < 1e-3, "gradient at minimum: {g}");
+    }
+
+    proptest! {
+        #[test]
+        fn quadratic_minima_recovered(center in -50.0f64..50.0, scale in 0.01f64..100.0) {
+            let f = move |x: f64| scale * (x - center) * (x - center);
+            let m = minimize_convex(f, -100.0, 100.0, 1e-9).unwrap();
+            prop_assert!((m.argmin - center).abs() < 1e-5);
+        }
+
+        #[test]
+        fn clamps_to_boundary_when_minimizer_outside(center in 20.0f64..100.0) {
+            let f = move |x: f64| (x - center) * (x - center);
+            let m = minimize_convex(f, 0.0, 10.0, 1e-9).unwrap();
+            prop_assert!((m.argmin - 10.0).abs() < 1e-6);
+        }
+    }
+}

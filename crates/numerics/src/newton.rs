@@ -1,0 +1,143 @@
+//! Newton's method with bisection safeguards.
+//!
+//! The Lemma-2 residual has an analytic derivative, so Newton iterates
+//! converge quadratically once near the root; the safeguard falls back
+//! to bisection whenever an iterate leaves the bracket, keeping the
+//! global convergence guarantee of [`crate::bisect`].
+
+use crate::{NumericsError, Root};
+
+const MAX_ITERS: usize = 200;
+
+/// Safeguarded Newton–bisection on `[lo, hi]`: requires a sign change
+/// like [`crate::bisect`], uses `df` for Newton steps, and falls back
+/// to bisection when a step leaves the current bracket or the
+/// derivative vanishes.
+///
+/// # Errors
+///
+/// Same contract as [`crate::bisect`]: malformed interval/tolerance,
+/// no sign change, non-finite values, or iteration exhaustion.
+pub fn newton_bisect(
+    f: impl Fn(f64) -> f64,
+    df: impl Fn(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> Result<Root, NumericsError> {
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(NumericsError::InvalidInterval { lo, hi });
+    }
+    if !tol.is_finite() || tol <= 0.0 {
+        return Err(NumericsError::InvalidTolerance { tol });
+    }
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if !f_lo.is_finite() {
+        return Err(NumericsError::NonFiniteValue { at: lo });
+    }
+    if !f_hi.is_finite() {
+        return Err(NumericsError::NonFiniteValue { at: hi });
+    }
+    if f_lo == 0.0 {
+        return Ok(Root { x: lo, f_x: 0.0, iterations: 0 });
+    }
+    if f_hi == 0.0 {
+        return Ok(Root { x: hi, f_x: 0.0, iterations: 0 });
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(NumericsError::NoSignChange { f_lo, f_hi });
+    }
+    let mut x = 0.5 * (lo + hi);
+    for i in 1..=MAX_ITERS {
+        let fx = f(x);
+        if !fx.is_finite() {
+            return Err(NumericsError::NonFiniteValue { at: x });
+        }
+        if fx == 0.0 || (hi - lo) < tol {
+            return Ok(Root { x, f_x: fx, iterations: i });
+        }
+        // Maintain the bracket.
+        if fx.signum() == f_lo.signum() {
+            lo = x;
+            f_lo = fx;
+        } else {
+            hi = x;
+        }
+        // Newton step, safeguarded into the bracket.
+        let d = df(x);
+        let newton = if d != 0.0 && d.is_finite() { x - fx / d } else { f64::NAN };
+        x = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+    }
+    Err(NumericsError::DidNotConverge { best: x, iterations: MAX_ITERS })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisect;
+
+    #[test]
+    fn converges_quadratically_on_smooth_roots() {
+        let f = |x: f64| x * x - 2.0;
+        let df = |x: f64| 2.0 * x;
+        let newton = newton_bisect(f, df, 0.0, 2.0, 1e-14).unwrap();
+        assert!((newton.x - std::f64::consts::SQRT_2).abs() < 1e-12);
+        let plain = bisect(f, 0.0, 2.0, 1e-14).unwrap();
+        assert!(
+            newton.iterations < plain.iterations / 2,
+            "newton {} vs bisect {}",
+            newton.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn survives_bad_derivatives() {
+        // A derivative that is zero half the time still converges via
+        // the bisection fallback.
+        let f = |x: f64| x.powi(3) - 1.0;
+        let df = |x: f64| if x < 1.0 { 0.0 } else { 3.0 * x * x };
+        let r = newton_bisect(f, df, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r.x - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lemma2_residual_with_analytic_derivative() {
+        // g(l) = a l^{-s} - (1-l)^{-s} - b, g'(l) = -a s l^{-s-1} - s (1-l)^{-s-1}.
+        let (a, b, s) = (9.1, 4.0, 0.8);
+        let g = move |l: f64| a * l.powf(-s) - (1.0 - l).powf(-s) - b;
+        let dg = move |l: f64| -a * s * l.powf(-s - 1.0) - s * (1.0 - l).powf(-s - 1.0);
+        let r = newton_bisect(g, dg, 1e-9, 1.0 - 1e-9, 1e-14).unwrap();
+        assert!(g(r.x).abs() < 1e-9);
+        let check = bisect(g, 1e-9, 1.0 - 1e-9, 1e-14).unwrap();
+        assert!((r.x - check.x).abs() < 1e-10);
+    }
+
+    #[test]
+    fn shares_the_bisect_error_contract() {
+        assert!(matches!(
+            newton_bisect(|x| x * x + 1.0, |x| 2.0 * x, -1.0, 1.0, 1e-9),
+            Err(NumericsError::NoSignChange { .. })
+        ));
+        assert!(matches!(
+            newton_bisect(|x| x, |_| 1.0, 1.0, 0.0, 1e-9),
+            Err(NumericsError::InvalidInterval { .. })
+        ));
+        assert!(matches!(
+            newton_bisect(|x| x, |_| 1.0, -1.0, 1.0, 0.0),
+            Err(NumericsError::InvalidTolerance { .. })
+        ));
+    }
+
+    #[test]
+    fn endpoint_roots_short_circuit() {
+        let r = newton_bisect(|x| x - 1.0, |_| 1.0, 1.0, 2.0, 1e-9).unwrap();
+        assert_eq!(r.x, 1.0);
+        assert_eq!(r.iterations, 0);
+    }
+}

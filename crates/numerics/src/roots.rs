@@ -1,0 +1,270 @@
+//! Bracketed root finding: bisection and Brent's method.
+//!
+//! The Lemma-2 optimality condition `g(ℓ) = a·ℓ^{-s} − (1−ℓ)^{-s} − b`
+//! is strictly decreasing on `(0, 1)` with `g(0+) = +∞` and
+//! `g(1−) = −∞` (Theorem 1), so any bracketing solver converges to the
+//! unique crossing. Brent's method is the default; bisection is kept
+//! both as a fallback and as an independent cross-check in tests.
+
+use crate::NumericsError;
+
+/// A located root.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// Abscissa of the root.
+    pub x: f64,
+    /// Function value at `x` (residual).
+    pub f_x: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+}
+
+const MAX_ITERS: usize = 500;
+
+fn check_interval(lo: f64, hi: f64, tol: f64) -> Result<(), NumericsError> {
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(NumericsError::InvalidInterval { lo, hi });
+    }
+    if !tol.is_finite() || tol <= 0.0 {
+        return Err(NumericsError::InvalidTolerance { tol });
+    }
+    Ok(())
+}
+
+/// Bisection on `[lo, hi]`, assuming `f(lo)` and `f(hi)` have opposite
+/// signs.
+///
+/// # Errors
+///
+/// - [`NumericsError::InvalidInterval`] / [`NumericsError::InvalidTolerance`]
+///   for malformed inputs;
+/// - [`NumericsError::NoSignChange`] when the endpoints do not bracket;
+/// - [`NumericsError::NonFiniteValue`] when `f` returns NaN/∞;
+/// - [`NumericsError::DidNotConverge`] if the interval has not shrunk
+///   below `tol` within the iteration budget.
+pub fn bisect(
+    f: impl Fn(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> Result<Root, NumericsError> {
+    check_interval(lo, hi, tol)?;
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if !f_lo.is_finite() {
+        return Err(NumericsError::NonFiniteValue { at: lo });
+    }
+    if !f_hi.is_finite() {
+        return Err(NumericsError::NonFiniteValue { at: hi });
+    }
+    if f_lo == 0.0 {
+        return Ok(Root { x: lo, f_x: 0.0, iterations: 0 });
+    }
+    if f_hi == 0.0 {
+        return Ok(Root { x: hi, f_x: 0.0, iterations: 0 });
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(NumericsError::NoSignChange { f_lo, f_hi });
+    }
+    for i in 1..=MAX_ITERS {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(mid);
+        if !f_mid.is_finite() {
+            return Err(NumericsError::NonFiniteValue { at: mid });
+        }
+        if f_mid == 0.0 || (hi - lo) < tol {
+            return Ok(Root { x: mid, f_x: f_mid, iterations: i });
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumericsError::DidNotConverge {
+        best: 0.5 * (lo + hi),
+        iterations: MAX_ITERS,
+    })
+}
+
+/// Brent's method on `[lo, hi]`: inverse quadratic interpolation with
+/// bisection safeguards. Typically an order of magnitude fewer function
+/// evaluations than bisection at the same tolerance.
+///
+/// # Errors
+///
+/// Same contract as [`bisect`].
+pub fn brent(
+    f: impl Fn(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Result<Root, NumericsError> {
+    check_interval(lo, hi, tol)?;
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if !fa.is_finite() {
+        return Err(NumericsError::NonFiniteValue { at: a });
+    }
+    if !fb.is_finite() {
+        return Err(NumericsError::NonFiniteValue { at: b });
+    }
+    if fa == 0.0 {
+        return Ok(Root { x: a, f_x: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, f_x: 0.0, iterations: 0 });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoSignChange { f_lo: fa, f_hi: fb });
+    }
+    // Ensure |f(b)| <= |f(a)|: b is the current best.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for i in 1..=MAX_ITERS {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(Root { x: b, f_x: fb, iterations: i });
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant step.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo_bound = (3.0 * a + b) / 4.0;
+        let in_bounds = if lo_bound < b {
+            s > lo_bound && s < b
+        } else {
+            s > b && s < lo_bound
+        };
+        let bisect_instead = !in_bounds
+            || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            || (!mflag && (s - b).abs() >= d.abs() / 2.0)
+            || (mflag && (b - c).abs() < tol)
+            || (!mflag && d.abs() < tol);
+        if bisect_instead {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        if !fs.is_finite() {
+            return Err(NumericsError::NonFiniteValue { at: s });
+        }
+        d = b - c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericsError::DidNotConverge { best: b, iterations: MAX_ITERS })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_sqrt2_faster() {
+        let b = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        let r = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-10);
+        assert!(r.iterations < b.iterations, "brent {} vs bisect {}", r.iterations, b.iterations);
+    }
+
+    #[test]
+    fn exact_root_at_endpoint_short_circuits() {
+        let r = brent(|x| x, 0.0, 1.0, 1e-12).unwrap();
+        assert_eq!(r.x, 0.0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn rejects_non_bracketing_interval() {
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(NumericsError::NoSignChange { .. })
+        ));
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(NumericsError::NoSignChange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(matches!(
+            brent(|x| x, 1.0, 0.0, 1e-9),
+            Err(NumericsError::InvalidInterval { .. })
+        ));
+        assert!(matches!(
+            brent(|x| x, 0.0, 1.0, -1.0),
+            Err(NumericsError::InvalidTolerance { .. })
+        ));
+        assert!(matches!(
+            brent(|x| x, f64::NAN, 1.0, 1e-9),
+            Err(NumericsError::InvalidInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn surfaces_non_finite_objective() {
+        let r = brent(|x| if x > 0.5 { f64::NAN } else { -1.0 }, 0.0, 1.0, 1e-9);
+        assert!(matches!(r, Err(NumericsError::NonFiniteValue { .. })));
+    }
+
+    /// Shape of the Lemma-2 residual: steep power-law blow-ups at both
+    /// ends, exactly what the paper's equation (7) produces.
+    #[test]
+    fn solves_lemma2_shaped_equation() {
+        let (a, b, s) = (3.5, 120.0, 0.8);
+        let g = |l: f64| a * l.powf(-s) - (1.0 - l).powf(-s) - b;
+        let eps = 1e-12;
+        let r = brent(g, eps, 1.0 - eps, 1e-14).unwrap();
+        assert!(r.x > 0.0 && r.x < 1.0);
+        assert!(g(r.x).abs() < 1e-6, "residual {}", g(r.x));
+        let r2 = bisect(g, eps, 1.0 - eps, 1e-14).unwrap();
+        assert!((r.x - r2.x).abs() < 1e-9, "brent and bisect agree");
+    }
+
+    proptest! {
+        /// Both solvers find the root of a random monotone cubic.
+        #[test]
+        fn agree_on_random_monotone_cubics(root in -5.0f64..5.0, scale in 0.1f64..10.0) {
+            let f = move |x: f64| scale * (x - root) * ((x - root).powi(2) + 1.0);
+            let b = bisect(f, -10.0, 10.0, 1e-12).unwrap();
+            let br = brent(f, -10.0, 10.0, 1e-12).unwrap();
+            prop_assert!((b.x - root).abs() < 1e-8);
+            prop_assert!((br.x - root).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Summary statistics for repeated-trial experiments.
+//!
+//! Simulation metrics are random variables of the workload seed;
+//! honest evaluation reports them with dispersion. This module gives
+//! the small toolkit the examples and experiment binaries use: sample
+//! mean/variance, quantiles, and normal-approximation confidence
+//! intervals over per-seed results.
+
+/// Summary of a sample of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 for fewer than two
+    /// observations).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample; returns `None` when empty or any
+    /// observation is non-finite.
+    #[must_use]
+    pub fn of(sample: &[f64]) -> Option<Summary> {
+        if sample.is_empty() || sample.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let n = sample.len() as f64;
+        let mean = sample.iter().sum::<f64>() / n;
+        let var = if sample.len() < 2 {
+            0.0
+        } else {
+            sample.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)
+        };
+        Some(Summary {
+            count: sample.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: sample.iter().copied().fold(f64::INFINITY, f64::min),
+            max: sample.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+
+    /// Half-width of the normal-approximation confidence interval at
+    /// the given z-score (1.96 ≈ 95%); 0 for single observations.
+    #[must_use]
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        z * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample by linear interpolation
+/// between order statistics; `None` for empty or non-finite samples.
+#[must_use]
+pub fn quantile(sample: &[f64], q: f64) -> Option<f64> {
+    if sample.is_empty() || sample.iter().any(|v| !v.is_finite()) || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = sample.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Unbiased std dev of this classic sample is ~2.138.
+        assert!((s.std_dev - 2.138).abs() < 1e-3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        let single = Summary::of(&[3.0]).unwrap();
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.ci_half_width(1.96), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let big_sample: Vec<f64> = (0..64).map(|i| 1.0 + 3.0 * (i % 4) as f64 / 3.0).collect();
+        let big = Summary::of(&big_sample).unwrap();
+        assert!(big.ci_half_width(1.96) < small.ci_half_width(1.96));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sample = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&sample, 0.0), Some(1.0));
+        assert_eq!(quantile(&sample, 1.0), Some(5.0));
+        assert_eq!(quantile(&sample, 0.5), Some(3.0));
+        assert_eq!(quantile(&sample, 0.25), Some(2.0));
+        assert!((quantile(&sample, 0.9).unwrap() - 4.6).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(quantile(&sample, 1.5).is_none());
+    }
+}

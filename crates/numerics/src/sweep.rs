@@ -1,0 +1,145 @@
+//! Parameter sweep drivers.
+//!
+//! Every figure in the paper's evaluation section is a sweep of the
+//! optimal strategy or a gain metric over one parameter while others
+//! are held at the Table-IV defaults. [`sweep`] runs a closure over a
+//! grid sequentially; [`sweep_parallel`] fans the grid out across
+//! threads with `crossbeam::scope` (the closure only needs `Sync`, no
+//! `'static` bound, so figure code can borrow locals).
+
+/// Builds a uniformly spaced grid of `points` values covering
+/// `[lo, hi]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `points == 0` or the interval is malformed.
+#[must_use]
+pub fn linspace(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(points > 0, "need at least one grid point");
+    assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "malformed interval");
+    if points == 1 {
+        return vec![lo];
+    }
+    let h = (hi - lo) / (points - 1) as f64;
+    (0..points).map(|i| lo + i as f64 * h).collect()
+}
+
+/// Builds a logarithmically spaced grid of `points` values covering
+/// `[lo, hi]` inclusive, `lo > 0`.
+///
+/// # Panics
+///
+/// Panics if `points == 0` or `lo <= 0` or `hi < lo`.
+#[must_use]
+pub fn logspace(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi >= lo, "logspace needs 0 < lo <= hi");
+    linspace(lo.ln(), hi.ln(), points)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
+}
+
+/// Evaluates `f` at every grid point, returning `(x, f(x))` pairs in
+/// grid order.
+pub fn sweep<T>(grid: &[f64], mut f: impl FnMut(f64) -> T) -> Vec<(f64, T)> {
+    grid.iter().map(|&x| (x, f(x))).collect()
+}
+
+/// Parallel variant of [`sweep`]: grid points are distributed across
+/// `threads` workers; results come back in grid order.
+///
+/// The closure is shared by reference, so it must be `Sync`; results
+/// must be `Send`. Falls back to sequential evaluation when
+/// `threads <= 1` or the grid is tiny.
+pub fn sweep_parallel<T: Send>(
+    grid: &[f64],
+    threads: usize,
+    f: impl Fn(f64) -> T + Sync,
+) -> Vec<(f64, T)> {
+    if threads <= 1 || grid.len() <= 1 {
+        return grid.iter().map(|&x| (x, f(x))).collect();
+    }
+    let threads = threads.min(grid.len());
+    let mut slots: Vec<Option<(f64, T)>> = Vec::with_capacity(grid.len());
+    slots.resize_with(grid.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let chunk = grid.len().div_ceil(threads);
+        let mut rest = slots.as_mut_slice();
+        let mut offset = 0;
+        for _ in 0..threads {
+            let take = chunk.min(rest.len());
+            if take == 0 {
+                break;
+            }
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = offset;
+            offset += take;
+            let f = &f;
+            scope.spawn(move |_| {
+                for (i, slot) in head.iter_mut().enumerate() {
+                    let x = grid[base + i];
+                    *slot = Some((x, f(x)));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let g = linspace(0.0, 1.0, 5);
+        assert_eq!(g, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(linspace(3.0, 3.0, 1), vec![3.0]);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let g = logspace(1.0, 100.0, 3);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[1] - 10.0).abs() < 1e-9);
+        assert!((g[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_linspace_panics() {
+        let _ = linspace(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn sequential_sweep_preserves_order() {
+        let grid = linspace(0.0, 4.0, 5);
+        let out = sweep(&grid, |x| x * x);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[3], (3.0, 9.0));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let grid = linspace(0.0, 10.0, 137);
+        let seq = sweep(&grid, |x| (x.sin() * 1e6).round());
+        for threads in [1, 2, 3, 8, 200] {
+            let par = sweep_parallel(&grid, threads, |x| (x.sin() * 1e6).round());
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_closure_can_borrow_locals() {
+        let offset = 5.0;
+        let grid = linspace(0.0, 1.0, 16);
+        let out = sweep_parallel(&grid, 4, |x| x + offset);
+        assert!((out[0].1 - 5.0).abs() < 1e-12);
+        assert!((out[15].1 - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+use std::fmt;
+
+/// A named content object, identified by its global popularity rank
+/// (1-based: rank 1 is the most popular object).
+///
+/// Using the rank as the identity matches the model's convention and
+/// makes placement rules ("ranks `c−x+1 ..= c−x+n·x` are coordinated")
+/// directly expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContentId(pub u64);
+
+impl ContentId {
+    /// The popularity rank (1-based).
+    #[must_use]
+    pub fn rank(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ContentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "content#{}", self.0)
+    }
+}
+
+impl From<u64> for ContentId {
+    fn from(rank: u64) -> Self {
+        ContentId(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_rank() {
+        assert!(ContentId(1) < ContentId(2));
+        assert_eq!(ContentId::from(7).rank(), 7);
+        assert_eq!(ContentId(3).to_string(), "content#3");
+    }
+}

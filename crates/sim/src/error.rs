@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+use ccn_topology::TopologyError;
+use ccn_zipf::ZipfError;
+
+/// Errors produced when configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The underlying topology was unusable (disconnected, bad edge…).
+    Topology(TopologyError),
+    /// The workload's popularity distribution was invalid.
+    Zipf(ZipfError),
+    /// A router id referenced a node outside the topology.
+    UnknownRouter {
+        /// The offending router index.
+        router: usize,
+        /// Number of routers in the network.
+        routers: usize,
+    },
+    /// A simulation parameter was out of range.
+    InvalidConfig {
+        /// Explanation of the rejected configuration.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Topology(e) => write!(f, "topology error: {e}"),
+            SimError::Zipf(e) => write!(f, "workload error: {e}"),
+            SimError::UnknownRouter { router, routers } => {
+                write!(f, "unknown router {router} (network has {routers})")
+            }
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid simulation configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Topology(e) => Some(e),
+            SimError::Zipf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for SimError {
+    fn from(e: TopologyError) -> Self {
+        SimError::Topology(e)
+    }
+}
+
+impl From<ZipfError> for SimError {
+    fn from(e: ZipfError) -> Self {
+        SimError::Zipf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::from(TopologyError::SelfLoop { node: 3 });
+        assert!(e.to_string().contains("self loop"));
+        assert!(Error::source(&e).is_some());
+        let e = SimError::InvalidConfig { reason: "zero horizon".into() };
+        assert!(e.to_string().contains("zero horizon"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

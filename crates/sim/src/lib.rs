@@ -1,0 +1,61 @@
+//! Packet-level discrete-event simulator for content-centric networks.
+//!
+//! The paper's model (`ccn-model`) is analytical; this crate provides
+//! the executable counterpart used to *validate* it and to reproduce
+//! the motivating example (Table I) by actually running it:
+//!
+//! - routers exchange **Interest/Data** packets hop-by-hop over a
+//!   `ccn-topology` graph, with per-link latencies;
+//! - each router has a **content store** under a pluggable policy
+//!   ([`store`]: LRU, LFU, FIFO, random, or static placement), a
+//!   **PIT** that aggregates concurrent Interests, and a **FIB**
+//!   derived from shortest paths;
+//! - a [`Placement`] maps coordinated contents to their holder router
+//!   (range or hash partition), realizing the model's hybrid
+//!   `c − x` local / `n·x` coordinated split;
+//! - clients attached to routers issue deterministic or Zipf IRM
+//!   request streams ([`workload`]), recordable and replayable as
+//!   text traces ([`trace`]);
+//! - [`Metrics`] reports the three quantities of the paper's Table I:
+//!   load on origin, average fetch hop count, and latency, plus hit
+//!   ratios and message counts.
+//!
+//! The origin is modelled as a virtual server reachable from every
+//! router at a configurable latency and hop distance (the model's
+//! uniform `d2` abstraction — "O is an abstraction of multiple origin
+//! servers").
+//!
+//! # Example
+//!
+//! ```
+//! use ccn_sim::scenario;
+//!
+//! // Reproduce the paper's Table I by simulation.
+//! let outcome = scenario::motivating().expect("scenario is valid");
+//! assert!((outcome.non_coordinated.origin_load() - 1.0 / 3.0).abs() < 1e-9);
+//! assert!(outcome.coordinated.origin_load() < 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod scenario;
+pub mod store;
+pub mod trace;
+pub mod workload;
+
+mod content;
+mod error;
+mod event;
+mod metrics;
+mod network;
+mod pit;
+mod placement;
+mod simulator;
+
+pub use content::ContentId;
+pub use error::SimError;
+pub use metrics::{Metrics, ServedBy};
+pub use network::{CachingMode, Network, NetworkBuilder, OriginConfig};
+pub use placement::Placement;
+pub use simulator::{Deployment, SimConfig, Simulator};

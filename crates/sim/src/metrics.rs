@@ -1,0 +1,204 @@
+//! Simulation metrics: the quantities of the paper's Table I plus
+//! diagnostic counters.
+
+/// Which tier served a completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// The client's own router (latency tier `d0`).
+    Local,
+    /// Another router in the domain (tier `d1`).
+    Peer,
+    /// The origin server (tier `d2`).
+    Origin,
+}
+
+/// Aggregated outcome of a simulation run (post-warmup requests only).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Requests issued (after warmup).
+    pub issued: u64,
+    /// Requests completed (after warmup).
+    pub completed: u64,
+    /// Completions served by the client's own router.
+    pub local: u64,
+    /// Completions served by an in-network peer.
+    pub peer: u64,
+    /// Completions served by the origin.
+    pub origin: u64,
+    /// Sum of fetch hop counts over completions.
+    pub total_hops: u64,
+    /// Largest fetch hop count observed.
+    pub max_hops: u32,
+    /// Sum of request latencies (ms) over completions.
+    pub total_latency_ms: f64,
+    /// Interest packets that crossed a link.
+    pub interest_messages: u64,
+    /// Data packets that crossed a link (origin deliveries included).
+    pub data_messages: u64,
+    /// Interests absorbed by PIT aggregation.
+    pub aggregated_interests: u64,
+    /// Cache insertions performed by replacement policies.
+    pub cache_insertions: u64,
+    /// Per-router local-hit counters.
+    pub local_hits_per_router: Vec<u64>,
+    /// Raw per-request latency samples (ms), in completion order —
+    /// the basis of the percentile accessors.
+    pub latency_samples: Vec<f64>,
+    /// Contents moved between routers by in-run re-provisioning
+    /// events (zero for static runs).
+    pub reprovision_moves: u64,
+    /// Re-provisioning events executed during the run.
+    pub reprovision_events: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for a network of `routers` routers.
+    #[must_use]
+    pub fn new(routers: usize) -> Self {
+        Self { local_hits_per_router: vec![0; routers], ..Self::default() }
+    }
+
+    pub(crate) fn record_completion(
+        &mut self,
+        router: usize,
+        served_by: ServedBy,
+        hops: u32,
+        latency_ms: f64,
+    ) {
+        self.completed += 1;
+        self.total_hops += u64::from(hops);
+        self.max_hops = self.max_hops.max(hops);
+        self.total_latency_ms += latency_ms;
+        self.latency_samples.push(latency_ms);
+        match served_by {
+            ServedBy::Local => {
+                self.local += 1;
+                if let Some(slot) = self.local_hits_per_router.get_mut(router) {
+                    *slot += 1;
+                }
+            }
+            ServedBy::Peer => self.peer += 1,
+            ServedBy::Origin => self.origin += 1,
+        }
+    }
+
+    /// Fraction of completed requests served by the origin — the
+    /// paper's *load on origin* metric.
+    #[must_use]
+    pub fn origin_load(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.origin as f64 / self.completed as f64
+    }
+
+    /// Mean fetch hop count per request — the paper's *routing hop
+    /// count* metric.
+    #[must_use]
+    pub fn avg_hops(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.total_hops as f64 / self.completed as f64
+    }
+
+    /// Mean request latency in milliseconds.
+    #[must_use]
+    pub fn avg_latency_ms(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.total_latency_ms / self.completed as f64
+    }
+
+    /// Fraction of completions served from the client's own router.
+    #[must_use]
+    pub fn local_hit_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.local as f64 / self.completed as f64
+    }
+
+    /// Fraction of completions served from an in-network peer.
+    #[must_use]
+    pub fn peer_hit_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.peer as f64 / self.completed as f64
+    }
+
+    /// The `q`-quantile of per-request latency (linear interpolation
+    /// between order statistics); `None` when nothing completed or `q`
+    /// is outside `[0, 1]`.
+    #[must_use]
+    pub fn latency_percentile(&self, q: f64) -> Option<f64> {
+        if self.latency_samples.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let mut sorted = self.latency_samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Fraction of issued requests that completed (1.0 when the run
+    /// drained its event queue).
+    #[must_use]
+    pub fn completion_ratio(&self) -> f64 {
+        if self.issued == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.issued as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_on_empty_metrics_are_zero() {
+        let m = Metrics::new(3);
+        assert_eq!(m.origin_load(), 0.0);
+        assert_eq!(m.avg_hops(), 0.0);
+        assert_eq!(m.avg_latency_ms(), 0.0);
+        assert_eq!(m.completion_ratio(), 0.0);
+    }
+
+    #[test]
+    fn record_completion_updates_tiers() {
+        let mut m = Metrics::new(2);
+        m.issued = 3;
+        m.record_completion(0, ServedBy::Local, 0, 1.0);
+        m.record_completion(1, ServedBy::Peer, 2, 5.0);
+        m.record_completion(0, ServedBy::Origin, 4, 20.0);
+        assert_eq!(m.completed, 3);
+        assert!((m.origin_load() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.avg_hops() - 2.0).abs() < 1e-12);
+        assert!((m.avg_latency_ms() - 26.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.max_hops, 4);
+        assert_eq!(m.local_hits_per_router, vec![1, 0]);
+        assert!((m.completion_ratio() - 1.0).abs() < 1e-12);
+        assert!((m.local_hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.peer_hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut m = Metrics::new(1);
+        assert_eq!(m.latency_percentile(0.5), None);
+        for latency in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            m.record_completion(0, ServedBy::Local, 0, latency);
+        }
+        assert_eq!(m.latency_percentile(0.0), Some(1.0));
+        assert_eq!(m.latency_percentile(0.5), Some(3.0));
+        assert_eq!(m.latency_percentile(1.0), Some(5.0));
+        assert!((m.latency_percentile(0.9).unwrap() - 4.6).abs() < 1e-12);
+        assert_eq!(m.latency_percentile(1.5), None);
+    }
+}

@@ -1,0 +1,310 @@
+//! The simulated network: topology, per-router stores, placement, and
+//! the virtual origin.
+
+use ccn_topology::shortest_path::{all_pairs, AllPairs};
+use ccn_topology::Graph;
+
+use crate::store::{ContentStore, LruStore};
+use crate::{Placement, SimError};
+
+/// The origin server. Two attachment styles:
+///
+/// - `gateway: None` — the model's abstraction: the origin is
+///   reachable from *every* router at the uniform `latency_ms`/`hops`
+///   ("O is an abstraction of multiple origin servers", §III-A);
+/// - `gateway: Some(router)` — CCN-faithful: Interests travel
+///   hop-by-hop to the gateway router, which reaches the origin at
+///   `latency_ms`/`hops` beyond itself. This makes on-path caching
+///   along the gateway path meaningful.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OriginConfig {
+    /// Full origin fetch delay (request and response) beyond the
+    /// serving router or gateway, in ms — charged once per fetch,
+    /// unlike in-network links which are charged per direction.
+    pub latency_ms: f64,
+    /// Hop count attributed to the origin leg of a fetch.
+    pub hops: u32,
+    /// Router the origin attaches behind, if any.
+    pub gateway: Option<usize>,
+}
+
+impl Default for OriginConfig {
+    /// Two hops away at 50 ms from everywhere, a typical remote origin.
+    fn default() -> Self {
+        Self { latency_ms: 50.0, hops: 2, gateway: None }
+    }
+}
+
+/// Where newly fetched contents are inserted on the return path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CachingMode {
+    /// Stores never change from data passing through (static
+    /// provisioning, the model's steady state).
+    #[default]
+    Static,
+    /// Insert at the requesting client's router only.
+    Edge,
+    /// Insert at every router the Data packet traverses (CCN's
+    /// "leave copy everywhere").
+    OnPath,
+    /// Insert at each traversed router independently with the given
+    /// probability — "leave copy probabilistically", the classic
+    /// redundancy-reduction refinement of on-path caching in the ICN
+    /// literature.
+    OnPathProbabilistic {
+        /// Per-router insertion probability in `[0, 1]`.
+        probability: f64,
+    },
+}
+
+/// A fully configured simulated network.
+pub struct Network {
+    pub(crate) graph: Graph,
+    pub(crate) routes: AllPairs,
+    pub(crate) stores: Vec<Box<dyn ContentStore>>,
+    pub(crate) placement: Placement,
+    pub(crate) origin: OriginConfig,
+    pub(crate) caching: CachingMode,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("topology", &self.graph.name())
+            .field("routers", &self.graph.node_count())
+            .field("placement", &self.placement)
+            .field("origin", &self.origin)
+            .field("caching", &self.caching)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Starts building a network over `graph`.
+    #[must_use]
+    pub fn builder(graph: Graph) -> NetworkBuilder {
+        NetworkBuilder::new(graph)
+    }
+
+    /// Number of routers.
+    #[must_use]
+    pub fn routers(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Link latency between adjacent routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes are not adjacent (a forwarding bug).
+    pub(crate) fn link_latency(&self, a: usize, b: usize) -> f64 {
+        self.graph
+            .neighbors(a)
+            .iter()
+            .find(|&&(v, _)| v == b)
+            .map(|&(_, ms)| ms)
+            .expect("forwarding only crosses existing links")
+    }
+
+    /// Immutable access to a router's content store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is out of range.
+    #[must_use]
+    pub fn store(&self, router: usize) -> &dyn ContentStore {
+        self.stores[router].as_ref()
+    }
+
+    /// The configured placement.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+}
+
+/// Builder for [`Network`].
+pub struct NetworkBuilder {
+    graph: Graph,
+    stores: Vec<Option<Box<dyn ContentStore>>>,
+    placement: Placement,
+    origin: OriginConfig,
+    caching: CachingMode,
+    default_capacity: usize,
+}
+
+impl std::fmt::Debug for NetworkBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkBuilder")
+            .field("topology", &self.graph.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetworkBuilder {
+    /// Starts a builder over `graph`; stores default to LRU with
+    /// capacity 0 (no caching) until configured.
+    #[must_use]
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.node_count();
+        Self {
+            graph,
+            stores: (0..n).map(|_| None).collect(),
+            placement: Placement::none(),
+            origin: OriginConfig::default(),
+            caching: CachingMode::Static,
+            default_capacity: 0,
+        }
+    }
+
+    /// Installs a specific store at one router.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRouter`] for an out-of-range index.
+    pub fn store(
+        mut self,
+        router: usize,
+        store: Box<dyn ContentStore>,
+    ) -> Result<Self, SimError> {
+        let n = self.stores.len();
+        let slot = self
+            .stores
+            .get_mut(router)
+            .ok_or(SimError::UnknownRouter { router, routers: n })?;
+        *slot = Some(store);
+        Ok(self)
+    }
+
+    /// Installs stores produced by `factory(router)` at every router
+    /// that does not yet have one.
+    #[must_use]
+    pub fn stores_with(
+        mut self,
+        mut factory: impl FnMut(usize) -> Box<dyn ContentStore>,
+    ) -> Self {
+        for (router, slot) in self.stores.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(factory(router));
+            }
+        }
+        self
+    }
+
+    /// Default LRU capacity for routers left unconfigured at build
+    /// time.
+    #[must_use]
+    pub fn default_lru_capacity(mut self, capacity: usize) -> Self {
+        self.default_capacity = capacity;
+        self
+    }
+
+    /// Sets the coordinated placement.
+    #[must_use]
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Configures the virtual origin.
+    #[must_use]
+    pub fn origin(mut self, origin: OriginConfig) -> Self {
+        self.origin = origin;
+        self
+    }
+
+    /// Sets the on-return caching mode.
+    #[must_use]
+    pub fn caching(mut self, caching: CachingMode) -> Self {
+        self.caching = caching;
+        self
+    }
+
+    /// Validates and produces the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Topology`] when the graph is disconnected
+    /// and [`SimError::InvalidConfig`] for a non-positive origin
+    /// latency.
+    pub fn build(self) -> Result<Network, SimError> {
+        self.graph.ensure_connected()?;
+        if !self.origin.latency_ms.is_finite() || self.origin.latency_ms <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                reason: format!("origin latency {} must be positive", self.origin.latency_ms),
+            });
+        }
+        if let Some(gw) = self.origin.gateway {
+            if gw >= self.graph.node_count() {
+                return Err(SimError::UnknownRouter { router: gw, routers: self.graph.node_count() });
+            }
+        }
+        let routes = all_pairs(&self.graph);
+        let default_capacity = self.default_capacity;
+        let stores: Vec<Box<dyn ContentStore>> = self
+            .stores
+            .into_iter()
+            .map(|s| s.unwrap_or_else(|| Box::new(LruStore::new(default_capacity))))
+            .collect();
+        Ok(Network {
+            graph: self.graph,
+            routes,
+            stores,
+            placement: self.placement,
+            origin: self.origin,
+            caching: self.caching,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StaticStore;
+    use crate::ContentId;
+    use ccn_topology::generators;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let g = generators::ring(4, 2.0).unwrap();
+        let net = Network::builder(g)
+            .default_lru_capacity(3)
+            .store(1, Box::new(StaticStore::new([ContentId(9)])))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(net.routers(), 4);
+        assert!(net.store(1).contains(ContentId(9)));
+        assert_eq!(net.store(0).capacity(), 3);
+        assert!((net.link_latency(0, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_unknown_router_and_disconnected_graph() {
+        let g = generators::ring(4, 2.0).unwrap();
+        assert!(matches!(
+            Network::builder(g).store(9, Box::new(StaticStore::new([]))),
+            Err(SimError::UnknownRouter { router: 9, routers: 4 })
+        ));
+        let mut g2 = generators::ring(4, 2.0).unwrap();
+        g2.add_node("island", 0.0, 0.0);
+        assert!(matches!(Network::builder(g2).build(), Err(SimError::Topology(_))));
+    }
+
+    #[test]
+    fn rejects_bad_origin() {
+        let g = generators::ring(3, 1.0).unwrap();
+        let r = Network::builder(g)
+            .origin(OriginConfig { latency_ms: 0.0, hops: 2, ..Default::default() })
+            .build();
+        assert!(matches!(r, Err(SimError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "existing links")]
+    fn link_latency_panics_for_non_adjacent() {
+        let g = generators::line(3, 1.0).unwrap();
+        let net = Network::builder(g).build().unwrap();
+        let _ = net.link_latency(0, 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! The Pending Interest Table.
+//!
+//! CCN routers aggregate Interests: while an Interest for a content is
+//! outstanding, further Interests for the same content are recorded as
+//! additional downstreams and *not* forwarded again. When the Data
+//! packet arrives it is fanned out to every recorded downstream and
+//! the entry is consumed.
+
+use std::collections::HashMap;
+
+use crate::ContentId;
+
+/// Where a Data packet must be sent when it satisfies a PIT entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Downstream {
+    /// A locally attached client; carries the request id and issue
+    /// time so metrics can close the request.
+    Client {
+        /// Request identifier assigned at issue time.
+        req_id: u64,
+        /// Simulation time at which the client issued the request.
+        issued_at: f64,
+    },
+    /// A neighbouring router.
+    Router(usize),
+}
+
+/// One router's PIT.
+#[derive(Debug, Default)]
+pub(crate) struct Pit {
+    entries: HashMap<ContentId, Vec<Downstream>>,
+}
+
+impl Pit {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a downstream for `content`. Returns `true` when this
+    /// created a new entry (the Interest must be forwarded) and
+    /// `false` when it was aggregated onto an existing one.
+    pub(crate) fn register(&mut self, content: ContentId, downstream: Downstream) -> bool {
+        let entry = self.entries.entry(content).or_default();
+        entry.push(downstream);
+        entry.len() == 1
+    }
+
+    /// Consumes the entry for `content`, returning all downstreams
+    /// waiting for it (empty if none).
+    pub(crate) fn satisfy(&mut self, content: ContentId) -> Vec<Downstream> {
+        self.entries.remove(&content).unwrap_or_default()
+    }
+
+    /// Number of distinct pending contents.
+    pub(crate) fn pending(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_register_forwards_rest_aggregate() {
+        let mut pit = Pit::new();
+        let c = ContentId(9);
+        assert!(pit.register(c, Downstream::Router(1)));
+        assert!(!pit.register(c, Downstream::Router(2)));
+        assert!(!pit.register(c, Downstream::Client { req_id: 5, issued_at: 1.0 }));
+        assert_eq!(pit.pending(), 1);
+    }
+
+    #[test]
+    fn satisfy_drains_all_downstreams_once() {
+        let mut pit = Pit::new();
+        let c = ContentId(9);
+        pit.register(c, Downstream::Router(1));
+        pit.register(c, Downstream::Router(2));
+        let down = pit.satisfy(c);
+        assert_eq!(down.len(), 2);
+        assert!(pit.satisfy(c).is_empty(), "entry is consumed");
+        assert_eq!(pit.pending(), 0);
+    }
+
+    #[test]
+    fn independent_contents_do_not_interfere() {
+        let mut pit = Pit::new();
+        assert!(pit.register(ContentId(1), Downstream::Router(0)));
+        assert!(pit.register(ContentId(2), Downstream::Router(0)));
+        assert_eq!(pit.pending(), 2);
+        assert_eq!(pit.satisfy(ContentId(1)).len(), 1);
+        assert_eq!(pit.pending(), 1);
+    }
+}

@@ -1,0 +1,490 @@
+//! Coordinated content placement: which router holds which slice of
+//! the coordinated range.
+//!
+//! The model's hybrid layout coordinates the `n·x` contents ranked
+//! `c − x + 1 ..= c − x + n·x`; a placement decides the holder of each
+//! one. Three classical schemes are provided:
+//!
+//! - [`Placement::range`]: contiguous rank slices, router `i` holds
+//!   ranks `[start + i·x, start + (i+1)·x)` — what the model's
+//!   analysis implicitly assumes;
+//! - [`Placement::hash`]: modular hashing of ranks onto routers —
+//!   balanced, but relocates almost everything when the router set
+//!   changes;
+//! - [`Placement::rendezvous`]: highest-random-weight hashing —
+//!   balanced *and* churn-stable (≈ `1/n` of contents move per router
+//!   join/leave); see [`Placement::movement_cost`] and the `churn`
+//!   experiment binary.
+
+use crate::ContentId;
+
+/// Maps coordinated contents to holder routers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// First coordinated rank (inclusive).
+    start: u64,
+    /// One-past-last coordinated rank.
+    end: u64,
+    /// Participating routers in slice order.
+    routers: Vec<usize>,
+    scheme: Scheme,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Scheme {
+    Range,
+    Hash,
+    Rendezvous,
+    /// Explicit contiguous slices: `(one-past-end, router)` sorted by
+    /// boundary; slice `i` covers `[bounds[i-1].0, bounds[i].0)`.
+    Explicit { bounds: Vec<(u64, usize)> },
+}
+
+/// SplitMix64-style scrambler shared by the hash schemes.
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Placement {
+    /// An empty placement: nothing is coordinated.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { start: 1, end: 1, routers: Vec::new(), scheme: Scheme::Range }
+    }
+
+    /// Contiguous range partition of ranks `[start, end)` over
+    /// `routers` (slices as equal as possible, earlier routers get the
+    /// remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routers` is empty while the range is non-empty, or
+    /// if `end < start`.
+    #[must_use]
+    pub fn range(start: u64, end: u64, routers: Vec<usize>) -> Self {
+        assert!(end >= start, "range must not be reversed");
+        assert!(
+            routers.is_empty() == (end == start),
+            "non-empty coordinated range needs routers"
+        );
+        Self { start, end, routers, scheme: Scheme::Range }
+    }
+
+    /// Modular-hash partition of ranks `[start, end)` over `routers`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Placement::range`].
+    #[must_use]
+    pub fn hash(start: u64, end: u64, routers: Vec<usize>) -> Self {
+        assert!(end >= start, "range must not be reversed");
+        assert!(
+            routers.is_empty() == (end == start),
+            "non-empty coordinated range needs routers"
+        );
+        Self { start, end, routers, scheme: Scheme::Hash }
+    }
+
+    /// Rendezvous (highest-random-weight) partition of ranks
+    /// `[start, end)` over `routers`: each content goes to the router
+    /// maximizing a per-(content, router) hash. Adding or removing a
+    /// router relocates only `~1/n` of the contents — the stability
+    /// property modular hashing lacks (see the `churn` experiment).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Placement::range`].
+    #[must_use]
+    pub fn rendezvous(start: u64, end: u64, routers: Vec<usize>) -> Self {
+        assert!(end >= start, "range must not be reversed");
+        assert!(
+            routers.is_empty() == (end == start),
+            "non-empty coordinated range needs routers"
+        );
+        Self { start, end, routers, scheme: Scheme::Rendezvous }
+    }
+
+    /// Explicit contiguous slices of possibly *unequal* sizes: slice
+    /// `i` (covering `sizes[i]` ranks, starting at `start` for `i = 0`)
+    /// belongs to `routers[i]`. Zero-size slices are allowed. Needed
+    /// by heterogeneous-capacity deployments, where bigger routers
+    /// take bigger shares of the coordinated pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routers` and `sizes` differ in length.
+    #[must_use]
+    pub fn explicit(start: u64, routers: Vec<usize>, sizes: Vec<u64>) -> Self {
+        assert_eq!(routers.len(), sizes.len(), "one size per router");
+        let mut bounds = Vec::with_capacity(routers.len());
+        let mut cursor = start;
+        for (&router, &size) in routers.iter().zip(&sizes) {
+            cursor += size;
+            bounds.push((cursor, router));
+        }
+        Self { start, end: cursor, routers, scheme: Scheme::Explicit { bounds } }
+    }
+
+    /// Whether `content` falls in the coordinated range.
+    #[must_use]
+    pub fn is_coordinated(&self, content: ContentId) -> bool {
+        (self.start..self.end).contains(&content.rank())
+    }
+
+    /// The router responsible for `content`, or `None` when it is not
+    /// coordinated.
+    #[must_use]
+    pub fn holder(&self, content: ContentId) -> Option<usize> {
+        if !self.is_coordinated(content) {
+            return None;
+        }
+        let offset = content.rank() - self.start;
+        let n = self.routers.len() as u64;
+        let idx: usize = match &self.scheme {
+            Scheme::Range => {
+                let total = self.end - self.start;
+                let base = total / n;
+                let rem = total % n;
+                // First `rem` routers take `base + 1` ranks each.
+                let boundary = rem * (base + 1);
+                (if offset < boundary {
+                    offset / (base + 1)
+                } else {
+                    // base == 0 only when routers outnumber ranks, in
+                    // which case every rank sits below `boundary`.
+                    rem + (offset - boundary)
+                        / if base > 0 { base } else { 1 }
+                }) as usize
+            }
+            Scheme::Hash => {
+                (mix(content.rank()) % n) as usize
+            }
+            Scheme::Rendezvous => {
+                let rank = content.rank();
+                self.routers
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &r)| mix(rank ^ mix(r as u64 + 1)))
+                    .map(|(i, _)| i)
+                    .expect("non-empty router list")
+            }
+            Scheme::Explicit { bounds } => {
+                let rank = content.rank();
+                // First boundary strictly above the rank owns it.
+                return bounds
+                    .iter()
+                    .find(|&&(end, _)| rank < end)
+                    .map(|&(_, router)| router);
+            }
+        };
+        Some(self.routers[idx])
+    }
+
+    /// The slice of coordinated ranks held by `router`.
+    #[must_use]
+    pub fn slice_of(&self, router: usize) -> Vec<u64> {
+        (self.start..self.end)
+            .filter(|&r| self.holder(ContentId(r)) == Some(router))
+            .collect()
+    }
+
+    /// Number of coordinated contents.
+    #[must_use]
+    pub fn coordinated_count(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Number of contents whose holder differs between `self` and
+    /// `other`, over the union of both coordinated ranges — the
+    /// re-provisioning *movement cost* when the placement changes
+    /// (router churn, level change). Contents coordinated on one side
+    /// only count as moved.
+    #[must_use]
+    pub fn movement_cost(&self, other: &Placement) -> u64 {
+        let lo = self.start.min(other.start);
+        let hi = self.end.max(other.end);
+        (lo..hi)
+            .filter(|&r| {
+                let c = ContentId(r);
+                self.holder(c) != other.holder(c)
+            })
+            .count() as u64
+    }
+
+    /// Largest-to-smallest slice-size ratio across routers (1.0 is
+    /// perfectly balanced; meaningful only for non-empty placements).
+    #[must_use]
+    pub fn balance_ratio(&self) -> f64 {
+        if self.routers.is_empty() || self.coordinated_count() == 0 {
+            return 1.0;
+        }
+        let sizes: Vec<usize> = self.routers.iter().map(|&r| self.slice_of(r).len()).collect();
+        let max = *sizes.iter().max().expect("non-empty") as f64;
+        let min = *sizes.iter().min().expect("non-empty") as f64;
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_coordinates_nothing() {
+        let p = Placement::none();
+        assert!(!p.is_coordinated(ContentId(1)));
+        assert_eq!(p.holder(ContentId(1)), None);
+        assert_eq!(p.coordinated_count(), 0);
+    }
+
+    #[test]
+    fn range_partition_is_contiguous_and_total() {
+        // Ranks [11, 31) over 4 routers: 5 each.
+        let p = Placement::range(11, 31, vec![0, 1, 2, 3]);
+        assert_eq!(p.coordinated_count(), 20);
+        for r in 11..31 {
+            let h = p.holder(ContentId(r)).unwrap();
+            assert_eq!(h, ((r - 11) / 5) as usize, "rank {r}");
+        }
+        assert_eq!(p.holder(ContentId(10)), None);
+        assert_eq!(p.holder(ContentId(31)), None);
+        assert_eq!(p.slice_of(2), vec![21, 22, 23, 24, 25]);
+    }
+
+    #[test]
+    fn uneven_range_gives_remainder_to_early_routers() {
+        // 7 ranks over 3 routers: 3, 2, 2.
+        let p = Placement::range(1, 8, vec![10, 11, 12]);
+        assert_eq!(p.slice_of(10).len(), 3);
+        assert_eq!(p.slice_of(11).len(), 2);
+        assert_eq!(p.slice_of(12).len(), 2);
+        assert!((p.balance_ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hash_partition_covers_all_ranks_reasonably_balanced() {
+        let p = Placement::hash(1, 2001, (0..10).collect());
+        let mut total = 0;
+        for r in 0..10 {
+            total += p.slice_of(r).len();
+        }
+        assert_eq!(total, 2000, "every rank assigned exactly once");
+        assert!(p.balance_ratio() < 1.5, "ratio {}", p.balance_ratio());
+    }
+
+    #[test]
+    fn placements_are_deterministic() {
+        let a = Placement::hash(1, 101, vec![0, 1, 2]);
+        let b = Placement::hash(1, 101, vec![0, 1, 2]);
+        for r in 1..101 {
+            assert_eq!(a.holder(ContentId(r)), b.holder(ContentId(r)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs routers")]
+    fn nonempty_range_without_routers_panics() {
+        let _ = Placement::range(1, 10, vec![]);
+    }
+
+    #[test]
+    fn empty_range_with_no_routers_is_fine() {
+        let p = Placement::range(5, 5, vec![]);
+        assert_eq!(p.coordinated_count(), 0);
+        assert_eq!(p.balance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_more_routers_than_ranks() {
+        // 2 ranks over 5 routers: two routers hold one each.
+        let p = Placement::range(1, 3, vec![0, 1, 2, 3, 4]);
+        let held: usize = (0..5).map(|r| p.slice_of(r).len()).sum();
+        assert_eq!(held, 2);
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_covers_and_balances() {
+        let p = Placement::rendezvous(1, 2001, (0..10).collect());
+        let total: usize = (0..10).map(|r| p.slice_of(r).len()).sum();
+        assert_eq!(total, 2000);
+        assert!(p.balance_ratio() < 1.6, "ratio {}", p.balance_ratio());
+    }
+
+    #[test]
+    fn rendezvous_is_stable_under_router_addition() {
+        // Adding one router to 10 should move ~1/11 of contents under
+        // HRW, but a large fraction under modular hashing and range
+        // partitioning.
+        let contents = 2_000u64;
+        let before_routers: Vec<usize> = (0..10).collect();
+        let after_routers: Vec<usize> = (0..11).collect();
+
+        let hrw_before = Placement::rendezvous(1, contents + 1, before_routers.clone());
+        let hrw_after = Placement::rendezvous(1, contents + 1, after_routers.clone());
+        let hrw_moved = hrw_before.movement_cost(&hrw_after);
+
+        let hash_before = Placement::hash(1, contents + 1, before_routers.clone());
+        let hash_after = Placement::hash(1, contents + 1, after_routers.clone());
+        let hash_moved = hash_before.movement_cost(&hash_after);
+
+        let range_before = Placement::range(1, contents + 1, before_routers);
+        let range_after = Placement::range(1, contents + 1, after_routers);
+        let range_moved = range_before.movement_cost(&range_after);
+
+        let ideal = contents / 11;
+        assert!(
+            hrw_moved < 2 * ideal,
+            "hrw moved {hrw_moved}, ideal ~{ideal}"
+        );
+        assert!(hrw_moved * 4 < hash_moved, "hash moved {hash_moved}");
+        assert!(hrw_moved * 4 < range_moved, "range moved {range_moved}");
+    }
+
+    #[test]
+    fn movement_cost_is_zero_for_identical_placements() {
+        let a = Placement::rendezvous(1, 501, vec![0, 1, 2]);
+        assert_eq!(a.movement_cost(&a.clone()), 0);
+    }
+
+    #[test]
+    fn movement_cost_counts_range_growth() {
+        // Growing the coordinated range forces the new contents to be
+        // placed (counted as moved) even with identical routers.
+        let small = Placement::range(1, 11, vec![0, 1]);
+        let large = Placement::range(1, 21, vec![0, 1]);
+        let moved = small.movement_cost(&large);
+        assert!(moved >= 10, "at least the 10 new contents move, got {moved}");
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every coordinated rank has exactly one holder from the
+        /// router list, under every scheme.
+        #[test]
+        fn holder_total_and_valid(
+            start in 1u64..1_000,
+            len in 1u64..500,
+            routers in 1usize..30,
+        ) {
+            let list: Vec<usize> = (0..routers).collect();
+            for placement in [
+                Placement::range(start, start + len, list.clone()),
+                Placement::hash(start, start + len, list.clone()),
+                Placement::rendezvous(start, start + len, list.clone()),
+            ] {
+                for rank in start..start + len {
+                    let holder = placement.holder(ContentId(rank));
+                    prop_assert!(holder.is_some());
+                    prop_assert!(holder.unwrap() < routers);
+                }
+                prop_assert_eq!(placement.holder(ContentId(start - 1)), None);
+                prop_assert_eq!(placement.holder(ContentId(start + len)), None);
+            }
+        }
+
+        /// Slices partition the range: sizes sum to the total and no
+        /// rank is claimed twice.
+        #[test]
+        fn slices_partition_the_range(
+            len in 1u64..300,
+            routers in 1usize..20,
+        ) {
+            let list: Vec<usize> = (0..routers).collect();
+            for placement in [
+                Placement::range(1, 1 + len, list.clone()),
+                Placement::hash(1, 1 + len, list.clone()),
+                Placement::rendezvous(1, 1 + len, list.clone()),
+            ] {
+                let mut seen = std::collections::HashSet::new();
+                let mut total = 0u64;
+                for &r in &list {
+                    for rank in placement.slice_of(r) {
+                        prop_assert!(seen.insert(rank), "rank {rank} claimed twice");
+                        total += 1;
+                    }
+                }
+                prop_assert_eq!(total, len);
+            }
+        }
+
+        /// Removing a router never relocates contents *between* the
+        /// surviving routers under rendezvous hashing (only the lost
+        /// router's contents move) — the HRW monotonicity property.
+        #[test]
+        fn rendezvous_is_monotone_under_removal(
+            len in 1u64..300,
+            routers in 2usize..15,
+        ) {
+            let full: Vec<usize> = (0..routers).collect();
+            let reduced: Vec<usize> = (0..routers - 1).collect();
+            let before = Placement::rendezvous(1, 1 + len, full);
+            let after = Placement::rendezvous(1, 1 + len, reduced);
+            for rank in 1..1 + len {
+                let b = before.holder(ContentId(rank)).unwrap();
+                let a = after.holder(ContentId(rank)).unwrap();
+                if b != routers - 1 {
+                    prop_assert_eq!(a, b, "rank {} moved between survivors", rank);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod explicit_tests {
+    use super::*;
+
+    #[test]
+    fn unequal_slices_route_to_their_owners() {
+        // Router 7 takes 3 ranks, router 2 takes 0, router 9 takes 5.
+        let p = Placement::explicit(100, vec![7, 2, 9], vec![3, 0, 5]);
+        assert_eq!(p.coordinated_count(), 8);
+        for rank in 100..103 {
+            assert_eq!(p.holder(ContentId(rank)), Some(7), "rank {rank}");
+        }
+        for rank in 103..108 {
+            assert_eq!(p.holder(ContentId(rank)), Some(9), "rank {rank}");
+        }
+        assert_eq!(p.holder(ContentId(99)), None);
+        assert_eq!(p.holder(ContentId(108)), None);
+        assert!(p.slice_of(2).is_empty());
+        assert_eq!(p.slice_of(7), vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn explicit_matches_range_for_equal_sizes() {
+        let routers: Vec<usize> = (0..4).collect();
+        let range = Placement::range(1, 21, routers.clone());
+        let explicit = Placement::explicit(1, routers, vec![5; 4]);
+        for rank in 1..21 {
+            assert_eq!(
+                range.holder(ContentId(rank)),
+                explicit.holder(ContentId(rank)),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one size per router")]
+    fn mismatched_sizes_panic() {
+        let _ = Placement::explicit(1, vec![0, 1], vec![5]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Prebuilt scenarios: the paper's motivating example (Table I) and
+//! the steady-state validation of the analytical model.
+
+use ccn_topology::Graph;
+
+use crate::network::{CachingMode, OriginConfig};
+use crate::store::{ContentStore, StaticStore};
+use crate::workload::{deterministic_cycle, sort_requests, zipf_irm};
+use crate::{ContentId, Metrics, Network, Placement, SimConfig, SimError, Simulator};
+
+/// Outcome of the motivating-example comparison (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotivatingOutcome {
+    /// Metrics under non-coordinated caching (both R1 and R2 store the
+    /// most popular object `a`).
+    pub non_coordinated: Metrics,
+    /// Metrics under coordinated caching (R1 stores `a`, R2 stores
+    /// `b`).
+    pub coordinated: Metrics,
+    /// Messages required to reach the coordinated configuration (the
+    /// paper's coordination cost: at least 1; 0 for non-coordinated).
+    pub coordination_messages: u64,
+}
+
+/// The motivating example's network: routers R1 and R2 with one
+/// storage slot each, both attached to storage-less R0, plus a direct
+/// R1–R2 link; the origin sits behind R0.
+///
+/// Latencies are 1 ms per link so that the hop metric and the latency
+/// metric coincide; the origin is 2 hops / 2 ms away (via R0).
+fn motivating_graph() -> Graph {
+    let mut g = Graph::new("motivating");
+    let r0 = g.add_node("R0", 0.0, 0.0);
+    let r1 = g.add_node("R1", 0.0, 1.0);
+    let r2 = g.add_node("R2", 1.0, 0.0);
+    g.add_edge(r0, r1, 1.0).expect("valid edge");
+    g.add_edge(r0, r2, 1.0).expect("valid edge");
+    g.add_edge(r1, r2, 1.0).expect("valid edge");
+    g
+}
+
+/// Content `a` (rank 1, requested twice per cycle) and `b` (rank 2).
+const CONTENT_A: u64 = 1;
+const CONTENT_B: u64 = 2;
+
+/// Runs the paper's motivating example (§II) in both modes and
+/// reproduces Table I:
+///
+/// | metric | non-coordinated | coordinated |
+/// |---|---|---|
+/// | load on origin | 33% | 0% |
+/// | routing hop count | ≈ 0.67 | 0.5 |
+/// | coordination cost | 0 | 1 |
+///
+/// # Errors
+///
+/// Propagates configuration errors (none occur for the built-in
+/// scenario).
+pub fn motivating() -> Result<MotivatingOutcome, SimError> {
+    // Identical flows {a, a, b} at R1 and R2, two full cycles after a
+    // zero-length warmup (stores are static, steady state from t=0).
+    // Requests are spaced far apart so PIT aggregation never kicks in,
+    // matching the example's per-request accounting.
+    let mut requests = deterministic_cycle(1, &[CONTENT_A, CONTENT_A, CONTENT_B], 100.0, 0.0, 600.0)?;
+    requests.extend(deterministic_cycle(
+        2,
+        &[CONTENT_A, CONTENT_A, CONTENT_B],
+        100.0,
+        50.0,
+        600.0,
+    )?);
+    sort_requests(&mut requests);
+
+    let origin = OriginConfig { latency_ms: 2.0, hops: 2, ..Default::default() };
+    let build = |r1_store: Box<dyn ContentStore>,
+                 r2_store: Box<dyn ContentStore>,
+                 placement: Placement|
+     -> Result<Network, SimError> {
+        Network::builder(motivating_graph())
+            .store(1, r1_store)?
+            .store(2, r2_store)?
+            .placement(placement)
+            .origin(origin)
+            .caching(CachingMode::Static)
+            .build()
+    };
+
+    // Non-coordinated steady state: both routers converge on the
+    // locally most popular content, a.
+    let non_coord_net = build(
+        Box::new(StaticStore::new([ContentId(CONTENT_A)])),
+        Box::new(StaticStore::new([ContentId(CONTENT_A)])),
+        Placement::none(),
+    )?;
+    let non_coordinated = Simulator::new(non_coord_net, SimConfig::default()).run(&requests)?;
+
+    // Coordinated steady state: R1 stores a, R2 stores b, and both
+    // prefer each other over the origin (range placement over ranks
+    // {1, 2}).
+    let coord_net = build(
+        Box::new(StaticStore::new([ContentId(CONTENT_A)])),
+        Box::new(StaticStore::new([ContentId(CONTENT_B)])),
+        Placement::range(1, 3, vec![1, 2]),
+    )?;
+    let coordinated = Simulator::new(coord_net, SimConfig::default()).run(&requests)?;
+
+    Ok(MotivatingOutcome {
+        non_coordinated,
+        coordinated,
+        // One message suffices for R1 and R2 to agree on who stores b.
+        coordination_messages: 1,
+    })
+}
+
+/// Configuration for the steady-state model-validation scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyStateConfig {
+    /// Zipf exponent of the request stream.
+    pub zipf_exponent: f64,
+    /// Catalogue size in contents.
+    pub catalogue: u64,
+    /// Per-router capacity in contents.
+    pub capacity: u64,
+    /// Coordination level `ℓ ∈ [0, 1]`; `x = ℓ·c` slots per router
+    /// join the coordinated pool.
+    pub ell: f64,
+    /// Per-client request rate (requests per ms).
+    pub rate_per_ms: f64,
+    /// Simulated horizon in ms.
+    pub horizon_ms: f64,
+    /// Origin latency and hop distance.
+    pub origin: OriginConfig,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SteadyStateConfig {
+    fn default() -> Self {
+        Self {
+            zipf_exponent: 0.8,
+            catalogue: 10_000,
+            capacity: 100,
+            ell: 0.5,
+            rate_per_ms: 0.02,
+            horizon_ms: 100_000.0,
+            origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() },
+            seed: 42,
+        }
+    }
+}
+
+/// Builds the model's steady-state hybrid placement on `graph` and
+/// runs a Zipf IRM workload against it, returning the measured
+/// metrics. One client is attached to every router.
+///
+/// Every router statically pins the `c − x` most popular contents plus
+/// its range-partition slice of the coordinated ranks
+/// `c − x + 1 ..= c − x + n·x` — exactly the storage layout the
+/// analytical `T(x)` assumes, so the measured tier fractions can be
+/// compared against `ccn-model`'s `LatencyBreakdown` directly.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for `ell ∉ [0, 1]` or a
+/// capacity of zero, and propagates workload/network errors.
+pub fn steady_state(graph: Graph, config: &SteadyStateConfig) -> Result<Metrics, SimError> {
+    if !(0.0..=1.0).contains(&config.ell) {
+        return Err(SimError::InvalidConfig {
+            reason: format!("coordination level {} outside [0, 1]", config.ell),
+        });
+    }
+    if config.capacity == 0 {
+        return Err(SimError::InvalidConfig { reason: "zero capacity".into() });
+    }
+    let n = graph.node_count();
+    let x = (config.ell * config.capacity as f64).round() as u64;
+    let local_prefix = config.capacity - x;
+    let coord_start = local_prefix + 1;
+    let coord_end = coord_start + x * n as u64; // exclusive
+    let placement = if x == 0 {
+        Placement::none()
+    } else {
+        Placement::range(coord_start, coord_end, (0..n).collect())
+    };
+
+    let mut builder = Network::builder(graph)
+        .placement(placement.clone())
+        .origin(config.origin)
+        .caching(CachingMode::Static);
+    for router in 0..n {
+        let mut slice = placement.slice_of(router);
+        slice.sort_unstable();
+        let (lo, hi) = match (slice.first(), slice.last()) {
+            (Some(&lo), Some(&hi)) => (lo, hi + 1),
+            _ => (coord_start, coord_start), // empty slice
+        };
+        builder = builder.store(router, Box::new(StaticStore::hybrid(local_prefix, lo, hi)))?;
+    }
+    let net = builder.build()?;
+
+    let routers: Vec<usize> = (0..n).collect();
+    let requests = zipf_irm(
+        &routers,
+        config.zipf_exponent,
+        config.catalogue,
+        config.rate_per_ms,
+        config.horizon_ms,
+        config.seed,
+    )?;
+    Simulator::new(net, SimConfig::default()).run(&requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccn_topology::generators;
+
+    #[test]
+    fn motivating_reproduces_table1() {
+        let outcome = motivating().unwrap();
+        let nc = &outcome.non_coordinated;
+        let co = &outcome.coordinated;
+
+        // Load on origin: 33% vs 0%.
+        assert!((nc.origin_load() - 1.0 / 3.0).abs() < 1e-9, "{}", nc.origin_load());
+        assert!(co.origin_load().abs() < 1e-12, "{}", co.origin_load());
+
+        // Routing hop count: 2/3 vs 1/2.
+        assert!((nc.avg_hops() - 2.0 / 3.0).abs() < 1e-9, "{}", nc.avg_hops());
+        assert!((co.avg_hops() - 0.5).abs() < 1e-9, "{}", co.avg_hops());
+
+        // Coordination cost: 0 vs >= 1 message.
+        assert_eq!(outcome.coordination_messages, 1);
+
+        // Sanity: every request completed in both runs.
+        assert_eq!(nc.completion_ratio(), 1.0);
+        assert_eq!(co.completion_ratio(), 1.0);
+    }
+
+    #[test]
+    fn steady_state_full_coordination_beats_none_on_origin_load() {
+        let graph = generators::ring(8, 1.0).unwrap();
+        let base = SteadyStateConfig { horizon_ms: 30_000.0, ..Default::default() };
+        let none = steady_state(graph.clone(), &SteadyStateConfig { ell: 0.0, ..base }).unwrap();
+        let full = steady_state(graph, &SteadyStateConfig { ell: 1.0, ..base }).unwrap();
+        assert!(
+            full.origin_load() < none.origin_load(),
+            "coordination must reduce origin load: {} vs {}",
+            full.origin_load(),
+            none.origin_load()
+        );
+        // More contents in-network => higher peer traffic.
+        assert!(full.peer_hit_ratio() > none.peer_hit_ratio());
+        // But fewer local hits (local prefix shrank to zero).
+        assert!(full.local_hit_ratio() < none.local_hit_ratio());
+    }
+
+    #[test]
+    fn steady_state_rejects_bad_config() {
+        let graph = generators::ring(4, 1.0).unwrap();
+        let bad_ell = SteadyStateConfig { ell: 1.5, ..Default::default() };
+        assert!(steady_state(graph.clone(), &bad_ell).is_err());
+        let zero_cap = SteadyStateConfig { capacity: 0, ..Default::default() };
+        assert!(steady_state(graph, &zero_cap).is_err());
+    }
+
+    #[test]
+    fn steady_state_is_deterministic() {
+        let graph = generators::ring(4, 1.0).unwrap();
+        let config = SteadyStateConfig { horizon_ms: 10_000.0, ..Default::default() };
+        let a = steady_state(graph.clone(), &config).unwrap();
+        let b = steady_state(graph, &config).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,666 @@
+//! The discrete-event simulation engine.
+//!
+//! Interests travel hop-by-hop toward either the coordinated holder of
+//! the content (when a [`crate::Placement`] assigns one) or the
+//! virtual origin, checking every on-path content store. PIT entries
+//! aggregate concurrent Interests; Data retraces the PIT trail back to
+//! every waiting downstream. See the crate docs for the full packet
+//! life cycle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{DataSource, EventKind, EventQueue};
+use crate::network::CachingMode;
+use crate::pit::{Downstream, Pit};
+use crate::store::{ContentStore, StaticStore};
+use crate::workload::Request;
+use crate::{ContentId, Metrics, Network, Placement, ServedBy, SimError};
+
+/// Run-level knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Stop admitting client requests after this time (ms); in-flight
+    /// packets still drain.
+    pub horizon_ms: f64,
+    /// Completions of requests issued before this time are not
+    /// recorded (cache warm-up).
+    pub warmup_ms: f64,
+    /// Seed for caching-decision randomness (probabilistic on-path
+    /// insertion); workload randomness is seeded separately at
+    /// generation time.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self { horizon_ms: f64::INFINITY, warmup_ms: 0.0, seed: 0 }
+    }
+}
+
+/// A scheduled in-run deployment change: at `at_ms`, every router's
+/// store is rebuilt as the hybrid layout of `placement` (local prefix
+/// `1..=local_prefix` plus its slice) and forwarding switches to the
+/// new placement — the simulation-timeline realization of the
+/// coordination layer's re-provisioning round.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// When the change takes effect (ms).
+    pub at_ms: f64,
+    /// Shared local popularity prefix pinned at every router.
+    pub local_prefix: u64,
+    /// The new coordinated placement.
+    pub placement: Placement,
+}
+
+/// The simulator: owns the network state and an event queue.
+#[derive(Debug)]
+pub struct Simulator {
+    net: Network,
+    config: SimConfig,
+    queue: EventQueue,
+    pits: Vec<Pit>,
+    metrics: Metrics,
+    now: f64,
+    rng: StdRng,
+    deployments: Vec<Deployment>,
+}
+
+impl Simulator {
+    /// Creates a simulator over a built network.
+    #[must_use]
+    pub fn new(net: Network, config: SimConfig) -> Self {
+        let routers = net.routers();
+        Self {
+            net,
+            config,
+            queue: EventQueue::new(),
+            pits: (0..routers).map(|_| Pit::new()).collect(),
+            metrics: Metrics::new(routers),
+            now: 0.0,
+            rng: StdRng::seed_from_u64(config.seed),
+            deployments: Vec::new(),
+        }
+    }
+
+    /// Schedules in-run deployment changes (sorted by time at run
+    /// start). Each change rebuilds every router's store as the
+    /// hybrid layout of its [`Deployment`] and swaps the forwarding
+    /// placement, tallying moved contents in
+    /// [`Metrics::reprovision_moves`].
+    #[must_use]
+    pub fn with_deployments(mut self, deployments: Vec<Deployment>) -> Self {
+        self.deployments = deployments;
+        self.deployments.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        self
+    }
+
+    /// Runs the request list to completion and returns the metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRouter`] if a request references a
+    /// router outside the network.
+    pub fn run(mut self, requests: &[Request]) -> Result<Metrics, SimError> {
+        let routers = self.net.routers();
+        for (index, d) in self.deployments.iter().enumerate() {
+            if !d.at_ms.is_finite() || d.at_ms < 0.0 {
+                return Err(SimError::InvalidConfig {
+                    reason: format!("deployment time {} must be non-negative", d.at_ms),
+                });
+            }
+            self.queue.push(d.at_ms, EventKind::Reprovision { index });
+        }
+        for (req_id, r) in requests.iter().enumerate() {
+            if r.router >= routers {
+                return Err(SimError::UnknownRouter { router: r.router, routers });
+            }
+            if r.time <= self.config.horizon_ms {
+                self.queue.push(
+                    r.time,
+                    EventKind::ClientRequest {
+                        router: r.router,
+                        content: r.content,
+                        req_id: req_id as u64,
+                    },
+                );
+            }
+        }
+        while let Some(event) = self.queue.pop() {
+            self.now = event.time;
+            self.dispatch(event.kind);
+        }
+        Ok(self.metrics)
+    }
+
+    /// Read access to the network (stores mutate during dynamic runs).
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// In-flight state for diagnostics: `(queued events, distinct
+    /// pending PIT contents across all routers)`. Both are zero after
+    /// [`Simulator::run`] drains the queue.
+    #[must_use]
+    pub fn in_flight(&self) -> (usize, usize) {
+        (self.queue.len(), self.pits.iter().map(|p| p.pending()).sum())
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::ClientRequest { router, content, req_id } => {
+                if self.now >= self.config.warmup_ms {
+                    self.metrics.issued += 1;
+                }
+                self.handle_interest(router, None, content, Some(req_id), Some(self.now));
+            }
+            EventKind::InterestArrival { node, from, content, req_id, issued_at } => {
+                self.metrics.interest_messages += 1;
+                self.handle_interest(node, from, content, req_id, issued_at);
+            }
+            EventKind::Reprovision { index } => {
+                self.apply_deployment(index);
+            }
+            EventKind::OriginData { node, content } => {
+                self.metrics.data_messages += 1;
+                self.handle_data(node, content, self.net.origin.hops, DataSource::Origin);
+            }
+            EventKind::DataArrival { node, content, hops_from_source, source } => {
+                self.metrics.data_messages += 1;
+                self.handle_data(node, content, hops_from_source, source);
+            }
+        }
+    }
+
+    fn apply_deployment(&mut self, index: usize) {
+        let deployment = self.deployments[index].clone();
+        self.metrics.reprovision_events += 1;
+        for router in 0..self.net.routers() {
+            let mut contents: Vec<ContentId> =
+                (1..=deployment.local_prefix).map(ContentId).collect();
+            contents.extend(
+                deployment.placement.slice_of(router).into_iter().map(ContentId),
+            );
+            let new_store: Box<dyn ContentStore> = Box::new(StaticStore::new(contents));
+            // Contents in the new store that the old one lacked had to
+            // be transferred — the movement cost of the round.
+            let moved = new_store
+                .contents()
+                .iter()
+                .filter(|&&c| !self.net.stores[router].contains(c))
+                .count() as u64;
+            self.metrics.reprovision_moves += moved;
+            self.net.stores[router] = new_store;
+        }
+        self.net.placement = deployment.placement;
+    }
+
+    fn handle_interest(
+        &mut self,
+        node: usize,
+        from: Option<usize>,
+        content: ContentId,
+        req_id: Option<u64>,
+        issued_at: Option<f64>,
+    ) {
+        let downstream = match from {
+            Some(router) => Downstream::Router(router),
+            None => Downstream::Client {
+                req_id: req_id.expect("client interests carry a request id"),
+                issued_at: issued_at.expect("client interests carry an issue time"),
+            },
+        };
+        // Content-store check at every hop.
+        if self.net.stores[node].contains(content) {
+            self.net.stores[node].on_hit(content);
+            self.send_data(node, content, 0, DataSource::Store(node), downstream);
+            return;
+        }
+        let first = self.pits[node].register(content, downstream);
+        if !first {
+            self.metrics.aggregated_interests += 1;
+            return;
+        }
+        // Forward: toward the coordinated holder if one exists and is
+        // not this node, else toward the origin (possibly via its
+        // gateway router).
+        let target = match self.net.placement.holder(content) {
+            Some(holder) if holder != node => Some(holder),
+            // The holder being this node but the store missing it
+            // (dynamic placement drift) also falls back to origin.
+            _ => match self.net.origin.gateway {
+                Some(gw) if gw != node => Some(gw),
+                _ => None,
+            },
+        };
+        match target {
+            Some(t) => {
+                let next = self
+                    .net
+                    .routes
+                    .next_hop(node, t)
+                    .expect("connected graph has a route to every target");
+                let latency = self.net.link_latency(node, next);
+                self.queue.push(
+                    self.now + latency,
+                    EventKind::InterestArrival {
+                        node: next,
+                        from: Some(node),
+                        content,
+                        req_id: None,
+                        issued_at: None,
+                    },
+                );
+            }
+            None => {
+                self.queue
+                    .push(self.now + self.net.origin.latency_ms, EventKind::OriginData {
+                        node,
+                        content,
+                    });
+            }
+        }
+    }
+
+    fn handle_data(&mut self, node: usize, content: ContentId, hops: u32, source: DataSource) {
+        // On-path caching inserts at every traversed router, always or
+        // with the configured probability.
+        let insert_here = match self.net.caching {
+            CachingMode::OnPath => true,
+            CachingMode::OnPathProbabilistic { probability } => {
+                self.rng.gen::<f64>() < probability
+            }
+            CachingMode::Static | CachingMode::Edge => false,
+        };
+        if insert_here && !self.net.stores[node].contains(content) {
+            self.net.stores[node].on_data(content);
+            if self.net.stores[node].contains(content) {
+                self.metrics.cache_insertions += 1;
+            }
+        }
+        let downstreams = self.pits[node].satisfy(content);
+        for d in downstreams {
+            self.send_data(node, content, hops, source, d);
+        }
+    }
+
+    fn send_data(
+        &mut self,
+        node: usize,
+        content: ContentId,
+        hops: u32,
+        source: DataSource,
+        downstream: Downstream,
+    ) {
+        match downstream {
+            Downstream::Client { req_id: _, issued_at } => {
+                // Edge caching inserts at the client's router.
+                if self.net.caching == CachingMode::Edge
+                    && !self.net.stores[node].contains(content)
+                {
+                    self.net.stores[node].on_data(content);
+                    if self.net.stores[node].contains(content) {
+                        self.metrics.cache_insertions += 1;
+                    }
+                }
+                if issued_at >= self.config.warmup_ms {
+                    let served_by = match source {
+                        DataSource::Origin => ServedBy::Origin,
+                        DataSource::Store(server) if server == node && hops == 0 => {
+                            ServedBy::Local
+                        }
+                        DataSource::Store(_) => ServedBy::Peer,
+                    };
+                    self.metrics.record_completion(
+                        node,
+                        served_by,
+                        hops,
+                        self.now - issued_at,
+                    );
+                }
+            }
+            Downstream::Router(next) => {
+                let latency = self.net.link_latency(node, next);
+                self.queue.push(
+                    self.now + latency,
+                    EventKind::DataArrival {
+                        node: next,
+                        content,
+                        hops_from_source: hops + 1,
+                        source,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{CachingMode, OriginConfig};
+    use crate::store::{LruStore, StaticStore};
+    use crate::workload::Request;
+    use crate::Placement;
+    use ccn_topology::generators;
+
+    fn line3() -> ccn_topology::Graph {
+        generators::line(3, 2.0).unwrap()
+    }
+
+    fn origin() -> OriginConfig {
+        OriginConfig { latency_ms: 20.0, hops: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn fresh_simulator_has_nothing_in_flight() {
+        let net = Network::builder(line3()).origin(origin()).build().unwrap();
+        let sim = Simulator::new(net, SimConfig::default());
+        assert_eq!(sim.in_flight(), (0, 0));
+    }
+
+    #[test]
+    fn local_hit_completes_with_zero_hops() {
+        let net = Network::builder(line3())
+            .store(0, Box::new(StaticStore::new([ContentId(1)])))
+            .unwrap()
+            .origin(origin())
+            .build()
+            .unwrap();
+        let m = Simulator::new(net, SimConfig::default())
+            .run(&[Request { time: 0.0, router: 0, content: ContentId(1) }])
+            .unwrap();
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.local, 1);
+        assert_eq!(m.avg_hops(), 0.0);
+        assert_eq!(m.avg_latency_ms(), 0.0);
+        assert_eq!(m.interest_messages, 0, "no links crossed");
+    }
+
+    #[test]
+    fn miss_goes_to_origin_with_configured_cost() {
+        let net = Network::builder(line3()).origin(origin()).build().unwrap();
+        let m = Simulator::new(net, SimConfig::default())
+            .run(&[Request { time: 0.0, router: 1, content: ContentId(5) }])
+            .unwrap();
+        assert_eq!(m.origin, 1);
+        assert!((m.avg_latency_ms() - 20.0).abs() < 1e-9);
+        assert!((m.avg_hops() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coordinated_content_fetched_from_holder() {
+        // Content 5 held at router 2; requested from router 0 over a
+        // 2-link path (2 ms per link, both ways).
+        let net = Network::builder(line3())
+            .store(2, Box::new(StaticStore::new([ContentId(5)])))
+            .unwrap()
+            .placement(Placement::range(5, 6, vec![2]))
+            .origin(origin())
+            .build()
+            .unwrap();
+        let m = Simulator::new(net, SimConfig::default())
+            .run(&[Request { time: 0.0, router: 0, content: ContentId(5) }])
+            .unwrap();
+        assert_eq!(m.peer, 1);
+        assert!((m.avg_hops() - 2.0).abs() < 1e-12);
+        assert!((m.avg_latency_ms() - 8.0).abs() < 1e-9, "2 links x 2ms x round trip");
+        assert_eq!(m.interest_messages, 2);
+        assert_eq!(m.data_messages, 2);
+    }
+
+    #[test]
+    fn on_path_store_short_circuits_the_interest() {
+        // Holder is router 2 but router 1 (on the path) also has it.
+        let net = Network::builder(line3())
+            .store(2, Box::new(StaticStore::new([ContentId(5)])))
+            .unwrap()
+            .store(1, Box::new(StaticStore::new([ContentId(5)])))
+            .unwrap()
+            .placement(Placement::range(5, 6, vec![2]))
+            .origin(origin())
+            .build()
+            .unwrap();
+        let m = Simulator::new(net, SimConfig::default())
+            .run(&[Request { time: 0.0, router: 0, content: ContentId(5) }])
+            .unwrap();
+        assert_eq!(m.peer, 1);
+        assert!((m.avg_hops() - 1.0).abs() < 1e-12, "served one hop away");
+    }
+
+    #[test]
+    fn pit_aggregates_concurrent_interests() {
+        // Two clients at router 0 ask for the same content 1 ms apart;
+        // the origin round trip is 20 ms, so the second Interest finds
+        // a pending PIT entry and is not forwarded.
+        let net = Network::builder(line3()).origin(origin()).build().unwrap();
+        let m = Simulator::new(net, SimConfig::default())
+            .run(&[
+                Request { time: 0.0, router: 0, content: ContentId(7) },
+                Request { time: 1.0, router: 0, content: ContentId(7) },
+            ])
+            .unwrap();
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.origin, 2, "both requests classified by source");
+        assert_eq!(m.aggregated_interests, 1);
+        assert_eq!(m.data_messages, 1, "one origin delivery serves both");
+    }
+
+    #[test]
+    fn edge_caching_turns_second_request_local() {
+        let net = Network::builder(line3())
+            .default_lru_capacity(2)
+            .caching(CachingMode::Edge)
+            .origin(origin())
+            .build()
+            .unwrap();
+        let m = Simulator::new(net, SimConfig::default())
+            .run(&[
+                Request { time: 0.0, router: 0, content: ContentId(7) },
+                Request { time: 100.0, router: 0, content: ContentId(7) },
+            ])
+            .unwrap();
+        assert_eq!(m.origin, 1);
+        assert_eq!(m.local, 1);
+        assert_eq!(m.cache_insertions, 1);
+    }
+
+    #[test]
+    fn warmup_excludes_early_requests() {
+        let net = Network::builder(line3()).origin(origin()).build().unwrap();
+        let config = SimConfig { horizon_ms: f64::INFINITY, warmup_ms: 50.0, ..Default::default() };
+        let m = Simulator::new(net, config)
+            .run(&[
+                Request { time: 0.0, router: 0, content: ContentId(1) },
+                Request { time: 60.0, router: 0, content: ContentId(2) },
+            ])
+            .unwrap();
+        assert_eq!(m.issued, 1);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn horizon_drops_late_requests() {
+        let net = Network::builder(line3()).origin(origin()).build().unwrap();
+        let config = SimConfig { horizon_ms: 10.0, warmup_ms: 0.0, ..Default::default() };
+        let m = Simulator::new(net, config)
+            .run(&[
+                Request { time: 5.0, router: 0, content: ContentId(1) },
+                Request { time: 15.0, router: 0, content: ContentId(2) },
+            ])
+            .unwrap();
+        assert_eq!(m.issued, 1);
+    }
+
+    #[test]
+    fn gateway_origin_routes_interests_through_the_network() {
+        // Origin behind router 2 on a 3-line; request at router 0.
+        // Interest crosses 2 links (2 ms each), the origin leg costs
+        // its full 5 ms fetch delay once, and Data crosses 2 links
+        // back: hops = 2 + 1, latency = 2+2 + 5 + 2+2 = 13.
+        let net = Network::builder(line3())
+            .origin(OriginConfig { latency_ms: 5.0, hops: 1, gateway: Some(2) })
+            .build()
+            .unwrap();
+        let m = Simulator::new(net, SimConfig::default())
+            .run(&[Request { time: 0.0, router: 0, content: ContentId(9) }])
+            .unwrap();
+        assert_eq!(m.origin, 1);
+        assert!((m.avg_hops() - 3.0).abs() < 1e-12, "got {}", m.avg_hops());
+        assert!((m.avg_latency_ms() - 13.0).abs() < 1e-9, "got {}", m.avg_latency_ms());
+        assert_eq!(m.interest_messages, 2);
+    }
+
+    #[test]
+    fn on_path_caching_populates_gateway_path() {
+        // With a gateway, LCE leaves copies at every router the data
+        // crosses, so a later request at the midpoint hits locally.
+        let net = Network::builder(line3())
+            .default_lru_capacity(4)
+            .caching(CachingMode::OnPath)
+            .origin(OriginConfig { latency_ms: 5.0, hops: 1, gateway: Some(2) })
+            .build()
+            .unwrap();
+        let m = Simulator::new(net, SimConfig::default())
+            .run(&[
+                Request { time: 0.0, router: 0, content: ContentId(9) },
+                Request { time: 1_000.0, router: 1, content: ContentId(9) },
+            ])
+            .unwrap();
+        assert_eq!(m.origin, 1);
+        assert_eq!(m.local, 1, "midpoint router was populated on-path");
+        assert!(m.cache_insertions >= 3, "copies at 2, 1, 0");
+    }
+
+    #[test]
+    fn probabilistic_on_path_inserts_fewer_copies() {
+        let run = |mode: CachingMode| {
+            let net = Network::builder(generators::line(6, 1.0).unwrap())
+                .default_lru_capacity(50)
+                .caching(mode)
+                .origin(OriginConfig { latency_ms: 5.0, hops: 1, gateway: Some(5) })
+                .build()
+                .unwrap();
+            let reqs = crate::workload::zipf_irm(&[0], 0.8, 100, 0.002, 100_000.0, 5).unwrap();
+            Simulator::new(net, SimConfig::default()).run(&reqs).unwrap()
+        };
+        let always = run(CachingMode::OnPath);
+        let sometimes = run(CachingMode::OnPathProbabilistic { probability: 0.2 });
+        assert!(
+            sometimes.cache_insertions < always.cache_insertions,
+            "p=0.2 inserts {} vs LCE {}",
+            sometimes.cache_insertions,
+            always.cache_insertions
+        );
+        assert!(always.completed == sometimes.completed);
+    }
+
+    #[test]
+    fn reprovisioning_swaps_stores_and_placement_mid_run() {
+        // Start with nothing coordinated; at t = 500 deploy content 5
+        // at router 2. A request before the switch escapes to the
+        // origin; the same request after it is served by the peer.
+        let net = Network::builder(line3()).origin(origin()).build().unwrap();
+        let deployment = Deployment {
+            at_ms: 500.0,
+            local_prefix: 0,
+            placement: Placement::range(5, 6, vec![2]),
+        };
+        let m = Simulator::new(net, SimConfig::default())
+            .with_deployments(vec![deployment])
+            .run(&[
+                Request { time: 0.0, router: 0, content: ContentId(5) },
+                Request { time: 1_000.0, router: 0, content: ContentId(5) },
+            ])
+            .unwrap();
+        assert_eq!(m.origin, 1, "pre-switch request escapes");
+        assert_eq!(m.peer, 1, "post-switch request is served in-network");
+        assert_eq!(m.reprovision_events, 1);
+        assert_eq!(m.reprovision_moves, 1, "content 5 moved to router 2");
+    }
+
+    #[test]
+    fn reprovisioning_movement_counts_only_new_contents() {
+        let net = Network::builder(line3())
+            .store(1, Box::new(crate::store::StaticStore::hybrid(2, 10, 12)))
+            .unwrap()
+            .origin(origin())
+            .build()
+            .unwrap();
+        // New layout at router 1: prefix {1,2} kept, slice {10,11}
+        // replaced by {12}; routers 0 and 2 get prefix {1,2} fresh.
+        let deployment = Deployment {
+            at_ms: 10.0,
+            local_prefix: 2,
+            placement: Placement::range(12, 13, vec![1]),
+        };
+        let m = Simulator::new(net, SimConfig::default())
+            .with_deployments(vec![deployment])
+            .run(&[])
+            .unwrap();
+        // Router 1 gains only content 12 (1 move); routers 0 and 2
+        // gain contents 1 and 2 each (4 moves).
+        assert_eq!(m.reprovision_moves, 5);
+    }
+
+    #[test]
+    fn negative_deployment_time_is_rejected() {
+        let net = Network::builder(line3()).origin(origin()).build().unwrap();
+        let r = Simulator::new(net, SimConfig::default())
+            .with_deployments(vec![Deployment {
+                at_ms: -1.0,
+                local_prefix: 0,
+                placement: Placement::none(),
+            }])
+            .run(&[]);
+        assert!(matches!(r, Err(SimError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn gateway_must_be_a_known_router() {
+        let r = Network::builder(line3())
+            .origin(OriginConfig { latency_ms: 5.0, hops: 1, gateway: Some(99) })
+            .build();
+        assert!(matches!(r, Err(SimError::UnknownRouter { router: 99, .. })));
+    }
+
+    #[test]
+    fn unknown_router_is_rejected() {
+        let net = Network::builder(line3()).origin(origin()).build().unwrap();
+        let r = Simulator::new(net, SimConfig::default())
+            .run(&[Request { time: 0.0, router: 17, content: ContentId(1) }]);
+        assert!(matches!(r, Err(SimError::UnknownRouter { router: 17, .. })));
+    }
+
+    #[test]
+    fn lru_dynamic_workload_is_deterministic() {
+        let run = || {
+            let net = Network::builder(generators::ring(5, 1.0).unwrap())
+                .default_lru_capacity(3)
+                .caching(CachingMode::Edge)
+                .origin(origin())
+                .build()
+                .unwrap();
+            let reqs = crate::workload::zipf_irm(&[0, 1, 2, 3, 4], 0.9, 50, 0.01, 50_000.0, 3)
+                .unwrap();
+            Simulator::new(net, SimConfig::default()).run(&reqs).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.completed > 0);
+        assert!(a.origin_load() < 1.0, "warm LRU serves some hits locally");
+    }
+
+    #[test]
+    fn store_factory_with_lru_each_router() {
+        let net = Network::builder(line3())
+            .stores_with(|_| Box::new(LruStore::new(1)))
+            .caching(CachingMode::Edge)
+            .origin(origin())
+            .build()
+            .unwrap();
+        assert_eq!(net.store(2).capacity(), 1);
+    }
+}

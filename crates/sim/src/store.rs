@@ -1,0 +1,633 @@
+//! Router content stores and replacement policies.
+//!
+//! The model's two provisioning modes map onto store composition:
+//!
+//! - **non-coordinated**: each router runs a classic replacement
+//!   policy ([`LruStore`], [`LfuStore`], [`FifoStore`],
+//!   [`RandomStore`]) or statically pins the popularity prefix
+//!   ([`StaticStore`]);
+//! - **coordinated**: a [`StaticStore`] holding the `c − x` local
+//!   prefix plus this router's slice of the coordinated range (built
+//!   by [`crate::Placement`]).
+//!
+//! All policies expose the same object-safe [`ContentStore`] trait so
+//! the simulator can mix them per router.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ContentId;
+
+/// A router's content store: a bounded set of unit-size contents under
+/// some replacement policy.
+pub trait ContentStore: std::fmt::Debug + Send {
+    /// Whether the store currently holds `content`.
+    fn contains(&self, content: ContentId) -> bool;
+
+    /// Notifies the policy that `content` was served from this store.
+    fn on_hit(&mut self, content: ContentId);
+
+    /// Offers `content` (just fetched) to the store; the policy may
+    /// insert it, evicting another object. Returns the evicted object
+    /// if one was displaced.
+    fn on_data(&mut self, content: ContentId) -> Option<ContentId>;
+
+    /// Number of objects currently stored.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The store's capacity in objects.
+    fn capacity(&self) -> usize;
+
+    /// Snapshot of the stored objects (order unspecified).
+    fn contents(&self) -> Vec<ContentId>;
+}
+
+/// Least-recently-used replacement.
+#[derive(Debug)]
+pub struct LruStore {
+    capacity: usize,
+    /// content → logical timestamp of last touch.
+    entries: HashMap<ContentId, u64>,
+    clock: u64,
+}
+
+impl LruStore {
+    /// Creates an empty LRU store with the given capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, entries: HashMap::new(), clock: 0 }
+    }
+
+    fn touch(&mut self, content: ContentId) {
+        self.clock += 1;
+        self.entries.insert(content, self.clock);
+    }
+
+    fn evict_lru(&mut self) -> Option<ContentId> {
+        let victim = self.entries.iter().min_by_key(|(_, &t)| t).map(|(&c, _)| c)?;
+        self.entries.remove(&victim);
+        Some(victim)
+    }
+}
+
+impl ContentStore for LruStore {
+    fn contains(&self, content: ContentId) -> bool {
+        self.entries.contains_key(&content)
+    }
+
+    fn on_hit(&mut self, content: ContentId) {
+        if self.entries.contains_key(&content) {
+            self.touch(content);
+        }
+    }
+
+    fn on_data(&mut self, content: ContentId) -> Option<ContentId> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if self.entries.contains_key(&content) {
+            self.touch(content);
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.capacity { self.evict_lru() } else { None };
+        self.touch(content);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn contents(&self) -> Vec<ContentId> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+/// Least-frequently-used replacement (ties broken by recency).
+#[derive(Debug)]
+pub struct LfuStore {
+    capacity: usize,
+    /// content → (hit count, last-touch timestamp).
+    entries: HashMap<ContentId, (u64, u64)>,
+    clock: u64,
+}
+
+impl LfuStore {
+    /// Creates an empty LFU store with the given capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, entries: HashMap::new(), clock: 0 }
+    }
+}
+
+impl ContentStore for LfuStore {
+    fn contains(&self, content: ContentId) -> bool {
+        self.entries.contains_key(&content)
+    }
+
+    fn on_hit(&mut self, content: ContentId) {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&content) {
+            e.0 += 1;
+            e.1 = self.clock;
+        }
+    }
+
+    fn on_data(&mut self, content: ContentId) -> Option<ContentId> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&content) {
+            e.0 += 1;
+            e.1 = self.clock;
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, &(count, last))| (count, last))
+                .map(|(&c, _)| c);
+            if let Some(v) = victim {
+                self.entries.remove(&v);
+            }
+            victim
+        } else {
+            None
+        };
+        self.entries.insert(content, (1, self.clock));
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn contents(&self) -> Vec<ContentId> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+/// First-in-first-out replacement.
+#[derive(Debug)]
+pub struct FifoStore {
+    capacity: usize,
+    queue: VecDeque<ContentId>,
+    members: HashSet<ContentId>,
+}
+
+impl FifoStore {
+    /// Creates an empty FIFO store with the given capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, queue: VecDeque::new(), members: HashSet::new() }
+    }
+}
+
+impl ContentStore for FifoStore {
+    fn contains(&self, content: ContentId) -> bool {
+        self.members.contains(&content)
+    }
+
+    fn on_hit(&mut self, _content: ContentId) {}
+
+    fn on_data(&mut self, content: ContentId) -> Option<ContentId> {
+        if self.capacity == 0 || self.members.contains(&content) {
+            return None;
+        }
+        let evicted = if self.queue.len() >= self.capacity {
+            let victim = self.queue.pop_front();
+            if let Some(v) = victim {
+                self.members.remove(&v);
+            }
+            victim
+        } else {
+            None
+        };
+        self.queue.push_back(content);
+        self.members.insert(content);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn contents(&self) -> Vec<ContentId> {
+        self.queue.iter().copied().collect()
+    }
+}
+
+/// Random replacement with a seeded generator (deterministic runs).
+#[derive(Debug)]
+pub struct RandomStore {
+    capacity: usize,
+    items: Vec<ContentId>,
+    members: HashSet<ContentId>,
+    rng: StdRng,
+}
+
+impl RandomStore {
+    /// Creates an empty random-replacement store.
+    #[must_use]
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Self {
+            capacity,
+            items: Vec::new(),
+            members: HashSet::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ContentStore for RandomStore {
+    fn contains(&self, content: ContentId) -> bool {
+        self.members.contains(&content)
+    }
+
+    fn on_hit(&mut self, _content: ContentId) {}
+
+    fn on_data(&mut self, content: ContentId) -> Option<ContentId> {
+        if self.capacity == 0 || self.members.contains(&content) {
+            return None;
+        }
+        let evicted = if self.items.len() >= self.capacity {
+            let idx = self.rng.gen_range(0..self.items.len());
+            let victim = self.items.swap_remove(idx);
+            self.members.remove(&victim);
+            Some(victim)
+        } else {
+            None
+        };
+        self.items.push(content);
+        self.members.insert(content);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn contents(&self) -> Vec<ContentId> {
+        self.items.clone()
+    }
+}
+
+/// A pinned store: holds a fixed content set and never replaces it —
+/// the steady-state store of the model's provisioning strategies.
+#[derive(Debug)]
+pub struct StaticStore {
+    members: HashSet<ContentId>,
+    capacity: usize,
+}
+
+impl StaticStore {
+    /// Creates a static store pinning exactly `contents` (capacity
+    /// equals the pinned set size).
+    #[must_use]
+    pub fn new(contents: impl IntoIterator<Item = ContentId>) -> Self {
+        let members: HashSet<ContentId> = contents.into_iter().collect();
+        let capacity = members.len();
+        Self { members, capacity }
+    }
+
+    /// A static store holding the popularity prefix `1..=k` plus one
+    /// coordinated slice `[slice_start, slice_end)` — the model's
+    /// hybrid layout for a single router.
+    #[must_use]
+    pub fn hybrid(local_prefix: u64, slice_start: u64, slice_end: u64) -> Self {
+        let mut set: HashSet<ContentId> = (1..=local_prefix).map(ContentId).collect();
+        set.extend((slice_start..slice_end).map(ContentId));
+        let capacity = set.len();
+        Self { members: set, capacity }
+    }
+}
+
+impl ContentStore for StaticStore {
+    fn contains(&self, content: ContentId) -> bool {
+        self.members.contains(&content)
+    }
+
+    fn on_hit(&mut self, _content: ContentId) {}
+
+    fn on_data(&mut self, _content: ContentId) -> Option<ContentId> {
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn contents(&self) -> Vec<ContentId> {
+        self.members.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(rank: u64) -> ContentId {
+        ContentId(rank)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = LruStore::new(2);
+        assert_eq!(s.on_data(c(1)), None);
+        assert_eq!(s.on_data(c(2)), None);
+        s.on_hit(c(1)); // 2 is now least recent
+        assert_eq!(s.on_data(c(3)), Some(c(2)));
+        assert!(s.contains(c(1)) && s.contains(c(3)) && !s.contains(c(2)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn lru_reinsert_refreshes_without_eviction() {
+        let mut s = LruStore::new(2);
+        s.on_data(c(1));
+        s.on_data(c(2));
+        assert_eq!(s.on_data(c(1)), None); // refresh, no eviction
+        assert_eq!(s.on_data(c(3)), Some(c(2)));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut s = LfuStore::new(2);
+        s.on_data(c(1));
+        s.on_data(c(2));
+        s.on_hit(c(1));
+        s.on_hit(c(1));
+        s.on_hit(c(2));
+        // 2 has fewer hits than 1.
+        assert_eq!(s.on_data(c(3)), Some(c(2)));
+        assert!(s.contains(c(1)));
+    }
+
+    #[test]
+    fn lfu_ties_break_by_recency() {
+        let mut s = LfuStore::new(2);
+        s.on_data(c(1));
+        s.on_data(c(2)); // both count 1; 1 older
+        assert_eq!(s.on_data(c(3)), Some(c(1)));
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut s = FifoStore::new(2);
+        s.on_data(c(1));
+        s.on_data(c(2));
+        s.on_hit(c(1)); // FIFO does not care
+        assert_eq!(s.on_data(c(3)), Some(c(1)));
+    }
+
+    #[test]
+    fn random_store_is_bounded_and_deterministic() {
+        let run = |seed| {
+            let mut s = RandomStore::new(3, seed);
+            let mut evicted = Vec::new();
+            for i in 1..=10 {
+                if let Some(v) = s.on_data(c(i)) {
+                    evicted.push(v);
+                }
+            }
+            assert_eq!(s.len(), 3);
+            evicted
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn static_store_never_changes() {
+        let mut s = StaticStore::new([c(1), c(5)]);
+        assert_eq!(s.on_data(c(9)), None);
+        assert!(!s.contains(c(9)));
+        assert!(s.contains(c(5)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.capacity(), 2);
+    }
+
+    #[test]
+    fn hybrid_layout_prefix_plus_slice() {
+        // c = 5, x = 2: local prefix 1..=3, slice ranks [10, 12).
+        let s = StaticStore::hybrid(3, 10, 12);
+        for r in 1..=3 {
+            assert!(s.contains(c(r)), "prefix rank {r}");
+        }
+        assert!(s.contains(c(10)) && s.contains(c(11)));
+        assert!(!s.contains(c(4)) && !s.contains(c(12)));
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_stores_stay_empty() {
+        let mut stores: Vec<Box<dyn ContentStore>> = vec![
+            Box::new(LruStore::new(0)),
+            Box::new(LfuStore::new(0)),
+            Box::new(FifoStore::new(0)),
+            Box::new(RandomStore::new(0, 1)),
+        ];
+        for s in &mut stores {
+            assert_eq!(s.on_data(c(1)), None);
+            assert!(s.is_empty(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn policies_never_exceed_capacity() {
+        let mut stores: Vec<Box<dyn ContentStore>> = vec![
+            Box::new(LruStore::new(4)),
+            Box::new(LfuStore::new(4)),
+            Box::new(FifoStore::new(4)),
+            Box::new(RandomStore::new(4, 7)),
+        ];
+        for s in &mut stores {
+            for i in 1..=100 {
+                s.on_data(c(i));
+                s.on_hit(c(i / 2 + 1));
+                assert!(s.len() <= 4, "{s:?}");
+            }
+            assert_eq!(s.len(), 4);
+            assert_eq!(s.contents().len(), 4);
+        }
+    }
+}
+
+/// Segmented LRU (SLRU): a probationary LRU segment and a protected
+/// LRU segment. New contents enter probation; a hit promotes to the
+/// protected segment (demoting its LRU victim back to probation).
+/// Scan-resistant: one-hit wonders never displace proven contents.
+#[derive(Debug)]
+pub struct SlruStore {
+    probation: LruStore,
+    protected: LruStore,
+}
+
+impl SlruStore {
+    /// Creates an SLRU store with the given segment capacities.
+    #[must_use]
+    pub fn new(probation_capacity: usize, protected_capacity: usize) -> Self {
+        Self {
+            probation: LruStore::new(probation_capacity),
+            protected: LruStore::new(protected_capacity),
+        }
+    }
+
+    /// Splits a total capacity 20/80 between probation and protection
+    /// (the classic SLRU ratio).
+    #[must_use]
+    pub fn with_total_capacity(total: usize) -> Self {
+        let probation = (total / 5).max(usize::from(total > 0));
+        Self::new(probation.min(total), total - probation.min(total))
+    }
+}
+
+impl ContentStore for SlruStore {
+    fn contains(&self, content: ContentId) -> bool {
+        self.probation.contains(content) || self.protected.contains(content)
+    }
+
+    fn on_hit(&mut self, content: ContentId) {
+        if self.protected.contains(content) {
+            self.protected.on_hit(content);
+            return;
+        }
+        if self.probation.contains(content) {
+            // Promote; a displaced protected victim falls back to
+            // probation (standard SLRU demotion).
+            self.probation.entries.remove(&content);
+            if let Some(demoted) = self.protected.on_data(content) {
+                self.probation.on_data(demoted);
+            }
+        }
+    }
+
+    fn on_data(&mut self, content: ContentId) -> Option<ContentId> {
+        if self.contains(content) {
+            self.on_hit(content);
+            return None;
+        }
+        self.probation.on_data(content)
+    }
+
+    fn len(&self) -> usize {
+        self.probation.len() + self.protected.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.probation.capacity() + self.protected.capacity()
+    }
+
+    fn contents(&self) -> Vec<ContentId> {
+        let mut all = self.probation.contents();
+        all.extend(self.protected.contents());
+        all
+    }
+}
+
+#[cfg(test)]
+mod slru_tests {
+    use super::*;
+
+    fn c(rank: u64) -> ContentId {
+        ContentId(rank)
+    }
+
+    #[test]
+    fn new_contents_enter_probation_only() {
+        let mut s = SlruStore::new(2, 2);
+        s.on_data(c(1));
+        s.on_data(c(2));
+        assert_eq!(s.len(), 2);
+        // A third insert evicts from probation, never touching the
+        // (empty) protected segment.
+        let evicted = s.on_data(c(3));
+        assert_eq!(evicted, Some(c(1)));
+    }
+
+    #[test]
+    fn hits_promote_to_protected() {
+        let mut s = SlruStore::new(1, 2);
+        s.on_data(c(1));
+        s.on_hit(c(1)); // promoted
+        s.on_data(c(2));
+        s.on_data(c(3)); // evicts 2 from probation, 1 survives
+        assert!(s.contains(c(1)));
+        assert!(s.contains(c(3)));
+        assert!(!s.contains(c(2)));
+    }
+
+    #[test]
+    fn scan_resistance() {
+        // Two proven-hot contents survive a scan of 20 one-hit wonders.
+        let mut s = SlruStore::new(2, 2);
+        s.on_data(c(100));
+        s.on_hit(c(100));
+        s.on_data(c(200));
+        s.on_hit(c(200));
+        for i in 1..=20 {
+            s.on_data(c(i));
+        }
+        assert!(s.contains(c(100)) && s.contains(c(200)), "protected survived the scan");
+        assert!(s.len() <= s.capacity());
+    }
+
+    #[test]
+    fn protected_overflow_demotes_to_probation() {
+        let mut s = SlruStore::new(2, 1);
+        s.on_data(c(1));
+        s.on_hit(c(1)); // 1 protected
+        s.on_data(c(2));
+        s.on_hit(c(2)); // 2 protected, 1 demoted to probation
+        assert!(s.contains(c(1)), "demoted, not dropped");
+        assert!(s.contains(c(2)));
+    }
+
+    #[test]
+    fn total_capacity_split() {
+        let s = SlruStore::with_total_capacity(10);
+        assert_eq!(s.capacity(), 10);
+        let tiny = SlruStore::with_total_capacity(1);
+        assert_eq!(tiny.capacity(), 1);
+        let zero = SlruStore::with_total_capacity(0);
+        assert_eq!(zero.capacity(), 0);
+    }
+
+    #[test]
+    fn reinsertion_counts_as_hit() {
+        let mut s = SlruStore::new(1, 1);
+        s.on_data(c(1));
+        assert_eq!(s.on_data(c(1)), None); // promotes instead of evicting
+        s.on_data(c(2));
+        s.on_data(c(3)); // probation churn
+        assert!(s.contains(c(1)), "promoted entry survives churn");
+    }
+}

@@ -1,0 +1,156 @@
+//! Request-trace recording and replay.
+//!
+//! Traces decouple workload generation from simulation: record a
+//! synthetic (or externally captured) request stream once, replay it
+//! against any number of provisioning configurations, and compare
+//! outcomes on *identical* inputs.
+//!
+//! The format is one request per line — `time_ms router rank` —
+//! with `#` comments and blank lines ignored:
+//!
+//! ```text
+//! # ccn-sim trace v1
+//! 0.0 0 1
+//! 12.5 3 42
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::workload::Request;
+use crate::{ContentId, SimError};
+
+/// Header comment written at the top of every trace.
+pub const TRACE_HEADER: &str = "# ccn-sim trace v1";
+
+/// Writes `requests` to `writer` in the line format above.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace(mut writer: impl Write, requests: &[Request]) -> std::io::Result<()> {
+    writeln!(writer, "{TRACE_HEADER}")?;
+    for r in requests {
+        writeln!(writer, "{} {} {}", r.time, r.router, r.content.rank())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace produced by [`write_trace`] (or hand-written in the
+/// same format). Requests are returned in file order; use
+/// [`crate::workload::sort_requests`] if the source is unsorted.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] describing the offending line
+/// on malformed input, and wraps I/O failures the same way.
+pub fn read_trace(reader: impl BufRead) -> Result<Vec<Request>, SimError> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| SimError::InvalidConfig {
+            reason: format!("trace read failed at line {}: {e}", lineno + 1),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let parse_err = |what: &str| SimError::InvalidConfig {
+            reason: format!("trace line {}: bad or missing {what}: {trimmed:?}", lineno + 1),
+        };
+        let time: f64 = fields
+            .next()
+            .ok_or_else(|| parse_err("time"))?
+            .parse()
+            .map_err(|_| parse_err("time"))?;
+        let router: usize = fields
+            .next()
+            .ok_or_else(|| parse_err("router"))?
+            .parse()
+            .map_err(|_| parse_err("router"))?;
+        let rank: u64 = fields
+            .next()
+            .ok_or_else(|| parse_err("rank"))?
+            .parse()
+            .map_err(|_| parse_err("rank"))?;
+        if fields.next().is_some() {
+            return Err(parse_err("trailing fields"));
+        }
+        if !time.is_finite() || time < 0.0 {
+            return Err(parse_err("time"));
+        }
+        if rank == 0 {
+            return Err(parse_err("rank (must be >= 1)"));
+        }
+        out.push(Request { time, router, content: ContentId(rank) });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::zipf_irm;
+
+    #[test]
+    fn round_trip_preserves_requests() {
+        let original = zipf_irm(&[0, 1, 2], 0.8, 500, 0.01, 5_000.0, 5).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &original).unwrap();
+        let replayed = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\n0.5 1 7\n  # indented comment\n2.5 0 3\n";
+        let reqs = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].router, 1);
+        assert_eq!(reqs[1].content.rank(), 3);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let cases = [
+            "abc 0 1",      // bad time
+            "1.0 x 1",      // bad router
+            "1.0 0 zero",   // bad rank
+            "1.0 0",        // missing rank
+            "1.0 0 1 extra", // trailing field
+            "-1.0 0 1",     // negative time
+            "1.0 0 0",      // zero rank
+        ];
+        for text in cases {
+            let err = read_trace(text.as_bytes()).unwrap_err();
+            match err {
+                SimError::InvalidConfig { reason } => {
+                    assert!(reason.contains("line 1"), "{reason}");
+                }
+                other => panic!("unexpected error: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn replaying_a_trace_gives_identical_metrics() {
+        use crate::network::OriginConfig;
+        use crate::{Network, SimConfig, Simulator};
+        use ccn_topology::generators;
+
+        let requests = zipf_irm(&[0, 1, 2, 3], 0.9, 200, 0.01, 20_000.0, 8).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &requests).unwrap();
+        let replayed = read_trace(buf.as_slice()).unwrap();
+
+        let run = |reqs: &[crate::workload::Request]| {
+            let net = Network::builder(generators::ring(4, 1.0).unwrap())
+                .default_lru_capacity(20)
+                .caching(crate::CachingMode::Edge)
+                .origin(OriginConfig { latency_ms: 30.0, hops: 3, ..Default::default() })
+                .build()
+                .unwrap();
+            Simulator::new(net, SimConfig::default()).run(reqs).unwrap()
+        };
+        assert_eq!(run(&requests), run(&replayed));
+    }
+}

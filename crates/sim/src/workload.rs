@@ -1,0 +1,230 @@
+//! Request workload generators.
+//!
+//! Workloads are materialized up front as time-sorted request lists so
+//! runs are perfectly reproducible and composable (several generators
+//! can be merged before simulation).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ccn_zipf::mandelbrot::{MandelbrotSampler, ZipfMandelbrot};
+use ccn_zipf::ZipfSampler;
+
+use crate::{ContentId, SimError};
+
+/// One client request: at `time`, the client attached to `router`
+/// asks for `content`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Issue time in ms.
+    pub time: f64,
+    /// Router the client is attached to.
+    pub router: usize,
+    /// Requested content.
+    pub content: ContentId,
+}
+
+/// A deterministic cyclic flow: the client at `router` requests the
+/// ranks in `sequence` round-robin, one every `interval_ms`, starting
+/// at `offset_ms`, until `horizon_ms`.
+///
+/// This is the paper's motivating workload (`{a, a, b}` repeating).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for an empty sequence or
+/// non-positive interval/horizon.
+pub fn deterministic_cycle(
+    router: usize,
+    sequence: &[u64],
+    interval_ms: f64,
+    offset_ms: f64,
+    horizon_ms: f64,
+) -> Result<Vec<Request>, SimError> {
+    if sequence.is_empty() {
+        return Err(SimError::InvalidConfig { reason: "empty request sequence".into() });
+    }
+    if interval_ms.is_nan() || interval_ms <= 0.0 || horizon_ms.is_nan() || horizon_ms <= 0.0 {
+        return Err(SimError::InvalidConfig {
+            reason: format!("interval {interval_ms} and horizon {horizon_ms} must be positive"),
+        });
+    }
+    let mut out = Vec::new();
+    let mut t = offset_ms;
+    let mut i = 0usize;
+    while t < horizon_ms {
+        out.push(Request { time: t, router, content: ContentId(sequence[i % sequence.len()]) });
+        i += 1;
+        t += interval_ms;
+    }
+    Ok(out)
+}
+
+/// Independent-reference-model Zipf workload: every router in
+/// `routers` hosts one client issuing Poisson-spaced requests at
+/// `rate_per_ms`, with ranks drawn i.i.d. from Zipf(`s`) over
+/// `catalogue` contents.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for non-positive rate or
+/// horizon and propagates [`SimError::Zipf`] for a bad distribution.
+pub fn zipf_irm(
+    routers: &[usize],
+    s: f64,
+    catalogue: u64,
+    rate_per_ms: f64,
+    horizon_ms: f64,
+    seed: u64,
+) -> Result<Vec<Request>, SimError> {
+    if rate_per_ms.is_nan() || rate_per_ms <= 0.0 || horizon_ms.is_nan() || horizon_ms <= 0.0 {
+        return Err(SimError::InvalidConfig {
+            reason: format!("rate {rate_per_ms} and horizon {horizon_ms} must be positive"),
+        });
+    }
+    let sampler = ZipfSampler::new(s, catalogue)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for &router in routers {
+        let mut t = 0.0;
+        loop {
+            // Exponential inter-arrival via inverse transform.
+            let u: f64 = rng.gen::<f64>().max(1e-300);
+            t += -u.ln() / rate_per_ms;
+            if t >= horizon_ms {
+                break;
+            }
+            out.push(Request { time: t, router, content: ContentId(sampler.sample(&mut rng)) });
+        }
+    }
+    sort_requests(&mut out);
+    Ok(out)
+}
+
+/// Zipf–Mandelbrot IRM workload: like [`zipf_irm`] but with the
+/// head-flattening shift `q` (`q = 0` reproduces plain Zipf). Real
+/// content traces flatten at the head; this generator lets deployments
+/// be stress-tested against that shape.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for non-positive rate/horizon
+/// and propagates [`SimError::Zipf`] for bad distribution parameters
+/// or catalogues beyond the sampler's memory guard.
+#[allow(clippy::too_many_arguments)]
+pub fn mandelbrot_irm(
+    routers: &[usize],
+    s: f64,
+    q: f64,
+    catalogue: u64,
+    rate_per_ms: f64,
+    horizon_ms: f64,
+    seed: u64,
+) -> Result<Vec<Request>, SimError> {
+    if rate_per_ms.is_nan() || rate_per_ms <= 0.0 || horizon_ms.is_nan() || horizon_ms <= 0.0 {
+        return Err(SimError::InvalidConfig {
+            reason: format!("rate {rate_per_ms} and horizon {horizon_ms} must be positive"),
+        });
+    }
+    let dist = ZipfMandelbrot::new(s, q, catalogue)?;
+    let sampler = MandelbrotSampler::new(&dist)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for &router in routers {
+        let mut t = 0.0;
+        loop {
+            let u: f64 = rng.gen::<f64>().max(1e-300);
+            t += -u.ln() / rate_per_ms;
+            if t >= horizon_ms {
+                break;
+            }
+            out.push(Request { time: t, router, content: ContentId(sampler.sample(&mut rng)) });
+        }
+    }
+    sort_requests(&mut out);
+    Ok(out)
+}
+
+/// Sorts a merged request list by time (stable for equal times).
+pub fn sort_requests(requests: &mut [Request]) {
+    requests.sort_by(|a, b| a.time.total_cmp(&b.time));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_repeats_sequence() {
+        let reqs = deterministic_cycle(2, &[7, 7, 9], 10.0, 0.0, 60.0).unwrap();
+        assert_eq!(reqs.len(), 6);
+        let ranks: Vec<u64> = reqs.iter().map(|r| r.content.rank()).collect();
+        assert_eq!(ranks, vec![7, 7, 9, 7, 7, 9]);
+        assert!(reqs.iter().all(|r| r.router == 2));
+        assert_eq!(reqs[3].time, 30.0);
+    }
+
+    #[test]
+    fn cycle_rejects_degenerate_config() {
+        assert!(deterministic_cycle(0, &[], 1.0, 0.0, 10.0).is_err());
+        assert!(deterministic_cycle(0, &[1], 0.0, 0.0, 10.0).is_err());
+        assert!(deterministic_cycle(0, &[1], 1.0, 0.0, -5.0).is_err());
+    }
+
+    #[test]
+    fn irm_is_sorted_deterministic_and_zipf_shaped() {
+        let a = zipf_irm(&[0, 1, 2], 0.9, 1000, 0.05, 20_000.0, 11).unwrap();
+        let b = zipf_irm(&[0, 1, 2], 0.9, 1000, 0.05, 20_000.0, 11).unwrap();
+        assert_eq!(a, b, "seeded runs are identical");
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time), "sorted by time");
+        // Expected ~0.05 * 20000 * 3 = 3000 requests.
+        assert!((2000..4000).contains(&a.len()), "got {}", a.len());
+        // Rank 1 should be the most requested.
+        let top = a.iter().filter(|r| r.content.rank() == 1).count();
+        let mid = a.iter().filter(|r| r.content.rank() == 500).count();
+        assert!(top > mid, "zipf head dominates: {top} vs {mid}");
+    }
+
+    #[test]
+    fn irm_rejects_bad_rate() {
+        assert!(zipf_irm(&[0], 0.8, 100, 0.0, 100.0, 1).is_err());
+        assert!(zipf_irm(&[0], -1.0, 100, 0.1, 100.0, 1).is_err());
+    }
+
+    #[test]
+    fn mandelbrot_zero_shift_is_plain_zipf_shaped() {
+        let reqs = mandelbrot_irm(&[0, 1], 0.9, 0.0, 500, 0.02, 20_000.0, 14).unwrap();
+        assert!(!reqs.is_empty());
+        assert!(reqs.windows(2).all(|w| w[0].time <= w[1].time));
+        let top = reqs.iter().filter(|r| r.content.rank() == 1).count();
+        let mid = reqs.iter().filter(|r| r.content.rank() == 250).count();
+        assert!(top > mid, "head dominates: {top} vs {mid}");
+    }
+
+    #[test]
+    fn mandelbrot_shift_flattens_the_workload_head() {
+        let count_rank1 = |q: f64| {
+            mandelbrot_irm(&[0], 1.0, q, 1_000, 0.05, 100_000.0, 15)
+                .unwrap()
+                .iter()
+                .filter(|r| r.content.rank() == 1)
+                .count()
+        };
+        assert!(count_rank1(50.0) < count_rank1(0.0) / 2, "shift starves the head");
+    }
+
+    #[test]
+    fn mandelbrot_rejects_bad_parameters() {
+        assert!(mandelbrot_irm(&[0], 0.8, -1.0, 100, 0.1, 100.0, 1).is_err());
+        assert!(mandelbrot_irm(&[0], 0.8, 0.0, 100, 0.0, 100.0, 1).is_err());
+    }
+
+    #[test]
+    fn sort_merges_flows() {
+        let mut reqs = deterministic_cycle(0, &[1], 10.0, 0.0, 40.0).unwrap();
+        reqs.extend(deterministic_cycle(1, &[2], 10.0, 5.0, 40.0).unwrap());
+        sort_requests(&mut reqs);
+        let routers: Vec<usize> = reqs.iter().map(|r| r.router).collect();
+        assert_eq!(routers, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+}

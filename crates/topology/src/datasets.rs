@@ -1,0 +1,395 @@
+//! The four evaluation topologies of the paper (Table II).
+//!
+//! | Topology | \|V\| | \|E\| (directed) | Region        | Type        |
+//! |----------|------|------------------|---------------|-------------|
+//! | Abilene  | 11   | 28               | North America | Educational |
+//! | CERNET   | 36   | 112              | East Asia     | Educational |
+//! | GEANT    | 23   | 74               | Europe        | Educational |
+//! | US-A     | 20   | 80               | North America | Commercial  |
+//!
+//! Node/link structure follows the published maps (Abilene 2004 map,
+//! GEANT October-2004 map, CERNET backbone); US-A is an anonymized
+//! commercial carrier in the paper and is substituted here by a
+//! deterministic tier-1-like 20-PoP mesh (see `DESIGN.md` §3). Link
+//! latencies are derived from router coordinates via
+//! [`crate::geo::link_latency_ms`].
+
+use crate::geo::link_latency_ms;
+use crate::Graph;
+
+/// City description: `(name, lat, lon)`.
+type City = (&'static str, f64, f64);
+
+fn build(name: &str, cities: &[City], links: &[(usize, usize)]) -> Graph {
+    let mut g = Graph::new(name);
+    for &(city, lat, lon) in cities {
+        g.add_node(city, lat, lon);
+    }
+    for &(a, b) in links {
+        let ms = link_latency_ms(g.node_position(a), g.node_position(b));
+        g.add_edge(a, b, ms)
+            .expect("embedded dataset links are valid by construction");
+    }
+    debug_assert!(g.ensure_connected().is_ok(), "{name} must be connected");
+    g
+}
+
+/// The Abilene (Internet2) backbone: 11 PoPs, 14 bidirectional
+/// OC192/OC48 trunks (28 directed edges in the paper's Table II).
+#[must_use]
+pub fn abilene() -> Graph {
+    const CITIES: [City; 11] = [
+        ("Seattle", 47.61, -122.33),
+        ("Sunnyvale", 37.37, -122.04),
+        ("Los Angeles", 34.05, -118.24),
+        ("Denver", 39.74, -104.99),
+        ("Kansas City", 39.10, -94.58),
+        ("Houston", 29.76, -95.37),
+        ("Chicago", 41.88, -87.63),
+        ("Indianapolis", 39.77, -86.16),
+        ("Atlanta", 33.75, -84.39),
+        ("Washington DC", 38.91, -77.04),
+        ("New York", 40.71, -74.01),
+    ];
+    const LINKS: [(usize, usize); 14] = [
+        (0, 1),  // Seattle - Sunnyvale
+        (0, 3),  // Seattle - Denver
+        (1, 2),  // Sunnyvale - Los Angeles
+        (1, 3),  // Sunnyvale - Denver
+        (2, 5),  // Los Angeles - Houston
+        (3, 4),  // Denver - Kansas City
+        (4, 5),  // Kansas City - Houston
+        (4, 7),  // Kansas City - Indianapolis
+        (5, 8),  // Houston - Atlanta
+        (7, 8),  // Indianapolis - Atlanta
+        (7, 6),  // Indianapolis - Chicago
+        (6, 10), // Chicago - New York
+        (8, 9),  // Atlanta - Washington DC
+        (9, 10), // Washington DC - New York
+    ];
+    build("Abilene", &CITIES, &LINKS)
+}
+
+/// The GEANT pan-European research backbone (October 2004 map):
+/// 23 PoPs, 37 bidirectional links (74 directed edges).
+#[must_use]
+pub fn geant() -> Graph {
+    const CITIES: [City; 23] = [
+        ("Vienna", 48.21, 16.37),      // 0  AT
+        ("Brussels", 50.85, 4.35),     // 1  BE
+        ("Zagreb", 45.81, 15.98),      // 2  HR
+        ("Prague", 50.08, 14.44),      // 3  CZ
+        ("Copenhagen", 55.68, 12.57),  // 4  DK
+        ("Paris", 48.86, 2.35),        // 5  FR
+        ("Frankfurt", 50.11, 8.68),    // 6  DE
+        ("Athens", 37.98, 23.73),      // 7  GR
+        ("Budapest", 47.50, 19.04),    // 8  HU
+        ("Dublin", 53.35, -6.26),      // 9  IE
+        ("Bucharest", 44.43, 26.10),   // 10 RO
+        ("Milan", 45.46, 9.19),        // 11 IT
+        ("Luxembourg", 49.61, 6.13),   // 12 LU
+        ("Amsterdam", 52.37, 4.90),    // 13 NL
+        ("Poznan", 52.41, 16.93),      // 14 PL
+        ("Lisbon", 38.72, -9.14),      // 15 PT
+        ("Bratislava", 48.15, 17.11),  // 16 SK
+        ("Ljubljana", 46.06, 14.51),   // 17 SI
+        ("Madrid", 40.42, -3.70),      // 18 ES
+        ("Stockholm", 59.33, 18.07),   // 19 SE
+        ("Geneva", 46.20, 6.14),       // 20 CH
+        ("London", 51.51, -0.13),      // 21 UK
+        ("Tallinn", 59.44, 24.75),     // 22 EE
+    ];
+    const LINKS: [(usize, usize); 37] = [
+        (21, 5),  // London - Paris
+        (21, 13), // London - Amsterdam
+        (21, 9),  // London - Dublin
+        (19, 22), // Stockholm - Tallinn
+        (21, 15), // London - Lisbon
+        (5, 18),  // Paris - Madrid
+        (5, 20),  // Paris - Geneva
+        (5, 1),   // Paris - Brussels
+        (5, 12),  // Paris - Luxembourg
+        (1, 13),  // Brussels - Amsterdam
+        (13, 6),  // Amsterdam - Frankfurt
+        (13, 4),  // Amsterdam - Copenhagen
+        (6, 20),  // Frankfurt - Geneva
+        (6, 0),   // Frankfurt - Vienna
+        (6, 4),   // Frankfurt - Copenhagen
+        (6, 14),  // Frankfurt - Poznan
+        (6, 12),  // Frankfurt - Luxembourg
+        (6, 3),   // Frankfurt - Prague
+        (14, 22), // Poznan - Tallinn
+        (20, 11), // Geneva - Milan
+        (20, 18), // Geneva - Madrid
+        (11, 0),  // Milan - Vienna
+        (11, 7),  // Milan - Athens
+        (8, 10),  // Budapest - Bucharest
+        (0, 8),   // Vienna - Budapest
+        (0, 17),  // Vienna - Ljubljana
+        (0, 3),   // Vienna - Prague
+        (0, 16),  // Vienna - Bratislava
+        (8, 2),   // Budapest - Zagreb
+        (8, 16),  // Budapest - Bratislava
+        (17, 2),  // Ljubljana - Zagreb
+        (3, 14),  // Prague - Poznan
+        (4, 19),  // Copenhagen - Stockholm
+        (19, 14), // Stockholm - Poznan
+        (18, 15), // Madrid - Lisbon
+        (7, 10),  // Athens - Bucharest
+        (9, 13),  // Dublin - Amsterdam
+    ];
+    build("GEANT", &CITIES, &LINKS)
+}
+
+/// The CERNET Chinese education/research backbone: 36 PoPs, 56
+/// bidirectional links (112 directed edges). Eight core hubs form a
+/// national mesh; 28 regional PoPs attach to one or two hubs.
+#[must_use]
+pub fn cernet() -> Graph {
+    const CITIES: [City; 36] = [
+        // Core hubs (0-7).
+        ("Beijing", 39.90, 116.41),
+        ("Shanghai", 31.23, 121.47),
+        ("Guangzhou", 23.13, 113.26),
+        ("Wuhan", 30.59, 114.31),
+        ("Nanjing", 32.06, 118.80),
+        ("Xi'an", 34.34, 108.94),
+        ("Chengdu", 30.57, 104.07),
+        ("Shenyang", 41.81, 123.43),
+        // Regional PoPs (8-35).
+        ("Tianjin", 39.34, 117.36),
+        ("Harbin", 45.80, 126.53),
+        ("Changchun", 43.82, 125.32),
+        ("Dalian", 38.91, 121.60),
+        ("Jinan", 36.65, 117.00),
+        ("Qingdao", 36.07, 120.38),
+        ("Shijiazhuang", 38.04, 114.51),
+        ("Taiyuan", 37.87, 112.55),
+        ("Hohhot", 40.84, 111.75),
+        ("Zhengzhou", 34.75, 113.62),
+        ("Hefei", 31.82, 117.23),
+        ("Hangzhou", 30.27, 120.15),
+        ("Suzhou", 31.30, 120.62),
+        ("Wenzhou", 28.00, 120.70),
+        ("Fuzhou", 26.07, 119.30),
+        ("Xiamen", 24.48, 118.09),
+        ("Nanchang", 28.68, 115.86),
+        ("Changsha", 28.23, 112.94),
+        ("Guiyang", 26.65, 106.63),
+        ("Kunming", 25.04, 102.71),
+        ("Nanning", 22.82, 108.37),
+        ("Haikou", 20.04, 110.20),
+        ("Chongqing", 29.56, 106.55),
+        ("Lanzhou", 36.06, 103.83),
+        ("Xining", 36.62, 101.78),
+        ("Yinchuan", 38.49, 106.23),
+        ("Urumqi", 43.83, 87.62),
+        ("Shenzhen", 22.54, 114.06),
+    ];
+    const LINKS: [(usize, usize); 56] = [
+        // Core mesh (14 links).
+        (0, 1),
+        (0, 3),
+        (0, 5),
+        (0, 7),
+        (0, 4),
+        (0, 2),
+        (1, 4),
+        (1, 3),
+        (1, 2),
+        (2, 3),
+        (2, 6),
+        (3, 5),
+        (3, 6),
+        (5, 6),
+        // Dual-homed regional PoPs (14 × 2 = 28 links).
+        (8, 0),
+        (8, 7),   // Tianjin: Beijing + Shenyang
+        (9, 7),
+        (9, 0),   // Harbin: Shenyang + Beijing
+        (11, 7),
+        (11, 0),  // Dalian
+        (12, 0),
+        (12, 1),  // Jinan
+        (17, 0),
+        (17, 3),  // Zhengzhou
+        (18, 4),
+        (18, 3),  // Hefei
+        (19, 1),
+        (19, 4),  // Hangzhou
+        (25, 3),
+        (25, 2),  // Changsha
+        (24, 3),
+        (24, 1),  // Nanchang
+        (31, 6),
+        (31, 2),  // Chongqing
+        (26, 6),
+        (26, 2),  // Guiyang
+        (32, 5),
+        (32, 6),  // Lanzhou
+        (35, 2),
+        (35, 1),  // Shenzhen
+        (22, 1),
+        (22, 2),  // Fuzhou
+        // Single-homed regional PoPs (14 links).
+        (10, 7),  // Changchun
+        (13, 12), // Qingdao - Jinan
+        (14, 0),  // Shijiazhuang
+        (15, 0),  // Taiyuan
+        (16, 0),  // Hohhot
+        (20, 1),  // Suzhou
+        (21, 19), // Wenzhou - Hangzhou
+        (23, 22), // Xiamen - Fuzhou
+        (27, 6),  // Kunming
+        (28, 2),  // Nanning
+        (29, 2),  // Haikou
+        (30, 32), // Xining - Lanzhou
+        (33, 32), // Yinchuan - Lanzhou
+        (34, 32), // Urumqi - Lanzhou
+    ];
+    build("CERNET", &CITIES, &LINKS)
+}
+
+/// "US-A": a deterministic stand-in for the paper's anonymized
+/// North-American tier-1 commercial carrier — 20 PoPs, 40 bidirectional
+/// links (80 directed edges) matching Table II's aggregates.
+#[must_use]
+pub fn us_a() -> Graph {
+    const CITIES: [City; 20] = [
+        ("New York", 40.71, -74.01),
+        ("Chicago", 41.88, -87.63),
+        ("Los Angeles", 34.05, -118.24),
+        ("Dallas", 32.78, -96.80),
+        ("Atlanta", 33.75, -84.39),
+        ("Washington DC", 38.91, -77.04),
+        ("San Francisco", 37.77, -122.42),
+        ("Seattle", 47.61, -122.33),
+        ("Denver", 39.74, -104.99),
+        ("Miami", 25.76, -80.19),
+        ("Boston", 42.36, -71.06),
+        ("Houston", 29.76, -95.37),
+        ("Phoenix", 33.45, -112.07),
+        ("Minneapolis", 44.98, -93.27),
+        ("Detroit", 42.33, -83.05),
+        ("Philadelphia", 39.95, -75.17),
+        ("St. Louis", 38.63, -90.20),
+        ("Kansas City", 39.10, -94.58),
+        ("Salt Lake City", 40.76, -111.89),
+        ("Portland", 45.52, -122.68),
+    ];
+    const LINKS: [(usize, usize); 40] = [
+        (0, 10),  // NY - Boston
+        (0, 15),  // NY - Philadelphia
+        (0, 5),   // NY - Washington
+        (0, 1),   // NY - Chicago
+        (0, 4),   // NY - Atlanta
+        (15, 5),  // Philadelphia - Washington
+        (15, 1),  // Philadelphia - Chicago
+        (10, 1),  // Boston - Chicago
+        (5, 4),   // Washington - Atlanta
+        (5, 1),   // Washington - Chicago
+        (4, 9),   // Atlanta - Miami
+        (4, 3),   // Atlanta - Dallas
+        (4, 11),  // Atlanta - Houston
+        (4, 16),  // Atlanta - St. Louis
+        (9, 11),  // Miami - Houston
+        (9, 3),   // Miami - Dallas
+        (1, 14),  // Chicago - Detroit
+        (1, 13),  // Chicago - Minneapolis
+        (1, 16),  // Chicago - St. Louis
+        (1, 17),  // Chicago - Kansas City
+        (1, 8),   // Chicago - Denver
+        (14, 10), // Detroit - Boston
+        (13, 7),  // Minneapolis - Seattle
+        (13, 8),  // Minneapolis - Denver
+        (16, 17), // St. Louis - Kansas City
+        (16, 3),  // St. Louis - Dallas
+        (17, 8),  // Kansas City - Denver
+        (17, 3),  // Kansas City - Dallas
+        (3, 11),  // Dallas - Houston
+        (3, 12),  // Dallas - Phoenix
+        (11, 2),  // Houston - Los Angeles
+        (8, 18),  // Denver - Salt Lake City
+        (8, 12),  // Denver - Phoenix
+        (18, 7),  // Salt Lake City - Seattle
+        (18, 6),  // Salt Lake City - San Francisco
+        (12, 2),  // Phoenix - Los Angeles
+        (2, 6),   // Los Angeles - San Francisco
+        (6, 7),   // San Francisco - Seattle
+        (6, 19),  // San Francisco - Portland
+        (19, 7),  // Portland - Seattle
+    ];
+    build("US-A", &CITIES, &LINKS)
+}
+
+/// All four evaluation topologies in the paper's Table II order.
+#[must_use]
+pub fn all() -> Vec<Graph> {
+    vec![abilene(), cernet(), geant(), us_a()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_node_and_edge_counts() {
+        // (name, |V|, |E| directed) exactly as the paper's Table II.
+        let expected = [("Abilene", 11, 28), ("CERNET", 36, 112), ("GEANT", 23, 74), ("US-A", 20, 80)];
+        for (graph, (name, v, e)) in all().iter().zip(expected) {
+            assert_eq!(graph.name(), name);
+            assert_eq!(graph.node_count(), v, "{name} node count");
+            assert_eq!(graph.directed_edge_count(), e, "{name} directed edge count");
+        }
+    }
+
+    #[test]
+    fn all_datasets_connected() {
+        for graph in all() {
+            graph.ensure_connected().unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
+        }
+    }
+
+    #[test]
+    fn all_link_latencies_positive_and_bounded() {
+        for graph in all() {
+            for (a, b, ms) in graph.edges() {
+                assert!(
+                    ms > 0.0 && ms < 50.0,
+                    "{}: link {}-{} latency {ms} out of range",
+                    graph.name(),
+                    graph.node_name(a),
+                    graph.node_name(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_isolated_nodes() {
+        for graph in all() {
+            for v in 0..graph.node_count() {
+                assert!(graph.degree(v) >= 1, "{}: {} isolated", graph.name(), graph.node_name(v));
+            }
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = abilene();
+        let b = abilene();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn abilene_structure_spot_checks() {
+        let g = abilene();
+        // Chicago connects to Indianapolis and New York only.
+        let chicago = 6;
+        assert_eq!(g.node_name(chicago), "Chicago");
+        let mut names: Vec<&str> =
+            g.neighbors(chicago).iter().map(|&(v, _)| g.node_name(v)).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["Indianapolis", "New York"]);
+    }
+}

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or querying topologies.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A node index was out of range for this graph.
+    UnknownNode {
+        /// The rejected node index.
+        node: usize,
+        /// Current number of nodes.
+        node_count: usize,
+    },
+    /// An edge referenced the same node at both ends.
+    SelfLoop {
+        /// The offending node index.
+        node: usize,
+    },
+    /// An edge between the two nodes already exists.
+    DuplicateEdge {
+        /// First endpoint.
+        a: usize,
+        /// Second endpoint.
+        b: usize,
+    },
+    /// An edge weight was zero, negative, or non-finite.
+    InvalidWeight {
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// The operation requires a connected graph but the graph is not.
+    Disconnected {
+        /// A node unreachable from node 0.
+        unreachable: usize,
+    },
+    /// A generator was asked for an impossible configuration.
+    InvalidGeneratorConfig {
+        /// Explanation of the rejected configuration.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode { node, node_count } => {
+                write!(f, "unknown node {node} (graph has {node_count} nodes)")
+            }
+            TopologyError::SelfLoop { node } => {
+                write!(f, "self loop at node {node} is not allowed")
+            }
+            TopologyError::DuplicateEdge { a, b } => {
+                write!(f, "edge between {a} and {b} already exists")
+            }
+            TopologyError::InvalidWeight { weight } => {
+                write!(f, "invalid edge weight {weight}: must be finite and positive")
+            }
+            TopologyError::Disconnected { unreachable } => {
+                write!(f, "graph is disconnected: node {unreachable} unreachable from node 0")
+            }
+            TopologyError::InvalidGeneratorConfig { reason } => {
+                write!(f, "invalid generator configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_operands() {
+        let e = TopologyError::UnknownNode { node: 7, node_count: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopologyError>();
+    }
+}

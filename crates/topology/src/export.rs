@@ -1,0 +1,99 @@
+//! Topology rendering: Graphviz DOT and terminal ASCII (Figure 3).
+//!
+//! The paper's Figure 3 shows the Abilene backbone; `fig3` in
+//! `ccn-bench` regenerates it through these exporters.
+
+use std::fmt::Write as _;
+
+use crate::Graph;
+
+/// Renders the topology as a Graphviz DOT document with latency-labeled
+/// edges and geographic positions as node attributes.
+#[must_use]
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  layout=neato;");
+    let _ = writeln!(out, "  node [shape=ellipse, fontsize=10];");
+    for v in 0..graph.node_count() {
+        let (lat, lon) = graph.node_position(v);
+        // Longitude/latitude map directly onto x/y for layout.
+        let _ = writeln!(
+            out,
+            "  n{v} [label=\"{}\", pos=\"{:.2},{:.2}!\"];",
+            graph.node_name(v),
+            lon / 10.0,
+            lat / 10.0
+        );
+    }
+    for (a, b, ms) in graph.edges() {
+        let _ = writeln!(out, "  n{a} -- n{b} [label=\"{ms:.1}ms\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an adjacency listing of the topology for terminals:
+/// one line per router with its neighbours and link latencies.
+#[must_use]
+pub fn to_ascii(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} — {} routers, {} links",
+        graph.name(),
+        graph.node_count(),
+        graph.undirected_edge_count()
+    );
+    let width = (0..graph.node_count())
+        .map(|v| graph.node_name(v).len())
+        .max()
+        .unwrap_or(0);
+    for v in 0..graph.node_count() {
+        let mut neighbours: Vec<String> = graph
+            .neighbors(v)
+            .iter()
+            .map(|&(u, ms)| format!("{} ({ms:.1}ms)", graph.node_name(u)))
+            .collect();
+        neighbours.sort();
+        let _ = writeln!(out, "  {:width$} -- {}", graph.node_name(v), neighbours.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = datasets::abilene();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("graph \"Abilene\""));
+        for v in 0..g.node_count() {
+            assert!(dot.contains(g.node_name(v)), "missing node {}", g.node_name(v));
+        }
+        assert_eq!(dot.matches(" -- ").count(), g.undirected_edge_count());
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn ascii_lists_every_router() {
+        let g = datasets::abilene();
+        let text = to_ascii(&g);
+        assert!(text.contains("11 routers"));
+        assert!(text.contains("14 links"));
+        // Chicago's neighbours appear on its line.
+        let chicago_line = text.lines().find(|l| l.trim_start().starts_with("Chicago")).unwrap();
+        assert!(chicago_line.contains("Indianapolis"));
+        assert!(chicago_line.contains("New York"));
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = Graph::new("empty");
+        assert!(to_dot(&g).contains("graph \"empty\""));
+        assert!(to_ascii(&g).contains("0 routers"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Synthetic topology generators.
+//!
+//! The evaluation varies the network size `n` from 10 to 500 routers
+//! (Figure 6/10), far beyond the four real datasets. These generators
+//! produce connected synthetic backbones with controlled structure so
+//! that scaling sweeps and the simulator have topologies at every `n`.
+//! All random generators take an explicit seed and are deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Graph, TopologyError};
+
+/// Default link latency for abstract (non-geographic) topologies, ms.
+pub const DEFAULT_LINK_MS: f64 = 5.0;
+
+fn validated_n(n: usize, min: usize, what: &str) -> Result<(), TopologyError> {
+    if n < min {
+        return Err(TopologyError::InvalidGeneratorConfig {
+            reason: format!("{what} needs at least {min} nodes, got {n}"),
+        });
+    }
+    Ok(())
+}
+
+fn abstract_graph(name: &str, n: usize) -> Graph {
+    let mut g = Graph::new(name);
+    for i in 0..n {
+        g.add_node(format!("R{i}"), 0.0, 0.0);
+    }
+    g
+}
+
+/// A ring of `n >= 3` routers with uniform link latency.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidGeneratorConfig`] for `n < 3`.
+pub fn ring(n: usize, link_ms: f64) -> Result<Graph, TopologyError> {
+    validated_n(n, 3, "ring")?;
+    let mut g = abstract_graph("ring", n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n, link_ms)?;
+    }
+    Ok(g)
+}
+
+/// A line (path) of `n >= 2` routers.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidGeneratorConfig`] for `n < 2`.
+pub fn line(n: usize, link_ms: f64) -> Result<Graph, TopologyError> {
+    validated_n(n, 2, "line")?;
+    let mut g = abstract_graph("line", n);
+    for i in 0..n - 1 {
+        g.add_edge(i, i + 1, link_ms)?;
+    }
+    Ok(g)
+}
+
+/// A star: router 0 is the hub, all others are leaves.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidGeneratorConfig`] for `n < 2`.
+pub fn star(n: usize, link_ms: f64) -> Result<Graph, TopologyError> {
+    validated_n(n, 2, "star")?;
+    let mut g = abstract_graph("star", n);
+    for i in 1..n {
+        g.add_edge(0, i, link_ms)?;
+    }
+    Ok(g)
+}
+
+/// A `rows × cols` grid (each router linked to its right and down
+/// neighbours).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidGeneratorConfig`] when either
+/// dimension is zero or the grid has fewer than two nodes.
+pub fn grid(rows: usize, cols: usize, link_ms: f64) -> Result<Graph, TopologyError> {
+    if rows == 0 || cols == 0 || rows * cols < 2 {
+        return Err(TopologyError::InvalidGeneratorConfig {
+            reason: format!("grid needs at least 1x2 nodes, got {rows}x{cols}"),
+        });
+    }
+    let mut g = abstract_graph("grid", rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1, link_ms)?;
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols, link_ms)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Erdős–Rényi `G(n, p)` with a spanning-chain fix-up to guarantee
+/// connectivity (the chain edges count toward the result).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidGeneratorConfig`] for `n < 2` or
+/// `p` outside `[0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, link_ms: f64, seed: u64) -> Result<Graph, TopologyError> {
+    validated_n(n, 2, "erdos-renyi")?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(TopologyError::InvalidGeneratorConfig {
+            reason: format!("edge probability {p} outside [0, 1]"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = abstract_graph("erdos-renyi", n);
+    for i in 1..n {
+        g.add_edge(i - 1, i, link_ms)?; // spanning chain
+    }
+    for a in 0..n {
+        for b in a + 2..n {
+            if rng.gen::<f64>() < p {
+                let _ = g.add_edge(a, b, link_ms); // duplicates impossible here
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `m` routers, each new router attaches to `m` distinct existing
+/// routers with probability proportional to degree.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidGeneratorConfig`] for `m == 0` or
+/// `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, link_ms: f64, seed: u64) -> Result<Graph, TopologyError> {
+    if m == 0 || n <= m {
+        return Err(TopologyError::InvalidGeneratorConfig {
+            reason: format!("barabasi-albert needs 0 < m < n, got m={m} n={n}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = abstract_graph("barabasi-albert", n);
+    // Repeated-endpoint list implements preferential attachment.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for a in 0..m {
+        for b in a + 1..m {
+            g.add_edge(a, b, link_ms)?;
+            endpoints.push(a);
+            endpoints.push(b);
+        }
+    }
+    if m == 1 {
+        endpoints.push(0); // a single seed node has no edges yet
+    }
+    for v in m..n {
+        // BTreeSet keeps edge insertion order deterministic.
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while chosen.len() < m && guard < 10_000 {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v {
+                chosen.insert(t);
+            }
+        }
+        for &t in &chosen {
+            g.add_edge(v, t, link_ms)?;
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Ok(g)
+}
+
+/// Waxman random geometric graph on the unit square scaled to
+/// `extent_km`: routers at uniform positions, link probability
+/// `alpha · exp(−d / (beta · L))` with `L` the diagonal, plus a
+/// spanning chain over the x-sorted order for connectivity. Latencies
+/// derive from Euclidean distance at fibre speed.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidGeneratorConfig`] for `n < 2` or
+/// non-positive `alpha`/`beta`/`extent_km`.
+pub fn waxman(
+    n: usize,
+    alpha: f64,
+    beta: f64,
+    extent_km: f64,
+    seed: u64,
+) -> Result<Graph, TopologyError> {
+    validated_n(n, 2, "waxman")?;
+    if alpha <= 0.0 || beta <= 0.0 || extent_km <= 0.0 {
+        return Err(TopologyError::InvalidGeneratorConfig {
+            reason: format!("waxman needs positive alpha/beta/extent, got {alpha}/{beta}/{extent_km}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new("waxman");
+    let mut pos: Vec<(f64, f64)> = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = (rng.gen::<f64>() * extent_km, rng.gen::<f64>() * extent_km);
+        pos.push(p);
+        // Store plain kilometre coordinates in the lat/lon slots; the
+        // generator computes distances itself.
+        g.add_node(format!("R{i}"), p.0, p.1);
+    }
+    let diag = extent_km * std::f64::consts::SQRT_2;
+    let latency = |a: (f64, f64), b: (f64, f64)| {
+        let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        (d / crate::geo::FIBRE_KM_PER_MS).max(0.01) + crate::geo::PER_LINK_OVERHEAD_MS
+    };
+    // Connectivity chain over x-sorted nodes keeps chain links short.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| pos[a].0.partial_cmp(&pos[b].0).expect("positions are finite"));
+    for w in order.windows(2) {
+        g.add_edge(w[0], w[1], latency(pos[w[0]], pos[w[1]]))?;
+    }
+    for a in 0..n {
+        for b in a + 1..n {
+            let d = ((pos[a].0 - pos[b].0).powi(2) + (pos[a].1 - pos[b].1).powi(2)).sqrt();
+            if rng.gen::<f64>() < alpha * (-d / (beta * diag)).exp() {
+                let _ = g.add_edge(a, b, latency(pos[a], pos[b]));
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(5, 2.0).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.undirected_edge_count(), 5);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.ensure_connected().is_ok());
+    }
+
+    #[test]
+    fn line_and_star_structure() {
+        let l = line(4, 1.0).unwrap();
+        assert_eq!(l.undirected_edge_count(), 3);
+        assert_eq!(l.degree(0), 1);
+        assert_eq!(l.degree(1), 2);
+        let s = star(6, 1.0).unwrap();
+        assert_eq!(s.degree(0), 5);
+        assert_eq!(s.undirected_edge_count(), 5);
+        for v in 1..6 {
+            assert_eq!(s.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4, 1.0).unwrap();
+        assert_eq!(g.node_count(), 12);
+        // Edges: 3 rows × 3 horizontal + 2 rows × 4 vertical = 9 + 8.
+        assert_eq!(g.undirected_edge_count(), 17);
+        assert!(g.ensure_connected().is_ok());
+    }
+
+    #[test]
+    fn generators_reject_bad_configs() {
+        assert!(ring(2, 1.0).is_err());
+        assert!(line(1, 1.0).is_err());
+        assert!(star(1, 1.0).is_err());
+        assert!(grid(0, 5, 1.0).is_err());
+        assert!(erdos_renyi(1, 0.5, 1.0, 0).is_err());
+        assert!(erdos_renyi(5, 1.5, 1.0, 0).is_err());
+        assert!(barabasi_albert(5, 0, 1.0, 0).is_err());
+        assert!(barabasi_albert(3, 3, 1.0, 0).is_err());
+        assert!(waxman(1, 0.5, 0.5, 100.0, 0).is_err());
+        assert!(waxman(5, -0.5, 0.5, 100.0, 0).is_err());
+    }
+
+    #[test]
+    fn random_generators_are_connected_and_deterministic() {
+        for seed in [0, 1, 42] {
+            let er = erdos_renyi(50, 0.05, 1.0, seed).unwrap();
+            assert!(er.ensure_connected().is_ok());
+            assert_eq!(er, erdos_renyi(50, 0.05, 1.0, seed).unwrap());
+
+            let ba = barabasi_albert(50, 2, 1.0, seed).unwrap();
+            assert!(ba.ensure_connected().is_ok());
+            assert_eq!(ba, barabasi_albert(50, 2, 1.0, seed).unwrap());
+
+            let wx = waxman(50, 0.4, 0.2, 4000.0, seed).unwrap();
+            assert!(wx.ensure_connected().is_ok());
+            assert_eq!(wx, waxman(50, 0.4, 0.2, 4000.0, seed).unwrap());
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_hub_bias() {
+        // Older nodes should accumulate higher degree on average.
+        let g = barabasi_albert(200, 2, 1.0, 7).unwrap();
+        let early: usize = (0..10).map(|v| g.degree(v)).sum();
+        let late: usize = (190..200).map(|v| g.degree(v)).sum();
+        assert!(early > late, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn waxman_latencies_scale_with_extent() {
+        let small = waxman(30, 0.5, 0.3, 100.0, 3).unwrap();
+        let large = waxman(30, 0.5, 0.3, 5000.0, 3).unwrap();
+        let mean = |g: &Graph| g.total_link_latency() / g.undirected_edge_count() as f64;
+        assert!(mean(&large) > mean(&small));
+    }
+}
+
+/// A two-tier ISP-like backbone: `cores` fully meshed core routers,
+/// each aggregation router attached to its two nearest cores
+/// (dual-homing), laid out on a circle of radius `radius_km` (cores
+/// inner, aggregation outer). Latencies derive from chord distance at
+/// fibre speed.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidGeneratorConfig`] for fewer than 2
+/// cores, zero aggregation routers, or a non-positive radius.
+pub fn two_tier(cores: usize, aggregation: usize, radius_km: f64) -> Result<Graph, TopologyError> {
+    if cores < 2 || aggregation == 0 {
+        return Err(TopologyError::InvalidGeneratorConfig {
+            reason: format!("two-tier needs >= 2 cores and >= 1 aggregation router, got {cores}/{aggregation}"),
+        });
+    }
+    if radius_km.is_nan() || radius_km <= 0.0 {
+        return Err(TopologyError::InvalidGeneratorConfig {
+            reason: format!("two-tier radius {radius_km} must be positive"),
+        });
+    }
+    let mut g = Graph::new("two-tier");
+    let tau = std::f64::consts::TAU;
+    let mut pos: Vec<(f64, f64)> = Vec::with_capacity(cores + aggregation);
+    for i in 0..cores {
+        let angle = tau * i as f64 / cores as f64;
+        let p = (0.5 * radius_km * angle.cos(), 0.5 * radius_km * angle.sin());
+        pos.push(p);
+        g.add_node(format!("core{i}"), p.0, p.1);
+    }
+    for i in 0..aggregation {
+        let angle = tau * i as f64 / aggregation as f64;
+        let p = (radius_km * angle.cos(), radius_km * angle.sin());
+        pos.push(p);
+        g.add_node(format!("agg{i}"), p.0, p.1);
+    }
+    let latency = |a: (f64, f64), b: (f64, f64)| {
+        let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        (d / crate::geo::FIBRE_KM_PER_MS).max(0.01) + crate::geo::PER_LINK_OVERHEAD_MS
+    };
+    // Full core mesh.
+    for a in 0..cores {
+        for b in a + 1..cores {
+            g.add_edge(a, b, latency(pos[a], pos[b]))?;
+        }
+    }
+    // Each aggregation router dual-homes to its two nearest cores.
+    for i in 0..aggregation {
+        let v = cores + i;
+        let mut by_distance: Vec<usize> = (0..cores).collect();
+        by_distance.sort_by(|&a, &b| {
+            latency(pos[v], pos[a]).total_cmp(&latency(pos[v], pos[b]))
+        });
+        g.add_edge(v, by_distance[0], latency(pos[v], pos[by_distance[0]]))?;
+        if cores > 1 {
+            g.add_edge(v, by_distance[1], latency(pos[v], pos[by_distance[1]]))?;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod two_tier_tests {
+    use super::*;
+
+    #[test]
+    fn structure_counts() {
+        let g = two_tier(4, 12, 1000.0).unwrap();
+        assert_eq!(g.node_count(), 16);
+        // Core mesh 6 edges + 2 per aggregation router.
+        assert_eq!(g.undirected_edge_count(), 6 + 24);
+        assert!(g.ensure_connected().is_ok());
+        // Cores are the hubs.
+        for core in 0..4 {
+            assert!(g.degree(core) >= 3, "core {core}");
+        }
+        for agg in 4..16 {
+            assert_eq!(g.degree(agg), 2, "aggregation routers dual-home");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(two_tier(1, 5, 100.0).is_err());
+        assert!(two_tier(3, 0, 100.0).is_err());
+        assert!(two_tier(3, 5, 0.0).is_err());
+    }
+
+    #[test]
+    fn latencies_scale_with_radius() {
+        let small = two_tier(3, 6, 100.0).unwrap();
+        let large = two_tier(3, 6, 4000.0).unwrap();
+        assert!(large.total_link_latency() > small.total_link_latency());
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(two_tier(4, 10, 1500.0).unwrap(), two_tier(4, 10, 1500.0).unwrap());
+    }
+}

@@ -1,0 +1,91 @@
+//! Geographic helpers: great-circle distances and fibre latencies.
+//!
+//! The embedded datasets carry router coordinates; link latencies are
+//! derived from great-circle distance at the propagation speed of
+//! light in fibre (~200 km/ms, i.e. 2/3 of c), inflated by a routing
+//! factor because fibre paths are never geodesics, plus a fixed
+//! per-link processing overhead. The constants are calibrated so that
+//! the extracted Table-III aggregates land in the paper's reported
+//! ranges (see `DESIGN.md` §3).
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Propagation speed of light in optical fibre, km per millisecond.
+pub const FIBRE_KM_PER_MS: f64 = 200.0;
+
+/// Multiplier accounting for fibre routes exceeding geodesic length.
+pub const ROUTE_INFLATION: f64 = 1.3;
+
+/// Fixed per-link processing/serialization overhead in milliseconds.
+pub const PER_LINK_OVERHEAD_MS: f64 = 0.3;
+
+/// Great-circle distance between two `(lat, lon)` points in degrees,
+/// in kilometres (haversine formula).
+///
+/// # Example
+///
+/// ```
+/// // New York ⇄ Los Angeles is roughly 3940 km.
+/// let d = ccn_topology::geo::great_circle_km((40.71, -74.01), (34.05, -118.24));
+/// assert!((d - 3940.0).abs() < 50.0);
+/// ```
+#[must_use]
+pub fn great_circle_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (lat1, lon1) = (a.0.to_radians(), a.1.to_radians());
+    let (lat2, lon2) = (b.0.to_radians(), b.1.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// One-way link latency in milliseconds for a link spanning the two
+/// coordinates: inflated propagation delay plus fixed overhead.
+#[must_use]
+pub fn link_latency_ms(a: (f64, f64), b: (f64, f64)) -> f64 {
+    great_circle_km(a, b) * ROUTE_INFLATION / FIBRE_KM_PER_MS + PER_LINK_OVERHEAD_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_for_identical_points() {
+        assert_eq!(great_circle_km((10.0, 20.0), (10.0, 20.0)), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = (47.61, -122.33);
+        let b = (33.75, -84.39);
+        assert!((great_circle_km(a, b) - great_circle_km(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_city_pairs() {
+        // Seattle ⇄ Sunnyvale ~1090 km.
+        let d = great_circle_km((47.61, -122.33), (37.37, -122.04));
+        assert!((d - 1140.0).abs() < 60.0, "got {d}");
+        // London ⇄ Paris ~344 km.
+        let d = great_circle_km((51.51, -0.13), (48.86, 2.35));
+        assert!((d - 344.0).abs() < 20.0, "got {d}");
+    }
+
+    #[test]
+    fn latency_monotone_in_distance() {
+        let seattle = (47.61, -122.33);
+        let near = link_latency_ms(seattle, (45.52, -122.68)); // Portland
+        let far = link_latency_ms(seattle, (25.76, -80.19)); // Miami
+        assert!(near < far);
+        assert!(near > PER_LINK_OVERHEAD_MS);
+    }
+
+    #[test]
+    fn coast_to_coast_latency_is_realistic() {
+        // NY ⇄ LA one-way fibre latency lands in the 20–35 ms window.
+        let ms = link_latency_ms((40.71, -74.01), (34.05, -118.24));
+        assert!((20.0..35.0).contains(&ms), "got {ms}");
+    }
+}

@@ -1,0 +1,265 @@
+use crate::TopologyError;
+
+/// Index of a node within a [`Graph`].
+pub type NodeId = usize;
+
+/// Metadata attached to each router node.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Node {
+    pub name: String,
+    /// Latitude in degrees (0 for synthetic topologies without geography).
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+/// An undirected edge with a latency weight in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Edge {
+    pub a: NodeId,
+    pub b: NodeId,
+    pub latency_ms: f64,
+}
+
+/// An undirected, latency-weighted router-level topology.
+///
+/// Nodes carry a name and optional geographic coordinates; edges carry
+/// a positive latency in milliseconds. Self loops and parallel edges
+/// are rejected, matching the backbone topologies of the paper's
+/// evaluation (Table II).
+///
+/// # Example
+///
+/// ```
+/// use ccn_topology::Graph;
+///
+/// # fn main() -> Result<(), ccn_topology::TopologyError> {
+/// let mut g = Graph::new("toy");
+/// let a = g.add_node("R0", 0.0, 0.0);
+/// let b = g.add_node("R1", 0.0, 1.0);
+/// g.add_edge(a, b, 5.0)?;
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.undirected_edge_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// adjacency[v] = list of (neighbour, latency)
+    adjacency: Vec<Vec<(NodeId, f64)>>,
+}
+
+impl Graph {
+    /// Creates an empty topology with a display name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// The topology's display name (e.g. `"Abilene"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a router node and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, lat: f64, lon: f64) -> NodeId {
+        self.nodes.push(Node { name: name.into(), lat, lon });
+        self.adjacency.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    /// Adds an undirected edge with latency `latency_ms` milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown endpoints, self loops, duplicate edges, and
+    /// non-positive or non-finite weights.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, latency_ms: f64) -> Result<(), TopologyError> {
+        let n = self.nodes.len();
+        for &v in &[a, b] {
+            if v >= n {
+                return Err(TopologyError::UnknownNode { node: v, node_count: n });
+            }
+        }
+        if a == b {
+            return Err(TopologyError::SelfLoop { node: a });
+        }
+        if !latency_ms.is_finite() || latency_ms <= 0.0 {
+            return Err(TopologyError::InvalidWeight { weight: latency_ms });
+        }
+        if self.adjacency[a].iter().any(|&(v, _)| v == b) {
+            return Err(TopologyError::DuplicateEdge { a, b });
+        }
+        self.edges.push(Edge { a, b, latency_ms });
+        self.adjacency[a].push((b, latency_ms));
+        self.adjacency[b].push((a, latency_ms));
+        Ok(())
+    }
+
+    /// Number of routers `|V|`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected links.
+    #[must_use]
+    pub fn undirected_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of directed links `|E|` as reported in the paper's
+    /// Table II (each undirected link counted twice).
+    #[must_use]
+    pub fn directed_edge_count(&self) -> usize {
+        self.edges.len() * 2
+    }
+
+    /// The display name of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn node_name(&self, v: NodeId) -> &str {
+        &self.nodes[v].name
+    }
+
+    /// Geographic position `(lat, lon)` of node `v` in degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn node_position(&self, v: NodeId) -> (f64, f64) {
+        (self.nodes[v].lat, self.nodes[v].lon)
+    }
+
+    /// Neighbours of `v` with link latencies, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, f64)] {
+        &self.adjacency[v]
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Iterates over undirected edges as `(a, b, latency_ms)` with
+    /// `a < b` not guaranteed (insertion order preserved).
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.edges.iter().map(|e| (e.a, e.b, e.latency_ms))
+    }
+
+    /// Checks that every node is reachable from node 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Disconnected`] naming an unreachable
+    /// node; an empty graph is trivially connected.
+    pub fn ensure_connected(&self) -> Result<(), TopologyError> {
+        if self.nodes.is_empty() {
+            return Ok(());
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![0];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in &self.adjacency[v] {
+                if !seen[u] {
+                    seen[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        match seen.iter().position(|&s| !s) {
+            None => Ok(()),
+            Some(unreachable) => Err(TopologyError::Disconnected { unreachable }),
+        }
+    }
+
+    /// Total latency of all undirected links, in milliseconds.
+    #[must_use]
+    pub fn total_link_latency(&self) -> f64 {
+        self.edges.iter().map(|e| e.latency_ms).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new("tri");
+        let a = g.add_node("a", 0.0, 0.0);
+        let b = g.add_node("b", 0.0, 1.0);
+        let c = g.add_node("c", 1.0, 0.0);
+        g.add_edge(a, b, 1.0).unwrap();
+        g.add_edge(b, c, 2.0).unwrap();
+        g.add_edge(c, a, 3.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn counts_and_metadata() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.undirected_edge_count(), 3);
+        assert_eq!(g.directed_edge_count(), 6);
+        assert_eq!(g.node_name(1), "b");
+        assert_eq!(g.node_position(2), (1.0, 0.0));
+        assert_eq!(g.degree(0), 2);
+        assert!((g.total_link_latency() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = triangle();
+        for (a, b, w) in g.edges() {
+            assert!(g.neighbors(a).iter().any(|&(v, lw)| v == b && lw == w));
+            assert!(g.neighbors(b).iter().any(|&(v, lw)| v == a && lw == w));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut g = triangle();
+        assert!(matches!(g.add_edge(0, 0, 1.0), Err(TopologyError::SelfLoop { .. })));
+        assert!(matches!(g.add_edge(0, 9, 1.0), Err(TopologyError::UnknownNode { .. })));
+        assert!(matches!(g.add_edge(0, 1, 1.0), Err(TopologyError::DuplicateEdge { .. })));
+        assert!(matches!(g.add_edge(1, 0, 1.0), Err(TopologyError::DuplicateEdge { .. })));
+        let d = g.add_node("d", 0.0, 0.0);
+        assert!(matches!(g.add_edge(0, d, 0.0), Err(TopologyError::InvalidWeight { .. })));
+        assert!(matches!(g.add_edge(0, d, -2.0), Err(TopologyError::InvalidWeight { .. })));
+        assert!(matches!(g.add_edge(0, d, f64::NAN), Err(TopologyError::InvalidWeight { .. })));
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let mut g = triangle();
+        assert!(g.ensure_connected().is_ok());
+        let lonely = g.add_node("lonely", 0.0, 0.0);
+        let err = g.ensure_connected().unwrap_err();
+        assert_eq!(err, TopologyError::Disconnected { unreachable: lonely });
+        assert!(Graph::new("empty").ensure_connected().is_ok());
+    }
+}

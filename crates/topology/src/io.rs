@@ -1,0 +1,221 @@
+//! Reading and writing topologies as plain-text edge lists.
+//!
+//! Lets users evaluate the model on their own networks without
+//! touching code. The format:
+//!
+//! ```text
+//! # ccn-topology v1
+//! # name: MyNet
+//! node Seattle 47.61 -122.33
+//! node Denver 39.74 -104.99
+//! edge Seattle Denver 8.5
+//! ```
+//!
+//! `node <name> <lat> <lon>` declares a router (names must be unique,
+//! whitespace-free); `edge <a> <b> <latency_ms>` links two declared
+//! routers. `#` comments and blank lines are ignored.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use crate::{Graph, TopologyError};
+
+/// Writes `graph` in the edge-list format.
+///
+/// Node names containing whitespace are rejected since the format is
+/// whitespace-delimited.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidGeneratorConfig`] for unencodable
+/// names and propagates I/O failures as the same variant.
+pub fn write_edge_list(mut writer: impl Write, graph: &Graph) -> Result<(), TopologyError> {
+    let io_err = |e: std::io::Error| TopologyError::InvalidGeneratorConfig {
+        reason: format!("write failed: {e}"),
+    };
+    writeln!(writer, "# ccn-topology v1").map_err(io_err)?;
+    writeln!(writer, "# name: {}", graph.name()).map_err(io_err)?;
+    for v in 0..graph.node_count() {
+        let name = graph.node_name(v);
+        if name.split_whitespace().count() != 1 {
+            return Err(TopologyError::InvalidGeneratorConfig {
+                reason: format!("node name {name:?} is not whitespace-free"),
+            });
+        }
+        let (lat, lon) = graph.node_position(v);
+        writeln!(writer, "node {name} {lat} {lon}").map_err(io_err)?;
+    }
+    for (a, b, ms) in graph.edges() {
+        writeln!(writer, "edge {} {} {ms}", graph.node_name(a), graph.node_name(b))
+            .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Parses a topology from the edge-list format.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidGeneratorConfig`] describing the
+/// offending line for malformed input, plus the usual graph-building
+/// errors (duplicate edges, self loops, bad weights).
+pub fn read_edge_list(reader: impl BufRead) -> Result<Graph, TopologyError> {
+    let mut graph = Graph::new("imported");
+    let mut ids: HashMap<String, usize> = HashMap::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| TopologyError::InvalidGeneratorConfig {
+            reason: format!("read failed at line {}: {e}", lineno + 1),
+        })?;
+        let trimmed = line.trim();
+        let bad = |what: &str| TopologyError::InvalidGeneratorConfig {
+            reason: format!("line {}: {what}: {trimmed:?}", lineno + 1),
+        };
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            if let Some(name) = comment.trim().strip_prefix("name:") {
+                graph = rename(graph, name.trim());
+            }
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        match fields.next() {
+            Some("node") => {
+                let name = fields.next().ok_or_else(|| bad("missing node name"))?;
+                let lat: f64 = fields
+                    .next()
+                    .ok_or_else(|| bad("missing latitude"))?
+                    .parse()
+                    .map_err(|_| bad("bad latitude"))?;
+                let lon: f64 = fields
+                    .next()
+                    .ok_or_else(|| bad("missing longitude"))?
+                    .parse()
+                    .map_err(|_| bad("bad longitude"))?;
+                if fields.next().is_some() {
+                    return Err(bad("trailing fields"));
+                }
+                if ids.contains_key(name) {
+                    return Err(bad("duplicate node name"));
+                }
+                let id = graph.add_node(name, lat, lon);
+                ids.insert(name.to_owned(), id);
+            }
+            Some("edge") => {
+                let a = fields.next().ok_or_else(|| bad("missing endpoint"))?;
+                let b = fields.next().ok_or_else(|| bad("missing endpoint"))?;
+                let ms: f64 = fields
+                    .next()
+                    .ok_or_else(|| bad("missing latency"))?
+                    .parse()
+                    .map_err(|_| bad("bad latency"))?;
+                if fields.next().is_some() {
+                    return Err(bad("trailing fields"));
+                }
+                let &a = ids.get(a).ok_or_else(|| bad("edge references unknown node"))?;
+                let &b = ids.get(b).ok_or_else(|| bad("edge references unknown node"))?;
+                graph.add_edge(a, b, ms)?;
+            }
+            _ => return Err(bad("unknown directive (expected `node` or `edge`)")),
+        }
+    }
+    Ok(graph)
+}
+
+/// Rebuilds a graph under a new name (names are immutable on `Graph`).
+fn rename(old: Graph, name: &str) -> Graph {
+    let mut g = Graph::new(name);
+    for v in 0..old.node_count() {
+        let (lat, lon) = old.node_position(v);
+        g.add_node(old.node_name(v), lat, lon);
+    }
+    for (a, b, ms) in old.edges() {
+        g.add_edge(a, b, ms).expect("edges were valid in the source graph");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{datasets, generators};
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let original = generators::ring(5, 2.5).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &original).unwrap();
+        let parsed = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(parsed.node_count(), original.node_count());
+        assert_eq!(parsed.undirected_edge_count(), original.undirected_edge_count());
+        assert_eq!(parsed.name(), "ring");
+        for v in 0..original.node_count() {
+            assert_eq!(parsed.node_name(v), original.node_name(v));
+        }
+        let mut a: Vec<_> = original.edges().collect();
+        let mut b: Vec<_> = parsed.edges().collect();
+        a.sort_by_key(|x| (x.0, x.1));
+        b.sort_by_key(|x| (x.0, x.1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_word_city_names_are_rejected_on_write() {
+        // Abilene has "Kansas City" etc.
+        let err = write_edge_list(Vec::new(), &datasets::abilene()).unwrap_err();
+        assert!(err.to_string().contains("whitespace"));
+    }
+
+    #[test]
+    fn parses_hand_written_input() {
+        let text = "\
+# my network
+# name: Tiny
+node a 1.0 2.0
+node b 3.0 4.0
+
+edge a b 7.5
+";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.name(), "Tiny");
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.node_position(0), (1.0, 2.0));
+        let (_, _, ms) = g.edges().next().unwrap();
+        assert!((ms - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_position() {
+        let cases = [
+            "frob a b 1.0",          // unknown directive
+            "node a 1.0",            // missing longitude
+            "node a x 2.0",          // bad latitude
+            "node a 1.0 2.0 extra",  // trailing
+            "node a 1.0 2.0\nnode a 1.0 2.0", // duplicate
+            "edge a b 1.0",          // unknown nodes
+            "node a 1 2\nnode b 3 4\nedge a b",   // missing latency
+        ];
+        for text in cases {
+            let err = read_edge_list(text.as_bytes()).unwrap_err();
+            assert!(
+                err.to_string().contains("line"),
+                "case {text:?} produced {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_level_errors_propagate() {
+        let text = "node a 1 2\nnode b 3 4\nedge a a 1.0";
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(TopologyError::SelfLoop { .. })
+        ));
+        let text = "node a 1 2\nnode b 3 4\nedge a b -1.0";
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(TopologyError::InvalidWeight { .. })
+        ));
+    }
+}

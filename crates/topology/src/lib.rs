@@ -1,0 +1,65 @@
+//! Network topology substrate for the CCN coordinated-caching model.
+//!
+//! The paper evaluates its provisioning model on four real backbone
+//! topologies (Table II): Abilene/Internet2, CERNET, GEANT, and an
+//! anonymized North-American tier-1 carrier ("US-A"). From each
+//! topology it extracts three aggregates (Table III) that parameterize
+//! the model:
+//!
+//! - `n` — the number of routers,
+//! - `w` — the unit coordination cost, estimated as the *maximum*
+//!   pairwise shortest-path latency (coordination messages are
+//!   exchanged in parallel, so the slowest pair gates convergence),
+//! - `d1 − d0` — the average routing performance between routers,
+//!   measured both in milliseconds (mean pairwise shortest-path
+//!   latency) and in hops (mean pairwise hop count, normalized by
+//!   `|V|²` as in the paper).
+//!
+//! This crate provides:
+//!
+//! - [`Graph`]: an undirected latency-weighted graph with geographic
+//!   node metadata;
+//! - [`shortest_path`]: Dijkstra (latency) and BFS (hop count)
+//!   all-pairs matrices;
+//! - [`datasets`]: the four embedded evaluation topologies. Latencies
+//!   are derived from great-circle distance at fibre propagation speed
+//!   (see [`geo`]); DESIGN.md documents why this substitution preserves
+//!   the paper's aggregates;
+//! - [`params`]: [`params::TopologyParams`] extraction (Table III);
+//! - [`generators`]: synthetic topologies (ring, star, line, grid,
+//!   Erdős–Rényi, Barabási–Albert, Waxman) for scaling studies;
+//! - [`export`]: Graphviz DOT and ASCII rendering (Figure 3);
+//! - [`metrics`]: structural fingerprints (degree stats, clustering,
+//!   closeness centrality) for comparing real vs synthetic networks;
+//! - [`io`]: plain-text edge-list import/export so users can evaluate
+//!   their own topologies.
+//!
+//! # Example
+//!
+//! ```
+//! use ccn_topology::datasets;
+//!
+//! let abilene = datasets::abilene();
+//! assert_eq!(abilene.node_count(), 11);
+//! assert_eq!(abilene.directed_edge_count(), 28); // Table II
+//! let params = ccn_topology::params::extract(&abilene);
+//! assert!(params.mean_hops > 2.0 && params.mean_hops < 3.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod datasets;
+pub mod export;
+pub mod generators;
+pub mod geo;
+pub mod io;
+pub mod metrics;
+pub mod params;
+pub mod shortest_path;
+
+mod error;
+mod graph;
+
+pub use error::TopologyError;
+pub use graph::{Graph, NodeId};

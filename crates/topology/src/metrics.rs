@@ -1,0 +1,176 @@
+//! Structural topology metrics.
+//!
+//! Beyond the model parameters of Table III, comparing real and
+//! synthetic topologies (Figure 6's scaling sweeps run on generated
+//! networks) needs structural fingerprints: degree statistics,
+//! clustering, and centrality. These are also what a carrier would
+//! inspect when choosing where to place the coordinator.
+
+use crate::shortest_path::all_pairs;
+use crate::Graph;
+
+/// Degree statistics of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree (`2|E|/|V|`).
+    pub mean: f64,
+    /// Full degree sequence, descending.
+    pub sequence: Vec<usize>,
+}
+
+/// Computes degree statistics. Returns zeros for an empty graph.
+#[must_use]
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.node_count();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, sequence: Vec::new() };
+    }
+    let mut sequence: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    sequence.sort_unstable_by(|a, b| b.cmp(a));
+    DegreeStats {
+        min: *sequence.last().expect("non-empty"),
+        max: sequence[0],
+        mean: 2.0 * graph.undirected_edge_count() as f64 / n as f64,
+        sequence,
+    }
+}
+
+/// Global clustering coefficient: `3 × triangles / connected triples`.
+/// Returns 0 for graphs without any connected triple.
+#[must_use]
+pub fn clustering_coefficient(graph: &Graph) -> f64 {
+    let n = graph.node_count();
+    let mut adjacency = vec![std::collections::HashSet::new(); n];
+    for (a, b, _) in graph.edges() {
+        adjacency[a].insert(b);
+        adjacency[b].insert(a);
+    }
+    let mut triangles = 0u64;
+    let mut triples = 0u64;
+    for v in 0..n {
+        let d = adjacency[v].len() as u64;
+        triples += d * d.saturating_sub(1) / 2;
+        let neighbours: Vec<usize> = adjacency[v].iter().copied().collect();
+        for i in 0..neighbours.len() {
+            for j in i + 1..neighbours.len() {
+                if adjacency[neighbours[i]].contains(&neighbours[j]) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner = 3 times.
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Closeness centrality of every node: `(n−1) / Σ_j d(v, j)` over
+/// latency distances (0 for unreachable-from-anywhere nodes).
+#[must_use]
+pub fn closeness_centrality(graph: &Graph) -> Vec<f64> {
+    let n = graph.node_count();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    let routes = all_pairs(graph);
+    (0..n)
+        .map(|v| {
+            let total: f64 = (0..n)
+                .filter(|&u| u != v)
+                .map(|u| routes.latency_ms(v, u))
+                .filter(|l| l.is_finite())
+                .sum();
+            if total > 0.0 {
+                (n - 1) as f64 / total
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// The node with the highest closeness centrality — the natural
+/// coordinator placement (equivalently, the latency 1-median).
+#[must_use]
+pub fn most_central_node(graph: &Graph) -> Option<usize> {
+    let c = closeness_centrality(graph);
+    c.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{datasets, generators};
+
+    #[test]
+    fn degree_stats_of_a_star() {
+        let g = generators::star(6, 1.0).unwrap();
+        let d = degree_stats(&g);
+        assert_eq!(d.max, 5);
+        assert_eq!(d.min, 1);
+        assert!((d.mean - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(d.sequence[0], 5);
+        assert_eq!(d.sequence.len(), 6);
+    }
+
+    #[test]
+    fn empty_graph_degenerates_gracefully() {
+        let g = Graph::new("empty");
+        let d = degree_stats(&g);
+        assert_eq!(d.max, 0);
+        assert_eq!(clustering_coefficient(&g), 0.0);
+        assert!(closeness_centrality(&g).is_empty());
+        assert_eq!(most_central_node(&g), None);
+    }
+
+    #[test]
+    fn clustering_of_triangle_and_star() {
+        // A triangle is perfectly clustered; a star has no triangles.
+        let tri = generators::ring(3, 1.0).unwrap();
+        assert!((clustering_coefficient(&tri) - 1.0).abs() < 1e-12);
+        let star = generators::star(5, 1.0).unwrap();
+        assert_eq!(clustering_coefficient(&star), 0.0);
+    }
+
+    #[test]
+    fn line_centrality_peaks_in_the_middle() {
+        let g = generators::line(7, 1.0).unwrap();
+        assert_eq!(most_central_node(&g), Some(3));
+        let c = closeness_centrality(&g);
+        assert!(c[3] > c[0]);
+        assert!((c[0] - c[6]).abs() < 1e-12, "symmetric ends");
+    }
+
+    #[test]
+    fn datasets_have_plausible_structure() {
+        for g in datasets::all() {
+            let d = degree_stats(&g);
+            assert!(d.min >= 1, "{}", g.name());
+            assert!(d.mean >= 2.0, "{}: backbones are at least ring-dense", g.name());
+            let cc = clustering_coefficient(&g);
+            assert!((0.0..=1.0).contains(&cc), "{}: clustering {cc}", g.name());
+            assert!(most_central_node(&g).is_some());
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_is_more_skewed_than_erdos_renyi() {
+        let ba = generators::barabasi_albert(200, 2, 1.0, 1).unwrap();
+        let er = generators::erdos_renyi(200, 0.02, 1.0, 1).unwrap();
+        let skew = |g: &Graph| {
+            let d = degree_stats(g);
+            d.max as f64 / d.mean
+        };
+        assert!(skew(&ba) > skew(&er), "preferential attachment grows hubs");
+    }
+}

@@ -1,0 +1,367 @@
+//! All-pairs shortest paths over latency weights (Dijkstra) and hop
+//! counts (BFS), plus next-hop routing tables used by the simulator's
+//! FIB construction.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{Graph, NodeId};
+
+/// Dense all-pairs matrices produced by [`all_pairs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllPairs {
+    n: usize,
+    /// latency[i*n + j] = shortest-path latency i→j in ms.
+    latency: Vec<f64>,
+    /// hops[i*n + j] = minimum hop count i→j.
+    hops: Vec<u32>,
+    /// next[i*n + j] = first hop on a shortest-latency path i→j
+    /// (usize::MAX when unreachable or i == j).
+    next: Vec<usize>,
+    /// routed_hops[i*n + j] = hop count along the min-latency path
+    /// (u32::MAX when unreachable).
+    routed_hops: Vec<u32>,
+}
+
+impl AllPairs {
+    /// Shortest-path latency from `i` to `j` in milliseconds
+    /// (`f64::INFINITY` if unreachable, 0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[must_use]
+    pub fn latency_ms(&self, i: NodeId, j: NodeId) -> f64 {
+        self.latency[i * self.n + j]
+    }
+
+    /// Minimum hop count from `i` to `j` (`u32::MAX` if unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[must_use]
+    pub fn hops(&self, i: NodeId, j: NodeId) -> u32 {
+        self.hops[i * self.n + j]
+    }
+
+    /// First hop on a shortest-latency path from `i` to `j`, or `None`
+    /// when `i == j` or `j` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[must_use]
+    pub fn next_hop(&self, i: NodeId, j: NodeId) -> Option<NodeId> {
+        let v = self.next[i * self.n + j];
+        (v != usize::MAX).then_some(v)
+    }
+
+    /// Full shortest-latency path `i → … → j` including both endpoints,
+    /// or `None` if unreachable. `Some(vec![i])` when `i == j`.
+    #[must_use]
+    pub fn path(&self, i: NodeId, j: NodeId) -> Option<Vec<NodeId>> {
+        if i == j {
+            return Some(vec![i]);
+        }
+        if self.latency_ms(i, j).is_infinite() {
+            return None;
+        }
+        let mut path = vec![i];
+        let mut cur = i;
+        while cur != j {
+            cur = self.next_hop(cur, j)?;
+            path.push(cur);
+            if path.len() > self.n {
+                return None; // defensive: routing loop
+            }
+        }
+        Some(path)
+    }
+
+    /// Maximum finite pairwise latency (the paper's `w` estimate).
+    /// Returns 0 for graphs with fewer than two nodes.
+    #[must_use]
+    pub fn max_latency_ms(&self) -> f64 {
+        self.latency
+            .iter()
+            .copied()
+            .filter(|l| l.is_finite())
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean pairwise latency normalized by `|V|²` — i.e. including the
+    /// zero diagonal — matching the paper's `d1 − d0` definition.
+    #[must_use]
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self.latency.iter().copied().filter(|l| l.is_finite()).sum();
+        sum / (self.n * self.n) as f64
+    }
+
+    /// Hop count along the minimum-*latency* path from `i` to `j`
+    /// (`u32::MAX` if unreachable). This is the hop metric an
+    /// IGP-routed network actually experiences and can exceed
+    /// [`AllPairs::hops`] when the latency-shortest route is not the
+    /// hop-shortest one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[must_use]
+    pub fn routed_hops(&self, i: NodeId, j: NodeId) -> u32 {
+        self.routed_hops[i * self.n + j]
+    }
+
+    /// Mean routed hop count (along min-latency paths), normalized by
+    /// `|V|²` like [`AllPairs::mean_hops`].
+    #[must_use]
+    pub fn mean_routed_hops(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .routed_hops
+            .iter()
+            .copied()
+            .filter(|&h| h != u32::MAX)
+            .map(f64::from)
+            .sum();
+        sum / (self.n * self.n) as f64
+    }
+
+    /// Mean pairwise hop count normalized by `|V|²` (paper Table III).
+    #[must_use]
+    pub fn mean_hops(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .hops
+            .iter()
+            .copied()
+            .filter(|&h| h != u32::MAX)
+            .map(f64::from)
+            .sum();
+        sum / (self.n * self.n) as f64
+    }
+
+    /// Network diameter in hops (max finite pairwise hop count).
+    #[must_use]
+    pub fn diameter_hops(&self) -> u32 {
+        self.hops.iter().copied().filter(|&h| h != u32::MAX).max().unwrap_or(0)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance via reversed comparison; distances are
+        // always finite when pushed.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs Dijkstra from `src` over latency weights, returning
+/// `(latency, predecessor)` arrays. Unreachable nodes have infinite
+/// latency and `usize::MAX` predecessor.
+#[must_use]
+pub fn dijkstra(graph: &Graph, src: NodeId) -> (Vec<f64>, Vec<usize>) {
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred = vec![usize::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: src });
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for &(u, w) in graph.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u] {
+                dist[u] = nd;
+                pred[u] = v;
+                heap.push(HeapEntry { dist: nd, node: u });
+            }
+        }
+    }
+    (dist, pred)
+}
+
+/// Runs BFS from `src`, returning minimum hop counts (`u32::MAX` when
+/// unreachable).
+#[must_use]
+pub fn bfs_hops(graph: &Graph, src: NodeId) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut hops = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    hops[src] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &(u, _) in graph.neighbors(v) {
+            if hops[u] == u32::MAX {
+                hops[u] = hops[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    hops
+}
+
+/// Computes all-pairs shortest-path latency, hop-count, and next-hop
+/// matrices for `graph`.
+#[must_use]
+pub fn all_pairs(graph: &Graph) -> AllPairs {
+    let n = graph.node_count();
+    let mut latency = Vec::with_capacity(n * n);
+    let mut hops = Vec::with_capacity(n * n);
+    let mut next = vec![usize::MAX; n * n];
+    let mut routed_hops = vec![u32::MAX; n * n];
+    for src in 0..n {
+        let (dist, pred) = dijkstra(graph, src);
+        latency.extend_from_slice(&dist);
+        hops.extend(bfs_hops(graph, src));
+        // Derive next hop and routed hop count from src toward each
+        // destination by walking the predecessor chain backwards.
+        for dst in 0..n {
+            if dst == src {
+                routed_hops[src * n + dst] = 0;
+                continue;
+            }
+            if dist[dst].is_infinite() {
+                continue;
+            }
+            let mut cur = dst;
+            let mut count = 1;
+            while pred[cur] != src {
+                cur = pred[cur];
+                count += 1;
+            }
+            next[src * n + dst] = cur;
+            routed_hops[src * n + dst] = count;
+        }
+    }
+    AllPairs { n, latency, hops, next, routed_hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    /// A 4-node diamond where the direct a—d link is slower than the
+    /// two-hop route through b.
+    fn diamond() -> Graph {
+        let mut g = Graph::new("diamond");
+        let a = g.add_node("a", 0.0, 0.0);
+        let b = g.add_node("b", 0.0, 0.0);
+        let c = g.add_node("c", 0.0, 0.0);
+        let d = g.add_node("d", 0.0, 0.0);
+        g.add_edge(a, b, 1.0).unwrap();
+        g.add_edge(b, d, 1.0).unwrap();
+        g.add_edge(a, c, 4.0).unwrap();
+        g.add_edge(c, d, 4.0).unwrap();
+        g.add_edge(a, d, 10.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn latency_prefers_multi_hop_route() {
+        let ap = all_pairs(&diamond());
+        assert!((ap.latency_ms(0, 3) - 2.0).abs() < 1e-12);
+        // Hop count is topological: the direct link wins on hops.
+        assert_eq!(ap.hops(0, 3), 1);
+    }
+
+    #[test]
+    fn path_reconstruction_follows_latency() {
+        let ap = all_pairs(&diamond());
+        assert_eq!(ap.path(0, 3).unwrap(), vec![0, 1, 3]);
+        assert_eq!(ap.path(2, 2).unwrap(), vec![2]);
+        assert_eq!(ap.next_hop(0, 3), Some(1));
+        assert_eq!(ap.next_hop(1, 1), None);
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let ap = all_pairs(&diamond());
+        for v in 0..4 {
+            assert_eq!(ap.latency_ms(v, v), 0.0);
+            assert_eq!(ap.hops(v, v), 0);
+        }
+    }
+
+    #[test]
+    fn matrices_are_symmetric_for_undirected_graphs() {
+        let ap = all_pairs(&diamond());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((ap.latency_ms(i, j) - ap.latency_ms(j, i)).abs() < 1e-12);
+                assert_eq!(ap.hops(i, j), ap.hops(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_nodes_are_infinite() {
+        let mut g = diamond();
+        let lonely = g.add_node("lonely", 0.0, 0.0);
+        let ap = all_pairs(&g);
+        assert!(ap.latency_ms(0, lonely).is_infinite());
+        assert_eq!(ap.hops(0, lonely), u32::MAX);
+        assert_eq!(ap.path(0, lonely), None);
+        // Aggregates must skip unreachable pairs rather than poison.
+        assert!(ap.max_latency_ms().is_finite());
+        assert!(ap.mean_latency_ms().is_finite());
+    }
+
+    #[test]
+    fn aggregates_on_a_line_graph() {
+        // 0 -1ms- 1 -1ms- 2: latencies 0,1,2 / 1,0,1 / 2,1,0.
+        let mut g = Graph::new("line");
+        let a = g.add_node("0", 0.0, 0.0);
+        let b = g.add_node("1", 0.0, 0.0);
+        let c = g.add_node("2", 0.0, 0.0);
+        g.add_edge(a, b, 1.0).unwrap();
+        g.add_edge(b, c, 1.0).unwrap();
+        let ap = all_pairs(&g);
+        assert!((ap.max_latency_ms() - 2.0).abs() < 1e-12);
+        assert!((ap.mean_latency_ms() - 8.0 / 9.0).abs() < 1e-12);
+        assert!((ap.mean_hops() - 8.0 / 9.0).abs() < 1e-12);
+        assert_eq!(ap.diameter_hops(), 2);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let ap = all_pairs(&diamond());
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    assert!(
+                        ap.latency_ms(i, j) <= ap.latency_ms(i, k) + ap.latency_ms(k, j) + 1e-12
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The paper's continuous approximation of the Zipf CDF (Eq. 6).
+//!
+//! For large catalogues the analysis replaces the harmonic-sum CDF by
+//!
+//! ```text
+//! F(x; s, N) ≈ (x^{1-s} - 1) / (N^{1-s} - 1),  s ∈ (0,1) ∪ (1,2),
+//! ```
+//!
+//! obtained from `∫_1^x t^{-s} dt / ∫_1^N t^{-s} dt`. At the singular
+//! point `s = 1` the integral ratio degenerates to `ln x / ln N`, which
+//! this type supports as an explicit limit (the paper excludes `s = 1`;
+//! see `ccn-model`'s discussion of the singularity).
+
+use crate::{Zipf, ZipfError};
+
+/// Tolerance within which an exponent is treated as the `s = 1`
+/// logarithmic limit.
+pub const UNIT_EXPONENT_TOLERANCE: f64 = 1e-9;
+
+/// Continuous approximation of the Zipf CDF over a real-valued rank
+/// axis `[1, N]` (Eq. 6 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use ccn_zipf::ContinuousZipf;
+///
+/// # fn main() -> Result<(), ccn_zipf::ZipfError> {
+/// let f = ContinuousZipf::new(0.8, 1e6)?;
+/// assert_eq!(f.cdf(1.0), 0.0);
+/// assert!((f.cdf(1e6) - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuousZipf {
+    s: f64,
+    n: f64,
+    /// Cached `N^{1-s} - 1` (or `ln N` in the unit-exponent limit).
+    denom: f64,
+    unit_exponent: bool,
+}
+
+impl ContinuousZipf {
+    /// Creates the continuous approximation for exponent `s` and a
+    /// real-valued catalogue size `n`.
+    ///
+    /// `s = 1` (within [`UNIT_EXPONENT_TOLERANCE`]) selects the
+    /// logarithmic limit `F(x) = ln x / ln N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZipfError::InvalidExponent`] if `s` is not finite or
+    /// negative, and [`ZipfError::InvalidCatalogue`] if `n <= 1` or not
+    /// finite (the ratio is undefined for a single-object catalogue).
+    pub fn new(s: f64, n: f64) -> Result<Self, ZipfError> {
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::InvalidExponent {
+                s,
+                constraint: "s >= 0 and finite",
+            });
+        }
+        if !n.is_finite() || n <= 1.0 {
+            return Err(ZipfError::InvalidCatalogue { n });
+        }
+        let unit_exponent = (s - 1.0).abs() < UNIT_EXPONENT_TOLERANCE;
+        let denom = if unit_exponent {
+            n.ln()
+        } else {
+            n.powf(1.0 - s) - 1.0
+        };
+        Ok(Self {
+            s,
+            n,
+            denom,
+            unit_exponent,
+        })
+    }
+
+    /// The Zipf exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// The real-valued catalogue size `N`.
+    #[must_use]
+    pub fn catalogue_size(&self) -> f64 {
+        self.n
+    }
+
+    /// Whether this instance operates in the `s = 1` logarithmic limit.
+    #[must_use]
+    pub fn is_unit_exponent(&self) -> bool {
+        self.unit_exponent
+    }
+
+    /// The continuous CDF `F(x; s, N)`.
+    ///
+    /// Arguments are clamped into `[1, N]`, so `cdf(0.0) == 0.0` and
+    /// `cdf(x) == 1.0` for `x >= N`. This matches how the model uses
+    /// the approximation: storage break points never leave `[1, N]`
+    /// after clamping.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        let x = x.clamp(1.0, self.n);
+        if self.unit_exponent {
+            x.ln() / self.denom
+        } else {
+            (x.powf(1.0 - self.s) - 1.0) / self.denom
+        }
+    }
+
+    /// Derivative of the continuous CDF, the popularity density
+    /// `f(x) = (1-s) x^{-s} / (N^{1-s} - 1)` (or `1/(x ln N)` at the
+    /// unit exponent).
+    ///
+    /// Returns 0 outside `[1, N]`.
+    #[must_use]
+    pub fn density(&self, x: f64) -> f64 {
+        if x < 1.0 || x > self.n {
+            return 0.0;
+        }
+        if self.unit_exponent {
+            1.0 / (x * self.denom)
+        } else {
+            (1.0 - self.s) * x.powf(-self.s) / self.denom
+        }
+    }
+
+    /// The inverse CDF: the real rank `x` with `F(x) = p`, for
+    /// `p ∈ [0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if self.unit_exponent {
+            (p * self.denom).exp()
+        } else {
+            (p * self.denom + 1.0).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    /// Maximum absolute deviation between this continuous approximation
+    /// and the discrete CDF of the same parameters, probed at `probes`
+    /// logarithmically spaced ranks.
+    ///
+    /// Useful for quantifying how much error Eq. 6 introduces for a
+    /// given `(s, N)`; the paper's large-`N` assumption corresponds to
+    /// this deviation being small.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ZipfError`] if the discrete distribution cannot be
+    /// constructed (catalogue too large for `u64`).
+    pub fn max_deviation_from_discrete(&self, probes: usize) -> Result<f64, ZipfError> {
+        if self.n > u64::MAX as f64 {
+            return Err(ZipfError::InvalidCatalogue { n: self.n });
+        }
+        let discrete = Zipf::new(self.s, self.n as u64)?;
+        let mut worst: f64 = 0.0;
+        let log_n = self.n.ln();
+        for i in 0..probes.max(2) {
+            let t = i as f64 / (probes.max(2) - 1) as f64;
+            let rank = (t * log_n).exp().round().clamp(1.0, self.n);
+            let d = (self.cdf(rank) - discrete.cdf(rank as u64)).abs();
+            worst = worst.max(d);
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn boundaries_are_exact() {
+        let f = ContinuousZipf::new(0.8, 1e6).unwrap();
+        assert_eq!(f.cdf(1.0), 0.0);
+        assert!((f.cdf(1e6) - 1.0).abs() < 1e-12);
+        assert_eq!(f.cdf(0.0), 0.0, "clamped below");
+        assert!((f.cdf(2e6) - 1.0).abs() < 1e-12, "clamped above");
+    }
+
+    #[test]
+    fn rejects_single_object_catalogue() {
+        assert!(ContinuousZipf::new(0.8, 1.0).is_err());
+        assert!(ContinuousZipf::new(0.8, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn unit_exponent_limit_is_logarithmic() {
+        let f = ContinuousZipf::new(1.0, 1e6).unwrap();
+        assert!(f.is_unit_exponent());
+        let x = 1e3;
+        assert!((f.cdf(x) - x.ln() / 1e6f64.ln()).abs() < 1e-12);
+        // Continuity: s slightly off 1 should be close to the limit.
+        let near = ContinuousZipf::new(1.0 + 1e-6, 1e6).unwrap();
+        assert!((near.cdf(x) - f.cdf(x)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf_both_regimes() {
+        for &s in &[0.5, 0.8, 1.0, 1.3, 1.9] {
+            let f = ContinuousZipf::new(s, 1e6).unwrap();
+            for &p in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+                let x = f.quantile(p);
+                assert!(
+                    (f.cdf(x) - p).abs() < 1e-9,
+                    "s={s} p={p}: cdf(quantile) = {}",
+                    f.cdf(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn density_integrates_to_cdf_increment() {
+        // Midpoint-rule check of dF = f dx over a modest interval.
+        let f = ContinuousZipf::new(0.8, 1e6).unwrap();
+        let (a, b) = (100.0, 200.0);
+        let steps = 10_000;
+        let h = (b - a) / steps as f64;
+        let integral: f64 = (0..steps)
+            .map(|i| f.density(a + (i as f64 + 0.5) * h) * h)
+            .sum();
+        assert!((integral - (f.cdf(b) - f.cdf(a))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximation_error_shrinks_with_catalogue_size() {
+        let small = ContinuousZipf::new(0.8, 1e3)
+            .unwrap()
+            .max_deviation_from_discrete(64)
+            .unwrap();
+        let large = ContinuousZipf::new(0.8, 1e6)
+            .unwrap()
+            .max_deviation_from_discrete(64)
+            .unwrap();
+        assert!(
+            large <= small + 1e-9,
+            "error should not grow with N: {small} -> {large}"
+        );
+        assert!(large < 0.02, "paper-scale N=1e6 deviation is small: {large}");
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_monotone_and_bounded(s in 0.05f64..1.95, exp in 2.0f64..9.0) {
+            let n = 10f64.powf(exp);
+            let f = ContinuousZipf::new(s, n).unwrap();
+            let mut prev = -1e-12;
+            for i in 0..=100 {
+                let x = 1.0 + (n - 1.0) * (i as f64 / 100.0);
+                let c = f.cdf(x);
+                prop_assert!(c >= prev - 1e-12);
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&c));
+                prev = c;
+            }
+        }
+
+        #[test]
+        fn density_nonnegative(s in 0.05f64..1.95, x in 1.0f64..1e6) {
+            let f = ContinuousZipf::new(s, 1e6).unwrap();
+            prop_assert!(f.density(x) >= 0.0);
+        }
+    }
+}

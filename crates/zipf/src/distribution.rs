@@ -1,0 +1,241 @@
+use crate::harmonic::{generalized_harmonic, harmonic_ratio};
+use crate::ZipfError;
+
+/// The discrete Zipf rank distribution over a catalogue of `N` objects
+/// with exponent `s` (Eq. 1 of the paper).
+///
+/// Rank 1 is the most popular object. The probability of rank `i` is
+/// `f(i; s, N) = i^{-s} / H_{N,s}`.
+///
+/// # Example
+///
+/// ```
+/// use ccn_zipf::Zipf;
+///
+/// # fn main() -> Result<(), ccn_zipf::ZipfError> {
+/// let zipf = Zipf::new(0.8, 1000)?;
+/// assert!(zipf.pmf(1) > zipf.pmf(2));           // rank 1 is hottest
+/// assert!((zipf.cdf(1000) - 1.0).abs() < 1e-12); // full catalogue
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    s: f64,
+    n: u64,
+    h_n: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution with exponent `s` over `n` ranks.
+    ///
+    /// Unlike the paper's analysis (which excludes `s = 1`), the
+    /// discrete law is well defined for any `s >= 0`, including 1;
+    /// only the continuous approximation needs the exclusion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZipfError::InvalidExponent`] if `s` is negative or not
+    /// finite, and [`ZipfError::InvalidCatalogue`] if `n == 0`.
+    pub fn new(s: f64, n: u64) -> Result<Self, ZipfError> {
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::InvalidExponent {
+                s,
+                constraint: "s >= 0 and finite",
+            });
+        }
+        if n == 0 {
+            return Err(ZipfError::InvalidCatalogue { n: 0.0 });
+        }
+        Ok(Self {
+            s,
+            n,
+            h_n: generalized_harmonic(n, s),
+        })
+    }
+
+    /// The Zipf exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// The catalogue size `N`.
+    #[must_use]
+    pub fn catalogue_size(&self) -> u64 {
+        self.n
+    }
+
+    /// The normalizing constant `H_{N,s}`.
+    #[must_use]
+    pub fn normalizer(&self) -> f64 {
+        self.h_n
+    }
+
+    /// Probability that a request targets the object of rank `rank`
+    /// (1-based). Ranks outside `[1, N]` have probability zero.
+    #[must_use]
+    pub fn pmf(&self, rank: u64) -> f64 {
+        if rank == 0 || rank > self.n {
+            return 0.0;
+        }
+        (rank as f64).powf(-self.s) / self.h_n
+    }
+
+    /// Probability that a request targets one of the top `k` objects:
+    /// `F(k; s, N) = H_{k,s} / H_{N,s}`.
+    ///
+    /// `cdf(0) == 0` and `cdf(k) == 1` for `k >= N`.
+    #[must_use]
+    pub fn cdf(&self, k: u64) -> f64 {
+        harmonic_ratio(k, self.n, self.s)
+    }
+
+    /// The smallest rank `k` such that `cdf(k) >= p`, found by binary
+    /// search; `p` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> u64 {
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return 0;
+        }
+        let (mut lo, mut hi) = (1u64, self.n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid) >= p {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Expected rank of a request, `Σ i · f(i)`.
+    ///
+    /// Computed by exact summation; intended for moderate catalogues
+    /// (up to a few million ranks) where it is used by tests and
+    /// workload diagnostics.
+    #[must_use]
+    pub fn mean_rank(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in (1..=self.n).rev() {
+            acc += (i as f64) * self.pmf(i);
+        }
+        acc
+    }
+
+    /// Shannon entropy of the rank distribution in nats.
+    #[must_use]
+    pub fn entropy(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in (1..=self.n).rev() {
+            let p = self.pmf(i);
+            if p > 0.0 {
+                acc -= p * p.ln();
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(
+            Zipf::new(-0.1, 10),
+            Err(ZipfError::InvalidExponent { .. })
+        ));
+        assert!(matches!(
+            Zipf::new(f64::NAN, 10),
+            Err(ZipfError::InvalidExponent { .. })
+        ));
+        assert!(matches!(
+            Zipf::new(0.8, 0),
+            Err(ZipfError::InvalidCatalogue { .. })
+        ));
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(0.8, 5_000).unwrap();
+        let total: f64 = (1..=5_000).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-10, "total {total}");
+    }
+
+    #[test]
+    fn pmf_outside_catalogue_is_zero() {
+        let z = Zipf::new(0.8, 10).unwrap();
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(11), 0.0);
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        // s = 0 is the uniform distribution over ranks.
+        let z = Zipf::new(0.0, 4).unwrap();
+        for i in 1..=4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+        assert!((z.mean_rank() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let z = Zipf::new(0.8, 1000).unwrap();
+        for &p in &[0.01, 0.25, 0.5, 0.9, 0.999] {
+            let k = z.quantile(p);
+            assert!(z.cdf(k) >= p);
+            if k > 1 {
+                assert!(z.cdf(k - 1) < p, "quantile {k} not minimal for p={p}");
+            }
+        }
+        assert_eq!(z.quantile(0.0), 0);
+        assert_eq!(z.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_mass() {
+        let flat = Zipf::new(0.5, 1000).unwrap();
+        let steep = Zipf::new(1.5, 1000).unwrap();
+        assert!(steep.cdf(10) > flat.cdf(10));
+        assert!(steep.entropy() < flat.entropy());
+        assert!(steep.mean_rank() < flat.mean_rank());
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone_nondecreasing(s in 0.05f64..1.95, n in 2u64..2000) {
+            let z = Zipf::new(s, n).unwrap();
+            let mut prev = 0.0;
+            for k in 0..=n {
+                let c = z.cdf(k);
+                prop_assert!(c >= prev - 1e-12);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+                prev = c;
+            }
+        }
+
+        #[test]
+        fn pmf_is_nonincreasing_in_rank(s in 0.05f64..1.95, n in 2u64..2000) {
+            let z = Zipf::new(s, n).unwrap();
+            let mut prev = f64::INFINITY;
+            for i in 1..=n {
+                let p = z.pmf(i);
+                prop_assert!(p <= prev + 1e-15);
+                prev = p;
+            }
+        }
+
+        #[test]
+        fn quantile_within_catalogue(s in 0.05f64..1.95, n in 1u64..5000, p in 0.0f64..1.0) {
+            let z = Zipf::new(s, n).unwrap();
+            let k = z.quantile(p);
+            prop_assert!(k <= n);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or evaluating Zipf distributions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ZipfError {
+    /// The exponent was not finite or outside the supported domain.
+    InvalidExponent {
+        /// The rejected exponent value.
+        s: f64,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The catalogue size was zero, non-finite, or otherwise unusable.
+    InvalidCatalogue {
+        /// The rejected catalogue size.
+        n: f64,
+    },
+    /// A rank argument was outside `[1, N]`.
+    RankOutOfRange {
+        /// The rejected rank.
+        rank: f64,
+        /// The catalogue size that bounds ranks.
+        n: f64,
+    },
+    /// Exponent fitting was requested on an empty or degenerate sample.
+    DegenerateSample {
+        /// Explanation of why the sample cannot be fitted.
+        reason: &'static str,
+    },
+    /// The fitting routine failed to converge within its iteration budget.
+    FitDidNotConverge {
+        /// The best estimate at the point of failure.
+        best: f64,
+        /// Iterations consumed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZipfError::InvalidExponent { s, constraint } => {
+                write!(f, "invalid zipf exponent {s}: must satisfy {constraint}")
+            }
+            ZipfError::InvalidCatalogue { n } => {
+                write!(f, "invalid catalogue size {n}: must be a finite value >= 1")
+            }
+            ZipfError::RankOutOfRange { rank, n } => {
+                write!(f, "rank {rank} out of range for catalogue of size {n}")
+            }
+            ZipfError::DegenerateSample { reason } => {
+                write!(f, "cannot fit zipf exponent: {reason}")
+            }
+            ZipfError::FitDidNotConverge { best, iterations } => {
+                write!(
+                    f,
+                    "zipf fit did not converge after {iterations} iterations (best estimate {best})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ZipfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ZipfError::InvalidExponent {
+            s: -1.0,
+            constraint: "s > 0",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("-1"));
+        assert!(msg.starts_with("invalid"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ZipfError>();
+    }
+}

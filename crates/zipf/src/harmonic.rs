@@ -1,0 +1,218 @@
+//! Generalized harmonic numbers `H_{N,s} = Σ_{k=1}^{N} k^{-s}`.
+//!
+//! The discrete Zipf law (Eq. 1 of the paper) normalizes by `H_{N,s}`,
+//! and the motivating evaluation uses catalogue sizes from `10^6` up to
+//! `10^12`, where naive summation is infeasible. This module provides
+//! an exact summation for small `N` and an Euler–Maclaurin asymptotic
+//! expansion for large `N`, switching automatically at
+//! [`EXACT_SUM_THRESHOLD`].
+
+/// Catalogue sizes at or below this threshold are summed exactly;
+/// larger ones use the Euler–Maclaurin expansion.
+pub const EXACT_SUM_THRESHOLD: u64 = 1 << 20;
+
+/// Number of leading terms summed exactly before the Euler–Maclaurin
+/// tail expansion takes over.
+const EM_CUTOFF: u64 = 32;
+
+/// Computes `H_{N,s}` by exact summation.
+///
+/// Summation runs from the smallest terms upward to minimize floating
+/// point error. Intended for `N` up to a few million; see
+/// [`generalized_harmonic`] for an automatic exact/asymptotic switch.
+///
+/// # Example
+///
+/// ```
+/// let h = ccn_zipf::generalized_harmonic_exact(10, 1.0);
+/// assert!((h - 2.928968).abs() < 1e-5); // H_10 = 2.928968...
+/// ```
+#[must_use]
+pub fn generalized_harmonic_exact(n: u64, s: f64) -> f64 {
+    let mut acc = 0.0;
+    for k in (1..=n).rev() {
+        acc += (k as f64).powf(-s);
+    }
+    acc
+}
+
+/// Computes `H_{N,s}` with automatic method selection.
+///
+/// For `N <= `[`EXACT_SUM_THRESHOLD`] the sum is exact; beyond that an
+/// Euler–Maclaurin expansion around a small exact head is used, with
+/// relative error far below `1e-12` for `s ∈ (0, 2)`.
+///
+/// # Example
+///
+/// ```
+/// // H_{10^12, 0.8} is far beyond exact summation range.
+/// let h = ccn_zipf::generalized_harmonic(1_000_000_000_000, 0.8);
+/// assert!(h > 0.0 && h.is_finite());
+/// ```
+#[must_use]
+pub fn generalized_harmonic(n: u64, s: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= EXACT_SUM_THRESHOLD {
+        generalized_harmonic_exact(n, s)
+    } else {
+        harmonic_euler_maclaurin(n, s)
+    }
+}
+
+/// Computes `H_{N,s}` for a real-valued (possibly huge) `n`, rounding
+/// down to the nearest integer rank.
+///
+/// Convenience for model code that carries catalogue sizes as `f64`.
+/// Values above `2^63` are clamped to the asymptotic expansion evaluated
+/// at the given real endpoint, which is the natural continuum reading.
+#[must_use]
+pub fn generalized_harmonic_f64(n: f64, s: f64) -> f64 {
+    if n.is_nan() || n < 1.0 {
+        return 0.0;
+    }
+    if n <= EXACT_SUM_THRESHOLD as f64 {
+        generalized_harmonic_exact(n as u64, s)
+    } else if n < u64::MAX as f64 {
+        harmonic_euler_maclaurin(n as u64, s)
+    } else {
+        harmonic_euler_maclaurin_real(n, s)
+    }
+}
+
+fn harmonic_euler_maclaurin(n: u64, s: f64) -> f64 {
+    harmonic_euler_maclaurin_real(n as f64, s)
+}
+
+/// Euler–Maclaurin expansion:
+/// `Σ_{k=M}^{N} k^{-s} ≈ ∫_M^N x^{-s} dx + (M^{-s}+N^{-s})/2
+///  + [f'(N) - f'(M)]/12 - [f'''(N) - f'''(M)]/720`
+/// with an exact head `Σ_{k=1}^{M-1}`.
+fn harmonic_euler_maclaurin_real(n: f64, s: f64) -> f64 {
+    debug_assert!(n > EM_CUTOFF as f64);
+    let m = EM_CUTOFF as f64;
+    let head = generalized_harmonic_exact(EM_CUTOFF - 1, s);
+    let integral = if (s - 1.0).abs() < 1e-12 {
+        (n / m).ln()
+    } else {
+        (n.powf(1.0 - s) - m.powf(1.0 - s)) / (1.0 - s)
+    };
+    let trapezoid = 0.5 * (m.powf(-s) + n.powf(-s));
+    // f'(x) = -s x^{-s-1}
+    let d1 = -s * (n.powf(-s - 1.0) - m.powf(-s - 1.0)) / 12.0;
+    // f'''(x) = -s (s+1) (s+2) x^{-s-3}
+    let d3 = s * (s + 1.0) * (s + 2.0) * (n.powf(-s - 3.0) - m.powf(-s - 3.0)) / 720.0;
+    head + integral + trapezoid + d1 + d3
+}
+
+/// Computes the partial-sum ratio `H_{k,s} / H_{N,s}`, i.e. the discrete
+/// Zipf CDF at rank `k` for a catalogue of `N` objects.
+///
+/// Returns 0 for `k == 0` and 1 for `k >= n`.
+#[must_use]
+pub fn harmonic_ratio(k: u64, n: u64, s: f64) -> f64 {
+    if k == 0 || n == 0 {
+        return 0.0;
+    }
+    if k >= n {
+        return 1.0;
+    }
+    generalized_harmonic(k, s) / generalized_harmonic(n, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn exact_small_values_order_one() {
+        // H_{1,s} = 1 for any s.
+        assert_eq!(generalized_harmonic_exact(1, 0.5), 1.0);
+        // H_{2,1} = 1.5
+        assert!((generalized_harmonic_exact(2, 1.0) - 1.5).abs() < 1e-15);
+        // H_{4,2} = 1 + 1/4 + 1/9 + 1/16
+        let expected = 1.0 + 0.25 + 1.0 / 9.0 + 1.0 / 16.0;
+        assert!((generalized_harmonic_exact(4, 2.0) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_zero_order_counts_items() {
+        // s = 0 reduces every term to 1.
+        assert_eq!(generalized_harmonic_exact(1000, 0.0), 1000.0);
+    }
+
+    #[test]
+    fn euler_maclaurin_matches_exact_above_threshold() {
+        // Compare the asymptotic path against brute force just past the
+        // threshold, across the paper's exponent range.
+        let n = EXACT_SUM_THRESHOLD + 12_345;
+        for &s in &[0.1, 0.5, 0.8, 0.99, 1.01, 1.3, 1.7, 1.9] {
+            let exact = generalized_harmonic_exact(n, s);
+            let em = harmonic_euler_maclaurin(n, s);
+            assert!(
+                close(exact, em, 1e-12),
+                "s={s}: exact {exact} vs euler-maclaurin {em}"
+            );
+        }
+    }
+
+    #[test]
+    fn euler_maclaurin_handles_s_equal_one() {
+        let n = 10_000_000;
+        let em = harmonic_euler_maclaurin(n, 1.0);
+        // H_n ~ ln n + gamma
+        let approx = (n as f64).ln() + 0.577_215_664_901_532_9;
+        assert!(close(em, approx, 1e-8), "{em} vs {approx}");
+    }
+
+    #[test]
+    fn automatic_switch_is_continuous() {
+        let below = generalized_harmonic(EXACT_SUM_THRESHOLD, 0.8);
+        let above = generalized_harmonic(EXACT_SUM_THRESHOLD + 1, 0.8);
+        let term = ((EXACT_SUM_THRESHOLD + 1) as f64).powf(-0.8);
+        assert!(close(above, below + term, 1e-12));
+    }
+
+    #[test]
+    fn huge_catalogue_is_finite_and_monotone() {
+        let h9 = generalized_harmonic(1_000_000_000, 0.8);
+        let h12 = generalized_harmonic(1_000_000_000_000, 0.8);
+        assert!(h9.is_finite() && h12.is_finite());
+        assert!(h12 > h9, "harmonic numbers must grow with catalogue size");
+    }
+
+    #[test]
+    fn convergent_tail_for_s_above_one() {
+        // For s > 1 the series converges to zeta(s): growing N changes little.
+        let a = generalized_harmonic(100_000_000, 1.5);
+        let b = generalized_harmonic(10_000_000_000, 1.5);
+        assert!((a - b).abs() < 1e-3);
+        // zeta(1.5) = 2.612375...
+        assert!((b - 2.612_375).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ratio_boundaries() {
+        assert_eq!(harmonic_ratio(0, 100, 0.8), 0.0);
+        assert_eq!(harmonic_ratio(100, 100, 0.8), 1.0);
+        assert_eq!(harmonic_ratio(200, 100, 0.8), 1.0);
+        let mid = harmonic_ratio(50, 100, 0.8);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn real_valued_entry_points() {
+        assert_eq!(generalized_harmonic_f64(0.5, 0.8), 0.0);
+        assert_eq!(generalized_harmonic_f64(f64::NAN, 0.8), 0.0);
+        let int = generalized_harmonic(5_000, 0.8);
+        let real = generalized_harmonic_f64(5_000.0, 0.8);
+        assert_eq!(int, real);
+        let giant = generalized_harmonic_f64(1e19, 0.8);
+        assert!(giant.is_finite() && giant > 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The Zipf–Mandelbrot generalization.
+//!
+//! Measured content popularity often flattens at the head relative to
+//! a pure power law (Breslau et al.'s web-trace observation). The
+//! Zipf–Mandelbrot law captures this with a shift parameter `q`:
+//!
+//! ```text
+//! f(i; s, q, N) = (i + q)^{-s} / Σ_{j=1}^{N} (j + q)^{-s}
+//! ```
+//!
+//! `q = 0` recovers the plain Zipf law. The model's continuous
+//! approximation generalizes the same way, letting sensitivity studies
+//! ask how a flattened head moves the optimal coordination level.
+
+use crate::harmonic;
+use crate::ZipfError;
+
+/// The discrete Zipf–Mandelbrot rank distribution.
+///
+/// # Example
+///
+/// ```
+/// use ccn_zipf::mandelbrot::ZipfMandelbrot;
+///
+/// # fn main() -> Result<(), ccn_zipf::ZipfError> {
+/// let plain = ZipfMandelbrot::new(0.8, 0.0, 1000)?;
+/// let flat = ZipfMandelbrot::new(0.8, 50.0, 1000)?;
+/// // The shift flattens the head: rank 1 loses probability mass.
+/// assert!(flat.pmf(1) < plain.pmf(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfMandelbrot {
+    s: f64,
+    q: f64,
+    n: u64,
+    normalizer: f64,
+}
+
+/// Shifted harmonic sum `Σ_{j=1}^{n} (j + q)^{-s}` via the plain
+/// generalized harmonic numbers: `H_{n+q,s} − H_{q,s}` for integral
+/// `q`, exact summation otherwise.
+fn shifted_harmonic(n: u64, q: f64, s: f64) -> f64 {
+    if q == 0.0 {
+        return harmonic::generalized_harmonic(n, s);
+    }
+    if q.fract() == 0.0 && q >= 0.0 && n.checked_add(q as u64).is_some() {
+        let q_int = q as u64;
+        return harmonic::generalized_harmonic(n + q_int, s)
+            - harmonic::generalized_harmonic(q_int, s);
+    }
+    (1..=n).rev().map(|j| (j as f64 + q).powf(-s)).sum()
+}
+
+impl ZipfMandelbrot {
+    /// Creates a Zipf–Mandelbrot distribution with exponent `s`,
+    /// shift `q >= 0`, over `n` ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZipfError::InvalidExponent`] for negative/non-finite
+    /// `s` or `q`, and [`ZipfError::InvalidCatalogue`] for `n == 0`.
+    pub fn new(s: f64, q: f64, n: u64) -> Result<Self, ZipfError> {
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::InvalidExponent { s, constraint: "s >= 0 and finite" });
+        }
+        if !q.is_finite() || q < 0.0 {
+            return Err(ZipfError::InvalidExponent {
+                s: q,
+                constraint: "shift q >= 0 and finite",
+            });
+        }
+        if n == 0 {
+            return Err(ZipfError::InvalidCatalogue { n: 0.0 });
+        }
+        Ok(Self { s, q, n, normalizer: shifted_harmonic(n, q, s) })
+    }
+
+    /// The exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// The head-flattening shift `q`.
+    #[must_use]
+    pub fn shift(&self) -> f64 {
+        self.q
+    }
+
+    /// The catalogue size `N`.
+    #[must_use]
+    pub fn catalogue_size(&self) -> u64 {
+        self.n
+    }
+
+    /// Probability of rank `rank` (1-based); 0 outside `[1, N]`.
+    #[must_use]
+    pub fn pmf(&self, rank: u64) -> f64 {
+        if rank == 0 || rank > self.n {
+            return 0.0;
+        }
+        (rank as f64 + self.q).powf(-self.s) / self.normalizer
+    }
+
+    /// Probability of the top `k` ranks.
+    #[must_use]
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        if k >= self.n {
+            return 1.0;
+        }
+        shifted_harmonic(k, self.q, self.s) / self.normalizer
+    }
+
+    /// The continuous CDF approximation in the spirit of the paper's
+    /// Eq. 6: `((x+q)^{1−s} − (1+q)^{1−s}) / ((N+q)^{1−s} − (1+q)^{1−s})`
+    /// (log-limit at `s = 1`).
+    #[must_use]
+    pub fn continuous_cdf(&self, x: f64) -> f64 {
+        let x = x.clamp(1.0, self.n as f64);
+        let (lo, hi) = (1.0 + self.q, self.n as f64 + self.q);
+        if (self.s - 1.0).abs() < 1e-9 {
+            ((x + self.q) / lo).ln() / (hi / lo).ln()
+        } else {
+            let e = 1.0 - self.s;
+            ((x + self.q).powf(e) - lo.powf(e)) / (hi.powf(e) - lo.powf(e))
+        }
+    }
+}
+
+/// Samples ranks from a Zipf–Mandelbrot distribution via a cached
+/// inverse CDF (binary search per draw). Exact, but requires `O(N)`
+/// memory — intended for simulation-scale catalogues (up to a few
+/// million ranks), not the model's `10^12` regime.
+#[derive(Debug, Clone)]
+pub struct MandelbrotSampler {
+    cdf: Vec<f64>,
+}
+
+impl MandelbrotSampler {
+    /// Catalogue sizes above this are rejected (memory guard).
+    pub const MAX_CATALOGUE: u64 = 1 << 24;
+
+    /// Builds the sampler for the given distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZipfError::InvalidCatalogue`] when the catalogue
+    /// exceeds [`MandelbrotSampler::MAX_CATALOGUE`].
+    pub fn new(dist: &ZipfMandelbrot) -> Result<Self, ZipfError> {
+        if dist.catalogue_size() > Self::MAX_CATALOGUE {
+            return Err(ZipfError::InvalidCatalogue { n: dist.catalogue_size() as f64 });
+        }
+        let mut cdf = Vec::with_capacity(dist.catalogue_size() as usize);
+        let mut acc = 0.0;
+        for k in 1..=dist.catalogue_size() {
+            acc += (k as f64 + dist.shift()).powf(-dist.exponent());
+            cdf.push(acc);
+        }
+        Ok(Self { cdf })
+    }
+
+    /// Draws one rank in `1..=N`.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let total = *self.cdf.last().expect("catalogue is non-empty");
+        let u = rng.gen::<f64>() * total;
+        match self.cdf.binary_search_by(|w| w.partial_cmp(&u).expect("finite weights")) {
+            Ok(i) | Err(i) => (i as u64 + 1).min(self.cdf.len() as u64),
+        }
+    }
+
+    /// Draws `count` ranks into a vector.
+    pub fn sample_many<R: rand::Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<u64> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Zipf;
+
+    #[test]
+    fn zero_shift_recovers_plain_zipf() {
+        let zm = ZipfMandelbrot::new(0.8, 0.0, 500).unwrap();
+        let z = Zipf::new(0.8, 500).unwrap();
+        for k in [1, 10, 250, 500] {
+            assert!((zm.pmf(k) - z.pmf(k)).abs() < 1e-12, "pmf at {k}");
+            assert!((zm.cdf(k) - z.cdf(k)).abs() < 1e-12, "cdf at {k}");
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let zm = ZipfMandelbrot::new(0.8, 25.0, 2_000).unwrap();
+        let total: f64 = (1..=2_000).map(|k| zm.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn shift_flattens_the_head() {
+        let plain = ZipfMandelbrot::new(0.8, 0.0, 1_000).unwrap();
+        let flat = ZipfMandelbrot::new(0.8, 100.0, 1_000).unwrap();
+        assert!(flat.pmf(1) < plain.pmf(1));
+        // Relative popularity of ranks 1 vs 100 compresses.
+        let plain_ratio = plain.pmf(1) / plain.pmf(100);
+        let flat_ratio = flat.pmf(1) / flat.pmf(100);
+        assert!(flat_ratio < plain_ratio);
+        // And the top-k concentration drops.
+        assert!(flat.cdf(10) < plain.cdf(10));
+    }
+
+    #[test]
+    fn integral_and_fractional_shifts_agree() {
+        // The fast integral-q path must match brute-force summation.
+        let fast = ZipfMandelbrot::new(0.8, 5.0, 1_000).unwrap();
+        let brute: f64 = (1..=1_000).map(|j| (j as f64 + 5.0).powf(-0.8)).sum();
+        assert!((fast.normalizer - brute).abs() < 1e-9);
+        let frac = ZipfMandelbrot::new(0.8, 5.5, 1_000).unwrap();
+        let brute_frac: f64 = (1..=1_000).map(|j| (j as f64 + 5.5).powf(-0.8)).sum();
+        assert!((frac.normalizer - brute_frac).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuous_cdf_tracks_discrete() {
+        let zm = ZipfMandelbrot::new(0.7, 20.0, 100_000).unwrap();
+        for k in [100u64, 1_000, 50_000] {
+            let d = zm.cdf(k);
+            let c = zm.continuous_cdf(k as f64);
+            assert!((d - c).abs() < 0.01, "k={k}: discrete {d} vs continuous {c}");
+        }
+        assert_eq!(zm.continuous_cdf(1.0), 0.0);
+        assert!((zm.continuous_cdf(1e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ZipfMandelbrot::new(-1.0, 0.0, 10).is_err());
+        assert!(ZipfMandelbrot::new(0.8, -1.0, 10).is_err());
+        assert!(ZipfMandelbrot::new(0.8, f64::NAN, 10).is_err());
+        assert!(ZipfMandelbrot::new(0.8, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn sampler_matches_pmf() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let dist = ZipfMandelbrot::new(0.9, 10.0, 200).unwrap();
+        let sampler = MandelbrotSampler::new(&dist).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let trials = 100_000;
+        let mut counts = vec![0u64; 200];
+        for _ in 0..trials {
+            let k = sampler.sample(&mut rng);
+            assert!((1..=200).contains(&k));
+            counts[(k - 1) as usize] += 1;
+        }
+        for k in [1u64, 5, 50, 200] {
+            let expected = dist.pmf(k) * trials as f64;
+            let observed = counts[(k - 1) as usize] as f64;
+            let sigma = (expected * (1.0 - dist.pmf(k))).sqrt();
+            assert!(
+                (observed - expected).abs() < 5.0 * sigma + 5.0,
+                "rank {k}: observed {observed} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_bounded() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let dist = ZipfMandelbrot::new(0.8, 5.0, 1_000).unwrap();
+        let sampler = MandelbrotSampler::new(&dist).unwrap();
+        let a = sampler.sample_many(&mut StdRng::seed_from_u64(3), 32);
+        let b = sampler.sample_many(&mut StdRng::seed_from_u64(3), 32);
+        assert_eq!(a, b);
+        let huge = ZipfMandelbrot::new(0.8, 0.0, MandelbrotSampler::MAX_CATALOGUE + 1).unwrap();
+        assert!(MandelbrotSampler::new(&huge).is_err());
+    }
+}

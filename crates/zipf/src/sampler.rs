@@ -1,0 +1,293 @@
+//! Random rank samplers for Zipf workloads.
+//!
+//! Two strategies are provided behind a single type:
+//!
+//! - **Cached inverse-CDF** for small catalogues: `O(N)` setup, then a
+//!   binary search per sample. Exact.
+//! - **Rejection-inversion** (Hörmann & Derflinger 1996, as used by
+//!   Apache Commons' `RejectionInversionZipfSampler`) for arbitrarily
+//!   large catalogues: `O(1)` setup and amortized `O(1)` per sample.
+//!
+//! The simulator (`ccn-sim`) uses these to generate independent
+//! reference model (IRM) request streams.
+
+use rand::Rng;
+
+use crate::ZipfError;
+
+/// Catalogue sizes at or below this threshold use the exact cached
+/// inverse-CDF strategy.
+const CACHED_THRESHOLD: u64 = 1 << 16;
+
+#[derive(Debug, Clone)]
+enum Strategy {
+    /// Exact: cumulative weights over all ranks.
+    Cached { cdf: Vec<f64> },
+    /// Rejection-inversion over a continuous envelope.
+    RejectionInversion {
+        h_integral_x1: f64,
+        h_integral_n: f64,
+        threshold: f64,
+    },
+    /// Degenerate uniform case for `s == 0`.
+    Uniform,
+}
+
+/// Samples ranks `1..=N` from a Zipf(`s`) distribution.
+///
+/// # Example
+///
+/// ```
+/// use ccn_zipf::ZipfSampler;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ccn_zipf::ZipfError> {
+/// let sampler = ZipfSampler::new(0.8, 1_000_000)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let rank = sampler.sample(&mut rng);
+/// assert!((1..=1_000_000).contains(&rank));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    s: f64,
+    n: u64,
+    strategy: Strategy,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler for exponent `s >= 0` over ranks `1..=n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZipfError::InvalidExponent`] for negative or
+    /// non-finite `s`, and [`ZipfError::InvalidCatalogue`] for `n == 0`.
+    pub fn new(s: f64, n: u64) -> Result<Self, ZipfError> {
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::InvalidExponent {
+                s,
+                constraint: "s >= 0 and finite",
+            });
+        }
+        if n == 0 {
+            return Err(ZipfError::InvalidCatalogue { n: 0.0 });
+        }
+        let strategy = if s == 0.0 {
+            Strategy::Uniform
+        } else if n <= CACHED_THRESHOLD {
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut acc = 0.0;
+            for k in 1..=n {
+                acc += (k as f64).powf(-s);
+                cdf.push(acc);
+            }
+            Strategy::Cached { cdf }
+        } else {
+            Strategy::RejectionInversion {
+                h_integral_x1: h_integral(1.5, s) - 1.0,
+                h_integral_n: h_integral(n as f64 + 0.5, s),
+                threshold: 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s),
+            }
+        };
+        Ok(Self { s, n, strategy })
+    }
+
+    /// The Zipf exponent.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// The catalogue size.
+    #[must_use]
+    pub fn catalogue_size(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `1..=N`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match &self.strategy {
+            Strategy::Uniform => rng.gen_range(1..=self.n),
+            Strategy::Cached { cdf } => {
+                let total = *cdf.last().expect("catalogue is non-empty");
+                let u = rng.gen::<f64>() * total;
+                match cdf.binary_search_by(|w| w.partial_cmp(&u).expect("weights are finite")) {
+                    Ok(i) | Err(i) => (i as u64 + 1).min(self.n),
+                }
+            }
+            Strategy::RejectionInversion {
+                h_integral_x1,
+                h_integral_n,
+                threshold,
+            } => loop {
+                let u = h_integral_n + rng.gen::<f64>() * (h_integral_x1 - h_integral_n);
+                let x = h_integral_inverse(u, self.s);
+                let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+                if k - x <= *threshold || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                    return k as u64;
+                }
+            },
+        }
+    }
+
+    /// Draws `count` ranks into a freshly allocated vector.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<u64> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// `H(x) = ∫ x^{-s} dx` in the log-domain formulation that stays
+/// stable near `s = 1`: `helper2((1-s)·ln x) · ln x`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// The envelope density `h(x) = x^{-s}`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    let mut t = x * (1.0 - s);
+    if t < -1.0 {
+        // Clamp against numerical overshoot near the distribution head.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `ln(1+x)/x`, with a Taylor fallback near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `(e^x - 1)/x`, with a Taylor fallback near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Zipf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ZipfSampler::new(-1.0, 10).is_err());
+        assert!(ZipfSampler::new(0.8, 0).is_err());
+        assert!(ZipfSampler::new(f64::INFINITY, 10).is_err());
+    }
+
+    #[test]
+    fn samples_stay_in_range_all_strategies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(s, n) in &[(0.0, 100u64), (0.8, 100), (0.8, 1 << 20), (1.5, 1 << 20)] {
+            let sampler = ZipfSampler::new(s, n).unwrap();
+            for _ in 0..2_000 {
+                let k = sampler.sample(&mut rng);
+                assert!((1..=n).contains(&k), "s={s} n={n} produced {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_catalogue_always_rank_one() {
+        let sampler = ZipfSampler::new(0.8, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 1);
+        }
+    }
+
+    /// Chi-squared-style agreement between empirical frequencies and
+    /// the exact pmf for the cached strategy.
+    #[test]
+    fn cached_strategy_matches_pmf() {
+        let n = 50;
+        let s = 0.8;
+        let sampler = ZipfSampler::new(s, n).unwrap();
+        let zipf = Zipf::new(s, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 200_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..trials {
+            counts[(sampler.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for k in 1..=n {
+            let expected = zipf.pmf(k) * trials as f64;
+            let observed = counts[(k - 1) as usize] as f64;
+            // 5-sigma binomial tolerance.
+            let sigma = (expected * (1.0 - zipf.pmf(k))).sqrt();
+            assert!(
+                (observed - expected).abs() < 5.0 * sigma + 5.0,
+                "rank {k}: observed {observed} expected {expected}"
+            );
+        }
+    }
+
+    /// The rejection-inversion strategy must agree with the exact head
+    /// probabilities of the discrete distribution.
+    #[test]
+    fn rejection_inversion_matches_head_probabilities() {
+        let n = (1u64 << 20) + 1; // force rejection-inversion
+        let s = 1.2;
+        let sampler = ZipfSampler::new(s, n).unwrap();
+        let zipf = Zipf::new(s, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 100_000;
+        let mut head_hits = [0u64; 5];
+        let mut top100 = 0u64;
+        for _ in 0..trials {
+            let k = sampler.sample(&mut rng);
+            if k <= 5 {
+                head_hits[(k - 1) as usize] += 1;
+            }
+            if k <= 100 {
+                top100 += 1;
+            }
+        }
+        for (i, &hits) in head_hits.iter().enumerate() {
+            let p = zipf.pmf(i as u64 + 1);
+            let expected = p * trials as f64;
+            let sigma = (expected * (1.0 - p)).sqrt();
+            assert!(
+                (hits as f64 - expected).abs() < 5.0 * sigma + 5.0,
+                "rank {}: observed {hits} expected {expected}",
+                i + 1
+            );
+        }
+        let p100 = zipf.cdf(100);
+        let expected = p100 * trials as f64;
+        let sigma = (expected * (1.0 - p100)).sqrt();
+        assert!((top100 as f64 - expected).abs() < 5.0 * sigma + 5.0);
+    }
+
+    #[test]
+    fn determinism_under_seeding() {
+        let sampler = ZipfSampler::new(0.8, 10_000).unwrap();
+        let a: Vec<u64> = sampler.sample_many(&mut StdRng::seed_from_u64(9), 64);
+        let b: Vec<u64> = sampler.sample_many(&mut StdRng::seed_from_u64(9), 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn helper_functions_taylor_branch() {
+        assert!((helper1(1e-12) - 1.0).abs() < 1e-9);
+        assert!((helper2(1e-12) - 1.0).abs() < 1e-9);
+        assert!((helper1(0.5) - 0.5f64.ln_1p() / 0.5).abs() < 1e-15);
+        assert!((helper2(0.5) - 0.5f64.exp_m1() / 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,185 @@
+//! The Space-Saving heavy-hitter sketch (Metwally, Agrawal, El Abbadi
+//! 2005).
+//!
+//! The adaptive coordination loop needs the current popularity ranking
+//! without storing a counter per catalogue object. Space-Saving keeps
+//! `k` monitored counters: a hit on a monitored item increments it; a
+//! hit on an unmonitored item *replaces* the minimum counter and
+//! inherits its count as over-estimation error. Guarantees: any item
+//! with true frequency above `total/k` is monitored, and every count
+//! over-estimates by at most the smallest counter.
+
+use std::collections::HashMap;
+
+use crate::ZipfError;
+
+/// One monitored item's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter {
+    /// The monitored item.
+    pub item: u64,
+    /// Estimated count (over-estimate).
+    pub count: u64,
+    /// Maximum possible over-estimation (the count the slot carried
+    /// when this item took it over).
+    pub error: u64,
+}
+
+/// Space-Saving sketch over `u64` item identifiers.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// item → (count, error)
+    counters: HashMap<u64, (u64, u64)>,
+    observed: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a sketch monitoring at most `capacity` items.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZipfError::DegenerateSample`] for zero capacity.
+    pub fn new(capacity: usize) -> Result<Self, ZipfError> {
+        if capacity == 0 {
+            return Err(ZipfError::DegenerateSample {
+                reason: "space-saving sketch needs capacity >= 1",
+            });
+        }
+        Ok(Self { capacity, counters: HashMap::with_capacity(capacity), observed: 0 })
+    }
+
+    /// Records one observation of `item`.
+    pub fn observe(&mut self, item: u64) {
+        self.observed += 1;
+        if let Some(entry) = self.counters.get_mut(&item) {
+            entry.0 += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, (1, 0));
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count.
+        let (&victim, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by_key(|(&it, &(count, _))| (count, it))
+            .expect("sketch at capacity is non-empty");
+        self.counters.remove(&victim);
+        self.counters.insert(item, (min_count + 1, min_count));
+    }
+
+    /// Records a batch of observations.
+    pub fn observe_all(&mut self, items: impl IntoIterator<Item = u64>) {
+        for item in items {
+            self.observe(item);
+        }
+    }
+
+    /// Total observations fed to the sketch.
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Monitored items, most frequent first (ties by smaller error,
+    /// then item id for determinism).
+    #[must_use]
+    pub fn top(&self) -> Vec<Counter> {
+        let mut all: Vec<Counter> = self
+            .counters
+            .iter()
+            .map(|(&item, &(count, error))| Counter { item, count, error })
+            .collect();
+        all.sort_by(|a, b| {
+            b.count.cmp(&a.count).then(a.error.cmp(&b.error)).then(a.item.cmp(&b.item))
+        });
+        all
+    }
+
+    /// Items whose *guaranteed* count (`count − error`) exceeds
+    /// `threshold` — these are certainly heavy hitters.
+    #[must_use]
+    pub fn guaranteed_above(&self, threshold: u64) -> Vec<Counter> {
+        self.top()
+            .into_iter()
+            .filter(|c| c.count - c.error > threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZipfSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(SpaceSaving::new(0).is_err());
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut s = SpaceSaving::new(10).unwrap();
+        s.observe_all([1, 1, 1, 2, 2, 3]);
+        let top = s.top();
+        assert_eq!(top.len(), 3);
+        assert_eq!((top[0].item, top[0].count, top[0].error), (1, 3, 0));
+        assert_eq!((top[1].item, top[1].count, top[1].error), (2, 2, 0));
+        assert_eq!(s.observed(), 6);
+    }
+
+    #[test]
+    fn eviction_inherits_minimum_count() {
+        let mut s = SpaceSaving::new(2).unwrap();
+        s.observe_all([1, 1, 2]); // counters: 1->2, 2->1
+        s.observe(3); // evicts 2 (min), 3 gets count 2 error 1
+        let top = s.top();
+        assert_eq!(top.len(), 2);
+        let three = top.iter().find(|c| c.item == 3).unwrap();
+        assert_eq!((three.count, three.error), (2, 1));
+    }
+
+    #[test]
+    fn counts_never_underestimate() {
+        // Space-Saving's invariant: estimated >= true count for
+        // monitored items.
+        let mut s = SpaceSaving::new(8).unwrap();
+        let stream: Vec<u64> = (0..1_000).map(|i| (i % 40) + 1).collect();
+        let true_count = 1_000 / 40;
+        s.observe_all(stream);
+        for c in s.top() {
+            assert!(c.count >= true_count, "{c:?} underestimates");
+            assert!(c.count - c.error <= true_count, "guaranteed part never exceeds truth");
+        }
+    }
+
+    #[test]
+    fn finds_zipf_head_with_tiny_sketch() {
+        let sampler = ZipfSampler::new(1.1, 100_000).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut s = SpaceSaving::new(32).unwrap();
+        s.observe_all(sampler.sample_many(&mut rng, 50_000));
+        let top: Vec<u64> = s.top().iter().take(5).map(|c| c.item).collect();
+        // The five hottest ranks must all be tiny (head of the Zipf).
+        for item in top {
+            assert!(item <= 10, "sketch surfaced cold item {item}");
+        }
+        // Rank 1 must be the estimated leader.
+        assert_eq!(s.top()[0].item, 1);
+    }
+
+    #[test]
+    fn guaranteed_heavy_hitters_are_sound() {
+        let mut s = SpaceSaving::new(4).unwrap();
+        // Item 7 occurs 500 times among 1000 observations.
+        let mut stream = vec![7u64; 500];
+        stream.extend((0..500).map(|i| i % 97 + 100));
+        s.observe_all(stream);
+        let heavy = s.guaranteed_above(100);
+        assert!(heavy.iter().any(|c| c.item == 7), "true majority item is guaranteed");
+    }
+}

@@ -1,0 +1,58 @@
+//! Online adaptive coordination (the paper's future-work direction):
+//! the popularity exponent drifts over time; the adaptive coordinator
+//! re-estimates it from observed requests and re-provisions the
+//! coordination level only when the optimum moves beyond hysteresis.
+//!
+//! Run with: `cargo run --example adaptive_coordination`
+
+use ccn_suite::coord::adaptive::{Adaptation, AdaptiveConfig, AdaptiveCoordinator};
+use ccn_suite::model::ModelParams;
+use ccn_suite::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalogue = 50_000u64;
+    let params = ModelParams::builder()
+        .zipf_exponent(0.6)
+        .catalogue(catalogue as f64)
+        .capacity(500.0)
+        .alpha(0.9)
+        .build()?;
+    let mut coordinator = AdaptiveCoordinator::new(params, AdaptiveConfig::default())?;
+    println!("initial coordination level l = {:.3} (provisioned for s = 0.6)", coordinator.current_ell());
+
+    // The workload drifts from s = 0.6 (flat) to s = 1.5 (highly
+    // concentrated) over six epochs.
+    let mut rng = StdRng::seed_from_u64(99);
+    for (epoch, s_true) in [0.6, 0.6, 0.9, 1.1, 1.3, 1.5].iter().enumerate() {
+        let sampler = ZipfSampler::new(*s_true, catalogue)?;
+        coordinator.observe(sampler.sample_many(&mut rng, 25_000));
+        match coordinator.adapt()? {
+            Adaptation::InsufficientData { observed } => {
+                println!("epoch {epoch}: s_true={s_true} — only {observed} samples, waiting");
+            }
+            Adaptation::WithinHysteresis { estimated_s, candidate_ell } => {
+                println!(
+                    "epoch {epoch}: s_true={s_true} — estimated s={estimated_s:.3}, candidate l={candidate_ell:.3} within hysteresis, holding at l={:.3}",
+                    coordinator.current_ell()
+                );
+            }
+            Adaptation::Reprovisioned { estimated_s, round } => {
+                println!(
+                    "epoch {epoch}: s_true={s_true} — estimated s={estimated_s:.3}, REPROVISIONED to l={:.3} ({} messages, {} placement entries, {:.0} ms to converge)",
+                    round.strategy.ell_star,
+                    round.cost.messages,
+                    round.cost.placement_entries,
+                    round.cost.convergence_ms
+                );
+            }
+        }
+    }
+    println!(
+        "\nfinal level l = {:.3} after {} reprovisioning rounds",
+        coordinator.current_ell(),
+        coordinator.rounds_executed()
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Capacity planning: how much storage should each router carry, and
+//! how should it be split? Sweeps the per-router capacity `c`, solves
+//! the optimal coordination level at each size, and reports the
+//! Pareto frontier plus the knee point for the Table-IV workload.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use ccn_suite::model::tradeoff::{knee_point, pareto_frontier};
+use ccn_suite::model::{CacheModel, ModelParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== capacity sweep: bigger stores, lower origin load ==");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>12}",
+        "c", "l*", "x*", "origin load", "G_O"
+    );
+    for c in [100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 100_000.0] {
+        let params = ModelParams::builder().capacity(c).alpha(0.9).build()?;
+        let model = CacheModel::new(params)?;
+        let opt = model.optimal_exact()?;
+        let gains = model.gains(opt.x_star);
+        println!(
+            "{c:>8.0} {:>8.3} {:>10.0} {:>11.1}% {:>11.1}%",
+            opt.ell_star,
+            opt.x_star,
+            gains.origin_load * 100.0,
+            gains.origin_load_reduction * 100.0
+        );
+    }
+
+    println!("\n== performance-cost Pareto frontier at c = 1000 ==");
+    let params = ModelParams::builder().alpha(0.9).build()?;
+    let model = CacheModel::new(params)?;
+    let frontier = pareto_frontier(&model, 201)?;
+    println!("frontier has {} non-dominated levels", frontier.len());
+    let knee = knee_point(&frontier).expect("non-empty frontier");
+    println!(
+        "knee: l = {:.3} (T = {:.3}, W = {:.6}) — the balanced operating point",
+        knee.ell, knee.routing_performance, knee.coordination_cost
+    );
+    for p in frontier.iter().step_by(frontier.len() / 10 + 1) {
+        let marker = if (p.ell - knee.ell).abs() < 1e-9 { "  <-- knee" } else { "" };
+        println!(
+            "  l = {:>5.3}  T = {:>7.3}  W = {:>9.6}{marker}",
+            p.ell, p.routing_performance, p.coordination_cost
+        );
+    }
+
+    println!("\n== inverse mapping: which alpha makes a target level optimal? ==");
+    for target in [0.25, 0.5, 0.75] {
+        match ccn_suite::model::tradeoff::alpha_for_level(&model, target) {
+            Ok(alpha) => println!("l = {target:.2} is optimal at alpha = {alpha:.4}"),
+            Err(e) => println!("l = {target:.2}: {e}"),
+        }
+    }
+    Ok(())
+}

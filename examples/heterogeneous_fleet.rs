@@ -1,0 +1,82 @@
+//! Heterogeneous router fleet (the paper's future-work model): core
+//! routers carry 10× the storage of edge routers. Compares the
+//! uniform coordination level against per-router optimization, and
+//! shows how the distributed coordinator realizations would pay for
+//! each round.
+//!
+//! Run with: `cargo run --release --example heterogeneous_fleet`
+
+use ccn_suite::coord::distributed::{best_coordinator, dissemination_cost, Dissemination};
+use ccn_suite::coord::reliability::loss_inflation;
+use ccn_suite::model::hetero::HeteroModel;
+use ccn_suite::model::ModelParams;
+use ccn_suite::topology::datasets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // US-A: 20 routers; 5 core routers get 2000 slots, 15 edge routers 200.
+    let graph = datasets::us_a();
+    let mut capacities = vec![200.0; graph.node_count()];
+    for core in [0, 1, 3, 4, 8] {
+        capacities[core] = 2_000.0;
+    }
+    let base = ModelParams::builder()
+        .routers(graph.node_count() as u32)
+        .catalogue(1e6)
+        .alpha(0.9)
+        .build()?;
+    let fleet = HeteroModel::new(base, capacities.clone())?;
+
+    println!("fleet: {} routers, capacities 200 (edge) / 2000 (core)", capacities.len());
+
+    let uniform = fleet.optimize_uniform_level()?;
+    println!(
+        "\nuniform level: l = {:.3} on every router — pool {} contents, objective {:.4}",
+        uniform.levels[0],
+        uniform.pool_size.round(),
+        uniform.objective_value
+    );
+
+    let tuned = fleet.optimize_per_router(4)?;
+    println!(
+        "per-router optimization: pool {} contents, objective {:.4} ({:+.2}% vs uniform)",
+        tuned.pool_size.round(),
+        tuned.objective_value,
+        (tuned.objective_value / uniform.objective_value - 1.0) * 100.0
+    );
+    let core_mean: f64 =
+        [0usize, 1, 3, 4, 8].iter().map(|&i| tuned.levels[i]).sum::<f64>() / 5.0;
+    let edge_mean: f64 = (0..20)
+        .filter(|i| ![0usize, 1, 3, 4, 8].contains(i))
+        .map(|i| tuned.levels[i])
+        .sum::<f64>()
+        / 15.0;
+    println!("  mean level — core routers: {core_mean:.3}, edge routers: {edge_mean:.3}");
+
+    println!("\n== distributing one provisioning round over US-A ==");
+    let entries = (uniform.pool_size / capacities.len() as f64).round() as u64;
+    let hub = best_coordinator(&graph)?;
+    println!("best coordinator placement: {} (latency 1-center)", graph.node_name(hub));
+    for (label, strategy) in [
+        ("centralized", Dissemination::Centralized { coordinator: hub }),
+        ("spanning tree", Dissemination::SpanningTree { root: hub }),
+        ("flooding", Dissemination::Flooding),
+    ] {
+        let cost = dissemination_cost(&graph, strategy, entries)?;
+        println!(
+            "  {label:<14} {:>9} link crossings ({:>9} carrying entries), converges in {:>6.1} ms",
+            cost.link_crossings, cost.entry_crossings, cost.convergence_ms
+        );
+    }
+
+    println!("\n== retransmission inflation under control-plane loss ==");
+    let messages = dissemination_cost(&graph, Dissemination::Centralized { coordinator: hub }, entries)?
+        .link_crossings;
+    for p in [0.01, 0.05, 0.2] {
+        let report = loss_inflation(messages, p, 50, 7)?;
+        println!(
+            "  loss {p:>4}: {:.3}x traffic, round stretches {:.1}x (simulated {:.1}x)",
+            report.expected_transmissions, report.expected_rounds, report.simulated_rounds
+        );
+    }
+    Ok(())
+}

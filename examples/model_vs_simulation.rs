@@ -1,0 +1,82 @@
+//! Validates the analytical model against the packet-level simulator:
+//! for a sweep of coordination levels, compares the model's predicted
+//! tier fractions (local / peer / origin) with the fractions measured
+//! by running a Zipf IRM workload over a real topology with the
+//! model's exact storage layout.
+//!
+//! Run with: `cargo run --release --example model_vs_simulation`
+
+use ccn_suite::model::{CacheModel, ModelParams};
+use ccn_suite::sim::scenario::{steady_state, SteadyStateConfig};
+use ccn_suite::sim::OriginConfig;
+use ccn_suite::topology::datasets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = datasets::abilene();
+    let n = graph.node_count() as f64;
+    let (catalogue, capacity, s) = (10_000u64, 200u64, 0.8);
+
+    let params = ModelParams::builder()
+        .zipf_exponent(s)
+        .routers_f64(n)
+        .catalogue(catalogue as f64)
+        .capacity(capacity as f64)
+        .latency_tiers(0.0, 1.0, 5.0)
+        .alpha(1.0)
+        .build()?;
+    let model = CacheModel::new(params)?;
+
+    println!("model vs simulation — Abilene, N={catalogue}, c={capacity}, s={s}");
+    println!(
+        "{:>5} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12}",
+        "l", "local(model)", "local(sim)", "peer(model)", "peer(sim)", "orig(model)", "orig(sim)"
+    );
+    for ell in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let x = ell * capacity as f64;
+        let predicted = model.breakdown(x);
+        let measured = steady_state(
+            graph.clone(),
+            &SteadyStateConfig {
+                zipf_exponent: s,
+                catalogue,
+                capacity,
+                ell,
+                rate_per_ms: 0.01,
+                horizon_ms: 200_000.0,
+                origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() },
+                seed: 7,
+            },
+        )?;
+        println!(
+            "{:>5.2} | {:>12.3} {:>12.3} | {:>12.3} {:>12.3} | {:>12.3} {:>12.3}",
+            ell,
+            predicted.local_fraction,
+            measured.local_hit_ratio(),
+            predicted.peer_fraction,
+            measured.peer_hit_ratio(),
+            predicted.origin_fraction,
+            measured.origin_load(),
+        );
+    }
+
+    // The headline gain: predicted vs measured origin-load reduction
+    // when moving from l = 0 to the optimal strategy.
+    let opt = model.optimal_exact()?;
+    let gains = model.gains(opt.x_star);
+    let sim_base = steady_state(
+        graph.clone(),
+        &SteadyStateConfig { zipf_exponent: s, catalogue, capacity, ell: 0.0, rate_per_ms: 0.01, horizon_ms: 200_000.0, origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() }, seed: 7 },
+    )?;
+    let sim_opt = steady_state(
+        graph,
+        &SteadyStateConfig { zipf_exponent: s, catalogue, capacity, ell: opt.ell_star, rate_per_ms: 0.01, horizon_ms: 200_000.0, origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() }, seed: 7 },
+    )?;
+    let measured_go = 1.0 - sim_opt.origin_load() / sim_base.origin_load();
+    println!(
+        "\noptimal l* = {:.3}: predicted G_O = {:.1}%, simulated G_O = {:.1}%",
+        opt.ell_star,
+        gains.origin_load_reduction * 100.0,
+        measured_go * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! Online adaptation inside the simulation timeline: the workload's
+//! popularity flattens mid-run; a static deployment keeps serving with
+//! a stale coordination level while an adaptive one re-provisions at
+//! the drift point (solved by the coordination layer from the new
+//! exponent) and recovers the lost origin-load headroom.
+//!
+//! Run with: `cargo run --release --example online_adaptation`
+
+use ccn_suite::model::{CacheModel, ModelParams};
+use ccn_suite::sim::store::StaticStore;
+use ccn_suite::sim::workload::{sort_requests, zipf_irm};
+use ccn_suite::sim::{
+    CachingMode, ContentId, Deployment, Network, OriginConfig, Placement, SimConfig, Simulator,
+};
+use ccn_suite::topology::datasets;
+
+const CATALOGUE: u64 = 5_000;
+const CAPACITY: u64 = 100;
+const PHASE_MS: f64 = 60_000.0;
+
+fn solve_ell(s: f64, n: f64) -> f64 {
+    let params = ModelParams::builder()
+        .zipf_exponent(s)
+        .routers_f64(n)
+        .catalogue(CATALOGUE as f64)
+        .capacity(CAPACITY as f64)
+        .alpha(0.95)
+        .build()
+        .expect("valid params");
+    CacheModel::new(params).expect("model").optimal_exact().expect("solves").ell_star
+}
+
+fn hybrid_deployment(at_ms: f64, ell: f64, n: usize) -> Deployment {
+    let x = (ell * CAPACITY as f64).round() as u64;
+    let prefix = CAPACITY - x;
+    Deployment {
+        at_ms,
+        local_prefix: prefix,
+        placement: if x == 0 {
+            Placement::none()
+        } else {
+            Placement::range(prefix + 1, prefix + 1 + x * n as u64, (0..n).collect())
+        },
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = datasets::abilene();
+    let n = graph.node_count();
+    let routers: Vec<usize> = (0..n).collect();
+
+    // Phase 1: steep catalogue (s = 1.6); phase 2: flat (s = 0.6).
+    let mut requests = zipf_irm(&routers, 1.6, CATALOGUE, 0.01, PHASE_MS, 61)?;
+    let mut phase2 = zipf_irm(&routers, 0.6, CATALOGUE, 0.01, PHASE_MS, 62)?;
+    for r in &mut phase2 {
+        r.time += PHASE_MS;
+    }
+    requests.extend(phase2);
+    sort_requests(&mut requests);
+
+    let ell_steep = solve_ell(1.6, n as f64);
+    let ell_flat = solve_ell(0.6, n as f64);
+    println!("optimal level for s=1.6: l = {ell_steep:.3}; for s=0.6: l = {ell_flat:.3}");
+
+    let build = |initial: &Deployment| -> Result<Network, Box<dyn std::error::Error>> {
+        let mut builder = Network::builder(graph.clone())
+            .placement(initial.placement.clone())
+            .origin(OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() })
+            .caching(CachingMode::Static);
+        for router in 0..n {
+            let mut contents: Vec<ContentId> =
+                (1..=initial.local_prefix).map(ContentId).collect();
+            contents.extend(initial.placement.slice_of(router).into_iter().map(ContentId));
+            builder = builder.store(router, Box::new(StaticStore::new(contents)))?;
+        }
+        Ok(builder.build()?)
+    };
+
+    let initial = hybrid_deployment(0.0, ell_steep, n);
+    // Measure only the post-drift phase.
+    let config = SimConfig { warmup_ms: PHASE_MS, ..Default::default() };
+
+    let stale = Simulator::new(build(&initial)?, config).run(&requests)?;
+    let adaptive = Simulator::new(build(&initial)?, config)
+        .with_deployments(vec![hybrid_deployment(PHASE_MS, ell_flat, n)])
+        .run(&requests)?;
+
+    println!("\npost-drift phase (workload now s = 0.6):");
+    println!(
+        "  static provisioning (stale l = {ell_steep:.3}): origin load {:.1}%, avg hops {:.3}",
+        stale.origin_load() * 100.0,
+        stale.avg_hops()
+    );
+    println!(
+        "  adaptive re-provisioning (l -> {ell_flat:.3}):  origin load {:.1}%, avg hops {:.3}",
+        adaptive.origin_load() * 100.0,
+        adaptive.avg_hops()
+    );
+    println!(
+        "  re-provisioning moved {} contents in {} round(s)",
+        adaptive.reprovision_moves, adaptive.reprovision_events
+    );
+    assert!(adaptive.origin_load() < stale.origin_load());
+    println!("\nadaptation recovered {:.1} percentage points of origin load",
+        (stale.origin_load() - adaptive.origin_load()) * 100.0);
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Provisioning planner: extract Table-III parameters from the four
+//! real backbone topologies of the paper and produce an operator
+//! recommendation for each, including an alpha sensitivity sweep.
+//!
+//! Run with: `cargo run --example provisioning_planner`
+
+use ccn_suite::model::planner::{alpha_sweep, plan, PlannerConfig};
+use ccn_suite::topology::{datasets, params::extract};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Table III: measured topology parameters ==");
+    println!(
+        "{:<8} {:>3} {:>8} {:>10} {:>8} {:>8}",
+        "topology", "n", "w(ms)", "d1-d0(ms)", "hops", "diam"
+    );
+    let mut extracted = Vec::new();
+    for graph in datasets::all() {
+        let p = extract(&graph);
+        println!(
+            "{:<8} {:>3} {:>8.1} {:>10.1} {:>8.4} {:>8}",
+            p.name, p.n, p.w_ms, p.mean_latency_ms, p.mean_hops, p.diameter_hops
+        );
+        extracted.push(p);
+    }
+
+    let config = PlannerConfig::default();
+    println!("\n== provisioning plans (s=0.8, N=1e6, c=1e3, gamma=5, alpha=0.8) ==\n");
+    for topo in &extracted {
+        let plan = plan(topo, &config)?;
+        println!("{}", plan.report());
+    }
+
+    println!("== alpha sensitivity on US-A (how the recommendation moves) ==");
+    let us_a = &extracted[3];
+    let curve = alpha_sweep(us_a, &config, 11)?;
+    for (alpha, ell) in curve.alphas.iter().zip(&curve.ell_stars) {
+        let bar = "#".repeat((ell * 40.0).round() as usize);
+        println!("alpha = {alpha:.1}  l* = {ell:.3}  {bar}");
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: solve the paper's provisioning problem on the default
+//! (Table IV) parameters and print the optimal strategy and gains.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ccn_suite::model::{CacheModel, ModelParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Table-IV defaults: 20 routers, catalogue of 10^6
+    // Zipf(0.8) contents, 10^3 slots per router, gamma = 5.
+    let params = ModelParams::builder().alpha(0.8).build()?;
+    let model = CacheModel::new(params)?;
+
+    println!("== optimal provisioning strategy ==");
+    let exact = model.optimal_exact()?;
+    let fixed_point = model.optimal_fixed_point()?;
+    let closed = model.closed_form_alpha1();
+    println!("exact minimization : l* = {:.4}  (x* = {:.0} slots)", exact.ell_star, exact.x_star);
+    println!("lemma-2 fixed point: l* = {:.4}", fixed_point.ell_star);
+    println!("theorem-2 (alpha=1): l* = {:.4}", closed.ell_star);
+
+    println!("\n== where requests are served at l* ==");
+    let b = model.breakdown(exact.x_star);
+    println!("local  (d0): {:5.1}%", b.local_fraction * 100.0);
+    println!("peer   (d1): {:5.1}%", b.peer_fraction * 100.0);
+    println!("origin (d2): {:5.1}%", b.origin_fraction * 100.0);
+
+    println!("\n== gains vs non-coordinated caching ==");
+    let gains = model.gains(exact.x_star);
+    println!("origin load reduction G_O = {:.1}%", gains.origin_load_reduction * 100.0);
+    println!("routing improvement  G_R = {:.1}%", gains.routing_improvement * 100.0);
+
+    println!("\n== how the trade-off weight alpha moves the optimum ==");
+    for alpha in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let m = CacheModel::new(params.with_alpha(alpha)?)?;
+        let opt = m.optimal_exact()?;
+        let bar = "#".repeat((opt.ell_star * 40.0).round() as usize);
+        println!("alpha = {alpha:.1}  l* = {:.3}  {bar}", opt.ell_star);
+    }
+    Ok(())
+}

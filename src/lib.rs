@@ -1,0 +1,33 @@
+//! # ccn-suite — coordinated in-network caching for CCN
+//!
+//! A full reproduction of *"Coordinating In-Network Caching in
+//! Content-Centric Networks: Model and Analysis"* (ICDCS 2013):
+//! the performance–cost model and optimal provisioning strategy
+//! ([`model`]), its substrates — Zipf popularity ([`zipf`]), numerics
+//! ([`numerics`]), network topologies ([`topology`]) — an executable
+//! packet-level CCN simulator that validates the model ([`sim`]), and
+//! the coordination protocol realizing the paper's cost model
+//! ([`coord`]).
+//!
+//! Start with the `quickstart` example, or:
+//!
+//! ```
+//! use ccn_suite::model::{CacheModel, ModelParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = CacheModel::new(ModelParams::builder().alpha(0.9).build()?)?;
+//! let optimum = model.optimal_exact()?;
+//! println!("dedicate {:.1}% of each router's store to coordination",
+//!          optimum.ell_star * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub use ccn_coord as coord;
+pub use ccn_model as model;
+pub use ccn_numerics as numerics;
+pub use ccn_sim as sim;
+pub use ccn_topology as topology;
+pub use ccn_zipf as zipf;

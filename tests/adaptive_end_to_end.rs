@@ -1,0 +1,98 @@
+//! Closed-loop test of the adaptive coordinator against the
+//! packet-level simulator: the workload's popularity drifts, the
+//! coordinator observes requests, re-estimates the exponent,
+//! re-provisions, and the re-provisioned deployment must beat the
+//! stale one on the new workload.
+
+use ccn_suite::coord::adaptive::{Adaptation, AdaptiveConfig, AdaptiveCoordinator};
+use ccn_suite::model::ModelParams;
+use ccn_suite::sim::scenario::{steady_state, SteadyStateConfig};
+use ccn_suite::sim::OriginConfig;
+use ccn_suite::topology::datasets;
+use ccn_suite::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CATALOGUE: u64 = 5_000;
+const CAPACITY: u64 = 100;
+
+fn deploy(ell: f64, s_workload: f64) -> f64 {
+    let metrics = steady_state(
+        datasets::abilene(),
+        &SteadyStateConfig {
+            zipf_exponent: s_workload,
+            catalogue: CATALOGUE,
+            capacity: CAPACITY,
+            ell,
+            rate_per_ms: 0.01,
+            horizon_ms: 60_000.0,
+            origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() },
+            seed: 5,
+        },
+    )
+    .expect("deployment runs");
+    metrics.origin_load()
+}
+
+#[test]
+fn adaptation_tracks_popularity_drift() {
+    // Provisioned for a steep catalogue (s = 1.6, little coordination
+    // pays) with a strongly cost-weighted objective...
+    let params = ModelParams::builder()
+        .zipf_exponent(1.6)
+        .routers(11)
+        .catalogue(CATALOGUE as f64)
+        .capacity(CAPACITY as f64)
+        .alpha(0.95)
+        .build()
+        .expect("valid params");
+    let mut coordinator =
+        AdaptiveCoordinator::new(params, AdaptiveConfig::default()).expect("initializes");
+    let stale_ell = coordinator.current_ell();
+
+    // ...then the workload flattens to s = 0.6 (coordination pays a lot).
+    let sampler = ZipfSampler::new(0.6, CATALOGUE).expect("valid sampler");
+    let mut rng = StdRng::seed_from_u64(31);
+    coordinator.observe(sampler.sample_many(&mut rng, 30_000));
+    let adaptation = coordinator.adapt().expect("adapts");
+    let Adaptation::Reprovisioned { estimated_s, .. } = adaptation else {
+        panic!("expected reprovisioning, got {adaptation:?}");
+    };
+    assert!((estimated_s - 0.6).abs() < 0.05, "estimated {estimated_s}");
+    let fresh_ell = coordinator.current_ell();
+    assert!(fresh_ell > stale_ell, "flatter catalogue demands more coordination");
+
+    // The re-provisioned deployment must serve the new workload with
+    // strictly less origin traffic than the stale one.
+    let stale_load = deploy(stale_ell, 0.6);
+    let fresh_load = deploy(fresh_ell, 0.6);
+    assert!(
+        fresh_load < stale_load,
+        "fresh l={fresh_ell:.3} load {fresh_load:.3} vs stale l={stale_ell:.3} load {stale_load:.3}"
+    );
+}
+
+#[test]
+fn no_reprovisioning_on_stationary_workloads() {
+    let params = ModelParams::builder()
+        .zipf_exponent(0.8)
+        .routers(11)
+        .catalogue(CATALOGUE as f64)
+        .capacity(CAPACITY as f64)
+        .alpha(0.9)
+        .build()
+        .expect("valid params");
+    let mut coordinator =
+        AdaptiveCoordinator::new(params, AdaptiveConfig::default()).expect("initializes");
+    let sampler = ZipfSampler::new(0.8, CATALOGUE).expect("valid sampler");
+    let mut rng = StdRng::seed_from_u64(32);
+    for _ in 0..5 {
+        coordinator.observe(sampler.sample_many(&mut rng, 10_000));
+        let _ = coordinator.adapt().expect("adapts");
+    }
+    assert_eq!(
+        coordinator.rounds_executed(),
+        0,
+        "hysteresis must suppress flapping on stationary input"
+    );
+}

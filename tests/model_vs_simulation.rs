@@ -1,0 +1,127 @@
+//! Cross-crate validation: the analytical model's predicted tier
+//! fractions versus the packet-level simulator's measured fractions,
+//! across coordination levels and Zipf exponents.
+
+use ccn_suite::model::{CacheModel, ModelParams};
+use ccn_suite::sim::scenario::{steady_state, SteadyStateConfig};
+use ccn_suite::sim::OriginConfig;
+use ccn_suite::topology::datasets;
+
+fn config(s: f64, ell: f64) -> SteadyStateConfig {
+    SteadyStateConfig {
+        zipf_exponent: s,
+        catalogue: 5_000,
+        capacity: 100,
+        ell,
+        rate_per_ms: 0.01,
+        horizon_ms: 60_000.0,
+        origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() },
+        seed: 1234,
+    }
+}
+
+fn model(s: f64, routers: f64) -> CacheModel {
+    let params = ModelParams::builder()
+        .zipf_exponent(s)
+        .routers_f64(routers)
+        .catalogue(5_000.0)
+        .capacity(100.0)
+        .latency_tiers(0.0, 1.0, 5.0)
+        .alpha(1.0)
+        .build()
+        .expect("valid params");
+    CacheModel::new(params).expect("valid model")
+}
+
+/// The simulated origin load must track the model's origin fraction
+/// within a few percent across the coordination-level sweep.
+#[test]
+fn origin_fraction_matches_model_across_ell() {
+    let graph = datasets::abilene();
+    let m = model(0.8, graph.node_count() as f64);
+    for &ell in &[0.0, 0.3, 0.6, 1.0] {
+        let predicted = m.breakdown(ell * 100.0).origin_fraction;
+        let measured = steady_state(graph.clone(), &config(0.8, ell))
+            .expect("simulation runs")
+            .origin_load();
+        assert!(
+            (predicted - measured).abs() < 0.04,
+            "ell={ell}: predicted {predicted:.3} vs measured {measured:.3}"
+        );
+    }
+}
+
+/// Same agreement for a heavy-tailed exponent above 1 (the model's
+/// other regime).
+#[test]
+fn origin_fraction_matches_model_for_steep_zipf() {
+    let graph = datasets::abilene();
+    let m = model(1.3, graph.node_count() as f64);
+    for &ell in &[0.0, 0.5, 1.0] {
+        let predicted = m.breakdown(ell * 100.0).origin_fraction;
+        let measured = steady_state(graph.clone(), &config(1.3, ell))
+            .expect("simulation runs")
+            .origin_load();
+        // s > 1 inherits the continuous-approximation head error
+        // (see the ablation_continuous experiment), so the tolerance
+        // is wider but the agreement must still hold directionally.
+        assert!(
+            (predicted - measured).abs() < 0.12,
+            "ell={ell}: predicted {predicted:.3} vs measured {measured:.3}"
+        );
+    }
+}
+
+/// The model's local fraction overstates the simulator's only at full
+/// coordination (where holders serve their own slice locally — a 1/n
+/// effect the continuum model ignores).
+#[test]
+fn local_fraction_matches_model_at_partial_coordination() {
+    let graph = datasets::abilene();
+    let m = model(0.8, graph.node_count() as f64);
+    for &ell in &[0.0, 0.3, 0.6] {
+        let predicted = m.breakdown(ell * 100.0).local_fraction;
+        let measured = steady_state(graph.clone(), &config(0.8, ell))
+            .expect("simulation runs")
+            .local_hit_ratio();
+        assert!(
+            (predicted - measured).abs() < 0.06,
+            "ell={ell}: predicted {predicted:.3} vs measured {measured:.3}"
+        );
+    }
+}
+
+/// End-to-end headline: the measured origin-load reduction at the
+/// model's optimal strategy matches the predicted `G_O`.
+#[test]
+fn measured_origin_gain_matches_predicted_g_o() {
+    let graph = datasets::us_a();
+    let m = model(0.8, graph.node_count() as f64);
+    let opt = m.optimal_exact().expect("solves");
+    let predicted = m.gains(opt.x_star).origin_load_reduction;
+
+    let base = steady_state(graph.clone(), &config(0.8, 0.0)).expect("runs");
+    let tuned = steady_state(graph, &config(0.8, opt.ell_star)).expect("runs");
+    let measured = 1.0 - tuned.origin_load() / base.origin_load();
+    assert!(
+        (predicted - measured).abs() < 0.06,
+        "predicted G_O {predicted:.3} vs measured {measured:.3}"
+    );
+}
+
+/// Coordination strictly reduces origin load on every evaluation
+/// topology (the paper's headline direction).
+#[test]
+fn coordination_reduces_origin_load_on_all_datasets() {
+    for graph in datasets::all() {
+        let name = graph.name().to_owned();
+        let base = steady_state(graph.clone(), &config(0.8, 0.0)).expect("runs");
+        let coord = steady_state(graph, &config(0.8, 0.8)).expect("runs");
+        assert!(
+            coord.origin_load() < base.origin_load(),
+            "{name}: {} vs {}",
+            coord.origin_load(),
+            base.origin_load()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Placement-scheme equivalence: range, modular-hash, and rendezvous
+//! partitions of the same coordinated set cover the same contents, so
+//! the *coverage* metrics (origin load, local hits) must coincide
+//! exactly on identical workloads; only peer path lengths may differ
+//! (different holders sit at different distances).
+
+use ccn_suite::sim::store::StaticStore;
+use ccn_suite::sim::workload::zipf_irm;
+use ccn_suite::sim::{
+    CachingMode, ContentId, Metrics, Network, OriginConfig, Placement, SimConfig, Simulator,
+};
+use ccn_suite::topology::datasets;
+
+const CATALOGUE: u64 = 2_000;
+const CAPACITY: u64 = 50;
+const ELL: f64 = 0.6;
+
+fn run_with(make: fn(u64, u64, Vec<usize>) -> Placement) -> Metrics {
+    let graph = datasets::abilene();
+    let n = graph.node_count();
+    let x = (ELL * CAPACITY as f64).round() as u64;
+    let prefix = CAPACITY - x;
+    let start = prefix + 1;
+    let end = start + x * n as u64;
+    let placement = make(start, end, (0..n).collect());
+
+    let mut builder = Network::builder(graph)
+        .placement(placement.clone())
+        .origin(OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() })
+        .caching(CachingMode::Static);
+    for router in 0..n {
+        let mut contents: Vec<ContentId> = (1..=prefix).map(ContentId).collect();
+        contents.extend(placement.slice_of(router).into_iter().map(ContentId));
+        builder = builder
+            .store(router, Box::new(StaticStore::new(contents)))
+            .expect("router exists");
+    }
+    let net = builder.build().expect("valid network");
+    let requests =
+        zipf_irm(&(0..n).collect::<Vec<_>>(), 0.8, CATALOGUE, 0.01, 40_000.0, 7).expect("valid");
+    Simulator::new(net, SimConfig::default()).run(&requests).expect("runs")
+}
+
+#[test]
+fn coverage_metrics_are_scheme_invariant() {
+    let range = run_with(Placement::range);
+    let hash = run_with(Placement::hash);
+    let rendezvous = run_with(Placement::rendezvous);
+
+    for (label, other) in [("hash", &hash), ("rendezvous", &rendezvous)] {
+        assert_eq!(range.completed, other.completed, "{label}");
+        // The coordinated set covers the same contents under every
+        // scheme, so origin escapes are identical request-for-request.
+        assert_eq!(range.origin, other.origin, "{label}: same contents covered");
+        // Local vs peer may differ slightly: a client whose own router
+        // happens to hold a coordinated content scores a local hit,
+        // and which router that is depends on the scheme. The sum is
+        // invariant.
+        assert_eq!(range.local + range.peer, other.local + other.peer, "{label}");
+        let local_delta = range.local.abs_diff(other.local);
+        assert!(
+            (local_delta as f64) < 0.02 * range.completed as f64,
+            "{label}: own-slice effect should be tiny, delta = {local_delta}"
+        );
+    }
+}
+
+#[test]
+fn peer_distances_may_differ_but_stay_bounded() {
+    let range = run_with(Placement::range);
+    let rendezvous = run_with(Placement::rendezvous);
+    // Hop counts differ by holder geometry but remain within the
+    // network diameter of each other on average.
+    assert!(
+        (range.avg_hops() - rendezvous.avg_hops()).abs() < 1.5,
+        "range {} vs rendezvous {}",
+        range.avg_hops(),
+        rendezvous.avg_hops()
+    );
+    assert!(range.max_hops <= 9 && rendezvous.max_hops <= 9);
+}

@@ -1,0 +1,113 @@
+//! End-to-end pipeline: measured topology → provisioning plan →
+//! coordination round → simulated deployment, checking that every
+//! stage's numbers are mutually consistent.
+
+use ccn_suite::coord::{Coordinator, CoordinatorConfig};
+use ccn_suite::model::planner::{params_from_topology, plan, PlannerConfig};
+use ccn_suite::model::CacheModel;
+use ccn_suite::sim::scenario::{steady_state, SteadyStateConfig};
+use ccn_suite::sim::OriginConfig;
+use ccn_suite::topology::{datasets, params::extract};
+
+/// Planner workload small enough for a fast simulated deployment.
+fn planner_config() -> PlannerConfig {
+    PlannerConfig {
+        zipf_exponent: 0.8,
+        catalogue: 5_000.0,
+        capacity: 100.0,
+        alpha: 0.9,
+        gamma: 5.0,
+        use_hop_metric: true,
+    }
+}
+
+#[test]
+fn plan_provision_deploy_pipeline_is_consistent() {
+    let graph = datasets::abilene();
+    let topo = extract(&graph);
+    let config = planner_config();
+
+    // Stage 1: plan.
+    let plan = plan(&topo, &config).expect("plans");
+    assert!(plan.lemma1_convex && plan.theorem1_unique);
+
+    // Stage 2: coordination round enacting the plan.
+    let params = params_from_topology(&topo, &config).expect("valid params");
+    let round = Coordinator::new(CoordinatorConfig::default())
+        .provision(params)
+        .expect("provisions");
+    // The round solves the same optimum the plan reported.
+    assert!(
+        (round.strategy.ell_star - plan.strategy.ell_star).abs() < 1e-9,
+        "round {} vs plan {}",
+        round.strategy.ell_star,
+        plan.strategy.ell_star
+    );
+    // Its realized communication cost equals the model's W(x*).
+    let model = CacheModel::new(params).expect("valid model");
+    let x = round.strategy.x_star.round();
+    let realized = round.cost.model_cost(params.unit_cost(), params.fixed_cost());
+    assert!((realized - model.coordination_cost(x)).abs() < 1e-9);
+    // Slices are disjoint and fit each router's store.
+    for a in &round.assignments {
+        assert!(a.storage_demand() <= params.capacity() as u64);
+    }
+
+    // Stage 3: deploy the provisioned level in the simulator and
+    // check the realized origin load against the plan's expectation.
+    let measured = steady_state(
+        graph,
+        &SteadyStateConfig {
+            zipf_exponent: config.zipf_exponent,
+            catalogue: config.catalogue as u64,
+            capacity: config.capacity as u64,
+            ell: round.strategy.ell_star,
+            rate_per_ms: 0.01,
+            horizon_ms: 60_000.0,
+            origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() },
+            seed: 77,
+        },
+    )
+    .expect("deployment runs");
+    assert!(
+        (measured.origin_load() - plan.gains.origin_load).abs() < 0.05,
+        "measured {} vs planned {}",
+        measured.origin_load(),
+        plan.gains.origin_load
+    );
+}
+
+#[test]
+fn plans_rank_topologies_by_coordination_appetite() {
+    // With identical workloads, a larger network (CERNET, n = 36)
+    // pools more distinct contents than a smaller one (Abilene,
+    // n = 11), so its optimal plan must promise a larger origin-load
+    // reduction.
+    let config = planner_config();
+    let abilene = plan(&extract(&datasets::abilene()), &config).expect("plans");
+    let cernet = plan(&extract(&datasets::cernet()), &config).expect("plans");
+    assert!(
+        cernet.gains.origin_load_reduction > abilene.gains.origin_load_reduction,
+        "cernet {} vs abilene {}",
+        cernet.gains.origin_load_reduction,
+        abilene.gains.origin_load_reduction
+    );
+}
+
+#[test]
+fn provisioning_round_message_count_scales_with_x() {
+    let topo = extract(&datasets::us_a());
+    let config = planner_config();
+    let coordinator = Coordinator::new(CoordinatorConfig::default());
+    let costly = params_from_topology(&topo, &PlannerConfig { alpha: 0.95, ..config })
+        .expect("valid params");
+    let frugal = params_from_topology(&topo, &PlannerConfig { alpha: 0.3, ..config })
+        .expect("valid params");
+    let costly_round = coordinator.provision(costly).expect("provisions");
+    let frugal_round = coordinator.provision(frugal).expect("provisions");
+    assert!(
+        costly_round.cost.placement_entries > frugal_round.cost.placement_entries,
+        "performance-weighted plans coordinate more contents"
+    );
+    assert!(costly_round.strategy.ell_star > frugal_round.strategy.ell_star);
+}
