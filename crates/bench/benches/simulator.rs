@@ -19,10 +19,7 @@ fn simulator_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("steady_state_abilene");
     for &requests in &[1_000u64, 10_000] {
         let horizon = requests as f64 / (11.0 * 0.01); // 11 clients x 0.01 req/ms
-        let config = SteadyStateConfig {
-            horizon_ms: horizon,
-            ..SteadyStateConfig::default()
-        };
+        let config = SteadyStateConfig { horizon_ms: horizon, ..SteadyStateConfig::default() };
         group.throughput(Throughput::Elements(requests));
         group.bench_with_input(BenchmarkId::from_parameter(requests), &config, |b, cfg| {
             b.iter(|| steady_state(datasets::abilene(), black_box(cfg)).expect("runs"))

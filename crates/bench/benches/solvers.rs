@@ -28,11 +28,8 @@ fn solver_benches(c: &mut Criterion) {
     // Sensitivity of solve time to network size (Figure 6's sweep).
     let mut group = c.benchmark_group("solvers_vs_network_size");
     for n in [10.0, 100.0, 500.0] {
-        let params = ModelParams::builder()
-            .routers_f64(n)
-            .alpha(0.8)
-            .build()
-            .expect("valid params");
+        let params =
+            ModelParams::builder().routers_f64(n).alpha(0.8).build().expect("valid params");
         let model = CacheModel::new(params).expect("valid model");
         group.bench_with_input(BenchmarkId::new("exact", n as u64), &model, |b, m| {
             b.iter(|| m.optimal_exact().expect("solves"))

@@ -49,7 +49,9 @@ fn store_benches(c: &mut Criterion) {
             b.iter(|| {
                 let mut acc = 0usize;
                 for rank in 1..1_001u64 {
-                    acc += placement.holder(black_box(ContentId(rank * 97 % 100_000 + 1))).unwrap_or(0);
+                    acc += placement
+                        .holder(black_box(ContentId(rank * 97 % 100_000 + 1)))
+                        .unwrap_or(0);
                 }
                 acc
             })

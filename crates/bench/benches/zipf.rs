@@ -6,7 +6,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
-use ccn_zipf::{generalized_harmonic, generalized_harmonic_exact, ContinuousZipf, Zipf, ZipfSampler};
+use ccn_zipf::{
+    generalized_harmonic, generalized_harmonic_exact, ContinuousZipf, Zipf, ZipfSampler,
+};
 
 fn zipf_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("harmonic");

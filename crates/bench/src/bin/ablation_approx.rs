@@ -22,11 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut worst_at_n: f64 = 0.0;
         for &s in &[0.3, 0.8, 1.3, 1.8] {
             for &alpha in &[0.4, 0.8, 1.0] {
-                let params = ModelParams::builder()
-                    .zipf_exponent(s)
-                    .routers_f64(n)
-                    .alpha(alpha)
-                    .build()?;
+                let params =
+                    ModelParams::builder().zipf_exponent(s).routers_f64(n).alpha(alpha).build()?;
                 let model = CacheModel::new(params)?;
                 let exact = model.optimal_exact()?.ell_star;
                 let fp = model.optimal_fixed_point()?.ell_star;
@@ -36,9 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if alpha == 1.0 {
                     worst_cf = worst_cf.max((cf - exact).abs());
                 }
-                println!(
-                    "{s:>5} {n:>6} {alpha:>6} | {exact:>9.4} {fp:>11.4} {cf:>12.4}"
-                );
+                println!("{s:>5} {n:>6} {alpha:>6} | {exact:>9.4} {fp:>11.4} {cf:>12.4}");
                 let _ = writeln!(csv, "{s},{n},{alpha},{exact},{fp},{cf}");
             }
         }

@@ -18,10 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let f = ContinuousZipf::new(s, n_cat)?;
             let cdf_dev = f.max_deviation_from_discrete(128)?;
 
-            let params = ModelParams::builder()
-                .zipf_exponent(s)
-                .catalogue(n_cat)
-                .build()?;
+            let params = ModelParams::builder().zipf_exponent(s).catalogue(n_cat).build()?;
             let model = CacheModel::new(params)?;
             let mut t_dev: f64 = 0.0;
             for i in 0..=20 {
@@ -40,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // How much does the Eq. 6 error bias the *optimum* itself? Compare
     // the continuous optimizer against the fully discrete one (exact
     // harmonic sums, integer slots) on a moderate catalogue.
-    println!("\noptimum bias: continuous vs fully discrete optimizer (N = 2e4, c = 200, alpha = 0.9)");
+    println!(
+        "\noptimum bias: continuous vs fully discrete optimizer (N = 2e4, c = 200, alpha = 0.9)"
+    );
     println!("{:>5} | {:>12} {:>12} {:>10}", "s", "l*(cont)", "l*(disc)", "|delta|");
     let mut worst_bias: f64 = 0.0;
     for &s in &[0.3, 0.8, 1.2, 1.7] {

@@ -33,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let hash = moved(Placement::hash);
         let hrw = moved(Placement::rendezvous);
         let ideal = contents / (n as u64 + 1);
-        println!(
-            "{n:>4} -> {:>4} | {range:>10} {hash:>10} {hrw:>12} | {ideal:>8}",
-            n + 1
-        );
+        println!("{n:>4} -> {:>4} | {range:>10} {hash:>10} {hrw:>12} | {ideal:>8}", n + 1);
         let _ = writeln!(csv, "{n},{range},{hash},{hrw},{ideal}");
         assert!(hrw < 2 * ideal, "rendezvous moves ~1/(n+1) of the pool");
         assert!(hrw * 3 < hash, "modular hashing reshuffles most of the pool");

@@ -9,9 +9,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ends of the range.
     for s in &data.series {
         let points = &s.points;
-        let (peak_s, peak) = points
-            .iter()
-            .fold((0.0, 0.0), |acc, &(x, y)| if y > acc.1 { (x, y) } else { acc });
+        let (peak_s, peak) =
+            points.iter().fold((0.0, 0.0), |acc, &(x, y)| if y > acc.1 { (x, y) } else { acc });
         let at_ends = points.first().expect("non-empty").1.max(points.last().expect("non-empty").1);
         // The peak drifts right as alpha grows (the cost term favours
         // steeper exponents) and sits at the s -> 2 boundary for

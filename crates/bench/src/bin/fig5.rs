@@ -22,13 +22,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert!(first < 0.3, "{}: l* -> 0 as s -> 0, got {first}", s.label);
             assert!(max > first, "{}: interior maximum exists", s.label);
         } else {
-            let (peak_s, peak) = s
-                .points
-                .iter()
-                .fold((0.0, 0.0), |acc, &(x, y)| if y > acc.1 { (x, y) } else { acc });
+            let (peak_s, peak) =
+                s.points
+                    .iter()
+                    .fold((0.0, 0.0), |acc, &(x, y)| if y > acc.1 { (x, y) } else { acc });
             println!("{}: max l* = {peak:.3} at s = {peak_s:.2}", s.label);
         }
     }
-    println!("shape checks PASSED: alpha<1 vanishes at s->0 with interior max; alpha=1 anchors hold");
+    println!(
+        "shape checks PASSED: alpha<1 vanishes at s->0 with interior max; alpha=1 anchors hold"
+    );
     Ok(())
 }

@@ -8,10 +8,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Shape check: G_O peaks at an interior s (the paper reports the
     // maximum around s ~ 1.3 for small alpha).
     for s in &data.series {
-        let (peak_s, peak) = s
-            .points
-            .iter()
-            .fold((0.0, 0.0), |acc, &(x, y)| if y > acc.1 { (x, y) } else { acc });
+        let (peak_s, peak) =
+            s.points.iter().fold((0.0, 0.0), |acc, &(x, y)| if y > acc.1 { (x, y) } else { acc });
         let first = s.points.first().expect("non-empty").1;
         let last = s.points.last().expect("non-empty").1;
         if s.label != "alpha=1" {

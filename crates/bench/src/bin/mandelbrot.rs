@@ -33,20 +33,10 @@ fn run_with_shift(q: f64) -> f64 {
         builder = builder.store(router, Box::new(StaticStore::new(contents))).expect("router");
     }
     let net = builder.build().expect("valid network");
-    let requests = mandelbrot_irm(
-        &(0..n).collect::<Vec<_>>(),
-        0.8,
-        q,
-        CATALOGUE,
-        0.01,
-        80_000.0,
-        77,
-    )
-    .expect("valid workload");
-    Simulator::new(net, SimConfig::default())
-        .run(&requests)
-        .expect("runs")
-        .origin_load()
+    let requests =
+        mandelbrot_irm(&(0..n).collect::<Vec<_>>(), 0.8, q, CATALOGUE, 0.01, 80_000.0, 77)
+            .expect("valid workload");
+    Simulator::new(net, SimConfig::default()).run(&requests).expect("runs").origin_load()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -77,10 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?
     .origin_load();
     let q0 = run_with_shift(0.0);
-    assert!(
-        (q0 - zipf_load).abs() < 0.03,
-        "q=0 sanity: {q0:.3} vs plain scenario {zipf_load:.3}"
-    );
+    assert!((q0 - zipf_load).abs() < 0.03, "q=0 sanity: {q0:.3} vs plain scenario {zipf_load:.3}");
     let path = ccn_bench::experiment_dir().join("mandelbrot.csv");
     std::fs::write(&path, csv)?;
     println!("\nhead flattening starves popularity-ranked provisioning: the same");

@@ -7,8 +7,8 @@
 
 use std::fmt::Write as _;
 
-use ccn_model::regimes::{phase_map, Regime};
 use ccn_model::presets;
+use ccn_model::regimes::{phase_map, Regime};
 use ccn_numerics::sweep::linspace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,6 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         map.cells[i].last().expect("non-empty row").0
     };
     assert!(ell_at_one(0.25) > ell_at_one(1.82));
-    println!("shape checks PASSED: tiny alpha => no coordination; s<1 out-coordinates s>1 at alpha=1");
+    println!(
+        "shape checks PASSED: tiny alpha => no coordination; s<1 out-coordinates s>1 at alpha=1"
+    );
     Ok(())
 }

@@ -1,0 +1,158 @@
+//! Resilience cross-validation: the analytic degraded performance
+//! `T_k(x)` versus the fault-injected simulator, swept over the
+//! coordination level `ℓ` and the number of failed routers `k` on
+//! Abilene and US-A.
+//!
+//! For each point the `k` routers holding the tail slices of the
+//! coordinated range are crashed permanently at t = 0 (the geometry
+//! the tail-slice analysis assumes) and clients are attached to the
+//! survivors. The model is calibrated to the simulator's latency
+//! semantics: d0 = 0, d1 = twice the mean pairwise one-way latency
+//! (peer fetches are charged round-trip), d2 = the flat origin
+//! latency.
+//!
+//! Run with: `cargo run --release -p ccn-bench --bin resilience`
+
+use std::fmt::Write as _;
+
+use ccn_model::{CacheModel, ModelParams};
+use ccn_sim::scenario::{steady_state_with_failures, SteadyStateConfig};
+use ccn_sim::{FailureConfig, FailureModel, FailureScenario, OriginConfig};
+use ccn_topology::{datasets, params, Graph};
+
+const ORIGIN_MS: f64 = 50.0;
+
+fn config(ell: f64) -> SteadyStateConfig {
+    SteadyStateConfig {
+        zipf_exponent: 0.8,
+        catalogue: 50_000,
+        capacity: 100,
+        ell,
+        rate_per_ms: 0.02,
+        horizon_ms: 60_000.0,
+        origin: OriginConfig { latency_ms: ORIGIN_MS, hops: 4, gateway: None },
+        seed: 42,
+    }
+}
+
+fn sweep(graph: &Graph, csv: &mut String) -> Result<f64, Box<dyn std::error::Error>> {
+    let topo = params::extract(graph);
+    let n = topo.n;
+    let d1 = 2.0 * topo.mean_latency_ms;
+    let gamma = (ORIGIN_MS - d1) / d1;
+    println!("\n{} (n = {n}, d1 = {d1:.2} ms round-trip, gamma = {gamma:.2}):", topo.name);
+    println!("{:>6} {:>3} | {:>12} {:>12} {:>8}", "l", "k", "analytic", "simulated", "error");
+    let mut worst: f64 = 0.0;
+    for ell in [0.25, 0.5, 0.75] {
+        let cfg = config(ell);
+        let model_params = ModelParams::builder()
+            .zipf_exponent(cfg.zipf_exponent)
+            .routers_f64(n as f64)
+            .catalogue(cfg.catalogue as f64)
+            .capacity(cfg.capacity as f64)
+            .latency_tiers(0.0, d1, gamma)
+            .amortized_unit_cost(topo.w_ms)
+            .alpha(0.8)
+            .build()?;
+        let model = CacheModel::new(model_params)?;
+        let x = (ell * cfg.capacity as f64).round();
+        for k in [0usize, 1, 2, 4] {
+            let analytic = model.degraded_performance_discrete(x, k as u32)?;
+            let mut scenario = FailureScenario::none();
+            for i in 0..k {
+                scenario = scenario.with_router_outage(n - 1 - i, 0.0, f64::INFINITY);
+            }
+            let survivors: Vec<usize> = (0..n - k).collect();
+            let metrics = steady_state_with_failures(graph.clone(), &cfg, scenario, &survivors)?;
+            let simulated = metrics.avg_latency_ms();
+            let rel = (simulated - analytic).abs() / analytic;
+            worst = worst.max(rel);
+            println!(
+                "{ell:>6} {k:>3} | {analytic:>9.3} ms {simulated:>9.3} ms {:>7.2}%",
+                rel * 100.0
+            );
+            let _ =
+                writeln!(csv, "{},{ell},{k},{analytic:.4},{simulated:.4},{:.5}", topo.name, rel);
+        }
+    }
+    Ok(worst)
+}
+
+/// Seeded churn: routers crash and recover with exponential
+/// MTBF/MTTR, so the steady-state unavailability is
+/// `rho = MTTR / (MTBF + MTTR)`. The expected-random degradation
+/// model (`expected_degraded_breakdown`) predicts the latency at that
+/// rho; the simulator replays a drawn schedule against the same
+/// deployment with every client attached.
+fn rate_sweep(graph: &Graph, csv: &mut String) -> Result<(), Box<dyn std::error::Error>> {
+    let topo = params::extract(graph);
+    let n = topo.n;
+    let d1 = 2.0 * topo.mean_latency_ms;
+    let gamma = (ORIGIN_MS - d1) / d1;
+    let cfg = config(0.5);
+    let model_params = ModelParams::builder()
+        .zipf_exponent(cfg.zipf_exponent)
+        .routers_f64(n as f64)
+        .catalogue(cfg.catalogue as f64)
+        .capacity(cfg.capacity as f64)
+        .latency_tiers(0.0, d1, gamma)
+        .amortized_unit_cost(topo.w_ms)
+        .alpha(0.8)
+        .build()?;
+    let model = CacheModel::new(model_params)?;
+    let x = (cfg.ell * cfg.capacity as f64).round();
+    let mttr = 2_000.0;
+    println!("\n{} churn at l = {} (MTTR = {mttr} ms):", topo.name, cfg.ell);
+    println!("{:>10} {:>7} | {:>12} {:>12} {:>10}", "MTBF", "rho", "expected", "simulated", "lost");
+    let mut last_clean = f64::NAN;
+    for mtbf in [f64::INFINITY, 60_000.0, 20_000.0, 6_000.0] {
+        let rho = if mtbf.is_finite() { mttr / (mtbf + mttr) } else { 0.0 };
+        let expected = model.expected_degraded_breakdown(x, rho)?.expected_latency;
+        let scenario =
+            FailureModel::new(FailureConfig { router_mtbf_ms: mtbf, ..Default::default() }, 7)?
+                .schedule(n, &[], cfg.horizon_ms);
+        let metrics = steady_state_with_failures(graph.clone(), &cfg, scenario, &[])?;
+        let simulated = metrics.avg_latency_ms();
+        if mtbf.is_infinite() {
+            last_clean = simulated;
+        }
+        let label = if mtbf.is_finite() { format!("{mtbf:.0}") } else { "inf".into() };
+        println!(
+            "{label:>10} {rho:>7.3} | {expected:>9.3} ms {simulated:>9.3} ms {:>10}",
+            metrics.requests_lost
+        );
+        let _ = writeln!(
+            csv,
+            "{},churn,{rho:.4},{expected:.4},{simulated:.4},{}",
+            topo.name, metrics.requests_lost
+        );
+        // Churn must not make the surviving traffic cheaper than the
+        // clean run by more than jitter: degradation is one-sided.
+        assert!(
+            simulated > last_clean - 1.0,
+            "churn at MTBF {mtbf} improved latency: {simulated} vs clean {last_clean}"
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("degraded performance T_k: analytic model vs fault-injected simulation");
+    let mut csv = String::from("topology,ell,k,analytic_ms,simulated_ms,rel_error\n");
+    let mut worst: f64 = 0.0;
+    for graph in [datasets::abilene(), datasets::us_a()] {
+        worst = worst.max(sweep(&graph, &mut csv)?);
+    }
+    for graph in [datasets::abilene(), datasets::us_a()] {
+        rate_sweep(&graph, &mut csv)?;
+    }
+    let path = ccn_bench::experiment_dir().join("resilience.csv");
+    std::fs::write(&path, csv)?;
+    println!("\nworst relative error across the deterministic sweep: {:.2}%", worst * 100.0);
+    println!("csv written to {}", path.display());
+    // The acceptance bar from the issue: 3% on Abilene for k <= 2 at
+    // l = 0.5 is asserted by tests/resilience.rs; here we only guard
+    // against gross divergence across the wider sweep.
+    assert!(worst < 0.10, "analytic and simulated T_k diverged: {:.2}%", worst * 100.0);
+    Ok(())
+}

@@ -19,10 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         co.origin_load() * 100.0
     );
     println!("{:<22} {:>16.4} {:>14.4}", "routing hop count", nc.avg_hops(), co.avg_hops());
-    println!(
-        "{:<22} {:>16} {:>14}",
-        "coordination cost", 0, outcome.coordination_messages
-    );
+    println!("{:<22} {:>16} {:>14}", "coordination cost", 0, outcome.coordination_messages);
 
     // Exact Table-I checks.
     assert!((nc.origin_load() - 1.0 / 3.0).abs() < 1e-9);

@@ -16,7 +16,9 @@ const CATALOGUE: u64 = 5_000;
 const CAPACITY: u64 = 100;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut csv = String::from("topology,ell,predicted_origin,measured_origin,predicted_local,measured_local\n");
+    let mut csv = String::from(
+        "topology,ell,predicted_origin,measured_origin,predicted_local,measured_local\n",
+    );
     let mut worst: f64 = 0.0;
     for graph in datasets::all() {
         let name = graph.name().to_owned();

@@ -228,8 +228,7 @@ pub fn figure_data(figure: Figure) -> Result<FigureData, ModelError> {
 /// created on first use.
 #[must_use]
 pub fn experiment_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     fs::create_dir_all(&dir).expect("can create target/experiments");
     dir.canonicalize().unwrap_or(dir)
 }

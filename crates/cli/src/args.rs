@@ -44,9 +44,8 @@ impl Args {
             let Some(key) = token.strip_prefix("--") else {
                 return Err(ArgError(format!("unexpected positional argument {token:?}")));
             };
-            let value = iter
-                .next()
-                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            let value =
+                iter.next().ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
             if flags.insert(key.to_owned(), value.clone()).is_some() {
                 return Err(ArgError(format!("flag --{key} given twice")));
             }
@@ -74,9 +73,9 @@ impl Args {
     pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| ArgError(format!("flag --{key}: {raw:?} is not a number"))),
+            Some(raw) => {
+                raw.parse().map_err(|_| ArgError(format!("flag --{key}: {raw:?} is not a number")))
+            }
         }
     }
 

@@ -2,10 +2,11 @@
 
 use std::fmt::Write as _;
 
+use ccn_coord::{CoordinatorConfig, ResilientCoordinator, RetryPolicy, RoundOutcome};
 use ccn_model::planner::{capacity_for_target_origin_load, plan, PlannerConfig};
 use ccn_model::{CacheModel, ModelParams};
-use ccn_sim::scenario::{steady_state, SteadyStateConfig};
-use ccn_sim::OriginConfig;
+use ccn_sim::scenario::{steady_state, steady_state_with_failures, SteadyStateConfig};
+use ccn_sim::{FailureScenario, OriginConfig};
 use ccn_topology::{datasets, export, io, metrics, params, Graph};
 
 use crate::args::{ArgError, Args};
@@ -31,6 +32,12 @@ COMMANDS
   capacity   smallest per-router capacity meeting a target origin load
              --topology <name|file> --target 0.3 --max 1e6
              --s --catalogue --alpha --gamma
+  resilience degraded performance T_k under k failed routers: analytic
+             model vs fault-injected simulation, plus a provisioning
+             round under message loss
+             --topology <name|file> --max-failed 2 --loss 0.1
+             --s 0.8 --catalogue 50000 --capacity 100 --ell 0.5
+             --rate 0.02 --horizon 30000 --seed 42
   help       this text
 ";
 
@@ -67,9 +74,26 @@ fn solve(args: &Args) -> Result<String, ArgError> {
     let gains = model.gains(opt.x_star);
     let b = model.breakdown(opt.x_star);
     let mut out = String::new();
-    let _ = writeln!(out, "optimal strategy: l* = {:.4} (x* = {:.0} of {:.0} slots)", opt.ell_star, opt.x_star, params.capacity());
-    let _ = writeln!(out, "tiers at l*: local {:.1}%, peer {:.1}%, origin {:.1}%", b.local_fraction * 100.0, b.peer_fraction * 100.0, b.origin_fraction * 100.0);
-    let _ = writeln!(out, "gains vs non-coordinated: G_O = {:.1}%, G_R = {:.1}%", gains.origin_load_reduction * 100.0, gains.routing_improvement * 100.0);
+    let _ = writeln!(
+        out,
+        "optimal strategy: l* = {:.4} (x* = {:.0} of {:.0} slots)",
+        opt.ell_star,
+        opt.x_star,
+        params.capacity()
+    );
+    let _ = writeln!(
+        out,
+        "tiers at l*: local {:.1}%, peer {:.1}%, origin {:.1}%",
+        b.local_fraction * 100.0,
+        b.peer_fraction * 100.0,
+        b.origin_fraction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "gains vs non-coordinated: G_O = {:.1}%, G_R = {:.1}%",
+        gains.origin_load_reduction * 100.0,
+        gains.routing_improvement * 100.0
+    );
     Ok(out)
 }
 
@@ -119,8 +143,16 @@ fn topology_cmd(args: &Args) -> Result<String, ArgError> {
 
 fn simulate(args: &Args) -> Result<String, ArgError> {
     args.ensure_known(&[
-        "topology", "ell", "s", "catalogue", "capacity", "rate", "horizon", "seed",
-        "origin-latency", "origin-hops",
+        "topology",
+        "ell",
+        "s",
+        "catalogue",
+        "capacity",
+        "rate",
+        "horizon",
+        "seed",
+        "origin-latency",
+        "origin-hops",
     ])?;
     let graph = load_topology(&args.str_or("topology", "abilene"))?;
     let config = SteadyStateConfig {
@@ -148,7 +180,11 @@ fn simulate(args: &Args) -> Result<String, ArgError> {
     if let Some(p99) = m.latency_percentile(0.99) {
         let _ = writeln!(out, "  p99 latency  : {p99:.2} ms");
     }
-    let _ = writeln!(out, "  messages     : {} interests, {} data", m.interest_messages, m.data_messages);
+    let _ = writeln!(
+        out,
+        "  messages     : {} interests, {} data",
+        m.interest_messages, m.data_messages
+    );
     Ok(out)
 }
 
@@ -180,6 +216,132 @@ fn capacity_cmd(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn resilience_cmd(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&[
+        "topology",
+        "s",
+        "catalogue",
+        "capacity",
+        "ell",
+        "rate",
+        "horizon",
+        "seed",
+        "max-failed",
+        "loss",
+    ])?;
+    let graph = load_topology(&args.str_or("topology", "abilene"))?;
+    let topo = params::extract(&graph);
+    let n = topo.n;
+    let max_failed = usize::try_from(args.u64_or("max-failed", 2)?)
+        .map_err(|e| ArgError(format!("--max-failed: {e}")))?;
+    if max_failed >= n {
+        return Err(ArgError(format!(
+            "--max-failed {max_failed} must leave at least one of the {n} routers alive"
+        )));
+    }
+    let loss = args.f64_or("loss", 0.1)?;
+    let config = SteadyStateConfig {
+        zipf_exponent: args.f64_or("s", 0.8)?,
+        catalogue: args.u64_or("catalogue", 50_000)?,
+        capacity: args.u64_or("capacity", 100)?,
+        ell: args.f64_or("ell", 0.5)?,
+        rate_per_ms: args.f64_or("rate", 0.02)?,
+        horizon_ms: args.f64_or("horizon", 30_000.0)?,
+        origin: OriginConfig { latency_ms: 50.0, hops: 4, gateway: None },
+        seed: args.u64_or("seed", 42)?,
+    };
+
+    // Calibrate the analytic model to the measured topology: d0 = 0
+    // (local hits are free), d1 = twice the topology's mean pairwise
+    // latency (the simulator charges peer fetches round-trip —
+    // interest out plus data back — while the gateway-less origin
+    // charges its flat latency once), d2 = the simulated origin
+    // latency.
+    let d1 = 2.0 * topo.mean_latency_ms;
+    let gamma = (config.origin.latency_ms - d1) / d1;
+    let model_params = ModelParams::builder()
+        .zipf_exponent(config.zipf_exponent)
+        .routers_f64(n as f64)
+        .catalogue(config.catalogue as f64)
+        .capacity(config.capacity as f64)
+        .latency_tiers(0.0, d1, gamma)
+        .amortized_unit_cost(topo.w_ms)
+        .alpha(0.8)
+        .build()
+        .map_err(|e| ArgError(e.to_string()))?;
+    let model = CacheModel::new(model_params).map_err(|e| ArgError(e.to_string()))?;
+    let x = (config.ell * config.capacity as f64).round();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "degraded performance on {} (n = {n}, l = {}, x = {x:.0}):",
+        topo.name, config.ell
+    );
+    let _ = writeln!(out, "  {:>3}  {:>12}  {:>12}  {:>8}", "k", "analytic", "simulated", "error");
+    for k in 0..=max_failed {
+        let analytic = model
+            .degraded_performance_discrete(x, k as u32)
+            .map_err(|e| ArgError(e.to_string()))?;
+        // The analysis assumes the k lost routers held the tail slices
+        // of the coordinated range; with the range partition that is
+        // routers n−1, n−2, …, so crash exactly those at t = 0 and
+        // attach clients to the survivors.
+        let mut scenario = FailureScenario::none();
+        for i in 0..k {
+            scenario = scenario.with_router_outage(n - 1 - i, 0.0, f64::INFINITY);
+        }
+        let survivors: Vec<usize> = (0..n - k).collect();
+        let m = steady_state_with_failures(graph.clone(), &config, scenario, &survivors)
+            .map_err(|e| ArgError(e.to_string()))?;
+        let simulated = m.avg_latency_ms();
+        let rel = (simulated - analytic).abs() / analytic;
+        let _ = writeln!(
+            out,
+            "  {k:>3}  {analytic:>9.3} ms  {simulated:>9.3} ms  {:>7.2}%",
+            rel * 100.0
+        );
+    }
+
+    // Harden one provisioning round against the same adversity: every
+    // protocol message is lost with probability `loss`, retried up to
+    // the per-message cap, with bounded-backoff round retries.
+    let mut rc = ResilientCoordinator::new(CoordinatorConfig::default(), RetryPolicy::default());
+    let report =
+        rc.provision(*model.params(), loss, config.seed).map_err(|e| ArgError(e.to_string()))?;
+    let _ = writeln!(out);
+    let _ = writeln!(out, "provisioning round at loss p = {loss}:");
+    match &report.outcome {
+        RoundOutcome::Converged(round) => {
+            let _ = writeln!(
+                out,
+                "  converged on attempt {} of {} (l* = {:.4}, {} routers assigned)",
+                report.attempts.len(),
+                RetryPolicy::default().max_round_attempts,
+                round.strategy.ell_star,
+                round.assignments.len()
+            );
+        }
+        RoundOutcome::Aborted { last_known_good } => {
+            let _ = writeln!(
+                out,
+                "  aborted after {} attempts; last known good: {}",
+                report.attempts.len(),
+                if last_known_good.is_some() { "kept" } else { "none" }
+            );
+        }
+    }
+    let _ = writeln!(out, "  transmissions: {} total", report.total_transmissions);
+    if let Some(analytic) = &report.analytic {
+        let _ = writeln!(
+            out,
+            "  analytic inflation: {:.3}x per message, {:.1} expected rounds to drain",
+            analytic.expected_transmissions, analytic.expected_rounds
+        );
+    }
+    Ok(out)
+}
+
 /// Runs a parsed command, returning its rendered report.
 ///
 /// # Errors
@@ -193,6 +355,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "topology" => topology_cmd(args),
         "simulate" => simulate(args),
         "capacity" => capacity_cmd(args),
+        "resilience" => resilience_cmd(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -210,7 +373,7 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let text = run_tokens(&["help"]).unwrap();
-        for cmd in ["solve", "plan", "topology", "simulate", "capacity"] {
+        for cmd in ["solve", "plan", "topology", "simulate", "capacity", "resilience"] {
             assert!(text.contains(cmd), "usage is missing {cmd}");
         }
     }
@@ -259,8 +422,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tiny.topo");
         std::fs::write(&path, "# name: Tiny\nnode a 0 0\nnode b 1 1\nedge a b 3.0\n").unwrap();
-        let text =
-            run_tokens(&["topology", "--topology", path.to_str().unwrap()]).unwrap();
+        let text = run_tokens(&["topology", "--topology", path.to_str().unwrap()]).unwrap();
         assert!(text.contains("Tiny"));
         assert!(text.contains("n = 2"));
         let missing = run_tokens(&["topology", "--topology", "/nonexistent/x.topo"]);
@@ -269,16 +431,9 @@ mod tests {
 
     #[test]
     fn simulate_produces_metrics() {
-        let text = run_tokens(&[
-            "simulate",
-            "--topology",
-            "abilene",
-            "--ell",
-            "0.8",
-            "--horizon",
-            "5000",
-        ])
-        .unwrap();
+        let text =
+            run_tokens(&["simulate", "--topology", "abilene", "--ell", "0.8", "--horizon", "5000"])
+                .unwrap();
         assert!(text.contains("origin load"));
         assert!(text.contains("p99 latency"));
     }
@@ -299,6 +454,36 @@ mod tests {
         assert!(text.contains("provisioning plan"));
         let err = run_tokens(&["capacity", "--target", "2.0"]).unwrap_err();
         assert!(err.to_string().contains("target"));
+    }
+
+    #[test]
+    fn resilience_compares_model_and_simulation() {
+        let text = run_tokens(&[
+            "resilience",
+            "--topology",
+            "abilene",
+            "--max-failed",
+            "1",
+            "--catalogue",
+            "5000",
+            "--horizon",
+            "5000",
+        ])
+        .unwrap();
+        assert!(text.contains("degraded performance"), "{text}");
+        assert!(text.contains("k"), "{text}");
+        assert!(text.contains("provisioning round"), "{text}");
+        assert!(
+            text.contains("converged") || text.contains("aborted"),
+            "round outcome missing: {text}"
+        );
+    }
+
+    #[test]
+    fn resilience_rejects_killing_every_router() {
+        let err =
+            run_tokens(&["resilience", "--topology", "abilene", "--max-failed", "11"]).unwrap_err();
+        assert!(err.to_string().contains("alive"), "{err}");
     }
 
     #[test]

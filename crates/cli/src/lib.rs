@@ -7,6 +7,9 @@
 //! - `ccn plan` — provisioning plan for a named or imported topology;
 //! - `ccn topology` — Table II/III parameters, structure, DOT export;
 //! - `ccn simulate` — steady-state packet simulation of a deployment;
+//! - `ccn resilience` — degraded performance `T_k` under `k` failed
+//!   routers (analytic model vs fault-injected simulation) and a
+//!   provisioning round under message loss;
 //! - `ccn help` — usage.
 
 #![deny(missing_docs)]

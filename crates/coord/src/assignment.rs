@@ -61,11 +61,7 @@ pub fn centrality_ordered_slices(
 ) -> Vec<RouterAssignment> {
     let centrality = metrics::closeness_centrality(graph);
     let mut order: Vec<usize> = (0..graph.node_count()).collect();
-    order.sort_by(|&a, &b| {
-        centrality[b]
-            .total_cmp(&centrality[a])
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| centrality[b].total_cmp(&centrality[a]).then(a.cmp(&b)));
     order
         .into_iter()
         .enumerate()

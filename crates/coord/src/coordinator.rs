@@ -35,6 +35,23 @@ pub struct ProvisioningRound {
     pub cost: CostAccounting,
 }
 
+/// Splits the per-router capacity `c` into the non-coordinated prefix
+/// `c − x` for a solver strategy coordinating `x` contents per router.
+///
+/// # Errors
+///
+/// Returns [`CoordError::Protocol`] when `x > c`: a feasible strategy
+/// never coordinates more contents per router than a router can store,
+/// and silently clamping (the old behaviour) would enact a placement
+/// inconsistent with the strategy it claims to realize.
+fn coordinated_prefix(c: u64, x: u64) -> Result<u64, CoordError> {
+    c.checked_sub(x).ok_or_else(|| CoordError::Protocol {
+        reason: format!(
+            "strategy coordinates x* = {x} contents per router, exceeding capacity c = {c}"
+        ),
+    })
+}
+
 /// The conceptually centralized coordinator of §III-A. It can be
 /// implemented distributedly in practice; this simulation keeps it
 /// centralized but accounts for the messages a distributed realization
@@ -56,7 +73,9 @@ impl Coordinator {
     ///
     /// # Errors
     ///
-    /// Propagates model/solver failures as [`CoordError::Model`].
+    /// Propagates model/solver failures as [`CoordError::Model`], and
+    /// returns [`CoordError::Protocol`] when the solved strategy is
+    /// infeasible (`x* > c`).
     pub fn provision(&self, params: ModelParams) -> Result<ProvisioningRound, CoordError> {
         let n = params.routers().round() as usize;
         if n < 2 {
@@ -68,7 +87,7 @@ impl Coordinator {
         let strategy = model.optimal_exact()?;
         let c = params.capacity().round() as u64;
         let x = strategy.x_star.round() as u64;
-        let prefix = c - x.min(c);
+        let prefix = coordinated_prefix(c, x)?;
         let assignments = contiguous_slices(prefix, prefix + 1, x, n);
 
         let mut cost = CostAccounting::default();
@@ -137,6 +156,17 @@ mod tests {
     }
 
     #[test]
+    fn prefix_split_rejects_infeasible_strategies() {
+        assert_eq!(coordinated_prefix(1000, 250).unwrap(), 750);
+        assert_eq!(coordinated_prefix(5, 5).unwrap(), 0, "fully coordinated cache is feasible");
+        let r = coordinated_prefix(5, 6);
+        assert!(
+            matches!(r, Err(CoordError::Protocol { .. })),
+            "x > c must be a typed error, not a silent clamp; got {r:?}"
+        );
+    }
+
+    #[test]
     fn round_produces_assignments_for_every_router() {
         let round = Coordinator::default().provision(params(0.9)).unwrap();
         assert_eq!(round.assignments.len(), 20);
@@ -180,11 +210,8 @@ mod tests {
     fn provision_over_costs_the_physical_round() {
         use crate::distributed::{best_coordinator, Dissemination};
         let graph = ccn_topology::datasets::us_a();
-        let params = ModelParams::builder()
-            .routers(graph.node_count() as u32)
-            .alpha(0.9)
-            .build()
-            .unwrap();
+        let params =
+            ModelParams::builder().routers(graph.node_count() as u32).alpha(0.9).build().unwrap();
         let hub = best_coordinator(&graph).unwrap();
         let (round, physical) = Coordinator::default()
             .provision_over(&graph, params, Dissemination::Centralized { coordinator: hub })

@@ -21,7 +21,7 @@
 //! which is what actually loads the network, unlike the abstract
 //! end-to-end count of [`crate::Coordinator`].
 
-use ccn_topology::shortest_path::all_pairs;
+use ccn_topology::shortest_path::{all_pairs, AllPairs};
 use ccn_topology::{Graph, NodeId};
 
 use crate::CoordError;
@@ -56,6 +56,20 @@ pub struct DisseminationCost {
     pub convergence_ms: f64,
 }
 
+/// Rejects partitioned topologies: every cost formula below assumes
+/// all-pairs reachability, and an unreachable pair would otherwise
+/// poison the figures with `u32::MAX` hops / infinite latency (or,
+/// worse, silently undercount a flood that can never reach everyone).
+fn check_connected(graph: &Graph, routes: &AllPairs) -> Result<(), CoordError> {
+    let unreachable: Vec<NodeId> =
+        (1..graph.node_count()).filter(|&v| routes.hops(0, v) == u32::MAX).collect();
+    if unreachable.is_empty() {
+        Ok(())
+    } else {
+        Err(CoordError::Partition { unreachable })
+    }
+}
+
 fn check_node(graph: &Graph, node: NodeId) -> Result<(), CoordError> {
     if node >= graph.node_count() {
         return Err(CoordError::Protocol {
@@ -72,7 +86,10 @@ fn check_node(graph: &Graph, node: NodeId) -> Result<(), CoordError> {
 /// # Errors
 ///
 /// Returns [`CoordError::Protocol`] for an unknown coordinator/root
-/// node or a topology with fewer than two routers.
+/// node or a topology with fewer than two routers, and
+/// [`CoordError::Partition`] when the topology is disconnected (no
+/// realization can span a partition, and the cost figures would be
+/// bogus).
 pub fn dissemination_cost(
     graph: &Graph,
     strategy: Dissemination,
@@ -85,6 +102,7 @@ pub fn dissemination_cost(
         });
     }
     let routes = all_pairs(graph);
+    check_connected(graph, &routes)?;
     match strategy {
         Dissemination::Centralized { coordinator } => {
             check_node(graph, coordinator)?;
@@ -158,7 +176,8 @@ pub fn dissemination_cost(
 /// # Errors
 ///
 /// Returns [`CoordError::Protocol`] for a topology with fewer than two
-/// routers.
+/// routers and [`CoordError::Partition`] when it is disconnected (a
+/// 1-center over infinite eccentricities is meaningless).
 pub fn best_coordinator(graph: &Graph) -> Result<NodeId, CoordError> {
     let n = graph.node_count();
     if n < 2 {
@@ -167,15 +186,11 @@ pub fn best_coordinator(graph: &Graph) -> Result<NodeId, CoordError> {
         });
     }
     let routes = all_pairs(graph);
+    check_connected(graph, &routes)?;
     let ecc = |v: NodeId| {
-        (0..n)
-            .filter(|&u| u != v)
-            .map(|u| routes.latency_ms(v, u))
-            .fold(0.0f64, f64::max)
+        (0..n).filter(|&u| u != v).map(|u| routes.latency_ms(v, u)).fold(0.0f64, f64::max)
     };
-    Ok((0..n)
-        .min_by(|&a, &b| ecc(a).total_cmp(&ecc(b)))
-        .expect("non-empty topology"))
+    Ok((0..n).min_by(|&a, &b| ecc(a).total_cmp(&ecc(b))).expect("non-empty topology"))
 }
 
 #[cfg(test)]
@@ -242,6 +257,36 @@ mod tests {
         };
         assert_eq!(at(20), 2 * at(10));
         assert_eq!(at(0), 0);
+    }
+
+    #[test]
+    fn disconnected_topology_is_a_typed_partition_error() {
+        // Triangle {0,1,2} plus an isolated pair {3,4}: every
+        // realization and the 1-center must refuse with a Partition
+        // error naming the cut-off routers, not return bogus costs.
+        let mut g = Graph::new("split");
+        for i in 0..5 {
+            g.add_node(&format!("r{i}"), 0.0, 0.0);
+        }
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(2, 0, 1.0).unwrap();
+        g.add_edge(3, 4, 1.0).unwrap();
+        for strategy in [
+            Dissemination::Centralized { coordinator: 0 },
+            Dissemination::SpanningTree { root: 0 },
+            Dissemination::Flooding,
+        ] {
+            let r = dissemination_cost(&g, strategy, 2);
+            assert!(
+                matches!(r, Err(CoordError::Partition { .. })),
+                "{strategy:?} must reject a partition, got {r:?}"
+            );
+        }
+        match best_coordinator(&g) {
+            Err(CoordError::Partition { unreachable }) => assert_eq!(unreachable, vec![3, 4]),
+            other => panic!("expected partition error, got {other:?}"),
+        }
     }
 
     #[test]

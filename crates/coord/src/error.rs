@@ -17,6 +17,14 @@ pub enum CoordError {
         /// Explanation of the violated precondition.
         reason: String,
     },
+    /// The topology is partitioned: some routers cannot be reached, so
+    /// no coordination round can span them. Costing such a round would
+    /// silently produce bogus (infinite-latency, `u32::MAX`-hop)
+    /// figures.
+    Partition {
+        /// Routers cut off from router 0's component, ascending.
+        unreachable: Vec<usize>,
+    },
 }
 
 impl fmt::Display for CoordError {
@@ -25,6 +33,13 @@ impl fmt::Display for CoordError {
             CoordError::Model(e) => write!(f, "model error: {e}"),
             CoordError::Fit(e) => write!(f, "estimation error: {e}"),
             CoordError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            CoordError::Partition { unreachable } => {
+                write!(
+                    f,
+                    "partitioned topology: {} router(s) unreachable: {unreachable:?}",
+                    unreachable.len()
+                )
+            }
         }
     }
 }
@@ -34,7 +49,7 @@ impl Error for CoordError {
         match self {
             CoordError::Model(e) => Some(e),
             CoordError::Fit(e) => Some(e),
-            CoordError::Protocol { .. } => None,
+            CoordError::Protocol { .. } | CoordError::Partition { .. } => None,
         }
     }
 }
@@ -62,6 +77,9 @@ mod tests {
         assert!(Error::source(&e).is_none());
         let e = CoordError::from(ZipfError::DegenerateSample { reason: "empty" });
         assert!(Error::source(&e).is_some());
+        let e = CoordError::Partition { unreachable: vec![3, 4] };
+        assert!(e.to_string().contains("2 router(s)"));
+        assert!(Error::source(&e).is_none());
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!
 //! [`reliability`] prices the round under message loss
 //! (retransmission inflation of both traffic and convergence time);
+//! [`rounds`] hardens the round into a retrying state machine with
+//! bounded backoff, abort-to-last-known-good semantics, and
+//! coordinator failover on the surviving subgraph;
 //! [`distributed`] costs the round under concrete realizations
 //! (centralized unicast, spanning-tree aggregation, flooding) in
 //! link crossings over a real topology, and [`adaptive`] closes the loop (the paper's "online self-adaptive
@@ -49,6 +52,7 @@
 pub mod adaptive;
 pub mod distributed;
 pub mod reliability;
+pub mod rounds;
 
 mod assignment;
 mod coordinator;
@@ -61,3 +65,7 @@ pub use coordinator::{Coordinator, CoordinatorConfig, ProvisioningRound};
 pub use cost::CostAccounting;
 pub use error::CoordError;
 pub use message::Message;
+pub use rounds::{
+    failover_coordinator, Phase, ResilientCoordinator, RetryPolicy, RoundAttempt, RoundOutcome,
+    RoundReport,
+};

@@ -48,9 +48,7 @@ impl Message {
     #[must_use]
     pub fn size_bytes(&self) -> u64 {
         match self {
-            Message::StatsReport { samples, .. } => {
-                HEADER_BYTES + SAMPLE_BYTES * (*samples as u64)
-            }
+            Message::StatsReport { samples, .. } => HEADER_BYTES + SAMPLE_BYTES * (*samples as u64),
             Message::Directive { .. } => HEADER_BYTES + 24,
             Message::PlacementEntry { .. } => HEADER_BYTES + ENTRY_BYTES,
             Message::Ack { .. } => HEADER_BYTES,

@@ -14,6 +14,13 @@ use rand::{Rng, SeedableRng};
 
 use crate::CoordError;
 
+/// Retransmission attempts allowed per message before the simulated
+/// round is declared failed. Without a cap the geometric sampling loop
+/// is effectively unbounded as `p → 1⁻` (the expected maximum over a
+/// round's messages grows like `log_{1/p}(m)`, which diverges), so the
+/// Monte-Carlo side fails loudly instead of spinning.
+pub const MAX_ATTEMPTS_PER_MESSAGE: u64 = 1_000;
+
 /// Cost inflation of one provisioning round under message loss.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LossReport {
@@ -39,7 +46,10 @@ pub struct LossReport {
 /// # Errors
 ///
 /// Returns [`CoordError::Protocol`] for `p ∉ [0, 1)`, zero messages,
-/// or zero trials.
+/// zero trials, or when any simulated message exceeds
+/// [`MAX_ATTEMPTS_PER_MESSAGE`] transmission attempts (loss rates
+/// close to 1 make a bounded-retry round unwinnable; callers should
+/// treat this as "abort the round", not retry harder).
 pub fn loss_inflation(
     messages: u64,
     p: f64,
@@ -72,10 +82,20 @@ pub fn loss_inflation(
     for _ in 0..trials {
         let mut worst = 0u64;
         for _ in 0..messages {
-            // Attempts until first success.
+            // Attempts until first success, bounded so p → 1⁻ cannot
+            // spin the loop unboundedly.
             let mut attempts = 1u64;
             while rng.gen::<f64>() < p {
                 attempts += 1;
+                if attempts > MAX_ATTEMPTS_PER_MESSAGE {
+                    return Err(CoordError::Protocol {
+                        reason: format!(
+                            "a message exceeded {MAX_ATTEMPTS_PER_MESSAGE} transmission \
+                             attempts at p = {p}; the round cannot converge within the \
+                             retry budget"
+                        ),
+                    });
+                }
             }
             total_tx += attempts;
             worst = worst.max(attempts);
@@ -146,6 +166,22 @@ mod tests {
         assert!(loss_inflation(10, -0.1, 10, 1).is_err());
         assert!(loss_inflation(0, 0.1, 10, 1).is_err());
         assert!(loss_inflation(10, 0.1, 0, 1).is_err());
+    }
+
+    #[test]
+    fn near_certain_loss_hits_the_attempt_cap() {
+        // Regression: before the cap, p = 0.999 made the geometric
+        // loop effectively unbounded. Each message now has probability
+        // 0.999^1000 ≈ 0.37 of exceeding the cap, so a round of 100
+        // messages fails (deterministically under the fixed seed)
+        // with a typed protocol error instead of spinning.
+        let r = loss_inflation(100, 0.999, 10, 1);
+        assert!(
+            matches!(r, Err(CoordError::Protocol { .. })),
+            "expected a protocol error at p = 0.999, got {r:?}"
+        );
+        // Moderate loss rates stay well under the cap.
+        assert!(loss_inflation(100, 0.3, 100, 1).is_ok());
     }
 
     #[test]

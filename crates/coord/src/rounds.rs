@@ -1,0 +1,460 @@
+//! Failure-resilient provisioning rounds.
+//!
+//! [`Coordinator::provision`] prices a *loss-free* round. This module
+//! hardens it into a retrying state machine: each phase of the round
+//! (collect → disseminate → acknowledge) is simulated under i.i.d.
+//! message loss with a bounded per-message retransmission budget — the
+//! phase's timeout expressed in attempts. A phase that exhausts the
+//! budget fails the whole attempt; the round then backs off
+//! exponentially (with deterministic jitter) and retries, up to the
+//! policy's attempt limit.
+//!
+//! A round that cannot converge **aborts cleanly**: the previously
+//! enacted placement (the last known good) stays in force, and slice
+//! assignments are never left half-updated — the candidate placement
+//! is only swapped in after the acknowledge phase completes.
+//!
+//! [`failover_coordinator`] re-elects the coordination hub on the
+//! surviving subgraph after a coordinator outage, mapping the result
+//! back to the original router numbering. Survivor partitions surface
+//! as [`CoordError::Partition`] rather than a bogus election.
+//!
+//! The analytic side of the same story lives in
+//! [`crate::reliability`]; each [`RoundReport`] carries the
+//! corresponding [`LossReport`] so the measured retry cost can be read
+//! against the extreme-value prediction.
+
+use ccn_model::ModelParams;
+use ccn_topology::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributed::best_coordinator;
+use crate::reliability::{loss_inflation, LossReport};
+use crate::{CoordError, Coordinator, CoordinatorConfig, ProvisioningRound};
+
+/// Seed perturbation separating the analytic annotation's RNG stream
+/// from the round simulation's stream.
+const ANALYTIC_STREAM: u64 = 0xA11A_0C0D_E5EE_D001;
+
+/// Retry behaviour of a resilient provisioning round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Full round attempts before aborting to the last known good.
+    pub max_round_attempts: u32,
+    /// Backoff before the second attempt, in ms; doubles per attempt.
+    pub base_backoff_ms: f64,
+    /// Ceiling on the exponential backoff, in ms.
+    pub max_backoff_ms: f64,
+    /// Retransmission attempts a phase grants each message before the
+    /// phase times out (the per-phase timeout expressed in attempts).
+    pub max_attempts_per_message: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_round_attempts: 5,
+            base_backoff_ms: 50.0,
+            max_backoff_ms: 1_600.0,
+            max_attempts_per_message: 25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn validate(&self) -> Result<(), CoordError> {
+        if self.max_round_attempts == 0 || self.max_attempts_per_message == 0 {
+            return Err(CoordError::Protocol {
+                reason: "retry policy needs at least one round attempt and one message attempt"
+                    .into(),
+            });
+        }
+        let bad_base = self.base_backoff_ms.is_nan() || self.base_backoff_ms < 0.0;
+        let bad_max =
+            !self.max_backoff_ms.is_finite() || self.max_backoff_ms < self.base_backoff_ms;
+        if bad_base || bad_max {
+            return Err(CoordError::Protocol {
+                reason: format!(
+                    "retry policy backoffs must satisfy 0 <= base ({}) <= max ({}) < inf",
+                    self.base_backoff_ms, self.max_backoff_ms
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One phase of the provisioning round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Gather one statistics report per router.
+    Collect,
+    /// Push directives and placement entries to every router.
+    Disseminate,
+    /// Collect acknowledgements.
+    Acknowledge,
+}
+
+/// What happened during one attempt of the round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundAttempt {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// The phase whose retransmission budget ran out, or `None` when
+    /// the attempt carried the round to convergence.
+    pub failed_phase: Option<Phase>,
+    /// Transmissions spent during this attempt (including the ones
+    /// wasted on the failing message).
+    pub transmissions: u64,
+    /// Jittered backoff slept after this attempt (0 when the attempt
+    /// succeeded or was the last one).
+    pub backoff_ms: f64,
+}
+
+/// Terminal state of a resilient round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundOutcome {
+    /// The round converged; this placement is now enacted.
+    Converged(ProvisioningRound),
+    /// The retry budget ran out. Nothing was enacted: the placement
+    /// that was in force before the round (if any) remains in force.
+    Aborted {
+        /// The placement still in force, if one was ever enacted.
+        last_known_good: Option<ProvisioningRound>,
+    },
+}
+
+/// Full account of a resilient provisioning round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundReport {
+    /// Whether the round converged or aborted.
+    pub outcome: RoundOutcome,
+    /// Per-attempt log, in order.
+    pub attempts: Vec<RoundAttempt>,
+    /// Transmissions across all attempts.
+    pub total_transmissions: u64,
+    /// Backoff time spent between attempts, in ms.
+    pub total_backoff_ms: f64,
+    /// Analytic retransmission inflation for one attempt of this round
+    /// ([`loss_inflation`] over the round's message count), for
+    /// reading the measured cost against the prediction. `None` when
+    /// the loss rate is too extreme for even the analytic reference to
+    /// converge within its own attempt cap.
+    pub analytic: Option<LossReport>,
+}
+
+impl RoundReport {
+    /// Whether the round converged.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        matches!(self.outcome, RoundOutcome::Converged(_))
+    }
+}
+
+/// A [`Coordinator`] wrapped in the retrying state machine, holding
+/// the last successfully enacted placement.
+#[derive(Debug, Clone, Default)]
+pub struct ResilientCoordinator {
+    inner: Coordinator,
+    policy: RetryPolicy,
+    last_known_good: Option<ProvisioningRound>,
+}
+
+/// Runs one phase of `messages` messages under loss `p`, each message
+/// allowed at most `cap` transmissions. Returns the transmissions
+/// spent and whether every message got through.
+fn run_phase(rng: &mut StdRng, messages: u64, p: f64, cap: u32) -> (u64, bool) {
+    let mut tx = 0u64;
+    for _ in 0..messages {
+        let mut attempts = 1u64;
+        while rng.gen::<f64>() < p {
+            attempts += 1;
+            if attempts > u64::from(cap) {
+                return (tx + attempts, false);
+            }
+        }
+        tx += attempts;
+    }
+    (tx, true)
+}
+
+impl ResilientCoordinator {
+    /// Creates a resilient coordinator with no enacted placement.
+    #[must_use]
+    pub fn new(config: CoordinatorConfig, policy: RetryPolicy) -> Self {
+        Self { inner: Coordinator::new(config), policy, last_known_good: None }
+    }
+
+    /// The placement currently in force, if any round ever converged.
+    #[must_use]
+    pub fn last_known_good(&self) -> Option<&ProvisioningRound> {
+        self.last_known_good.as_ref()
+    }
+
+    /// Runs one provisioning round under per-message loss probability
+    /// `loss_probability`, retrying per the policy. On convergence the
+    /// new placement replaces the last known good **atomically**; on
+    /// abort the stored placement is untouched.
+    ///
+    /// The simulation is deterministic for a given `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Solver and precondition failures ([`CoordError::Model`] /
+    /// [`CoordError::Protocol`]) are hard errors — retrying cannot fix
+    /// them. Message loss never surfaces as an `Err`: it is the normal
+    /// regime and resolves to [`RoundOutcome::Aborted`] at worst.
+    pub fn provision(
+        &mut self,
+        params: ModelParams,
+        loss_probability: f64,
+        seed: u64,
+    ) -> Result<RoundReport, CoordError> {
+        if !(0.0..1.0).contains(&loss_probability) {
+            return Err(CoordError::Protocol {
+                reason: format!("loss probability {loss_probability} outside [0, 1)"),
+            });
+        }
+        self.policy.validate()?;
+        // Solve once; only the network phases are retried.
+        let candidate = self.inner.provision(params)?;
+        let n = params.routers().round() as u64;
+        let x = candidate.strategy.x_star.round() as u64;
+        let phases =
+            [(Phase::Collect, n), (Phase::Disseminate, n + n * x), (Phase::Acknowledge, n)];
+        let round_messages: u64 = phases.iter().map(|&(_, m)| m).sum();
+        let analytic =
+            loss_inflation(round_messages, loss_probability, 32, seed ^ ANALYTIC_STREAM).ok();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut attempts = Vec::new();
+        let mut total_transmissions = 0u64;
+        let mut total_backoff_ms = 0.0f64;
+        for attempt in 1..=self.policy.max_round_attempts {
+            let mut failed_phase = None;
+            let mut attempt_tx = 0u64;
+            for &(phase, messages) in &phases {
+                let (tx, delivered) = run_phase(
+                    &mut rng,
+                    messages,
+                    loss_probability,
+                    self.policy.max_attempts_per_message,
+                );
+                attempt_tx += tx;
+                if !delivered {
+                    failed_phase = Some(phase);
+                    break;
+                }
+            }
+            total_transmissions += attempt_tx;
+            let backoff_ms = if failed_phase.is_some() && attempt < self.policy.max_round_attempts {
+                let exp = self.policy.base_backoff_ms * 2f64.powi(attempt as i32 - 1);
+                let capped = exp.min(self.policy.max_backoff_ms);
+                // Equal jitter: half deterministic, half uniform.
+                let jittered = capped / 2.0 + rng.gen::<f64>() * (capped / 2.0);
+                total_backoff_ms += jittered;
+                jittered
+            } else {
+                0.0
+            };
+            attempts.push(RoundAttempt {
+                attempt,
+                failed_phase,
+                transmissions: attempt_tx,
+                backoff_ms,
+            });
+            if failed_phase.is_none() {
+                // Atomic swap: the candidate becomes the enacted
+                // placement only here, after every ack arrived.
+                self.last_known_good = Some(candidate.clone());
+                return Ok(RoundReport {
+                    outcome: RoundOutcome::Converged(candidate),
+                    attempts,
+                    total_transmissions,
+                    total_backoff_ms,
+                    analytic,
+                });
+            }
+        }
+        Ok(RoundReport {
+            outcome: RoundOutcome::Aborted { last_known_good: self.last_known_good.clone() },
+            attempts,
+            total_transmissions,
+            total_backoff_ms,
+            analytic,
+        })
+    }
+}
+
+/// Re-elects the coordination hub after failures: computes the latency
+/// 1-center of the subgraph induced by the surviving routers
+/// (`alive[i]` marks router `i` as up) and returns it in the
+/// **original** router numbering.
+///
+/// # Errors
+///
+/// Returns [`CoordError::Protocol`] when the mask length does not
+/// match the topology or fewer than two routers survive, and
+/// [`CoordError::Partition`] when the survivors are disconnected (the
+/// ids reported are subgraph-relative survivors' positions mapped from
+/// the election; a split control plane must be handled by the caller,
+/// e.g. by coordinating each side independently).
+pub fn failover_coordinator(graph: &Graph, alive: &[bool]) -> Result<NodeId, CoordError> {
+    let (surviving, back) = graph
+        .induced_subgraph(alive, &[])
+        .map_err(|e| CoordError::Protocol { reason: format!("failover mask rejected: {e}") })?;
+    let hub = best_coordinator(&surviving)?;
+    Ok(back[hub])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams::builder().alpha(0.8).build().unwrap()
+    }
+
+    fn coordinator(policy: RetryPolicy) -> ResilientCoordinator {
+        ResilientCoordinator::new(CoordinatorConfig::default(), policy)
+    }
+
+    #[test]
+    fn lossless_round_converges_on_the_first_attempt() {
+        let mut rc = coordinator(RetryPolicy::default());
+        let report = rc.provision(params(), 0.0, 1).unwrap();
+        assert!(report.converged());
+        assert_eq!(report.attempts.len(), 1);
+        assert_eq!(report.attempts[0].failed_phase, None);
+        assert_eq!(report.attempts[0].backoff_ms, 0.0);
+        // Lossless: exactly one transmission per message.
+        let lkg = rc.last_known_good().expect("converged round is enacted");
+        let n = 20;
+        let x = lkg.strategy.x_star.round() as u64;
+        assert_eq!(report.total_transmissions, n + (n + n * x) + n);
+    }
+
+    #[test]
+    fn reports_are_deterministic_under_a_fixed_seed() {
+        let mut a = coordinator(RetryPolicy::default());
+        let mut b = coordinator(RetryPolicy::default());
+        let ra = a.provision(params(), 0.2, 42).unwrap();
+        let rb = b.provision(params(), 0.2, 42).unwrap();
+        assert_eq!(ra, rb);
+        let rc = a.provision(params(), 0.2, 43).unwrap();
+        assert!(rc.total_transmissions != ra.total_transmissions || rc.attempts != ra.attempts);
+    }
+
+    #[test]
+    fn hopeless_loss_aborts_cleanly_to_last_known_good() {
+        let tight = RetryPolicy {
+            max_round_attempts: 3,
+            base_backoff_ms: 10.0,
+            max_backoff_ms: 40.0,
+            max_attempts_per_message: 2,
+        };
+        let mut rc = coordinator(tight);
+        // No placement was ever enacted: abort with nothing in force.
+        let r1 = rc.provision(params(), 0.9, 7).unwrap();
+        assert!(
+            matches!(r1.outcome, RoundOutcome::Aborted { last_known_good: None }),
+            "got {:?}",
+            r1.outcome
+        );
+        assert_eq!(r1.attempts.len(), 3, "abort only after the full retry budget");
+        assert!(r1.attempts.iter().all(|a| a.failed_phase.is_some()));
+        assert!(rc.last_known_good().is_none());
+
+        // Enact a placement over a healthy network...
+        let ok = rc.provision(params(), 0.0, 7).unwrap();
+        assert!(ok.converged());
+        let enacted = rc.last_known_good().cloned().expect("enacted");
+
+        // ...then fail again: the enacted placement stays in force,
+        // untouched — never half-updated.
+        let r2 = rc.provision(params(), 0.9, 8).unwrap();
+        match &r2.outcome {
+            RoundOutcome::Aborted { last_known_good: Some(kept) } => assert_eq!(*kept, enacted),
+            other => panic!("expected abort keeping the placement, got {other:?}"),
+        }
+        assert_eq!(rc.last_known_good(), Some(&enacted));
+    }
+
+    #[test]
+    fn backoff_doubles_with_jitter_and_respects_the_ceiling() {
+        let policy = RetryPolicy {
+            max_round_attempts: 4,
+            base_backoff_ms: 100.0,
+            max_backoff_ms: 250.0,
+            max_attempts_per_message: 1,
+        };
+        let mut rc = coordinator(policy);
+        let report = rc.provision(params(), 0.9, 3).unwrap();
+        assert!(!report.converged());
+        let backoffs: Vec<f64> = report.attempts.iter().map(|a| a.backoff_ms).collect();
+        assert_eq!(backoffs.len(), 4);
+        assert_eq!(*backoffs.last().unwrap(), 0.0, "no backoff after the final attempt");
+        for (i, &b) in backoffs[..3].iter().enumerate() {
+            // Exponential schedule 100, 200, 400 capped at 250, with
+            // equal jitter in [cap/2, cap].
+            let cap = (100.0 * 2f64.powi(i as i32)).min(250.0);
+            assert!(
+                b >= cap / 2.0 && b <= cap,
+                "attempt {i}: backoff {b} outside [{}, {cap}]",
+                cap / 2.0
+            );
+        }
+        assert!((report.total_backoff_ms - backoffs[..3].iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analytic_annotation_tracks_the_measured_cost() {
+        let mut rc = coordinator(RetryPolicy::default());
+        let report = rc.provision(params(), 0.1, 11).unwrap();
+        assert!(report.converged());
+        let analytic = report.analytic.expect("moderate loss has an analytic reference");
+        // Expected inflation at p = 0.1 is 1/(1−p) ≈ 1.11 per message;
+        // the round is one sample, so accept a loose band around it.
+        let x = rc.last_known_good().unwrap().strategy.x_star.round() as u64;
+        let messages = 20 + (20 + 20 * x) + 20;
+        let per_msg =
+            report.total_transmissions as f64 / (report.attempts.len() as u64 * messages) as f64;
+        assert!((1.0..1.4).contains(&per_msg), "per-message inflation {per_msg}");
+        assert!((analytic.expected_transmissions - 1.0 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_policies_and_loss() {
+        let mut rc = coordinator(RetryPolicy { max_round_attempts: 0, ..RetryPolicy::default() });
+        assert!(rc.provision(params(), 0.1, 1).is_err());
+        let mut rc = coordinator(RetryPolicy { max_backoff_ms: 1.0, ..RetryPolicy::default() });
+        assert!(rc.provision(params(), 0.1, 1).is_err());
+        let mut rc = coordinator(RetryPolicy::default());
+        assert!(rc.provision(params(), 1.0, 1).is_err());
+        assert!(rc.provision(params(), -0.5, 1).is_err());
+    }
+
+    #[test]
+    fn failover_reelects_on_the_surviving_subgraph() {
+        let g = ccn_topology::generators::line(5, 1.0).unwrap();
+        // The healthy 1-center of a 5-line is the middle router.
+        assert_eq!(best_coordinator(&g).unwrap(), 2);
+        // Killing an endpoint shifts the center of the surviving line
+        // 1–2–3–4 to router 2 (ties break toward the lower id).
+        let mut alive = vec![true; 5];
+        alive[0] = false;
+        assert_eq!(failover_coordinator(&g, &alive).unwrap(), 2);
+        // Killing the center partitions the survivors: typed error.
+        let mut alive = vec![true; 5];
+        alive[2] = false;
+        assert!(matches!(failover_coordinator(&g, &alive), Err(CoordError::Partition { .. })));
+        // A mask of the wrong length is a protocol error.
+        assert!(matches!(
+            failover_coordinator(&g, &[true, true]),
+            Err(CoordError::Protocol { .. })
+        ));
+        // Fewer than two survivors cannot elect.
+        assert!(failover_coordinator(&g, &[false, false, false, false, true]).is_err());
+    }
+}

@@ -52,8 +52,7 @@ pub fn ell_star_curve(
     alpha_hi: f64,
     points: usize,
 ) -> Result<EllStarCurve, ModelError> {
-    if !(0.0..=1.0).contains(&alpha_lo) || !(0.0..=1.0).contains(&alpha_hi) || alpha_lo > alpha_hi
-    {
+    if !(0.0..=1.0).contains(&alpha_lo) || !(0.0..=1.0).contains(&alpha_hi) || alpha_lo > alpha_hi {
         return Err(ModelError::InvalidParameter {
             name: "alpha range",
             value: alpha_lo,
@@ -171,11 +170,7 @@ mod tests {
         };
         let lo = curve(2.0);
         let hi = curve(10.0);
-        for (a, (e2, e10)) in lo
-            .alphas
-            .iter()
-            .zip(lo.ell_stars.iter().zip(hi.ell_stars.iter()))
-        {
+        for (a, (e2, e10)) in lo.alphas.iter().zip(lo.ell_stars.iter().zip(hi.ell_stars.iter())) {
             assert!(e10 >= e2, "alpha={a}: gamma=10 ({e10}) below gamma=2 ({e2})");
         }
         // And the sensitive-range machinery finds a positive peak.

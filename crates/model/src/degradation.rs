@@ -1,0 +1,346 @@
+//! Degraded performance under router failures — the `T_k(x)` analysis.
+//!
+//! The paper's `T(x)` assumes all `n` routers are up. When `k` of them
+//! fail, the coordinated pool loses the failed routers' slices: their
+//! `k·x` contents are no longer reachable in-network and those requests
+//! escape to the origin at `d2`. The local prefix `c − x` is unaffected
+//! for requests issued at surviving routers (each router holds its own
+//! copy), so failures degrade exactly the peer tier.
+//!
+//! Two failure geometries are modelled:
+//!
+//! - **Tail-slice loss** ([`CacheModel::degraded_breakdown`]): the
+//!   failed routers are the ones holding the *least popular* slices of
+//!   the coordinated range. The collective set shrinks at its boundary,
+//!   from `c − x + n·x` to `c − x + (n−k)·x`, which keeps the
+//!   closed-form structure of Eq. 2. This is the geometry the
+//!   fault-injected simulator reproduces deterministically, so it is
+//!   the one cross-validated end to end.
+//! - **Uniformly random loss**
+//!   ([`CacheModel::expected_degraded_breakdown`]): each coordinated
+//!   content's unique holder is down with probability `ρ = k/n`, so in
+//!   expectation the peer tier's mass is scaled by `1 − ρ` and the
+//!   displaced mass pays `d2`. Equivalently, `T_ρ` is `T` with the peer
+//!   latency replaced by `(1−ρ)·d1 + ρ·d2`, which preserves Lemma 1's
+//!   convexity — the basis for the failure-adjusted optimum
+//!   [`CacheModel::degraded_optimal`].
+//!
+//! [`CacheModel::degradation_curve`] compares the coordinated strategy
+//! against non-coordinated caching (whose `T(0)` does not depend on
+//! peers at all) as `k` grows: graceful degradation means the
+//! coordination advantage shrinks with `k` and flips sign only when
+//! most of the pool is gone.
+
+use ccn_numerics::minimize_convex;
+use ccn_zipf::harmonic;
+
+use crate::{CacheModel, LatencyBreakdown, ModelError, OptimalStrategy, SolveMethod};
+
+/// One point of a graceful-degradation curve: coordinated vs
+/// non-coordinated expected latency with `failed` routers down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPoint {
+    /// Number of failed routers `k`.
+    pub failed: u32,
+    /// Coordinated expected latency `T_k(x)` (tail-slice loss).
+    pub coordinated: f64,
+    /// Non-coordinated expected latency `T(0)` — peer failures do not
+    /// affect it, since every router holds the same local prefix.
+    pub non_coordinated: f64,
+    /// Remaining coordination advantage,
+    /// `non_coordinated − coordinated` (negative once failures have
+    /// eaten the benefit).
+    pub advantage: f64,
+}
+
+impl CacheModel {
+    fn check_failed(&self, k: u32) -> Result<(), ModelError> {
+        if f64::from(k) > self.params().routers() {
+            return Err(ModelError::InvalidParameter {
+                name: "k",
+                value: f64::from(k),
+                constraint: "failed routers k <= n",
+            });
+        }
+        Ok(())
+    }
+
+    /// Tier split at slice `x` when the `k` routers holding the tail
+    /// (least popular) coordinated slices have failed: the collective
+    /// boundary shrinks to `c − x + (n−k)·x`. `x` is clamped into
+    /// `[0, c]`; `k = 0` reproduces [`CacheModel::breakdown`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `k > n`.
+    pub fn degraded_breakdown(&self, x: f64, k: u32) -> Result<LatencyBreakdown, ModelError> {
+        self.check_failed(k)?;
+        let p = self.params();
+        let x = x.clamp(0.0, p.capacity());
+        let local_boundary = p.capacity() - x;
+        let coop_boundary =
+            (p.capacity() + (p.routers() - f64::from(k) - 1.0) * x).max(local_boundary);
+        let f = self.popularity();
+        let f_local = f.cdf(local_boundary);
+        let f_coop = f.cdf(coop_boundary).max(f_local);
+        let (local, peer, origin) = (f_local, f_coop - f_local, 1.0 - f_coop);
+        Ok(LatencyBreakdown {
+            local_fraction: local,
+            peer_fraction: peer,
+            origin_fraction: origin,
+            expected_latency: local * p.d0() + peer * p.d1() + origin * p.d2(),
+        })
+    }
+
+    /// The degraded routing performance `T_k(x)` under tail-slice loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `k > n`.
+    pub fn degraded_performance(&self, x: f64, k: u32) -> Result<f64, ModelError> {
+        Ok(self.degraded_breakdown(x, k)?.expected_latency)
+    }
+
+    /// `T_k(x)` computed with the *discrete* Zipf CDF (harmonic sums)
+    /// instead of the Eq.-6 continuous approximation — the reference
+    /// the fault-injected simulator is validated against, free of
+    /// approximation bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `k > n`.
+    pub fn degraded_performance_discrete(&self, x: f64, k: u32) -> Result<f64, ModelError> {
+        self.check_failed(k)?;
+        let p = self.params();
+        let x = x.clamp(0.0, p.capacity());
+        let s = p.zipf_exponent();
+        let n_cat = p.catalogue();
+        let local_boundary = (p.capacity() - x).round().max(0.0);
+        let coop_boundary = (p.capacity() + (p.routers() - f64::from(k) - 1.0) * x)
+            .round()
+            .clamp(local_boundary, n_cat);
+        let h_total = harmonic::generalized_harmonic_f64(n_cat, s);
+        let f_local = harmonic::generalized_harmonic_f64(local_boundary, s) / h_total;
+        let f_coop = (harmonic::generalized_harmonic_f64(coop_boundary, s) / h_total).max(f_local);
+        Ok(f_local * p.d0() + (f_coop - f_local) * p.d1() + (1.0 - f_coop) * p.d2())
+    }
+
+    /// Expected tier split at slice `x` when every router is down
+    /// independently with probability `rho` (uniformly random failures
+    /// in expectation): the peer tier's mass is scaled by `1 − rho` and
+    /// the displaced mass escapes to the origin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for `rho ∉ [0, 1]`.
+    pub fn expected_degraded_breakdown(
+        &self,
+        x: f64,
+        rho: f64,
+    ) -> Result<LatencyBreakdown, ModelError> {
+        if !(0.0..=1.0).contains(&rho) {
+            return Err(ModelError::InvalidParameter {
+                name: "rho",
+                value: rho,
+                constraint: "failure probability rho in [0, 1]",
+            });
+        }
+        let p = self.params();
+        let b = self.breakdown(x);
+        let peer = b.peer_fraction * (1.0 - rho);
+        let origin = b.origin_fraction + b.peer_fraction * rho;
+        Ok(LatencyBreakdown {
+            local_fraction: b.local_fraction,
+            peer_fraction: peer,
+            origin_fraction: origin,
+            expected_latency: b.local_fraction * p.d0() + peer * p.d1() + origin * p.d2(),
+        })
+    }
+
+    /// The degraded objective `α·T_k(x) + (1−α)·W(x)` under tail-slice
+    /// loss. `W` stays at its full value: the coordination traffic was
+    /// already spent when the round provisioned all `n` routers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `k > n`.
+    pub fn degraded_objective(&self, x: f64, k: u32) -> Result<f64, ModelError> {
+        let a = self.params().alpha();
+        Ok(a * self.degraded_performance(x, k)? + (1.0 - a) * self.coordination_cost(x))
+    }
+
+    /// Graceful-degradation curve: `T_k(x)` versus the peer-independent
+    /// non-coordinated baseline `T(0)`, for `k = 0, …, max_k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `max_k > n`.
+    pub fn degradation_curve(
+        &self,
+        x: f64,
+        max_k: u32,
+    ) -> Result<Vec<DegradationPoint>, ModelError> {
+        self.check_failed(max_k)?;
+        let baseline = self.routing_performance(0.0);
+        (0..=max_k)
+            .map(|k| {
+                let coordinated = self.degraded_performance(x, k)?;
+                Ok(DegradationPoint {
+                    failed: k,
+                    coordinated,
+                    non_coordinated: baseline,
+                    advantage: baseline - coordinated,
+                })
+            })
+            .collect()
+    }
+
+    /// The failure-adjusted optimal strategy: minimizes
+    /// `α·T_ρ(x) + (1−α)·W(x)` where `T_ρ` prices each peer fetch at
+    /// `(1−ρ)·d1 + ρ·d2` (expected-loss geometry). Substituting the
+    /// effective peer latency preserves `d0 ≤ d_eff ≤ d2` and hence
+    /// Lemma 1's convexity, so the exact convex minimizer applies
+    /// unchanged. `ρ = 0` reproduces [`CacheModel::optimal_exact`];
+    /// larger `ρ` provisions *less* coordination because the pool is
+    /// less likely to answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for `rho ∉ [0, 1]` and
+    /// propagates [`ModelError::Numerics`] from the minimizer.
+    pub fn degraded_optimal(&self, rho: f64) -> Result<OptimalStrategy, ModelError> {
+        if !(0.0..=1.0).contains(&rho) {
+            return Err(ModelError::InvalidParameter {
+                name: "rho",
+                value: rho,
+                constraint: "failure probability rho in [0, 1]",
+            });
+        }
+        let c = self.params().capacity();
+        let alpha = self.params().alpha();
+        let tol = (c * 1e-12).max(1e-12);
+        let objective = |x: f64| {
+            let t = self
+                .expected_degraded_breakdown(x, rho)
+                .expect("rho validated above")
+                .expected_latency;
+            alpha * t + (1.0 - alpha) * self.coordination_cost(x)
+        };
+        let min = minimize_convex(objective, 0.0, c, tol)?;
+        Ok(OptimalStrategy {
+            x_star: min.argmin,
+            ell_star: min.argmin / c,
+            objective_value: min.value,
+            method: SolveMethod::Exact,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelParams;
+
+    fn model() -> CacheModel {
+        CacheModel::new(ModelParams::builder().alpha(0.8).build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn zero_failures_reproduce_the_baseline() {
+        let m = model();
+        for x in [0.0, 100.0, 500.0, 1000.0] {
+            let base = m.breakdown(x);
+            let degraded = m.degraded_breakdown(x, 0).unwrap();
+            assert_eq!(base, degraded, "x={x}");
+            let disc = m.degraded_performance_discrete(x, 0).unwrap();
+            assert!((disc - m.routing_performance_discrete(x)).abs() < 1e-12);
+        }
+        let expected = m.expected_degraded_breakdown(300.0, 0.0).unwrap();
+        assert!((expected.expected_latency - m.routing_performance(300.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_degrades_monotonically_in_k() {
+        let m = model();
+        let x = 400.0;
+        let mut prev = -1.0;
+        for k in 0..=20 {
+            let t = m.degraded_performance(x, k).unwrap();
+            assert!(t >= prev - 1e-12, "k={k}: T_k {t} < T_(k-1) {prev}");
+            prev = t;
+            let b = m.degraded_breakdown(x, k).unwrap();
+            assert!((b.total_fraction() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_peers_lost_is_worse_than_never_coordinating() {
+        // With the whole pool gone, the shrunken local prefix c − x is
+        // all that is left — strictly worse than the full prefix c.
+        let m = model();
+        let t_dead = m.degraded_performance(400.0, 20).unwrap();
+        assert!(t_dead > m.routing_performance(0.0));
+        // And the peer tier is empty.
+        let b = m.degraded_breakdown(400.0, 20).unwrap();
+        assert!(b.peer_fraction.abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_loss_is_milder_than_random_loss() {
+        // Tail slices hold the least popular coordinated contents, so
+        // losing k tails costs no more than losing k uniformly random
+        // slices in expectation.
+        let m = model();
+        let n = m.params().routers();
+        for k in [1u32, 5, 10, 15] {
+            let tail = m.degraded_performance(400.0, k).unwrap();
+            let random =
+                m.expected_degraded_breakdown(400.0, f64::from(k) / n).unwrap().expected_latency;
+            assert!(tail <= random + 1e-12, "k={k}: tail {tail} vs random {random}");
+        }
+    }
+
+    #[test]
+    fn degradation_curve_loses_advantage_gracefully() {
+        let m = model();
+        let x_star = m.optimal_exact().unwrap().x_star;
+        let curve = m.degradation_curve(x_star, 20).unwrap();
+        assert_eq!(curve.len(), 21);
+        // The healthy network strictly benefits from coordination.
+        assert!(curve[0].advantage > 0.0);
+        // The advantage decays monotonically as routers fail...
+        for w in curve.windows(2) {
+            assert!(w[1].advantage <= w[0].advantage + 1e-12);
+            assert_eq!(w[1].non_coordinated, w[0].non_coordinated);
+        }
+        // ...and has flipped negative by the time the pool is dead.
+        assert!(curve[20].advantage < 0.0);
+    }
+
+    #[test]
+    fn failure_adjusted_optimum_coordinates_less() {
+        let m = model();
+        let healthy = m.degraded_optimal(0.0).unwrap();
+        let baseline = m.optimal_exact().unwrap();
+        assert!((healthy.ell_star - baseline.ell_star).abs() < 1e-6);
+        let mut prev = healthy.ell_star;
+        for rho in [0.2, 0.5, 0.8] {
+            let ell = m.degraded_optimal(rho).unwrap().ell_star;
+            assert!(ell <= prev + 1e-9, "rho={rho}: ell {ell} > {prev}");
+            prev = ell;
+        }
+        // A pool that never answers is not worth provisioning.
+        assert!(m.degraded_optimal(1.0).unwrap().ell_star < 1e-6);
+    }
+
+    #[test]
+    fn rejects_out_of_range_inputs() {
+        let m = model();
+        assert!(m.degraded_breakdown(100.0, 21).is_err());
+        assert!(m.degraded_performance_discrete(100.0, 21).is_err());
+        assert!(m.degradation_curve(100.0, 21).is_err());
+        assert!(m.expected_degraded_breakdown(100.0, -0.1).is_err());
+        assert!(m.expected_degraded_breakdown(100.0, 1.1).is_err());
+        assert!(m.degraded_optimal(f64::NAN).is_err());
+    }
+}

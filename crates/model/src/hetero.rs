@@ -104,12 +104,8 @@ impl HeteroModel {
             .map(|(&c, &l)| (1.0 - l.clamp(0.0, 1.0)) * c)
             .collect();
         let k_max = locals.iter().fold(0.0f64, |m, &k| m.max(k));
-        let pool: f64 = self
-            .capacities
-            .iter()
-            .zip(levels)
-            .map(|(&c, &l)| l.clamp(0.0, 1.0) * c)
-            .sum();
+        let pool: f64 =
+            self.capacities.iter().zip(levels).map(|(&c, &l)| l.clamp(0.0, 1.0) * c).sum();
         let f_net = self.f.cdf(k_max + pool);
         let mut acc = 0.0;
         for &k_i in &locals {
@@ -122,12 +118,8 @@ impl HeteroModel {
     /// Coordination cost `w·Σ ℓ_i·c_i + ŵ`.
     #[must_use]
     pub fn coordination_cost(&self, levels: &[f64]) -> f64 {
-        let pool: f64 = self
-            .capacities
-            .iter()
-            .zip(levels)
-            .map(|(&c, &l)| l.clamp(0.0, 1.0) * c)
-            .sum();
+        let pool: f64 =
+            self.capacities.iter().zip(levels).map(|(&c, &l)| l.clamp(0.0, 1.0) * c).sum();
         self.base.unit_cost() * pool + self.base.fixed_cost()
     }
 
@@ -152,12 +144,7 @@ impl HeteroModel {
         let min = minimize_convex(obj, 0.0, 1.0, 1e-10)?;
         let levels = vec![min.argmin; self.capacities.len()];
         Ok(HeteroStrategy {
-            pool_size: self
-                .capacities
-                .iter()
-                .zip(&levels)
-                .map(|(&c, &l)| c * l)
-                .sum(),
+            pool_size: self.capacities.iter().zip(&levels).map(|(&c, &l)| c * l).sum(),
             objective_value: min.value,
             levels,
         })
@@ -191,12 +178,7 @@ impl HeteroModel {
         let value = self.objective(&levels);
         if value <= best.objective_value {
             best = HeteroStrategy {
-                pool_size: self
-                    .capacities
-                    .iter()
-                    .zip(&levels)
-                    .map(|(&c, &l)| c * l)
-                    .sum(),
+                pool_size: self.capacities.iter().zip(&levels).map(|(&c, &l)| c * l).sum(),
                 objective_value: value,
                 levels,
             };
@@ -231,10 +213,7 @@ mod tests {
             let x = l * params.capacity();
             let t_hetero = hetero.routing_performance(&vec![l; n]);
             let t_flat = flat.routing_performance(x);
-            assert!(
-                (t_hetero - t_flat).abs() < 1e-9,
-                "l={l}: hetero {t_hetero} vs flat {t_flat}"
-            );
+            assert!((t_hetero - t_flat).abs() < 1e-9, "l={l}: hetero {t_hetero} vs flat {t_flat}");
             let w_hetero = hetero.coordination_cost(&vec![l; n]);
             let w_flat = flat.coordination_cost(x);
             assert!((w_hetero - w_flat).abs() < 1e-9);

@@ -43,6 +43,10 @@
 //!   and the `(s, α)` phase map of §IV-D's dichotomy;
 //! - [`hetero`]: the heterogeneous-capacity extension sketched in the
 //!   paper's future work;
+//! - degraded performance under router failures: `T_k(x)` for `k` of
+//!   `n` routers down (tail-slice and expected-random geometries), the
+//!   graceful-degradation curve vs non-coordinated caching, and the
+//!   failure-adjusted optimum ([`CacheModel::degraded_optimal`]);
 //! - [`planner`]: turns measured topology aggregates
 //!   (`ccn-topology::params`) into a provisioning recommendation.
 //!
@@ -95,11 +99,13 @@ pub mod regimes;
 pub mod tradeoff;
 pub mod verify;
 
+mod degradation;
 mod error;
 mod latency;
 mod model;
 mod params;
 
+pub use degradation::DegradationPoint;
 pub use error::ModelError;
 pub use latency::LatencyBreakdown;
 pub use model::{CacheModel, Gains, OptimalStrategy, SolveMethod};

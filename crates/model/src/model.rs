@@ -371,8 +371,7 @@ impl CacheModel {
     pub fn closed_form_alpha1(&self) -> OptimalStrategy {
         let p = &self.params;
         let s = p.zipf_exponent();
-        let ell = 1.0
-            / (p.gamma().powf(-1.0 / s) * p.routers().powf(1.0 - 1.0 / s) + 1.0);
+        let ell = 1.0 / (p.gamma().powf(-1.0 / s) * p.routers().powf(1.0 - 1.0 / s) + 1.0);
         OptimalStrategy {
             x_star: ell * p.capacity(),
             ell_star: ell,
@@ -388,8 +387,7 @@ impl CacheModel {
     pub fn published_closed_form_alpha1(&self) -> OptimalStrategy {
         let p = &self.params;
         let s = p.zipf_exponent();
-        let ell = 1.0
-            / (p.gamma().powf(1.0 / s) * p.routers().powf(1.0 - 1.0 / s) + 1.0);
+        let ell = 1.0 / (p.gamma().powf(1.0 / s) * p.routers().powf(1.0 - 1.0 / s) + 1.0);
         OptimalStrategy {
             x_star: ell * p.capacity(),
             ell_star: ell,
@@ -524,9 +522,7 @@ mod tests {
         );
         // The discrete objective at the discrete optimum is never
         // worse than at the rounded continuous optimum.
-        assert!(
-            disc.objective_value <= m.objective_discrete(cont.x_star.round()) + 1e-12
-        );
+        assert!(disc.objective_value <= m.objective_discrete(cont.x_star.round()) + 1e-12);
     }
 
     #[test]
@@ -596,11 +592,7 @@ mod tests {
         // At alpha=1, gamma=5, n=20 the paper's Figure 5 shows ell*
         // decreasing from ~1 (s -> 0) to ~0.35 (s -> 2).
         let at = |s: f64| {
-            let p = ModelParams::builder()
-                .zipf_exponent(s)
-                .alpha(1.0)
-                .build()
-                .unwrap();
+            let p = ModelParams::builder().zipf_exponent(s).alpha(1.0).build().unwrap();
             CacheModel::new(p).unwrap().closed_form_alpha1().ell_star
         };
         assert!(at(0.1) > 0.95, "s->0 should approach 1, got {}", at(0.1));
@@ -645,11 +637,7 @@ mod tests {
     fn ell_star_decreases_with_unit_cost_at_low_alpha() {
         // Figure 7's phenomenon.
         let at = |w: f64| {
-            let p = ModelParams::builder()
-                .alpha(0.3)
-                .amortized_unit_cost(w)
-                .build()
-                .unwrap();
+            let p = ModelParams::builder().alpha(0.3).amortized_unit_cost(w).build().unwrap();
             CacheModel::new(p).unwrap().optimal_exact().unwrap().ell_star
         };
         assert!(at(100.0) < at(10.0));

@@ -318,9 +318,8 @@ impl ModelParamsBuilder {
     /// Returns [`ModelError::InvalidParameter`] naming the first
     /// violated condition.
     pub fn build(&self) -> Result<ModelParams, ModelError> {
-        let err = |name, value, constraint| {
-            Err(ModelError::InvalidParameter { name, value, constraint })
-        };
+        let err =
+            |name, value, constraint| Err(ModelError::InvalidParameter { name, value, constraint });
         if !self.s.is_finite() || self.s <= 0.0 || self.s >= 2.0 || (self.s - 1.0).abs() < 1e-9 {
             return err("s", self.s, "s in (0,1) or (1,2) (Lemma 1)");
         }
@@ -353,11 +352,8 @@ impl ModelParamsBuilder {
         }
         let d1 = self.d0 + self.d1_minus_d0;
         let d2 = d1 + self.gamma * self.d1_minus_d0;
-        let unit_cost = if self.amortize {
-            self.unit_cost_raw / self.catalogue
-        } else {
-            self.unit_cost_raw
-        };
+        let unit_cost =
+            if self.amortize { self.unit_cost_raw / self.catalogue } else { self.unit_cost_raw };
         Ok(ModelParams {
             s: self.s,
             n: self.n,
@@ -423,10 +419,7 @@ mod tests {
 
     #[test]
     fn absolute_latencies_derive_gamma() {
-        let p = ModelParams::builder()
-            .absolute_latencies(10.0, 25.0, 100.0)
-            .build()
-            .unwrap();
+        let p = ModelParams::builder().absolute_latencies(10.0, 25.0, 100.0).build().unwrap();
         assert!((p.gamma() - 5.0).abs() < 1e-12);
         assert!((p.t1() - 2.5).abs() < 1e-12);
         assert!((p.t2() - 4.0).abs() < 1e-12);

@@ -111,11 +111,7 @@ pub fn params_from_topology(
     topo: &TopologyParams,
     config: &PlannerConfig,
 ) -> Result<ModelParams, ModelError> {
-    let d1_minus_d0 = if config.use_hop_metric {
-        topo.mean_hops
-    } else {
-        topo.mean_latency_ms
-    };
+    let d1_minus_d0 = if config.use_hop_metric { topo.mean_hops } else { topo.mean_latency_ms };
     ModelParams::builder()
         .zipf_exponent(config.zipf_exponent)
         .routers_f64(topo.n as f64)
@@ -244,8 +240,10 @@ mod tests {
     #[test]
     fn hop_and_ms_metrics_both_work() {
         let topo = extract(&datasets::abilene());
-        let hop = plan(&topo, &PlannerConfig { use_hop_metric: true, ..Default::default() }).unwrap();
-        let ms = plan(&topo, &PlannerConfig { use_hop_metric: false, ..Default::default() }).unwrap();
+        let hop =
+            plan(&topo, &PlannerConfig { use_hop_metric: true, ..Default::default() }).unwrap();
+        let ms =
+            plan(&topo, &PlannerConfig { use_hop_metric: false, ..Default::default() }).unwrap();
         assert!((hop.params.d1() - topo.mean_hops).abs() < 1e-12);
         assert!((ms.params.d1() - topo.mean_latency_ms).abs() < 1e-12);
     }
@@ -263,8 +261,7 @@ mod tests {
     fn inverse_capacity_meets_the_target() {
         let topo = extract(&datasets::us_a());
         let config = PlannerConfig { catalogue: 1e5, ..Default::default() };
-        let (c, plan) =
-            capacity_for_target_origin_load(&topo, &config, 0.3, 1e5).unwrap();
+        let (c, plan) = capacity_for_target_origin_load(&topo, &config, 0.3, 1e5).unwrap();
         assert!(plan.gains.origin_load <= 0.3 + 1e-6, "plan load {}", plan.gains.origin_load);
         // Minimality: 30% less capacity misses the target.
         let smaller = PlannerConfig { capacity: c * 0.7, ..config };

@@ -38,10 +38,7 @@ pub fn table_iv_defaults() -> Result<ModelParams, ModelError> {
 ///
 /// Returns [`ModelError::InvalidParameter`] for out-of-range inputs.
 pub fn fig4_family(gamma: f64, alpha: f64) -> Result<ModelParams, ModelError> {
-    ModelParams::builder()
-        .latency_tiers(0.0, 2.2842, gamma)
-        .alpha(alpha)
-        .build()
+    ModelParams::builder().latency_tiers(0.0, 2.2842, gamma).alpha(alpha).build()
 }
 
 /// Parameters for one point of Figures 5/9/13: Zipf exponent `s`

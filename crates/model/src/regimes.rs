@@ -85,12 +85,7 @@ impl PhaseMap {
         if total == 0 {
             return 0.0;
         }
-        let hits: usize = self
-            .cells
-            .iter()
-            .flatten()
-            .filter(|&&(_, r)| r == regime)
-            .count();
+        let hits: usize = self.cells.iter().flatten().filter(|&&(_, r)| r == regime).count();
         hits as f64 / total as f64
     }
 }

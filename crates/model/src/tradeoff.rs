@@ -82,8 +82,10 @@ pub fn knee_point(frontier: &[ParetoPoint]) -> Option<ParetoPoint> {
     frontier
         .iter()
         .min_by(|a, b| {
-            let da = ((a.routing_performance - t_min) / t_span).hypot((a.coordination_cost - w_min) / w_span);
-            let db = ((b.routing_performance - t_min) / t_span).hypot((b.coordination_cost - w_min) / w_span);
+            let da = ((a.routing_performance - t_min) / t_span)
+                .hypot((a.coordination_cost - w_min) / w_span);
+            let db = ((b.routing_performance - t_min) / t_span)
+                .hypot((b.coordination_cost - w_min) / w_span);
             da.total_cmp(&db)
         })
         .copied()
@@ -171,11 +173,7 @@ mod tests {
             // Re-solving with that alpha recovers the level.
             let params = m.params().with_alpha(alpha).unwrap();
             let re = CacheModel::new(params).unwrap().optimal_exact().unwrap();
-            assert!(
-                (re.ell_star - ell).abs() < 0.01,
-                "ell={ell}: recovered {}",
-                re.ell_star
-            );
+            assert!((re.ell_star - ell).abs() < 0.01, "ell={ell}: recovered {}", re.ell_star);
         }
     }
 

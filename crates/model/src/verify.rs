@@ -63,10 +63,8 @@ pub fn analytic_second_derivative(model: &CacheModel, x: f64) -> f64 {
     let n = p.routers();
     let k = s * (1.0 - s) * alpha / (p.catalogue().powf(1.0 - s) - 1.0);
     let local = (p.d1() - p.d0()) * (p.capacity() - x).powf(-s - 1.0);
-    let coop = (p.d2() - p.d1())
-        * (n - 1.0)
-        * (n - 1.0)
-        * (p.capacity() + (n - 1.0) * x).powf(-s - 1.0);
+    let coop =
+        (p.d2() - p.d1()) * (n - 1.0) * (n - 1.0) * (p.capacity() + (n - 1.0) * x).powf(-s - 1.0);
     // Differentiating Eq. 2 twice: T'' = K[(d1-d0)(c-x)^{-s-1}
     //   + (d2-d1)(n-1)^2 (c+(n-1)x)^{-s-1}] — both curvature terms
     // reinforce convexity.
@@ -168,10 +166,8 @@ mod tests {
     use crate::{CacheModel, ModelParams};
 
     fn model(s: f64, alpha: f64) -> CacheModel {
-        CacheModel::new(
-            ModelParams::builder().zipf_exponent(s).alpha(alpha).build().unwrap(),
-        )
-        .unwrap()
+        CacheModel::new(ModelParams::builder().zipf_exponent(s).alpha(alpha).build().unwrap())
+            .unwrap()
     }
 
     #[test]

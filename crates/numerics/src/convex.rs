@@ -61,12 +61,7 @@ pub fn convexity_report(
             worst_at = Some(lo + i as f64 * h);
         }
     }
-    ConvexityReport {
-        points: points - 2,
-        worst_violation: worst,
-        worst_at,
-        tolerance: tol,
-    }
+    ConvexityReport { points: points - 2, worst_violation: worst, worst_at, tolerance: tol }
 }
 
 #[cfg(test)]
@@ -101,8 +96,7 @@ mod tests {
         // -a(c-x)^{1-s} - b(c+(n-1)x)^{1-s} + w x, s in (0,1): convex.
         let (c, n, s) = (1000.0, 20.0, 0.8);
         let f = move |x: f64| {
-            -(c - x).max(1e-9).powf(1.0 - s) - 4.0 * (c + (n - 1.0) * x).powf(1.0 - s)
-                + 0.01 * x
+            -(c - x).max(1e-9).powf(1.0 - s) - 4.0 * (c + (n - 1.0) * x).powf(1.0 - s) + 0.01 * x
         };
         let r = convexity_report(f, 0.0, c - 1.0, 501, 1e-10);
         assert!(r.is_convex(), "violation {} at {:?}", r.worst_violation, r.worst_at);

@@ -65,8 +65,6 @@ mod tests {
         let f = move |x: f64| x.powf(-s);
         let x = 5.0;
         assert!((slope(f, x, 1e-5) - (-s * x.powf(-s - 1.0))).abs() < 1e-8);
-        assert!(
-            (second_derivative(f, x, 1e-4) - s * (s + 1.0) * x.powf(-s - 2.0)).abs() < 1e-6
-        );
+        assert!((second_derivative(f, x, 1e-4) - s * (s + 1.0) * x.powf(-s - 2.0)).abs() < 1e-6);
     }
 }

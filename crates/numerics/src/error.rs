@@ -46,16 +46,10 @@ impl fmt::Display for NumericsError {
                 write!(f, "invalid search interval [{lo}, {hi}]")
             }
             NumericsError::NoSignChange { f_lo, f_hi } => {
-                write!(
-                    f,
-                    "endpoint values {f_lo} and {f_hi} do not bracket a sign change"
-                )
+                write!(f, "endpoint values {f_lo} and {f_hi} do not bracket a sign change")
             }
             NumericsError::DidNotConverge { best, iterations } => {
-                write!(
-                    f,
-                    "did not converge after {iterations} iterations (best abscissa {best})"
-                )
+                write!(f, "did not converge after {iterations} iterations (best abscissa {best})")
             }
             NumericsError::NonFiniteValue { at } => {
                 write!(f, "objective returned a non-finite value at {at}")

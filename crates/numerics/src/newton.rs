@@ -67,11 +67,7 @@ pub fn newton_bisect(
         // Newton step, safeguarded into the bracket.
         let d = df(x);
         let newton = if d != 0.0 && d.is_finite() { x - fx / d } else { f64::NAN };
-        x = if newton.is_finite() && newton > lo && newton < hi {
-            newton
-        } else {
-            0.5 * (lo + hi)
-        };
+        x = if newton.is_finite() && newton > lo && newton < hi { newton } else { 0.5 * (lo + hi) };
     }
     Err(NumericsError::DidNotConverge { best: x, iterations: MAX_ITERS })
 }

@@ -82,10 +82,7 @@ pub fn bisect(
             hi = mid;
         }
     }
-    Err(NumericsError::DidNotConverge {
-        best: 0.5 * (lo + hi),
-        iterations: MAX_ITERS,
-    })
+    Err(NumericsError::DidNotConverge { best: 0.5 * (lo + hi), iterations: MAX_ITERS })
 }
 
 /// Brent's method on `[lo, hi]`: inverse quadratic interpolation with
@@ -95,12 +92,7 @@ pub fn bisect(
 /// # Errors
 ///
 /// Same contract as [`bisect`].
-pub fn brent(
-    f: impl Fn(f64) -> f64,
-    lo: f64,
-    hi: f64,
-    tol: f64,
-) -> Result<Root, NumericsError> {
+pub fn brent(f: impl Fn(f64) -> f64, lo: f64, hi: f64, tol: f64) -> Result<Root, NumericsError> {
     check_interval(lo, hi, tol)?;
     let mut a = lo;
     let mut b = hi;
@@ -144,11 +136,7 @@ pub fn brent(
             b - fb * (b - a) / (fb - fa)
         };
         let lo_bound = (3.0 * a + b) / 4.0;
-        let in_bounds = if lo_bound < b {
-            s > lo_bound && s < b
-        } else {
-            s > b && s < lo_bound
-        };
+        let in_bounds = if lo_bound < b { s > lo_bound && s < b } else { s > b && s < lo_bound };
         let bisect_instead = !in_bounds
             || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
             || (!mflag && (s - b).abs() >= d.abs() / 2.0)
@@ -222,10 +210,7 @@ mod tests {
 
     #[test]
     fn rejects_malformed_inputs() {
-        assert!(matches!(
-            brent(|x| x, 1.0, 0.0, 1e-9),
-            Err(NumericsError::InvalidInterval { .. })
-        ));
+        assert!(matches!(brent(|x| x, 1.0, 0.0, 1e-9), Err(NumericsError::InvalidInterval { .. })));
         assert!(matches!(
             brent(|x| x, 0.0, 1.0, -1.0),
             Err(NumericsError::InvalidTolerance { .. })

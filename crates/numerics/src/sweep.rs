@@ -4,8 +4,8 @@
 //! optimal strategy or a gain metric over one parameter while others
 //! are held at the Table-IV defaults. [`sweep`] runs a closure over a
 //! grid sequentially; [`sweep_parallel`] fans the grid out across
-//! threads with `crossbeam::scope` (the closure only needs `Sync`, no
-//! `'static` bound, so figure code can borrow locals).
+//! threads with `std::thread::scope` (the closure only needs `Sync`,
+//! no `'static` bound, so figure code can borrow locals).
 
 /// Builds a uniformly spaced grid of `points` values covering
 /// `[lo, hi]` inclusive.
@@ -33,10 +33,7 @@ pub fn linspace(lo: f64, hi: f64, points: usize) -> Vec<f64> {
 #[must_use]
 pub fn logspace(lo: f64, hi: f64, points: usize) -> Vec<f64> {
     assert!(lo > 0.0 && hi >= lo, "logspace needs 0 < lo <= hi");
-    linspace(lo.ln(), hi.ln(), points)
-        .into_iter()
-        .map(f64::exp)
-        .collect()
+    linspace(lo.ln(), hi.ln(), points).into_iter().map(f64::exp).collect()
 }
 
 /// Evaluates `f` at every grid point, returning `(x, f(x))` pairs in
@@ -62,7 +59,7 @@ pub fn sweep_parallel<T: Send>(
     let threads = threads.min(grid.len());
     let mut slots: Vec<Option<(f64, T)>> = Vec::with_capacity(grid.len());
     slots.resize_with(grid.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let chunk = grid.len().div_ceil(threads);
         let mut rest = slots.as_mut_slice();
         let mut offset = 0;
@@ -76,19 +73,15 @@ pub fn sweep_parallel<T: Send>(
             let base = offset;
             offset += take;
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, slot) in head.iter_mut().enumerate() {
                     let x = grid[base + i];
                     *slot = Some((x, f(x)));
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
-    slots
-        .into_iter()
-        .map(|s| s.expect("all slots filled"))
-        .collect()
+    });
+    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
 }
 
 #[cfg(test)]

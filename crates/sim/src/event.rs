@@ -38,6 +38,15 @@ pub(crate) enum EventKind {
         node: usize,
         /// Served content.
         content: ContentId,
+        /// Whether this fetch fell through to the origin only because
+        /// the coordinated holder was down or unreachable.
+        failure_induced: bool,
+    },
+    /// A failure-schedule transition takes effect (index into the
+    /// [`crate::FailureScenario`]).
+    Failure {
+        /// Index of the transition in the scenario.
+        index: usize,
     },
     /// A scheduled re-provisioning takes effect (index into the
     /// deployment schedule).
@@ -63,8 +72,12 @@ pub(crate) enum EventKind {
 pub(crate) enum DataSource {
     /// Served from a router's content store.
     Store(usize),
-    /// Served by the virtual origin.
-    Origin,
+    /// Served by the virtual origin; `failure_induced` marks fetches
+    /// that escaped only because the holder was down or unreachable.
+    Origin {
+        /// Whether a failure forced this origin fetch.
+        failure_induced: bool,
+    },
 }
 
 #[derive(Debug)]
@@ -85,10 +98,7 @@ impl Eq for Event {}
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap: earliest time first, then insertion order.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -1,0 +1,345 @@
+//! Fault injection: seeded failure models and scripted failure
+//! scenarios driven through the simulator's event queue.
+//!
+//! The paper's model assumes every router is up and every provisioning
+//! round completes. This module provides the machinery to break that
+//! assumption deterministically: a [`FailureScenario`] is a
+//! time-ordered script of element state transitions (router
+//! crash/recover, link down/up), either hand-written for targeted
+//! experiments or drawn from a seeded [`FailureModel`] with
+//! exponential time-to-failure and time-to-repair. The simulator
+//! replays the scenario through its event queue, recomputing
+//! reachability on every transition; identical seed + scenario ⇒
+//! identical metrics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SimError;
+
+/// One element state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Router crashes: its PIT is flushed, packets addressed to it are
+    /// dropped, and routing reconverges around it. Its provisioned
+    /// store survives (warm storage) and serves again after recovery.
+    RouterDown(usize),
+    /// Router recovers and rejoins the forwarding plane.
+    RouterUp(usize),
+    /// The link between the two routers goes down (unordered pair).
+    LinkDown(usize, usize),
+    /// The link between the two routers comes back up.
+    LinkUp(usize, usize),
+}
+
+impl FailureKind {
+    /// The routers this transition touches.
+    fn endpoints(self) -> (usize, Option<usize>) {
+        match self {
+            FailureKind::RouterDown(r) | FailureKind::RouterUp(r) => (r, None),
+            FailureKind::LinkDown(a, b) | FailureKind::LinkUp(a, b) => (a, Some(b)),
+        }
+    }
+}
+
+/// A timestamped failure transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureEvent {
+    /// Simulation time the transition takes effect (ms).
+    pub at_ms: f64,
+    /// The transition.
+    pub kind: FailureKind,
+}
+
+/// A time-ordered schedule of failure transitions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailureScenario {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureScenario {
+    /// An empty scenario (no failures — the paper's clean-state world).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a scenario from arbitrary events, sorting them by time.
+    #[must_use]
+    pub fn new(mut events: Vec<FailureEvent>) -> Self {
+        events.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        Self { events }
+    }
+
+    /// Adds a router outage: down at `down_ms`, recovering at `up_ms`
+    /// (pass [`f64::INFINITY`] for a permanent crash).
+    #[must_use]
+    pub fn with_router_outage(mut self, router: usize, down_ms: f64, up_ms: f64) -> Self {
+        self.push(down_ms, FailureKind::RouterDown(router));
+        if up_ms.is_finite() {
+            self.push(up_ms, FailureKind::RouterUp(router));
+        }
+        self
+    }
+
+    /// Adds a link outage: down at `down_ms`, recovering at `up_ms`
+    /// (pass [`f64::INFINITY`] for a permanent cut).
+    #[must_use]
+    pub fn with_link_outage(mut self, a: usize, b: usize, down_ms: f64, up_ms: f64) -> Self {
+        self.push(down_ms, FailureKind::LinkDown(a, b));
+        if up_ms.is_finite() {
+            self.push(up_ms, FailureKind::LinkUp(a, b));
+        }
+        self
+    }
+
+    fn push(&mut self, at_ms: f64, kind: FailureKind) {
+        let i = self.events.partition_point(|e| e.at_ms <= at_ms);
+        self.events.insert(i, FailureEvent { at_ms, kind });
+    }
+
+    /// The schedule, sorted by time.
+    #[must_use]
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Whether the scenario contains no transitions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validates the schedule against a network of `routers` routers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownRouter`] for an out-of-range router
+    /// and [`SimError::InvalidConfig`] for a non-finite or negative
+    /// transition time.
+    pub fn validate(&self, routers: usize) -> Result<(), SimError> {
+        for e in &self.events {
+            if !e.at_ms.is_finite() || e.at_ms < 0.0 {
+                return Err(SimError::InvalidConfig {
+                    reason: format!("failure time {} must be finite and non-negative", e.at_ms),
+                });
+            }
+            let (a, b) = e.kind.endpoints();
+            for r in std::iter::once(a).chain(b) {
+                if r >= routers {
+                    return Err(SimError::UnknownRouter { router: r, routers });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mean time between failures / to repair, per element class.
+/// [`f64::INFINITY`] disables a class entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureConfig {
+    /// Mean up-time before a router crashes (ms).
+    pub router_mtbf_ms: f64,
+    /// Mean repair time of a crashed router (ms).
+    pub router_mttr_ms: f64,
+    /// Mean up-time before a link fails (ms).
+    pub link_mtbf_ms: f64,
+    /// Mean repair time of a downed link (ms).
+    pub link_mttr_ms: f64,
+}
+
+impl Default for FailureConfig {
+    /// Everything reliable: no failures unless configured.
+    fn default() -> Self {
+        Self {
+            router_mtbf_ms: f64::INFINITY,
+            router_mttr_ms: 1_000.0,
+            link_mtbf_ms: f64::INFINITY,
+            link_mttr_ms: 500.0,
+        }
+    }
+}
+
+/// Seeded generator of random [`FailureScenario`]s.
+///
+/// Each element alternates exponential up and down periods
+/// (memoryless crash/repair — the standard availability model), drawn
+/// from its own deterministic RNG stream so schedules are reproducible
+/// and independent of iteration order.
+#[derive(Debug, Clone)]
+pub struct FailureModel {
+    config: FailureConfig,
+    seed: u64,
+}
+
+impl FailureModel {
+    /// Builds a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when any mean is zero,
+    /// negative, or NaN (infinite means are allowed and disable the
+    /// class).
+    pub fn new(config: FailureConfig, seed: u64) -> Result<Self, SimError> {
+        for (label, mean) in [
+            ("router_mtbf_ms", config.router_mtbf_ms),
+            ("router_mttr_ms", config.router_mttr_ms),
+            ("link_mtbf_ms", config.link_mtbf_ms),
+            ("link_mttr_ms", config.link_mttr_ms),
+        ] {
+            if mean.is_nan() || mean <= 0.0 {
+                return Err(SimError::InvalidConfig {
+                    reason: format!("{label} = {mean} must be positive"),
+                });
+            }
+        }
+        Ok(Self { config, seed })
+    }
+
+    /// Draws a failure schedule for `routers` routers and the given
+    /// links over `[0, horizon_ms)`.
+    #[must_use]
+    pub fn schedule(
+        &self,
+        routers: usize,
+        links: &[(usize, usize)],
+        horizon_ms: f64,
+    ) -> FailureScenario {
+        let mut events = Vec::new();
+        for router in 0..routers {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ (0x5eed_0001 + router as u64));
+            alternate(
+                &mut rng,
+                self.config.router_mtbf_ms,
+                self.config.router_mttr_ms,
+                horizon_ms,
+                |t, down| {
+                    events.push(FailureEvent {
+                        at_ms: t,
+                        kind: if down {
+                            FailureKind::RouterDown(router)
+                        } else {
+                            FailureKind::RouterUp(router)
+                        },
+                    });
+                },
+            );
+        }
+        for (i, &(a, b)) in links.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ (0x11f0_0000_0000 + i as u64));
+            alternate(
+                &mut rng,
+                self.config.link_mtbf_ms,
+                self.config.link_mttr_ms,
+                horizon_ms,
+                |t, down| {
+                    events.push(FailureEvent {
+                        at_ms: t,
+                        kind: if down {
+                            FailureKind::LinkDown(a, b)
+                        } else {
+                            FailureKind::LinkUp(a, b)
+                        },
+                    });
+                },
+            );
+        }
+        FailureScenario::new(events)
+    }
+}
+
+/// Walks one element's alternating up/down renewal process, invoking
+/// `emit(time, is_down)` for each transition before the horizon.
+fn alternate(
+    rng: &mut StdRng,
+    mtbf_ms: f64,
+    mttr_ms: f64,
+    horizon_ms: f64,
+    mut emit: impl FnMut(f64, bool),
+) {
+    if !mtbf_ms.is_finite() {
+        return;
+    }
+    let mut t = 0.0;
+    loop {
+        t += exponential(rng, mtbf_ms);
+        if t >= horizon_ms {
+            return;
+        }
+        emit(t, true);
+        if !mttr_ms.is_finite() {
+            return;
+        }
+        t += exponential(rng, mttr_ms);
+        if t >= horizon_ms {
+            return;
+        }
+        emit(t, false);
+    }
+}
+
+/// Inverse-CDF exponential draw with the given mean.
+fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(1e-300);
+    -u.ln() * mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_scenario_sorts_and_validates() {
+        let s = FailureScenario::none()
+            .with_router_outage(2, 500.0, 900.0)
+            .with_link_outage(0, 1, 100.0, f64::INFINITY)
+            .with_router_outage(1, 50.0, f64::INFINITY);
+        let times: Vec<f64> = s.events().iter().map(|e| e.at_ms).collect();
+        assert_eq!(times, vec![50.0, 100.0, 500.0, 900.0]);
+        assert!(s.validate(3).is_ok());
+        assert!(matches!(s.validate(2), Err(SimError::UnknownRouter { router: 2, routers: 2 })));
+        assert!(matches!(
+            FailureScenario::new(vec![FailureEvent {
+                at_ms: -1.0,
+                kind: FailureKind::RouterDown(0)
+            }])
+            .validate(3),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn model_is_deterministic_and_respects_horizon() {
+        let cfg = FailureConfig {
+            router_mtbf_ms: 2_000.0,
+            router_mttr_ms: 500.0,
+            link_mtbf_ms: 5_000.0,
+            link_mttr_ms: 200.0,
+        };
+        let model = FailureModel::new(cfg, 42).unwrap();
+        let links = [(0, 1), (1, 2)];
+        let a = model.schedule(3, &links, 50_000.0);
+        let b = model.schedule(3, &links, 50_000.0);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.is_empty(), "mtbf well under horizon generates failures");
+        assert!(a.events().iter().all(|e| e.at_ms < 50_000.0));
+        assert!(a.validate(3).is_ok());
+        let c = FailureModel::new(cfg, 43).unwrap().schedule(3, &links, 50_000.0);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn disabled_classes_emit_nothing() {
+        let model = FailureModel::new(FailureConfig::default(), 7).unwrap();
+        assert!(model.schedule(10, &[(0, 1)], 1e9).is_empty());
+    }
+
+    #[test]
+    fn invalid_means_are_rejected() {
+        for bad in [0.0, -5.0, f64::NAN] {
+            let cfg = FailureConfig { router_mtbf_ms: bad, ..Default::default() };
+            assert!(FailureModel::new(cfg, 0).is_err(), "mean {bad} accepted");
+        }
+    }
+}

@@ -47,6 +47,7 @@ pub mod workload;
 mod content;
 mod error;
 mod event;
+mod failure;
 mod metrics;
 mod network;
 mod pit;
@@ -55,6 +56,7 @@ mod simulator;
 
 pub use content::ContentId;
 pub use error::SimError;
+pub use failure::{FailureConfig, FailureEvent, FailureKind, FailureModel, FailureScenario};
 pub use metrics::{Metrics, ServedBy};
 pub use network::{CachingMode, Network, NetworkBuilder, OriginConfig};
 pub use placement::Placement;

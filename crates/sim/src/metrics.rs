@@ -49,6 +49,21 @@ pub struct Metrics {
     pub reprovision_moves: u64,
     /// Re-provisioning events executed during the run.
     pub reprovision_events: u64,
+    /// Failure-schedule transitions applied (router/link down/up).
+    pub failure_transitions: u64,
+    /// Packets dropped at crashed routers or severed links.
+    pub packets_dropped: u64,
+    /// Client requests lost because the client's own router was down
+    /// when they were issued (post-warmup).
+    pub requests_lost: u64,
+    /// PIT entries flushed when their router crashed (their waiting
+    /// downstreams starve).
+    pub pit_entries_flushed: u64,
+    /// Origin completions that would have been in-network peer hits
+    /// had the coordinated holder been up and reachable — the
+    /// failure-induced share of [`Metrics::origin`]. Baseline misses
+    /// are `origin - failure_induced_origin`.
+    pub failure_induced_origin: u64,
 }
 
 impl Metrics {
@@ -154,6 +169,24 @@ impl Metrics {
             return 0.0;
         }
         self.completed as f64 / self.issued as f64
+    }
+
+    /// Origin completions that are baseline misses (would have escaped
+    /// to the origin even with every router up).
+    #[must_use]
+    pub fn baseline_origin(&self) -> u64 {
+        self.origin - self.failure_induced_origin
+    }
+
+    /// Fraction of completions pushed to the origin *by failures* —
+    /// the simulated counterpart of the model's `T_k(x) − T(x)`
+    /// origin-mass shift.
+    #[must_use]
+    pub fn failure_induced_origin_load(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.failure_induced_origin as f64 / self.completed as f64
     }
 }
 

@@ -162,16 +162,10 @@ impl NetworkBuilder {
     /// # Errors
     ///
     /// Returns [`SimError::UnknownRouter`] for an out-of-range index.
-    pub fn store(
-        mut self,
-        router: usize,
-        store: Box<dyn ContentStore>,
-    ) -> Result<Self, SimError> {
+    pub fn store(mut self, router: usize, store: Box<dyn ContentStore>) -> Result<Self, SimError> {
         let n = self.stores.len();
-        let slot = self
-            .stores
-            .get_mut(router)
-            .ok_or(SimError::UnknownRouter { router, routers: n })?;
+        let slot =
+            self.stores.get_mut(router).ok_or(SimError::UnknownRouter { router, routers: n })?;
         *slot = Some(store);
         Ok(self)
     }
@@ -179,10 +173,7 @@ impl NetworkBuilder {
     /// Installs stores produced by `factory(router)` at every router
     /// that does not yet have one.
     #[must_use]
-    pub fn stores_with(
-        mut self,
-        mut factory: impl FnMut(usize) -> Box<dyn ContentStore>,
-    ) -> Self {
+    pub fn stores_with(mut self, mut factory: impl FnMut(usize) -> Box<dyn ContentStore>) -> Self {
         for (router, slot) in self.stores.iter_mut().enumerate() {
             if slot.is_none() {
                 *slot = Some(factory(router));
@@ -236,7 +227,10 @@ impl NetworkBuilder {
         }
         if let Some(gw) = self.origin.gateway {
             if gw >= self.graph.node_count() {
-                return Err(SimError::UnknownRouter { router: gw, routers: self.graph.node_count() });
+                return Err(SimError::UnknownRouter {
+                    router: gw,
+                    routers: self.graph.node_count(),
+                });
             }
         }
         let routes = all_pairs(&self.graph);

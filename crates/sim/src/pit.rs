@@ -55,6 +55,14 @@ impl Pit {
     pub(crate) fn pending(&self) -> usize {
         self.entries.len()
     }
+
+    /// Drops every entry (router crash loses PIT state), returning the
+    /// number of distinct contents that were pending.
+    pub(crate) fn flush(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,9 @@ enum Scheme {
     Rendezvous,
     /// Explicit contiguous slices: `(one-past-end, router)` sorted by
     /// boundary; slice `i` covers `[bounds[i-1].0, bounds[i].0)`.
-    Explicit { bounds: Vec<(u64, usize)> },
+    Explicit {
+        bounds: Vec<(u64, usize)>,
+    },
 }
 
 /// SplitMix64-style scrambler shared by the hash schemes.
@@ -66,10 +68,7 @@ impl Placement {
     #[must_use]
     pub fn range(start: u64, end: u64, routers: Vec<usize>) -> Self {
         assert!(end >= start, "range must not be reversed");
-        assert!(
-            routers.is_empty() == (end == start),
-            "non-empty coordinated range needs routers"
-        );
+        assert!(routers.is_empty() == (end == start), "non-empty coordinated range needs routers");
         Self { start, end, routers, scheme: Scheme::Range }
     }
 
@@ -81,10 +80,7 @@ impl Placement {
     #[must_use]
     pub fn hash(start: u64, end: u64, routers: Vec<usize>) -> Self {
         assert!(end >= start, "range must not be reversed");
-        assert!(
-            routers.is_empty() == (end == start),
-            "non-empty coordinated range needs routers"
-        );
+        assert!(routers.is_empty() == (end == start), "non-empty coordinated range needs routers");
         Self { start, end, routers, scheme: Scheme::Hash }
     }
 
@@ -100,10 +96,7 @@ impl Placement {
     #[must_use]
     pub fn rendezvous(start: u64, end: u64, routers: Vec<usize>) -> Self {
         assert!(end >= start, "range must not be reversed");
-        assert!(
-            routers.is_empty() == (end == start),
-            "non-empty coordinated range needs routers"
-        );
+        assert!(routers.is_empty() == (end == start), "non-empty coordinated range needs routers");
         Self { start, end, routers, scheme: Scheme::Rendezvous }
     }
 
@@ -155,13 +148,10 @@ impl Placement {
                 } else {
                     // base == 0 only when routers outnumber ranks, in
                     // which case every rank sits below `boundary`.
-                    rem + (offset - boundary)
-                        / if base > 0 { base } else { 1 }
+                    rem + (offset - boundary) / if base > 0 { base } else { 1 }
                 }) as usize
             }
-            Scheme::Hash => {
-                (mix(content.rank()) % n) as usize
-            }
+            Scheme::Hash => (mix(content.rank()) % n) as usize,
             Scheme::Rendezvous => {
                 let rank = content.rank();
                 self.routers
@@ -174,10 +164,7 @@ impl Placement {
             Scheme::Explicit { bounds } => {
                 let rank = content.rank();
                 // First boundary strictly above the rank owns it.
-                return bounds
-                    .iter()
-                    .find(|&&(end, _)| rank < end)
-                    .map(|&(_, router)| router);
+                return bounds.iter().find(|&&(end, _)| rank < end).map(|&(_, router)| router);
             }
         };
         Some(self.routers[idx])
@@ -186,9 +173,7 @@ impl Placement {
     /// The slice of coordinated ranks held by `router`.
     #[must_use]
     pub fn slice_of(&self, router: usize) -> Vec<u64> {
-        (self.start..self.end)
-            .filter(|&r| self.holder(ContentId(r)) == Some(router))
-            .collect()
+        (self.start..self.end).filter(|&r| self.holder(ContentId(r)) == Some(router)).collect()
     }
 
     /// Number of coordinated contents.
@@ -344,10 +329,7 @@ mod churn_tests {
         let range_moved = range_before.movement_cost(&range_after);
 
         let ideal = contents / 11;
-        assert!(
-            hrw_moved < 2 * ideal,
-            "hrw moved {hrw_moved}, ideal ~{ideal}"
-        );
+        assert!(hrw_moved < 2 * ideal, "hrw moved {hrw_moved}, ideal ~{ideal}");
         assert!(hrw_moved * 4 < hash_moved, "hash moved {hash_moved}");
         assert!(hrw_moved * 4 < range_moved, "range moved {range_moved}");
     }

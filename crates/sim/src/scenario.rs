@@ -6,7 +6,9 @@ use ccn_topology::Graph;
 use crate::network::{CachingMode, OriginConfig};
 use crate::store::{ContentStore, StaticStore};
 use crate::workload::{deterministic_cycle, sort_requests, zipf_irm};
-use crate::{ContentId, Metrics, Network, Placement, SimConfig, SimError, Simulator};
+use crate::{
+    ContentId, FailureScenario, Metrics, Network, Placement, SimConfig, SimError, Simulator,
+};
 
 /// Outcome of the motivating-example comparison (Table I).
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +63,8 @@ pub fn motivating() -> Result<MotivatingOutcome, SimError> {
     // zero-length warmup (stores are static, steady state from t=0).
     // Requests are spaced far apart so PIT aggregation never kicks in,
     // matching the example's per-request accounting.
-    let mut requests = deterministic_cycle(1, &[CONTENT_A, CONTENT_A, CONTENT_B], 100.0, 0.0, 600.0)?;
+    let mut requests =
+        deterministic_cycle(1, &[CONTENT_A, CONTENT_A, CONTENT_B], 100.0, 0.0, 600.0)?;
     requests.extend(deterministic_cycle(
         2,
         &[CONTENT_A, CONTENT_A, CONTENT_B],
@@ -164,6 +167,27 @@ impl Default for SteadyStateConfig {
 /// Returns [`SimError::InvalidConfig`] for `ell ∉ [0, 1]` or a
 /// capacity of zero, and propagates workload/network errors.
 pub fn steady_state(graph: Graph, config: &SteadyStateConfig) -> Result<Metrics, SimError> {
+    steady_state_with_failures(graph, config, FailureScenario::none(), &[])
+}
+
+/// Like [`steady_state`], but fault-injected: `failures` is replayed
+/// during the run, and clients are attached only to the routers in
+/// `clients` (all routers when empty). Restricting the clients lets a
+/// validation pin the workload to the surviving routers when the
+/// failed set is known up front — the geometry behind the model's
+/// `T_k(x)` degraded-performance analysis.
+///
+/// # Errors
+///
+/// Same contract as [`steady_state`], plus
+/// [`SimError::InvalidConfig`]/[`SimError::UnknownRouter`] for an
+/// invalid failure schedule or out-of-range client ids.
+pub fn steady_state_with_failures(
+    graph: Graph,
+    config: &SteadyStateConfig,
+    failures: FailureScenario,
+    clients: &[usize],
+) -> Result<Metrics, SimError> {
     if !(0.0..=1.0).contains(&config.ell) {
         return Err(SimError::InvalidConfig {
             reason: format!("coordination level {} outside [0, 1]", config.ell),
@@ -173,6 +197,11 @@ pub fn steady_state(graph: Graph, config: &SteadyStateConfig) -> Result<Metrics,
         return Err(SimError::InvalidConfig { reason: "zero capacity".into() });
     }
     let n = graph.node_count();
+    if let Some(&bad) = clients.iter().find(|&&r| r >= n) {
+        return Err(SimError::InvalidConfig {
+            reason: format!("client router {bad} outside topology of {n} routers"),
+        });
+    }
     let x = (config.ell * config.capacity as f64).round() as u64;
     let local_prefix = config.capacity - x;
     let coord_start = local_prefix + 1;
@@ -198,16 +227,22 @@ pub fn steady_state(graph: Graph, config: &SteadyStateConfig) -> Result<Metrics,
     }
     let net = builder.build()?;
 
-    let routers: Vec<usize> = (0..n).collect();
+    let all_routers: Vec<usize>;
+    let routers: &[usize] = if clients.is_empty() {
+        all_routers = (0..n).collect();
+        &all_routers
+    } else {
+        clients
+    };
     let requests = zipf_irm(
-        &routers,
+        routers,
         config.zipf_exponent,
         config.catalogue,
         config.rate_per_ms,
         config.horizon_ms,
         config.seed,
     )?;
-    Simulator::new(net, SimConfig::default()).run(&requests)
+    Simulator::new(net, SimConfig::default()).with_failures(failures).run(&requests)
 }
 
 #[cfg(test)]

@@ -7,10 +7,12 @@
 //! every waiting downstream. See the crate docs for the full packet
 //! life cycle.
 
+use ccn_topology::shortest_path::{all_pairs, AllPairs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::event::{DataSource, EventKind, EventQueue};
+use crate::failure::{FailureKind, FailureScenario};
 use crate::network::CachingMode;
 use crate::pit::{Downstream, Pit};
 use crate::store::{ContentStore, StaticStore};
@@ -53,6 +55,19 @@ pub struct Deployment {
     pub placement: Placement,
 }
 
+/// Routing over the surviving subgraph after failures: original node
+/// ids are translated into the subgraph, routed there, and translated
+/// back.
+#[derive(Debug)]
+struct LiveRouting {
+    /// Original id → subgraph id (`usize::MAX` for down routers).
+    new_id: Vec<usize>,
+    /// Subgraph id → original id.
+    back: Vec<usize>,
+    /// Shortest paths over the surviving subgraph.
+    routes: AllPairs,
+}
+
 /// The simulator: owns the network state and an event queue.
 #[derive(Debug)]
 pub struct Simulator {
@@ -64,6 +79,14 @@ pub struct Simulator {
     now: f64,
     rng: StdRng,
     deployments: Vec<Deployment>,
+    failures: FailureScenario,
+    /// Per-router liveness, mutated by failure transitions.
+    node_up: Vec<bool>,
+    /// Currently severed links as normalized `(min, max)` pairs.
+    downed_links: Vec<(usize, usize)>,
+    /// Recomputed routing once any failure transition has fired;
+    /// `None` means the pristine all-pairs tables are authoritative.
+    live_routes: Option<LiveRouting>,
 }
 
 impl Simulator {
@@ -80,7 +103,21 @@ impl Simulator {
             now: 0.0,
             rng: StdRng::seed_from_u64(config.seed),
             deployments: Vec::new(),
+            failures: FailureScenario::none(),
+            node_up: vec![true; routers],
+            downed_links: Vec::new(),
+            live_routes: None,
         }
+    }
+
+    /// Injects a failure schedule, replayed through the event queue.
+    /// Each transition flips element state and recomputes reachability
+    /// on the surviving topology; content whose holder became
+    /// unreachable falls through to the origin at its `d2` cost.
+    #[must_use]
+    pub fn with_failures(mut self, failures: FailureScenario) -> Self {
+        self.failures = failures;
+        self
     }
 
     /// Schedules in-run deployment changes (sorted by time at run
@@ -103,6 +140,14 @@ impl Simulator {
     /// router outside the network.
     pub fn run(mut self, requests: &[Request]) -> Result<Metrics, SimError> {
         let routers = self.net.routers();
+        self.failures.validate(routers)?;
+        // Failure transitions are queued first so that, at equal
+        // timestamps, state changes apply before traffic (the queue
+        // breaks ties by insertion order).
+        for index in 0..self.failures.events().len() {
+            let at_ms = self.failures.events()[index].at_ms;
+            self.queue.push(at_ms, EventKind::Failure { index });
+        }
         for (index, d) in self.deployments.iter().enumerate() {
             if !d.at_ms.is_finite() || d.at_ms < 0.0 {
                 return Err(SimError::InvalidConfig {
@@ -162,9 +207,17 @@ impl Simulator {
             EventKind::Reprovision { index } => {
                 self.apply_deployment(index);
             }
-            EventKind::OriginData { node, content } => {
+            EventKind::Failure { index } => {
+                self.apply_failure(index);
+            }
+            EventKind::OriginData { node, content, failure_induced } => {
                 self.metrics.data_messages += 1;
-                self.handle_data(node, content, self.net.origin.hops, DataSource::Origin);
+                self.handle_data(
+                    node,
+                    content,
+                    self.net.origin.hops,
+                    DataSource::Origin { failure_induced },
+                );
             }
             EventKind::DataArrival { node, content, hops_from_source, source } => {
                 self.metrics.data_messages += 1;
@@ -179,9 +232,7 @@ impl Simulator {
         for router in 0..self.net.routers() {
             let mut contents: Vec<ContentId> =
                 (1..=deployment.local_prefix).map(ContentId).collect();
-            contents.extend(
-                deployment.placement.slice_of(router).into_iter().map(ContentId),
-            );
+            contents.extend(deployment.placement.slice_of(router).into_iter().map(ContentId));
             let new_store: Box<dyn ContentStore> = Box::new(StaticStore::new(contents));
             // Contents in the new store that the old one lacked had to
             // be transferred — the movement cost of the round.
@@ -196,6 +247,75 @@ impl Simulator {
         self.net.placement = deployment.placement;
     }
 
+    fn apply_failure(&mut self, index: usize) {
+        let event = self.failures.events()[index];
+        self.metrics.failure_transitions += 1;
+        match event.kind {
+            FailureKind::RouterDown(r) => {
+                if self.node_up[r] {
+                    self.node_up[r] = false;
+                    // Crash loses volatile PIT state: waiting
+                    // downstreams starve (their requests never
+                    // complete), which the completion ratio exposes.
+                    self.metrics.pit_entries_flushed += self.pits[r].flush() as u64;
+                }
+            }
+            FailureKind::RouterUp(r) => self.node_up[r] = true,
+            FailureKind::LinkDown(a, b) => {
+                let key = (a.min(b), a.max(b));
+                if !self.downed_links.contains(&key) {
+                    self.downed_links.push(key);
+                }
+            }
+            FailureKind::LinkUp(a, b) => {
+                let key = (a.min(b), a.max(b));
+                self.downed_links.retain(|&k| k != key);
+            }
+        }
+        self.recompute_routes();
+    }
+
+    /// Rebuilds shortest paths over the surviving subgraph; from here
+    /// on [`Self::live_next_hop`] is authoritative for forwarding.
+    fn recompute_routes(&mut self) {
+        let (sub, back) = self
+            .net
+            .graph
+            .induced_subgraph(&self.node_up, &self.downed_links)
+            .expect("liveness mask has one flag per router");
+        let mut new_id = vec![usize::MAX; self.net.routers()];
+        for (new, &old) in back.iter().enumerate() {
+            new_id[old] = new;
+        }
+        self.live_routes = Some(LiveRouting { new_id, back, routes: all_pairs(&sub) });
+    }
+
+    /// Next hop from `a` toward `b` under the current element state;
+    /// `None` when either endpoint is down or no surviving path
+    /// connects them.
+    fn live_next_hop(&self, a: usize, b: usize) -> Option<usize> {
+        match &self.live_routes {
+            None => self.net.routes.next_hop(a, b),
+            Some(live) => {
+                let (sa, sb) = (live.new_id[a], live.new_id[b]);
+                if sa == usize::MAX || sb == usize::MAX {
+                    return None;
+                }
+                live.routes.next_hop(sa, sb).map(|n| live.back[n])
+            }
+        }
+    }
+
+    /// Whether `b` is currently reachable from `a`.
+    fn reachable(&self, a: usize, b: usize) -> bool {
+        a == b || self.live_next_hop(a, b).is_some()
+    }
+
+    /// Whether the direct link between adjacent routers is up.
+    fn link_is_up(&self, a: usize, b: usize) -> bool {
+        !self.downed_links.contains(&(a.min(b), a.max(b)))
+    }
+
     fn handle_interest(
         &mut self,
         node: usize,
@@ -204,6 +324,18 @@ impl Simulator {
         req_id: Option<u64>,
         issued_at: Option<f64>,
     ) {
+        if !self.node_up[node] {
+            // A crashed router neither serves its clients nor
+            // processes transit packets.
+            if from.is_none() {
+                if self.now >= self.config.warmup_ms {
+                    self.metrics.requests_lost += 1;
+                }
+            } else {
+                self.metrics.packets_dropped += 1;
+            }
+            return;
+        }
         let downstream = match from {
             Some(router) => Downstream::Router(router),
             None => Downstream::Client {
@@ -222,25 +354,34 @@ impl Simulator {
             self.metrics.aggregated_interests += 1;
             return;
         }
-        // Forward: toward the coordinated holder if one exists and is
-        // not this node, else toward the origin (possibly via its
-        // gateway router).
-        let target = match self.net.placement.holder(content) {
-            Some(holder) if holder != node => Some(holder),
+        // Forward: toward the coordinated holder if one exists, is not
+        // this node, and is up and reachable on the surviving
+        // topology; else toward the origin (possibly via its gateway
+        // router). A holder lost to failures converts what would have
+        // been a peer hit into a failure-induced origin fetch at `d2`.
+        let mut failure_induced = false;
+        let coordinated = match self.net.placement.holder(content) {
+            Some(holder) if holder != node => {
+                if self.node_up[holder] && self.reachable(node, holder) {
+                    Some(holder)
+                } else {
+                    failure_induced = true;
+                    None
+                }
+            }
             // The holder being this node but the store missing it
             // (dynamic placement drift) also falls back to origin.
-            _ => match self.net.origin.gateway {
-                Some(gw) if gw != node => Some(gw),
-                _ => None,
-            },
+            _ => None,
         };
+        let target = coordinated.or(match self.net.origin.gateway {
+            Some(gw) if gw != node && self.node_up[gw] && self.reachable(node, gw) => Some(gw),
+            _ => None,
+        });
         match target {
             Some(t) => {
                 let next = self
-                    .net
-                    .routes
-                    .next_hop(node, t)
-                    .expect("connected graph has a route to every target");
+                    .live_next_hop(node, t)
+                    .expect("reachability was checked before selecting the target");
                 let latency = self.net.link_latency(node, next);
                 self.queue.push(
                     self.now + latency,
@@ -254,23 +395,26 @@ impl Simulator {
                 );
             }
             None => {
-                self.queue
-                    .push(self.now + self.net.origin.latency_ms, EventKind::OriginData {
-                        node,
-                        content,
-                    });
+                self.queue.push(
+                    self.now + self.net.origin.latency_ms,
+                    EventKind::OriginData { node, content, failure_induced },
+                );
             }
         }
     }
 
     fn handle_data(&mut self, node: usize, content: ContentId, hops: u32, source: DataSource) {
+        if !self.node_up[node] {
+            // The requester (or a transit router) crashed while the
+            // Data was in flight.
+            self.metrics.packets_dropped += 1;
+            return;
+        }
         // On-path caching inserts at every traversed router, always or
         // with the configured probability.
         let insert_here = match self.net.caching {
             CachingMode::OnPath => true,
-            CachingMode::OnPathProbabilistic { probability } => {
-                self.rng.gen::<f64>() < probability
-            }
+            CachingMode::OnPathProbabilistic { probability } => self.rng.gen::<f64>() < probability,
             CachingMode::Static | CachingMode::Edge => false,
         };
         if insert_here && !self.net.stores[node].contains(content) {
@@ -296,8 +440,7 @@ impl Simulator {
         match downstream {
             Downstream::Client { req_id: _, issued_at } => {
                 // Edge caching inserts at the client's router.
-                if self.net.caching == CachingMode::Edge
-                    && !self.net.stores[node].contains(content)
+                if self.net.caching == CachingMode::Edge && !self.net.stores[node].contains(content)
                 {
                     self.net.stores[node].on_data(content);
                     if self.net.stores[node].contains(content) {
@@ -306,21 +449,25 @@ impl Simulator {
                 }
                 if issued_at >= self.config.warmup_ms {
                     let served_by = match source {
-                        DataSource::Origin => ServedBy::Origin,
-                        DataSource::Store(server) if server == node && hops == 0 => {
-                            ServedBy::Local
+                        DataSource::Origin { failure_induced } => {
+                            if failure_induced {
+                                self.metrics.failure_induced_origin += 1;
+                            }
+                            ServedBy::Origin
                         }
+                        DataSource::Store(server) if server == node && hops == 0 => ServedBy::Local,
                         DataSource::Store(_) => ServedBy::Peer,
                     };
-                    self.metrics.record_completion(
-                        node,
-                        served_by,
-                        hops,
-                        self.now - issued_at,
-                    );
+                    self.metrics.record_completion(node, served_by, hops, self.now - issued_at);
                 }
             }
             Downstream::Router(next) => {
+                // Data retraces the PIT trail; a crashed downstream or
+                // severed link starves the waiters behind it.
+                if !self.node_up[next] || !self.link_is_up(node, next) {
+                    self.metrics.packets_dropped += 1;
+                    return;
+                }
                 let latency = self.net.link_latency(node, next);
                 self.queue.push(
                     self.now + latency,
@@ -628,8 +775,11 @@ mod tests {
     #[test]
     fn unknown_router_is_rejected() {
         let net = Network::builder(line3()).origin(origin()).build().unwrap();
-        let r = Simulator::new(net, SimConfig::default())
-            .run(&[Request { time: 0.0, router: 17, content: ContentId(1) }]);
+        let r = Simulator::new(net, SimConfig::default()).run(&[Request {
+            time: 0.0,
+            router: 17,
+            content: ContentId(1),
+        }]);
         assert!(matches!(r, Err(SimError::UnknownRouter { router: 17, .. })));
     }
 
@@ -642,8 +792,8 @@ mod tests {
                 .origin(origin())
                 .build()
                 .unwrap();
-            let reqs = crate::workload::zipf_irm(&[0, 1, 2, 3, 4], 0.9, 50, 0.01, 50_000.0, 3)
-                .unwrap();
+            let reqs =
+                crate::workload::zipf_irm(&[0, 1, 2, 3, 4], 0.9, 50, 0.01, 50_000.0, 3).unwrap();
             Simulator::new(net, SimConfig::default()).run(&reqs).unwrap()
         };
         let a = run();
@@ -651,6 +801,112 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.completed > 0);
         assert!(a.origin_load() < 1.0, "warm LRU serves some hits locally");
+    }
+
+    #[test]
+    fn holder_crash_falls_through_to_origin_and_recovers() {
+        // Content 5 held at router 2. The holder crashes during
+        // [100, 200): the mid-outage request escapes to the origin as
+        // a failure-induced miss; requests before and after are peer
+        // hits (the provisioned store survives the crash).
+        let net = Network::builder(line3())
+            .store(2, Box::new(StaticStore::new([ContentId(5)])))
+            .unwrap()
+            .placement(Placement::range(5, 6, vec![2]))
+            .origin(origin())
+            .build()
+            .unwrap();
+        let failures = crate::FailureScenario::none().with_router_outage(2, 100.0, 200.0);
+        let m = Simulator::new(net, SimConfig::default())
+            .with_failures(failures)
+            .run(&[
+                Request { time: 0.0, router: 0, content: ContentId(5) },
+                Request { time: 150.0, router: 0, content: ContentId(5) },
+                Request { time: 300.0, router: 0, content: ContentId(5) },
+            ])
+            .unwrap();
+        assert_eq!(m.peer, 2, "pre-crash and post-recovery requests hit the holder");
+        assert_eq!(m.origin, 1, "mid-outage request escapes");
+        assert_eq!(m.failure_induced_origin, 1, "the escape is failure-induced");
+        assert_eq!(m.baseline_origin(), 0);
+        assert_eq!(m.failure_transitions, 2);
+        assert_eq!(m.completed, 3);
+    }
+
+    #[test]
+    fn link_failure_reroutes_over_the_surviving_path() {
+        // Ring of 4: the direct link 0–1 is cut, so fetching content 5
+        // from its holder at router 1 detours 0→3→2→1 (3 hops).
+        let net = Network::builder(generators::ring(4, 1.0).unwrap())
+            .store(1, Box::new(StaticStore::new([ContentId(5)])))
+            .unwrap()
+            .placement(Placement::range(5, 6, vec![1]))
+            .origin(origin())
+            .build()
+            .unwrap();
+        let failures = crate::FailureScenario::none().with_link_outage(0, 1, 50.0, f64::INFINITY);
+        let m = Simulator::new(net, SimConfig::default())
+            .with_failures(failures)
+            .run(&[Request { time: 100.0, router: 0, content: ContentId(5) }])
+            .unwrap();
+        assert_eq!(m.peer, 1, "still served in-network after rerouting");
+        assert!((m.avg_hops() - 3.0).abs() < 1e-12, "detour is 3 hops, got {}", m.avg_hops());
+        assert!((m.avg_latency_ms() - 6.0).abs() < 1e-9);
+        assert_eq!(m.failure_induced_origin, 0);
+    }
+
+    #[test]
+    fn request_at_crashed_router_is_lost() {
+        let net = Network::builder(line3()).origin(origin()).build().unwrap();
+        let failures = crate::FailureScenario::none().with_router_outage(0, 0.0, f64::INFINITY);
+        let m = Simulator::new(net, SimConfig::default())
+            .with_failures(failures)
+            .run(&[Request { time: 1.0, router: 0, content: ContentId(1) }])
+            .unwrap();
+        assert_eq!(m.issued, 1);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.requests_lost, 1);
+        assert_eq!(m.completion_ratio(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_failure_router_is_rejected() {
+        let net = Network::builder(line3()).origin(origin()).build().unwrap();
+        let failures = crate::FailureScenario::none().with_router_outage(9, 10.0, f64::INFINITY);
+        let r = Simulator::new(net, SimConfig::default()).with_failures(failures).run(&[]);
+        assert!(matches!(r, Err(SimError::UnknownRouter { router: 9, .. })));
+    }
+
+    #[test]
+    fn fault_injected_runs_are_deterministic() {
+        let run = || {
+            let graph = generators::ring(5, 1.0).unwrap();
+            let links: Vec<(usize, usize)> = graph.edges().map(|(a, b, _)| (a, b)).collect();
+            let model = crate::FailureModel::new(
+                crate::FailureConfig {
+                    router_mtbf_ms: 8_000.0,
+                    router_mttr_ms: 2_000.0,
+                    link_mtbf_ms: 12_000.0,
+                    link_mttr_ms: 1_000.0,
+                },
+                99,
+            )
+            .unwrap();
+            let failures = model.schedule(5, &links, 50_000.0);
+            let net = Network::builder(graph)
+                .default_lru_capacity(3)
+                .caching(CachingMode::Edge)
+                .origin(origin())
+                .build()
+                .unwrap();
+            let reqs =
+                crate::workload::zipf_irm(&[0, 1, 2, 3, 4], 0.9, 50, 0.01, 50_000.0, 3).unwrap();
+            Simulator::new(net, SimConfig::default()).with_failures(failures).run(&reqs).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical seed + scenario must reproduce identical metrics");
+        assert!(a.failure_transitions > 0, "the schedule actually fired");
     }
 
     #[test]

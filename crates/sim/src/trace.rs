@@ -112,13 +112,13 @@ mod tests {
     #[test]
     fn malformed_lines_are_reported_with_position() {
         let cases = [
-            "abc 0 1",      // bad time
-            "1.0 x 1",      // bad router
-            "1.0 0 zero",   // bad rank
-            "1.0 0",        // missing rank
+            "abc 0 1",       // bad time
+            "1.0 x 1",       // bad router
+            "1.0 0 zero",    // bad rank
+            "1.0 0",         // missing rank
             "1.0 0 1 extra", // trailing field
-            "-1.0 0 1",     // negative time
-            "1.0 0 0",      // zero rank
+            "-1.0 0 1",      // negative time
+            "1.0 0 0",       // zero rank
         ];
         for text in cases {
             let err = read_trace(text.as_bytes()).unwrap_err();

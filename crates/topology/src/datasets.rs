@@ -27,8 +27,7 @@ fn build(name: &str, cities: &[City], links: &[(usize, usize)]) -> Graph {
     }
     for &(a, b) in links {
         let ms = link_latency_ms(g.node_position(a), g.node_position(b));
-        g.add_edge(a, b, ms)
-            .expect("embedded dataset links are valid by construction");
+        g.add_edge(a, b, ms).expect("embedded dataset links are valid by construction");
     }
     debug_assert!(g.ensure_connected().is_ok(), "{name} must be connected");
     g
@@ -75,29 +74,29 @@ pub fn abilene() -> Graph {
 #[must_use]
 pub fn geant() -> Graph {
     const CITIES: [City; 23] = [
-        ("Vienna", 48.21, 16.37),      // 0  AT
-        ("Brussels", 50.85, 4.35),     // 1  BE
-        ("Zagreb", 45.81, 15.98),      // 2  HR
-        ("Prague", 50.08, 14.44),      // 3  CZ
-        ("Copenhagen", 55.68, 12.57),  // 4  DK
-        ("Paris", 48.86, 2.35),        // 5  FR
-        ("Frankfurt", 50.11, 8.68),    // 6  DE
-        ("Athens", 37.98, 23.73),      // 7  GR
-        ("Budapest", 47.50, 19.04),    // 8  HU
-        ("Dublin", 53.35, -6.26),      // 9  IE
-        ("Bucharest", 44.43, 26.10),   // 10 RO
-        ("Milan", 45.46, 9.19),        // 11 IT
-        ("Luxembourg", 49.61, 6.13),   // 12 LU
-        ("Amsterdam", 52.37, 4.90),    // 13 NL
-        ("Poznan", 52.41, 16.93),      // 14 PL
-        ("Lisbon", 38.72, -9.14),      // 15 PT
-        ("Bratislava", 48.15, 17.11),  // 16 SK
-        ("Ljubljana", 46.06, 14.51),   // 17 SI
-        ("Madrid", 40.42, -3.70),      // 18 ES
-        ("Stockholm", 59.33, 18.07),   // 19 SE
-        ("Geneva", 46.20, 6.14),       // 20 CH
-        ("London", 51.51, -0.13),      // 21 UK
-        ("Tallinn", 59.44, 24.75),     // 22 EE
+        ("Vienna", 48.21, 16.37),     // 0  AT
+        ("Brussels", 50.85, 4.35),    // 1  BE
+        ("Zagreb", 45.81, 15.98),     // 2  HR
+        ("Prague", 50.08, 14.44),     // 3  CZ
+        ("Copenhagen", 55.68, 12.57), // 4  DK
+        ("Paris", 48.86, 2.35),       // 5  FR
+        ("Frankfurt", 50.11, 8.68),   // 6  DE
+        ("Athens", 37.98, 23.73),     // 7  GR
+        ("Budapest", 47.50, 19.04),   // 8  HU
+        ("Dublin", 53.35, -6.26),     // 9  IE
+        ("Bucharest", 44.43, 26.10),  // 10 RO
+        ("Milan", 45.46, 9.19),       // 11 IT
+        ("Luxembourg", 49.61, 6.13),  // 12 LU
+        ("Amsterdam", 52.37, 4.90),   // 13 NL
+        ("Poznan", 52.41, 16.93),     // 14 PL
+        ("Lisbon", 38.72, -9.14),     // 15 PT
+        ("Bratislava", 48.15, 17.11), // 16 SK
+        ("Ljubljana", 46.06, 14.51),  // 17 SI
+        ("Madrid", 40.42, -3.70),     // 18 ES
+        ("Stockholm", 59.33, 18.07),  // 19 SE
+        ("Geneva", 46.20, 6.14),      // 20 CH
+        ("London", 51.51, -0.13),     // 21 UK
+        ("Tallinn", 59.44, 24.75),    // 22 EE
     ];
     const LINKS: [(usize, usize); 37] = [
         (21, 5),  // London - Paris
@@ -204,33 +203,33 @@ pub fn cernet() -> Graph {
         (5, 6),
         // Dual-homed regional PoPs (14 × 2 = 28 links).
         (8, 0),
-        (8, 7),   // Tianjin: Beijing + Shenyang
+        (8, 7), // Tianjin: Beijing + Shenyang
         (9, 7),
-        (9, 0),   // Harbin: Shenyang + Beijing
+        (9, 0), // Harbin: Shenyang + Beijing
         (11, 7),
-        (11, 0),  // Dalian
+        (11, 0), // Dalian
         (12, 0),
-        (12, 1),  // Jinan
+        (12, 1), // Jinan
         (17, 0),
-        (17, 3),  // Zhengzhou
+        (17, 3), // Zhengzhou
         (18, 4),
-        (18, 3),  // Hefei
+        (18, 3), // Hefei
         (19, 1),
-        (19, 4),  // Hangzhou
+        (19, 4), // Hangzhou
         (25, 3),
-        (25, 2),  // Changsha
+        (25, 2), // Changsha
         (24, 3),
-        (24, 1),  // Nanchang
+        (24, 1), // Nanchang
         (31, 6),
-        (31, 2),  // Chongqing
+        (31, 2), // Chongqing
         (26, 6),
-        (26, 2),  // Guiyang
+        (26, 2), // Guiyang
         (32, 5),
-        (32, 6),  // Lanzhou
+        (32, 6), // Lanzhou
         (35, 2),
-        (35, 1),  // Shenzhen
+        (35, 1), // Shenzhen
         (22, 1),
-        (22, 2),  // Fuzhou
+        (22, 2), // Fuzhou
         // Single-homed regional PoPs (14 links).
         (10, 7),  // Changchun
         (13, 12), // Qingdao - Jinan
@@ -335,7 +334,8 @@ mod tests {
     #[test]
     fn table2_node_and_edge_counts() {
         // (name, |V|, |E| directed) exactly as the paper's Table II.
-        let expected = [("Abilene", 11, 28), ("CERNET", 36, 112), ("GEANT", 23, 74), ("US-A", 20, 80)];
+        let expected =
+            [("Abilene", 11, 28), ("CERNET", 36, 112), ("GEANT", 23, 74), ("US-A", 20, 80)];
         for (graph, (name, v, e)) in all().iter().zip(expected) {
             assert_eq!(graph.name(), name);
             assert_eq!(graph.node_count(), v, "{name} node count");

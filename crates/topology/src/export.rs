@@ -45,10 +45,7 @@ pub fn to_ascii(graph: &Graph) -> String {
         graph.node_count(),
         graph.undirected_edge_count()
     );
-    let width = (0..graph.node_count())
-        .map(|v| graph.node_name(v).len())
-        .max()
-        .unwrap_or(0);
+    let width = (0..graph.node_count()).map(|v| graph.node_name(v).len()).max().unwrap_or(0);
     for v in 0..graph.node_count() {
         let mut neighbours: Vec<String> = graph
             .neighbors(v)

@@ -138,7 +138,12 @@ pub fn erdos_renyi(n: usize, p: f64, link_ms: f64, seed: u64) -> Result<Graph, T
 ///
 /// Returns [`TopologyError::InvalidGeneratorConfig`] for `m == 0` or
 /// `n <= m`.
-pub fn barabasi_albert(n: usize, m: usize, link_ms: f64, seed: u64) -> Result<Graph, TopologyError> {
+pub fn barabasi_albert(
+    n: usize,
+    m: usize,
+    link_ms: f64,
+    seed: u64,
+) -> Result<Graph, TopologyError> {
     if m == 0 || n <= m {
         return Err(TopologyError::InvalidGeneratorConfig {
             reason: format!("barabasi-albert needs 0 < m < n, got m={m} n={n}"),
@@ -198,7 +203,9 @@ pub fn waxman(
     validated_n(n, 2, "waxman")?;
     if alpha <= 0.0 || beta <= 0.0 || extent_km <= 0.0 {
         return Err(TopologyError::InvalidGeneratorConfig {
-            reason: format!("waxman needs positive alpha/beta/extent, got {alpha}/{beta}/{extent_km}"),
+            reason: format!(
+                "waxman needs positive alpha/beta/extent, got {alpha}/{beta}/{extent_km}"
+            ),
         });
     }
     let mut rng = StdRng::seed_from_u64(seed);
@@ -333,7 +340,9 @@ mod tests {
 pub fn two_tier(cores: usize, aggregation: usize, radius_km: f64) -> Result<Graph, TopologyError> {
     if cores < 2 || aggregation == 0 {
         return Err(TopologyError::InvalidGeneratorConfig {
-            reason: format!("two-tier needs >= 2 cores and >= 1 aggregation router, got {cores}/{aggregation}"),
+            reason: format!(
+                "two-tier needs >= 2 cores and >= 1 aggregation router, got {cores}/{aggregation}"
+            ),
         });
     }
     if radius_km.is_nan() || radius_km <= 0.0 {
@@ -370,9 +379,7 @@ pub fn two_tier(cores: usize, aggregation: usize, radius_km: f64) -> Result<Grap
     for i in 0..aggregation {
         let v = cores + i;
         let mut by_distance: Vec<usize> = (0..cores).collect();
-        by_distance.sort_by(|&a, &b| {
-            latency(pos[v], pos[a]).total_cmp(&latency(pos[v], pos[b]))
-        });
+        by_distance.sort_by(|&a, &b| latency(pos[v], pos[a]).total_cmp(&latency(pos[v], pos[b])));
         g.add_edge(v, by_distance[0], latency(pos[v], pos[by_distance[0]]))?;
         if cores > 1 {
             g.add_edge(v, by_distance[1], latency(pos[v], pos[by_distance[1]]))?;

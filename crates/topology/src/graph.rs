@@ -56,12 +56,7 @@ impl Graph {
     /// Creates an empty topology with a display name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Self {
-            name: name.into(),
-            nodes: Vec::new(),
-            edges: Vec::new(),
-            adjacency: Vec::new(),
-        }
+        Self { name: name.into(), nodes: Vec::new(), edges: Vec::new(), adjacency: Vec::new() }
     }
 
     /// The topology's display name (e.g. `"Abilene"`).
@@ -202,6 +197,52 @@ impl Graph {
     pub fn total_link_latency(&self) -> f64 {
         self.edges.iter().map(|e| e.latency_ms).sum()
     }
+
+    /// The subgraph induced by the nodes where `keep_node` is true,
+    /// additionally dropping every edge listed in `drop_edges`
+    /// (unordered endpoint pairs; unknown or duplicate entries are
+    /// ignored). Returns the new graph plus the mapping from new node
+    /// ids to ids in `self`, in ascending original-id order.
+    ///
+    /// This is the substrate for failure analysis: masking crashed
+    /// routers and downed links yields the surviving topology on which
+    /// routing and coordinator election are recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`] when `keep_node` is not
+    /// exactly one flag per node.
+    pub fn induced_subgraph(
+        &self,
+        keep_node: &[bool],
+        drop_edges: &[(NodeId, NodeId)],
+    ) -> Result<(Graph, Vec<NodeId>), TopologyError> {
+        if keep_node.len() != self.nodes.len() {
+            return Err(TopologyError::UnknownNode {
+                node: keep_node.len(),
+                node_count: self.nodes.len(),
+            });
+        }
+        let mut sub = Graph::new(format!("{}/induced", self.name));
+        let mut new_id = vec![usize::MAX; self.nodes.len()];
+        let mut back = Vec::new();
+        for (old, node) in self.nodes.iter().enumerate() {
+            if keep_node[old] {
+                new_id[old] = sub.add_node(node.name.clone(), node.lat, node.lon);
+                back.push(old);
+            }
+        }
+        let dropped = |a: NodeId, b: NodeId| {
+            drop_edges.iter().any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+        };
+        for e in &self.edges {
+            if keep_node[e.a] && keep_node[e.b] && !dropped(e.a, e.b) {
+                sub.add_edge(new_id[e.a], new_id[e.b], e.latency_ms)
+                    .expect("edges valid in the parent graph stay valid");
+            }
+        }
+        Ok((sub, back))
+    }
 }
 
 #[cfg(test)]
@@ -261,5 +302,31 @@ mod tests {
         let err = g.ensure_connected().unwrap_err();
         assert_eq!(err, TopologyError::Disconnected { unreachable: lonely });
         assert!(Graph::new("empty").ensure_connected().is_ok());
+    }
+
+    #[test]
+    fn induced_subgraph_masks_nodes_and_edges() {
+        let g = triangle();
+        // Drop node 1: nodes {0, 2} survive, only edge (0, 2) remains.
+        let (sub, back) = g.induced_subgraph(&[true, false, true], &[]).unwrap();
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(back, vec![0, 2]);
+        assert_eq!(sub.undirected_edge_count(), 1);
+        assert_eq!(sub.node_name(0), g.node_name(0));
+        assert_eq!(sub.node_name(1), g.node_name(2));
+        // Drop a link instead (either endpoint order).
+        let (sub, back) = g.induced_subgraph(&[true; 3], &[(1, 0)]).unwrap();
+        assert_eq!(back, vec![0, 1, 2]);
+        assert_eq!(sub.undirected_edge_count(), 2);
+        assert!(!sub.neighbors(0).iter().any(|&(v, _)| v == 1));
+        // Masking everything yields an empty (trivially connected) graph.
+        let (sub, back) = g.induced_subgraph(&[false; 3], &[]).unwrap();
+        assert_eq!(sub.node_count(), 0);
+        assert!(back.is_empty());
+        // Wrong mask length is a typed error.
+        assert!(matches!(
+            g.induced_subgraph(&[true, true], &[]),
+            Err(TopologyError::UnknownNode { node: 2, node_count: 3 })
+        ));
     }
 }

@@ -188,30 +188,24 @@ edge a b 7.5
     #[test]
     fn malformed_lines_are_rejected_with_position() {
         let cases = [
-            "frob a b 1.0",          // unknown directive
-            "node a 1.0",            // missing longitude
-            "node a x 2.0",          // bad latitude
-            "node a 1.0 2.0 extra",  // trailing
-            "node a 1.0 2.0\nnode a 1.0 2.0", // duplicate
-            "edge a b 1.0",          // unknown nodes
-            "node a 1 2\nnode b 3 4\nedge a b",   // missing latency
+            "frob a b 1.0",                     // unknown directive
+            "node a 1.0",                       // missing longitude
+            "node a x 2.0",                     // bad latitude
+            "node a 1.0 2.0 extra",             // trailing
+            "node a 1.0 2.0\nnode a 1.0 2.0",   // duplicate
+            "edge a b 1.0",                     // unknown nodes
+            "node a 1 2\nnode b 3 4\nedge a b", // missing latency
         ];
         for text in cases {
             let err = read_edge_list(text.as_bytes()).unwrap_err();
-            assert!(
-                err.to_string().contains("line"),
-                "case {text:?} produced {err}"
-            );
+            assert!(err.to_string().contains("line"), "case {text:?} produced {err}");
         }
     }
 
     #[test]
     fn graph_level_errors_propagate() {
         let text = "node a 1 2\nnode b 3 4\nedge a a 1.0";
-        assert!(matches!(
-            read_edge_list(text.as_bytes()),
-            Err(TopologyError::SelfLoop { .. })
-        ));
+        assert!(matches!(read_edge_list(text.as_bytes()), Err(TopologyError::SelfLoop { .. })));
         let text = "node a 1 2\nnode b 3 4\nedge a b -1.0";
         assert!(matches!(
             read_edge_list(text.as_bytes()),

@@ -101,10 +101,7 @@ pub fn closeness_centrality(graph: &Graph) -> Vec<f64> {
 #[must_use]
 pub fn most_central_node(graph: &Graph) -> Option<usize> {
     let c = closeness_centrality(graph);
-    c.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(v, _)| v)
+    c.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(v, _)| v)
 }
 
 #[cfg(test)]

@@ -83,12 +83,7 @@ mod tests {
                 p.name,
                 p.mean_latency_ms
             );
-            assert!(
-                (1.5..4.0).contains(&p.mean_hops),
-                "{}: mean hops = {}",
-                p.name,
-                p.mean_hops
-            );
+            assert!((1.5..4.0).contains(&p.mean_hops), "{}: mean hops = {}", p.name, p.mean_hops);
             assert!(p.w_ms > p.mean_latency_ms, "{}: max must exceed mean", p.name);
         }
     }

@@ -83,11 +83,7 @@ impl AllPairs {
     /// Returns 0 for graphs with fewer than two nodes.
     #[must_use]
     pub fn max_latency_ms(&self) -> f64 {
-        self.latency
-            .iter()
-            .copied()
-            .filter(|l| l.is_finite())
-            .fold(0.0, f64::max)
+        self.latency.iter().copied().filter(|l| l.is_finite()).fold(0.0, f64::max)
     }
 
     /// Mean pairwise latency normalized by `|V|²` — i.e. including the
@@ -122,13 +118,8 @@ impl AllPairs {
         if self.n == 0 {
             return 0.0;
         }
-        let sum: f64 = self
-            .routed_hops
-            .iter()
-            .copied()
-            .filter(|&h| h != u32::MAX)
-            .map(f64::from)
-            .sum();
+        let sum: f64 =
+            self.routed_hops.iter().copied().filter(|&h| h != u32::MAX).map(f64::from).sum();
         sum / (self.n * self.n) as f64
     }
 
@@ -138,13 +129,7 @@ impl AllPairs {
         if self.n == 0 {
             return 0.0;
         }
-        let sum: f64 = self
-            .hops
-            .iter()
-            .copied()
-            .filter(|&h| h != u32::MAX)
-            .map(f64::from)
-            .sum();
+        let sum: f64 = self.hops.iter().copied().filter(|&h| h != u32::MAX).map(f64::from).sum();
         sum / (self.n * self.n) as f64
     }
 

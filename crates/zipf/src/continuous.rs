@@ -55,26 +55,14 @@ impl ContinuousZipf {
     /// finite (the ratio is undefined for a single-object catalogue).
     pub fn new(s: f64, n: f64) -> Result<Self, ZipfError> {
         if !s.is_finite() || s < 0.0 {
-            return Err(ZipfError::InvalidExponent {
-                s,
-                constraint: "s >= 0 and finite",
-            });
+            return Err(ZipfError::InvalidExponent { s, constraint: "s >= 0 and finite" });
         }
         if !n.is_finite() || n <= 1.0 {
             return Err(ZipfError::InvalidCatalogue { n });
         }
         let unit_exponent = (s - 1.0).abs() < UNIT_EXPONENT_TOLERANCE;
-        let denom = if unit_exponent {
-            n.ln()
-        } else {
-            n.powf(1.0 - s) - 1.0
-        };
-        Ok(Self {
-            s,
-            n,
-            denom,
-            unit_exponent,
-        })
+        let denom = if unit_exponent { n.ln() } else { n.powf(1.0 - s) - 1.0 };
+        Ok(Self { s, n, denom, unit_exponent })
     }
 
     /// The Zipf exponent `s`.
@@ -206,11 +194,7 @@ mod tests {
             let f = ContinuousZipf::new(s, 1e6).unwrap();
             for &p in &[0.0, 0.1, 0.5, 0.9, 1.0] {
                 let x = f.quantile(p);
-                assert!(
-                    (f.cdf(x) - p).abs() < 1e-9,
-                    "s={s} p={p}: cdf(quantile) = {}",
-                    f.cdf(x)
-                );
+                assert!((f.cdf(x) - p).abs() < 1e-9, "s={s} p={p}: cdf(quantile) = {}", f.cdf(x));
             }
         }
     }
@@ -222,26 +206,15 @@ mod tests {
         let (a, b) = (100.0, 200.0);
         let steps = 10_000;
         let h = (b - a) / steps as f64;
-        let integral: f64 = (0..steps)
-            .map(|i| f.density(a + (i as f64 + 0.5) * h) * h)
-            .sum();
+        let integral: f64 = (0..steps).map(|i| f.density(a + (i as f64 + 0.5) * h) * h).sum();
         assert!((integral - (f.cdf(b) - f.cdf(a))).abs() < 1e-9);
     }
 
     #[test]
     fn approximation_error_shrinks_with_catalogue_size() {
-        let small = ContinuousZipf::new(0.8, 1e3)
-            .unwrap()
-            .max_deviation_from_discrete(64)
-            .unwrap();
-        let large = ContinuousZipf::new(0.8, 1e6)
-            .unwrap()
-            .max_deviation_from_discrete(64)
-            .unwrap();
-        assert!(
-            large <= small + 1e-9,
-            "error should not grow with N: {small} -> {large}"
-        );
+        let small = ContinuousZipf::new(0.8, 1e3).unwrap().max_deviation_from_discrete(64).unwrap();
+        let large = ContinuousZipf::new(0.8, 1e6).unwrap().max_deviation_from_discrete(64).unwrap();
+        assert!(large <= small + 1e-9, "error should not grow with N: {small} -> {large}");
         assert!(large < 0.02, "paper-scale N=1e6 deviation is small: {large}");
     }
 

@@ -39,19 +39,12 @@ impl Zipf {
     /// finite, and [`ZipfError::InvalidCatalogue`] if `n == 0`.
     pub fn new(s: f64, n: u64) -> Result<Self, ZipfError> {
         if !s.is_finite() || s < 0.0 {
-            return Err(ZipfError::InvalidExponent {
-                s,
-                constraint: "s >= 0 and finite",
-            });
+            return Err(ZipfError::InvalidExponent { s, constraint: "s >= 0 and finite" });
         }
         if n == 0 {
             return Err(ZipfError::InvalidCatalogue { n: 0.0 });
         }
-        Ok(Self {
-            s,
-            n,
-            h_n: generalized_harmonic(n, s),
-        })
+        Ok(Self { s, n, h_n: generalized_harmonic(n, s) })
     }
 
     /// The Zipf exponent `s`.
@@ -146,18 +139,9 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(matches!(
-            Zipf::new(-0.1, 10),
-            Err(ZipfError::InvalidExponent { .. })
-        ));
-        assert!(matches!(
-            Zipf::new(f64::NAN, 10),
-            Err(ZipfError::InvalidExponent { .. })
-        ));
-        assert!(matches!(
-            Zipf::new(0.8, 0),
-            Err(ZipfError::InvalidCatalogue { .. })
-        ));
+        assert!(matches!(Zipf::new(-0.1, 10), Err(ZipfError::InvalidExponent { .. })));
+        assert!(matches!(Zipf::new(f64::NAN, 10), Err(ZipfError::InvalidExponent { .. })));
+        assert!(matches!(Zipf::new(0.8, 0), Err(ZipfError::InvalidCatalogue { .. })));
     }
 
     #[test]

@@ -71,10 +71,7 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = ZipfError::InvalidExponent {
-            s: -1.0,
-            constraint: "s > 0",
-        };
+        let e = ZipfError::InvalidExponent { s: -1.0, constraint: "s > 0" };
         let msg = e.to_string();
         assert!(msg.contains("-1"));
         assert!(msg.starts_with("invalid"));

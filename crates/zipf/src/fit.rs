@@ -61,9 +61,7 @@ pub fn fit_mle(ranks: &[u64], catalogue: u64) -> Result<FitResult, ZipfError> {
         return Err(ZipfError::InvalidCatalogue { n: 0.0 });
     }
     if ranks.is_empty() {
-        return Err(ZipfError::DegenerateSample {
-            reason: "no observations",
-        });
+        return Err(ZipfError::DegenerateSample { reason: "no observations" });
     }
     let mut sum_log = 0.0;
     for &k in ranks {
@@ -78,11 +76,7 @@ pub fn fit_mle(ranks: &[u64], catalogue: u64) -> Result<FitResult, ZipfError> {
     // Negative log-likelihood, to minimize.
     let nll = |s: f64| s * sum_log + m * generalized_harmonic(catalogue, s).ln();
     let (s_hat, value) = golden_section_min(nll, S_SEARCH.0, S_SEARCH.1);
-    Ok(FitResult {
-        exponent: s_hat,
-        score: -value,
-        samples: ranks.len(),
-    })
+    Ok(FitResult { exponent: s_hat, score: -value, samples: ranks.len() })
 }
 
 /// Least-squares fit of `ln(count) = b - s·ln(rank)` on the rank–
@@ -115,9 +109,7 @@ pub fn fit_log_log(counts: &[u64]) -> Result<FitResult, ZipfError> {
         sxy += (x - mx) * (y - my);
     }
     if sxx == 0.0 {
-        return Err(ZipfError::DegenerateSample {
-            reason: "all observations share one rank",
-        });
+        return Err(ZipfError::DegenerateSample { reason: "all observations share one rank" });
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
@@ -128,11 +120,7 @@ pub fn fit_log_log(counts: &[u64]) -> Result<FitResult, ZipfError> {
             e * e
         })
         .sum();
-    Ok(FitResult {
-        exponent: -slope,
-        score: -rss,
-        samples: points.len(),
-    })
+    Ok(FitResult { exponent: -slope, score: -rss, samples: points.len() })
 }
 
 /// Joint maximum-likelihood fit of the Zipf–Mandelbrot `(s, q)` pair
@@ -246,36 +234,19 @@ mod tests {
 
     #[test]
     fn mle_rejects_degenerate_input() {
-        assert!(matches!(
-            fit_mle(&[], 100),
-            Err(ZipfError::DegenerateSample { .. })
-        ));
-        assert!(matches!(
-            fit_mle(&[0], 100),
-            Err(ZipfError::DegenerateSample { .. })
-        ));
-        assert!(matches!(
-            fit_mle(&[101], 100),
-            Err(ZipfError::DegenerateSample { .. })
-        ));
-        assert!(matches!(
-            fit_mle(&[1], 0),
-            Err(ZipfError::InvalidCatalogue { .. })
-        ));
+        assert!(matches!(fit_mle(&[], 100), Err(ZipfError::DegenerateSample { .. })));
+        assert!(matches!(fit_mle(&[0], 100), Err(ZipfError::DegenerateSample { .. })));
+        assert!(matches!(fit_mle(&[101], 100), Err(ZipfError::DegenerateSample { .. })));
+        assert!(matches!(fit_mle(&[1], 0), Err(ZipfError::InvalidCatalogue { .. })));
     }
 
     #[test]
     fn log_log_recovers_exact_power_law() {
         // Perfect synthetic power law: count(k) = 1e6 * k^{-0.8}.
-        let counts: Vec<u64> = (1..=200)
-            .map(|k| (1e6 * (k as f64).powf(-0.8)).round() as u64)
-            .collect();
+        let counts: Vec<u64> =
+            (1..=200).map(|k| (1e6 * (k as f64).powf(-0.8)).round() as u64).collect();
         let fit = fit_log_log(&counts).unwrap();
-        assert!(
-            (fit.exponent - 0.8).abs() < 0.01,
-            "estimated {}",
-            fit.exponent
-        );
+        assert!((fit.exponent - 0.8).abs() < 0.01, "estimated {}", fit.exponent);
     }
 
     #[test]

@@ -154,10 +154,7 @@ mod tests {
         for &s in &[0.1, 0.5, 0.8, 0.99, 1.01, 1.3, 1.7, 1.9] {
             let exact = generalized_harmonic_exact(n, s);
             let em = harmonic_euler_maclaurin(n, s);
-            assert!(
-                close(exact, em, 1e-12),
-                "s={s}: exact {exact} vs euler-maclaurin {em}"
-            );
+            assert!(close(exact, em, 1e-12), "s={s}: exact {exact} vs euler-maclaurin {em}");
         }
     }
 

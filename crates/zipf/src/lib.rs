@@ -53,13 +53,13 @@
 #![deny(unsafe_code)]
 
 pub mod continuous;
+mod distribution;
+mod error;
 pub mod fit;
 pub mod harmonic;
 pub mod mandelbrot;
-pub mod space_saving;
-mod distribution;
-mod error;
 mod sampler;
+pub mod space_saving;
 
 pub use continuous::ContinuousZipf;
 pub use distribution::Zipf;

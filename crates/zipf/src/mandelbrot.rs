@@ -66,10 +66,7 @@ impl ZipfMandelbrot {
             return Err(ZipfError::InvalidExponent { s, constraint: "s >= 0 and finite" });
         }
         if !q.is_finite() || q < 0.0 {
-            return Err(ZipfError::InvalidExponent {
-                s: q,
-                constraint: "shift q >= 0 and finite",
-            });
+            return Err(ZipfError::InvalidExponent { s: q, constraint: "shift q >= 0 and finite" });
         }
         if n == 0 {
             return Err(ZipfError::InvalidCatalogue { n: 0.0 });

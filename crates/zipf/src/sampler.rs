@@ -24,11 +24,7 @@ enum Strategy {
     /// Exact: cumulative weights over all ranks.
     Cached { cdf: Vec<f64> },
     /// Rejection-inversion over a continuous envelope.
-    RejectionInversion {
-        h_integral_x1: f64,
-        h_integral_n: f64,
-        threshold: f64,
-    },
+    RejectionInversion { h_integral_x1: f64, h_integral_n: f64, threshold: f64 },
     /// Degenerate uniform case for `s == 0`.
     Uniform,
 }
@@ -65,10 +61,7 @@ impl ZipfSampler {
     /// non-finite `s`, and [`ZipfError::InvalidCatalogue`] for `n == 0`.
     pub fn new(s: f64, n: u64) -> Result<Self, ZipfError> {
         if !s.is_finite() || s < 0.0 {
-            return Err(ZipfError::InvalidExponent {
-                s,
-                constraint: "s >= 0 and finite",
-            });
+            return Err(ZipfError::InvalidExponent { s, constraint: "s >= 0 and finite" });
         }
         if n == 0 {
             return Err(ZipfError::InvalidCatalogue { n: 0.0 });
@@ -116,11 +109,7 @@ impl ZipfSampler {
                     Ok(i) | Err(i) => (i as u64 + 1).min(self.n),
                 }
             }
-            Strategy::RejectionInversion {
-                h_integral_x1,
-                h_integral_n,
-                threshold,
-            } => loop {
+            Strategy::RejectionInversion { h_integral_x1, h_integral_n, threshold } => loop {
                 let u = h_integral_n + rng.gen::<f64>() * (h_integral_x1 - h_integral_n);
                 let x = h_integral_inverse(u, self.s);
                 let k = (x + 0.5).floor().clamp(1.0, self.n as f64);

@@ -102,10 +102,7 @@ impl SpaceSaving {
     /// `threshold` — these are certainly heavy hitters.
     #[must_use]
     pub fn guaranteed_above(&self, threshold: u64) -> Vec<Counter> {
-        self.top()
-            .into_iter()
-            .filter(|c| c.count - c.error > threshold)
-            .collect()
+        self.top().into_iter().filter(|c| c.count - c.error > threshold).collect()
     }
 }
 
@@ -160,7 +157,7 @@ mod tests {
     #[test]
     fn finds_zipf_head_with_tiny_sketch() {
         let sampler = ZipfSampler::new(1.1, 100_000).unwrap();
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = StdRng::seed_from_u64(13);
         let mut s = SpaceSaving::new(32).unwrap();
         s.observe_all(sampler.sample_many(&mut rng, 50_000));
         let top: Vec<u64> = s.top().iter().take(5).map(|c| c.item).collect();

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .alpha(0.9)
         .build()?;
     let mut coordinator = AdaptiveCoordinator::new(params, AdaptiveConfig::default())?;
-    println!("initial coordination level l = {:.3} (provisioned for s = 0.6)", coordinator.current_ell());
+    println!(
+        "initial coordination level l = {:.3} (provisioned for s = 0.6)",
+        coordinator.current_ell()
+    );
 
     // The workload drifts from s = 0.6 (flat) to s = 1.5 (highly
     // concentrated) over six epochs.

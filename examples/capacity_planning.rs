@@ -10,10 +10,7 @@ use ccn_suite::model::{CacheModel, ModelParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== capacity sweep: bigger stores, lower origin load ==");
-    println!(
-        "{:>8} {:>8} {:>10} {:>12} {:>12}",
-        "c", "l*", "x*", "origin load", "G_O"
-    );
+    println!("{:>8} {:>8} {:>10} {:>12} {:>12}", "c", "l*", "x*", "origin load", "G_O");
     for c in [100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 100_000.0] {
         let params = ModelParams::builder().capacity(c).alpha(0.9).build()?;
         let model = CacheModel::new(params)?;

@@ -1,0 +1,94 @@
+//! Coordinator failover: a provisioning round is enacted, the elected
+//! coordinator crashes mid-simulation, a replacement is elected on the
+//! surviving subgraph, and the crashed router later recovers.
+//!
+//! Three acts:
+//!
+//! 1. elect the 1-center coordinator of Abilene and enact a resilient
+//!    provisioning round under 10% message loss;
+//! 2. crash the coordinator mid-run — the fault-injected simulator
+//!    shows the failure-induced origin traffic while routing
+//!    reconverges around the hole — and re-elect on the survivors;
+//! 3. let the router recover (warm storage) and verify a fresh round
+//!    under the restored topology converges again.
+//!
+//! Run with: `cargo run --example failover`
+
+use ccn_suite::coord::distributed::best_coordinator;
+use ccn_suite::coord::{
+    failover_coordinator, CoordinatorConfig, ResilientCoordinator, RetryPolicy, RoundOutcome,
+};
+use ccn_suite::model::ModelParams;
+use ccn_suite::sim::scenario::{steady_state_with_failures, SteadyStateConfig};
+use ccn_suite::sim::{FailureScenario, OriginConfig};
+use ccn_suite::topology::{datasets, params};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = datasets::abilene();
+    let topo = params::extract(&graph);
+    let n = topo.n;
+
+    // Act 1: elect and provision.
+    let coordinator = best_coordinator(&graph)?;
+    println!("elected coordinator: router {coordinator} (1-center of {})", topo.name);
+
+    let model_params = ModelParams::builder()
+        .zipf_exponent(0.8)
+        .routers_f64(n as f64)
+        .catalogue(50_000.0)
+        .capacity(100.0)
+        .amortized_unit_cost(topo.w_ms)
+        .alpha(0.8)
+        .build()?;
+    let mut rc = ResilientCoordinator::new(CoordinatorConfig::default(), RetryPolicy::default());
+    let report = rc.provision(model_params, 0.1, 7)?;
+    match &report.outcome {
+        RoundOutcome::Converged(round) => println!(
+            "round converged in {} attempt(s): l* = {:.3}, {} transmissions under 10% loss",
+            report.attempts.len(),
+            round.strategy.ell_star,
+            report.total_transmissions
+        ),
+        RoundOutcome::Aborted { .. } => unreachable!("10% loss converges within the budget"),
+    }
+
+    // Act 2: crash the coordinator mid-simulation (down at 20 s,
+    // recovering at 40 s of a 60 s horizon).
+    let config = SteadyStateConfig {
+        zipf_exponent: 0.8,
+        catalogue: 50_000,
+        capacity: 100,
+        ell: rc.last_known_good().expect("converged").strategy.ell_star,
+        rate_per_ms: 0.02,
+        horizon_ms: 60_000.0,
+        origin: OriginConfig { latency_ms: 50.0, hops: 4, gateway: None },
+        seed: 42,
+    };
+    let scenario = FailureScenario::none().with_router_outage(coordinator, 20_000.0, 40_000.0);
+    let metrics = steady_state_with_failures(graph.clone(), &config, scenario, &[])?;
+    println!(
+        "\ncoordinator down from t=20s to t=40s: {} transitions, \
+         origin load {:.2}% of which {:.2}% failure-induced",
+        metrics.failure_transitions,
+        metrics.origin_load() * 100.0,
+        metrics.failure_induced_origin_load() * 100.0
+    );
+
+    let mut alive = vec![true; n];
+    alive[coordinator] = false;
+    let successor = failover_coordinator(&graph, &alive)?;
+    println!("failover election on the surviving subgraph: router {successor} takes over");
+    assert_ne!(successor, coordinator);
+
+    // Act 3: recovery — the full topology is healthy again, and a
+    // fresh round under the original coordinator's config converges.
+    let healthy = failover_coordinator(&graph, &vec![true; n])?;
+    println!("\nafter recovery the election returns router {healthy} again");
+    assert_eq!(healthy, coordinator);
+    let report = rc.provision(model_params, 0.1, 8)?;
+    println!(
+        "post-recovery round: {}",
+        if report.converged() { "converged — coordination restored" } else { "aborted" }
+    );
+    Ok(())
+}

@@ -43,13 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tuned.objective_value,
         (tuned.objective_value / uniform.objective_value - 1.0) * 100.0
     );
-    let core_mean: f64 =
-        [0usize, 1, 3, 4, 8].iter().map(|&i| tuned.levels[i]).sum::<f64>() / 5.0;
-    let edge_mean: f64 = (0..20)
-        .filter(|i| ![0usize, 1, 3, 4, 8].contains(i))
-        .map(|i| tuned.levels[i])
-        .sum::<f64>()
-        / 15.0;
+    let core_mean: f64 = [0usize, 1, 3, 4, 8].iter().map(|&i| tuned.levels[i]).sum::<f64>() / 5.0;
+    let edge_mean: f64 =
+        (0..20).filter(|i| ![0usize, 1, 3, 4, 8].contains(i)).map(|i| tuned.levels[i]).sum::<f64>()
+            / 15.0;
     println!("  mean level — core routers: {core_mean:.3}, edge routers: {edge_mean:.3}");
 
     println!("\n== distributing one provisioning round over US-A ==");
@@ -69,8 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== retransmission inflation under control-plane loss ==");
-    let messages = dissemination_cost(&graph, Dissemination::Centralized { coordinator: hub }, entries)?
-        .link_crossings;
+    let messages =
+        dissemination_cost(&graph, Dissemination::Centralized { coordinator: hub }, entries)?
+            .link_crossings;
     for p in [0.01, 0.05, 0.2] {
         let report = loss_inflation(messages, p, 50, 7)?;
         println!(

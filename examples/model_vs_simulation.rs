@@ -65,11 +65,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gains = model.gains(opt.x_star);
     let sim_base = steady_state(
         graph.clone(),
-        &SteadyStateConfig { zipf_exponent: s, catalogue, capacity, ell: 0.0, rate_per_ms: 0.01, horizon_ms: 200_000.0, origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() }, seed: 7 },
+        &SteadyStateConfig {
+            zipf_exponent: s,
+            catalogue,
+            capacity,
+            ell: 0.0,
+            rate_per_ms: 0.01,
+            horizon_ms: 200_000.0,
+            origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() },
+            seed: 7,
+        },
     )?;
     let sim_opt = steady_state(
         graph,
-        &SteadyStateConfig { zipf_exponent: s, catalogue, capacity, ell: opt.ell_star, rate_per_ms: 0.01, horizon_ms: 200_000.0, origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() }, seed: 7 },
+        &SteadyStateConfig {
+            zipf_exponent: s,
+            catalogue,
+            capacity,
+            ell: opt.ell_star,
+            rate_per_ms: 0.01,
+            horizon_ms: 200_000.0,
+            origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() },
+            seed: 7,
+        },
     )?;
     let measured_go = 1.0 - sim_opt.origin_load() / sim_base.origin_load();
     println!(

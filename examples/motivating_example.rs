@@ -20,16 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         nc.origin_load() * 100.0,
         co.origin_load() * 100.0
     );
-    println!(
-        "{:<22} {:>18.2} {:>18.2}",
-        "routing hop count",
-        nc.avg_hops(),
-        co.avg_hops()
-    );
-    println!(
-        "{:<22} {:>18} {:>18}",
-        "coordination cost", 0, outcome.coordination_messages
-    );
+    println!("{:<22} {:>18.2} {:>18.2}", "routing hop count", nc.avg_hops(), co.avg_hops());
+    println!("{:<22} {:>18} {:>18}", "coordination cost", 0, outcome.coordination_messages);
 
     println!("\npaper's Table I:   33% / 0%,   ~0.67 / 0.5,   0 / 1");
     println!("\ndetail — non-coordinated: {nc:#?}");

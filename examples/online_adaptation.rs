@@ -68,8 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .origin(OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() })
             .caching(CachingMode::Static);
         for router in 0..n {
-            let mut contents: Vec<ContentId> =
-                (1..=initial.local_prefix).map(ContentId).collect();
+            let mut contents: Vec<ContentId> = (1..=initial.local_prefix).map(ContentId).collect();
             contents.extend(initial.placement.slice_of(router).into_iter().map(ContentId));
             builder = builder.store(router, Box::new(StaticStore::new(contents)))?;
         }
@@ -101,7 +100,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         adaptive.reprovision_moves, adaptive.reprovision_events
     );
     assert!(adaptive.origin_load() < stale.origin_load());
-    println!("\nadaptation recovered {:.1} percentage points of origin load",
-        (stale.origin_load() - adaptive.origin_load()) * 100.0);
+    println!(
+        "\nadaptation recovered {:.1} percentage points of origin load",
+        (stale.origin_load() - adaptive.origin_load()) * 100.0
+    );
     Ok(())
 }

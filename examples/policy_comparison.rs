@@ -30,14 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "policy comparison — Abilene, c = {CAPACITY}, N = {CATALOGUE}, s = 0.8, {} requests",
         requests.len()
     );
-    println!(
-        "{:<28} {:>12} {:>10} {:>12}",
-        "policy", "origin load", "avg hops", "latency(ms)"
-    );
+    println!("{:<28} {:>12} {:>10} {:>12}", "policy", "origin load", "avg hops", "latency(ms)");
 
     let run = |label: &str,
-                   caching: CachingMode,
-                   factory: &mut dyn FnMut(usize) -> Box<dyn ContentStore>|
+               caching: CachingMode,
+               factory: &mut dyn FnMut(usize) -> Box<dyn ContentStore>|
      -> Result<(), Box<dyn std::error::Error>> {
         let net = Network::builder(graph.clone())
             .stores_with(factory)

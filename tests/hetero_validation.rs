@@ -29,16 +29,11 @@ fn deploy_and_measure(capacities: &[f64], ell: f64) -> (f64, f64) {
     let n = graph.node_count();
     assert_eq!(capacities.len(), n);
 
-    let locals: Vec<u64> =
-        capacities.iter().map(|&c| ((1.0 - ell) * c).round() as u64).collect();
+    let locals: Vec<u64> = capacities.iter().map(|&c| ((1.0 - ell) * c).round() as u64).collect();
     let shares: Vec<u64> = capacities.iter().map(|&c| (ell * c).round() as u64).collect();
     let k_max = *locals.iter().max().expect("non-empty");
-    let biggest = locals
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &k)| k)
-        .map(|(i, _)| i)
-        .expect("non-empty");
+    let biggest =
+        locals.iter().enumerate().max_by_key(|&(_, &k)| k).map(|(i, _)| i).expect("non-empty");
     // First slice: the whole shared prefix, owned by the biggest
     // router (it stores all of it); then the per-router pool shares.
     let mut order = vec![biggest];
@@ -51,23 +46,15 @@ fn deploy_and_measure(capacities: &[f64], ell: f64) -> (f64, f64) {
         .placement(placement.clone())
         .origin(OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() })
         .caching(CachingMode::Static);
-    for router in 0..n {
-        let mut contents: Vec<ContentId> = (1..=locals[router]).map(ContentId).collect();
+    for (router, &local) in locals.iter().enumerate() {
+        let mut contents: Vec<ContentId> = (1..=local).map(ContentId).collect();
         contents.extend(placement.slice_of(router).into_iter().map(ContentId));
-        builder = builder
-            .store(router, Box::new(StaticStore::new(contents)))
-            .expect("router exists");
+        builder =
+            builder.store(router, Box::new(StaticStore::new(contents))).expect("router exists");
     }
     let net = builder.build().expect("valid network");
-    let requests = zipf_irm(
-        &(0..n).collect::<Vec<_>>(),
-        0.8,
-        CATALOGUE as u64,
-        0.01,
-        60_000.0,
-        91,
-    )
-    .expect("valid workload");
+    let requests = zipf_irm(&(0..n).collect::<Vec<_>>(), 0.8, CATALOGUE as u64, 0.01, 60_000.0, 91)
+        .expect("valid workload");
     let metrics = Simulator::new(net, SimConfig::default()).run(&requests).expect("runs");
     (metrics.origin_load(), metrics.local_hit_ratio())
 }
@@ -115,11 +102,8 @@ fn hetero_model_predictions_match_simulation() {
         );
         // Local fraction: mean of F(k_i) over routers.
         let f = ccn_suite::zipf::ContinuousZipf::new(0.8, CATALOGUE).expect("valid");
-        let predicted_local: f64 = capacities
-            .iter()
-            .map(|&c| f.cdf((1.0 - ell) * c))
-            .sum::<f64>()
-            / n as f64;
+        let predicted_local: f64 =
+            capacities.iter().map(|&c| f.cdf((1.0 - ell) * c)).sum::<f64>() / n as f64;
         assert!(
             (predicted_local - measured_local).abs() < 0.06,
             "ell={ell}: predicted local {predicted_local:.3} vs measured {measured_local:.3}"

@@ -41,9 +41,8 @@ fn origin_fraction_matches_model_across_ell() {
     let m = model(0.8, graph.node_count() as f64);
     for &ell in &[0.0, 0.3, 0.6, 1.0] {
         let predicted = m.breakdown(ell * 100.0).origin_fraction;
-        let measured = steady_state(graph.clone(), &config(0.8, ell))
-            .expect("simulation runs")
-            .origin_load();
+        let measured =
+            steady_state(graph.clone(), &config(0.8, ell)).expect("simulation runs").origin_load();
         assert!(
             (predicted - measured).abs() < 0.04,
             "ell={ell}: predicted {predicted:.3} vs measured {measured:.3}"
@@ -59,9 +58,8 @@ fn origin_fraction_matches_model_for_steep_zipf() {
     let m = model(1.3, graph.node_count() as f64);
     for &ell in &[0.0, 0.5, 1.0] {
         let predicted = m.breakdown(ell * 100.0).origin_fraction;
-        let measured = steady_state(graph.clone(), &config(1.3, ell))
-            .expect("simulation runs")
-            .origin_load();
+        let measured =
+            steady_state(graph.clone(), &config(1.3, ell)).expect("simulation runs").origin_load();
         // s > 1 inherits the continuous-approximation head error
         // (see the ablation_continuous experiment), so the tolerance
         // is wider but the agreement must still hold directionally.

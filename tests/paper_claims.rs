@@ -25,10 +25,7 @@ fn lemma1_convexity_across_table_iv_ranges() {
                         .build()
                         .expect("valid params");
                     let report = verify::check_lemma1(&model(params), 201).expect("checks");
-                    assert!(
-                        report.convex,
-                        "s={s} n={n} gamma={gamma} alpha={alpha}: {report:?}"
-                    );
+                    assert!(report.convex, "s={s} n={n} gamma={gamma} alpha={alpha}: {report:?}");
                 }
             }
         }

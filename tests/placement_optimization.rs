@@ -32,9 +32,8 @@ fn deploy(order: Vec<usize>) -> Metrics {
     for router in 0..n {
         let mut contents: Vec<ContentId> = (1..=prefix).map(ContentId).collect();
         contents.extend(placement.slice_of(router).into_iter().map(ContentId));
-        builder = builder
-            .store(router, Box::new(StaticStore::new(contents)))
-            .expect("router exists");
+        builder =
+            builder.store(router, Box::new(StaticStore::new(contents))).expect("router exists");
     }
     let net = builder.build().expect("valid network");
     let requests =

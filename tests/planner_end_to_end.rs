@@ -33,9 +33,8 @@ fn plan_provision_deploy_pipeline_is_consistent() {
 
     // Stage 2: coordination round enacting the plan.
     let params = params_from_topology(&topo, &config).expect("valid params");
-    let round = Coordinator::new(CoordinatorConfig::default())
-        .provision(params)
-        .expect("provisions");
+    let round =
+        Coordinator::new(CoordinatorConfig::default()).provision(params).expect("provisions");
     // The round solves the same optimum the plan reported.
     assert!(
         (round.strategy.ell_star - plan.strategy.ell_star).abs() < 1e-9,
@@ -101,8 +100,8 @@ fn provisioning_round_message_count_scales_with_x() {
     let coordinator = Coordinator::new(CoordinatorConfig::default());
     let costly = params_from_topology(&topo, &PlannerConfig { alpha: 0.95, ..config })
         .expect("valid params");
-    let frugal = params_from_topology(&topo, &PlannerConfig { alpha: 0.3, ..config })
-        .expect("valid params");
+    let frugal =
+        params_from_topology(&topo, &PlannerConfig { alpha: 0.3, ..config }).expect("valid params");
     let costly_round = coordinator.provision(costly).expect("provisions");
     let frugal_round = coordinator.provision(frugal).expect("provisions");
     assert!(

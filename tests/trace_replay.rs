@@ -31,15 +31,11 @@ fn run_at(ell: f64, requests: &[ccn_suite::sim::workload::Request]) -> f64 {
     for router in 0..n {
         let mut contents: Vec<ContentId> = (1..=prefix).map(ContentId).collect();
         contents.extend(placement.slice_of(router).into_iter().map(ContentId));
-        builder = builder
-            .store(router, Box::new(StaticStore::new(contents)))
-            .expect("router exists");
+        builder =
+            builder.store(router, Box::new(StaticStore::new(contents))).expect("router exists");
     }
     let net = builder.build().expect("valid network");
-    Simulator::new(net, SimConfig::default())
-        .run(requests)
-        .expect("runs")
-        .origin_load()
+    Simulator::new(net, SimConfig::default()).run(requests).expect("runs").origin_load()
 }
 
 #[test]
@@ -64,10 +60,7 @@ fn replayed_trace_shows_monotone_origin_load_in_ell() {
     let mut prev = f64::INFINITY;
     for &ell in &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let load = run_at(ell, &trace);
-        assert!(
-            load < prev,
-            "ell={ell}: origin load {load:.4} did not decrease (prev {prev:.4})"
-        );
+        assert!(load < prev, "ell={ell}: origin load {load:.4} did not decrease (prev {prev:.4})");
         prev = load;
     }
 }

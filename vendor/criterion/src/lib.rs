@@ -1,0 +1,199 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API used by
+//! the workspace's benches.
+//!
+//! The build environment cannot reach crates.io, so this crate keeps
+//! the bench targets compiling and runnable: each benchmark executes a
+//! small, fixed number of timed iterations and prints a median
+//! per-iteration estimate. It performs no statistical analysis — it
+//! exists so `cargo bench` smoke-runs the bench code and `cargo test
+//! --benches` type-checks it, not to produce publishable numbers.
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations per measured sample.
+const ITERS_PER_SAMPLE: u32 = 10;
+/// Timed samples per benchmark.
+const SAMPLES: usize = 5;
+
+/// Identifier combining a function name and an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Converts into the printable identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (accepted and ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives the closure under measurement.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the median of a few short samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut samples = [0.0f64; SAMPLES];
+        for sample in &mut samples {
+            let start = Instant::now();
+            for _ in 0..ITERS_PER_SAMPLE {
+                std::hint::black_box(f());
+            }
+            *sample = start.elapsed().as_nanos() as f64 / f64::from(ITERS_PER_SAMPLE);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.nanos_per_iter = samples[SAMPLES / 2];
+    }
+}
+
+fn run_one(id: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    println!("bench {id:<50} ~{:>12.1} ns/iter", bencher.nanos_per_iter);
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group's throughput (ignored by the stand-in).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the sample count (ignored by the stand-in).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_one(&format!("{}/{}", self.name, id.into_id()), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_one(id, |b| f(b));
+        self
+    }
+}
+
+/// Declares a group function invoking each bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_groups_run() {
+        let mut criterion = Criterion::default();
+        criterion.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = criterion.benchmark_group("group");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::new("f", 4), |b| b.iter(|| 2 * 2));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, n| b.iter(|| n * 2));
+        group.finish();
+    }
+}

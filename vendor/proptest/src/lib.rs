@@ -1,0 +1,239 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API used by
+//! this workspace.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! re-implements just what the workspace's property tests call:
+//!
+//! - the [`proptest!`] macro wrapping `#[test]` functions whose
+//!   arguments are drawn from strategies (`x in 0.05f64..1.95`,
+//!   `n in 1usize..30`, `s in prop::sample::select(vec![...])`);
+//! - [`prop_assert!`] / [`prop_assert_eq!`];
+//! - numeric range strategies and [`prop::sample::select`].
+//!
+//! Each test runs a fixed number of deterministic cases (seeded per
+//! test name), with no shrinking — a failing case panics with the
+//! case index and message so it can be reproduced directly.
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Strategy abstraction: something that can draw a value from the
+/// test runner's RNG.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of generated test inputs.
+    pub trait Strategy {
+        /// The value type this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn pick(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u32, u64, usize, f64);
+
+    /// Uniform choice from a fixed list (see [`crate::prop::sample::select`]).
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        pub(crate) options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn pick(&self, rng: &mut StdRng) -> T {
+            assert!(!self.options.is_empty(), "select() needs at least one option");
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Mirror of proptest's `prop` facade module.
+pub mod prop {
+    /// Strategies drawing from explicit samples.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Uniform choice from `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            Select { options }
+        }
+    }
+}
+
+/// Test-runner plumbing used by the macros.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Cases executed per property test.
+    pub const CASES: u32 = 64;
+
+    /// A failed property within one generated case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic per-test RNG: seeded from the test's name so
+    /// every run regenerates the identical case sequence.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Wraps property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a plain test running [`test_runner::CASES`] deterministic
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            // `$meta` captures every attribute, including the
+            // caller-written `#[test]`, so it is re-emitted verbatim.
+            $(#[$meta])+
+            fn $name() {
+                let mut __pt_rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __pt_case in 0..$crate::test_runner::CASES {
+                    $(let $arg = $crate::strategy::Strategy::pick(&($strat), &mut __pt_rng);)+
+                    let __pt_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(err) = __pt_result {
+                        panic!(
+                            "property `{}` failed on case {}/{}: {}",
+                            stringify!($name),
+                            __pt_case + 1,
+                            $crate::test_runner::CASES,
+                            err
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a property inside [`proptest!`], failing the current case
+/// (not panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Exercises range strategies, select, and both assert macros.
+        #[test]
+        fn strategies_stay_in_bounds(
+            x in 0.25f64..0.75,
+            n in 1u64..100,
+            m in 3usize..9,
+            s in prop::sample::select(vec![2, 4, 6]),
+        ) {
+            prop_assert!(x >= 0.25 && x < 0.75, "x={x} out of range");
+            prop_assert!(n >= 1 && n < 100);
+            prop_assert!(m >= 3 && m < 9);
+            prop_assert_eq!(s % 2, 0);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::rng_for("some::test");
+        let mut b = crate::test_runner::rng_for("some::test");
+        let strat = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(strat.pick(&mut a), strat.pick(&mut b));
+        }
+    }
+}
