@@ -34,6 +34,26 @@ fn zipf_benches(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(7);
             b.iter(|| s.sample(&mut rng))
         });
+        // Batched draw into a reused buffer (hoists the strategy
+        // dispatch and per-call constants) vs the scalar loop.
+        group.bench_with_input(BenchmarkId::new("sample_loop_4096", label), &sampler, |b, s| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut out = vec![0u64; 4096];
+            b.iter(|| {
+                for slot in out.iter_mut() {
+                    *slot = s.sample(&mut rng);
+                }
+                black_box(out[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sample_fill_4096", label), &sampler, |b, s| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut out = vec![0u64; 4096];
+            b.iter(|| {
+                s.sample_fill(&mut rng, &mut out);
+                black_box(out[0])
+            })
+        });
     }
     group.finish();
 }

@@ -11,16 +11,25 @@
 //! (peer fetches are charged round-trip), d2 = the flat origin
 //! latency.
 //!
+//! Both sweeps fan their simulation grids across threads via the
+//! experiment runner; analytic values, printing, and assertions
+//! happen afterwards in grid order, so output and pass/fail behaviour
+//! match the sequential version exactly.
+//!
 //! Run with: `cargo run --release -p ccn-bench --bin resilience`
 
 use std::fmt::Write as _;
 
+use ccn_bench::runner::{self, run_trials, Trial, TrialResult};
 use ccn_model::{CacheModel, ModelParams};
-use ccn_sim::scenario::{steady_state_with_failures, SteadyStateConfig};
+use ccn_sim::scenario::SteadyStateConfig;
 use ccn_sim::{FailureConfig, FailureModel, FailureScenario, OriginConfig};
 use ccn_topology::{datasets, params, Graph};
 
 const ORIGIN_MS: f64 = 50.0;
+const ELLS: [f64; 3] = [0.25, 0.5, 0.75];
+const KS: [usize; 4] = [0, 1, 2, 4];
+const MTBFS: [f64; 4] = [f64::INFINITY, 60_000.0, 20_000.0, 6_000.0];
 
 fn config(ell: f64) -> SteadyStateConfig {
     SteadyStateConfig {
@@ -35,36 +44,65 @@ fn config(ell: f64) -> SteadyStateConfig {
     }
 }
 
-fn sweep(graph: &Graph, csv: &mut String) -> Result<f64, Box<dyn std::error::Error>> {
+fn model_for(
+    graph: &Graph,
+    cfg: &SteadyStateConfig,
+) -> Result<CacheModel, Box<dyn std::error::Error>> {
     let topo = params::extract(graph);
-    let n = topo.n;
     let d1 = 2.0 * topo.mean_latency_ms;
     let gamma = (ORIGIN_MS - d1) / d1;
-    println!("\n{} (n = {n}, d1 = {d1:.2} ms round-trip, gamma = {gamma:.2}):", topo.name);
-    println!("{:>6} {:>3} | {:>12} {:>12} {:>8}", "l", "k", "analytic", "simulated", "error");
-    let mut worst: f64 = 0.0;
-    for ell in [0.25, 0.5, 0.75] {
-        let cfg = config(ell);
-        let model_params = ModelParams::builder()
-            .zipf_exponent(cfg.zipf_exponent)
-            .routers_f64(n as f64)
-            .catalogue(cfg.catalogue as f64)
-            .capacity(cfg.capacity as f64)
-            .latency_tiers(0.0, d1, gamma)
-            .amortized_unit_cost(topo.w_ms)
-            .alpha(0.8)
-            .build()?;
-        let model = CacheModel::new(model_params)?;
-        let x = (ell * cfg.capacity as f64).round();
-        for k in [0usize, 1, 2, 4] {
-            let analytic = model.degraded_performance_discrete(x, k as u32)?;
+    let params = ModelParams::builder()
+        .zipf_exponent(cfg.zipf_exponent)
+        .routers_f64(topo.n as f64)
+        .catalogue(cfg.catalogue as f64)
+        .capacity(cfg.capacity as f64)
+        .latency_tiers(0.0, d1, gamma)
+        .amortized_unit_cost(topo.w_ms)
+        .alpha(0.8)
+        .build()?;
+    Ok(CacheModel::new(params)?)
+}
+
+/// Builds the deterministic `(ℓ, k)` tail-crash grid for one topology.
+fn sweep_trials(graph: &Graph) -> Vec<Trial> {
+    let n = graph.node_count();
+    let mut trials = Vec::new();
+    for ell in ELLS {
+        for k in KS {
             let mut scenario = FailureScenario::none();
             for i in 0..k {
                 scenario = scenario.with_router_outage(n - 1 - i, 0.0, f64::INFINITY);
             }
             let survivors: Vec<usize> = (0..n - k).collect();
-            let metrics = steady_state_with_failures(graph.clone(), &cfg, scenario, &survivors)?;
-            let simulated = metrics.avg_latency_ms();
+            trials.push(
+                Trial::new(format!("ell={ell},k={k}"), graph.clone(), config(ell))
+                    .with_failures(scenario, survivors),
+            );
+        }
+    }
+    trials
+}
+
+fn sweep_report(
+    graph: &Graph,
+    results: &[TrialResult],
+    csv: &mut String,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let topo = params::extract(graph);
+    let d1 = 2.0 * topo.mean_latency_ms;
+    let gamma = (ORIGIN_MS - d1) / d1;
+    println!("\n{} (n = {}, d1 = {d1:.2} ms round-trip, gamma = {gamma:.2}):", topo.name, topo.n);
+    println!("{:>6} {:>3} | {:>12} {:>12} {:>8}", "l", "k", "analytic", "simulated", "error");
+    let mut worst: f64 = 0.0;
+    let mut cursor = results.iter();
+    for ell in ELLS {
+        let cfg = config(ell);
+        let model = model_for(graph, &cfg)?;
+        let x = (ell * cfg.capacity as f64).round();
+        for k in KS {
+            let analytic = model.degraded_performance_discrete(x, k as u32)?;
+            let simulated =
+                cursor.next().expect("one result per grid point").metrics.avg_latency_ms();
             let rel = (simulated - analytic).abs() / analytic;
             worst = worst.max(rel);
             println!(
@@ -78,40 +116,41 @@ fn sweep(graph: &Graph, csv: &mut String) -> Result<f64, Box<dyn std::error::Err
     Ok(worst)
 }
 
-/// Seeded churn: routers crash and recover with exponential
-/// MTBF/MTTR, so the steady-state unavailability is
-/// `rho = MTTR / (MTBF + MTTR)`. The expected-random degradation
-/// model (`expected_degraded_breakdown`) predicts the latency at that
-/// rho; the simulator replays a drawn schedule against the same
-/// deployment with every client attached.
-fn rate_sweep(graph: &Graph, csv: &mut String) -> Result<(), Box<dyn std::error::Error>> {
-    let topo = params::extract(graph);
-    let n = topo.n;
-    let d1 = 2.0 * topo.mean_latency_ms;
-    let gamma = (ORIGIN_MS - d1) / d1;
+/// Builds the seeded-churn MTBF grid for one topology. Routers crash
+/// and recover with exponential MTBF/MTTR, so the steady-state
+/// unavailability is `rho = MTTR / (MTBF + MTTR)`.
+fn rate_trials(graph: &Graph) -> Result<Vec<Trial>, Box<dyn std::error::Error>> {
+    let n = graph.node_count();
     let cfg = config(0.5);
-    let model_params = ModelParams::builder()
-        .zipf_exponent(cfg.zipf_exponent)
-        .routers_f64(n as f64)
-        .catalogue(cfg.catalogue as f64)
-        .capacity(cfg.capacity as f64)
-        .latency_tiers(0.0, d1, gamma)
-        .amortized_unit_cost(topo.w_ms)
-        .alpha(0.8)
-        .build()?;
-    let model = CacheModel::new(model_params)?;
-    let x = (cfg.ell * cfg.capacity as f64).round();
-    let mttr = 2_000.0;
-    println!("\n{} churn at l = {} (MTTR = {mttr} ms):", topo.name, cfg.ell);
-    println!("{:>10} {:>7} | {:>12} {:>12} {:>10}", "MTBF", "rho", "expected", "simulated", "lost");
-    let mut last_clean = f64::NAN;
-    for mtbf in [f64::INFINITY, 60_000.0, 20_000.0, 6_000.0] {
-        let rho = if mtbf.is_finite() { mttr / (mtbf + mttr) } else { 0.0 };
-        let expected = model.expected_degraded_breakdown(x, rho)?.expected_latency;
+    let mut trials = Vec::new();
+    for mtbf in MTBFS {
         let scenario =
             FailureModel::new(FailureConfig { router_mtbf_ms: mtbf, ..Default::default() }, 7)?
                 .schedule(n, &[], cfg.horizon_ms);
-        let metrics = steady_state_with_failures(graph.clone(), &cfg, scenario, &[])?;
+        trials.push(
+            Trial::new(format!("mtbf={mtbf}"), graph.clone(), cfg).with_failures(scenario, vec![]),
+        );
+    }
+    Ok(trials)
+}
+
+fn rate_report(
+    graph: &Graph,
+    results: &[TrialResult],
+    mttr: f64,
+    csv: &mut String,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let topo = params::extract(graph);
+    let cfg = config(0.5);
+    let model = model_for(graph, &cfg)?;
+    let x = (cfg.ell * cfg.capacity as f64).round();
+    println!("\n{} churn at l = {} (MTTR = {mttr} ms):", topo.name, cfg.ell);
+    println!("{:>10} {:>7} | {:>12} {:>12} {:>10}", "MTBF", "rho", "expected", "simulated", "lost");
+    let mut last_clean = f64::NAN;
+    for (mtbf, result) in MTBFS.iter().zip(results) {
+        let rho = if mtbf.is_finite() { mttr / (mtbf + mttr) } else { 0.0 };
+        let expected = model.expected_degraded_breakdown(x, rho)?.expected_latency;
+        let metrics = &result.metrics;
         let simulated = metrics.avg_latency_ms();
         if mtbf.is_infinite() {
             last_clean = simulated;
@@ -138,14 +177,34 @@ fn rate_sweep(graph: &Graph, csv: &mut String) -> Result<(), Box<dyn std::error:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("degraded performance T_k: analytic model vs fault-injected simulation");
+    let threads = runner::resolve_threads(0);
+    let mttr = 2_000.0;
     let mut csv = String::from("topology,ell,k,analytic_ms,simulated_ms,rel_error\n");
     let mut worst: f64 = 0.0;
-    for graph in [datasets::abilene(), datasets::us_a()] {
-        worst = worst.max(sweep(&graph, &mut csv)?);
+    let graphs = [datasets::abilene(), datasets::us_a()];
+
+    // One flat trial batch per phase: every (topology, grid point)
+    // pair runs concurrently; reports then consume results in order.
+    let sweep_batches: Vec<Vec<Trial>> = graphs.iter().map(sweep_trials).collect();
+    let flat: Vec<Trial> = sweep_batches.iter().flatten().cloned().collect();
+    let sweep_results = run_trials(&flat, threads)?;
+    let mut offset = 0;
+    for (graph, batch) in graphs.iter().zip(&sweep_batches) {
+        let slice = &sweep_results[offset..offset + batch.len()];
+        offset += batch.len();
+        worst = worst.max(sweep_report(graph, slice, &mut csv)?);
     }
-    for graph in [datasets::abilene(), datasets::us_a()] {
-        rate_sweep(&graph, &mut csv)?;
+
+    let rate_batches: Vec<Vec<Trial>> = graphs.iter().map(rate_trials).collect::<Result<_, _>>()?;
+    let flat: Vec<Trial> = rate_batches.iter().flatten().cloned().collect();
+    let rate_results = run_trials(&flat, threads)?;
+    let mut offset = 0;
+    for (graph, batch) in graphs.iter().zip(&rate_batches) {
+        let slice = &rate_results[offset..offset + batch.len()];
+        offset += batch.len();
+        rate_report(graph, slice, mttr, &mut csv)?;
     }
+
     let path = ccn_bench::experiment_dir().join("resilience.csv");
     std::fs::write(&path, csv)?;
     println!("\nworst relative error across the deterministic sweep: {:.2}%", worst * 100.0);

@@ -3,24 +3,54 @@
 //! simulator on every evaluation topology and compares predicted vs
 //! measured tier fractions across the coordination-level sweep.
 //!
+//! The `(topology, ℓ)` grid fans out across threads via the
+//! experiment runner; output is printed in grid order afterwards, so
+//! results are identical to the sequential version.
+//!
 //! Run with: `cargo run --release -p ccn-bench --bin validation`
 
 use std::fmt::Write as _;
 
+use ccn_bench::runner::{self, run_trials, Trial};
 use ccn_model::{CacheModel, ModelParams};
-use ccn_sim::scenario::{steady_state, SteadyStateConfig};
+use ccn_sim::scenario::SteadyStateConfig;
 use ccn_sim::OriginConfig;
 use ccn_topology::datasets;
 
 const CATALOGUE: u64 = 5_000;
 const CAPACITY: u64 = 100;
+const ELLS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graphs = datasets::all();
+    let mut trials = Vec::new();
+    for graph in &graphs {
+        for &ell in &ELLS {
+            trials.push(Trial::new(
+                graph.name().to_owned(),
+                graph.clone(),
+                SteadyStateConfig {
+                    zipf_exponent: 0.8,
+                    catalogue: CATALOGUE,
+                    capacity: CAPACITY,
+                    ell,
+                    rate_per_ms: 0.01,
+                    horizon_ms: 100_000.0,
+                    origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() },
+                    seed: 99,
+                },
+            ));
+        }
+    }
+    let threads = runner::resolve_threads(0);
+    let results = run_trials(&trials, threads)?;
+
     let mut csv = String::from(
         "topology,ell,predicted_origin,measured_origin,predicted_local,measured_local\n",
     );
     let mut worst: f64 = 0.0;
-    for graph in datasets::all() {
+    let mut cursor = results.iter();
+    for graph in &graphs {
         let name = graph.name().to_owned();
         let params = ModelParams::builder()
             .zipf_exponent(0.8)
@@ -36,21 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:>5} | {:>10} {:>10} | {:>10} {:>10}",
             "l", "orig(mod)", "orig(sim)", "local(mod)", "local(sim)"
         );
-        for &ell in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        for &ell in &ELLS {
             let predicted = model.breakdown(ell * CAPACITY as f64);
-            let measured = steady_state(
-                graph.clone(),
-                &SteadyStateConfig {
-                    zipf_exponent: 0.8,
-                    catalogue: CATALOGUE,
-                    capacity: CAPACITY,
-                    ell,
-                    rate_per_ms: 0.01,
-                    horizon_ms: 100_000.0,
-                    origin: OriginConfig { latency_ms: 50.0, hops: 4, ..Default::default() },
-                    seed: 99,
-                },
-            )?;
+            let measured = &cursor.next().expect("one result per grid point").metrics;
             println!(
                 "{ell:>5.2} | {:>10.3} {:>10.3} | {:>10.3} {:>10.3}",
                 predicted.origin_fraction,

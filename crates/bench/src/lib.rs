@@ -9,11 +9,14 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod runner;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
 use ccn_model::{presets, CacheModel, ModelError, ModelParams};
+use ccn_numerics::parallel_map;
 use ccn_numerics::sweep::linspace;
 
 /// One plotted curve: a label and its `(x, y)` points.
@@ -153,24 +156,46 @@ pub fn zipf_grid(points_per_side: usize) -> Vec<f64> {
     grid
 }
 
+/// Evaluates `metric` over a grid in parallel, preserving grid order.
+fn sweep_series(
+    grid: &[f64],
+    threads: usize,
+    metric: Metric,
+    make: impl Fn(f64) -> Result<ModelParams, ModelError> + Sync,
+) -> Result<Vec<(f64, f64)>, ModelError> {
+    parallel_map(grid, threads, |&x| make(x).and_then(|p| metric.evaluate(p)).map(|y| (x, y)))
+        .into_iter()
+        .collect()
+}
+
 /// Computes the full series set for a figure. Sweep densities match
-/// the paper's plots (dozens of points per curve).
+/// the paper's plots (dozens of points per curve). Grid points are
+/// evaluated across all available cores; results are deterministic in
+/// grid order regardless of thread count.
 ///
 /// # Errors
 ///
 /// Propagates parameter/solver failures.
 pub fn figure_data(figure: Figure) -> Result<FigureData, ModelError> {
+    figure_data_with_threads(figure, runner::resolve_threads(0))
+}
+
+/// Like [`figure_data`] with an explicit worker-thread count
+/// (`threads <= 1` evaluates sequentially).
+///
+/// # Errors
+///
+/// Propagates parameter/solver failures.
+pub fn figure_data_with_threads(figure: Figure, threads: usize) -> Result<FigureData, ModelError> {
     let metric = figure.metric();
     let (x_label, series): (&str, Vec<Series>) = match figure {
         Figure::Fig4 | Figure::Fig8 | Figure::Fig12 => {
             let alphas = linspace(0.02, 1.0, 50);
             let mut all = Vec::new();
             for &gamma in &presets::GAMMA_SERIES {
-                let mut points = Vec::new();
-                for &alpha in &alphas {
-                    let params = presets::fig4_family(gamma, alpha)?;
-                    points.push((alpha, metric.evaluate(params)?));
-                }
+                let points = sweep_series(&alphas, threads, metric, |alpha| {
+                    presets::fig4_family(gamma, alpha)
+                })?;
                 all.push(Series { label: format!("gamma={gamma}"), points });
             }
             ("trade-off weight alpha", all)
@@ -179,11 +204,8 @@ pub fn figure_data(figure: Figure) -> Result<FigureData, ModelError> {
             let grid = zipf_grid(25);
             let mut all = Vec::new();
             for &alpha in &presets::ALPHA_SERIES {
-                let mut points = Vec::new();
-                for &s in &grid {
-                    let params = presets::fig5_family(s, alpha)?;
-                    points.push((s, metric.evaluate(params)?));
-                }
+                let points =
+                    sweep_series(&grid, threads, metric, |s| presets::fig5_family(s, alpha))?;
                 all.push(Series { label: format!("alpha={alpha}"), points });
             }
             ("zipf exponent s", all)
@@ -192,11 +214,8 @@ pub fn figure_data(figure: Figure) -> Result<FigureData, ModelError> {
             let ns = linspace(10.0, 500.0, 50);
             let mut all = Vec::new();
             for &alpha in &presets::ALPHA_SERIES {
-                let mut points = Vec::new();
-                for &n in &ns {
-                    let params = presets::fig6_family(n, alpha)?;
-                    points.push((n, metric.evaluate(params)?));
-                }
+                let points =
+                    sweep_series(&ns, threads, metric, |n| presets::fig6_family(n, alpha))?;
                 all.push(Series { label: format!("alpha={alpha}"), points });
             }
             ("network size n", all)
@@ -205,11 +224,8 @@ pub fn figure_data(figure: Figure) -> Result<FigureData, ModelError> {
             let ws = linspace(10.0, 100.0, 46);
             let mut all = Vec::new();
             for &alpha in &presets::ALPHA_SERIES {
-                let mut points = Vec::new();
-                for &w in &ws {
-                    let params = presets::fig7_family(w, alpha)?;
-                    points.push((w, metric.evaluate(params)?));
-                }
+                let points =
+                    sweep_series(&ws, threads, metric, |w| presets::fig7_family(w, alpha))?;
                 all.push(Series { label: format!("alpha={alpha}"), points });
             }
             ("unit coordination cost w (ms)", all)

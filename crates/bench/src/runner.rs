@@ -1,0 +1,710 @@
+//! Parallel, seed-sharded experiment engine.
+//!
+//! Simulation experiments are embarrassingly parallel across
+//! `(seed, grid point)` pairs: each trial owns its network, workload,
+//! and RNG, so trials fan out across threads via
+//! [`ccn_numerics::parallel_map`] with zero shared mutable state and
+//! bit-identical per-trial results regardless of thread count.
+//!
+//! The module has three layers:
+//!
+//! - [`Trial`]/[`run_trials`] — declare and execute a batch of
+//!   steady-state simulation runs, measuring per-run wall time and
+//!   events/sec alongside the simulation [`Metrics`];
+//! - [`aggregate`] — group per-seed results by label into means with
+//!   95% confidence intervals ([`LabelSummary`]);
+//! - [`run_bench`]/[`BenchReport`] — the `ccn bench` driver: store
+//!   micro-benchmarks, a before/after Abilene throughput comparison
+//!   against the seed's O(n) stores, a multi-seed validation sweep,
+//!   and a thread-scaling measurement, all emitted as machine-readable
+//!   `BENCH_*.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ccn_numerics::parallel_map;
+use ccn_numerics::stats::Summary;
+use ccn_sim::scenario::{steady_state_with_failures, SteadyStateConfig};
+use ccn_sim::store::reference::{NaiveLfuStore, NaiveLruStore};
+use ccn_sim::store::{ContentStore, LfuStore, LruStore};
+use ccn_sim::workload::zipf_irm;
+use ccn_sim::{
+    CachingMode, FailureScenario, Metrics, Network, OriginConfig, SimConfig, SimError, Simulator,
+};
+use ccn_topology::{datasets, Graph};
+use ccn_zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One independent simulation run: a steady-state scenario on a
+/// topology, optionally fault-injected.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// Aggregation key: trials sharing a label are replications of the
+    /// same experimental condition (typically differing only in seed).
+    pub label: String,
+    /// The topology to simulate on.
+    pub graph: Graph,
+    /// Scenario parameters (the seed lives here).
+    pub config: SteadyStateConfig,
+    /// Failure schedule replayed during the run (empty = fault-free).
+    pub failures: FailureScenario,
+    /// Routers with attached clients (empty = all routers).
+    pub clients: Vec<usize>,
+}
+
+impl Trial {
+    /// A fault-free trial with clients on every router.
+    #[must_use]
+    pub fn new(label: impl Into<String>, graph: Graph, config: SteadyStateConfig) -> Self {
+        Self {
+            label: label.into(),
+            graph,
+            config,
+            failures: FailureScenario::none(),
+            clients: Vec::new(),
+        }
+    }
+
+    /// Adds a failure schedule and an optional client restriction.
+    #[must_use]
+    pub fn with_failures(mut self, failures: FailureScenario, clients: Vec<usize>) -> Self {
+        self.failures = failures;
+        self.clients = clients;
+        self
+    }
+}
+
+/// Outcome of one trial: the simulation metrics plus runner-side
+/// throughput measurements.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// The trial's aggregation label.
+    pub label: String,
+    /// The workload seed the trial ran with.
+    pub seed: u64,
+    /// Wall-clock duration of the simulation (ms), workload generation
+    /// included.
+    pub wall_ms: f64,
+    /// Events dispatched by the simulator.
+    pub events: u64,
+    /// Dispatch throughput (`events / wall seconds`).
+    pub events_per_sec: f64,
+    /// Full simulation metrics.
+    pub metrics: Metrics,
+}
+
+/// Runs every trial, fanning them across `threads` workers; results
+/// come back in trial order. Each trial is deterministic in its own
+/// seed, so the thread count affects wall time only, never results.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any trial produced.
+pub fn run_trials(trials: &[Trial], threads: usize) -> Result<Vec<TrialResult>, SimError> {
+    parallel_map(trials, threads, |trial| {
+        let start = Instant::now();
+        let metrics = steady_state_with_failures(
+            trial.graph.clone(),
+            &trial.config,
+            trial.failures.clone(),
+            &trial.clients,
+        )?;
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let events = metrics.events_processed;
+        Ok(TrialResult {
+            label: trial.label.clone(),
+            seed: trial.config.seed,
+            wall_ms,
+            events,
+            events_per_sec: if wall_ms > 0.0 { events as f64 / (wall_ms / 1e3) } else { 0.0 },
+            metrics,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// A mean with its 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stat {
+    /// Sample mean across replications.
+    pub mean: f64,
+    /// Normal-approximation 95% CI half-width (0 for one replication).
+    pub ci95: f64,
+}
+
+impl Stat {
+    fn of(sample: &[f64]) -> Self {
+        match Summary::of(sample) {
+            Some(s) => Self { mean: s.mean, ci95: s.ci_half_width(1.96) },
+            None => Self { mean: f64::NAN, ci95: f64::NAN },
+        }
+    }
+}
+
+/// Aggregated replications of one experimental condition.
+#[derive(Debug, Clone)]
+pub struct LabelSummary {
+    /// The condition's label.
+    pub label: String,
+    /// Number of replications aggregated.
+    pub runs: usize,
+    /// Origin load (paper metric) across replications.
+    pub origin_load: Stat,
+    /// Local hit ratio across replications.
+    pub local_hit_ratio: Stat,
+    /// Peer hit ratio across replications.
+    pub peer_hit_ratio: Stat,
+    /// Mean request latency (ms) across replications.
+    pub avg_latency_ms: Stat,
+    /// Dispatch throughput across replications.
+    pub events_per_sec: Stat,
+    /// Total wall time spent in this condition's replications (ms).
+    pub wall_ms_total: f64,
+}
+
+/// Groups results by label (first-seen order) and summarizes each
+/// group's metrics with 95% confidence intervals.
+#[must_use]
+pub fn aggregate(results: &[TrialResult]) -> Vec<LabelSummary> {
+    let mut order: Vec<&str> = Vec::new();
+    for r in results {
+        if !order.contains(&r.label.as_str()) {
+            order.push(&r.label);
+        }
+    }
+    order
+        .into_iter()
+        .map(|label| {
+            let group: Vec<&TrialResult> = results.iter().filter(|r| r.label == label).collect();
+            let pull = |f: &dyn Fn(&TrialResult) -> f64| -> Vec<f64> {
+                group.iter().map(|r| f(r)).collect()
+            };
+            LabelSummary {
+                label: label.to_owned(),
+                runs: group.len(),
+                origin_load: Stat::of(&pull(&|r| r.metrics.origin_load())),
+                local_hit_ratio: Stat::of(&pull(&|r| r.metrics.local_hit_ratio())),
+                peer_hit_ratio: Stat::of(&pull(&|r| r.metrics.peer_hit_ratio())),
+                avg_latency_ms: Stat::of(&pull(&|r| r.metrics.avg_latency_ms())),
+                events_per_sec: Stat::of(&pull(&|r| r.events_per_sec)),
+                wall_ms_total: group.iter().map(|r| r.wall_ms).sum(),
+            }
+        })
+        .collect()
+}
+
+/// One store micro-benchmark line: the O(1) structure against the
+/// seed's O(n) reference on an identical Zipf churn stream.
+#[derive(Debug, Clone)]
+pub struct StoreChurn {
+    /// `"lru_churn"` or `"lfu_churn"`.
+    pub name: String,
+    /// Catalogue size the stream draws from.
+    pub catalogue: u64,
+    /// Store capacity.
+    pub capacity: usize,
+    /// Operations timed against the O(1) store.
+    pub fast_ops: usize,
+    /// Nanoseconds per operation, O(1) store.
+    pub fast_ns_per_op: f64,
+    /// Operations timed against the naive store (fewer — O(n)
+    /// eviction makes full-length runs impractical; per-op figures
+    /// stay comparable).
+    pub naive_ops: usize,
+    /// Nanoseconds per operation, naive store.
+    pub naive_ns_per_op: f64,
+    /// `naive_ns_per_op / fast_ns_per_op`.
+    pub speedup: f64,
+}
+
+/// Before/after throughput on one full dynamic-store simulation.
+#[derive(Debug, Clone)]
+pub struct BeforeAfter {
+    /// Events dispatched (identical in both runs — the store swap
+    /// never changes simulation behaviour).
+    pub events: u64,
+    /// Events/sec with the seed's naive O(n) stores.
+    pub before_events_per_sec: f64,
+    /// Events/sec with the O(1) stores.
+    pub after_events_per_sec: f64,
+    /// Throughput ratio.
+    pub speedup: f64,
+}
+
+/// Thread-scaling measurement on the validation sweep.
+#[derive(Debug, Clone)]
+pub struct ThreadScaling {
+    /// Worker count of the parallel run.
+    pub threads: usize,
+    /// CPU cores visible to the process when the measurement ran.
+    pub available_cores: usize,
+    /// Wall time of the sweep at one thread (ms).
+    pub t1_ms: f64,
+    /// Wall time of the sweep at `threads` workers (ms).
+    pub tn_ms: f64,
+    /// `t1 / tn`.
+    pub speedup: f64,
+    /// `speedup / min(threads, available_cores)`: speedup per core
+    /// the run could actually use. Threads beyond the visible cores
+    /// cannot add parallelism, so they do not enter the denominator.
+    pub efficiency: f64,
+}
+
+/// Everything `ccn bench` measures, serializable as `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Snapshot name (e.g. `"BENCH_2"`).
+    pub name: String,
+    /// Whether sizes were reduced for a CI smoke run.
+    pub smoke: bool,
+    /// Worker count used for the parallel phases.
+    pub threads: usize,
+    /// Store micro-benchmarks.
+    pub stores: Vec<StoreChurn>,
+    /// Before/after events/sec on the Abilene dynamic-LRU validation
+    /// workload.
+    pub abilene: BeforeAfter,
+    /// Multi-seed Abilene validation sweep, one summary per `ℓ`.
+    pub sweep: Vec<LabelSummary>,
+    /// Thread-scaling measurement over the sweep.
+    pub scaling: ThreadScaling,
+}
+
+/// Options for [`run_bench`].
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Worker threads for the parallel phases (0 = autodetect).
+    pub threads: usize,
+    /// Replications per sweep condition.
+    pub seeds: usize,
+    /// Shrink workloads for a fast CI smoke run.
+    pub smoke: bool,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self { threads: 0, seeds: 5, smoke: false }
+    }
+}
+
+/// Drives a Zipf churn stream through a store, mirroring the
+/// simulator's hot path (`contains` → `on_hit` | `on_data`); returns
+/// ns/op.
+fn churn_ns_per_op(store: &mut dyn ContentStore, stream: &[u64]) -> f64 {
+    let start = Instant::now();
+    for &rank in stream {
+        let c = ccn_sim::ContentId(rank);
+        if store.contains(c) {
+            store.on_hit(c);
+        } else {
+            store.on_data(c);
+        }
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    elapsed / stream.len() as f64
+}
+
+fn store_churns(smoke: bool) -> Vec<StoreChurn> {
+    // The acceptance-criteria geometry: catalogue 10^6, capacity 10^3,
+    // 10^6 ops against the O(1) stores. The naive stores run a shorter
+    // prefix of the same stream (O(n)-per-eviction makes the full
+    // length impractical) — per-op costs remain directly comparable
+    // because the stream is stationary.
+    let catalogue: u64 = 1_000_000;
+    let capacity: usize = 1_000;
+    let (fast_ops, naive_ops) = if smoke { (100_000, 5_000) } else { (1_000_000, 50_000) };
+    let sampler = ZipfSampler::new(0.8, catalogue).expect("valid zipf");
+    let mut rng = StdRng::seed_from_u64(2024);
+    let stream = sampler.sample_many(&mut rng, fast_ops);
+    let mut rows = Vec::new();
+    for name in ["lru_churn", "lfu_churn"] {
+        let (mut fast, mut naive): (Box<dyn ContentStore>, Box<dyn ContentStore>) =
+            if name == "lru_churn" {
+                (Box::new(LruStore::new(capacity)), Box::new(NaiveLruStore::new(capacity)))
+            } else {
+                (Box::new(LfuStore::new(capacity)), Box::new(NaiveLfuStore::new(capacity)))
+            };
+        let fast_ns = churn_ns_per_op(fast.as_mut(), &stream);
+        let naive_ns = churn_ns_per_op(naive.as_mut(), &stream[..naive_ops]);
+        rows.push(StoreChurn {
+            name: name.to_owned(),
+            catalogue,
+            capacity,
+            fast_ops,
+            fast_ns_per_op: fast_ns,
+            naive_ops,
+            naive_ns_per_op: naive_ns,
+            speedup: naive_ns / fast_ns,
+        });
+    }
+    rows
+}
+
+/// Full dynamic-LRU Abilene run with pluggable store factory; returns
+/// `(events, events_per_sec)`.
+fn abilene_dynamic_run(
+    factory: &dyn Fn() -> Box<dyn ContentStore>,
+    horizon_ms: f64,
+) -> Result<(u64, f64), SimError> {
+    let graph = datasets::abilene();
+    let routers: Vec<usize> = (0..graph.node_count()).collect();
+    let net = Network::builder(graph)
+        .stores_with(|_| factory())
+        .caching(CachingMode::Edge)
+        .origin(OriginConfig { latency_ms: 50.0, hops: 4, gateway: None })
+        .build()?;
+    let requests = zipf_irm(&routers, 0.8, 50_000, 0.05, horizon_ms, 7)?;
+    let start = Instant::now();
+    let metrics = Simulator::new(net, SimConfig::default()).run(&requests)?;
+    let secs = start.elapsed().as_secs_f64();
+    Ok((metrics.events_processed, metrics.events_processed as f64 / secs))
+}
+
+fn abilene_before_after(smoke: bool) -> Result<BeforeAfter, SimError> {
+    let horizon_ms = if smoke { 5_000.0 } else { 30_000.0 };
+    let capacity = 1_000;
+    // Best of three repetitions per store: a single short run is
+    // dominated by warm-up and scheduler jitter, especially in smoke
+    // mode where the whole simulation lasts a few milliseconds.
+    let best = |factory: &dyn Fn() -> Box<dyn ContentStore>| -> Result<(u64, f64), SimError> {
+        let mut best: Option<(u64, f64)> = None;
+        for _ in 0..3 {
+            let (events, rate) = abilene_dynamic_run(factory, horizon_ms)?;
+            if best.is_none_or(|(_, r)| rate > r) {
+                best = Some((events, rate));
+            }
+        }
+        Ok(best.expect("three repetitions ran"))
+    };
+    let (before_events, before) = best(&|| Box::new(NaiveLruStore::new(capacity)))?;
+    let (after_events, after) = best(&|| Box::new(LruStore::new(capacity)))?;
+    assert_eq!(before_events, after_events, "store swap must not change simulation behaviour");
+    Ok(BeforeAfter {
+        events: after_events,
+        before_events_per_sec: before,
+        after_events_per_sec: after,
+        speedup: after / before,
+    })
+}
+
+/// The multi-seed Abilene validation sweep: `ℓ` grid × `seeds`
+/// replications.
+#[must_use]
+pub fn validation_sweep_trials(seeds: usize, smoke: bool) -> Vec<Trial> {
+    let graph = datasets::abilene();
+    let horizon_ms = if smoke { 10_000.0 } else { 60_000.0 };
+    let mut trials = Vec::new();
+    for &ell in &[0.0, 0.3, 0.6, 1.0] {
+        for seed in 0..seeds as u64 {
+            let config = SteadyStateConfig {
+                zipf_exponent: 0.8,
+                catalogue: 5_000,
+                capacity: 100,
+                ell,
+                rate_per_ms: 0.01,
+                horizon_ms,
+                origin: OriginConfig { latency_ms: 50.0, hops: 4, gateway: None },
+                seed: 1_000 + seed,
+            };
+            trials.push(Trial::new(format!("ell={ell}"), graph.clone(), config));
+        }
+    }
+    trials
+}
+
+fn thread_scaling(trials: &[Trial], threads: usize) -> Result<ThreadScaling, SimError> {
+    let available_cores =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let start = Instant::now();
+    run_trials(trials, 1)?;
+    let t1_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    run_trials(trials, threads)?;
+    let tn_ms = start.elapsed().as_secs_f64() * 1e3;
+    let speedup = t1_ms / tn_ms;
+    let effective = threads.min(available_cores).max(1);
+    Ok(ThreadScaling {
+        threads,
+        available_cores,
+        t1_ms,
+        tn_ms,
+        speedup,
+        efficiency: speedup / effective as f64,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Finite numbers print as-is; NaN/infinities become `null` (JSON has
+/// no representation for them).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", json_escape(&self.name));
+        let _ = writeln!(out, "  \"smoke\": {},", self.smoke);
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"stores\": [");
+        for (i, s) in self.stores.iter().enumerate() {
+            let comma = if i + 1 < self.stores.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"catalogue\": {}, \"capacity\": {}, \
+                 \"fast_ops\": {}, \"fast_ns_per_op\": {}, \"naive_ops\": {}, \
+                 \"naive_ns_per_op\": {}, \"speedup\": {}}}{comma}",
+                json_escape(&s.name),
+                s.catalogue,
+                s.capacity,
+                s.fast_ops,
+                json_num(s.fast_ns_per_op),
+                s.naive_ops,
+                json_num(s.naive_ns_per_op),
+                json_num(s.speedup),
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(
+            out,
+            "  \"abilene_validation\": {{\"events\": {}, \"before_events_per_sec\": {}, \
+             \"after_events_per_sec\": {}, \"speedup\": {}}},",
+            self.abilene.events,
+            json_num(self.abilene.before_events_per_sec),
+            json_num(self.abilene.after_events_per_sec),
+            json_num(self.abilene.speedup),
+        );
+        let _ = writeln!(out, "  \"sweep\": [");
+        for (i, s) in self.sweep.iter().enumerate() {
+            let comma = if i + 1 < self.sweep.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"label\": \"{}\", \"runs\": {}, \
+                 \"origin_load_mean\": {}, \"origin_load_ci95\": {}, \
+                 \"local_hit_mean\": {}, \"peer_hit_mean\": {}, \
+                 \"avg_latency_ms_mean\": {}, \"avg_latency_ms_ci95\": {}, \
+                 \"events_per_sec_mean\": {}, \"wall_ms_total\": {}}}{comma}",
+                json_escape(&s.label),
+                s.runs,
+                json_num(s.origin_load.mean),
+                json_num(s.origin_load.ci95),
+                json_num(s.local_hit_ratio.mean),
+                json_num(s.peer_hit_ratio.mean),
+                json_num(s.avg_latency_ms.mean),
+                json_num(s.avg_latency_ms.ci95),
+                json_num(s.events_per_sec.mean),
+                json_num(s.wall_ms_total),
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(
+            out,
+            "  \"thread_scaling\": {{\"threads\": {}, \"available_cores\": {}, \
+             \"t1_ms\": {}, \"tn_ms\": {}, \"speedup\": {}, \"efficiency\": {}}}",
+            self.scaling.threads,
+            self.scaling.available_cores,
+            json_num(self.scaling.t1_ms),
+            json_num(self.scaling.tn_ms),
+            json_num(self.scaling.speedup),
+            json_num(self.scaling.efficiency),
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Worker count: the option's value, or available parallelism capped
+/// at 8 when zero.
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map_or(4, |n| n.get().min(8))
+    }
+}
+
+/// Runs the full benchmark suite and returns the report.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_bench(name: &str, opts: &BenchOptions) -> Result<BenchReport, SimError> {
+    let threads = resolve_threads(opts.threads);
+    println!("[{name}] store micro-benchmarks (O(1) vs seed implementations)...");
+    let stores = store_churns(opts.smoke);
+    for s in &stores {
+        println!(
+            "  {}: {:.0} ns/op vs naive {:.0} ns/op — {:.1}x",
+            s.name, s.fast_ns_per_op, s.naive_ns_per_op, s.speedup
+        );
+    }
+    println!("[{name}] Abilene dynamic-LRU before/after...");
+    let abilene = abilene_before_after(opts.smoke)?;
+    println!(
+        "  {} events: {:.0} -> {:.0} events/sec ({:.2}x)",
+        abilene.events,
+        abilene.before_events_per_sec,
+        abilene.after_events_per_sec,
+        abilene.speedup
+    );
+    println!(
+        "[{name}] validation sweep ({} seeds x 4 ell points, {} threads)...",
+        opts.seeds, threads
+    );
+    let trials = validation_sweep_trials(opts.seeds, opts.smoke);
+    let scaling = thread_scaling(&trials, threads)?;
+    let results = run_trials(&trials, threads)?;
+    let sweep = aggregate(&results);
+    for s in &sweep {
+        println!(
+            "  {}: origin {:.3} +/- {:.3}, {:.0} events/sec over {} runs",
+            s.label, s.origin_load.mean, s.origin_load.ci95, s.events_per_sec.mean, s.runs
+        );
+    }
+    println!(
+        "  scaling: t1 {:.0} ms, t{} {:.0} ms — {:.2}x ({:.0}% efficiency on {} core(s))",
+        scaling.t1_ms,
+        scaling.threads,
+        scaling.tn_ms,
+        scaling.speedup,
+        scaling.efficiency * 100.0,
+        scaling.available_cores
+    );
+    Ok(BenchReport {
+        name: name.to_owned(),
+        smoke: opts.smoke,
+        threads,
+        stores,
+        abilene,
+        sweep,
+        scaling,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(ell: f64, seed: u64) -> SteadyStateConfig {
+        SteadyStateConfig {
+            zipf_exponent: 0.8,
+            catalogue: 500,
+            capacity: 20,
+            ell,
+            rate_per_ms: 0.01,
+            horizon_ms: 2_000.0,
+            origin: OriginConfig { latency_ms: 50.0, hops: 4, gateway: None },
+            seed,
+        }
+    }
+
+    #[test]
+    fn trial_results_are_thread_count_invariant() {
+        let graph = datasets::abilene();
+        let trials: Vec<Trial> =
+            (0..4).map(|s| Trial::new("cond", graph.clone(), tiny_config(0.5, s))).collect();
+        let seq = run_trials(&trials, 1).unwrap();
+        let par = run_trials(&trials, 4).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.metrics, b.metrics, "seed {}", a.seed);
+            assert_eq!(a.events, b.events);
+        }
+    }
+
+    #[test]
+    fn aggregate_groups_by_label_in_first_seen_order() {
+        let graph = datasets::abilene();
+        let mut trials = Vec::new();
+        for &ell in &[0.6, 0.0] {
+            for seed in 0..3 {
+                trials.push(Trial::new(
+                    format!("ell={ell}"),
+                    graph.clone(),
+                    tiny_config(ell, seed),
+                ));
+            }
+        }
+        let results = run_trials(&trials, 2).unwrap();
+        let summaries = aggregate(&results);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].label, "ell=0.6");
+        assert_eq!(summaries[1].label, "ell=0");
+        for s in &summaries {
+            assert_eq!(s.runs, 3);
+            assert!(s.origin_load.mean.is_finite());
+            assert!(s.origin_load.ci95 >= 0.0);
+            assert!(s.events_per_sec.mean > 0.0);
+        }
+        // Coordination reduces origin load even on tiny runs.
+        assert!(summaries[0].origin_load.mean < summaries[1].origin_load.mean);
+    }
+
+    #[test]
+    fn trial_errors_propagate() {
+        let graph = datasets::abilene();
+        let bad = Trial::new("bad", graph, tiny_config(1.5, 0));
+        assert!(run_trials(&[bad], 2).is_err());
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let report = BenchReport {
+            name: "BENCH_TEST".into(),
+            smoke: true,
+            threads: 2,
+            stores: vec![StoreChurn {
+                name: "lru_churn".into(),
+                catalogue: 100,
+                capacity: 10,
+                fast_ops: 1_000,
+                fast_ns_per_op: 50.0,
+                naive_ops: 100,
+                naive_ns_per_op: 500.0,
+                speedup: 10.0,
+            }],
+            abilene: BeforeAfter {
+                events: 42,
+                before_events_per_sec: 1e5,
+                after_events_per_sec: 1e6,
+                speedup: 10.0,
+            },
+            sweep: vec![],
+            scaling: ThreadScaling {
+                threads: 2,
+                available_cores: 4,
+                t1_ms: 100.0,
+                tn_ms: 60.0,
+                speedup: 100.0 / 60.0,
+                efficiency: 100.0 / 120.0,
+            },
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"bench\": \"BENCH_TEST\""));
+        assert!(json.contains("\"speedup\": 10"));
+        // NaN must serialize as null, not break the document.
+        let nan_stat = Stat::of(&[]);
+        assert_eq!(json_num(nan_stat.mean), "null");
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_value() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

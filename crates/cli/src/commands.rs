@@ -2,6 +2,7 @@
 
 use std::fmt::Write as _;
 
+use ccn_bench::runner::{run_bench, BenchOptions};
 use ccn_coord::{CoordinatorConfig, ResilientCoordinator, RetryPolicy, RoundOutcome};
 use ccn_model::planner::{capacity_for_target_origin_load, plan, PlannerConfig};
 use ccn_model::{CacheModel, ModelParams};
@@ -38,6 +39,11 @@ COMMANDS
              --topology <name|file> --max-failed 2 --loss 0.1
              --s 0.8 --catalogue 50000 --capacity 100 --ell 0.5
              --rate 0.02 --horizon 30000 --seed 42
+  bench      performance snapshot: store micro-benchmarks, before/after
+             simulator throughput, and a multi-seed parallel validation
+             sweep with thread-scaling; writes a BENCH_*.json report
+             --threads 0 (auto) --seeds 5 --smoke false
+             --name BENCH --out BENCH.json
   help       this text
 ";
 
@@ -342,6 +348,43 @@ fn resilience_cmd(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn bench_cmd(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&["threads", "seeds", "smoke", "name", "out"])?;
+    let smoke = match args.str_or("smoke", "false").as_str() {
+        "true" | "1" | "yes" => true,
+        "false" | "0" | "no" => false,
+        other => return Err(ArgError(format!("--smoke {other:?}: expected true or false"))),
+    };
+    let opts = BenchOptions {
+        threads: usize::try_from(args.u64_or("threads", 0)?)
+            .map_err(|e| ArgError(format!("--threads: {e}")))?,
+        seeds: usize::try_from(args.u64_or("seeds", 5)?)
+            .map_err(|e| ArgError(format!("--seeds: {e}")))?,
+        smoke,
+    };
+    if opts.seeds == 0 {
+        return Err(ArgError("--seeds must be at least 1".into()));
+    }
+    let name = args.str_or("name", "BENCH");
+    let report = run_bench(&name, &opts).map_err(|e| ArgError(e.to_string()))?;
+    let out_path = args.str_or("out", "BENCH.json");
+    std::fs::write(&out_path, report.to_json())
+        .map_err(|e| ArgError(format!("--out {out_path:?}: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench {name}: stores {:.1}x/{:.1}x, simulator {:.2}x, \
+         parallel efficiency {:.0}% at {} threads",
+        report.stores.first().map_or(f64::NAN, |s| s.speedup),
+        report.stores.get(1).map_or(f64::NAN, |s| s.speedup),
+        report.abilene.speedup,
+        report.scaling.efficiency * 100.0,
+        report.scaling.threads
+    );
+    let _ = writeln!(out, "report written to {out_path}");
+    Ok(out)
+}
+
 /// Runs a parsed command, returning its rendered report.
 ///
 /// # Errors
@@ -356,6 +399,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "simulate" => simulate(args),
         "capacity" => capacity_cmd(args),
         "resilience" => resilience_cmd(args),
+        "bench" => bench_cmd(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -373,7 +417,7 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let text = run_tokens(&["help"]).unwrap();
-        for cmd in ["solve", "plan", "topology", "simulate", "capacity", "resilience"] {
+        for cmd in ["solve", "plan", "topology", "simulate", "capacity", "resilience", "bench"] {
             assert!(text.contains(cmd), "usage is missing {cmd}");
         }
     }
@@ -484,6 +528,31 @@ mod tests {
         let err =
             run_tokens(&["resilience", "--topology", "abilene", "--max-failed", "11"]).unwrap_err();
         assert!(err.to_string().contains("alive"), "{err}");
+    }
+
+    #[test]
+    fn bench_smoke_writes_a_json_report() {
+        let dir = std::env::temp_dir().join("ccn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_smoke.json");
+        let text = run_tokens(&[
+            "bench",
+            "--smoke",
+            "true",
+            "--seeds",
+            "1",
+            "--threads",
+            "2",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("report written"), "{text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"smoke\": true"), "{json}");
+        assert!(json.contains("\"stores\""), "{json}");
+        let err = run_tokens(&["bench", "--smoke", "maybe"]).unwrap_err();
+        assert!(err.to_string().contains("--smoke"), "{err}");
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub use error::NumericsError;
 pub use minimize::{minimize_convex, Minimum};
 pub use newton::newton_bisect;
 pub use roots::{bisect, brent, Root};
-pub use sweep::sweep_parallel;
+pub use sweep::{parallel_map, sweep_parallel};

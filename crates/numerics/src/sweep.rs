@@ -42,25 +42,28 @@ pub fn sweep<T>(grid: &[f64], mut f: impl FnMut(f64) -> T) -> Vec<(f64, T)> {
     grid.iter().map(|&x| (x, f(x))).collect()
 }
 
-/// Parallel variant of [`sweep`]: grid points are distributed across
-/// `threads` workers; results come back in grid order.
+/// Applies `f` to every item across `threads` scoped workers,
+/// returning results in item order — the generic fan-out primitive
+/// under [`sweep_parallel`] and the experiment runner in `ccn-bench`.
 ///
-/// The closure is shared by reference, so it must be `Sync`; results
-/// must be `Send`. Falls back to sequential evaluation when
-/// `threads <= 1` or the grid is tiny.
-pub fn sweep_parallel<T: Send>(
-    grid: &[f64],
+/// Items are split into contiguous chunks, one per worker. The closure
+/// is shared by reference, so it must be `Sync`; results must be
+/// `Send`. No `'static` bound: callers can borrow locals. Falls back
+/// to sequential evaluation when `threads <= 1` or there is at most
+/// one item.
+pub fn parallel_map<I: Sync, T: Send>(
+    items: &[I],
     threads: usize,
-    f: impl Fn(f64) -> T + Sync,
-) -> Vec<(f64, T)> {
-    if threads <= 1 || grid.len() <= 1 {
-        return grid.iter().map(|&x| (x, f(x))).collect();
+    f: impl Fn(&I) -> T + Sync,
+) -> Vec<T> {
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
     }
-    let threads = threads.min(grid.len());
-    let mut slots: Vec<Option<(f64, T)>> = Vec::with_capacity(grid.len());
-    slots.resize_with(grid.len(), || None);
+    let threads = threads.min(items.len());
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
-        let chunk = grid.len().div_ceil(threads);
+        let chunk = items.len().div_ceil(threads);
         let mut rest = slots.as_mut_slice();
         let mut offset = 0;
         for _ in 0..threads {
@@ -75,13 +78,23 @@ pub fn sweep_parallel<T: Send>(
             let f = &f;
             scope.spawn(move || {
                 for (i, slot) in head.iter_mut().enumerate() {
-                    let x = grid[base + i];
-                    *slot = Some((x, f(x)));
+                    *slot = Some(f(&items[base + i]));
                 }
             });
         }
     });
     slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+}
+
+/// Parallel variant of [`sweep`]: grid points are distributed across
+/// `threads` workers via [`parallel_map`]; results come back in grid
+/// order.
+pub fn sweep_parallel<T: Send>(
+    grid: &[f64],
+    threads: usize,
+    f: impl Fn(f64) -> T + Sync,
+) -> Vec<(f64, T)> {
+    parallel_map(grid, threads, |&x| (x, f(x)))
 }
 
 #[cfg(test)]
@@ -134,5 +147,22 @@ mod tests {
         let out = sweep_parallel(&grid, 4, |x| x + offset);
         assert!((out[0].1 - 5.0).abs() < 1e-12);
         assert!((out[15].1 - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_map_over_non_numeric_items() {
+        let items: Vec<String> = (0..37).map(|i| format!("item-{i}")).collect();
+        let seq: Vec<usize> = items.iter().map(String::len).collect();
+        for threads in [1, 2, 5, 64] {
+            let par = parallel_map(&items, threads, |s| s.len());
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x * 2).is_empty());
+        assert_eq!(parallel_map(&[21u32], 4, |&x| x * 2), vec![42]);
     }
 }

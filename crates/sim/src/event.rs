@@ -170,6 +170,48 @@ mod tests {
     }
 
     #[test]
+    fn ties_survive_interleaved_pushes_and_pops() {
+        // Regression: the sequence counter must be monotonic across
+        // the queue's whole lifetime, not per heap generation —
+        // popping between pushes must not let a later-inserted
+        // equal-timestamp event overtake an earlier one.
+        let mut q = EventQueue::new();
+        q.push(1.0, kind(0));
+        q.push(5.0, kind(20));
+        q.push(5.0, kind(21));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::ClientRequest { router: 0, .. }));
+        q.push(5.0, kind(22));
+        q.push(2.0, kind(1));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::ClientRequest { router: 1, .. }));
+        q.push(5.0, kind(23));
+        let routers: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::ClientRequest { router, .. } => router,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(routers, vec![20, 21, 22, 23], "insertion order preserved across interleaving");
+    }
+
+    #[test]
+    fn equal_time_storm_pops_in_exact_insertion_order() {
+        // A large burst at one timestamp (the pattern produced by
+        // queueing a failure schedule plus a synchronized workload)
+        // must drain in exactly the order it was queued.
+        let mut q = EventQueue::new();
+        for router in 0..500 {
+            q.push(7.5, kind(router));
+        }
+        let routers: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::ClientRequest { router, .. } => router,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(routers, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn len_tracks_pushes_and_pops() {
         let mut q = EventQueue::new();
         assert_eq!(q.len(), 0);

@@ -64,6 +64,11 @@ pub struct Metrics {
     /// failure-induced share of [`Metrics::origin`]. Baseline misses
     /// are `origin - failure_induced_origin`.
     pub failure_induced_origin: u64,
+    /// Discrete events dispatched by the simulator over the whole run
+    /// (requests, packet arrivals, failures, re-provisionings) — the
+    /// numerator of the events/sec throughput figure reported by the
+    /// benchmark runner.
+    pub events_processed: u64,
 }
 
 impl Metrics {

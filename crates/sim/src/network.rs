@@ -65,6 +65,11 @@ pub struct Network {
     pub(crate) placement: Placement,
     pub(crate) origin: OriginConfig,
     pub(crate) caching: CachingMode,
+    /// Dense n×n adjacency-latency matrix (`NAN` for non-adjacent
+    /// pairs), pre-resolved at build time so per-hop latency lookups
+    /// on the forwarding hot path are a single indexed load instead of
+    /// a neighbour-list scan.
+    pub(crate) link_ms: Vec<f64>,
 }
 
 impl std::fmt::Debug for Network {
@@ -92,18 +97,16 @@ impl Network {
         self.graph.node_count()
     }
 
-    /// Link latency between adjacent routers.
+    /// Link latency between adjacent routers — an O(1) lookup into the
+    /// pre-resolved adjacency matrix.
     ///
     /// # Panics
     ///
     /// Panics if the nodes are not adjacent (a forwarding bug).
     pub(crate) fn link_latency(&self, a: usize, b: usize) -> f64 {
-        self.graph
-            .neighbors(a)
-            .iter()
-            .find(|&&(v, _)| v == b)
-            .map(|&(_, ms)| ms)
-            .expect("forwarding only crosses existing links")
+        let ms = self.link_ms[a * self.graph.node_count() + b];
+        assert!(!ms.is_nan(), "forwarding only crosses existing links");
+        ms
     }
 
     /// Immutable access to a router's content store.
@@ -240,6 +243,13 @@ impl NetworkBuilder {
             .into_iter()
             .map(|s| s.unwrap_or_else(|| Box::new(LruStore::new(default_capacity))))
             .collect();
+        let n = self.graph.node_count();
+        let mut link_ms = vec![f64::NAN; n * n];
+        for a in 0..n {
+            for &(b, ms) in self.graph.neighbors(a) {
+                link_ms[a * n + b] = ms;
+            }
+        }
         Ok(Network {
             graph: self.graph,
             routes,
@@ -247,6 +257,7 @@ impl NetworkBuilder {
             placement: self.placement,
             origin: self.origin,
             caching: self.caching,
+            link_ms,
         })
     }
 }

@@ -5,6 +5,11 @@
 //! additional downstreams and *not* forwarded again. When the Data
 //! packet arrives it is fanned out to every recorded downstream and
 //! the entry is consumed.
+//!
+//! Downstream lists are small-vector backed: the common case (one or
+//! two waiters per content) stays inline in the map entry, so the
+//! register/satisfy cycle on the simulator's hot path performs no
+//! per-packet heap allocation.
 
 use std::collections::HashMap;
 
@@ -25,10 +30,41 @@ pub(crate) enum Downstream {
     Router(usize),
 }
 
+/// Downstreams kept inline before spilling to the heap. PIT fan-out
+/// beyond two waiters only happens under heavy aggregation.
+const INLINE: usize = 2;
+
+/// A small-vector of downstreams: the first [`INLINE`] entries live in
+/// the map entry itself; only wider fan-outs allocate.
+#[derive(Debug)]
+struct DownstreamList {
+    inline: [Downstream; INLINE],
+    len: usize,
+    spill: Vec<Downstream>,
+}
+
+impl Default for DownstreamList {
+    fn default() -> Self {
+        // Filler values; slots past `len` are never read.
+        Self { inline: [Downstream::Router(usize::MAX); INLINE], len: 0, spill: Vec::new() }
+    }
+}
+
+impl DownstreamList {
+    fn push(&mut self, d: Downstream) {
+        if self.len < INLINE {
+            self.inline[self.len] = d;
+        } else {
+            self.spill.push(d);
+        }
+        self.len += 1;
+    }
+}
+
 /// One router's PIT.
 #[derive(Debug, Default)]
 pub(crate) struct Pit {
-    entries: HashMap<ContentId, Vec<Downstream>>,
+    entries: HashMap<ContentId, DownstreamList>,
 }
 
 impl Pit {
@@ -42,13 +78,28 @@ impl Pit {
     pub(crate) fn register(&mut self, content: ContentId, downstream: Downstream) -> bool {
         let entry = self.entries.entry(content).or_default();
         entry.push(downstream);
-        entry.len() == 1
+        entry.len == 1
+    }
+
+    /// Consumes the entry for `content`, appending every waiting
+    /// downstream (in registration order) to `out`. The caller owns
+    /// the buffer, so the hot path reuses one scratch `Vec` instead of
+    /// allocating per Data packet.
+    pub(crate) fn satisfy_into(&mut self, content: ContentId, out: &mut Vec<Downstream>) {
+        if let Some(list) = self.entries.remove(&content) {
+            out.extend_from_slice(&list.inline[..list.len.min(INLINE)]);
+            out.extend_from_slice(&list.spill);
+        }
     }
 
     /// Consumes the entry for `content`, returning all downstreams
-    /// waiting for it (empty if none).
+    /// waiting for it (empty if none). Convenience wrapper over
+    /// [`Pit::satisfy_into`] for tests and diagnostics.
+    #[cfg(test)]
     pub(crate) fn satisfy(&mut self, content: ContentId) -> Vec<Downstream> {
-        self.entries.remove(&content).unwrap_or_default()
+        let mut out = Vec::new();
+        self.satisfy_into(content, &mut out);
+        out
     }
 
     /// Number of distinct pending contents.
@@ -99,5 +150,26 @@ mod tests {
         assert_eq!(pit.pending(), 2);
         assert_eq!(pit.satisfy(ContentId(1)).len(), 1);
         assert_eq!(pit.pending(), 1);
+    }
+
+    #[test]
+    fn wide_fanout_spills_preserving_registration_order() {
+        let mut pit = Pit::new();
+        let c = ContentId(3);
+        for i in 0..7 {
+            pit.register(c, Downstream::Router(i));
+        }
+        let down = pit.satisfy(c);
+        let expected: Vec<Downstream> = (0..7).map(Downstream::Router).collect();
+        assert_eq!(down, expected, "inline + spill drain in registration order");
+    }
+
+    #[test]
+    fn satisfy_into_appends_without_clearing() {
+        let mut pit = Pit::new();
+        pit.register(ContentId(1), Downstream::Router(4));
+        let mut buf = vec![Downstream::Router(9)];
+        pit.satisfy_into(ContentId(1), &mut buf);
+        assert_eq!(buf, vec![Downstream::Router(9), Downstream::Router(4)]);
     }
 }

@@ -15,7 +15,7 @@ use crate::event::{DataSource, EventKind, EventQueue};
 use crate::failure::{FailureKind, FailureScenario};
 use crate::network::CachingMode;
 use crate::pit::{Downstream, Pit};
-use crate::store::{ContentStore, StaticStore};
+use crate::store::StaticStore;
 use crate::workload::Request;
 use crate::{ContentId, Metrics, Network, Placement, ServedBy, SimError};
 
@@ -87,6 +87,9 @@ pub struct Simulator {
     /// Recomputed routing once any failure transition has fired;
     /// `None` means the pristine all-pairs tables are authoritative.
     live_routes: Option<LiveRouting>,
+    /// Reusable buffer for draining PIT downstreams in `handle_data`,
+    /// so satisfying an entry never allocates on the hot path.
+    downstream_scratch: Vec<Downstream>,
 }
 
 impl Simulator {
@@ -107,6 +110,7 @@ impl Simulator {
             node_up: vec![true; routers],
             downed_links: Vec::new(),
             live_routes: None,
+            downstream_scratch: Vec::new(),
         }
     }
 
@@ -173,6 +177,7 @@ impl Simulator {
         }
         while let Some(event) = self.queue.pop() {
             self.now = event.time;
+            self.metrics.events_processed += 1;
             self.dispatch(event.kind);
         }
         Ok(self.metrics)
@@ -233,16 +238,16 @@ impl Simulator {
             let mut contents: Vec<ContentId> =
                 (1..=deployment.local_prefix).map(ContentId).collect();
             contents.extend(deployment.placement.slice_of(router).into_iter().map(ContentId));
-            let new_store: Box<dyn ContentStore> = Box::new(StaticStore::new(contents));
+            contents.sort_unstable();
+            contents.dedup();
             // Contents in the new store that the old one lacked had to
-            // be transferred — the movement cost of the round.
-            let moved = new_store
-                .contents()
-                .iter()
-                .filter(|&&c| !self.net.stores[router].contains(c))
-                .count() as u64;
+            // be transferred — the movement cost of the round. Counted
+            // over the deduplicated sorted layout so the tally is
+            // independent of construction order.
+            let moved =
+                contents.iter().filter(|&&c| !self.net.stores[router].contains(c)).count() as u64;
             self.metrics.reprovision_moves += moved;
-            self.net.stores[router] = new_store;
+            self.net.stores[router] = Box::new(StaticStore::new(contents));
         }
         self.net.placement = deployment.placement;
     }
@@ -423,10 +428,15 @@ impl Simulator {
                 self.metrics.cache_insertions += 1;
             }
         }
-        let downstreams = self.pits[node].satisfy(content);
-        for d in downstreams {
+        // Drain waiters into the reusable scratch buffer (moved out to
+        // appease the borrow checker; `send_data` needs `&mut self`).
+        let mut scratch = std::mem::take(&mut self.downstream_scratch);
+        scratch.clear();
+        self.pits[node].satisfy_into(content, &mut scratch);
+        for &d in &scratch {
             self.send_data(node, content, hops, source, d);
         }
+        self.downstream_scratch = scratch;
     }
 
     fn send_data(

@@ -121,8 +121,50 @@ impl ZipfSampler {
     }
 
     /// Draws `count` ranks into a freshly allocated vector.
+    /// Convenience wrapper over [`ZipfSampler::sample_fill`].
     pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<u64> {
-        (0..count).map(|_| self.sample(rng)).collect()
+        let mut out = vec![0u64; count];
+        self.sample_fill(rng, &mut out);
+        out
+    }
+
+    /// Fills `out` with ranks, amortizing the per-call strategy
+    /// dispatch and CDF-total lookup across the whole batch. Draws the
+    /// exact same RNG sequence as a loop of [`ZipfSampler::sample`]
+    /// calls, so batched and scalar workload generation are
+    /// bit-identical for a fixed seed.
+    pub fn sample_fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [u64]) {
+        match &self.strategy {
+            Strategy::Uniform => {
+                for slot in out {
+                    *slot = rng.gen_range(1..=self.n);
+                }
+            }
+            Strategy::Cached { cdf } => {
+                let total = *cdf.last().expect("catalogue is non-empty");
+                for slot in out {
+                    let u = rng.gen::<f64>() * total;
+                    *slot = match cdf
+                        .binary_search_by(|w| w.partial_cmp(&u).expect("weights are finite"))
+                    {
+                        Ok(i) | Err(i) => (i as u64 + 1).min(self.n),
+                    };
+                }
+            }
+            Strategy::RejectionInversion { h_integral_x1, h_integral_n, threshold } => {
+                let span = h_integral_x1 - h_integral_n;
+                for slot in out {
+                    *slot = loop {
+                        let u = h_integral_n + rng.gen::<f64>() * span;
+                        let x = h_integral_inverse(u, self.s);
+                        let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+                        if k - x <= *threshold || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                            break k as u64;
+                        }
+                    };
+                }
+            }
+        }
     }
 }
 
@@ -270,6 +312,34 @@ mod tests {
         let a: Vec<u64> = sampler.sample_many(&mut StdRng::seed_from_u64(9), 64);
         let b: Vec<u64> = sampler.sample_many(&mut StdRng::seed_from_u64(9), 64);
         assert_eq!(a, b);
+    }
+
+    /// The batched fast path must consume the RNG identically to a
+    /// loop of scalar `sample` calls for every strategy — fixed-seed
+    /// workloads are bit-identical either way.
+    #[test]
+    fn batched_sampling_matches_scalar_rng_sequence() {
+        for &(s, n) in &[(0.0, 500u64), (0.8, 500), (0.8, (1 << 20) + 1), (1.3, (1 << 20) + 1)] {
+            let sampler = ZipfSampler::new(s, n).unwrap();
+            let mut scalar_rng = StdRng::seed_from_u64(11);
+            let scalar: Vec<u64> = (0..1_000).map(|_| sampler.sample(&mut scalar_rng)).collect();
+            let mut batch_rng = StdRng::seed_from_u64(11);
+            let batched = sampler.sample_many(&mut batch_rng, 1_000);
+            assert_eq!(scalar, batched, "s={s} n={n}");
+            // Both RNGs must land in the same state afterwards.
+            assert_eq!(scalar_rng.gen::<u64>(), batch_rng.gen::<u64>(), "s={s} n={n}");
+        }
+    }
+
+    #[test]
+    fn sample_fill_covers_empty_and_singleton_buffers() {
+        let sampler = ZipfSampler::new(0.8, 100).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut empty: [u64; 0] = [];
+        sampler.sample_fill(&mut rng, &mut empty);
+        let mut one = [0u64; 1];
+        sampler.sample_fill(&mut rng, &mut one);
+        assert!((1..=100).contains(&one[0]));
     }
 
     #[test]

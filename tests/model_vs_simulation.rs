@@ -1,11 +1,18 @@
 //! Cross-crate validation: the analytical model's predicted tier
 //! fractions versus the packet-level simulator's measured fractions,
 //! across coordination levels and Zipf exponents.
+//!
+//! Each test batches its simulation grid into [`Trial`]s and fans
+//! them across threads with the experiment runner; the fault-free
+//! runner path is exactly `steady_state`, so the measured metrics
+//! (and therefore the assertions) are identical to running the
+//! simulations one by one.
 
+use ccn_bench::runner::{run_trials, Trial};
 use ccn_suite::model::{CacheModel, ModelParams};
-use ccn_suite::sim::scenario::{steady_state, SteadyStateConfig};
-use ccn_suite::sim::OriginConfig;
-use ccn_suite::topology::datasets;
+use ccn_suite::sim::scenario::SteadyStateConfig;
+use ccn_suite::sim::{Metrics, OriginConfig};
+use ccn_suite::topology::{datasets, Graph};
 
 fn config(s: f64, ell: f64) -> SteadyStateConfig {
     SteadyStateConfig {
@@ -33,16 +40,26 @@ fn model(s: f64, routers: f64) -> CacheModel {
     CacheModel::new(params).expect("valid model")
 }
 
+/// Runs the `(s, ell)` points on `graph` concurrently and returns the
+/// measured metrics in grid order.
+fn simulate_ells(graph: &Graph, s: f64, ells: &[f64]) -> Vec<Metrics> {
+    let trials: Vec<Trial> = ells
+        .iter()
+        .map(|&ell| Trial::new(format!("ell={ell}"), graph.clone(), config(s, ell)))
+        .collect();
+    run_trials(&trials, 4).expect("simulation runs").into_iter().map(|r| r.metrics).collect()
+}
+
 /// The simulated origin load must track the model's origin fraction
 /// within a few percent across the coordination-level sweep.
 #[test]
 fn origin_fraction_matches_model_across_ell() {
     let graph = datasets::abilene();
     let m = model(0.8, graph.node_count() as f64);
-    for &ell in &[0.0, 0.3, 0.6, 1.0] {
+    let ells = [0.0, 0.3, 0.6, 1.0];
+    for (&ell, metrics) in ells.iter().zip(simulate_ells(&graph, 0.8, &ells)) {
         let predicted = m.breakdown(ell * 100.0).origin_fraction;
-        let measured =
-            steady_state(graph.clone(), &config(0.8, ell)).expect("simulation runs").origin_load();
+        let measured = metrics.origin_load();
         assert!(
             (predicted - measured).abs() < 0.04,
             "ell={ell}: predicted {predicted:.3} vs measured {measured:.3}"
@@ -56,10 +73,10 @@ fn origin_fraction_matches_model_across_ell() {
 fn origin_fraction_matches_model_for_steep_zipf() {
     let graph = datasets::abilene();
     let m = model(1.3, graph.node_count() as f64);
-    for &ell in &[0.0, 0.5, 1.0] {
+    let ells = [0.0, 0.5, 1.0];
+    for (&ell, metrics) in ells.iter().zip(simulate_ells(&graph, 1.3, &ells)) {
         let predicted = m.breakdown(ell * 100.0).origin_fraction;
-        let measured =
-            steady_state(graph.clone(), &config(1.3, ell)).expect("simulation runs").origin_load();
+        let measured = metrics.origin_load();
         // s > 1 inherits the continuous-approximation head error
         // (see the ablation_continuous experiment), so the tolerance
         // is wider but the agreement must still hold directionally.
@@ -77,11 +94,10 @@ fn origin_fraction_matches_model_for_steep_zipf() {
 fn local_fraction_matches_model_at_partial_coordination() {
     let graph = datasets::abilene();
     let m = model(0.8, graph.node_count() as f64);
-    for &ell in &[0.0, 0.3, 0.6] {
+    let ells = [0.0, 0.3, 0.6];
+    for (&ell, metrics) in ells.iter().zip(simulate_ells(&graph, 0.8, &ells)) {
         let predicted = m.breakdown(ell * 100.0).local_fraction;
-        let measured = steady_state(graph.clone(), &config(0.8, ell))
-            .expect("simulation runs")
-            .local_hit_ratio();
+        let measured = metrics.local_hit_ratio();
         assert!(
             (predicted - measured).abs() < 0.06,
             "ell={ell}: predicted {predicted:.3} vs measured {measured:.3}"
@@ -98,9 +114,8 @@ fn measured_origin_gain_matches_predicted_g_o() {
     let opt = m.optimal_exact().expect("solves");
     let predicted = m.gains(opt.x_star).origin_load_reduction;
 
-    let base = steady_state(graph.clone(), &config(0.8, 0.0)).expect("runs");
-    let tuned = steady_state(graph, &config(0.8, opt.ell_star)).expect("runs");
-    let measured = 1.0 - tuned.origin_load() / base.origin_load();
+    let runs = simulate_ells(&graph, 0.8, &[0.0, opt.ell_star]);
+    let measured = 1.0 - runs[1].origin_load() / runs[0].origin_load();
     assert!(
         (predicted - measured).abs() < 0.06,
         "predicted G_O {predicted:.3} vs measured {measured:.3}"
@@ -111,13 +126,21 @@ fn measured_origin_gain_matches_predicted_g_o() {
 /// topology (the paper's headline direction).
 #[test]
 fn coordination_reduces_origin_load_on_all_datasets() {
-    for graph in datasets::all() {
-        let name = graph.name().to_owned();
-        let base = steady_state(graph.clone(), &config(0.8, 0.0)).expect("runs");
-        let coord = steady_state(graph, &config(0.8, 0.8)).expect("runs");
+    let graphs = datasets::all();
+    let trials: Vec<Trial> = graphs
+        .iter()
+        .flat_map(|graph| {
+            [0.0, 0.8]
+                .map(|ell| Trial::new(graph.name().to_owned(), graph.clone(), config(0.8, ell)))
+        })
+        .collect();
+    let results = run_trials(&trials, 4).expect("simulations run");
+    for (graph, pair) in graphs.iter().zip(results.chunks(2)) {
+        let (base, coord) = (&pair[0].metrics, &pair[1].metrics);
         assert!(
             coord.origin_load() < base.origin_load(),
-            "{name}: {} vs {}",
+            "{}: {} vs {}",
+            graph.name(),
             coord.origin_load(),
             base.origin_load()
         );
