@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 use ccn_model::{CacheModel, ModelParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("ablation_approx", 0);
     println!("ablation: |l*(approx) - l*(exact)| across the Table IV grid\n");
     println!(
         "{:>5} {:>6} {:>6} | {:>9} {:>11} {:>12}",

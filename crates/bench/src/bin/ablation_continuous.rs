@@ -10,6 +10,7 @@ use ccn_model::{CacheModel, ModelParams};
 use ccn_zipf::ContinuousZipf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("ablation_continuous", 0);
     println!("ablation: continuous approximation (Eq. 6) vs discrete harmonic sums\n");
     println!("{:>5} {:>10} | {:>12} {:>14}", "s", "N", "max |dF|", "max rel dT");
     let mut csv = String::from("s,catalogue,max_cdf_dev,max_t_rel_dev\n");

@@ -14,6 +14,7 @@ use std::fmt::Write as _;
 use ccn_sim::Placement;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("churn", 0);
     let contents = 10_000u64;
     println!("churn ablation: contents moved when one router joins (pool = {contents})\n");
     println!(

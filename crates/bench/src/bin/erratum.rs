@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 use ccn_model::{CacheModel, ModelParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("erratum", 0);
     println!("Theorem 2 erratum: published vs corrected closed form (alpha = 1)\n");
     println!(
         "{:>5} {:>6} | {:>9} {:>11} {:>11} | {:>10} {:>10}",

@@ -24,6 +24,7 @@ fn g_r(capacity: f64, gamma: f64, alpha: f64) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("fig12_highcap", 0);
     println!("G_R at alpha = 0.9, s = 0.8, n = 20, N = 1e6 — two capacity regimes\n");
     println!("{:>6} | {:>12} {:>12}", "gamma", "c = 1e3", "c = 1e5");
     let mut csv = String::from("gamma,c1e3,c1e5\n");

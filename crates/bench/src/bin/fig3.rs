@@ -6,6 +6,7 @@
 use ccn_topology::{datasets, export};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("fig3", 0);
     let abilene = datasets::abilene();
     println!("{}", export::to_ascii(&abilene));
 

@@ -40,6 +40,7 @@ fn run_with_shift(q: f64) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("mandelbrot", 0);
     println!("deployment provisioned for pure Zipf (l = {ELL}), workload head-flattened by q\n");
     println!("{:>8} | {:>12}", "shift q", "origin load");
     let mut csv = String::from("q,origin_load\n");

@@ -12,6 +12,7 @@ use ccn_model::regimes::{phase_map, Regime};
 use ccn_numerics::sweep::linspace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("phase_map", 0);
     let base = presets::table_iv_defaults()?;
     let mut s_grid = linspace(0.1, 0.95, 12);
     s_grid.extend(linspace(1.05, 1.9, 12));

@@ -176,6 +176,7 @@ fn rate_report(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("resilience", 0);
     println!("degraded performance T_k: analytic model vs fault-injected simulation");
     let threads = runner::resolve_threads(0);
     let mttr = 2_000.0;

@@ -6,6 +6,7 @@
 use ccn_sim::scenario::motivating;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("table1", 0);
     let outcome = motivating()?;
     let nc = &outcome.non_coordinated;
     let co = &outcome.coordinated;

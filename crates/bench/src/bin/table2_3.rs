@@ -8,6 +8,7 @@ use std::fmt::Write as _;
 use ccn_topology::{datasets, params::extract};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("table2_3", 0);
     let meta = [
         ("Abilene", "North America", "Educational"),
         ("CERNET", "East Asia", "Educational"),

@@ -22,6 +22,7 @@ const CAPACITY: u64 = 100;
 const ELLS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _manifest = ccn_bench::ManifestGuard::new("validation", 0);
     let graphs = datasets::all();
     let mut trials = Vec::new();
     for graph in &graphs {

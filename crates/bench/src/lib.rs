@@ -308,17 +308,72 @@ pub fn ascii_chart(figure: &FigureData, width: usize, height: usize) -> String {
 }
 
 /// Full render pipeline for a figure binary: compute, persist CSV,
-/// print chart and rows.
+/// print chart and rows. Emits a run-manifest header line on stderr
+/// before the chart, so every regenerated artifact records its
+/// conditions while stdout stays byte-deterministic for a fixed seed
+/// (the manifest carries wall-clock timings).
 ///
 /// # Errors
 ///
 /// Propagates computation failures.
 pub fn run_figure(figure: Figure) -> Result<FigureData, ModelError> {
+    let mut clock = ccn_obs::PhaseClock::new();
     let data = figure_data(figure)?;
+    clock.lap("compute");
     let path = write_csv(&data);
+    clock.lap("write_csv");
+    let manifest = ccn_obs::RunManifest::capture(
+        "ccn-bench",
+        figure.name(),
+        0,
+        runner::resolve_threads(0),
+        false,
+    )
+    .with_phases(clock.finish());
+    eprintln!("{}", manifest.to_header_line());
     println!("{}", ascii_chart(&data, 72, 20));
     println!("csv written to {}", path.display());
     Ok(data)
+}
+
+/// Drop guard that prints a run-manifest header line on stderr for a
+/// custom experiment binary when it finishes (success or early
+/// return), leaving stdout byte-deterministic for a fixed seed.
+///
+/// One line at the top of `main` gives any binary manifest coverage:
+///
+/// ```no_run
+/// let _manifest = ccn_bench::ManifestGuard::new("churn", 42);
+/// ```
+#[derive(Debug)]
+pub struct ManifestGuard {
+    name: String,
+    seed: u64,
+    clock: Option<ccn_obs::PhaseClock>,
+}
+
+impl ManifestGuard {
+    /// Starts timing the binary under `name` with its base `seed`.
+    #[must_use]
+    pub fn new(name: &str, seed: u64) -> Self {
+        Self { name: name.to_owned(), seed, clock: Some(ccn_obs::PhaseClock::new()) }
+    }
+}
+
+impl Drop for ManifestGuard {
+    fn drop(&mut self) {
+        let mut clock = self.clock.take().expect("clock present until drop");
+        clock.lap("main");
+        let manifest = ccn_obs::RunManifest::capture(
+            "ccn-bench",
+            &self.name,
+            self.seed,
+            runner::resolve_threads(0),
+            false,
+        )
+        .with_phases(clock.finish());
+        eprintln!("{}", manifest.to_header_line());
+    }
 }
 
 #[cfg(test)]

@@ -19,11 +19,11 @@
 //!   and a thread-scaling measurement, all emitted as machine-readable
 //!   `BENCH_*.json`.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use ccn_numerics::parallel_map;
 use ccn_numerics::stats::Summary;
+use ccn_obs::{available_cores, effective_threads, Json, PhaseClock, RunManifest, ToJson};
 use ccn_sim::scenario::{steady_state_with_failures, SteadyStateConfig};
 use ccn_sim::store::reference::{NaiveLfuStore, NaiveLruStore};
 use ccn_sim::store::{ContentStore, LfuStore, LruStore};
@@ -98,10 +98,16 @@ pub struct TrialResult {
 /// come back in trial order. Each trial is deterministic in its own
 /// seed, so the thread count affects wall time only, never results.
 ///
+/// The worker count is clamped to the cores actually available
+/// ([`effective_threads`]): oversubscribing a starved machine only
+/// adds scheduler churn and produced the misleading sub-1.0
+/// "speedups" recorded in BENCH_2.json.
+///
 /// # Errors
 ///
 /// Propagates the first [`SimError`] any trial produced.
 pub fn run_trials(trials: &[Trial], threads: usize) -> Result<Vec<TrialResult>, SimError> {
+    let threads = effective_threads(threads, available_cores());
     parallel_map(trials, threads, |trial| {
         let start = Instant::now();
         let metrics = steady_state_with_failures(
@@ -234,15 +240,20 @@ pub struct BeforeAfter {
 }
 
 /// Thread-scaling measurement on the validation sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThreadScaling {
-    /// Worker count of the parallel run.
+    /// Worker count the run *asked* for.
     pub threads: usize,
+    /// Worker count the run actually used: `threads` clamped to the
+    /// visible cores ([`effective_threads`]). When this is below
+    /// `threads`, the "scaling" row measures a starved machine, not
+    /// the code (the BENCH_2.json pathology).
+    pub effective_threads: usize,
     /// CPU cores visible to the process when the measurement ran.
     pub available_cores: usize,
     /// Wall time of the sweep at one thread (ms).
     pub t1_ms: f64,
-    /// Wall time of the sweep at `threads` workers (ms).
+    /// Wall time of the sweep at `effective_threads` workers (ms).
     pub tn_ms: f64,
     /// `t1 / tn`.
     pub speedup: f64,
@@ -252,6 +263,31 @@ pub struct ThreadScaling {
     pub efficiency: f64,
 }
 
+impl ThreadScaling {
+    /// Derives the full scaling row from a raw measurement; the single
+    /// place the clamp and the efficiency denominator are computed, so
+    /// the two can never disagree with their documentation again.
+    #[must_use]
+    pub fn from_measurement(
+        requested: usize,
+        available_cores: usize,
+        t1_ms: f64,
+        tn_ms: f64,
+    ) -> Self {
+        let effective = effective_threads(requested, available_cores);
+        let speedup = t1_ms / tn_ms;
+        Self {
+            threads: requested,
+            effective_threads: effective,
+            available_cores,
+            t1_ms,
+            tn_ms,
+            speedup,
+            efficiency: speedup / effective as f64,
+        }
+    }
+}
+
 /// Everything `ccn bench` measures, serializable as `BENCH_*.json`.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -259,8 +295,11 @@ pub struct BenchReport {
     pub name: String,
     /// Whether sizes were reduced for a CI smoke run.
     pub smoke: bool,
-    /// Worker count used for the parallel phases.
+    /// Worker count used for the parallel phases (post-clamp).
     pub threads: usize,
+    /// Run manifest: seed, requested/effective threads, cores, git
+    /// revision, and per-phase timings for the whole suite.
+    pub manifest: RunManifest,
     /// Store micro-benchmarks.
     pub stores: Vec<StoreChurn>,
     /// Before/after events/sec on the Abilene dynamic-LRU validation
@@ -389,6 +428,10 @@ fn abilene_before_after(smoke: bool) -> Result<BeforeAfter, SimError> {
     })
 }
 
+/// Base workload seed of the validation sweep; replication `k` runs
+/// with seed `SWEEP_BASE_SEED + k`. Recorded in the run manifest.
+pub const SWEEP_BASE_SEED: u64 = 1_000;
+
 /// The multi-seed Abilene validation sweep: `ℓ` grid × `seeds`
 /// replications.
 #[must_use]
@@ -406,7 +449,7 @@ pub fn validation_sweep_trials(seeds: usize, smoke: bool) -> Vec<Trial> {
                 rate_per_ms: 0.01,
                 horizon_ms,
                 origin: OriginConfig { latency_ms: 50.0, hops: 4, gateway: None },
-                seed: 1_000 + seed,
+                seed: SWEEP_BASE_SEED + seed,
             };
             trials.push(Trial::new(format!("ell={ell}"), graph.clone(), config));
         }
@@ -415,123 +458,107 @@ pub fn validation_sweep_trials(seeds: usize, smoke: bool) -> Vec<Trial> {
 }
 
 fn thread_scaling(trials: &[Trial], threads: usize) -> Result<ThreadScaling, SimError> {
-    let available_cores =
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = available_cores();
     let start = Instant::now();
     run_trials(trials, 1)?;
     let t1_ms = start.elapsed().as_secs_f64() * 1e3;
     let start = Instant::now();
+    // run_trials clamps internally; passing the requested count keeps
+    // the report honest about what was asked vs. what ran.
     run_trials(trials, threads)?;
     let tn_ms = start.elapsed().as_secs_f64() * 1e3;
-    let speedup = t1_ms / tn_ms;
-    let effective = threads.min(available_cores).max(1);
-    Ok(ThreadScaling {
-        threads,
-        available_cores,
-        t1_ms,
-        tn_ms,
-        speedup,
-        efficiency: speedup / effective as f64,
-    })
+    Ok(ThreadScaling::from_measurement(threads, cores, t1_ms, tn_ms))
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+impl ToJson for StoreChurn {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("name", self.name.as_str())
+            .field("catalogue", self.catalogue)
+            .field("capacity", self.capacity)
+            .field("fast_ops", self.fast_ops)
+            .field("fast_ns_per_op", self.fast_ns_per_op)
+            .field("naive_ops", self.naive_ops)
+            .field("naive_ns_per_op", self.naive_ns_per_op)
+            .field("speedup", self.speedup)
+    }
 }
 
-/// Finite numbers print as-is; NaN/infinities become `null` (JSON has
-/// no representation for them).
-fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_owned()
+impl ToJson for BeforeAfter {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("events", self.events)
+            .field("before_events_per_sec", self.before_events_per_sec)
+            .field("after_events_per_sec", self.after_events_per_sec)
+            .field("speedup", self.speedup)
+    }
+}
+
+impl ToJson for LabelSummary {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("label", self.label.as_str())
+            .field("runs", self.runs)
+            .field("origin_load_mean", self.origin_load.mean)
+            .field("origin_load_ci95", self.origin_load.ci95)
+            .field("local_hit_mean", self.local_hit_ratio.mean)
+            .field("peer_hit_mean", self.peer_hit_ratio.mean)
+            .field("avg_latency_ms_mean", self.avg_latency_ms.mean)
+            .field("avg_latency_ms_ci95", self.avg_latency_ms.ci95)
+            .field("events_per_sec_mean", self.events_per_sec.mean)
+            .field("wall_ms_total", self.wall_ms_total)
+    }
+}
+
+impl ToJson for ThreadScaling {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("threads", self.threads)
+            .field("effective_threads", self.effective_threads)
+            .field("available_cores", self.available_cores)
+            .field("t1_ms", self.t1_ms)
+            .field("tn_ms", self.tn_ms)
+            .field("speedup", self.speedup)
+            .field("efficiency", self.efficiency)
+    }
+}
+
+impl ToJson for BenchReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("bench", self.name.as_str())
+            .field("smoke", self.smoke)
+            .field("threads", self.threads)
+            .field("manifest", self.manifest.to_json())
+            .field("stores", Json::Arr(self.stores.iter().map(ToJson::to_json).collect()))
+            .field("abilene_validation", self.abilene.to_json())
+            .field("sweep", Json::Arr(self.sweep.iter().map(ToJson::to_json).collect()))
+            .field("thread_scaling", self.scaling.to_json())
     }
 }
 
 impl BenchReport {
-    /// Serializes the report as pretty-printed JSON.
+    /// Serializes the report as pretty-printed JSON through the
+    /// shared `ccn-obs` serializer (non-finite floats become `null`,
+    /// strings are fully escaped, output round-trips through
+    /// [`Json::parse`]).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"bench\": \"{}\",", json_escape(&self.name));
-        let _ = writeln!(out, "  \"smoke\": {},", self.smoke);
-        let _ = writeln!(out, "  \"threads\": {},", self.threads);
-        let _ = writeln!(out, "  \"stores\": [");
-        for (i, s) in self.stores.iter().enumerate() {
-            let comma = if i + 1 < self.stores.len() { "," } else { "" };
-            let _ = writeln!(
-                out,
-                "    {{\"name\": \"{}\", \"catalogue\": {}, \"capacity\": {}, \
-                 \"fast_ops\": {}, \"fast_ns_per_op\": {}, \"naive_ops\": {}, \
-                 \"naive_ns_per_op\": {}, \"speedup\": {}}}{comma}",
-                json_escape(&s.name),
-                s.catalogue,
-                s.capacity,
-                s.fast_ops,
-                json_num(s.fast_ns_per_op),
-                s.naive_ops,
-                json_num(s.naive_ns_per_op),
-                json_num(s.speedup),
-            );
-        }
-        let _ = writeln!(out, "  ],");
-        let _ = writeln!(
-            out,
-            "  \"abilene_validation\": {{\"events\": {}, \"before_events_per_sec\": {}, \
-             \"after_events_per_sec\": {}, \"speedup\": {}}},",
-            self.abilene.events,
-            json_num(self.abilene.before_events_per_sec),
-            json_num(self.abilene.after_events_per_sec),
-            json_num(self.abilene.speedup),
-        );
-        let _ = writeln!(out, "  \"sweep\": [");
-        for (i, s) in self.sweep.iter().enumerate() {
-            let comma = if i + 1 < self.sweep.len() { "," } else { "" };
-            let _ = writeln!(
-                out,
-                "    {{\"label\": \"{}\", \"runs\": {}, \
-                 \"origin_load_mean\": {}, \"origin_load_ci95\": {}, \
-                 \"local_hit_mean\": {}, \"peer_hit_mean\": {}, \
-                 \"avg_latency_ms_mean\": {}, \"avg_latency_ms_ci95\": {}, \
-                 \"events_per_sec_mean\": {}, \"wall_ms_total\": {}}}{comma}",
-                json_escape(&s.label),
-                s.runs,
-                json_num(s.origin_load.mean),
-                json_num(s.origin_load.ci95),
-                json_num(s.local_hit_ratio.mean),
-                json_num(s.peer_hit_ratio.mean),
-                json_num(s.avg_latency_ms.mean),
-                json_num(s.avg_latency_ms.ci95),
-                json_num(s.events_per_sec.mean),
-                json_num(s.wall_ms_total),
-            );
-        }
-        let _ = writeln!(out, "  ],");
-        let _ = writeln!(
-            out,
-            "  \"thread_scaling\": {{\"threads\": {}, \"available_cores\": {}, \
-             \"t1_ms\": {}, \"tn_ms\": {}, \"speedup\": {}, \"efficiency\": {}}}",
-            self.scaling.threads,
-            self.scaling.available_cores,
-            json_num(self.scaling.t1_ms),
-            json_num(self.scaling.tn_ms),
-            json_num(self.scaling.speedup),
-            json_num(self.scaling.efficiency),
-        );
-        out.push_str("}\n");
-        out
+        ToJson::to_json(self).to_string_pretty()
     }
 }
 
-/// Worker count: the option's value, or available parallelism capped
-/// at 8 when zero.
+/// Worker count: the option's value clamped to the visible cores, or
+/// available parallelism capped at 8 when zero. Requests beyond the
+/// visible cores cannot add parallelism — honouring them only
+/// oversubscribes the scheduler (see [`ThreadScaling`]).
 #[must_use]
 pub fn resolve_threads(requested: usize) -> usize {
+    let cores = available_cores();
     if requested > 0 {
-        requested
+        effective_threads(requested, cores)
     } else {
-        std::thread::available_parallelism().map_or(4, |n| n.get().min(8))
+        cores.min(8)
     }
 }
 
@@ -541,9 +568,12 @@ pub fn resolve_threads(requested: usize) -> usize {
 ///
 /// Propagates simulation failures.
 pub fn run_bench(name: &str, opts: &BenchOptions) -> Result<BenchReport, SimError> {
+    let requested = if opts.threads > 0 { opts.threads } else { resolve_threads(0) };
     let threads = resolve_threads(opts.threads);
+    let mut clock = PhaseClock::new();
     println!("[{name}] store micro-benchmarks (O(1) vs seed implementations)...");
     let stores = store_churns(opts.smoke);
+    clock.lap("stores");
     for s in &stores {
         println!(
             "  {}: {:.0} ns/op vs naive {:.0} ns/op — {:.1}x",
@@ -552,6 +582,7 @@ pub fn run_bench(name: &str, opts: &BenchOptions) -> Result<BenchReport, SimErro
     }
     println!("[{name}] Abilene dynamic-LRU before/after...");
     let abilene = abilene_before_after(opts.smoke)?;
+    clock.lap_events("abilene", abilene.events);
     println!(
         "  {} events: {:.0} -> {:.0} events/sec ({:.2}x)",
         abilene.events,
@@ -564,8 +595,11 @@ pub fn run_bench(name: &str, opts: &BenchOptions) -> Result<BenchReport, SimErro
         opts.seeds, threads
     );
     let trials = validation_sweep_trials(opts.seeds, opts.smoke);
-    let scaling = thread_scaling(&trials, threads)?;
+    let scaling = thread_scaling(&trials, requested)?;
+    clock.lap("thread_scaling");
     let results = run_trials(&trials, threads)?;
+    let sweep_events: u64 = results.iter().map(|r| r.events).sum();
+    clock.lap_events("sweep", sweep_events);
     let sweep = aggregate(&results);
     for s in &sweep {
         println!(
@@ -576,16 +610,19 @@ pub fn run_bench(name: &str, opts: &BenchOptions) -> Result<BenchReport, SimErro
     println!(
         "  scaling: t1 {:.0} ms, t{} {:.0} ms — {:.2}x ({:.0}% efficiency on {} core(s))",
         scaling.t1_ms,
-        scaling.threads,
+        scaling.effective_threads,
         scaling.tn_ms,
         scaling.speedup,
         scaling.efficiency * 100.0,
         scaling.available_cores
     );
+    let manifest = RunManifest::capture("ccn-bench", name, SWEEP_BASE_SEED, requested, opts.smoke)
+        .with_phases(clock.finish());
     Ok(BenchReport {
         name: name.to_owned(),
         smoke: opts.smoke,
         threads,
+        manifest,
         stores,
         abilene,
         sweep,
@@ -659,12 +696,20 @@ mod tests {
         assert!(run_trials(&[bad], 2).is_err());
     }
 
-    #[test]
-    fn report_json_is_well_formed() {
-        let report = BenchReport {
+    fn sample_report() -> BenchReport {
+        BenchReport {
             name: "BENCH_TEST".into(),
             smoke: true,
             threads: 2,
+            manifest: RunManifest::capture("ccn-bench", "BENCH_TEST", SWEEP_BASE_SEED, 2, true)
+                .with_phases(vec![
+                    ccn_obs::PhaseTiming { phase: "stores".into(), wall_ms: 5.0, events: None },
+                    ccn_obs::PhaseTiming {
+                        phase: "sweep".into(),
+                        wall_ms: 100.0,
+                        events: Some(4_000),
+                    },
+                ]),
             stores: vec![StoreChurn {
                 name: "lru_churn".into(),
                 catalogue: 100,
@@ -682,29 +727,66 @@ mod tests {
                 speedup: 10.0,
             },
             sweep: vec![],
-            scaling: ThreadScaling {
-                threads: 2,
-                available_cores: 4,
-                t1_ms: 100.0,
-                tn_ms: 60.0,
-                speedup: 100.0 / 60.0,
-                efficiency: 100.0 / 120.0,
-            },
-        };
-        let json = report.to_json();
-        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(json.contains("\"bench\": \"BENCH_TEST\""));
-        assert!(json.contains("\"speedup\": 10"));
-        // NaN must serialize as null, not break the document.
-        let nan_stat = Stat::of(&[]);
-        assert_eq!(json_num(nan_stat.mean), "null");
+            scaling: ThreadScaling::from_measurement(2, 4, 100.0, 60.0),
+        }
     }
 
     #[test]
-    fn resolve_threads_prefers_explicit_value() {
-        assert_eq!(resolve_threads(3), 3);
+    fn report_json_is_well_formed() {
+        let report = sample_report();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"bench\": \"BENCH_TEST\""));
+        assert!(json.contains("\"speedup\": 10"));
+        assert!(json.contains("\"effective_threads\": 2"));
+        // NaN must serialize as null, not break the document.
+        let nan_stat = Stat::of(&[]);
+        assert_eq!(Json::from(nan_stat.mean).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn report_json_round_trips_and_embeds_a_valid_manifest() {
+        let report = sample_report();
+        let doc = Json::parse(&report.to_json()).expect("report must parse");
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("BENCH_TEST"));
+        assert_eq!(doc.get("smoke").and_then(Json::as_bool), Some(true));
+        let scaling = doc.get("thread_scaling").expect("scaling block");
+        assert_eq!(scaling.get("threads").and_then(Json::as_u64), Some(2));
+        assert_eq!(scaling.get("effective_threads").and_then(Json::as_u64), Some(2));
+        // The embedded manifest validates against the schema and
+        // round-trips field-for-field.
+        let manifest_doc = doc.get("manifest").expect("manifest block");
+        let back = RunManifest::from_value(manifest_doc).expect("manifest validates");
+        assert_eq!(back, report.manifest);
+        assert_eq!(back.phases[1].events_per_sec(), Some(40_000.0));
+    }
+
+    #[test]
+    fn thread_scaling_clamps_and_pins_efficiency() {
+        // Synthetic BENCH_2.json conditions: 4 requested threads on a
+        // 1-core machine, t1 = 83.2 ms, t4 = 94.5 ms.
+        let s = ThreadScaling::from_measurement(4, 1, 83.2, 94.5);
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.effective_threads, 1);
+        assert_eq!(s.available_cores, 1);
+        let expected_speedup = 83.2 / 94.5;
+        assert!((s.speedup - expected_speedup).abs() < 1e-12);
+        // Doc formula: speedup / min(threads, cores) = speedup / 1.
+        assert!((s.efficiency - expected_speedup).abs() < 1e-12);
+
+        // On a machine with headroom the denominator is the full
+        // requested count.
+        let s = ThreadScaling::from_measurement(4, 8, 100.0, 30.0);
+        assert_eq!(s.effective_threads, 4);
+        assert!((s.efficiency - (100.0 / 30.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_value_clamped_to_cores() {
+        let cores = available_cores();
+        assert_eq!(resolve_threads(3), 3.min(cores));
+        assert_eq!(resolve_threads(usize::MAX), cores);
         assert!(resolve_threads(0) >= 1);
+        assert!(resolve_threads(0) <= cores.min(8).max(1));
     }
 }

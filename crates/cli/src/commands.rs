@@ -6,6 +6,7 @@ use ccn_bench::runner::{run_bench, BenchOptions};
 use ccn_coord::{CoordinatorConfig, ResilientCoordinator, RetryPolicy, RoundOutcome};
 use ccn_model::planner::{capacity_for_target_origin_load, plan, PlannerConfig};
 use ccn_model::{CacheModel, ModelParams};
+use ccn_obs::{Json, PhaseClock, RunManifest};
 use ccn_sim::scenario::{steady_state, steady_state_with_failures, SteadyStateConfig};
 use ccn_sim::{FailureScenario, OriginConfig};
 use ccn_topology::{datasets, export, io, metrics, params, Graph};
@@ -44,6 +45,11 @@ COMMANDS
              sweep with thread-scaling; writes a BENCH_*.json report
              --threads 0 (auto) --seeds 5 --smoke false
              --name BENCH --out BENCH.json
+  validate-manifest
+             check that a JSON file carries a valid ccn.run-manifest/v1
+             (standalone, or embedded under \"manifest\" in a bench
+             report); exits non-zero on schema violations
+             --file BENCH.json
   help       this text
 ";
 
@@ -175,7 +181,14 @@ fn simulate(args: &Args) -> Result<String, ArgError> {
         },
         seed: args.u64_or("seed", 42)?,
     };
+    let mut clock = PhaseClock::new();
     let m = steady_state(graph, &config).map_err(|e| ArgError(e.to_string()))?;
+    clock.lap_events("simulate", m.events_processed);
+    let manifest =
+        RunManifest::capture("ccn", "simulate", config.seed, 1, false).with_phases(clock.finish());
+    // Wall-clock timings are nondeterministic, so the manifest header
+    // goes to stderr: stdout stays byte-identical for a fixed seed.
+    eprintln!("{}", manifest.to_header_line());
     let mut out = String::new();
     let _ = writeln!(out, "simulated {} requests (l = {})", m.completed, config.ell);
     let _ = writeln!(out, "  origin load  : {:.2}%", m.origin_load() * 100.0);
@@ -385,6 +398,32 @@ fn bench_cmd(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn validate_manifest(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&["file"])?;
+    let path = args.str_or("file", "BENCH.json");
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| ArgError(format!("--file {path:?}: {e}")))?;
+    let doc = Json::parse(&text).map_err(|e| ArgError(format!("{path}: not valid JSON: {e}")))?;
+    // Accept either a bare manifest document or a bench report that
+    // embeds one under the "manifest" key.
+    let (value, location) = match doc.get("manifest") {
+        Some(embedded) => (embedded, "embedded manifest"),
+        None => (&doc, "manifest"),
+    };
+    let manifest = RunManifest::from_value(value)
+        .map_err(|e| ArgError(format!("{path}: invalid {location}: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: valid {} ({location}, tool {}, run {}, {} phase(s))",
+        ccn_obs::MANIFEST_SCHEMA,
+        manifest.tool,
+        manifest.name,
+        manifest.phases.len()
+    );
+    Ok(out)
+}
+
 /// Runs a parsed command, returning its rendered report.
 ///
 /// # Errors
@@ -400,6 +439,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "capacity" => capacity_cmd(args),
         "resilience" => resilience_cmd(args),
         "bench" => bench_cmd(args),
+        "validate-manifest" => validate_manifest(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -417,7 +457,16 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let text = run_tokens(&["help"]).unwrap();
-        for cmd in ["solve", "plan", "topology", "simulate", "capacity", "resilience", "bench"] {
+        for cmd in [
+            "solve",
+            "plan",
+            "topology",
+            "simulate",
+            "capacity",
+            "resilience",
+            "bench",
+            "validate-manifest",
+        ] {
             assert!(text.contains(cmd), "usage is missing {cmd}");
         }
     }
@@ -480,6 +529,10 @@ mod tests {
                 .unwrap();
         assert!(text.contains("origin load"));
         assert!(text.contains("p99 latency"));
+        // The run manifest (wall-clock timings) goes to stderr so that
+        // stdout stays byte-identical for a fixed seed.
+        assert!(text.starts_with("simulated"), "{text}");
+        assert!(!text.contains("run-manifest"), "{text}");
     }
 
     #[test]
@@ -553,6 +606,31 @@ mod tests {
         assert!(json.contains("\"stores\""), "{json}");
         let err = run_tokens(&["bench", "--smoke", "maybe"]).unwrap_err();
         assert!(err.to_string().contains("--smoke"), "{err}");
+
+        // The freshly written report must carry a valid embedded manifest.
+        let verdict = run_tokens(&["validate-manifest", "--file", path.to_str().unwrap()]).unwrap();
+        assert!(verdict.contains("valid ccn.run-manifest/v1"), "{verdict}");
+        assert!(verdict.contains("embedded manifest"), "{verdict}");
+    }
+
+    #[test]
+    fn validate_manifest_accepts_bare_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join("ccn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let bare = dir.join("bare_manifest.json");
+        let manifest = RunManifest::capture("ccn", "unit", 7, 1, true);
+        std::fs::write(&bare, manifest.to_header_line()).unwrap();
+        let verdict = run_tokens(&["validate-manifest", "--file", bare.to_str().unwrap()]).unwrap();
+        assert!(verdict.contains("valid ccn.run-manifest/v1"), "{verdict}");
+
+        let bad = dir.join("bad_manifest.json");
+        std::fs::write(&bad, "{\"schema\": \"something-else\"}").unwrap();
+        let err = run_tokens(&["validate-manifest", "--file", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("invalid"), "{err}");
+
+        let err = run_tokens(&["validate-manifest", "--file", "/nonexistent/x.json"]).unwrap_err();
+        assert!(err.to_string().contains("--file"), "{err}");
     }
 
     #[test]

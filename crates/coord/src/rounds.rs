@@ -25,6 +25,7 @@
 //! against the extreme-value prediction.
 
 use ccn_model::ModelParams;
+use ccn_obs::{Registry, Tracer};
 use ccn_topology::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,6 +97,42 @@ pub enum Phase {
     Acknowledge,
 }
 
+impl Phase {
+    /// Stable index into per-phase arrays
+    /// (`Collect`/`Disseminate`/`Acknowledge` → `0`/`1`/`2`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Collect => 0,
+            Phase::Disseminate => 1,
+            Phase::Acknowledge => 2,
+        }
+    }
+
+    /// Lower-case phase name used in span and metric keys.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Collect => "collect",
+            Phase::Disseminate => "disseminate",
+            Phase::Acknowledge => "acknowledge",
+        }
+    }
+
+    /// Trace span name for the phase (`coord.collect`, ...).
+    #[must_use]
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Phase::Collect => "coord.collect",
+            Phase::Disseminate => "coord.disseminate",
+            Phase::Acknowledge => "coord.acknowledge",
+        }
+    }
+
+    /// All phases in round order.
+    pub const ALL: [Phase; 3] = [Phase::Collect, Phase::Disseminate, Phase::Acknowledge];
+}
+
 /// What happened during one attempt of the round.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundAttempt {
@@ -107,6 +144,10 @@ pub struct RoundAttempt {
     /// Transmissions spent during this attempt (including the ones
     /// wasted on the failing message).
     pub transmissions: u64,
+    /// Transmissions split by phase (indexed by [`Phase::index`]);
+    /// sums to [`RoundAttempt::transmissions`]. Phases after the
+    /// failing one show zero — they never ran.
+    pub phase_transmissions: [u64; 3],
     /// Jittered backoff slept after this attempt (0 when the attempt
     /// succeeded or was the last one).
     pub backoff_ms: f64,
@@ -159,6 +200,8 @@ pub struct ResilientCoordinator {
     inner: Coordinator,
     policy: RetryPolicy,
     last_known_good: Option<ProvisioningRound>,
+    tracer: Tracer,
+    registry: Registry,
 }
 
 /// Runs one phase of `messages` messages under loss `p`, each message
@@ -183,7 +226,30 @@ impl ResilientCoordinator {
     /// Creates a resilient coordinator with no enacted placement.
     #[must_use]
     pub fn new(config: CoordinatorConfig, policy: RetryPolicy) -> Self {
-        Self { inner: Coordinator::new(config), policy, last_known_good: None }
+        Self {
+            inner: Coordinator::new(config),
+            policy,
+            last_known_good: None,
+            tracer: Tracer::off(),
+            registry: Registry::new(),
+        }
+    }
+
+    /// Attaches an observability tracer; rounds then record
+    /// `coord.solve` and per-phase (`coord.collect`, ...) spans.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The coordinator's metrics registry: per-phase transmission
+    /// counters (`coord.<phase>.transmissions`) and round outcome
+    /// counters (`coord.rounds.converged` / `coord.rounds.aborted`),
+    /// accumulated across every round this coordinator ran.
+    #[must_use]
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
     }
 
     /// The placement currently in force, if any round ever converged.
@@ -218,7 +284,9 @@ impl ResilientCoordinator {
         }
         self.policy.validate()?;
         // Solve once; only the network phases are retried.
+        let solve_span = self.tracer.span("coord.solve");
         let candidate = self.inner.provision(params)?;
+        drop(solve_span);
         let n = params.routers().round() as u64;
         let x = candidate.strategy.x_star.round() as u64;
         let phases =
@@ -234,14 +302,19 @@ impl ResilientCoordinator {
         for attempt in 1..=self.policy.max_round_attempts {
             let mut failed_phase = None;
             let mut attempt_tx = 0u64;
+            let mut phase_tx = [0u64; 3];
             for &(phase, messages) in &phases {
+                let span = self.tracer.span(phase.span_name());
                 let (tx, delivered) = run_phase(
                     &mut rng,
                     messages,
                     loss_probability,
                     self.policy.max_attempts_per_message,
                 );
+                drop(span);
                 attempt_tx += tx;
+                phase_tx[phase.index()] = tx;
+                self.registry.counter(&format!("coord.{}.transmissions", phase.name())).add(tx);
                 if !delivered {
                     failed_phase = Some(phase);
                     break;
@@ -262,12 +335,14 @@ impl ResilientCoordinator {
                 attempt,
                 failed_phase,
                 transmissions: attempt_tx,
+                phase_transmissions: phase_tx,
                 backoff_ms,
             });
             if failed_phase.is_none() {
                 // Atomic swap: the candidate becomes the enacted
                 // placement only here, after every ack arrived.
                 self.last_known_good = Some(candidate.clone());
+                self.registry.counter("coord.rounds.converged").inc();
                 return Ok(RoundReport {
                     outcome: RoundOutcome::Converged(candidate),
                     attempts,
@@ -277,6 +352,7 @@ impl ResilientCoordinator {
                 });
             }
         }
+        self.registry.counter("coord.rounds.aborted").inc();
         Ok(RoundReport {
             outcome: RoundOutcome::Aborted { last_known_good: self.last_known_good.clone() },
             attempts,
@@ -422,6 +498,42 @@ mod tests {
             report.total_transmissions as f64 / (report.attempts.len() as u64 * messages) as f64;
         assert!((1.0..1.4).contains(&per_msg), "per-message inflation {per_msg}");
         assert!((analytic.expected_transmissions - 1.0 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_breakdown_metrics_and_spans_track_the_round() {
+        let (tracer, sink) = Tracer::collecting();
+        let mut rc = coordinator(RetryPolicy::default()).with_tracer(tracer);
+        let report = rc.provision(params(), 0.0, 1).unwrap();
+        assert!(report.converged());
+        let attempt = &report.attempts[0];
+        // The per-phase split sums to the attempt total and matches
+        // the lossless message counts (n, n + n·x, n).
+        assert_eq!(attempt.phase_transmissions.iter().sum::<u64>(), attempt.transmissions);
+        let x = rc.last_known_good().unwrap().strategy.x_star.round() as u64;
+        assert_eq!(attempt.phase_transmissions, [20, 20 + 20 * x, 20]);
+        // The registry accumulated the same numbers.
+        for (phase, expected) in Phase::ALL.iter().zip(attempt.phase_transmissions) {
+            match rc.metrics().get(&format!("coord.{}.transmissions", phase.name())) {
+                Some(ccn_obs::Metric::Counter(c)) => assert_eq!(c.get(), expected),
+                other => panic!("missing phase counter: {other:?}"),
+            }
+        }
+        match rc.metrics().get("coord.rounds.converged") {
+            Some(ccn_obs::Metric::Counter(c)) => assert_eq!(c.get(), 1),
+            other => panic!("missing outcome counter: {other:?}"),
+        }
+        // Phase-level spans were recorded — unless tracing is compiled
+        // off (`is_enabled` is then false), in which case the sink
+        // must stay empty.
+        if rc.tracer.is_enabled() {
+            assert_eq!(sink.count("coord.solve"), 1);
+            for phase in Phase::ALL {
+                assert_eq!(sink.count(phase.span_name()), 1);
+            }
+        } else {
+            assert!(sink.snapshot().is_empty());
+        }
     }
 
     #[test]

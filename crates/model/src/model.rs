@@ -214,6 +214,21 @@ impl CacheModel {
         })
     }
 
+    /// [`CacheModel::optimal_exact`] wrapped in a `model.optimal_exact`
+    /// trace span, for callers threading the observability layer
+    /// through solver-heavy paths.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CacheModel::optimal_exact`].
+    pub fn optimal_exact_traced(
+        &self,
+        tracer: &ccn_obs::Tracer,
+    ) -> Result<OptimalStrategy, ModelError> {
+        let _span = tracer.span("model.optimal_exact");
+        self.optimal_exact()
+    }
+
     /// Solves the Lemma-2 fixed-point condition (Eq. 7) by Brent's
     /// method; Theorem 1 guarantees a unique root in `(0, 1)`.
     ///
@@ -253,6 +268,20 @@ impl CacheModel {
             objective_value: self.objective(ell * c),
             method: SolveMethod::FixedPoint,
         })
+    }
+
+    /// [`CacheModel::optimal_fixed_point`] wrapped in a
+    /// `model.optimal_fixed_point` trace span.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CacheModel::optimal_fixed_point`].
+    pub fn optimal_fixed_point_traced(
+        &self,
+        tracer: &ccn_obs::Tracer,
+    ) -> Result<OptimalStrategy, ModelError> {
+        let _span = tracer.span("model.optimal_fixed_point");
+        self.optimal_fixed_point()
     }
 
     /// The discrete objective `α·T_discrete(x) + (1−α)·W(x)` at an
@@ -430,6 +459,21 @@ mod tests {
 
     fn model_with(alpha: f64) -> CacheModel {
         CacheModel::new(ModelParams::builder().alpha(alpha).build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn traced_solvers_match_untraced_and_record_spans() {
+        let m = model_with(0.8);
+        let (tracer, sink) = ccn_obs::Tracer::collecting();
+        assert_eq!(m.optimal_exact_traced(&tracer).unwrap(), m.optimal_exact().unwrap());
+        assert_eq!(
+            m.optimal_fixed_point_traced(&tracer).unwrap(),
+            m.optimal_fixed_point().unwrap()
+        );
+        if tracer.is_enabled() {
+            assert_eq!(sink.count("model.optimal_exact"), 1);
+            assert_eq!(sink.count("model.optimal_fixed_point"), 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! Run manifests: the JSON header every benchmark binary and the
+//! `ccn` CLI emit before (or alongside) their results.
+//!
+//! A manifest answers "under what conditions was this number
+//! measured?" — the question BENCH_2.json could not answer honestly
+//! when it reported a 4-thread scaling run executed on a 1-core
+//! machine. Every manifest records the seed, the *requested* and the
+//! *effective* (clamped-to-cores) thread counts, the available cores,
+//! the git revision, the smoke flag, and per-phase wall-clock /
+//! event-throughput timings.
+
+use std::time::Instant;
+
+use crate::json::{Json, JsonError, ToJson};
+
+/// Schema identifier embedded in every manifest; CI validates emitted
+/// documents against this exact string.
+pub const MANIFEST_SCHEMA: &str = "ccn.run-manifest/v1";
+
+/// Logical CPUs visible to this process (at least 1).
+#[must_use]
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The worker count actually used for `requested` threads on a
+/// machine with `cores` cores: clamped to the cores available, and at
+/// least 1.
+///
+/// This is the single definition of the clamp the bench runner and the
+/// scaling report share, so "speedup" can no longer be computed
+/// against phantom workers (BENCH_2.json: 4 requested threads on 1
+/// core reported as 0.88x scaling).
+#[must_use]
+pub fn effective_threads(requested: usize, cores: usize) -> usize {
+    requested.min(cores.max(1)).max(1)
+}
+
+/// `git describe --always --dirty` for the working tree, or
+/// `"unknown"` when git or the repository is unavailable (manifests
+/// must never fail a run).
+#[must_use]
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Wall-clock and optional event-throughput timing for one named
+/// phase of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase name (`"setup"`, `"trials"`, `"sim.event_loop"`, ...).
+    pub phase: String,
+    /// Wall-clock milliseconds spent in the phase.
+    pub wall_ms: f64,
+    /// Events processed during the phase, when the phase is an event
+    /// loop.
+    pub events: Option<u64>,
+}
+
+impl PhaseTiming {
+    /// Events per second, when both events and a positive wall time
+    /// are known.
+    #[must_use]
+    pub fn events_per_sec(&self) -> Option<f64> {
+        let events = self.events?;
+        if self.wall_ms > 0.0 {
+            Some(events as f64 / (self.wall_ms / 1000.0))
+        } else {
+            None
+        }
+    }
+}
+
+impl ToJson for PhaseTiming {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("phase", self.phase.as_str())
+            .field("wall_ms", self.wall_ms)
+            .field("events", self.events)
+            .field("events_per_sec", self.events_per_sec())
+    }
+}
+
+/// Stopwatch that accumulates [`PhaseTiming`]s for a manifest.
+#[derive(Debug)]
+pub struct PhaseClock {
+    started: Instant,
+    phases: Vec<PhaseTiming>,
+}
+
+impl Default for PhaseClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseClock {
+    /// Starts the clock for the first phase.
+    #[must_use]
+    pub fn new() -> Self {
+        PhaseClock { started: Instant::now(), phases: Vec::new() }
+    }
+
+    /// Ends the current phase under `name` and starts the next one.
+    pub fn lap(&mut self, name: &str) {
+        self.lap_with_events(name, None);
+    }
+
+    /// Ends the current phase, attributing `events` processed events
+    /// to it, and starts the next one.
+    pub fn lap_events(&mut self, name: &str, events: u64) {
+        self.lap_with_events(name, Some(events));
+    }
+
+    fn lap_with_events(&mut self, name: &str, events: Option<u64>) {
+        let wall_ms = self.started.elapsed().as_secs_f64() * 1000.0;
+        self.started = Instant::now();
+        self.phases.push(PhaseTiming { phase: name.to_owned(), wall_ms, events });
+    }
+
+    /// The phases recorded so far.
+    #[must_use]
+    pub fn phases(&self) -> &[PhaseTiming] {
+        &self.phases
+    }
+
+    /// Consumes the clock, returning its phases.
+    #[must_use]
+    pub fn finish(self) -> Vec<PhaseTiming> {
+        self.phases
+    }
+}
+
+/// The conditions a run was measured under — see [`MANIFEST_SCHEMA`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Emitting tool (`"ccn-bench"`, `"ccn"`, a binary name).
+    pub tool: String,
+    /// Run name (`"bench"`, `"fig4"`, `"simulate"`, ...).
+    pub name: String,
+    /// Base RNG seed the run derived its streams from.
+    pub seed: u64,
+    /// Worker threads the invocation asked for.
+    pub requested_threads: usize,
+    /// Worker threads actually used after clamping to cores.
+    pub effective_threads: usize,
+    /// Logical CPUs available to the process.
+    pub available_cores: usize,
+    /// `git describe --always --dirty`, or `"unknown"`.
+    pub git: String,
+    /// Whether this was a reduced smoke run.
+    pub smoke: bool,
+    /// Per-phase timings.
+    pub phases: Vec<PhaseTiming>,
+}
+
+/// Why a JSON document failed to validate as a [`RunManifest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManifestError {
+    /// The document is not syntactically valid JSON.
+    Parse(JsonError),
+    /// The `schema` field is missing or names a different schema.
+    WrongSchema(String),
+    /// A required key is missing or has the wrong type.
+    MissingKey(String),
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Parse(e) => write!(f, "manifest is not valid json: {e}"),
+            ManifestError::WrongSchema(got) => {
+                write!(f, "manifest schema is {got:?}, expected {MANIFEST_SCHEMA:?}")
+            }
+            ManifestError::MissingKey(key) => {
+                write!(f, "manifest is missing required key {key:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl RunManifest {
+    /// Captures the current environment for a run: cores and git are
+    /// probed, `effective_threads` is derived via the shared clamp,
+    /// and phases start empty (attach them with
+    /// [`RunManifest::with_phases`]).
+    #[must_use]
+    pub fn capture(
+        tool: &str,
+        name: &str,
+        seed: u64,
+        requested_threads: usize,
+        smoke: bool,
+    ) -> Self {
+        let cores = available_cores();
+        RunManifest {
+            tool: tool.to_owned(),
+            name: name.to_owned(),
+            seed,
+            requested_threads,
+            effective_threads: effective_threads(requested_threads, cores),
+            available_cores: cores,
+            git: git_describe(),
+            smoke,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Replaces the phase timings (builder style).
+    #[must_use]
+    pub fn with_phases(mut self, phases: Vec<PhaseTiming>) -> Self {
+        self.phases = phases;
+        self
+    }
+
+    /// Serializes to a single compact line — the form binaries print
+    /// as their header.
+    #[must_use]
+    pub fn to_header_line(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Parses and validates a JSON document as a manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError`] describing the first syntax, schema, or
+    /// missing-key problem found.
+    pub fn from_json(text: &str) -> Result<Self, ManifestError> {
+        let doc = Json::parse(text).map_err(ManifestError::Parse)?;
+        Self::from_value(&doc)
+    }
+
+    /// Validates an already-parsed JSON value as a manifest (used when
+    /// the manifest is embedded in a larger report).
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError`] for schema or missing-key problems.
+    pub fn from_value(doc: &Json) -> Result<Self, ManifestError> {
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("<absent>");
+        if schema != MANIFEST_SCHEMA {
+            return Err(ManifestError::WrongSchema(schema.to_owned()));
+        }
+        let str_key = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| ManifestError::MissingKey(key.to_owned()))
+        };
+        let u64_key = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ManifestError::MissingKey(key.to_owned()))
+        };
+        let phases_json = doc
+            .get("phases")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ManifestError::MissingKey("phases".to_owned()))?;
+        let mut phases = Vec::with_capacity(phases_json.len());
+        for entry in phases_json {
+            let phase = entry
+                .get("phase")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ManifestError::MissingKey("phases[].phase".to_owned()))?
+                .to_owned();
+            let wall_ms = entry
+                .get("wall_ms")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ManifestError::MissingKey("phases[].wall_ms".to_owned()))?;
+            // `events` / `events_per_sec` are optional but must be
+            // present as keys (possibly null) so downstream parsers
+            // can rely on the shape.
+            if entry.get("events").is_none() {
+                return Err(ManifestError::MissingKey("phases[].events".to_owned()));
+            }
+            if entry.get("events_per_sec").is_none() {
+                return Err(ManifestError::MissingKey("phases[].events_per_sec".to_owned()));
+            }
+            let events = entry.get("events").and_then(Json::as_u64);
+            phases.push(PhaseTiming { phase, wall_ms, events });
+        }
+        Ok(RunManifest {
+            tool: str_key("tool")?,
+            name: str_key("name")?,
+            seed: u64_key("seed")?,
+            requested_threads: u64_key("requested_threads")? as usize,
+            effective_threads: u64_key("effective_threads")? as usize,
+            available_cores: u64_key("available_cores")? as usize,
+            git: str_key("git")?,
+            smoke: doc
+                .get("smoke")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| ManifestError::MissingKey("smoke".to_owned()))?,
+            phases,
+        })
+    }
+}
+
+impl ToJson for RunManifest {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("schema", MANIFEST_SCHEMA)
+            .field("tool", self.tool.as_str())
+            .field("name", self.name.as_str())
+            .field("seed", self.seed)
+            .field("requested_threads", self.requested_threads)
+            .field("effective_threads", self.effective_threads)
+            .field("available_cores", self.available_cores)
+            .field("git", self.git.as_str())
+            .field("smoke", self.smoke)
+            .field("phases", Json::Arr(self.phases.iter().map(ToJson::to_json).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_clamps_to_cores() {
+        // The BENCH_2.json pathology: 4 requested threads on 1 core.
+        assert_eq!(effective_threads(4, 1), 1);
+        assert_eq!(effective_threads(2, 8), 2);
+        assert_eq!(effective_threads(8, 8), 8);
+        assert_eq!(effective_threads(0, 8), 1);
+        assert_eq!(effective_threads(3, 0), 1);
+    }
+
+    #[test]
+    fn capture_is_consistent_with_environment() {
+        let m = RunManifest::capture("ccn-bench", "unit", 42, 64, true);
+        assert_eq!(m.available_cores, available_cores());
+        assert_eq!(m.effective_threads, effective_threads(64, m.available_cores));
+        assert!(m.effective_threads <= m.available_cores.max(1));
+        assert!(!m.git.is_empty());
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = RunManifest {
+            tool: "ccn-bench".into(),
+            name: "bench".into(),
+            seed: 7,
+            requested_threads: 4,
+            effective_threads: 1,
+            available_cores: 1,
+            git: "abc1234-dirty".into(),
+            smoke: true,
+            phases: vec![
+                PhaseTiming { phase: "setup".into(), wall_ms: 1.5, events: None },
+                PhaseTiming { phase: "trials".into(), wall_ms: 250.0, events: Some(1000) },
+            ],
+        };
+        let text = m.to_header_line();
+        let back = RunManifest::from_json(&text).unwrap();
+        assert_eq!(back, m);
+        // Throughput is derived, not stored: 1000 events / 0.25 s.
+        assert_eq!(back.phases[1].events_per_sec(), Some(4000.0));
+        assert_eq!(back.phases[0].events_per_sec(), None);
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema_and_missing_keys() {
+        assert!(matches!(RunManifest::from_json("{not json"), Err(ManifestError::Parse(_))));
+        assert!(matches!(
+            RunManifest::from_json("{\"schema\": \"other/v9\"}"),
+            Err(ManifestError::WrongSchema(_))
+        ));
+        let m = RunManifest::capture("t", "n", 1, 1, false);
+        let mut doc = match m.to_json() {
+            Json::Obj(fields) => fields,
+            _ => unreachable!(),
+        };
+        doc.retain(|(k, _)| k != "seed");
+        let text = Json::Obj(doc).to_string_compact();
+        assert_eq!(RunManifest::from_json(&text), Err(ManifestError::MissingKey("seed".into())));
+    }
+
+    #[test]
+    fn validation_requires_per_phase_timing_keys() {
+        let text = "{\"schema\": \"ccn.run-manifest/v1\", \"tool\": \"t\", \"name\": \"n\", \
+                    \"seed\": 1, \"requested_threads\": 1, \"effective_threads\": 1, \
+                    \"available_cores\": 1, \"git\": \"g\", \"smoke\": false, \
+                    \"phases\": [{\"phase\": \"p\", \"wall_ms\": 1.0, \"events\": null}]}";
+        assert_eq!(
+            RunManifest::from_json(text),
+            Err(ManifestError::MissingKey("phases[].events_per_sec".into()))
+        );
+    }
+
+    #[test]
+    fn phase_clock_records_laps_in_order() {
+        let mut clock = PhaseClock::new();
+        clock.lap("setup");
+        clock.lap_events("run", 10);
+        let phases = clock.finish();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].phase, "setup");
+        assert_eq!(phases[1].events, Some(10));
+        assert!(phases.iter().all(|p| p.wall_ms >= 0.0));
+    }
+}

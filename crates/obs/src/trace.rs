@@ -1,0 +1,287 @@
+//! Structured tracing facade: named spans with monotonic
+//! enter/exit timestamps.
+//!
+//! The design goal is *zero cost when disabled*:
+//!
+//! - A [`Tracer`] built with [`Tracer::off`] holds no sink; opening a
+//!   span is a single `Option` branch and returns an inert guard.
+//! - Compiling with the `off` cargo feature removes recording at
+//!   compile time: [`Tracer::span`] always returns the inert guard and
+//!   the sink is never touched, so instrumented hot loops carry no
+//!   overhead at all.
+//!
+//! When enabled, spans record their name, depth, and enter/exit
+//! offsets (nanoseconds since the sink's creation) into a shared
+//! [`TraceSink`], which tests and reports can query.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed span: name, nesting depth at entry, and monotonic
+/// enter/exit offsets in nanoseconds since the sink was created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span name (static, dot-separated taxonomy — see DESIGN.md).
+    pub name: &'static str,
+    /// Nesting depth when the span was entered (0 = top level).
+    pub depth: usize,
+    /// Nanoseconds from sink creation to span entry.
+    pub enter_ns: u64,
+    /// Nanoseconds from sink creation to span exit.
+    pub exit_ns: u64,
+}
+
+impl SpanRecord {
+    /// Wall time spent inside the span, in nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.exit_ns.saturating_sub(self.enter_ns)
+    }
+}
+
+#[derive(Debug, Default)]
+struct SinkState {
+    records: Vec<SpanRecord>,
+    depth: usize,
+}
+
+/// Shared destination for completed span records.
+///
+/// Timestamps are offsets from a single [`Instant`] captured at sink
+/// creation, so records from different threads share one monotonic
+/// timeline.
+#[derive(Debug)]
+pub struct TraceSink {
+    t0: Instant,
+    state: Mutex<SinkState>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink { t0: Instant::now(), state: Mutex::new(SinkState::default()) }
+    }
+}
+
+impl TraceSink {
+    /// Creates an empty sink; its timeline starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SinkState> {
+        // A poisoned mutex only means another thread panicked while
+        // recording; the span data itself is still usable.
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn enter(&self) -> (u64, usize) {
+        let now = self.t0.elapsed().as_nanos() as u64;
+        let mut state = self.lock();
+        let depth = state.depth;
+        state.depth += 1;
+        (now, depth)
+    }
+
+    fn exit(&self, name: &'static str, enter_ns: u64, depth: usize) {
+        let now = self.t0.elapsed().as_nanos() as u64;
+        let mut state = self.lock();
+        state.depth = state.depth.saturating_sub(1);
+        state.records.push(SpanRecord { name, depth, enter_ns, exit_ns: now });
+    }
+
+    /// A copy of every completed span so far, in completion order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.lock().records.clone()
+    }
+
+    /// Drains and returns every completed span.
+    #[must_use]
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.lock().records)
+    }
+
+    /// How many completed spans carry the given name.
+    #[must_use]
+    pub fn count(&self, name: &str) -> usize {
+        self.lock().records.iter().filter(|r| r.name == name).count()
+    }
+
+    /// Total nanoseconds across completed spans with the given name.
+    #[must_use]
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.lock().records.iter().filter(|r| r.name == name).map(SpanRecord::duration_ns).sum()
+    }
+}
+
+/// Handle components hold to open spans.
+///
+/// Cloning is cheap (an `Arc` clone or a copied `None`). The default
+/// tracer is disabled, so instrumented code paths cost one branch per
+/// span unless a collector is attached.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<TraceSink>>,
+}
+
+impl Tracer {
+    /// A disabled tracer: spans are inert guards.
+    #[must_use]
+    pub fn off() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer recording into a fresh sink; returns both so callers
+    /// can hand the tracer out and query the sink later.
+    #[must_use]
+    pub fn collecting() -> (Self, Arc<TraceSink>) {
+        let sink = Arc::new(TraceSink::new());
+        (Tracer { sink: Some(Arc::clone(&sink)) }, sink)
+    }
+
+    /// Wraps an existing sink.
+    #[must_use]
+    pub fn into_sink(sink: Arc<TraceSink>) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// Whether spans opened on this tracer record anywhere.
+    ///
+    /// With the `off` feature enabled this is always `false`, letting
+    /// callers skip even the bookkeeping around optional spans.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "off")]
+        {
+            false
+        }
+        #[cfg(not(feature = "off"))]
+        {
+            self.sink.is_some()
+        }
+    }
+
+    /// Opens a span; it records its exit timestamp when dropped.
+    ///
+    /// `name` should follow the dot-separated taxonomy documented in
+    /// DESIGN.md (`sim.event_loop`, `coord.collect`, ...).
+    #[must_use = "dropping the guard immediately closes the span"]
+    pub fn span(&self, name: &'static str) -> Span {
+        #[cfg(feature = "off")]
+        {
+            let _ = name;
+            Span { active: None }
+        }
+        #[cfg(not(feature = "off"))]
+        {
+            match &self.sink {
+                None => Span { active: None },
+                Some(sink) => {
+                    let (enter_ns, depth) = sink.enter();
+                    Span {
+                        active: Some(ActiveSpan { sink: Arc::clone(sink), name, enter_ns, depth }),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    sink: Arc<TraceSink>,
+    name: &'static str,
+    enter_ns: u64,
+    depth: usize,
+}
+
+/// RAII guard for an open span; records the exit timestamp on drop.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            active.sink.exit(active.name, active.enter_ns, active.depth);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::off();
+        assert!(!tracer.is_enabled());
+        let _span = tracer.span("ignored");
+    }
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn spans_record_names_counts_and_ordered_timestamps() {
+        let (tracer, sink) = Tracer::collecting();
+        assert!(tracer.is_enabled());
+        {
+            let _outer = tracer.span("outer");
+            let _inner = tracer.span("inner");
+        }
+        {
+            let _again = tracer.span("inner");
+        }
+        let records = sink.snapshot();
+        assert_eq!(records.len(), 3);
+        assert_eq!(sink.count("inner"), 2);
+        assert_eq!(sink.count("outer"), 1);
+        // Inner spans complete first and carry greater depth.
+        assert_eq!(records[0].name, "inner");
+        assert_eq!(records[0].depth, 1);
+        assert_eq!(records[1].name, "outer");
+        assert_eq!(records[1].depth, 0);
+        for r in &records {
+            assert!(r.exit_ns >= r.enter_ns);
+        }
+        // The nested inner span is contained in outer's interval.
+        assert!(records[1].enter_ns <= records[0].enter_ns);
+        assert!(records[1].exit_ns >= records[0].exit_ns);
+    }
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn take_drains_the_sink() {
+        let (tracer, sink) = Tracer::collecting();
+        drop(tracer.span("a"));
+        assert_eq!(sink.take().len(), 1);
+        assert_eq!(sink.snapshot().len(), 0);
+    }
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn cloned_tracers_share_one_sink_across_threads() {
+        let (tracer, sink) = Tracer::collecting();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = tracer.clone();
+                std::thread::spawn(move || drop(t.span("worker")))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.count("worker"), 4);
+    }
+
+    #[cfg(feature = "off")]
+    #[test]
+    fn off_feature_disables_even_collecting_tracers() {
+        let (tracer, sink) = Tracer::collecting();
+        assert!(!tracer.is_enabled());
+        drop(tracer.span("work"));
+        assert_eq!(sink.snapshot().len(), 0);
+    }
+}

@@ -57,7 +57,7 @@ mod simulator;
 pub use content::ContentId;
 pub use error::SimError;
 pub use failure::{FailureConfig, FailureEvent, FailureKind, FailureModel, FailureScenario};
-pub use metrics::{Metrics, ServedBy};
+pub use metrics::{Metrics, ServedBy, TierCounts};
 pub use network::{CachingMode, Network, NetworkBuilder, OriginConfig};
 pub use placement::Placement;
 pub use simulator::{Deployment, SimConfig, Simulator};

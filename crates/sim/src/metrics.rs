@@ -1,5 +1,8 @@
 //! Simulation metrics: the quantities of the paper's Table I plus
-//! diagnostic counters.
+//! diagnostic counters and the per-router / per-tier operational
+//! breakdowns from the `ccn-obs` observability layer.
+
+use ccn_obs::Histogram;
 
 /// Which tier served a completed request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -10,6 +13,51 @@ pub enum ServedBy {
     Peer,
     /// The origin server (tier `d2`).
     Origin,
+}
+
+impl ServedBy {
+    /// Stable index into per-tier arrays (`Local`/`Peer`/`Origin` →
+    /// `0`/`1`/`2`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            ServedBy::Local => 0,
+            ServedBy::Peer => 1,
+            ServedBy::Origin => 2,
+        }
+    }
+
+    /// Lower-case tier name used in metric/report keys.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ServedBy::Local => "local",
+            ServedBy::Peer => "peer",
+            ServedBy::Origin => "origin",
+        }
+    }
+
+    /// All tiers in index order.
+    pub const ALL: [ServedBy; 3] = [ServedBy::Local, ServedBy::Peer, ServedBy::Origin];
+}
+
+/// Per-router completion counts split by serving tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCounts {
+    /// Completions this router's clients had served locally.
+    pub local: u64,
+    /// Completions served by an in-network peer.
+    pub peer: u64,
+    /// Completions served by the origin.
+    pub origin: u64,
+}
+
+impl TierCounts {
+    /// Total completions attributed to this router's clients.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.local + self.peer + self.origin
+    }
 }
 
 /// Aggregated outcome of a simulation run (post-warmup requests only).
@@ -41,6 +89,15 @@ pub struct Metrics {
     pub cache_insertions: u64,
     /// Per-router local-hit counters.
     pub local_hits_per_router: Vec<u64>,
+    /// Per-router completion counts split by serving tier — the
+    /// breakdown that makes coordination results interpretable
+    /// (which routers benefit from peers vs. lean on the origin).
+    pub served_per_router: Vec<TierCounts>,
+    /// Serving tier of each entry in [`Metrics::latency_samples`]
+    /// ([`ServedBy::index`] values, in completion order). The tier
+    /// histograms are derived from this lazily so the completion hot
+    /// path stays a pair of vector pushes.
+    pub latency_sample_tiers: Vec<u8>,
     /// Raw per-request latency samples (ms), in completion order —
     /// the basis of the percentile accessors.
     pub latency_samples: Vec<f64>,
@@ -75,7 +132,11 @@ impl Metrics {
     /// Creates zeroed metrics for a network of `routers` routers.
     #[must_use]
     pub fn new(routers: usize) -> Self {
-        Self { local_hits_per_router: vec![0; routers], ..Self::default() }
+        Self {
+            local_hits_per_router: vec![0; routers],
+            served_per_router: vec![TierCounts::default(); routers],
+            ..Self::default()
+        }
     }
 
     pub(crate) fn record_completion(
@@ -90,16 +151,55 @@ impl Metrics {
         self.max_hops = self.max_hops.max(hops);
         self.total_latency_ms += latency_ms;
         self.latency_samples.push(latency_ms);
+        self.latency_sample_tiers.push(served_by.index() as u8);
+        let counts = self.served_per_router.get_mut(router);
         match served_by {
             ServedBy::Local => {
                 self.local += 1;
+                if let Some(c) = counts {
+                    c.local += 1;
+                }
                 if let Some(slot) = self.local_hits_per_router.get_mut(router) {
                     *slot += 1;
                 }
             }
-            ServedBy::Peer => self.peer += 1,
-            ServedBy::Origin => self.origin += 1,
+            ServedBy::Peer => {
+                self.peer += 1;
+                if let Some(c) = counts {
+                    c.peer += 1;
+                }
+            }
+            ServedBy::Origin => {
+                self.origin += 1;
+                if let Some(c) = counts {
+                    c.origin += 1;
+                }
+            }
         }
+    }
+
+    /// The fixed-bucket latency histogram for one serving tier,
+    /// built from the recorded samples.
+    #[must_use]
+    pub fn tier_latency(&self, tier: ServedBy) -> Histogram {
+        let want = tier.index() as u8;
+        let mut h = Histogram::latency_ms();
+        for (&latency, &t) in self.latency_samples.iter().zip(&self.latency_sample_tiers) {
+            if t == want {
+                h.observe(latency);
+            }
+        }
+        h
+    }
+
+    /// All-tier fixed-bucket latency histogram.
+    #[must_use]
+    pub fn latency_histogram(&self) -> Histogram {
+        let mut all = Histogram::latency_ms();
+        for &latency in &self.latency_samples {
+            all.observe(latency);
+        }
+        all
     }
 
     /// Fraction of completed requests served by the origin — the
@@ -238,5 +338,34 @@ mod tests {
         assert_eq!(m.latency_percentile(1.0), Some(5.0));
         assert!((m.latency_percentile(0.9).unwrap() - 4.6).abs() < 1e-12);
         assert_eq!(m.latency_percentile(1.5), None);
+    }
+
+    #[test]
+    fn per_router_tier_breakdown_tracks_completions() {
+        let mut m = Metrics::new(2);
+        m.record_completion(0, ServedBy::Local, 0, 1.0);
+        m.record_completion(0, ServedBy::Origin, 4, 80.0);
+        m.record_completion(1, ServedBy::Peer, 2, 6.0);
+        assert_eq!(m.served_per_router[0], TierCounts { local: 1, peer: 0, origin: 1 });
+        assert_eq!(m.served_per_router[1], TierCounts { local: 0, peer: 1, origin: 0 });
+        assert_eq!(m.served_per_router[0].total(), 2);
+        assert_eq!(m.tier_latency(ServedBy::Local).count(), 1);
+        assert_eq!(m.tier_latency(ServedBy::Peer).count(), 1);
+        assert_eq!(m.tier_latency(ServedBy::Origin).count(), 1);
+        let all = m.latency_histogram();
+        assert_eq!(all.count(), m.completed);
+        assert_eq!(all.sum(), m.total_latency_ms);
+        // The bucketed percentile interval contains the exact one.
+        let exact = m.latency_percentile(0.5).unwrap();
+        let (lo, hi) = all.percentile_bounds(0.5).unwrap();
+        assert!(lo <= exact && exact <= hi);
+    }
+
+    #[test]
+    fn tier_index_and_names_are_stable() {
+        for (i, tier) in ServedBy::ALL.iter().enumerate() {
+            assert_eq!(tier.index(), i);
+        }
+        assert_eq!(ServedBy::Origin.name(), "origin");
     }
 }

@@ -7,6 +7,7 @@
 //! every waiting downstream. See the crate docs for the full packet
 //! life cycle.
 
+use ccn_obs::Tracer;
 use ccn_topology::shortest_path::{all_pairs, AllPairs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -90,6 +91,9 @@ pub struct Simulator {
     /// Reusable buffer for draining PIT downstreams in `handle_data`,
     /// so satisfying an entry never allocates on the hot path.
     downstream_scratch: Vec<Downstream>,
+    /// Observability tracer; disabled by default (one branch per
+    /// phase-level span, nothing per event).
+    tracer: Tracer,
 }
 
 impl Simulator {
@@ -111,7 +115,17 @@ impl Simulator {
             downed_links: Vec::new(),
             live_routes: None,
             downstream_scratch: Vec::new(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches an observability tracer. Spans are phase-level
+    /// (`sim.schedule`, `sim.event_loop`) — never per event — so an
+    /// enabled tracer costs two span records per run.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Injects a failure schedule, replayed through the event queue.
@@ -143,6 +157,8 @@ impl Simulator {
     /// Returns [`SimError::UnknownRouter`] if a request references a
     /// router outside the network.
     pub fn run(mut self, requests: &[Request]) -> Result<Metrics, SimError> {
+        let tracer = self.tracer.clone();
+        let schedule_span = tracer.span("sim.schedule");
         let routers = self.net.routers();
         self.failures.validate(routers)?;
         // Failure transitions are queued first so that, at equal
@@ -175,11 +191,14 @@ impl Simulator {
                 );
             }
         }
+        drop(schedule_span);
+        let loop_span = tracer.span("sim.event_loop");
         while let Some(event) = self.queue.pop() {
             self.now = event.time;
             self.metrics.events_processed += 1;
             self.dispatch(event.kind);
         }
+        drop(loop_span);
         Ok(self.metrics)
     }
 
