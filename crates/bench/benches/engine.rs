@@ -1,0 +1,90 @@
+//! Benchmarks of the serving engine's sharded-store adapter.
+//!
+//! The headline comparison is deliberately unflattering: the same
+//! Zipf churn stream replayed against a raw single-threaded
+//! [`LruStore`] and against a one-shard [`ShardedStore`], where every
+//! operation pays a synchronous round trip through the shard's
+//! bounded queue. That round trip is the engine's per-op coordination
+//! cost — the point of the bench is to keep it visible, not to hide
+//! it behind batching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use ccn_engine::{ShardHandle, ShardedStore};
+use ccn_sim::store::{ContentStore, LruStore};
+use ccn_sim::ContentId;
+use ccn_zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CATALOGUE: u64 = 100_000;
+const CAPACITY: usize = 1_000;
+const OPS: usize = 8_192;
+
+fn zipf_stream(ops: usize) -> Vec<u64> {
+    let sampler = ZipfSampler::new(0.8, CATALOGUE).expect("valid");
+    let mut rng = StdRng::seed_from_u64(2026);
+    let mut stream = vec![0u64; ops];
+    sampler.sample_fill(&mut rng, &mut stream);
+    stream
+}
+
+/// Replays the stream directly against a store the caller owns.
+fn churn_direct(store: &mut dyn ContentStore, stream: &[u64]) -> usize {
+    let mut hits = 0usize;
+    for &rank in stream {
+        let id = ContentId(rank);
+        if store.contains(id) {
+            store.on_hit(id);
+            hits += 1;
+        } else {
+            store.on_data(id);
+        }
+    }
+    hits
+}
+
+/// Replays the stream through the shard queues: one synchronous
+/// round trip per operation.
+fn churn_via_queue(handle: &ShardHandle<()>, stream: &[u64]) -> usize {
+    stream.iter().filter(|&&rank| handle.apply(ContentId(rank))).count()
+}
+
+fn queue_hop_benches(c: &mut Criterion) {
+    let stream = zipf_stream(OPS);
+    let noop = Arc::new(|_: &mut dyn ContentStore, (): ()| {});
+
+    let mut group = c.benchmark_group("engine_queue_hop");
+
+    // Baseline: the store alone, no threads, no queues. Steady-state
+    // churn (the store persists across iterations) so both sides
+    // measure warm-cache per-op cost rather than cold fills.
+    let mut raw = LruStore::new(CAPACITY);
+    churn_direct(&mut raw, &stream);
+    group.bench_function("lru_direct", |b| b.iter(|| churn_direct(&mut raw, black_box(&stream))));
+
+    // Same ops, but each one crosses a bounded queue to a dedicated
+    // writer thread and waits for the reply.
+    for shards in [1usize, 2, 4] {
+        let capacity_per_shard = CAPACITY.div_ceil(shards);
+        let mut sharded: ShardedStore<()> = ShardedStore::spawn(
+            shards,
+            64,
+            |_| Box::new(LruStore::new(capacity_per_shard)),
+            Arc::clone(&noop),
+        );
+        let handle = sharded.handle();
+        churn_via_queue(&handle, &stream);
+        group.bench_function(BenchmarkId::new("lru_sharded", shards), |b| {
+            b.iter(|| churn_via_queue(&handle, black_box(&stream)))
+        });
+        sharded.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, queue_hop_benches);
+criterion_main!(benches);

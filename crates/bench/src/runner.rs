@@ -457,7 +457,15 @@ pub fn validation_sweep_trials(seeds: usize, smoke: bool) -> Vec<Trial> {
     trials
 }
 
-fn thread_scaling(trials: &[Trial], threads: usize) -> Result<ThreadScaling, SimError> {
+/// Times the trial sweep at one thread and at `threads` threads and
+/// folds both into a clamp-honest [`ThreadScaling`] block (public so
+/// report generators like `engine_throughput` can re-measure the
+/// scaling numbers that superseded BENCH_2.json's).
+///
+/// # Errors
+///
+/// Propagates simulation failures from the underlying trials.
+pub fn thread_scaling(trials: &[Trial], threads: usize) -> Result<ThreadScaling, SimError> {
     let cores = available_cores();
     let start = Instant::now();
     run_trials(trials, 1)?;

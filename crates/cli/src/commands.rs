@@ -4,9 +4,10 @@ use std::fmt::Write as _;
 
 use ccn_bench::runner::{run_bench, BenchOptions};
 use ccn_coord::{CoordinatorConfig, ResilientCoordinator, RetryPolicy, RoundOutcome};
+use ccn_engine::{serve_bench, ClusterConfig, OpenLoopConfig, ServeBenchConfig, StorePolicy};
 use ccn_model::planner::{capacity_for_target_origin_load, plan, PlannerConfig};
 use ccn_model::{CacheModel, ModelParams};
-use ccn_obs::{Json, PhaseClock, RunManifest};
+use ccn_obs::{Json, PhaseClock, RunManifest, ToJson};
 use ccn_sim::scenario::{steady_state, steady_state_with_failures, SteadyStateConfig};
 use ccn_sim::{FailureScenario, OriginConfig};
 use ccn_topology::{datasets, export, io, metrics, params, Graph};
@@ -45,10 +46,19 @@ COMMANDS
              sweep with thread-scaling; writes a BENCH_*.json report
              --threads 0 (auto) --seeds 5 --smoke false
              --name BENCH --out BENCH.json
+  serve-bench
+             run the concurrent serving engine under open-loop load:
+             sharded cache nodes, coordinated peer routing, bounded
+             admission; writes a JSON report with embedded manifest
+             --nodes 4 --shards 1 --generators 1 --queue 1024
+             --catalogue 10000 --capacity 100 --ell 0.5 --s 0.8
+             --rate 2.0 --duration 1000 --paced false
+             --policy static|lru --seed 42 --smoke false
+             --name SERVE --out SERVE.json
   validate-manifest
              check that a JSON file carries a valid ccn.run-manifest/v1
-             (standalone, or embedded under \"manifest\" in a bench
-             report); exits non-zero on schema violations
+             (standalone, or embedded under \"manifest\" in a bench or
+             serve-bench report); exits non-zero on schema violations
              --file BENCH.json
   help       this text
 ";
@@ -363,11 +373,7 @@ fn resilience_cmd(args: &Args) -> Result<String, ArgError> {
 
 fn bench_cmd(args: &Args) -> Result<String, ArgError> {
     args.ensure_known(&["threads", "seeds", "smoke", "name", "out"])?;
-    let smoke = match args.str_or("smoke", "false").as_str() {
-        "true" | "1" | "yes" => true,
-        "false" | "0" | "no" => false,
-        other => return Err(ArgError(format!("--smoke {other:?}: expected true or false"))),
-    };
+    let smoke = parse_bool(args, "smoke", "false")?;
     let opts = BenchOptions {
         threads: usize::try_from(args.u64_or("threads", 0)?)
             .map_err(|e| ArgError(format!("--threads: {e}")))?,
@@ -393,6 +399,109 @@ fn bench_cmd(args: &Args) -> Result<String, ArgError> {
         report.abilene.speedup,
         report.scaling.efficiency * 100.0,
         report.scaling.threads
+    );
+    let _ = writeln!(out, "report written to {out_path}");
+    Ok(out)
+}
+
+fn parse_bool(args: &Args, flag: &str, default: &str) -> Result<bool, ArgError> {
+    match args.str_or(flag, default).as_str() {
+        "true" | "1" | "yes" => Ok(true),
+        "false" | "0" | "no" => Ok(false),
+        other => Err(ArgError(format!("--{flag} {other:?}: expected true or false"))),
+    }
+}
+
+fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&[
+        "nodes",
+        "shards",
+        "generators",
+        "queue",
+        "catalogue",
+        "capacity",
+        "ell",
+        "s",
+        "rate",
+        "duration",
+        "paced",
+        "policy",
+        "seed",
+        "smoke",
+        "name",
+        "out",
+    ])?;
+    let policy = match args.str_or("policy", "static").as_str() {
+        "static" | "provisioned" => StorePolicy::Provisioned,
+        "lru" | "dynamic" => StorePolicy::Lru,
+        other => return Err(ArgError(format!("--policy {other:?}: expected static or lru"))),
+    };
+    let usize_flag = |flag: &str, default: u64| -> Result<usize, ArgError> {
+        usize::try_from(args.u64_or(flag, default)?).map_err(|e| ArgError(format!("--{flag}: {e}")))
+    };
+    let config = ServeBenchConfig {
+        cluster: ClusterConfig {
+            nodes: usize_flag("nodes", 4)?,
+            shards_per_node: usize_flag("shards", 1)?,
+            queue_capacity: usize_flag("queue", 1_024)?,
+            catalogue: args.u64_or("catalogue", 10_000)?,
+            capacity: args.u64_or("capacity", 100)?,
+            ell: args.f64_or("ell", 0.5)?,
+            policy,
+        },
+        load: OpenLoopConfig {
+            generators: usize_flag("generators", 1)?,
+            zipf_s: args.f64_or("s", 0.8)?,
+            rate_per_node_per_ms: args.f64_or("rate", 2.0)?,
+            horizon_ms: args.f64_or("duration", 1_000.0)?,
+            paced: parse_bool(args, "paced", "false")?,
+            seed: args.u64_or("seed", 42)?,
+        },
+    };
+    let smoke = parse_bool(args, "smoke", "false")?;
+    let name = args.str_or("name", "SERVE");
+    let mut clock = PhaseClock::new();
+    let outcome = serve_bench(&config).map_err(|e| ArgError(e.to_string()))?;
+    clock.lap_events("serve", outcome.offered);
+    let manifest =
+        RunManifest::capture("ccn", &name, config.load.seed, outcome.worker_threads, smoke)
+            .with_phases(clock.finish());
+    // Header to stderr, like `simulate`: stdout carries the summary.
+    eprintln!("{}", manifest.to_header_line());
+    let report = Json::object()
+        .field("bench", name.as_str())
+        .field("manifest", manifest.to_json())
+        .field("serve", outcome.to_json());
+    let out_path = args.str_or("out", "SERVE.json");
+    std::fs::write(&out_path, report.to_string_pretty())
+        .map_err(|e| ArgError(format!("--out {out_path:?}: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve-bench {name}: {} nodes x {} shard(s), {} generator(s), {} offered",
+        config.cluster.nodes, config.cluster.shards_per_node, outcome.generators, outcome.offered,
+    );
+    let _ = writeln!(
+        out,
+        "  completed {} ({:.0} req/s over {} ms), shed {}, degraded-to-origin {}",
+        outcome.completed,
+        outcome.requests_per_sec,
+        outcome.wall_ms,
+        outcome.shed,
+        outcome.degraded_to_origin
+    );
+    let _ = writeln!(
+        out,
+        "  tiers: local {:.1}%, peer {:.1}%, origin {:.1}%  (max queue depth {})",
+        outcome.fraction(ccn_sim::ServedBy::Local) * 100.0,
+        outcome.fraction(ccn_sim::ServedBy::Peer) * 100.0,
+        outcome.fraction(ccn_sim::ServedBy::Origin) * 100.0,
+        outcome.max_queue_depth
+    );
+    let _ = writeln!(
+        out,
+        "  accounting: completed + shed == offered ({} + {} == {})",
+        outcome.completed, outcome.shed, outcome.offered
     );
     let _ = writeln!(out, "report written to {out_path}");
     Ok(out)
@@ -439,6 +548,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "capacity" => capacity_cmd(args),
         "resilience" => resilience_cmd(args),
         "bench" => bench_cmd(args),
+        "serve-bench" => serve_bench_cmd(args),
         "validate-manifest" => validate_manifest(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
@@ -465,6 +575,7 @@ mod tests {
             "capacity",
             "resilience",
             "bench",
+            "serve-bench",
             "validate-manifest",
         ] {
             assert!(text.contains(cmd), "usage is missing {cmd}");
@@ -611,6 +722,43 @@ mod tests {
         let verdict = run_tokens(&["validate-manifest", "--file", path.to_str().unwrap()]).unwrap();
         assert!(verdict.contains("valid ccn.run-manifest/v1"), "{verdict}");
         assert!(verdict.contains("embedded manifest"), "{verdict}");
+    }
+
+    #[test]
+    fn serve_bench_writes_validatable_report_and_accounts_every_request() {
+        let dir = std::env::temp_dir().join("ccn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve_smoke.json");
+        let text = run_tokens(&[
+            "serve-bench",
+            "--nodes",
+            "2",
+            "--catalogue",
+            "1000",
+            "--capacity",
+            "20",
+            "--rate",
+            "0.5",
+            "--duration",
+            "100",
+            "--smoke",
+            "true",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("report written"), "{text}");
+        assert!(text.contains("completed + shed == offered"), "{text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"serve\""), "{json}");
+        assert!(json.contains("\"worker_threads\": 2"), "{json}");
+        let verdict = run_tokens(&["validate-manifest", "--file", path.to_str().unwrap()]).unwrap();
+        assert!(verdict.contains("embedded manifest"), "{verdict}");
+
+        let err = run_tokens(&["serve-bench", "--policy", "mru"]).unwrap_err();
+        assert!(err.to_string().contains("--policy"), "{err}");
+        let err = run_tokens(&["serve-bench", "--ell", "2.0"]).unwrap_err();
+        assert!(err.to_string().contains("ell"), "{err}");
     }
 
     #[test]

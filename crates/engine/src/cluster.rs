@@ -1,0 +1,545 @@
+//! The in-process serving cluster: sharded nodes, tier escalation,
+//! admission control, and per-tier accounting.
+//!
+//! A [`Cluster`] instantiates the paper's provisioning as a *live*
+//! system: each node's content store is split across single-writer
+//! shards (see [`crate::shard`]), and a request escalates exactly
+//! along the model's latency tiers —
+//!
+//! - **d0 / local**: hit in the requesting node's own store;
+//! - **d1 / peer**: miss forwarded to the coordinated holder chosen by
+//!   the [`RoutingTable`], hit there;
+//! - **d2 / origin**: everything else — uncoordinated misses, holder
+//!   misses, and requests *degraded* to origin because a peer queue
+//!   was full.
+//!
+//! Admission is bounded: [`Cluster::try_submit`] fails (the request is
+//! *shed*) when the target shard queue is full, so overload produces
+//! backpressure instead of queue collapse, and every offered request
+//! is accounted: `completed + shed == offered`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use ccn_coord::contiguous_slices;
+use ccn_obs::Histogram;
+use ccn_sim::store::{ContentStore, LruStore, StaticStore};
+use ccn_sim::{ContentId, ServedBy, TierCounts};
+
+use crate::error::EngineError;
+use crate::routing::RoutingTable;
+use crate::shard::{shard_of, ShardHandle, ShardedStore};
+
+/// Upper bucket edges for the engine's latency histograms: the
+/// in-process tiers complete in microseconds, so the grid extends
+/// [`ccn_obs::metrics::LATENCY_MS_BOUNDS`] downward with sub-0.25 ms
+/// resolution while keeping the same multi-second overflow tail.
+pub const ENGINE_LATENCY_MS_BOUNDS: [f64; 20] = [
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+    512.0, 1000.0, 2000.0, 4000.0,
+];
+
+/// How each node's store is populated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorePolicy {
+    /// The model's static hybrid layout: popularity prefix `1..=c−x`
+    /// plus this node's coordinated slice, pinned up front
+    /// ([`StaticStore::hybrid`] split across shards).
+    Provisioned,
+    /// Dynamic LRU stores, empty at start. Uncoordinated content is
+    /// cached at the requesting edge; coordinated content is cached
+    /// only at its holder, so the coordinated range is *attracted*
+    /// into place by traffic instead of pinned.
+    Lru,
+}
+
+/// Static configuration of a serving cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of cache nodes.
+    pub nodes: usize,
+    /// Single-writer shards (worker threads) per node.
+    pub shards_per_node: usize,
+    /// Bounded queue capacity per shard — the admission limit.
+    pub queue_capacity: usize,
+    /// Catalogue size `c_total` (content ranks are `1..=catalogue`).
+    pub catalogue: u64,
+    /// Per-node store capacity `c`.
+    pub capacity: u64,
+    /// Coordination level `ℓ = x/c` (0 = non-coordinated).
+    pub ell: f64,
+    /// Store population policy.
+    pub policy: StorePolicy,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 4,
+            shards_per_node: 1,
+            queue_capacity: 1_024,
+            catalogue: 10_000,
+            capacity: 100,
+            ell: 0.5,
+            policy: StorePolicy::Provisioned,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Coordinated slots per node, `x = round(ℓ·c)` — the same
+    /// rounding [`ccn_sim::scenario::steady_state`] applies, so engine
+    /// and simulator provision identical layouts.
+    #[must_use]
+    pub fn x(&self) -> u64 {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            (self.ell * self.capacity as f64).round() as u64
+        }
+    }
+
+    /// Local popularity prefix `c − x`.
+    #[must_use]
+    pub fn local_prefix(&self) -> u64 {
+        self.capacity - self.x()
+    }
+
+    /// The coordinated rank range `[c−x+1, c−x+1+n·x)`.
+    #[must_use]
+    pub fn coordinated_range(&self) -> Range<u64> {
+        let start = self.local_prefix() + 1;
+        start..start + self.x() * self.nodes as u64
+    }
+
+    fn validate(&self) -> Result<(), EngineError> {
+        let reject = |reason: String| Err(EngineError::InvalidConfig { reason });
+        if self.nodes == 0 {
+            return reject("nodes must be >= 1".into());
+        }
+        if self.shards_per_node == 0 {
+            return reject("shards_per_node must be >= 1".into());
+        }
+        if self.queue_capacity == 0 {
+            return reject("queue_capacity must be >= 1".into());
+        }
+        if self.capacity == 0 || self.capacity > self.catalogue {
+            return reject(format!("capacity {} must be in 1..={}", self.capacity, self.catalogue));
+        }
+        if !(0.0..=1.0).contains(&self.ell) {
+            return reject(format!("ell {} must be in [0, 1]", self.ell));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Stage {
+    /// First lookup, at the requesting node.
+    Local,
+    /// Forwarded lookup, at the coordinated holder.
+    Peer,
+}
+
+/// One in-flight request.
+pub(crate) struct Job {
+    content: ContentId,
+    client: u32,
+    issued: Instant,
+    stage: Stage,
+}
+
+struct NodeRecorder {
+    tiers: [AtomicU64; 3],
+    degraded: AtomicU64,
+    latency: [Mutex<Histogram>; 3],
+}
+
+impl NodeRecorder {
+    fn new() -> Self {
+        let hist = || Mutex::new(Histogram::with_bounds(&ENGINE_LATENCY_MS_BOUNDS));
+        Self {
+            tiers: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            degraded: AtomicU64::new(0),
+            latency: [hist(), hist(), hist()],
+        }
+    }
+}
+
+struct Shared {
+    routing: RoutingTable,
+    policy: StorePolicy,
+    /// Set once after every node's shards are spawned; jobs only flow
+    /// after that, so `get()` never observes the unset state.
+    peers: OnceLock<Vec<ShardHandle<Job>>>,
+    recorders: Vec<NodeRecorder>,
+    in_flight: AtomicU64,
+}
+
+impl Shared {
+    fn complete(&self, job: &Job, tier: ServedBy) {
+        let elapsed_ms = job.issued.elapsed().as_secs_f64() * 1e3;
+        let recorder = &self.recorders[job.client as usize];
+        recorder.tiers[tier.index()].fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut hist) = recorder.latency[tier.index()].lock() {
+            hist.observe(elapsed_ms);
+        }
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The shard worker's request handler: serve locally, forward to the
+/// coordinated holder, or fall through to origin.
+fn process(shared: &Shared, store: &mut dyn ContentStore, job: Job) {
+    let content = job.content;
+    match job.stage {
+        Stage::Local => {
+            if store.contains(content) {
+                store.on_hit(content);
+                shared.complete(&job, ServedBy::Local);
+                return;
+            }
+            let client = job.client as usize;
+            match shared.routing.holder(content) {
+                Some(holder) if holder != client => {
+                    let peers = shared.peers.get().expect("cluster wired before traffic");
+                    let forwarded = Job { stage: Stage::Peer, ..job };
+                    if let Err(bounced) = peers[holder].try_job(content, forwarded) {
+                        // Peer queue full: degrade to origin rather
+                        // than block the shard or drop the request.
+                        shared.recorders[client].degraded.fetch_add(1, Ordering::Relaxed);
+                        shared.complete(&bounced, ServedBy::Origin);
+                    }
+                }
+                _ => {
+                    // Uncoordinated content (or this node *is* the
+                    // holder and still missed): origin serves it; a
+                    // dynamic store caches it at the edge.
+                    if shared.policy == StorePolicy::Lru {
+                        store.on_data(content);
+                    }
+                    shared.complete(&job, ServedBy::Origin);
+                }
+            }
+        }
+        Stage::Peer => {
+            if store.contains(content) {
+                store.on_hit(content);
+                shared.complete(&job, ServedBy::Peer);
+            } else {
+                // Holder miss → origin; a dynamic holder attracts its
+                // slice by caching what it was asked for.
+                if shared.policy == StorePolicy::Lru {
+                    store.on_data(content);
+                }
+                shared.complete(&job, ServedBy::Origin);
+            }
+        }
+    }
+}
+
+/// Builds node `node`'s store for shard `shard`.
+fn make_store(config: &ClusterConfig, node: usize, shard: usize) -> Box<dyn ContentStore> {
+    let shards = config.shards_per_node;
+    match config.policy {
+        StorePolicy::Provisioned => {
+            let x = config.x();
+            let prefix = config.local_prefix();
+            let slice_start = prefix + 1 + node as u64 * x;
+            let pinned = (1..=prefix)
+                .chain(slice_start..slice_start + x)
+                .map(ContentId)
+                .filter(|&c| shard_of(c, shards) == shard);
+            Box::new(StaticStore::new(pinned))
+        }
+        StorePolicy::Lru => {
+            let base = config.capacity / shards as u64;
+            let extra = u64::from((shard as u64) < config.capacity % shards as u64);
+            #[allow(clippy::cast_possible_truncation)]
+            let capacity = ((base + extra).max(1)) as usize;
+            Box::new(LruStore::new(capacity))
+        }
+    }
+}
+
+/// Aggregated results of a cluster run, produced by
+/// [`Cluster::finish`].
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Per-node completions split by serving tier.
+    pub per_node: Vec<TierCounts>,
+    /// Cluster-wide service latency per tier, indexed by
+    /// [`ServedBy::index`].
+    pub tier_latency: Vec<Histogram>,
+    /// Requests completed as origin because a peer queue was full.
+    pub degraded_to_origin: u64,
+    /// High-water mark of any single shard queue.
+    pub max_queue_depth: usize,
+}
+
+impl EngineMetrics {
+    /// Cluster-wide completions per tier.
+    #[must_use]
+    pub fn totals(&self) -> TierCounts {
+        let mut t = TierCounts::default();
+        for n in &self.per_node {
+            t.local += n.local;
+            t.peer += n.peer;
+            t.origin += n.origin;
+        }
+        t
+    }
+
+    /// Total completed requests.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.totals().total()
+    }
+
+    /// Fraction of completions served by `tier` (NaN-free: 0 when
+    /// nothing completed).
+    #[must_use]
+    pub fn fraction(&self, tier: ServedBy) -> f64 {
+        let totals = self.totals();
+        let total = totals.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let count = match tier {
+            ServedBy::Local => totals.local,
+            ServedBy::Peer => totals.peer,
+            ServedBy::Origin => totals.origin,
+        };
+        #[allow(clippy::cast_precision_loss)]
+        {
+            count as f64 / total as f64
+        }
+    }
+}
+
+/// A running in-process serving cluster.
+pub struct Cluster {
+    shared: Arc<Shared>,
+    stores: Vec<ShardedStore<Job>>,
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Provisions and starts a cluster: builds the routing table from
+    /// the coordination plane's slice assignments, populates every
+    /// shard's store, and spawns `nodes × shards_per_node` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] for out-of-range
+    /// parameters.
+    pub fn new(config: ClusterConfig) -> Result<Self, EngineError> {
+        config.validate()?;
+        let x = config.x();
+        let routing = if x == 0 {
+            RoutingTable::empty(config.nodes)
+        } else {
+            let prefix = config.local_prefix();
+            RoutingTable::from_assignments(
+                &contiguous_slices(prefix, prefix + 1, x, config.nodes),
+                config.nodes,
+            )?
+        };
+        let shared = Arc::new(Shared {
+            routing,
+            policy: config.policy,
+            peers: OnceLock::new(),
+            recorders: (0..config.nodes).map(|_| NodeRecorder::new()).collect(),
+            in_flight: AtomicU64::new(0),
+        });
+        let stores: Vec<ShardedStore<Job>> = (0..config.nodes)
+            .map(|node| {
+                let worker_shared = Arc::clone(&shared);
+                let handler = Arc::new(move |store: &mut dyn ContentStore, job: Job| {
+                    process(&worker_shared, store, job);
+                });
+                ShardedStore::spawn(
+                    config.shards_per_node,
+                    config.queue_capacity,
+                    |shard| make_store(&config, node, shard),
+                    handler,
+                )
+            })
+            .collect();
+        let handles = stores.iter().map(ShardedStore::handle).collect();
+        assert!(shared.peers.set(handles).is_ok(), "peers wired exactly once");
+        Ok(Self { shared, stores, config })
+    }
+
+    /// The configuration this cluster was built from.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Admits a request from `node`'s clients for `content`.
+    ///
+    /// Returns `false` — the request is **shed** — when the target
+    /// shard's bounded queue is full. Accepted requests always
+    /// complete and are counted by exactly one tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn try_submit(&self, node: usize, content: ContentId) -> bool {
+        let peers = self.shared.peers.get().expect("cluster wired");
+        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        #[allow(clippy::cast_possible_truncation)]
+        let job = Job { content, client: node as u32, issued: Instant::now(), stage: Stage::Local };
+        match peers[node].try_job(content, job) {
+            Ok(()) => true,
+            Err(_) => {
+                self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                false
+            }
+        }
+    }
+
+    /// Blocks until every admitted request has completed.
+    pub fn drain(&self) {
+        while self.shared.in_flight.load(Ordering::Acquire) > 0 {
+            for _ in 0..64 {
+                std::hint::spin_loop();
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Eviction-order contents of one node's store (all shards,
+    /// sorted by rank) — a test/inspection hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn node_contents(&self, node: usize) -> Vec<ContentId> {
+        self.stores[node].handle().contents()
+    }
+
+    /// Drains outstanding work, stops every shard worker, and returns
+    /// the aggregated metrics.
+    #[must_use]
+    pub fn finish(mut self) -> EngineMetrics {
+        self.drain();
+        let max_queue_depth =
+            self.stores.iter().map(|s| s.handle().max_queue_depth()).max().unwrap_or(0);
+        for store in &mut self.stores {
+            store.shutdown();
+        }
+        let mut per_node = Vec::with_capacity(self.config.nodes);
+        let mut tier_latency: Vec<Histogram> =
+            (0..3).map(|_| Histogram::with_bounds(&ENGINE_LATENCY_MS_BOUNDS)).collect();
+        let mut degraded = 0;
+        for recorder in &self.shared.recorders {
+            per_node.push(TierCounts {
+                local: recorder.tiers[0].load(Ordering::Acquire),
+                peer: recorder.tiers[1].load(Ordering::Acquire),
+                origin: recorder.tiers[2].load(Ordering::Acquire),
+            });
+            degraded += recorder.degraded.load(Ordering::Acquire);
+            for tier in ServedBy::ALL {
+                let hist = recorder.latency[tier.index()].lock().expect("no poisoned recorder");
+                tier_latency[tier.index()].merge(&hist);
+            }
+        }
+        EngineMetrics { per_node, tier_latency, degraded_to_origin: degraded, max_queue_depth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive_to_completion(cluster: &Cluster, node: usize, content: ContentId) {
+        while !cluster.try_submit(node, content) {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn provisioned_cluster_serves_all_three_tiers() {
+        let config = ClusterConfig {
+            nodes: 3,
+            catalogue: 1_000,
+            capacity: 10,
+            ell: 0.5,
+            ..ClusterConfig::default()
+        };
+        // x = 5, prefix = 5, coordinated range = [6, 21).
+        assert_eq!(config.coordinated_range(), 6..21);
+        let cluster = Cluster::new(config).unwrap();
+        drive_to_completion(&cluster, 0, ContentId(1)); // prefix → local
+        drive_to_completion(&cluster, 0, ContentId(6)); // own slice → local
+        drive_to_completion(&cluster, 0, ContentId(12)); // node 1's slice → peer
+        drive_to_completion(&cluster, 0, ContentId(500)); // unprovisioned → origin
+        let metrics = cluster.finish();
+        let totals = metrics.totals();
+        assert_eq!(
+            (totals.local, totals.peer, totals.origin),
+            (2, 1, 1),
+            "tier misattribution: {totals:?}"
+        );
+        assert_eq!(metrics.completed(), 4);
+        assert_eq!(metrics.degraded_to_origin, 0);
+        assert_eq!(metrics.tier_latency[0].count(), 2);
+    }
+
+    #[test]
+    fn provisioned_stores_pin_the_hybrid_layout() {
+        let config = ClusterConfig {
+            nodes: 2,
+            shards_per_node: 3,
+            catalogue: 100,
+            capacity: 8,
+            ell: 0.25,
+            ..ClusterConfig::default()
+        };
+        // x = 2, prefix = 6: node 0 pins {1..=6, 7, 8}, node 1 pins
+        // {1..=6, 9, 10}.
+        let cluster = Cluster::new(config).unwrap();
+        let expect0: Vec<ContentId> = (1..=8).map(ContentId).collect();
+        let expect1: Vec<ContentId> = (1..=6).chain(9..=10).map(ContentId).collect();
+        assert_eq!(cluster.node_contents(0), expect0);
+        assert_eq!(cluster.node_contents(1), expect1);
+        let _ = cluster.finish();
+    }
+
+    #[test]
+    fn lru_edge_caching_turns_repeat_origin_hits_local() {
+        let config = ClusterConfig {
+            nodes: 1,
+            catalogue: 1_000,
+            capacity: 4,
+            ell: 0.0,
+            policy: StorePolicy::Lru,
+            ..ClusterConfig::default()
+        };
+        let cluster = Cluster::new(config).unwrap();
+        drive_to_completion(&cluster, 0, ContentId(7)); // cold → origin, cached
+        cluster.drain();
+        drive_to_completion(&cluster, 0, ContentId(7)); // warm → local
+        let metrics = cluster.finish();
+        let totals = metrics.totals();
+        assert_eq!((totals.local, totals.origin), (1, 1));
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        for bad in [
+            ClusterConfig { nodes: 0, ..ClusterConfig::default() },
+            ClusterConfig { shards_per_node: 0, ..ClusterConfig::default() },
+            ClusterConfig { queue_capacity: 0, ..ClusterConfig::default() },
+            ClusterConfig { capacity: 0, ..ClusterConfig::default() },
+            ClusterConfig { ell: 1.5, ..ClusterConfig::default() },
+            ClusterConfig { capacity: 200, catalogue: 100, ..ClusterConfig::default() },
+        ] {
+            assert!(Cluster::new(bad).is_err());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Engine error type.
+
+use std::error::Error;
+use std::fmt;
+
+use ccn_sim::SimError;
+
+/// Errors produced when configuring or running the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// An engine parameter was out of range or inconsistent.
+    InvalidConfig {
+        /// Explanation of the rejected configuration.
+        reason: String,
+    },
+    /// The generated workload was invalid (bad Zipf exponent, rate…).
+    Workload(SimError),
+    /// The accounting invariant `completed + shed == offered` was
+    /// violated — requests were lost inside the engine.
+    Accounting {
+        /// Requests issued by the load generators.
+        offered: u64,
+        /// Requests completed by some tier.
+        completed: u64,
+        /// Requests rejected at admission.
+        shed: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidConfig { reason } => {
+                write!(f, "invalid engine configuration: {reason}")
+            }
+            EngineError::Workload(e) => write!(f, "workload error: {e}"),
+            EngineError::Accounting { offered, completed, shed } => write!(
+                f,
+                "request accounting violated: offered {offered} != completed {completed} + shed {shed}"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let e = EngineError::InvalidConfig { reason: "nodes must be >= 1".into() };
+        assert!(e.to_string().contains("nodes must be >= 1"));
+        let e: EngineError = SimError::InvalidConfig { reason: "bad rate".into() }.into();
+        assert!(e.to_string().contains("bad rate"));
+        let e = EngineError::Accounting { offered: 10, completed: 8, shed: 1 };
+        assert!(e.to_string().contains("offered 10"));
+    }
+}

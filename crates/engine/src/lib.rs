@@ -1,0 +1,62 @@
+//! Concurrent live-serving cache engine for the CCN coordinated
+//! in-network caching suite.
+//!
+//! The analytical model (ccn-model) and the discrete-event simulator
+//! (ccn-sim) evaluate the paper's provisioning offline. This crate
+//! runs it *live*: an in-process cluster of multi-threaded cache nodes
+//! serving real concurrent requests under open-loop load, so
+//! throughput, queueing, and overload behavior are measured rather
+//! than modeled.
+//!
+//! Architecture:
+//!
+//! - [`shard`] — each node's content store is partitioned across
+//!   single-writer worker shards behind bounded MPSC queues
+//!   ([`ShardedStore`]); the simulator's O(1) LRU/LFU/static stores
+//!   are reused unchanged because only one thread ever mutates each.
+//! - [`routing`] — a [`RoutingTable`] derived from the coordination
+//!   plane's slice assignments answers "which live node holds this
+//!   coordinated content?", with rendezvous-hash failover that moves
+//!   only a failed node's share.
+//! - [`cluster`] — [`Cluster`] wires nodes together: requests escalate
+//!   local → peer → origin, mirroring the model's `d0`/`d1`/`d2`
+//!   latency tiers, with bounded admission (shed) and degrade-to-origin
+//!   on internal backpressure.
+//! - [`load`] — open-loop Poisson/Zipf generators
+//!   ([`load::drive`]) reusing `ccn_sim::workload`, so the engine and
+//!   the simulator can be fed bit-identical request streams.
+//! - [`report`] — [`serve_bench`] runs the whole pipeline and emits a
+//!   `ccn-obs`-wired, JSON-serializable outcome with per-tier latency
+//!   histograms and the accounting invariant
+//!   `completed + shed == offered` enforced.
+//!
+//! # Example
+//!
+//! ```
+//! use ccn_engine::{serve_bench, ServeBenchConfig};
+//!
+//! let mut config = ServeBenchConfig::default();
+//! config.cluster.nodes = 2;
+//! config.cluster.catalogue = 1_000;
+//! config.cluster.capacity = 20;
+//! config.load.horizon_ms = 50.0;
+//! let outcome = serve_bench(&config).unwrap();
+//! assert_eq!(outcome.offered, outcome.completed + outcome.shed);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cluster;
+pub mod error;
+pub mod load;
+pub mod report;
+pub mod routing;
+pub mod shard;
+
+pub use cluster::{Cluster, ClusterConfig, EngineMetrics, StorePolicy, ENGINE_LATENCY_MS_BOUNDS};
+pub use error::EngineError;
+pub use load::{LoadReport, OpenLoopConfig};
+pub use report::{serve_bench, ServeBenchConfig, ServeBenchOutcome};
+pub use routing::RoutingTable;
+pub use shard::{shard_of, ShardHandle, ShardedStore};

@@ -1,0 +1,231 @@
+//! Open-loop Poisson/Zipf load generation against a [`Cluster`].
+//!
+//! Generators reuse the simulator's workload machinery
+//! ([`ccn_sim::workload::zipf_irm`]): per-node Poisson arrivals with
+//! Zipf-distributed content popularity, pre-drawn from a fixed seed so
+//! the offered load is reproducible. The loop is *open*: a generator
+//! issues each request at its scheduled arrival time (or flat-out in
+//! unpaced mode) regardless of whether earlier requests completed.
+//! When admission pushes back the request is counted as **shed**, not
+//! retried — exactly the overload behavior a closed loop would mask.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ccn_sim::workload;
+
+use crate::cluster::Cluster;
+use crate::error::EngineError;
+
+/// Configuration of one open-loop driving session.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Generator (client) threads; clamped to the node count.
+    pub generators: usize,
+    /// Zipf popularity exponent `s` of the offered traffic.
+    pub zipf_s: f64,
+    /// Poisson arrival rate per node, in requests per millisecond of
+    /// workload time.
+    pub rate_per_node_per_ms: f64,
+    /// Workload horizon in milliseconds (with `paced`, also the
+    /// approximate wall-clock duration).
+    pub horizon_ms: f64,
+    /// `true` issues each request at its Poisson arrival time;
+    /// `false` replays the same request stream as fast as possible
+    /// (saturation / throughput mode).
+    pub paced: bool,
+    /// Workload seed. With a single generator the request stream is
+    /// identical to the simulator's for the same seed and parameters.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            generators: 1,
+            zipf_s: 0.8,
+            rate_per_node_per_ms: 0.05,
+            horizon_ms: 1_000.0,
+            paced: false,
+            seed: 42,
+        }
+    }
+}
+
+/// What the generators offered and what admission did with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Requests issued by all generators.
+    pub offered: u64,
+    /// Requests rejected at admission (bounded queue full).
+    pub shed: u64,
+    /// Generator threads actually used.
+    pub generators: usize,
+    /// Wall-clock duration from first issue until the cluster drained,
+    /// in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Sleeps (coarsely) then spins (precisely) until `at_ms` of workload
+/// time has elapsed since `start`.
+fn pace_until(start: Instant, at_ms: f64) {
+    let target = Duration::from_secs_f64(at_ms / 1e3);
+    loop {
+        let now = start.elapsed();
+        if now >= target {
+            return;
+        }
+        let left = target - now;
+        if left > Duration::from_millis(2) {
+            std::thread::sleep(left - Duration::from_millis(1));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Drives `cluster` with open-loop load and blocks until every
+/// admitted request has completed.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidConfig`] for a zero generator count
+/// and [`EngineError::Workload`] when the workload parameters are
+/// rejected.
+pub fn drive(cluster: &Cluster, config: &OpenLoopConfig) -> Result<LoadReport, EngineError> {
+    if config.generators == 0 {
+        return Err(EngineError::InvalidConfig { reason: "generators must be >= 1".into() });
+    }
+    let nodes = cluster.config().nodes;
+    let catalogue = cluster.config().catalogue;
+    let generators = config.generators.min(nodes);
+    // Round-robin node ownership: generator g drives nodes g, g+G, …
+    // so every node has exactly one producer.
+    let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); generators];
+    for node in 0..nodes {
+        partitions[node % generators].push(node);
+    }
+    // Pre-draw every stream before starting the clock: sampling is
+    // not part of the measured serving path.
+    let streams = partitions
+        .iter()
+        .enumerate()
+        .map(|(g, owned)| {
+            workload::zipf_irm(
+                owned,
+                config.zipf_s,
+                catalogue,
+                config.rate_per_node_per_ms,
+                config.horizon_ms,
+                config.seed + g as u64,
+            )
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let offered = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in &streams {
+            let offered = &offered;
+            let shed = &shed;
+            scope.spawn(move || {
+                let mut issued = 0u64;
+                let mut rejected = 0u64;
+                for request in stream {
+                    if config.paced {
+                        pace_until(start, request.time);
+                    }
+                    issued += 1;
+                    if !cluster.try_submit(request.router, request.content) {
+                        rejected += 1;
+                    }
+                }
+                offered.fetch_add(issued, Ordering::AcqRel);
+                shed.fetch_add(rejected, Ordering::AcqRel);
+            });
+        }
+    });
+    cluster.drain();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let wall_ms = (start.elapsed().as_secs_f64() * 1e3).ceil() as u64;
+    Ok(LoadReport {
+        offered: offered.into_inner(),
+        shed: shed.into_inner(),
+        generators,
+        wall_ms: wall_ms.max(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, StorePolicy};
+    use ccn_sim::TierCounts;
+
+    fn small_cluster(shards: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes: 3,
+            shards_per_node: shards,
+            // Large enough that these short workloads never shed: the
+            // determinism assertions compare complete tier counts.
+            queue_capacity: 8_192,
+            catalogue: 2_000,
+            capacity: 50,
+            ell: 0.5,
+            policy: StorePolicy::Provisioned,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn run(shards: usize, seed: u64) -> (LoadReport, TierCounts) {
+        let cluster = Cluster::new(small_cluster(shards)).unwrap();
+        let load = OpenLoopConfig {
+            rate_per_node_per_ms: 2.0,
+            horizon_ms: 400.0,
+            seed,
+            ..OpenLoopConfig::default()
+        };
+        let report = drive(&cluster, &load).unwrap();
+        let metrics = cluster.finish();
+        (report, metrics.totals())
+    }
+
+    #[test]
+    fn every_offered_request_is_accounted() {
+        let (report, totals) = run(2, 11);
+        assert!(report.offered > 1_000, "workload too small: {report:?}");
+        assert_eq!(report.offered, totals.total() + report.shed);
+    }
+
+    #[test]
+    fn single_shard_runs_are_deterministic() {
+        let (report_a, totals_a) = run(1, 7);
+        let (report_b, totals_b) = run(1, 7);
+        assert_eq!(report_a.offered, report_b.offered);
+        assert_eq!(totals_a, totals_b);
+        // All three tiers are exercised by the coordinated layout.
+        assert!(totals_a.local > 0 && totals_a.peer > 0 && totals_a.origin > 0);
+    }
+
+    #[test]
+    fn paced_mode_respects_the_horizon() {
+        let cluster = Cluster::new(small_cluster(1)).unwrap();
+        let load = OpenLoopConfig {
+            rate_per_node_per_ms: 0.5,
+            horizon_ms: 120.0,
+            paced: true,
+            ..OpenLoopConfig::default()
+        };
+        let report = drive(&cluster, &load).unwrap();
+        assert!(report.wall_ms >= 60, "paced run finished implausibly fast: {} ms", report.wall_ms);
+        let _ = cluster.finish();
+    }
+
+    #[test]
+    fn rejects_zero_generators() {
+        let cluster = Cluster::new(small_cluster(1)).unwrap();
+        let load = OpenLoopConfig { generators: 0, ..OpenLoopConfig::default() };
+        assert!(drive(&cluster, &load).is_err());
+        let _ = cluster.finish();
+    }
+}

@@ -1,0 +1,225 @@
+//! One-shot serve-bench orchestration: provision a cluster, drive it
+//! with open-loop load, and fold the results into a serializable,
+//! observability-wired outcome.
+
+use ccn_obs::{Json, Registry, ToJson};
+use ccn_sim::{ServedBy, TierCounts};
+
+use ccn_obs::Histogram;
+
+use crate::cluster::{Cluster, ClusterConfig, StorePolicy};
+use crate::error::EngineError;
+use crate::load::{drive, OpenLoopConfig};
+
+/// Everything one serve-bench run needs.
+#[derive(Debug, Clone, Default)]
+pub struct ServeBenchConfig {
+    /// Cluster provisioning.
+    pub cluster: ClusterConfig,
+    /// Offered load.
+    pub load: OpenLoopConfig,
+}
+
+/// Results of one serve-bench run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchOutcome {
+    /// Cluster configuration echo (provisioning mode, ℓ, shards…).
+    pub cluster: ClusterConfig,
+    /// Load configuration echo (α, rate, pacing…).
+    pub load: OpenLoopConfig,
+    /// Shard worker threads serving requests (`nodes × shards`).
+    pub worker_threads: usize,
+    /// Generator threads used.
+    pub generators: usize,
+    /// Requests issued by the generators.
+    pub offered: u64,
+    /// Requests rejected at admission.
+    pub shed: u64,
+    /// Requests completed by some tier (`offered − shed`).
+    pub completed: u64,
+    /// Completions that fell to origin because a peer queue was full.
+    pub degraded_to_origin: u64,
+    /// Cluster-wide completions per tier.
+    pub tiers: TierCounts,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: u64,
+    /// Completed requests per wall-clock second.
+    pub requests_per_sec: f64,
+    /// High-water mark of any single shard queue.
+    pub max_queue_depth: usize,
+    /// Service latency per tier, indexed by [`ServedBy::index`].
+    pub tier_latency: Vec<Histogram>,
+}
+
+impl ServeBenchOutcome {
+    /// Fraction of completions served by `tier` (0 when nothing
+    /// completed).
+    #[must_use]
+    pub fn fraction(&self, tier: ServedBy) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        let count = match tier {
+            ServedBy::Local => self.tiers.local,
+            ServedBy::Peer => self.tiers.peer,
+            ServedBy::Origin => self.tiers.origin,
+        };
+        #[allow(clippy::cast_precision_loss)]
+        {
+            count as f64 / self.completed as f64
+        }
+    }
+
+    /// The run's counters, gauges, and per-tier histograms as a
+    /// [`ccn_obs::Registry`] — the same shapes a scrape endpoint
+    /// would export.
+    #[must_use]
+    pub fn registry(&self) -> Registry {
+        let mut registry = Registry::new();
+        registry.counter("engine.requests.offered").add(self.offered);
+        registry.counter("engine.requests.shed").add(self.shed);
+        registry.counter("engine.requests.completed").add(self.completed);
+        registry.counter("engine.requests.degraded_to_origin").add(self.degraded_to_origin);
+        for tier in ServedBy::ALL {
+            let count = match tier {
+                ServedBy::Local => self.tiers.local,
+                ServedBy::Peer => self.tiers.peer,
+                ServedBy::Origin => self.tiers.origin,
+            };
+            registry.counter(&format!("engine.served.{}", tier.name())).add(count);
+            // Assign rather than merge: the registry's default bucket
+            // grid differs from the engine's finer sub-ms grid.
+            *registry.histogram(&format!("engine.latency_ms.{}", tier.name())) =
+                self.tier_latency[tier.index()].clone();
+        }
+        #[allow(clippy::cast_precision_loss)]
+        registry.gauge("engine.queue.max_depth").set(self.max_queue_depth as f64);
+        registry.gauge("engine.throughput.req_per_sec").set(self.requests_per_sec);
+        registry
+    }
+}
+
+impl ToJson for ServeBenchOutcome {
+    fn to_json(&self) -> Json {
+        let mode = match self.cluster.policy {
+            StorePolicy::Provisioned => "provisioned",
+            StorePolicy::Lru => "lru",
+        };
+        let provisioning = if self.cluster.x() == 0 { "non-coordinated" } else { "coordinated" };
+        let mut latency = Json::object();
+        for tier in ServedBy::ALL {
+            latency = latency.field(tier.name(), self.tier_latency[tier.index()].to_json());
+        }
+        Json::object()
+            .field("provisioning", provisioning)
+            .field("policy", mode)
+            .field("nodes", self.cluster.nodes as u64)
+            .field("shards_per_node", self.cluster.shards_per_node as u64)
+            .field("worker_threads", self.worker_threads as u64)
+            .field("generators", self.generators as u64)
+            .field("queue_capacity", self.cluster.queue_capacity as u64)
+            .field("catalogue", self.cluster.catalogue)
+            .field("capacity", self.cluster.capacity)
+            .field("ell", self.cluster.ell)
+            .field("zipf_s", self.load.zipf_s)
+            .field("rate_per_node_per_ms", self.load.rate_per_node_per_ms)
+            .field("horizon_ms", self.load.horizon_ms)
+            .field("paced", self.load.paced)
+            .field("seed", self.load.seed)
+            .field("offered", self.offered)
+            .field("completed", self.completed)
+            .field("shed", self.shed)
+            .field("degraded_to_origin", self.degraded_to_origin)
+            .field("served_local", self.tiers.local)
+            .field("served_peer", self.tiers.peer)
+            .field("served_origin", self.tiers.origin)
+            .field("local_fraction", self.fraction(ServedBy::Local))
+            .field("peer_fraction", self.fraction(ServedBy::Peer))
+            .field("origin_fraction", self.fraction(ServedBy::Origin))
+            .field("wall_ms", self.wall_ms)
+            .field("requests_per_sec", self.requests_per_sec)
+            .field("max_queue_depth", self.max_queue_depth as u64)
+            .field("latency_ms", latency)
+            .field("metrics", self.registry().to_json())
+    }
+}
+
+/// Provisions a cluster, drives it, and verifies the accounting
+/// invariant before reporting.
+///
+/// # Errors
+///
+/// Propagates configuration and workload errors, and returns
+/// [`EngineError::Accounting`] if any request went unaccounted
+/// (`completed + shed != offered` — an engine bug, never expected).
+pub fn serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchOutcome, EngineError> {
+    let cluster = Cluster::new(config.cluster.clone())?;
+    let load = drive(&cluster, &config.load)?;
+    let metrics = cluster.finish();
+    let completed = metrics.completed();
+    if completed + load.shed != load.offered {
+        return Err(EngineError::Accounting { offered: load.offered, completed, shed: load.shed });
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let requests_per_sec = completed as f64 / (load.wall_ms as f64 / 1e3);
+    Ok(ServeBenchOutcome {
+        worker_threads: config.cluster.nodes * config.cluster.shards_per_node,
+        generators: load.generators,
+        offered: load.offered,
+        shed: load.shed,
+        completed,
+        degraded_to_origin: metrics.degraded_to_origin,
+        tiers: metrics.totals(),
+        wall_ms: load.wall_ms,
+        requests_per_sec,
+        max_queue_depth: metrics.max_queue_depth,
+        tier_latency: metrics.tier_latency,
+        cluster: config.cluster.clone(),
+        load: config.load.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> ServeBenchConfig {
+        ServeBenchConfig {
+            cluster: ClusterConfig {
+                nodes: 2,
+                catalogue: 1_000,
+                capacity: 20,
+                ..ClusterConfig::default()
+            },
+            load: OpenLoopConfig {
+                rate_per_node_per_ms: 1.0,
+                horizon_ms: 200.0,
+                ..OpenLoopConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn outcome_accounts_and_serializes() {
+        let outcome = serve_bench(&smoke_config()).unwrap();
+        assert_eq!(outcome.offered, outcome.completed + outcome.shed);
+        assert!(outcome.requests_per_sec > 0.0);
+        let json = outcome.to_json();
+        assert_eq!(json.get("offered").and_then(Json::as_u64), Some(outcome.offered));
+        assert_eq!(json.get("provisioning").and_then(Json::as_str), Some("coordinated"));
+        let fractions: f64 = [ServedBy::Local, ServedBy::Peer, ServedBy::Origin]
+            .iter()
+            .map(|&t| outcome.fraction(t))
+            .sum();
+        assert!((fractions - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_exports_the_run() {
+        let outcome = serve_bench(&smoke_config()).unwrap();
+        let registry = outcome.registry();
+        assert!(registry.len() >= 9);
+        let rendered = registry.to_json().to_string_compact();
+        assert!(rendered.contains("engine.requests.offered"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Rendezvous-backed routing for the coordinated content range.
+//!
+//! The paper's provisioning assigns each router one contiguous slice
+//! of the coordinated range (`ccn_coord::contiguous_slices` /
+//! `centrality_ordered_slices`). A [`RoutingTable`] turns those
+//! assignments into the lookup the serving path needs: *which live
+//! node holds this content?* While every node is up the answer is the
+//! assigned primary — the table agrees exactly with the coordination
+//! plane. When a node fails, only *its* share re-homes: orphaned
+//! contents fall back to highest-random-weight (rendezvous) hashing
+//! over the survivors, so no other node's share moves and a recovering
+//! node gets its exact old share back.
+
+use std::ops::Range;
+
+use ccn_coord::RouterAssignment;
+use ccn_sim::ContentId;
+
+use crate::error::EngineError;
+use crate::shard::mix;
+
+/// Maps coordinated content ids onto live nodes.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    range: Range<u64>,
+    /// Non-empty assigned slices, sorted by start, tiling `range`.
+    slices: Vec<(Range<u64>, usize)>,
+    live: Vec<bool>,
+}
+
+impl RoutingTable {
+    /// A table with no coordinated range (non-coordinated mode):
+    /// every lookup answers `None`, so misses go straight to origin.
+    #[must_use]
+    pub fn empty(nodes: usize) -> Self {
+        Self { range: 0..0, slices: Vec::new(), live: vec![true; nodes] }
+    }
+
+    /// Builds the table from the coordination plane's slice
+    /// assignments for a cluster of `nodes` nodes (all initially
+    /// live).
+    ///
+    /// # Errors
+    ///
+    /// Rejects assignments referencing nodes outside the cluster,
+    /// assigning one node twice, or whose non-empty slices do not tile
+    /// a contiguous range.
+    pub fn from_assignments(
+        assignments: &[RouterAssignment],
+        nodes: usize,
+    ) -> Result<Self, EngineError> {
+        let mut seen = vec![false; nodes];
+        for a in assignments {
+            if a.router >= nodes {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!("assignment references node {} of {nodes}", a.router),
+                });
+            }
+            if seen[a.router] {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!("node {} assigned twice", a.router),
+                });
+            }
+            seen[a.router] = true;
+        }
+        let mut slices: Vec<(Range<u64>, usize)> = assignments
+            .iter()
+            .filter(|a| !a.slice.is_empty())
+            .map(|a| (a.slice.clone(), a.router))
+            .collect();
+        slices.sort_by_key(|(s, _)| s.start);
+        for pair in slices.windows(2) {
+            if pair[0].0.end != pair[1].0.start {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!(
+                        "slices {:?} and {:?} do not tile a contiguous range",
+                        pair[0].0, pair[1].0
+                    ),
+                });
+            }
+        }
+        let range = match (slices.first(), slices.last()) {
+            (Some((first, _)), Some((last, _))) => first.start..last.end,
+            _ => 0..0,
+        };
+        Ok(Self { range, slices, live: vec![true; nodes] })
+    }
+
+    /// Number of nodes the table routes over.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The coordinated rank range `[c−x+1, c−x+1+n·x)` (empty in
+    /// non-coordinated mode).
+    #[must_use]
+    pub fn coordinated_range(&self) -> Range<u64> {
+        self.range.clone()
+    }
+
+    /// Whether `content` falls in the coordinated range.
+    #[must_use]
+    pub fn is_coordinated(&self, content: ContentId) -> bool {
+        self.range.contains(&content.rank())
+    }
+
+    /// Marks a node up or down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_live(&mut self, node: usize, up: bool) {
+        self.live[node] = up;
+    }
+
+    /// Whether `node` is currently live.
+    #[must_use]
+    pub fn is_live(&self, node: usize) -> bool {
+        self.live[node]
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// The assigned primary for `content`, live or not.
+    #[must_use]
+    pub fn primary(&self, content: ContentId) -> Option<usize> {
+        let rank = content.rank();
+        if !self.range.contains(&rank) {
+            return None;
+        }
+        let at = self.slices.partition_point(|(s, _)| s.end <= rank);
+        self.slices.get(at).filter(|(s, _)| s.contains(&rank)).map(|&(_, node)| node)
+    }
+
+    /// The live node responsible for `content`: the assigned primary
+    /// while it is up, otherwise the rendezvous (highest-random-weight)
+    /// choice among the survivors. `None` for uncoordinated content or
+    /// when no node is live.
+    #[must_use]
+    pub fn holder(&self, content: ContentId) -> Option<usize> {
+        let primary = self.primary(content)?;
+        if self.live[primary] {
+            return Some(primary);
+        }
+        let rank = content.rank();
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|&(_, &up)| up)
+            .map(|(node, _)| node)
+            .max_by_key(|&node| mix(rank ^ mix(node as u64 + 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccn_coord::contiguous_slices;
+    use proptest::prelude::*;
+
+    fn table(prefix: u64, x: u64, nodes: usize) -> RoutingTable {
+        RoutingTable::from_assignments(&contiguous_slices(prefix, prefix + 1, x, nodes), nodes)
+            .expect("contiguous assignments are valid")
+    }
+
+    #[test]
+    fn empty_table_routes_nothing() {
+        let t = RoutingTable::empty(5);
+        assert_eq!(t.live_count(), 5);
+        assert_eq!(t.holder(ContentId(1)), None);
+        assert!(t.coordinated_range().is_empty());
+    }
+
+    #[test]
+    fn rejects_overlapping_and_foreign_assignments() {
+        let mut a = contiguous_slices(10, 11, 5, 3);
+        a[2].slice = 14..19; // overlaps slice 1
+        assert!(RoutingTable::from_assignments(&a, 3).is_err());
+        let a = contiguous_slices(10, 11, 5, 3);
+        assert!(RoutingTable::from_assignments(&a, 2).is_err());
+    }
+
+    #[test]
+    fn recovery_restores_the_exact_old_share() {
+        let mut t = table(50, 8, 6);
+        let before: Vec<_> =
+            t.coordinated_range().map(|r| t.holder(ContentId(r)).unwrap()).collect();
+        t.set_live(3, false);
+        t.set_live(3, true);
+        let after: Vec<_> =
+            t.coordinated_range().map(|r| t.holder(ContentId(r)).unwrap()).collect();
+        assert_eq!(before, after);
+    }
+
+    proptest! {
+        /// Every coordinated content id resolves to exactly one node,
+        /// and that node is live — even with part of the cluster down.
+        #[test]
+        fn every_coordinated_id_maps_to_one_live_node(
+            nodes in 2usize..12,
+            x in 1u64..40,
+            prefix in 0u64..200,
+            down in 0usize..12,
+        ) {
+            let mut t = table(prefix, x, nodes);
+            // Kill up to all-but-one node, deterministically spread.
+            let kill = down.min(nodes - 1);
+            for k in 0..kill {
+                t.set_live((k * 7 + 1) % nodes, false);
+            }
+            let killed = nodes - t.live_count();
+            prop_assert!(killed <= kill);
+            for rank in t.coordinated_range() {
+                let holder = t.holder(ContentId(rank));
+                prop_assert!(holder.is_some(), "rank {rank} unroutable");
+                let holder = holder.unwrap();
+                prop_assert!(holder < nodes);
+                prop_assert!(t.is_live(holder), "rank {rank} routed to dead node {holder}");
+            }
+            // Outside the range nothing is coordinated.
+            prop_assert_eq!(t.holder(ContentId(prefix)), None);
+            prop_assert_eq!(t.holder(ContentId(t.coordinated_range().end)), None);
+        }
+
+        /// Killing one node re-homes only that node's share: every
+        /// content whose primary survives keeps its holder.
+        #[test]
+        fn single_failure_moves_only_the_failed_share(
+            nodes in 2usize..12,
+            x in 1u64..40,
+            prefix in 0u64..200,
+            victim in 0usize..12,
+        ) {
+            let mut t = table(prefix, x, nodes);
+            let victim = victim % nodes;
+            let before: Vec<usize> = t
+                .coordinated_range()
+                .map(|r| t.holder(ContentId(r)).unwrap())
+                .collect();
+            t.set_live(victim, false);
+            for (rank, old) in t.coordinated_range().zip(&before) {
+                let now = t.holder(ContentId(rank)).unwrap();
+                if *old == victim {
+                    prop_assert!(now != victim && t.is_live(now));
+                } else {
+                    prop_assert_eq!(now, *old, "rank {} reshuffled {} -> {}", rank, old, now);
+                }
+            }
+        }
+
+        /// With every node live the table *is* the coordination
+        /// plane's slice assignment.
+        #[test]
+        fn agrees_with_coord_assignment_when_all_live(
+            nodes in 1usize..16,
+            x in 1u64..40,
+            prefix in 0u64..200,
+        ) {
+            let assignments = contiguous_slices(prefix, prefix + 1, x, nodes);
+            let t = RoutingTable::from_assignments(&assignments, nodes).unwrap();
+            prop_assert_eq!(
+                t.coordinated_range(),
+                prefix + 1..prefix + 1 + x * nodes as u64
+            );
+            for a in &assignments {
+                for rank in a.slice.clone() {
+                    prop_assert_eq!(t.holder(ContentId(rank)), Some(a.router));
+                    prop_assert_eq!(t.primary(ContentId(rank)), Some(a.router));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Single-writer sharding adapter over `ccn_sim` content stores.
+//!
+//! The simulator's O(1) stores ([`ccn_sim::store::LruStore`],
+//! [`ccn_sim::store::LfuStore`], …) are deliberately not thread-safe:
+//! their intrusive lists and frequency buckets assume one mutator.
+//! Instead of rewriting them lock-free, a [`ShardedStore`] partitions
+//! the content-id space across worker shards, gives each shard its own
+//! store *owned by a dedicated thread*, and reaches every shard through
+//! a bounded MPSC queue. One writer per store means the stores are
+//! reused unchanged; bounded queues mean overload surfaces as
+//! backpressure ([`ShardHandle::try_job`] fails) instead of unbounded
+//! memory growth.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ccn_sim::store::ContentStore;
+use ccn_sim::ContentId;
+
+/// SplitMix64 finalizer — the same scrambling step the placement layer
+/// uses, so shard routing is uniform even for the sequential rank ids
+/// the paper's model hands out.
+pub(crate) fn mix(mut v: u64) -> u64 {
+    v = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    v = (v ^ (v >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    v = (v ^ (v >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    v ^ (v >> 31)
+}
+
+/// Maps a content id to the shard that owns it (stable for a fixed
+/// shard count; every caller — provisioning, routing, benchmarks —
+/// must agree on this function).
+#[must_use]
+pub fn shard_of(content: ContentId, shards: usize) -> usize {
+    (mix(content.rank()) % shards as u64) as usize
+}
+
+enum ShardMsg<J> {
+    /// An asynchronous unit of work handled by the engine's callback.
+    Job(J),
+    /// Synchronous churn op: hit → touch, miss → insert; replies hit?.
+    Apply { content: ContentId, reply: SyncSender<bool> },
+    /// Synchronous eviction-order snapshot of one shard's store.
+    Snapshot { reply: SyncSender<Vec<ContentId>> },
+    /// Drain sentinel: the shard thread exits after seeing this.
+    Stop,
+}
+
+struct Shard<J> {
+    sender: SyncSender<ShardMsg<J>>,
+    /// Jobs currently queued (control messages are not counted).
+    depth: Arc<AtomicUsize>,
+}
+
+struct HandleInner<J> {
+    shards: Vec<Shard<J>>,
+    max_depth: AtomicUsize,
+    capacity: usize,
+}
+
+/// Clonable, shareable access to a [`ShardedStore`]'s queues.
+///
+/// Handles outlive nothing: once the owning store is shut down, job
+/// submission fails and the synchronous ops panic.
+pub struct ShardHandle<J> {
+    inner: Arc<HandleInner<J>>,
+}
+
+impl<J> Clone for ShardHandle<J> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<J: Send + 'static> ShardHandle<J> {
+    /// Number of worker shards behind this handle.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Per-shard queue capacity (the admission bound).
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Enqueues `job` on the shard owning `content`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back when that shard's bounded queue is full
+    /// (or the store was shut down) so the caller can shed or degrade.
+    pub fn try_job(&self, content: ContentId, job: J) -> Result<(), J> {
+        let shard = &self.inner.shards[shard_of(content, self.shards())];
+        let occupied = shard.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match shard.sender.try_send(ShardMsg::Job(job)) {
+            Ok(()) => {
+                self.inner.max_depth.fetch_max(occupied, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(ShardMsg::Job(job)))
+            | Err(TrySendError::Disconnected(ShardMsg::Job(job))) => {
+                shard.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(job)
+            }
+            // We only ever try_send Job messages here.
+            Err(_) => unreachable!("non-job message rejected"),
+        }
+    }
+
+    /// Synchronous churn against the owning shard: on a hit the store
+    /// is touched and `true` comes back; on a miss the content is
+    /// inserted (evicting per policy) and `false` comes back.
+    ///
+    /// The round trip through the queue is the per-op cost this
+    /// adapter adds over calling the store directly — benchmarked in
+    /// `ccn-bench`'s `engine` bench, deliberately not hidden.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owning [`ShardedStore`] has been shut down.
+    pub fn apply(&self, content: ContentId) -> bool {
+        let shard = &self.inner.shards[shard_of(content, self.shards())];
+        let (reply, response) = sync_channel(1);
+        shard.sender.send(ShardMsg::Apply { content, reply }).expect("sharded store is running");
+        response.recv().expect("shard worker replies")
+    }
+
+    /// Eviction-order contents of one shard's store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or the store was shut down.
+    #[must_use]
+    pub fn shard_contents(&self, shard: usize) -> Vec<ContentId> {
+        let (reply, response) = sync_channel(1);
+        self.inner.shards[shard]
+            .sender
+            .send(ShardMsg::Snapshot { reply })
+            .expect("sharded store is running");
+        response.recv().expect("shard worker replies")
+    }
+
+    /// Contents across all shards, sorted by rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store was shut down.
+    #[must_use]
+    pub fn contents(&self) -> Vec<ContentId> {
+        let mut all: Vec<ContentId> =
+            (0..self.shards()).flat_map(|s| self.shard_contents(s)).collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Jobs currently queued across all shards.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.depth.load(Ordering::Relaxed)).sum()
+    }
+
+    /// High-water mark of any single shard queue since spawn.
+    #[must_use]
+    pub fn max_queue_depth(&self) -> usize {
+        self.inner.max_depth.load(Ordering::Relaxed)
+    }
+}
+
+/// A content store sharded across single-writer worker threads.
+///
+/// `J` is the asynchronous job type routed by content id; each job is
+/// handed to the `handler` callback together with exclusive access to
+/// the owning shard's store. Synchronous ops ([`ShardHandle::apply`],
+/// [`ShardHandle::contents`]) ride the same queues, so they observe a
+/// consistent single-writer view.
+pub struct ShardedStore<J: Send + 'static> {
+    handle: ShardHandle<J>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<J: Send + 'static> ShardedStore<J> {
+    /// Spawns `shards` worker threads, each owning the store built by
+    /// `store_factory(shard)` and processing jobs via `handler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `queue_capacity` is zero, or if the OS
+    /// refuses to spawn a thread.
+    pub fn spawn<F, H>(
+        shards: usize,
+        queue_capacity: usize,
+        mut store_factory: F,
+        handler: Arc<H>,
+    ) -> Self
+    where
+        F: FnMut(usize) -> Box<dyn ContentStore>,
+        H: Fn(&mut dyn ContentStore, J) + Send + Sync + 'static,
+    {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(queue_capacity >= 1, "need a non-empty queue");
+        let mut shard_handles = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (sender, receiver) = sync_channel(queue_capacity);
+            let depth = Arc::new(AtomicUsize::new(0));
+            let store = store_factory(shard);
+            let worker_depth = Arc::clone(&depth);
+            let worker_handler = Arc::clone(&handler);
+            let worker = std::thread::Builder::new()
+                .name(format!("ccn-shard-{shard}"))
+                .spawn(move || worker_loop(store, &receiver, &worker_depth, &*worker_handler))
+                .expect("spawn shard worker");
+            shard_handles.push(Shard { sender, depth });
+            workers.push(worker);
+        }
+        let inner = HandleInner {
+            shards: shard_handles,
+            max_depth: AtomicUsize::new(0),
+            capacity: queue_capacity,
+        };
+        Self { handle: ShardHandle { inner: Arc::new(inner) }, workers }
+    }
+
+    /// A clonable handle for submitting work.
+    #[must_use]
+    pub fn handle(&self) -> ShardHandle<J> {
+        self.handle.clone()
+    }
+
+    /// Sends the drain sentinel to every shard and joins the workers.
+    ///
+    /// Queued messages ahead of the sentinel are still processed;
+    /// idempotent (second call is a no-op). Callers must stop feeding
+    /// jobs first or late submissions are silently dropped.
+    pub fn shutdown(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        for shard in &self.handle.inner.shards {
+            // Blocking send: workers are draining, so space frees up.
+            let _ = shard.sender.send(ShardMsg::Stop);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<J: Send + 'static> Drop for ShardedStore<J> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop<J, H>(
+    mut store: Box<dyn ContentStore>,
+    receiver: &Receiver<ShardMsg<J>>,
+    depth: &AtomicUsize,
+    handler: &H,
+) where
+    H: Fn(&mut dyn ContentStore, J),
+{
+    while let Ok(msg) = receiver.recv() {
+        match msg {
+            ShardMsg::Job(job) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                handler(store.as_mut(), job);
+            }
+            ShardMsg::Apply { content, reply } => {
+                let hit = store.contains(content);
+                if hit {
+                    store.on_hit(content);
+                } else {
+                    store.on_data(content);
+                }
+                let _ = reply.send(hit);
+            }
+            ShardMsg::Snapshot { reply } => {
+                let _ = reply.send(store.contents());
+            }
+            ShardMsg::Stop => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccn_sim::store::LruStore;
+
+    fn noop() -> Arc<impl Fn(&mut dyn ContentStore, ()) + Send + Sync> {
+        Arc::new(|_: &mut dyn ContentStore, (): ()| {})
+    }
+
+    #[test]
+    fn single_shard_apply_matches_raw_lru() {
+        let mut raw = LruStore::new(8);
+        let mut sharded = ShardedStore::spawn(1, 64, |_| Box::new(LruStore::new(8)), noop());
+        let handle = sharded.handle();
+        // Deterministic churny access pattern over a small catalogue.
+        let stream: Vec<u64> = (0..400).map(|i| mix(i) % 24 + 1).collect();
+        for &rank in &stream {
+            let c = ContentId(rank);
+            let raw_hit = raw.contains(c);
+            if raw_hit {
+                raw.on_hit(c);
+            } else {
+                raw.on_data(c);
+            }
+            assert_eq!(handle.apply(c), raw_hit, "divergence at rank {rank}");
+        }
+        assert_eq!(handle.contents(), {
+            let mut v = raw.contents();
+            v.sort_unstable();
+            v
+        });
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn contents_land_on_their_owning_shard() {
+        let shards = 4;
+        let mut sharded =
+            ShardedStore::spawn(shards, 64, |_| Box::new(LruStore::new(1_000)), noop());
+        let handle = sharded.handle();
+        for rank in 1..=200u64 {
+            handle.apply(ContentId(rank));
+        }
+        for s in 0..shards {
+            for c in handle.shard_contents(s) {
+                assert_eq!(shard_of(c, shards), s, "{c} stored on wrong shard");
+            }
+        }
+        assert_eq!(handle.contents().len(), 200);
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn full_queue_returns_the_job_to_the_caller() {
+        // A handler that blocks until released, so the queue backs up.
+        let gate = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let seen = Arc::clone(&gate);
+        let handler = Arc::new(move |_: &mut dyn ContentStore, v: u64| {
+            while seen.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            let _ = v;
+        });
+        let mut sharded = ShardedStore::spawn(1, 2, |_| Box::new(LruStore::new(4)), handler);
+        let handle = sharded.handle();
+        // One job may be in the handler plus two queued: the fourth
+        // (or at latest fifth) submission must bounce.
+        let mut bounced = None;
+        for v in 0..8u64 {
+            if handle.try_job(ContentId(1), v).is_err() {
+                bounced = Some(v);
+                break;
+            }
+        }
+        assert!(bounced.is_some(), "bounded queue never pushed back");
+        assert!(handle.max_queue_depth() >= 2);
+        gate.store(1, Ordering::Release);
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in 1..=8 {
+            for rank in 1..=1_000u64 {
+                let s = shard_of(ContentId(rank), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(ContentId(rank), shards));
+            }
+        }
+    }
+}

@@ -5,9 +5,10 @@
 //! the performance–cost model and optimal provisioning strategy
 //! ([`model`]), its substrates — Zipf popularity ([`zipf`]), numerics
 //! ([`numerics`]), network topologies ([`topology`]) — an executable
-//! packet-level CCN simulator that validates the model ([`sim`]), and
-//! the coordination protocol realizing the paper's cost model
-//! ([`coord`]).
+//! packet-level CCN simulator that validates the model ([`sim`]), the
+//! coordination protocol realizing the paper's cost model ([`coord`]),
+//! and a concurrent live-serving cache engine that runs the
+//! provisioning under real open-loop load ([`engine`]).
 //!
 //! Start with the `quickstart` example, or:
 //!
@@ -26,6 +27,7 @@
 #![deny(missing_docs)]
 
 pub use ccn_coord as coord;
+pub use ccn_engine as engine;
 pub use ccn_model as model;
 pub use ccn_numerics as numerics;
 pub use ccn_sim as sim;
