@@ -4,7 +4,9 @@ use std::fmt::Write as _;
 
 use ccn_bench::runner::{run_bench, BenchOptions};
 use ccn_coord::{CoordinatorConfig, ResilientCoordinator, RetryPolicy, RoundOutcome};
-use ccn_engine::{serve_bench, ClusterConfig, OpenLoopConfig, ServeBenchConfig, StorePolicy};
+use ccn_engine::{
+    serve_bench, ClusterConfig, IdleStrategy, OpenLoopConfig, ServeBenchConfig, StorePolicy,
+};
 use ccn_model::planner::{capacity_for_target_origin_load, plan, PlannerConfig};
 use ccn_model::{CacheModel, ModelParams};
 use ccn_obs::{Json, PhaseClock, RunManifest, ToJson};
@@ -54,6 +56,8 @@ COMMANDS
              --catalogue 10000 --capacity 100 --ell 0.5 --s 0.8
              --rate 2.0 --duration 1000 --paced false
              --policy static|lru --seed 42 --smoke false
+             --batch 1 (requests admitted per queue operation)
+             --idle spin-then-park|yield|spin:S,yield:Y[,park]
              --name SERVE --out SERVE.json
   validate-manifest
              check that a JSON file carries a valid ccn.run-manifest/v1
@@ -427,6 +431,8 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
         "paced",
         "policy",
         "seed",
+        "batch",
+        "idle",
         "smoke",
         "name",
         "out",
@@ -439,6 +445,8 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
     let usize_flag = |flag: &str, default: u64| -> Result<usize, ArgError> {
         usize::try_from(args.u64_or(flag, default)?).map_err(|e| ArgError(format!("--{flag}: {e}")))
     };
+    let idle = IdleStrategy::parse(&args.str_or("idle", "spin-then-park"))
+        .map_err(|e| ArgError(format!("--idle: {e}")))?;
     let config = ServeBenchConfig {
         cluster: ClusterConfig {
             nodes: usize_flag("nodes", 4)?,
@@ -448,6 +456,7 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
             capacity: args.u64_or("capacity", 100)?,
             ell: args.f64_or("ell", 0.5)?,
             policy,
+            idle,
         },
         load: OpenLoopConfig {
             generators: usize_flag("generators", 1)?,
@@ -456,6 +465,7 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
             horizon_ms: args.f64_or("duration", 1_000.0)?,
             paced: parse_bool(args, "paced", "false")?,
             seed: args.u64_or("seed", 42)?,
+            batch: usize_flag("batch", 1)?,
         },
     };
     let smoke = parse_bool(args, "smoke", "false")?;
@@ -478,8 +488,14 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "serve-bench {name}: {} nodes x {} shard(s), {} generator(s), {} offered",
-        config.cluster.nodes, config.cluster.shards_per_node, outcome.generators, outcome.offered,
+        "serve-bench {name}: {} nodes x {} shard(s), {} generator(s), batch {}, idle {}, \
+         {} offered",
+        config.cluster.nodes,
+        config.cluster.shards_per_node,
+        outcome.generators,
+        config.load.batch,
+        config.cluster.idle.name(),
+        outcome.offered,
     );
     let _ = writeln!(
         out,
@@ -759,6 +775,42 @@ mod tests {
         assert!(err.to_string().contains("--policy"), "{err}");
         let err = run_tokens(&["serve-bench", "--ell", "2.0"]).unwrap_err();
         assert!(err.to_string().contains("ell"), "{err}");
+        let err = run_tokens(&["serve-bench", "--idle", "bogus"]).unwrap_err();
+        assert!(err.to_string().contains("--idle"), "{err}");
+        let err = run_tokens(&["serve-bench", "--batch", "0"]).unwrap_err();
+        assert!(err.to_string().contains("batch"), "{err}");
+    }
+
+    #[test]
+    fn serve_bench_batched_pipeline_reports_its_knobs() {
+        let dir = std::env::temp_dir().join("ccn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve_batched.json");
+        let text = run_tokens(&[
+            "serve-bench",
+            "--nodes",
+            "2",
+            "--catalogue",
+            "1000",
+            "--capacity",
+            "20",
+            "--rate",
+            "0.5",
+            "--duration",
+            "100",
+            "--batch",
+            "64",
+            "--idle",
+            "yield",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("batch 64, idle yield"), "{text}");
+        assert!(text.contains("completed + shed == offered"), "{text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"batch\": 64"), "{json}");
+        assert!(json.contains("\"idle\": \"yield\""), "{json}");
     }
 
     #[test]

@@ -10,10 +10,17 @@
 //!
 //! Architecture:
 //!
+//! - [`ring`] — a vendored, dependency-free bounded MPSC ring queue
+//!   (the crate's only `unsafe` module, with its happens-before
+//!   edges documented inline): uncontended enqueue is a couple of
+//!   atomics and a whole run of messages moves through one CAS.
 //! - [`shard`] — each node's content store is partitioned across
-//!   single-writer worker shards behind bounded MPSC queues
+//!   single-writer worker shards behind bounded ring queues
 //!   ([`ShardedStore`]); the simulator's O(1) LRU/LFU/static stores
 //!   are reused unchanged because only one thread ever mutates each.
+//!   Batched submission ([`ShardHandle::try_submit_batch`]) amortizes
+//!   the queue hop across a run; workers drain in bulk and idle with
+//!   a configurable spin → yield → park strategy ([`IdleStrategy`]).
 //! - [`routing`] — a [`RoutingTable`] derived from the coordination
 //!   plane's slice assignments answers "which live node holds this
 //!   coordinated content?", with rendezvous-hash failover that moves
@@ -24,7 +31,10 @@
 //!   on internal backpressure.
 //! - [`load`] — open-loop Poisson/Zipf generators
 //!   ([`load::drive`]) reusing `ccn_sim::workload`, so the engine and
-//!   the simulator can be fed bit-identical request streams.
+//!   the simulator can be fed bit-identical request streams; with
+//!   `batch > 1` requests are grouped into per-shard runs (paced
+//!   runs flush before sleeping, so batching never delays a due
+//!   request), and batch size provably does not change the outcome.
 //! - [`report`] — [`serve_bench`] runs the whole pipeline and emits a
 //!   `ccn-obs`-wired, JSON-serializable outcome with per-tier latency
 //!   histograms and the accounting invariant
@@ -51,12 +61,15 @@ pub mod cluster;
 pub mod error;
 pub mod load;
 pub mod report;
+pub mod ring;
 pub mod routing;
 pub mod shard;
 
-pub use cluster::{Cluster, ClusterConfig, EngineMetrics, StorePolicy, ENGINE_LATENCY_MS_BOUNDS};
+pub use cluster::{
+    BatchSubmitter, Cluster, ClusterConfig, EngineMetrics, StorePolicy, ENGINE_LATENCY_MS_BOUNDS,
+};
 pub use error::EngineError;
 pub use load::{LoadReport, OpenLoopConfig};
 pub use report::{serve_bench, ServeBenchConfig, ServeBenchOutcome};
 pub use routing::RoutingTable;
-pub use shard::{shard_of, ShardHandle, ShardedStore};
+pub use shard::{shard_of, IdleStrategy, ShardHandle, ShardedStore};

@@ -8,14 +8,24 @@
 //! unpaced mode) regardless of whether earlier requests completed.
 //! When admission pushes back the request is counted as **shed**, not
 //! retried — exactly the overload behavior a closed loop would mask.
+//!
+//! With [`OpenLoopConfig::batch`] > 1 the generator runs the
+//! **batched pipeline**: requests are grouped into per-`(node,
+//! shard)` runs (by [`crate::shard::shard_of`], the same routing the
+//! cluster applies) and each full run is admitted through a single
+//! queue claim ([`crate::cluster::BatchSubmitter`]). In paced mode
+//! every buffered run is flushed before the generator sleeps, so
+//! batching never delays a request past its own arrival time; only
+//! already-due backlog is coalesced.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use ccn_sim::workload;
+use ccn_sim::workload::{self, Request};
 
 use crate::cluster::Cluster;
 use crate::error::EngineError;
+use crate::shard::shard_of;
 
 /// Configuration of one open-loop driving session.
 #[derive(Debug, Clone)]
@@ -37,6 +47,12 @@ pub struct OpenLoopConfig {
     /// Workload seed. With a single generator the request stream is
     /// identical to the simulator's for the same seed and parameters.
     pub seed: u64,
+    /// Maximum requests admitted per queue operation. `1` submits
+    /// per-op (the pre-batching pipeline); larger values group
+    /// requests by owning shard and admit each run with one queue
+    /// claim. Tier attribution and (single-shard) determinism are
+    /// batch-size invariant — property-tested in this module.
+    pub batch: usize,
 }
 
 impl Default for OpenLoopConfig {
@@ -48,6 +64,7 @@ impl Default for OpenLoopConfig {
             horizon_ms: 1_000.0,
             paced: false,
             seed: 42,
+            batch: 1,
         }
     }
 }
@@ -84,17 +101,94 @@ fn pace_until(start: Instant, at_ms: f64) {
     }
 }
 
+/// One generator's view of the workload: issues requests per-op or in
+/// per-shard runs, tracking offered/shed counts.
+struct Generator<'a> {
+    cluster: &'a Cluster,
+    /// Per-`(owned-node, shard)` pending runs, indexed
+    /// `local_node * shards + shard`.
+    buffers: Vec<Vec<ccn_sim::ContentId>>,
+    /// Dense node → owned-slot map (`usize::MAX` = not ours).
+    local_index: Vec<usize>,
+    /// Reverse of `local_index`: owned slot → node id.
+    owned: Vec<usize>,
+    shards: usize,
+    batch: usize,
+    issued: u64,
+    rejected: u64,
+}
+
+impl<'a> Generator<'a> {
+    fn new(cluster: &'a Cluster, owned: &[usize], batch: usize) -> Self {
+        let shards = cluster.config().shards_per_node;
+        let mut local_index = vec![usize::MAX; cluster.config().nodes];
+        for (slot, &node) in owned.iter().enumerate() {
+            local_index[node] = slot;
+        }
+        Self {
+            cluster,
+            buffers: vec![Vec::with_capacity(batch); owned.len() * shards],
+            local_index,
+            owned: owned.to_vec(),
+            shards,
+            batch,
+            issued: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Queues one request, flushing its run if it reached the batch
+    /// size. With `batch == 1` this is the per-op path (no buffering).
+    fn issue(&mut self, submitter: &mut crate::cluster::BatchSubmitter<'a>, request: &Request) {
+        self.issued += 1;
+        if self.batch <= 1 {
+            if !self.cluster.try_submit(request.router, request.content) {
+                self.rejected += 1;
+            }
+            return;
+        }
+        let shard = shard_of(request.content, self.shards);
+        let slot = self.local_index[request.router] * self.shards + shard;
+        self.buffers[slot].push(request.content);
+        if self.buffers[slot].len() >= self.batch {
+            self.flush_slot(submitter, slot);
+        }
+    }
+
+    fn flush_slot(&mut self, submitter: &mut crate::cluster::BatchSubmitter<'a>, slot: usize) {
+        let run = &mut self.buffers[slot];
+        if run.is_empty() {
+            return;
+        }
+        let offered = run.len();
+        let node = self.owned[slot / self.shards];
+        let accepted = submitter.submit_run(node, slot % self.shards, run);
+        self.rejected += (offered - accepted) as u64;
+    }
+
+    /// Flushes every pending run — called before a paced sleep and at
+    /// end of stream, so batching never holds back due requests.
+    fn flush_all(&mut self, submitter: &mut crate::cluster::BatchSubmitter<'a>) {
+        for slot in 0..self.buffers.len() {
+            self.flush_slot(submitter, slot);
+        }
+    }
+}
+
 /// Drives `cluster` with open-loop load and blocks until every
 /// admitted request has completed.
 ///
 /// # Errors
 ///
 /// Returns [`EngineError::InvalidConfig`] for a zero generator count
-/// and [`EngineError::Workload`] when the workload parameters are
-/// rejected.
+/// or zero batch size, and [`EngineError::Workload`] when the
+/// workload parameters are rejected.
 pub fn drive(cluster: &Cluster, config: &OpenLoopConfig) -> Result<LoadReport, EngineError> {
     if config.generators == 0 {
         return Err(EngineError::InvalidConfig { reason: "generators must be >= 1".into() });
+    }
+    if config.batch == 0 {
+        return Err(EngineError::InvalidConfig { reason: "batch must be >= 1".into() });
     }
     let nodes = cluster.config().nodes;
     let catalogue = cluster.config().catalogue;
@@ -125,23 +219,27 @@ pub fn drive(cluster: &Cluster, config: &OpenLoopConfig) -> Result<LoadReport, E
     let shed = AtomicU64::new(0);
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for stream in &streams {
+        for (stream, owned) in streams.iter().zip(&partitions) {
             let offered = &offered;
             let shed = &shed;
             scope.spawn(move || {
-                let mut issued = 0u64;
-                let mut rejected = 0u64;
+                let mut submitter = cluster.batch_submitter();
+                let mut generator = Generator::new(cluster, owned, config.batch);
                 for request in stream {
                     if config.paced {
-                        pace_until(start, request.time);
+                        let target = Duration::from_secs_f64(request.time / 1e3);
+                        if start.elapsed() < target {
+                            // Issue all due backlog before sleeping:
+                            // batching must not delay due requests.
+                            generator.flush_all(&mut submitter);
+                            pace_until(start, request.time);
+                        }
                     }
-                    issued += 1;
-                    if !cluster.try_submit(request.router, request.content) {
-                        rejected += 1;
-                    }
+                    generator.issue(&mut submitter, request);
                 }
-                offered.fetch_add(issued, Ordering::AcqRel);
-                shed.fetch_add(rejected, Ordering::AcqRel);
+                generator.flush_all(&mut submitter);
+                offered.fetch_add(generator.issued, Ordering::AcqRel);
+                shed.fetch_add(generator.rejected, Ordering::AcqRel);
             });
         }
     });
@@ -227,5 +325,94 @@ mod tests {
         let load = OpenLoopConfig { generators: 0, ..OpenLoopConfig::default() };
         assert!(drive(&cluster, &load).is_err());
         let _ = cluster.finish();
+    }
+
+    #[test]
+    fn rejects_zero_batch() {
+        let cluster = Cluster::new(small_cluster(1)).unwrap();
+        let load = OpenLoopConfig { batch: 0, ..OpenLoopConfig::default() };
+        assert!(drive(&cluster, &load).is_err());
+        let _ = cluster.finish();
+    }
+
+    #[test]
+    fn batched_runs_account_every_offered_request() {
+        let cluster = Cluster::new(small_cluster(2)).unwrap();
+        let load = OpenLoopConfig {
+            rate_per_node_per_ms: 2.0,
+            horizon_ms: 400.0,
+            batch: 64,
+            ..OpenLoopConfig::default()
+        };
+        let report = drive(&cluster, &load).unwrap();
+        let metrics = cluster.finish();
+        assert!(report.offered > 1_000, "workload too small: {report:?}");
+        assert_eq!(report.offered, metrics.totals().total() + report.shed);
+    }
+
+    mod equivalence {
+        //! Satellite property: batched submission is observationally
+        //! equivalent to per-op submission — same seed + same jobs ⇒
+        //! identical `TierCounts`, and identical final store contents
+        //! on a single-shard cluster (where submission order is the
+        //! only order).
+        use super::*;
+        use ccn_sim::ContentId;
+        use proptest::prelude::*;
+
+        /// Runs one workload and returns (tiers, final node-0 store).
+        fn observe(config: ClusterConfig, seed: u64, batch: usize) -> (TierCounts, Vec<ContentId>) {
+            let cluster = Cluster::new(config).unwrap();
+            let load = OpenLoopConfig {
+                rate_per_node_per_ms: 2.0,
+                horizon_ms: 30.0,
+                seed,
+                batch,
+                ..OpenLoopConfig::default()
+            };
+            let report = drive(&cluster, &load).unwrap();
+            assert_eq!(report.shed, 0, "queues sized to never shed");
+            let contents = cluster.node_contents(0);
+            (cluster.finish().totals(), contents)
+        }
+
+        proptest! {
+            /// Single-shard LRU cluster: the strictest check — the
+            /// store's final eviction state depends on request order,
+            /// so equality proves batching preserved it exactly.
+            #[test]
+            fn batched_matches_per_op_on_a_single_shard_lru_cluster(
+                seed in 0u64..24,
+                batch in prop::sample::select(vec![2usize, 7, 64, 256]),
+            ) {
+                let config = ClusterConfig {
+                    nodes: 1,
+                    queue_capacity: 8_192,
+                    catalogue: 500,
+                    capacity: 16,
+                    ell: 0.0,
+                    policy: StorePolicy::Lru,
+                    ..ClusterConfig::default()
+                };
+                let per_op = observe(config.clone(), seed, 1);
+                let batched = observe(config, seed, batch);
+                prop_assert_eq!(&batched.0, &per_op.0, "tier counts diverged");
+                prop_assert_eq!(&batched.1, &per_op.1, "store contents diverged");
+            }
+
+            /// Provisioned multi-node cluster: tier attribution is a
+            /// pure function of (requester, content), so counts must
+            /// match even with concurrent peer forwarding.
+            #[test]
+            fn batched_matches_per_op_tier_counts_on_a_provisioned_cluster(
+                seed in 0u64..24,
+                batch in prop::sample::select(vec![3usize, 32, 256]),
+            ) {
+                let config = small_cluster(1);
+                let per_op = observe(config.clone(), seed, 1);
+                let batched = observe(config, seed, batch);
+                prop_assert_eq!(&batched.0, &per_op.0, "tier counts diverged");
+            }
+        }
     }
 }

@@ -118,6 +118,8 @@ impl ToJson for ServeBenchOutcome {
             .field("worker_threads", self.worker_threads as u64)
             .field("generators", self.generators as u64)
             .field("queue_capacity", self.cluster.queue_capacity as u64)
+            .field("batch", self.load.batch as u64)
+            .field("idle", self.cluster.idle.name().as_str())
             .field("catalogue", self.cluster.catalogue)
             .field("capacity", self.cluster.capacity)
             .field("ell", self.cluster.ell)
@@ -207,11 +209,25 @@ mod tests {
         let json = outcome.to_json();
         assert_eq!(json.get("offered").and_then(Json::as_u64), Some(outcome.offered));
         assert_eq!(json.get("provisioning").and_then(Json::as_str), Some("coordinated"));
+        assert_eq!(json.get("batch").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("idle").and_then(Json::as_str), Some("spin-then-park"));
         let fractions: f64 = [ServedBy::Local, ServedBy::Peer, ServedBy::Origin]
             .iter()
             .map(|&t| outcome.fraction(t))
             .sum();
         assert!((fractions - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_pipeline_accounts_and_reports_its_knobs() {
+        let mut config = smoke_config();
+        config.load.batch = 64;
+        config.cluster.idle = crate::shard::IdleStrategy::yielding();
+        let outcome = serve_bench(&config).unwrap();
+        assert_eq!(outcome.offered, outcome.completed + outcome.shed);
+        let json = outcome.to_json();
+        assert_eq!(json.get("batch").and_then(Json::as_u64), Some(64));
+        assert_eq!(json.get("idle").and_then(Json::as_str), Some("yield"));
     }
 
     #[test]

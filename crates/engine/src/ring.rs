@@ -1,0 +1,510 @@
+//! Bounded multi-producer / single-consumer ring queue — the engine's
+//! purpose-built replacement for the `std::sync::mpsc::sync_channel`
+//! hop on the shard request path.
+//!
+//! `sync_channel` takes a mutex on every send and allocates per
+//! channel; under open-loop load that mutex (plus a condvar wake) is
+//! paid *per request*. This ring makes the uncontended enqueue a
+//! couple of atomic operations and, crucially, supports **batch
+//! reservation**: a run of `n` jobs claims its slots with a single
+//! compare-and-swap, so the queue-hop cost is amortized across the
+//! whole run (the same discipline memcached-derived and LMAX-style
+//! servers use to survive per-op coordination costs).
+//!
+//! # Design
+//!
+//! A power-of-two slot array indexed by monotonically increasing
+//! `u64` positions (`pos & mask`), in the style of D. Vyukov's
+//! bounded queue, restricted to one consumer:
+//!
+//! - `tail` is the next unclaimed producer position. Producers claim
+//!   `[tail, tail+n)` by CAS-ing `tail` forward once per batch.
+//! - `head` is the next unconsumed position, advanced only by the
+//!   single consumer.
+//! - Each slot carries a `seq` word that *publishes* it: after
+//!   writing the value for position `p`, the producer stores
+//!   `seq = p + 1`. The consumer treats a slot as readable only when
+//!   `seq == p + 1`, which tolerates out-of-order publication among
+//!   racing producers.
+//!
+//! # Why this is sound (Loom-style reasoning)
+//!
+//! The two hazards are a producer overwriting a slot the consumer is
+//! still reading, and the consumer reading a value the producer has
+//! not finished writing. Both reduce to two happens-before edges:
+//!
+//! 1. **publish**: producer writes value, then `seq.store(p + 1,
+//!    Release)`; the consumer's `seq.load(Acquire) == p + 1` pairs
+//!    with it, so the value write happens-before the value read.
+//! 2. **reuse**: the consumer finishes reading position `q`, *then*
+//!    stores `head ≥ q + 1` (Release). A producer claims position
+//!    `p` only after observing `p < head + capacity` via
+//!    `head.load(Acquire)`, i.e. only after observing a head store
+//!    that happens-after the read of position `p − capacity` from the
+//!    same slot. So the old read happens-before the new write.
+//!
+//! Claims are serialized by the CAS on `tail` (`u64` positions never
+//! wrap in practice — 2⁶⁴ operations — so there is no ABA). The
+//! consumer is single-threaded by construction: [`Consumer`] is not
+//! `Clone` and its methods take `&mut self`.
+//!
+//! One more subtlety: a producer's `tail` snapshot can go stale
+//! between loading it and loading `head` — another producer advances
+//! the real tail and the consumer then moves `head` *past* the
+//! snapshot. Both claim loops detect `head > tail` and refresh the
+//! snapshot instead of computing a wrapped occupancy (the stale CAS
+//! would have failed anyway). In the other direction the snapshot is
+//! a lower bound of the real occupancy, so a `full` verdict is never
+//! spurious.
+//!
+//! A producer that panics between claiming slots and publishing them
+//! stalls the consumer at the unpublished position (and leaks the
+//! claimed slots at drop); the engine's producers only move `Send`
+//! data into slots, which cannot panic.
+//!
+//! The single-threaded semantics (FIFO per producer, capacity bound,
+//! batch claim/drain equivalence to singles) are property-tested
+//! against a `VecDeque` model below; a cross-thread stress test
+//! checks per-producer order and loss-freedom under contention.
+
+// The one module in the engine allowed to use unsafe code: the slot
+// array needs `UnsafeCell<MaybeUninit<T>>` for racing initialization.
+// Every unsafe block cites the happens-before argument above.
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Slot<T> {
+    /// Publication word: `p + 1` once position `p`'s value is ready.
+    seq: AtomicU64,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct RingInner<T> {
+    slots: Box<[Slot<T>]>,
+    mask: u64,
+    /// Next position a producer may claim.
+    tail: AtomicU64,
+    /// Next position the consumer will read.
+    head: AtomicU64,
+}
+
+// SAFETY: slots are plain storage; cross-thread transfer of T is
+// gated on the Release/Acquire protocol documented above, so sharing
+// the ring between threads is safe exactly when T itself is Send.
+unsafe impl<T: Send> Send for RingInner<T> {}
+unsafe impl<T: Send> Sync for RingInner<T> {}
+
+impl<T> Drop for RingInner<T> {
+    fn drop(&mut self) {
+        // Exclusive access (`&mut self`): drop every published,
+        // unconsumed value. Claimed-but-unpublished slots (producer
+        // panic mid-batch) are leaked, never double-dropped.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for pos in head..tail {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            if slot.seq.load(Ordering::Relaxed) == pos + 1 {
+                // SAFETY: seq == pos + 1 means the value was fully
+                // written and never read (head never passed it).
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// Creates a bounded ring with room for at least `capacity` values
+/// (rounded up to the next power of two), returning the shareable
+/// producer side and the unique consumer side.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+#[must_use]
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity >= 1, "ring capacity must be at least 1");
+    let cap = capacity.next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| Slot { seq: AtomicU64::new(0), value: UnsafeCell::new(MaybeUninit::uninit()) })
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(RingInner {
+        slots,
+        mask: cap as u64 - 1,
+        tail: AtomicU64::new(0),
+        head: AtomicU64::new(0),
+    });
+    (Producer { inner: Arc::clone(&inner) }, Consumer { inner, head: 0 })
+}
+
+/// Shareable enqueue side of a [`ring`]. Cloning is cheap; any number
+/// of threads may push concurrently.
+pub struct Producer<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+impl<T> Clone for Producer<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Producer<T> {
+    /// Usable capacity of the ring.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Values currently claimed but not yet consumed (approximate
+    /// under concurrency; exact when the ring is quiescent).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Relaxed);
+        tail.saturating_sub(head) as usize
+    }
+
+    /// Whether the ring currently holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues one value, returning it if the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when no slot is free.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let cap = inner.slots.len() as u64;
+        let mut tail = inner.tail.load(Ordering::Relaxed);
+        loop {
+            // Reuse edge: Acquire on head makes the consumer's last
+            // read of the slot we are about to claim visible.
+            let head = inner.head.load(Ordering::Acquire);
+            if head > tail {
+                // Stale snapshot: another producer advanced tail and
+                // the consumer moved head past our copy. Refresh and
+                // retry (the CAS below would have failed anyway).
+                tail = inner.tail.load(Ordering::Relaxed);
+                continue;
+            }
+            // `tail <= real tail` at the moment head was read, so
+            // `tail - head` is a lower bound of the real occupancy —
+            // a `full` verdict here is never spurious.
+            if tail - head >= cap {
+                return Err(value); // full
+            }
+            match inner.tail.compare_exchange_weak(
+                tail,
+                tail + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(current) => tail = current,
+            }
+        }
+        let slot = &inner.slots[(tail & inner.mask) as usize];
+        // SAFETY: the CAS gave this thread exclusive ownership of
+        // position `tail`, and `tail < head + cap` proved the
+        // consumer is done with this slot (reuse edge above).
+        unsafe { (*slot.value.get()).write(value) };
+        // Publish edge: value write happens-before this store.
+        slot.seq.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueues a run of values with **one** claim operation,
+    /// draining the accepted prefix out of `values`. Returns how many
+    /// were accepted (0 when the ring is full; fewer than
+    /// `values.len()` when it is nearly full).
+    pub fn try_push_batch(&self, values: &mut Vec<T>) -> usize {
+        self.try_push_batch_map(values, |value| value)
+    }
+
+    /// Like [`Producer::try_push_batch`], but wraps each accepted
+    /// value through `wrap` on its way into the ring — so callers
+    /// holding a `Vec<U>` can enqueue `T`-typed messages without an
+    /// intermediate allocation.
+    pub fn try_push_batch_map<U>(
+        &self,
+        values: &mut Vec<U>,
+        mut wrap: impl FnMut(U) -> T,
+    ) -> usize {
+        let want = values.len() as u64;
+        if want == 0 {
+            return 0;
+        }
+        let inner = &*self.inner;
+        let cap = inner.slots.len() as u64;
+        let mut tail = inner.tail.load(Ordering::Relaxed);
+        let claimed = loop {
+            let head = inner.head.load(Ordering::Acquire);
+            if head > tail {
+                // Stale snapshot (see `try_push`): refresh and retry.
+                tail = inner.tail.load(Ordering::Relaxed);
+                continue;
+            }
+            let free = cap - (tail - head);
+            let n = want.min(free);
+            if n == 0 {
+                return 0;
+            }
+            match inner.tail.compare_exchange_weak(
+                tail,
+                tail + n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break n,
+                Err(current) => tail = current,
+            }
+        };
+        for (i, value) in values.drain(..claimed as usize).enumerate() {
+            let pos = tail + i as u64;
+            let slot = &inner.slots[(pos & inner.mask) as usize];
+            // SAFETY: the batch CAS claimed `[tail, tail+claimed)`
+            // exclusively, and every claimed position is below
+            // `head + cap` (reuse edge), so each slot is writable.
+            unsafe { (*slot.value.get()).write(wrap(value)) };
+            slot.seq.store(pos + 1, Ordering::Release);
+        }
+        claimed as usize
+    }
+}
+
+/// Unique dequeue side of a [`ring`]. Not `Clone`; all methods take
+/// `&mut self`, so single-consumer discipline is enforced by the type
+/// system rather than by convention.
+pub struct Consumer<T> {
+    inner: Arc<RingInner<T>>,
+    /// Consumer-private copy of head (the atomic is only for
+    /// producers' capacity checks).
+    head: u64,
+}
+
+impl<T> Consumer<T> {
+    /// Whether a published value is ready to pop.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        let slot = &self.inner.slots[(self.head & self.inner.mask) as usize];
+        slot.seq.load(Ordering::Acquire) == self.head + 1
+    }
+
+    /// Pops the next value, if one is published.
+    pub fn pop(&mut self) -> Option<T> {
+        let pos = self.head;
+        let slot = &self.inner.slots[(pos & self.inner.mask) as usize];
+        if slot.seq.load(Ordering::Acquire) != pos + 1 {
+            return None;
+        }
+        // SAFETY: publish edge — seq == pos + 1 (Acquire) pairs with
+        // the producer's Release store, so the value is fully written
+        // and exclusively ours (only this consumer reads, and
+        // producers cannot reclaim the slot until head advances).
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        self.head = pos + 1;
+        // Reuse edge: the value read above happens-before this store.
+        self.inner.head.store(self.head, Ordering::Release);
+        Some(value)
+    }
+
+    /// Drains up to `max` published values into `out` with a single
+    /// head update — the consumer-side half of batch amortization.
+    /// Returns how many values were appended.
+    pub fn pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut taken = 0u64;
+        while (taken as usize) < max {
+            let pos = self.head + taken;
+            let slot = &self.inner.slots[(pos & self.inner.mask) as usize];
+            if slot.seq.load(Ordering::Acquire) != pos + 1 {
+                break;
+            }
+            // SAFETY: same publish-edge argument as `pop`, per slot.
+            out.push(unsafe { (*slot.value.get()).assume_init_read() });
+            taken += 1;
+        }
+        if taken > 0 {
+            self.head += taken;
+            // One Release store frees all `taken` slots at once.
+            self.inner.head.store(self.head, Ordering::Release);
+        }
+        taken as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::VecDeque;
+
+    #[test]
+    fn fifo_and_capacity_bound() {
+        let (tx, mut rx) = ring::<u32>(4);
+        assert_eq!(tx.capacity(), 4);
+        for v in 0..4 {
+            tx.try_push(v).unwrap();
+        }
+        assert_eq!(tx.try_push(99), Err(99), "fifth push must bounce");
+        assert_eq!(tx.len(), 4);
+        for v in 0..4 {
+            assert_eq!(rx.pop(), Some(v));
+        }
+        assert_eq!(rx.pop(), None);
+        assert!(tx.is_empty());
+    }
+
+    #[test]
+    fn batch_push_claims_at_most_the_free_space() {
+        let (tx, mut rx) = ring::<u32>(4);
+        tx.try_push(0).unwrap();
+        let mut batch = vec![1, 2, 3, 4, 5];
+        assert_eq!(tx.try_push_batch(&mut batch), 3, "only 3 slots were free");
+        assert_eq!(batch, vec![4, 5], "accepted prefix drained");
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 16), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert!(!rx.has_pending());
+    }
+
+    #[test]
+    fn wraparound_reuses_slots_correctly() {
+        let (tx, mut rx) = ring::<u64>(2);
+        for lap in 0..1_000u64 {
+            tx.try_push(lap).unwrap();
+            assert_eq!(rx.pop(), Some(lap));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_values() {
+        // Arc strong counts observe that queued values are dropped
+        // with the ring, not leaked.
+        let marker = Arc::new(());
+        {
+            let (tx, rx) = ring::<Arc<()>>(8);
+            for _ in 0..5 {
+                tx.try_push(Arc::clone(&marker)).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+        }
+        assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    proptest! {
+        /// Random interleavings of single/batch push and pop match a
+        /// VecDeque executing the same accepted operations.
+        #[test]
+        fn matches_a_vecdeque_model(seed in 0u64..500, cap in 1usize..40) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (tx, mut rx) = ring::<u64>(cap);
+            let mut model: VecDeque<u64> = VecDeque::new();
+            let mut next = 0u64;
+            for _ in 0..400 {
+                match rng.gen_range(0u32..4) {
+                    0 => {
+                        let accepted = tx.try_push(next).is_ok();
+                        prop_assert_eq!(accepted, model.len() < tx.capacity());
+                        if accepted {
+                            model.push_back(next);
+                        }
+                        next += 1;
+                    }
+                    1 => {
+                        let n = rng.gen_range(0usize..8);
+                        let mut batch: Vec<u64> = (next..next + n as u64).collect();
+                        let accepted = tx.try_push_batch(&mut batch);
+                        let free = tx.capacity() - model.len();
+                        prop_assert_eq!(accepted, n.min(free));
+                        for v in next..next + accepted as u64 {
+                            model.push_back(v);
+                        }
+                        next += n as u64;
+                    }
+                    2 => {
+                        prop_assert_eq!(rx.pop(), model.pop_front());
+                    }
+                    _ => {
+                        let max = rng.gen_range(0usize..8);
+                        let mut out = Vec::new();
+                        let taken = rx.pop_batch(&mut out, max);
+                        prop_assert_eq!(taken, max.min(model.len()));
+                        for v in out {
+                            prop_assert_eq!(Some(v), model.pop_front());
+                        }
+                    }
+                }
+                prop_assert_eq!(tx.len(), model.len());
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_and_keep_per_producer_order() {
+        const PRODUCERS: u64 = 3;
+        const PER_PRODUCER: u64 = 20_000;
+        let (tx, mut rx) = ring::<u64>(64);
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut batch = Vec::new();
+                let mut sent = 0u64;
+                while sent < PER_PRODUCER {
+                    // Alternate single pushes and batches of 7.
+                    if sent % 2 == 0 {
+                        let v = p * PER_PRODUCER + sent;
+                        while tx.try_push(v).is_err() {
+                            std::thread::yield_now();
+                        }
+                        sent += 1;
+                    } else {
+                        let n = 7.min(PER_PRODUCER - sent);
+                        batch.clear();
+                        batch.extend((sent..sent + n).map(|i| p * PER_PRODUCER + i));
+                        while !batch.is_empty() {
+                            if tx.try_push_batch(&mut batch) == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                        sent += n;
+                    }
+                }
+            }));
+        }
+        let mut last_seen = [None::<u64>; PRODUCERS as usize];
+        let mut received = 0u64;
+        let mut out = Vec::new();
+        while received < PRODUCERS * PER_PRODUCER {
+            out.clear();
+            if rx.pop_batch(&mut out, 32) == 0 {
+                std::thread::yield_now();
+                continue;
+            }
+            for &v in &out {
+                let producer = (v / PER_PRODUCER) as usize;
+                // FIFO per producer: values arrive in send order.
+                assert!(last_seen[producer].is_none_or(|prev| prev < v), "reordered {v}");
+                last_seen[producer] = Some(v);
+                received += 1;
+            }
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        for (p, last) in last_seen.iter().enumerate() {
+            assert_eq!(*last, Some((p as u64 + 1) * PER_PRODUCER - 1));
+        }
+    }
+}

@@ -6,18 +6,33 @@
 //! Instead of rewriting them lock-free, a [`ShardedStore`] partitions
 //! the content-id space across worker shards, gives each shard its own
 //! store *owned by a dedicated thread*, and reaches every shard through
-//! a bounded MPSC queue. One writer per store means the stores are
-//! reused unchanged; bounded queues mean overload surfaces as
-//! backpressure ([`ShardHandle::try_job`] fails) instead of unbounded
-//! memory growth.
+//! a bounded queue. One writer per store means the stores are reused
+//! unchanged; bounded queues mean overload surfaces as backpressure
+//! ([`ShardHandle::try_job`] fails) instead of unbounded memory growth.
+//!
+//! # The batched pipeline
+//!
+//! The queue is the vendored [`crate::ring`] MPSC ring, not a
+//! `std::sync::mpsc::sync_channel`: the uncontended enqueue is a
+//! couple of atomics, and a *run* of jobs bound for the same shard
+//! moves through **one** claim operation
+//! ([`ShardHandle::try_submit_batch`]) instead of one queue hop per
+//! job. Workers drain in bulk ([`crate::ring::Consumer::pop_batch`])
+//! and idle with a configurable spin → yield → park escalation
+//! ([`IdleStrategy`]) instead of blocking inside a channel `recv()`.
+//! Synchronous ops ([`ShardHandle::apply`],
+//! [`ShardHandle::shard_contents`]) reuse pooled reply slots, so the
+//! warm-up and drain paths allocate nothing per call.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{JoinHandle, Thread};
+use std::time::Duration;
 
 use ccn_sim::store::ContentStore;
 use ccn_sim::ContentId;
+
+use crate::ring::{ring, Consumer, Producer};
 
 /// SplitMix64 finalizer — the same scrambling step the placement layer
 /// uses, so shard routing is uniform even for the sequential rank ids
@@ -37,27 +52,227 @@ pub fn shard_of(content: ContentId, shards: usize) -> usize {
     (mix(content.rank()) % shards as u64) as usize
 }
 
+/// How a shard worker waits when its queue runs dry.
+///
+/// The escalation is spin → yield → park: busy-spin `spins` times
+/// (lowest wake latency, burns the core), then `thread::yield_now()`
+/// `yields` times (gives the producer the core — essential on
+/// single-core hosts), then park until a producer wakes it. Parking
+/// uses a bounded timeout as a belt-and-braces backstop, so a lost
+/// wake costs at most [`IdleStrategy::PARK_TIMEOUT`], never a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdleStrategy {
+    /// Busy-spin iterations before yielding.
+    pub spins: u32,
+    /// `yield_now` iterations before parking.
+    pub yields: u32,
+    /// Whether to park after spinning and yielding; `false` keeps
+    /// yielding forever (no wake protocol on the producer side ever
+    /// needed, but an idle shard keeps getting scheduled).
+    pub park: bool,
+}
+
+impl IdleStrategy {
+    /// Backstop timeout for a parked worker: even a lost wake (or a
+    /// producer that crashed between enqueue and wake) only delays
+    /// the queue by this much.
+    pub const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+    /// The default: short spin, brief yield phase, then park. Cheap
+    /// on idle clusters, sub-microsecond wake on busy ones.
+    #[must_use]
+    pub fn spin_then_park() -> Self {
+        Self { spins: 64, yields: 16, park: true }
+    }
+
+    /// Never park: spin briefly, then yield forever. Lowest latency
+    /// jitter on multi-core hosts with cores to burn.
+    #[must_use]
+    pub fn yielding() -> Self {
+        Self { spins: 64, yields: 16, park: false }
+    }
+
+    /// Parses a CLI-style name: `spin-then-park`, `yield`, or
+    /// `spin:S,yield:Y[,park]` for explicit knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown names.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "spin-then-park" | "park" => Ok(Self::spin_then_park()),
+            "yield" | "yielding" => Ok(Self::yielding()),
+            other => {
+                let mut strategy = Self { spins: 0, yields: 0, park: false };
+                let mut recognized = false;
+                for part in other.split(',') {
+                    if part == "park" {
+                        strategy.park = true;
+                        recognized = true;
+                    } else if let Some(n) = part.strip_prefix("spin:") {
+                        strategy.spins =
+                            n.parse().map_err(|e| format!("bad spin count {n:?}: {e}"))?;
+                        recognized = true;
+                    } else if let Some(n) = part.strip_prefix("yield:") {
+                        strategy.yields =
+                            n.parse().map_err(|e| format!("bad yield count {n:?}: {e}"))?;
+                        recognized = true;
+                    } else {
+                        return Err(format!(
+                            "unknown idle strategy {other:?}: expected spin-then-park, yield, \
+                             or spin:S,yield:Y[,park]"
+                        ));
+                    }
+                }
+                if recognized {
+                    Ok(strategy)
+                } else {
+                    Err(format!("empty idle strategy {other:?}"))
+                }
+            }
+        }
+    }
+
+    /// Canonical name for reports (`spin-then-park`, `yield`, or the
+    /// explicit `spin:S,yield:Y[,park]` form).
+    #[must_use]
+    pub fn name(&self) -> String {
+        if *self == Self::spin_then_park() {
+            "spin-then-park".to_owned()
+        } else if *self == Self::yielding() {
+            "yield".to_owned()
+        } else {
+            let mut name = format!("spin:{},yield:{}", self.spins, self.yields);
+            if self.park {
+                name.push_str(",park");
+            }
+            name
+        }
+    }
+}
+
+impl Default for IdleStrategy {
+    fn default() -> Self {
+        Self::spin_then_park()
+    }
+}
+
+/// Reply payload for the synchronous shard ops.
+enum Reply {
+    /// `apply` answer: was the content already present?
+    Hit(bool),
+    /// `shard_contents` answer.
+    Contents(Vec<ContentId>),
+}
+
+/// A reusable one-shot mailbox: the caller parks on the condvar, the
+/// worker fills the slot and signals. Unlike the `sync_channel(1)`
+/// it replaces, a slot lives in a pool and is reused across calls, so
+/// the `apply`/snapshot warm-up and drain paths stop allocating.
+struct ReplySlot {
+    value: Mutex<Option<Reply>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Self {
+        Self { value: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    fn fill(&self, reply: Reply) {
+        let mut slot = self.value.lock().expect("reply slot not poisoned");
+        *slot = Some(reply);
+        self.ready.notify_one();
+    }
+
+    fn take(&self) -> Reply {
+        let mut slot = self.value.lock().expect("reply slot not poisoned");
+        loop {
+            if let Some(reply) = slot.take() {
+                return reply;
+            }
+            slot = self.ready.wait(slot).expect("reply slot not poisoned");
+        }
+    }
+}
+
 enum ShardMsg<J> {
     /// An asynchronous unit of work handled by the engine's callback.
     Job(J),
     /// Synchronous churn op: hit → touch, miss → insert; replies hit?.
-    Apply { content: ContentId, reply: SyncSender<bool> },
+    Apply { content: ContentId, reply: Arc<ReplySlot> },
     /// Synchronous eviction-order snapshot of one shard's store.
-    Snapshot { reply: SyncSender<Vec<ContentId>> },
+    Snapshot { reply: Arc<ReplySlot> },
     /// Drain sentinel: the shard thread exits after seeing this.
     Stop,
 }
 
 struct Shard<J> {
-    sender: SyncSender<ShardMsg<J>>,
+    queue: Producer<ShardMsg<J>>,
     /// Jobs currently queued (control messages are not counted).
     depth: Arc<AtomicUsize>,
+    /// Set by the worker just before parking; producers that see it
+    /// unpark the worker after publishing.
+    sleeping: Arc<AtomicBool>,
+    /// The worker thread, for unparking.
+    thread: Thread,
+}
+
+impl<J: Send + 'static> Shard<J> {
+    /// Publishes-then-wakes: called after every successful enqueue.
+    ///
+    /// The SeqCst fence orders the enqueue's Release publish before
+    /// the `sleeping` load; the worker runs the mirror-image sequence
+    /// (store `sleeping`, fence, re-check queue) before parking, so at
+    /// least one side always observes the other — either the producer
+    /// sees `sleeping` and unparks, or the worker sees the message on
+    /// its final pre-park check. `unpark` is sticky, so racing ahead
+    /// of the actual `park` call still wakes it. A lost wake is
+    /// additionally bounded by [`IdleStrategy::PARK_TIMEOUT`].
+    fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleeping.load(Ordering::Relaxed) {
+            self.thread.unpark();
+        }
+    }
+
+    /// Blocking control-message send: retries until the ring has room
+    /// (the worker is draining, so room appears), then wakes.
+    fn send_control(&self, mut msg: ShardMsg<J>) {
+        loop {
+            match self.queue.try_push(msg) {
+                Ok(()) => break,
+                Err(returned) => {
+                    msg = returned;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.wake();
+    }
 }
 
 struct HandleInner<J> {
     shards: Vec<Shard<J>>,
     max_depth: AtomicUsize,
     capacity: usize,
+    /// Reusable reply slots for `apply`/`shard_contents`; grown on
+    /// first use per concurrent caller, then recycled forever.
+    reply_pool: Mutex<Vec<Arc<ReplySlot>>>,
+}
+
+impl<J> HandleInner<J> {
+    fn checkout_reply_slot(&self) -> Arc<ReplySlot> {
+        self.reply_pool
+            .lock()
+            .expect("reply pool not poisoned")
+            .pop()
+            .unwrap_or_else(|| Arc::new(ReplySlot::new()))
+    }
+
+    fn return_reply_slot(&self, slot: Arc<ReplySlot>) {
+        self.reply_pool.lock().expect("reply pool not poisoned").push(slot);
+    }
 }
 
 /// Clonable, shareable access to a [`ShardedStore`]'s queues.
@@ -81,7 +296,8 @@ impl<J: Send + 'static> ShardHandle<J> {
         self.inner.shards.len()
     }
 
-    /// Per-shard queue capacity (the admission bound).
+    /// Per-shard queue capacity (the admission bound; the requested
+    /// capacity rounded up to the ring's power of two).
     #[must_use]
     pub fn queue_capacity(&self) -> usize {
         self.inner.capacity
@@ -95,20 +311,74 @@ impl<J: Send + 'static> ShardHandle<J> {
     /// (or the store was shut down) so the caller can shed or degrade.
     pub fn try_job(&self, content: ContentId, job: J) -> Result<(), J> {
         let shard = &self.inner.shards[shard_of(content, self.shards())];
+        // Count *before* pushing: the worker decrements only after
+        // processing a pushed job, so depth can never underflow; the
+        // add-after-push order would let the decrement race ahead and
+        // wrap the counter.
         let occupied = shard.depth.fetch_add(1, Ordering::Relaxed) + 1;
-        match shard.sender.try_send(ShardMsg::Job(job)) {
+        match shard.queue.try_push(ShardMsg::Job(job)) {
             Ok(()) => {
                 self.inner.max_depth.fetch_max(occupied, Ordering::Relaxed);
+                shard.wake();
                 Ok(())
             }
-            Err(TrySendError::Full(ShardMsg::Job(job)))
-            | Err(TrySendError::Disconnected(ShardMsg::Job(job))) => {
+            Err(ShardMsg::Job(job)) => {
                 shard.depth.fetch_sub(1, Ordering::Relaxed);
                 Err(job)
             }
-            // We only ever try_send Job messages here.
+            // try_push returns exactly the message we pushed.
             Err(_) => unreachable!("non-job message rejected"),
         }
+    }
+
+    /// Enqueues a run of jobs — **already grouped by
+    /// [`shard_of`]** — on shard `shard` with a single queue claim,
+    /// draining the accepted prefix out of `jobs`. Returns how many
+    /// jobs were accepted; the remainder stays in `jobs` for the
+    /// caller to shed or retry. One wake, one depth update, one
+    /// claim CAS per run: the per-job queue-hop cost is amortized
+    /// across the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn try_submit_batch(&self, shard: usize, jobs: &mut Vec<J>) -> usize {
+        let want = jobs.len();
+        if want == 0 {
+            return 0;
+        }
+        let shard = &self.inner.shards[shard];
+        // Same count-before-push discipline as `try_job`; the
+        // rejected remainder is subtracted back below.
+        let occupied = shard.depth.fetch_add(want, Ordering::Relaxed) + want;
+        let accepted = shard.queue.try_push_batch_map(jobs, ShardMsg::Job);
+        if accepted < want {
+            shard.depth.fetch_sub(want - accepted, Ordering::Relaxed);
+        }
+        if accepted > 0 {
+            self.inner.max_depth.fetch_max(occupied - (want - accepted), Ordering::Relaxed);
+            shard.wake();
+        }
+        accepted
+    }
+
+    /// Blocking variant of [`ShardHandle::try_submit_batch`]: retries
+    /// (yielding) until the whole run is enqueued. Returns the number
+    /// of jobs submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn submit_batch(&self, shard: usize, jobs: &mut Vec<J>) -> usize {
+        let mut submitted = 0;
+        while !jobs.is_empty() {
+            let accepted = self.try_submit_batch(shard, jobs);
+            submitted += accepted;
+            if accepted == 0 {
+                std::thread::yield_now();
+            }
+        }
+        submitted
     }
 
     /// Synchronous churn against the owning shard: on a hit the store
@@ -117,16 +387,23 @@ impl<J: Send + 'static> ShardHandle<J> {
     ///
     /// The round trip through the queue is the per-op cost this
     /// adapter adds over calling the store directly — benchmarked in
-    /// `ccn-bench`'s `engine` bench, deliberately not hidden.
+    /// `ccn-bench`'s `engine` bench, deliberately not hidden (and
+    /// amortized by [`ShardHandle::try_submit_batch`] on the serve
+    /// path). The reply rides a pooled [`ReplySlot`], so the call
+    /// allocates nothing once the pool is warm.
     ///
     /// # Panics
     ///
     /// Panics if the owning [`ShardedStore`] has been shut down.
     pub fn apply(&self, content: ContentId) -> bool {
+        let reply = self.inner.checkout_reply_slot();
         let shard = &self.inner.shards[shard_of(content, self.shards())];
-        let (reply, response) = sync_channel(1);
-        shard.sender.send(ShardMsg::Apply { content, reply }).expect("sharded store is running");
-        response.recv().expect("shard worker replies")
+        shard.send_control(ShardMsg::Apply { content, reply: Arc::clone(&reply) });
+        let Reply::Hit(hit) = reply.take() else {
+            unreachable!("apply always answers Hit");
+        };
+        self.inner.return_reply_slot(reply);
+        hit
     }
 
     /// Eviction-order contents of one shard's store.
@@ -136,12 +413,13 @@ impl<J: Send + 'static> ShardHandle<J> {
     /// Panics if `shard` is out of range or the store was shut down.
     #[must_use]
     pub fn shard_contents(&self, shard: usize) -> Vec<ContentId> {
-        let (reply, response) = sync_channel(1);
-        self.inner.shards[shard]
-            .sender
-            .send(ShardMsg::Snapshot { reply })
-            .expect("sharded store is running");
-        response.recv().expect("shard worker replies")
+        let reply = self.inner.checkout_reply_slot();
+        self.inner.shards[shard].send_control(ShardMsg::Snapshot { reply: Arc::clone(&reply) });
+        let Reply::Contents(contents) = reply.take() else {
+            unreachable!("snapshot always answers Contents");
+        };
+        self.inner.return_reply_slot(reply);
+        contents
     }
 
     /// Contents across all shards, sorted by rank.
@@ -184,7 +462,8 @@ pub struct ShardedStore<J: Send + 'static> {
 
 impl<J: Send + 'static> ShardedStore<J> {
     /// Spawns `shards` worker threads, each owning the store built by
-    /// `store_factory(shard)` and processing jobs via `handler`.
+    /// `store_factory(shard)` and processing jobs via `handler`,
+    /// idling per `idle` when its queue runs dry.
     ///
     /// # Panics
     ///
@@ -193,6 +472,7 @@ impl<J: Send + 'static> ShardedStore<J> {
     pub fn spawn<F, H>(
         shards: usize,
         queue_capacity: usize,
+        idle: IdleStrategy,
         mut store_factory: F,
         handler: Arc<H>,
     ) -> Self
@@ -204,23 +484,38 @@ impl<J: Send + 'static> ShardedStore<J> {
         assert!(queue_capacity >= 1, "need a non-empty queue");
         let mut shard_handles = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
+        let mut capacity = queue_capacity;
         for shard in 0..shards {
-            let (sender, receiver) = sync_channel(queue_capacity);
+            let (producer, consumer) = ring(queue_capacity);
+            capacity = producer.capacity();
             let depth = Arc::new(AtomicUsize::new(0));
+            let sleeping = Arc::new(AtomicBool::new(false));
             let store = store_factory(shard);
             let worker_depth = Arc::clone(&depth);
+            let worker_sleeping = Arc::clone(&sleeping);
             let worker_handler = Arc::clone(&handler);
             let worker = std::thread::Builder::new()
                 .name(format!("ccn-shard-{shard}"))
-                .spawn(move || worker_loop(store, &receiver, &worker_depth, &*worker_handler))
+                .spawn(move || {
+                    worker_loop(
+                        store,
+                        consumer,
+                        &worker_depth,
+                        &worker_sleeping,
+                        idle,
+                        &*worker_handler,
+                    );
+                })
                 .expect("spawn shard worker");
-            shard_handles.push(Shard { sender, depth });
+            let thread = worker.thread().clone();
+            shard_handles.push(Shard { queue: producer, depth, sleeping, thread });
             workers.push(worker);
         }
         let inner = HandleInner {
             shards: shard_handles,
             max_depth: AtomicUsize::new(0),
-            capacity: queue_capacity,
+            capacity,
+            reply_pool: Mutex::new(Vec::new()),
         };
         Self { handle: ShardHandle { inner: Arc::new(inner) }, workers }
     }
@@ -241,8 +536,7 @@ impl<J: Send + 'static> ShardedStore<J> {
             return;
         }
         for shard in &self.handle.inner.shards {
-            // Blocking send: workers are draining, so space frees up.
-            let _ = shard.sender.send(ShardMsg::Stop);
+            shard.send_control(ShardMsg::Stop);
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -256,33 +550,82 @@ impl<J: Send + 'static> Drop for ShardedStore<J> {
     }
 }
 
+/// Messages drained per worker wakeup — bounds the bulk-drain scratch
+/// buffer and how long one drain can monopolize the store.
+const DRAIN_MAX: usize = 256;
+
 fn worker_loop<J, H>(
     mut store: Box<dyn ContentStore>,
-    receiver: &Receiver<ShardMsg<J>>,
+    mut queue: Consumer<ShardMsg<J>>,
     depth: &AtomicUsize,
+    sleeping: &AtomicBool,
+    idle: IdleStrategy,
     handler: &H,
 ) where
     H: Fn(&mut dyn ContentStore, J),
 {
-    while let Ok(msg) = receiver.recv() {
-        match msg {
-            ShardMsg::Job(job) => {
-                depth.fetch_sub(1, Ordering::Relaxed);
-                handler(store.as_mut(), job);
-            }
-            ShardMsg::Apply { content, reply } => {
-                let hit = store.contains(content);
-                if hit {
-                    store.on_hit(content);
-                } else {
-                    store.on_data(content);
+    let mut batch: Vec<ShardMsg<J>> = Vec::with_capacity(DRAIN_MAX);
+    let mut spins = 0u32;
+    let mut yields = 0u32;
+    loop {
+        batch.clear();
+        if queue.pop_batch(&mut batch, DRAIN_MAX) > 0 {
+            spins = 0;
+            yields = 0;
+            let mut jobs = 0usize;
+            let mut stop = false;
+            for msg in batch.drain(..) {
+                match msg {
+                    ShardMsg::Job(job) => {
+                        jobs += 1;
+                        handler(store.as_mut(), job);
+                    }
+                    ShardMsg::Apply { content, reply } => {
+                        let hit = store.contains(content);
+                        if hit {
+                            store.on_hit(content);
+                        } else {
+                            store.on_data(content);
+                        }
+                        reply.fill(Reply::Hit(hit));
+                    }
+                    ShardMsg::Snapshot { reply } => {
+                        reply.fill(Reply::Contents(store.contents()));
+                    }
+                    ShardMsg::Stop => {
+                        stop = true;
+                        break;
+                    }
                 }
-                let _ = reply.send(hit);
             }
-            ShardMsg::Snapshot { reply } => {
-                let _ = reply.send(store.contents());
+            if jobs > 0 {
+                depth.fetch_sub(jobs, Ordering::Relaxed);
             }
-            ShardMsg::Stop => break,
+            if stop {
+                return;
+            }
+            continue;
+        }
+        // Queue dry: escalate spin → yield → park.
+        if spins < idle.spins {
+            spins += 1;
+            std::hint::spin_loop();
+        } else if yields < idle.yields || !idle.park {
+            yields = yields.saturating_add(1);
+            std::thread::yield_now();
+        } else {
+            // Mirror image of `Shard::wake` (see its doc comment):
+            // publish intent to sleep, fence, re-check, then park.
+            sleeping.store(true, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            if queue.has_pending() {
+                sleeping.store(false, Ordering::Relaxed);
+                continue;
+            }
+            std::thread::park_timeout(IdleStrategy::PARK_TIMEOUT);
+            sleeping.store(false, Ordering::Relaxed);
+            spins = 0;
+            yields = 0;
         }
     }
 }
@@ -296,10 +639,20 @@ mod tests {
         Arc::new(|_: &mut dyn ContentStore, (): ()| {})
     }
 
+    fn spawn_lru(shards: usize, queue: usize, capacity: usize) -> ShardedStore<()> {
+        ShardedStore::spawn(
+            shards,
+            queue,
+            IdleStrategy::default(),
+            move |_| Box::new(LruStore::new(capacity)),
+            noop(),
+        )
+    }
+
     #[test]
     fn single_shard_apply_matches_raw_lru() {
         let mut raw = LruStore::new(8);
-        let mut sharded = ShardedStore::spawn(1, 64, |_| Box::new(LruStore::new(8)), noop());
+        let mut sharded = spawn_lru(1, 64, 8);
         let handle = sharded.handle();
         // Deterministic churny access pattern over a small catalogue.
         let stream: Vec<u64> = (0..400).map(|i| mix(i) % 24 + 1).collect();
@@ -324,8 +677,7 @@ mod tests {
     #[test]
     fn contents_land_on_their_owning_shard() {
         let shards = 4;
-        let mut sharded =
-            ShardedStore::spawn(shards, 64, |_| Box::new(LruStore::new(1_000)), noop());
+        let mut sharded = spawn_lru(shards, 64, 1_000);
         let handle = sharded.handle();
         for rank in 1..=200u64 {
             handle.apply(ContentId(rank));
@@ -350,7 +702,13 @@ mod tests {
             }
             let _ = v;
         });
-        let mut sharded = ShardedStore::spawn(1, 2, |_| Box::new(LruStore::new(4)), handler);
+        let mut sharded = ShardedStore::spawn(
+            1,
+            2,
+            IdleStrategy::default(),
+            |_| Box::new(LruStore::new(4)),
+            handler,
+        );
         let handle = sharded.handle();
         // One job may be in the handler plus two queued: the fourth
         // (or at latest fifth) submission must bounce.
@@ -365,6 +723,92 @@ mod tests {
         assert!(handle.max_queue_depth() >= 2);
         gate.store(1, Ordering::Release);
         sharded.shutdown();
+    }
+
+    #[test]
+    fn batched_submission_accepts_up_to_capacity_and_returns_the_rest() {
+        // Park the worker behind a gate so the queue fills.
+        let gate = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let seen = Arc::clone(&gate);
+        let handler = Arc::new(move |_: &mut dyn ContentStore, v: u64| {
+            while seen.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            let _ = v;
+        });
+        let mut sharded = ShardedStore::spawn(
+            1,
+            8,
+            IdleStrategy::default(),
+            |_| Box::new(LruStore::new(4)),
+            handler,
+        );
+        let handle = sharded.handle();
+        let mut jobs: Vec<u64> = (0..32).collect();
+        let accepted = handle.try_submit_batch(0, &mut jobs);
+        // 8 queued (worker may have pulled a few into its drain batch
+        // before blocking, so allow a small overshoot window).
+        assert!((8..=9).contains(&accepted), "accepted {accepted}");
+        assert_eq!(jobs.len(), 32 - accepted, "rejected jobs stay with the caller");
+        assert_eq!(jobs[0], accepted as u64, "accepted prefix preserved order");
+        assert!(handle.max_queue_depth() >= accepted.min(8));
+        gate.store(1, Ordering::Release);
+        // With the worker released, the rest drains via the blocking path.
+        handle.submit_batch(0, &mut jobs);
+        assert!(jobs.is_empty());
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn batched_and_per_op_submission_agree_on_store_state() {
+        let stream: Vec<u64> = (0..600).map(|i| mix(i) % 48 + 1).collect();
+        let churn = Arc::new(|store: &mut dyn ContentStore, rank: u64| {
+            let c = ContentId(rank);
+            if store.contains(c) {
+                store.on_hit(c);
+            } else {
+                store.on_data(c);
+            }
+        });
+        let run = |batch: usize| {
+            let mut sharded: ShardedStore<u64> = ShardedStore::spawn(
+                1,
+                64,
+                IdleStrategy::default(),
+                |_| Box::new(LruStore::new(16)),
+                Arc::clone(&churn),
+            );
+            let handle = sharded.handle();
+            let mut pending = Vec::with_capacity(batch);
+            for &rank in &stream {
+                pending.push(rank);
+                if pending.len() >= batch {
+                    handle.submit_batch(0, &mut pending);
+                }
+            }
+            handle.submit_batch(0, &mut pending);
+            while handle.queue_depth() > 0 {
+                std::thread::yield_now();
+            }
+            let contents = handle.contents();
+            sharded.shutdown();
+            contents
+        };
+        let per_op = run(1);
+        for batch in [2, 16, 256] {
+            assert_eq!(run(batch), per_op, "batch={batch} diverged from per-op");
+        }
+    }
+
+    #[test]
+    fn idle_strategy_parses_presets_and_explicit_forms() {
+        assert_eq!(IdleStrategy::parse("spin-then-park").unwrap(), IdleStrategy::spin_then_park());
+        assert_eq!(IdleStrategy::parse("yield").unwrap(), IdleStrategy::yielding());
+        let explicit = IdleStrategy::parse("spin:10,yield:3,park").unwrap();
+        assert_eq!(explicit, IdleStrategy { spins: 10, yields: 3, park: true });
+        assert_eq!(IdleStrategy::parse(&explicit.name()).unwrap(), explicit);
+        assert!(IdleStrategy::parse("nonsense").is_err());
+        assert!(IdleStrategy::parse("spin:abc").is_err());
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn sim_fractions(ell: f64) -> [f64; 3] {
     [metrics.local_hit_ratio(), metrics.peer_hit_ratio(), metrics.origin_load()]
 }
 
-fn engine_fractions(ell: f64, shards_per_node: usize) -> [f64; 3] {
+fn engine_fractions(ell: f64, shards_per_node: usize, batch: usize) -> [f64; 3] {
     let nodes = datasets::abilene().node_count();
     let cluster = Cluster::new(ClusterConfig {
         nodes,
@@ -51,6 +51,7 @@ fn engine_fractions(ell: f64, shards_per_node: usize) -> [f64; 3] {
         capacity: CAPACITY,
         ell,
         policy: StorePolicy::Provisioned,
+        ..ClusterConfig::default()
     })
     .expect("cluster provisions");
     // One generator with the simulator's seed replays the *identical*
@@ -62,6 +63,7 @@ fn engine_fractions(ell: f64, shards_per_node: usize) -> [f64; 3] {
         horizon_ms: HORIZON_MS,
         paced: false,
         seed: SEED,
+        batch,
     };
     let report = drive(&cluster, &load).expect("engine serves the workload");
     let metrics = cluster.finish();
@@ -74,13 +76,13 @@ fn engine_fractions(ell: f64, shards_per_node: usize) -> [f64; 3] {
     ]
 }
 
-fn assert_fractions_match(ell: f64, shards_per_node: usize) {
+fn assert_fractions_match(ell: f64, shards_per_node: usize, batch: usize) {
     let sim = sim_fractions(ell);
-    let engine = engine_fractions(ell, shards_per_node);
+    let engine = engine_fractions(ell, shards_per_node, batch);
     for (tier, (s, e)) in ServedBy::ALL.iter().zip(sim.iter().zip(engine.iter())) {
         assert!(
             (s - e).abs() <= TOLERANCE,
-            "ell={ell} shards={shards_per_node} {}: sim {s:.4} vs engine {e:.4}",
+            "ell={ell} shards={shards_per_node} batch={batch} {}: sim {s:.4} vs engine {e:.4}",
             tier.name()
         );
     }
@@ -88,12 +90,12 @@ fn assert_fractions_match(ell: f64, shards_per_node: usize) {
 
 #[test]
 fn coordinated_tier_fractions_match_the_simulator() {
-    assert_fractions_match(0.5, 1);
+    assert_fractions_match(0.5, 1, 1);
 }
 
 #[test]
 fn non_coordinated_tier_fractions_match_the_simulator() {
-    assert_fractions_match(0.0, 1);
+    assert_fractions_match(0.0, 1, 1);
 }
 
 #[test]
@@ -101,12 +103,29 @@ fn sharded_nodes_preserve_the_tier_split() {
     // Static tier attribution is shard-count invariant; running the
     // same differential with concurrent shards exercises the
     // cross-shard forwarding path under CI.
-    assert_fractions_match(0.5, 2);
+    assert_fractions_match(0.5, 2, 1);
+}
+
+#[test]
+fn batched_submission_preserves_the_tier_split() {
+    // The batched pipeline (runs grouped by shard, one queue claim
+    // per run) must stay within the same ≤2% tolerance against the
+    // DES as the per-op pipeline — batching may reorder *across*
+    // shards but never within one, and tier attribution under static
+    // provisioning is order-free.
+    assert_fractions_match(0.5, 2, 256);
 }
 
 #[test]
 fn single_shard_engine_runs_are_reproducible() {
-    let first = engine_fractions(0.5, 1);
-    let second = engine_fractions(0.5, 1);
+    let first = engine_fractions(0.5, 1, 1);
+    let second = engine_fractions(0.5, 1, 1);
     assert_eq!(first, second, "same seed, same single-shard cluster, different results");
+}
+
+#[test]
+fn single_shard_batched_runs_are_reproducible_and_match_per_op() {
+    let per_op = engine_fractions(0.5, 1, 1);
+    let batched = engine_fractions(0.5, 1, 128);
+    assert_eq!(per_op, batched, "batching changed the completed multiset on a single shard");
 }
