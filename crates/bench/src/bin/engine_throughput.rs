@@ -19,8 +19,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ccn_engine::{
-    serve_bench, shard_of, ClusterConfig, IdleStrategy, OpenLoopConfig, ServeBenchConfig,
-    ShardedStore, StorePolicy,
+    serve_bench, shard_of, ClusterConfig, DegradeConfig, FaultPlan, IdleStrategy, OpenLoopConfig,
+    ServeBenchConfig, ShardedStore, StorePolicy,
 };
 use ccn_obs::{available_cores, Json, PhaseClock, RunManifest, ToJson};
 use ccn_sim::store::{ContentStore, LruStore};
@@ -56,6 +56,7 @@ fn engine_run(shards: usize, ell: f64, alpha: f64, batch: usize, smoke: bool) ->
             ell,
             policy: StorePolicy::Provisioned,
             idle: IdleStrategy::default(),
+            degrade: DegradeConfig::default(),
         },
         load: OpenLoopConfig {
             generators: 1,
@@ -66,6 +67,7 @@ fn engine_run(shards: usize, ell: f64, alpha: f64, batch: usize, smoke: bool) ->
             seed: SEED,
             batch,
         },
+        faults: FaultPlan::none(),
     }
 }
 

@@ -5,7 +5,8 @@ use std::fmt::Write as _;
 use ccn_bench::runner::{run_bench, BenchOptions};
 use ccn_coord::{CoordinatorConfig, ResilientCoordinator, RetryPolicy, RoundOutcome};
 use ccn_engine::{
-    serve_bench, ClusterConfig, IdleStrategy, OpenLoopConfig, ServeBenchConfig, StorePolicy,
+    serve_bench, ClusterConfig, DegradeConfig, FaultPlan, IdleStrategy, OpenLoopConfig,
+    ServeBenchConfig, StorePolicy,
 };
 use ccn_model::planner::{capacity_for_target_origin_load, plan, PlannerConfig};
 use ccn_model::{CacheModel, ModelParams};
@@ -58,6 +59,15 @@ COMMANDS
              --policy static|lru --seed 42 --smoke false
              --batch 1 (requests admitted per queue operation)
              --idle spin-then-park|yield|spin:S,yield:Y[,park]
+             --faults \"kill:1@500,revive:1@900\" — deterministic fault
+               schedule at admission-operation counts; forms: kill:N@OP
+               revive:N@OP kill-worker:N.S@OP revive-worker:N.S@OP
+               slow:N:DELAY_US@OP clear:N@OP stall:N:MICROS@OP and
+               seeded:SEED:MTBF_OPS:MTTR_OPS (random node outages)
+             --deadline-us 1000000 (peer-forward deadline)
+             --retries 2 (forward retry budget before origin)
+             --timeout-threshold 16 (consecutive failures to mark a
+               node down; 0 disables) --probation-ops 8192
              --name SERVE --out SERVE.json
   validate-manifest
              check that a JSON file carries a valid ccn.run-manifest/v1
@@ -433,6 +443,11 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
         "seed",
         "batch",
         "idle",
+        "faults",
+        "deadline-us",
+        "retries",
+        "timeout-threshold",
+        "probation-ops",
         "smoke",
         "name",
         "out",
@@ -447,32 +462,72 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
     };
     let idle = IdleStrategy::parse(&args.str_or("idle", "spin-then-park"))
         .map_err(|e| ArgError(format!("--idle: {e}")))?;
+    let u32_flag = |flag: &str, default: u64| -> Result<u32, ArgError> {
+        u32::try_from(args.u64_or(flag, default)?).map_err(|e| ArgError(format!("--{flag}: {e}")))
+    };
+    let degrade = DegradeConfig {
+        forward_deadline: std::time::Duration::from_micros(
+            args.u64_or(
+                "deadline-us",
+                DegradeConfig::default().forward_deadline.as_micros() as u64,
+            )?,
+        ),
+        forward_retries: u32_flag("retries", u64::from(DegradeConfig::default().forward_retries))?,
+        timeout_threshold: u32_flag(
+            "timeout-threshold",
+            u64::from(DegradeConfig::default().timeout_threshold),
+        )?,
+        probation_ops: args.u64_or("probation-ops", DegradeConfig::default().probation_ops)?,
+        ..DegradeConfig::default()
+    };
+    let nodes = usize_flag("nodes", 4)?;
+    let shards_per_node = usize_flag("shards", 1)?;
+    let rate = args.f64_or("rate", 2.0)?;
+    let duration = args.f64_or("duration", 1_000.0)?;
+    let faults_spec = args.str_or("faults", "");
+    let faults = if faults_spec.is_empty() {
+        FaultPlan::none()
+    } else {
+        // Horizon for seeded MTBF/MTTR expansion: the expected
+        // cluster-wide offered-operation count of this run.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let horizon_ops = (rate * duration * nodes as f64).max(1.0).ceil() as u64;
+        FaultPlan::parse(&faults_spec, nodes, shards_per_node, horizon_ops)
+            .map_err(|e| ArgError(format!("--faults: {e}")))?
+    };
     let config = ServeBenchConfig {
         cluster: ClusterConfig {
-            nodes: usize_flag("nodes", 4)?,
-            shards_per_node: usize_flag("shards", 1)?,
+            nodes,
+            shards_per_node,
             queue_capacity: usize_flag("queue", 1_024)?,
             catalogue: args.u64_or("catalogue", 10_000)?,
             capacity: args.u64_or("capacity", 100)?,
             ell: args.f64_or("ell", 0.5)?,
             policy,
             idle,
+            degrade,
         },
         load: OpenLoopConfig {
             generators: usize_flag("generators", 1)?,
             zipf_s: args.f64_or("s", 0.8)?,
-            rate_per_node_per_ms: args.f64_or("rate", 2.0)?,
-            horizon_ms: args.f64_or("duration", 1_000.0)?,
+            rate_per_node_per_ms: rate,
+            horizon_ms: duration,
             paced: parse_bool(args, "paced", "false")?,
             seed: args.u64_or("seed", 42)?,
             batch: usize_flag("batch", 1)?,
         },
+        faults,
     };
     let smoke = parse_bool(args, "smoke", "false")?;
     let name = args.str_or("name", "SERVE");
     let mut clock = PhaseClock::new();
     let outcome = serve_bench(&config).map_err(|e| ArgError(e.to_string()))?;
     clock.lap_events("serve", outcome.offered);
+    if !config.faults.is_empty() {
+        // Zero-length lap recording how many plan events fired, so
+        // the manifest carries the fault dimension of the run.
+        clock.lap_events("faults", outcome.fault_log.len() as u64);
+    }
     let manifest =
         RunManifest::capture("ccn", &name, config.load.seed, outcome.worker_threads, smoke)
             .with_phases(clock.finish());
@@ -519,6 +574,26 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
         "  accounting: completed + shed == offered ({} + {} == {})",
         outcome.completed, outcome.shed, outcome.offered
     );
+    if !config.faults.is_empty() {
+        let _ = writeln!(
+            out,
+            "  faults: {} applied, routing epoch {}, fault-served {}, shed-node-down {}",
+            outcome.fault_log.len(),
+            outcome.routing_epoch,
+            outcome.fault_served,
+            outcome.shed_node_down
+        );
+        let _ = writeln!(
+            out,
+            "  degradation: retried {}, failed-over {}, deadline-expired {}, \
+             health down/up {}/{}",
+            outcome.retried,
+            outcome.failed_over,
+            outcome.deadline_expired,
+            outcome.health_marked_down,
+            outcome.health_revived
+        );
+    }
     let _ = writeln!(out, "report written to {out_path}");
     Ok(out)
 }
@@ -779,6 +854,50 @@ mod tests {
         assert!(err.to_string().contains("--idle"), "{err}");
         let err = run_tokens(&["serve-bench", "--batch", "0"]).unwrap_err();
         assert!(err.to_string().contains("batch"), "{err}");
+    }
+
+    #[test]
+    fn serve_bench_replays_a_fault_schedule_and_stays_conserved() {
+        let dir = std::env::temp_dir().join("ccn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve_chaos.json");
+        let text = run_tokens(&[
+            "serve-bench",
+            "--nodes",
+            "3",
+            "--catalogue",
+            "1000",
+            "--capacity",
+            "20",
+            "--rate",
+            "0.5",
+            "--duration",
+            "200",
+            "--faults",
+            "kill:1@40,revive:1@200",
+            "--smoke",
+            "true",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        // serve_bench errors out on any conservation violation, so
+        // reaching the summary *is* the invariant check.
+        assert!(text.contains("completed + shed == offered"), "{text}");
+        assert!(text.contains("faults: 2 applied"), "{text}");
+        assert!(text.contains("routing epoch 3"), "{text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"faults_applied\": 2"), "{json}");
+        assert!(json.contains("kill:1@40"), "{json}");
+        let verdict = run_tokens(&["validate-manifest", "--file", path.to_str().unwrap()]).unwrap();
+        assert!(verdict.contains("embedded manifest"), "{verdict}");
+
+        let err = run_tokens(&["serve-bench", "--faults", "kill:9@10"]).unwrap_err();
+        assert!(err.to_string().contains("--faults"), "{err}");
+        let err = run_tokens(&["serve-bench", "--faults", "frob:1@10"]).unwrap_err();
+        assert!(err.to_string().contains("unknown transition"), "{err}");
+        let err = run_tokens(&["serve-bench", "--probation-ops", "0"]).unwrap_err();
+        assert!(err.to_string().contains("probation_ops"), "{err}");
     }
 
     #[test]

@@ -17,6 +17,24 @@
 //! *shed*) when the target shard queue is full, so overload produces
 //! backpressure instead of queue collapse, and every offered request
 //! is accounted: `completed + shed == offered`.
+//!
+//! # Failure semantics
+//!
+//! A cluster built with [`Cluster::with_faults`] replays a
+//! deterministic [`FaultPlan`] against itself while serving: whole
+//! nodes and single shard workers are killed and revived at scheduled
+//! admission-operation counts, nodes are slowed or stalled, and the
+//! engine *degrades instead of wedging*. Peer forwards carry a
+//! deadline and a bounded retry budget ([`DegradeConfig`]) before
+//! falling back to origin; a consecutive-timeout health detector and
+//! the plan both feed the epoch-bumped
+//! [`crate::routing::LiveRouting`] view, so rendezvous failover
+//! re-homes exactly the failed share mid-run and hands it back on
+//! revival. Killed nodes/workers run in **dead mode**: their threads
+//! stay up and complete every already-admitted job at origin
+//! (counted as `fault_served`), so the conservation invariant
+//! `completed + shed == offered` holds bit-exactly through any fault
+//! schedule.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,8 +47,11 @@ use ccn_sim::store::{ContentStore, LruStore, StaticStore};
 use ccn_sim::{ContentId, ServedBy, TierCounts};
 
 use crate::error::EngineError;
-use crate::routing::RoutingTable;
-use crate::shard::{shard_of, IdleStrategy, ShardHandle, ShardedStore};
+use crate::fault::{
+    AppliedFault, DegradeConfig, FaultController, FaultKind, FaultPlan, FaultState,
+};
+use crate::routing::{LiveRouting, RoutingTable};
+use crate::shard::{lock_recover, shard_of, IdleStrategy, ShardHandle, ShardedStore};
 
 /// Upper bucket edges for the engine's latency histograms: the
 /// in-process tiers complete in microseconds, so the grid extends
@@ -74,6 +95,11 @@ pub struct ClusterConfig {
     pub policy: StorePolicy,
     /// How shard workers wait when their queues run dry.
     pub idle: IdleStrategy,
+    /// Degradation-ladder knobs (forward deadline, retry budget,
+    /// health detector). The defaults are far outside the clean-path
+    /// envelope, so a fault-free run behaves identically to one
+    /// without the ladder.
+    pub degrade: DegradeConfig,
 }
 
 impl Default for ClusterConfig {
@@ -87,6 +113,7 @@ impl Default for ClusterConfig {
             ell: 0.5,
             policy: StorePolicy::Provisioned,
             idle: IdleStrategy::default(),
+            degrade: DegradeConfig::default(),
         }
     }
 }
@@ -133,7 +160,7 @@ impl ClusterConfig {
         if !(0.0..=1.0).contains(&self.ell) {
             return reject(format!("ell {} must be in [0, 1]", self.ell));
         }
-        Ok(())
+        self.degrade.validate()
     }
 }
 
@@ -156,6 +183,19 @@ pub(crate) struct Job {
 struct NodeRecorder {
     tiers: [AtomicU64; 3],
     degraded: AtomicU64,
+    /// Forward re-enqueue attempts after a peer-queue bounce.
+    retried: AtomicU64,
+    /// Forwards routed to a rendezvous survivor instead of the
+    /// assigned primary.
+    failed_over: AtomicU64,
+    /// Forwards answered by origin because the forward deadline
+    /// passed before the holder served them.
+    deadline_expired: AtomicU64,
+    /// Jobs this node completed at origin while it (or the owning
+    /// shard worker) was dead — admitted work is never lost.
+    fault_served: AtomicU64,
+    /// Requests shed at admission because this node was killed.
+    shed_node_down: AtomicU64,
     latency: [Mutex<Histogram>; 3],
 }
 
@@ -165,19 +205,35 @@ impl NodeRecorder {
         Self {
             tiers: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             degraded: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            failed_over: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            fault_served: AtomicU64::new(0),
+            shed_node_down: AtomicU64::new(0),
             latency: [hist(), hist(), hist()],
         }
     }
 }
 
 struct Shared {
-    routing: RoutingTable,
+    routing: LiveRouting,
     policy: StorePolicy,
+    degrade: DegradeConfig,
+    shards_per_node: usize,
     /// Set once after every node's shards are spawned; jobs only flow
     /// after that, so `get()` never observes the unset state.
     peers: OnceLock<Vec<ShardHandle<Job>>>,
     recorders: Vec<NodeRecorder>,
     in_flight: AtomicU64,
+    /// Global admission-operation counter — the fault plan's clock.
+    ops: AtomicU64,
+    /// Epoch instant for stall horizons.
+    anchor: Instant,
+    faults: FaultState,
+    controller: FaultController,
+    /// Whether the plan contains latency injections (slow/stall);
+    /// lets the fault-free hot path skip the per-job injection check.
+    injects_latency: bool,
 }
 
 impl Shared {
@@ -185,17 +241,60 @@ impl Shared {
         let elapsed_ms = job.issued.elapsed().as_secs_f64() * 1e3;
         let recorder = &self.recorders[job.client as usize];
         recorder.tiers[tier.index()].fetch_add(1, Ordering::Relaxed);
-        if let Ok(mut hist) = recorder.latency[tier.index()].lock() {
-            hist.observe(elapsed_ms);
-        }
+        lock_recover(&recorder.latency[tier.index()]).observe(elapsed_ms);
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Advances the fault clock past `op`: applies due plan events and
+    /// runs the health detector's probation pass. Called on every
+    /// admission; both branches are a single relaxed load when
+    /// nothing is pending.
+    fn tick(&self, op: u64) {
+        if self.controller.due(op) {
+            self.controller.apply_due(op, &self.faults, &self.routing, self.anchor);
+        }
+        self.faults.probation(op, &self.degrade, &self.routing);
+    }
+
+    /// Spin-waits the bounded retry backoff (attempt `k` waits
+    /// `k × retry_backoff`); runs on a shard worker, so it must never
+    /// sleep unboundedly.
+    fn backoff(&self, attempt: u32) {
+        let budget = self.degrade.retry_backoff.saturating_mul(attempt);
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            std::hint::spin_loop();
+        }
     }
 }
 
-/// The shard worker's request handler: serve locally, forward to the
-/// coordinated holder, or fall through to origin.
-fn process(shared: &Shared, store: &mut dyn ContentStore, job: Job) {
+/// The shard worker's request handler for node `node`: serve locally,
+/// forward to the coordinated holder (with bounded retry and
+/// failover), or degrade to origin — admitted jobs always complete.
+fn process(shared: &Shared, node: usize, store: &mut dyn ContentStore, job: Job) {
     let content = job.content;
+    if shared.injects_latency {
+        shared.faults.inject_latency(node, shared.anchor);
+    }
+    // Dead mode: a killed node (or killed shard worker) keeps
+    // draining its queue but answers everything from origin, so
+    // admitted work survives the fault and accounting stays exact.
+    if shared.faults.serving_down(node, shard_of(content, shared.shards_per_node)) {
+        shared.recorders[node].fault_served.fetch_add(1, Ordering::Relaxed);
+        if matches!(job.stage, Stage::Peer) && !shared.faults.node_killed(node) {
+            // A worker-dead holder failing forwards feeds the health
+            // detector; a plan-killed node is already routing-dead.
+            shared.faults.note_holder_outcome(
+                node,
+                false,
+                &shared.degrade,
+                shared.ops.load(Ordering::Relaxed),
+                &shared.routing,
+            );
+        }
+        shared.complete(&job, ServedBy::Origin);
+        return;
+    }
     match job.stage {
         Stage::Local => {
             if store.contains(content) {
@@ -206,13 +305,45 @@ fn process(shared: &Shared, store: &mut dyn ContentStore, job: Job) {
             let client = job.client as usize;
             match shared.routing.holder(content) {
                 Some(holder) if holder != client => {
-                    let peers = shared.peers.get().expect("cluster wired before traffic");
-                    let forwarded = Job { stage: Stage::Peer, ..job };
-                    if let Err(bounced) = peers[holder].try_job(content, forwarded) {
-                        // Peer queue full: degrade to origin rather
-                        // than block the shard or drop the request.
+                    let Some(peers) = shared.peers.get() else {
+                        // Unreachable by construction (peers are wired
+                        // before traffic); degrade rather than panic.
                         shared.recorders[client].degraded.fetch_add(1, Ordering::Relaxed);
-                        shared.complete(&bounced, ServedBy::Origin);
+                        shared.complete(&job, ServedBy::Origin);
+                        return;
+                    };
+                    if shared.routing.primary(content) != Some(holder) {
+                        shared.recorders[client].failed_over.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Bounded retry with linear backoff, then degrade
+                    // to origin: the ladder's peer → retry → origin
+                    // rungs. Never blocks the shard indefinitely.
+                    let mut forwarded = Job { stage: Stage::Peer, ..job };
+                    let mut attempt = 0u32;
+                    loop {
+                        match peers[holder].try_job(content, forwarded) {
+                            Ok(()) => return,
+                            Err(bounced) => {
+                                if attempt >= shared.degrade.forward_retries {
+                                    shared.faults.note_holder_outcome(
+                                        holder,
+                                        false,
+                                        &shared.degrade,
+                                        shared.ops.load(Ordering::Relaxed),
+                                        &shared.routing,
+                                    );
+                                    shared.recorders[client]
+                                        .degraded
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    shared.complete(&bounced, ServedBy::Origin);
+                                    return;
+                                }
+                                attempt += 1;
+                                shared.recorders[client].retried.fetch_add(1, Ordering::Relaxed);
+                                shared.backoff(attempt);
+                                forwarded = bounced;
+                            }
+                        }
                     }
                 }
                 _ => {
@@ -227,6 +358,30 @@ fn process(shared: &Shared, store: &mut dyn ContentStore, job: Job) {
             }
         }
         Stage::Peer => {
+            // Deadline rung of the ladder: a forward that sat in
+            // queues past its budget is answered by origin at the
+            // holder, and the miss feeds the health detector.
+            if job.issued.elapsed() > shared.degrade.forward_deadline {
+                shared.recorders[job.client as usize]
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.faults.note_holder_outcome(
+                    node,
+                    false,
+                    &shared.degrade,
+                    shared.ops.load(Ordering::Relaxed),
+                    &shared.routing,
+                );
+                shared.complete(&job, ServedBy::Origin);
+                return;
+            }
+            shared.faults.note_holder_outcome(
+                node,
+                true,
+                &shared.degrade,
+                shared.ops.load(Ordering::Relaxed),
+                &shared.routing,
+            );
             if store.contains(content) {
                 store.on_hit(content);
                 shared.complete(&job, ServedBy::Peer);
@@ -279,6 +434,25 @@ pub struct EngineMetrics {
     pub degraded_to_origin: u64,
     /// High-water mark of any single shard queue.
     pub max_queue_depth: usize,
+    /// Forward re-enqueue attempts after peer-queue bounces.
+    pub retried: u64,
+    /// Forwards routed to a rendezvous survivor instead of the
+    /// assigned primary.
+    pub failed_over: u64,
+    /// Forwards answered by origin because the deadline passed first.
+    pub deadline_expired: u64,
+    /// Jobs completed at origin by a dead node or dead shard worker.
+    pub fault_served: u64,
+    /// Requests shed at admission because their node was killed.
+    pub shed_node_down: u64,
+    /// Nodes the health detector marked down during the run.
+    pub health_marked_down: u64,
+    /// Health-marked-down nodes revived by probation.
+    pub health_revived: u64,
+    /// Final routing epoch (1 = liveness never changed).
+    pub routing_epoch: u64,
+    /// Every fault the controller applied, in application order.
+    pub fault_log: Vec<AppliedFault>,
 }
 
 impl EngineMetrics {
@@ -329,18 +503,33 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Provisions and starts a cluster: builds the routing table from
-    /// the coordination plane's slice assignments, populates every
-    /// shard's store, and spawns `nodes × shards_per_node` workers.
+    /// Provisions and starts a fault-free cluster: builds the routing
+    /// table from the coordination plane's slice assignments,
+    /// populates every shard's store, and spawns
+    /// `nodes × shards_per_node` workers.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::InvalidConfig`] for out-of-range
-    /// parameters.
+    /// parameters and [`EngineError::Spawn`] when the OS refuses a
+    /// worker thread.
     pub fn new(config: ClusterConfig) -> Result<Self, EngineError> {
+        Self::with_faults(config, FaultPlan::none())
+    }
+
+    /// [`Cluster::new`] plus a deterministic [`FaultPlan`] replayed
+    /// against the cluster as it serves (see the module docs'
+    /// *Failure semantics*).
+    ///
+    /// # Errors
+    ///
+    /// Additionally returns [`EngineError::FaultSpec`] when the plan
+    /// references nodes or shards outside this cluster.
+    pub fn with_faults(config: ClusterConfig, plan: FaultPlan) -> Result<Self, EngineError> {
         config.validate()?;
+        plan.validate(config.nodes, config.shards_per_node)?;
         let x = config.x();
-        let routing = if x == 0 {
+        let table = if x == 0 {
             RoutingTable::empty(config.nodes)
         } else {
             let prefix = config.local_prefix();
@@ -349,20 +538,31 @@ impl Cluster {
                 config.nodes,
             )?
         };
+        let injects_latency = plan
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::SlowNode { .. } | FaultKind::Stall { .. }));
         let shared = Arc::new(Shared {
-            routing,
+            routing: LiveRouting::new(table),
             policy: config.policy,
+            degrade: config.degrade,
+            shards_per_node: config.shards_per_node,
             peers: OnceLock::new(),
             recorders: (0..config.nodes).map(|_| NodeRecorder::new()).collect(),
             in_flight: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            anchor: Instant::now(),
+            faults: FaultState::new(config.nodes, config.shards_per_node),
+            controller: FaultController::new(plan),
+            injects_latency,
         });
         let stores: Vec<ShardedStore<Job>> = (0..config.nodes)
             .map(|node| {
                 let worker_shared = Arc::clone(&shared);
                 let handler = Arc::new(move |store: &mut dyn ContentStore, job: Job| {
-                    process(&worker_shared, store, job);
+                    process(&worker_shared, node, store, job);
                 });
-                ShardedStore::spawn(
+                ShardedStore::try_spawn(
                     config.shards_per_node,
                     config.queue_capacity,
                     config.idle,
@@ -370,7 +570,7 @@ impl Cluster {
                     handler,
                 )
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let handles = stores.iter().map(ShardedStore::handle).collect();
         assert!(shared.peers.set(handles).is_ok(), "peers wired exactly once");
         Ok(Self { shared, stores, config })
@@ -385,14 +585,26 @@ impl Cluster {
     /// Admits a request from `node`'s clients for `content`.
     ///
     /// Returns `false` — the request is **shed** — when the target
-    /// shard's bounded queue is full. Accepted requests always
-    /// complete and are counted by exactly one tier.
+    /// shard's bounded queue is full or `node` is currently killed by
+    /// the fault plan. Accepted requests always complete and are
+    /// counted by exactly one tier.
+    ///
+    /// Every call advances the global operation counter, the clock
+    /// fault-plan events are scheduled against.
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     pub fn try_submit(&self, node: usize, content: ContentId) -> bool {
-        let peers = self.shared.peers.get().expect("cluster wired");
+        let Some(peers) = self.shared.peers.get() else {
+            return false; // unreachable by construction: shed, not panic
+        };
+        let op = self.shared.ops.fetch_add(1, Ordering::AcqRel) + 1;
+        self.shared.tick(op);
+        if self.shared.faults.node_killed(node) {
+            self.shared.recorders[node].shed_node_down.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
         self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
         #[allow(clippy::cast_possible_truncation)]
         let job = Job { content, client: node as u32, issued: Instant::now(), stage: Stage::Local };
@@ -435,6 +647,30 @@ impl Cluster {
         self.stores[node].handle().contents()
     }
 
+    /// Per-node tier counts so far — a live snapshot (call
+    /// [`Cluster::drain`] first for a quiescent one). Lets phase-split
+    /// analyses (pre-fault vs post-revival) difference two snapshots
+    /// without stopping the cluster.
+    #[must_use]
+    pub fn tier_totals(&self) -> Vec<TierCounts> {
+        self.shared
+            .recorders
+            .iter()
+            .map(|r| TierCounts {
+                local: r.tiers[0].load(Ordering::Acquire),
+                peer: r.tiers[1].load(Ordering::Acquire),
+                origin: r.tiers[2].load(Ordering::Acquire),
+            })
+            .collect()
+    }
+
+    /// The current routing epoch (1 = liveness never changed; each
+    /// effective kill/revive/health verdict bumps it).
+    #[must_use]
+    pub fn routing_epoch(&self) -> u64 {
+        self.shared.routing.epoch()
+    }
+
     /// Drains outstanding work, stops every shard worker, and returns
     /// the aggregated metrics.
     #[must_use]
@@ -449,6 +685,11 @@ impl Cluster {
         let mut tier_latency: Vec<Histogram> =
             (0..3).map(|_| Histogram::with_bounds(&ENGINE_LATENCY_MS_BOUNDS)).collect();
         let mut degraded = 0;
+        let mut retried = 0;
+        let mut failed_over = 0;
+        let mut deadline_expired = 0;
+        let mut fault_served = 0;
+        let mut shed_node_down = 0;
         for recorder in &self.shared.recorders {
             per_node.push(TierCounts {
                 local: recorder.tiers[0].load(Ordering::Acquire),
@@ -456,12 +697,31 @@ impl Cluster {
                 origin: recorder.tiers[2].load(Ordering::Acquire),
             });
             degraded += recorder.degraded.load(Ordering::Acquire);
+            retried += recorder.retried.load(Ordering::Acquire);
+            failed_over += recorder.failed_over.load(Ordering::Acquire);
+            deadline_expired += recorder.deadline_expired.load(Ordering::Acquire);
+            fault_served += recorder.fault_served.load(Ordering::Acquire);
+            shed_node_down += recorder.shed_node_down.load(Ordering::Acquire);
             for tier in ServedBy::ALL {
-                let hist = recorder.latency[tier.index()].lock().expect("no poisoned recorder");
+                let hist = lock_recover(&recorder.latency[tier.index()]);
                 tier_latency[tier.index()].merge(&hist);
             }
         }
-        EngineMetrics { per_node, tier_latency, degraded_to_origin: degraded, max_queue_depth }
+        EngineMetrics {
+            per_node,
+            tier_latency,
+            degraded_to_origin: degraded,
+            max_queue_depth,
+            retried,
+            failed_over,
+            deadline_expired,
+            fault_served,
+            shed_node_down,
+            health_marked_down: self.shared.faults.health_marked_down(),
+            health_revived: self.shared.faults.health_revived(),
+            routing_epoch: self.shared.routing.epoch(),
+            fault_log: self.shared.controller.log(),
+        }
     }
 }
 
@@ -507,7 +767,21 @@ impl BatchSubmitter<'_> {
             return 0;
         }
         let shared = &self.cluster.shared;
-        let peers = shared.peers.get().expect("cluster wired");
+        let Some(peers) = shared.peers.get() else {
+            contents.clear();
+            return 0; // unreachable by construction: shed, not panic
+        };
+        // One counter advance and one fault-clock tick per run: a
+        // fault whose trigger lands inside the run is applied at the
+        // run boundary, so kill/revive quantize to run granularity
+        // (epoch-N jobs already admitted complete under dead mode).
+        let op = shared.ops.fetch_add(offered, Ordering::AcqRel) + offered;
+        shared.tick(op);
+        if shared.faults.node_killed(node) {
+            shared.recorders[node].shed_node_down.fetch_add(offered, Ordering::Relaxed);
+            contents.clear();
+            return 0;
+        }
         shared.in_flight.fetch_add(offered, Ordering::AcqRel);
         let issued = Instant::now();
         #[allow(clippy::cast_possible_truncation)]
@@ -636,8 +910,80 @@ mod tests {
             ClusterConfig { capacity: 0, ..ClusterConfig::default() },
             ClusterConfig { ell: 1.5, ..ClusterConfig::default() },
             ClusterConfig { capacity: 200, catalogue: 100, ..ClusterConfig::default() },
+            ClusterConfig {
+                degrade: DegradeConfig { probation_ops: 0, ..DegradeConfig::default() },
+                ..ClusterConfig::default()
+            },
         ] {
             assert!(Cluster::new(bad).is_err());
         }
+    }
+
+    #[test]
+    fn with_faults_rejects_plans_outside_the_cluster() {
+        let plan = FaultPlan::none().with_node_outage(9, 10, None);
+        let r = Cluster::with_faults(ClusterConfig::default(), plan);
+        assert!(matches!(r, Err(EngineError::FaultSpec { .. })));
+    }
+
+    #[test]
+    fn killed_node_sheds_at_admission_and_revives_on_schedule() {
+        let config = ClusterConfig {
+            nodes: 3,
+            catalogue: 1_000,
+            capacity: 10,
+            ell: 0.5,
+            ..ClusterConfig::default()
+        };
+        let plan = FaultPlan::none().with_node_outage(1, 2, Some(4));
+        let cluster = Cluster::with_faults(config, plan).unwrap();
+        assert!(cluster.try_submit(1, ContentId(1)), "op 1: healthy"); // local
+        cluster.drain(); // op 1 completes before the kill can land
+        assert!(!cluster.try_submit(1, ContentId(1)), "op 2: kill applies, shed");
+        assert_eq!(cluster.routing_epoch(), 2, "kill bumped the epoch");
+        // op 3 from a survivor: node 1's slice re-homes via HRW; the
+        // survivor holder misses it, so origin serves — never node 1.
+        assert!(cluster.try_submit(0, ContentId(12)), "op 3: survivors admit");
+        cluster.drain();
+        assert!(cluster.try_submit(2, ContentId(20)), "op 4: revive applies");
+        assert_eq!(cluster.routing_epoch(), 3, "revive bumped the epoch");
+        cluster.drain();
+        assert!(cluster.try_submit(1, ContentId(1)), "op 5: node 1 is back");
+        cluster.drain();
+        let metrics = cluster.finish();
+        assert_eq!(metrics.completed(), 4, "every admitted op completed");
+        assert_eq!(metrics.shed_node_down, 1);
+        assert_eq!(metrics.per_node[1].local, 2, "ops 1 and 5 hit locally");
+        assert_eq!(metrics.fault_log.len(), 2);
+        assert_eq!(metrics.fault_log[0].kind, FaultKind::KillNode(1));
+        assert_eq!(metrics.fault_log[1].kind, FaultKind::ReviveNode(1));
+        assert_eq!(metrics.routing_epoch, 3);
+        assert_eq!(metrics.health_marked_down, 0, "plan kills bypass the detector");
+    }
+
+    #[test]
+    fn dead_worker_completes_admitted_jobs_at_origin() {
+        let config = ClusterConfig {
+            nodes: 1,
+            catalogue: 1_000,
+            capacity: 10,
+            ell: 0.0,
+            ..ClusterConfig::default()
+        };
+        let plan = FaultPlan::none().with_worker_outage(0, 0, 2, Some(3));
+        let cluster = Cluster::with_faults(config, plan).unwrap();
+        assert!(cluster.try_submit(0, ContentId(1)), "op 1: local hit");
+        cluster.drain();
+        // Node stays admittable while only the worker is dead.
+        assert!(cluster.try_submit(0, ContentId(1)), "op 2: admitted into dead worker");
+        cluster.drain();
+        assert!(cluster.try_submit(0, ContentId(1)), "op 3: worker revived");
+        cluster.drain();
+        let metrics = cluster.finish();
+        assert_eq!(metrics.completed(), 3);
+        assert_eq!(metrics.fault_served, 1, "dead worker answered from origin");
+        assert_eq!(metrics.totals().local, 2, "ops 1 and 3 hit the warm store");
+        assert_eq!(metrics.shed_node_down, 0);
+        assert_eq!(metrics.routing_epoch, 1, "worker faults never touch routing");
     }
 }

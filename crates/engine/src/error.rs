@@ -26,6 +26,18 @@ pub enum EngineError {
         /// Requests rejected at admission.
         shed: u64,
     },
+    /// The OS refused to spawn a shard worker thread — the cluster
+    /// cannot be brought up (surfaced at construction, never mid-run).
+    Spawn {
+        /// The underlying spawn failure.
+        reason: String,
+    },
+    /// A fault plan or `--faults` spec was malformed or referenced
+    /// nodes/shards outside the cluster.
+    FaultSpec {
+        /// Explanation of the rejected plan.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -39,6 +51,8 @@ impl fmt::Display for EngineError {
                 f,
                 "request accounting violated: offered {offered} != completed {completed} + shed {shed}"
             ),
+            EngineError::Spawn { reason } => write!(f, "failed to spawn shard worker: {reason}"),
+            EngineError::FaultSpec { reason } => write!(f, "invalid fault plan: {reason}"),
         }
     }
 }
@@ -70,5 +84,9 @@ mod tests {
         assert!(e.to_string().contains("bad rate"));
         let e = EngineError::Accounting { offered: 10, completed: 8, shed: 1 };
         assert!(e.to_string().contains("offered 10"));
+        let e = EngineError::Spawn { reason: "resource exhausted".into() };
+        assert!(e.to_string().contains("resource exhausted"));
+        let e = EngineError::FaultSpec { reason: "node 9 out of range".into() };
+        assert!(e.to_string().contains("node 9 out of range"));
     }
 }

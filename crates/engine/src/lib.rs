@@ -24,11 +24,20 @@
 //! - [`routing`] — a [`RoutingTable`] derived from the coordination
 //!   plane's slice assignments answers "which live node holds this
 //!   coordinated content?", with rendezvous-hash failover that moves
-//!   only a failed node's share.
+//!   only a failed node's share; [`LiveRouting`] is its lock-free,
+//!   epoch-stamped runtime view, updated mid-run by fault injection
+//!   and the health detector.
+//! - [`fault`] — deterministic, operation-count-scheduled fault
+//!   injection ([`FaultPlan`]): kill/revive whole nodes or single
+//!   shard workers, slow or stall nodes, hand-written or drawn from a
+//!   seeded MTBF/MTTR renewal process; plus the degradation-ladder
+//!   knobs ([`DegradeConfig`]).
 //! - [`cluster`] — [`Cluster`] wires nodes together: requests escalate
 //!   local → peer → origin, mirroring the model's `d0`/`d1`/`d2`
-//!   latency tiers, with bounded admission (shed) and degrade-to-origin
-//!   on internal backpressure.
+//!   latency tiers, with bounded admission (shed) and a graceful
+//!   degradation ladder (deadline-bounded forwards, bounded
+//!   retry-with-backoff, dead-mode fault serving) that keeps
+//!   `completed + shed == offered` exact through any fault schedule.
 //! - [`load`] — open-loop Poisson/Zipf generators
 //!   ([`load::drive`]) reusing `ccn_sim::workload`, so the engine and
 //!   the simulator can be fed bit-identical request streams; with
@@ -59,6 +68,7 @@
 
 pub mod cluster;
 pub mod error;
+pub mod fault;
 pub mod load;
 pub mod report;
 pub mod ring;
@@ -69,7 +79,8 @@ pub use cluster::{
     BatchSubmitter, Cluster, ClusterConfig, EngineMetrics, StorePolicy, ENGINE_LATENCY_MS_BOUNDS,
 };
 pub use error::EngineError;
+pub use fault::{AppliedFault, DegradeConfig, FaultEvent, FaultKind, FaultPlan};
 pub use load::{LoadReport, OpenLoopConfig};
 pub use report::{serve_bench, ServeBenchConfig, ServeBenchOutcome};
-pub use routing::RoutingTable;
+pub use routing::{LiveRouting, RoutingTable};
 pub use shard::{shard_of, IdleStrategy, ShardHandle, ShardedStore};

@@ -9,6 +9,7 @@ use ccn_obs::Histogram;
 
 use crate::cluster::{Cluster, ClusterConfig, StorePolicy};
 use crate::error::EngineError;
+use crate::fault::{AppliedFault, FaultPlan};
 use crate::load::{drive, OpenLoopConfig};
 
 /// Everything one serve-bench run needs.
@@ -18,6 +19,9 @@ pub struct ServeBenchConfig {
     pub cluster: ClusterConfig,
     /// Offered load.
     pub load: OpenLoopConfig,
+    /// Deterministic fault schedule replayed during the run
+    /// ([`FaultPlan::none`] = the fault-free baseline).
+    pub faults: FaultPlan,
 }
 
 /// Results of one serve-bench run.
@@ -49,6 +53,25 @@ pub struct ServeBenchOutcome {
     pub max_queue_depth: usize,
     /// Service latency per tier, indexed by [`ServedBy::index`].
     pub tier_latency: Vec<Histogram>,
+    /// Forward re-enqueue attempts after peer-queue bounces.
+    pub retried: u64,
+    /// Forwards routed to a rendezvous survivor instead of the
+    /// assigned primary.
+    pub failed_over: u64,
+    /// Forwards answered by origin because the deadline passed first.
+    pub deadline_expired: u64,
+    /// Jobs completed at origin by a dead node or dead shard worker.
+    pub fault_served: u64,
+    /// Requests shed at admission because their node was killed.
+    pub shed_node_down: u64,
+    /// Nodes the health detector marked down during the run.
+    pub health_marked_down: u64,
+    /// Health-marked-down nodes revived by probation.
+    pub health_revived: u64,
+    /// Final routing epoch (1 = liveness never changed).
+    pub routing_epoch: u64,
+    /// Every fault applied during the run, in application order.
+    pub fault_log: Vec<AppliedFault>,
 }
 
 impl ServeBenchOutcome {
@@ -92,6 +115,16 @@ impl ServeBenchOutcome {
             *registry.histogram(&format!("engine.latency_ms.{}", tier.name())) =
                 self.tier_latency[tier.index()].clone();
         }
+        registry.counter("engine.faults.retried").add(self.retried);
+        registry.counter("engine.faults.failed_over").add(self.failed_over);
+        registry.counter("engine.faults.deadline_expired").add(self.deadline_expired);
+        registry.counter("engine.faults.fault_served").add(self.fault_served);
+        registry.counter("engine.faults.shed_node_down").add(self.shed_node_down);
+        registry.counter("engine.faults.health_marked_down").add(self.health_marked_down);
+        registry.counter("engine.faults.health_revived").add(self.health_revived);
+        registry.counter("engine.faults.applied").add(self.fault_log.len() as u64);
+        #[allow(clippy::cast_precision_loss)]
+        registry.gauge("engine.routing.epoch").set(self.routing_epoch as f64);
         #[allow(clippy::cast_precision_loss)]
         registry.gauge("engine.queue.max_depth").set(self.max_queue_depth as f64);
         registry.gauge("engine.throughput.req_per_sec").set(self.requests_per_sec);
@@ -141,6 +174,21 @@ impl ToJson for ServeBenchOutcome {
             .field("wall_ms", self.wall_ms)
             .field("requests_per_sec", self.requests_per_sec)
             .field("max_queue_depth", self.max_queue_depth as u64)
+            .field("retried", self.retried)
+            .field("failed_over", self.failed_over)
+            .field("deadline_expired", self.deadline_expired)
+            .field("fault_served", self.fault_served)
+            .field("shed_node_down", self.shed_node_down)
+            .field("health_marked_down", self.health_marked_down)
+            .field("health_revived", self.health_revived)
+            .field("routing_epoch", self.routing_epoch)
+            .field("faults_applied", self.fault_log.len() as u64)
+            .field(
+                "fault_log",
+                Json::from(
+                    self.fault_log.iter().map(|f| Json::from(f.to_string())).collect::<Vec<_>>(),
+                ),
+            )
             .field("latency_ms", latency)
             .field("metrics", self.registry().to_json())
     }
@@ -155,7 +203,7 @@ impl ToJson for ServeBenchOutcome {
 /// [`EngineError::Accounting`] if any request went unaccounted
 /// (`completed + shed != offered` — an engine bug, never expected).
 pub fn serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchOutcome, EngineError> {
-    let cluster = Cluster::new(config.cluster.clone())?;
+    let cluster = Cluster::with_faults(config.cluster.clone(), config.faults.clone())?;
     let load = drive(&cluster, &config.load)?;
     let metrics = cluster.finish();
     let completed = metrics.completed();
@@ -176,6 +224,15 @@ pub fn serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchOutcome, Engin
         requests_per_sec,
         max_queue_depth: metrics.max_queue_depth,
         tier_latency: metrics.tier_latency,
+        retried: metrics.retried,
+        failed_over: metrics.failed_over,
+        deadline_expired: metrics.deadline_expired,
+        fault_served: metrics.fault_served,
+        shed_node_down: metrics.shed_node_down,
+        health_marked_down: metrics.health_marked_down,
+        health_revived: metrics.health_revived,
+        routing_epoch: metrics.routing_epoch,
+        fault_log: metrics.fault_log,
         cluster: config.cluster.clone(),
         load: config.load.clone(),
     })
@@ -198,6 +255,7 @@ mod tests {
                 horizon_ms: 200.0,
                 ..OpenLoopConfig::default()
             },
+            faults: FaultPlan::none(),
         }
     }
 
@@ -237,5 +295,28 @@ mod tests {
         assert!(registry.len() >= 9);
         let rendered = registry.to_json().to_string_compact();
         assert!(rendered.contains("engine.requests.offered"));
+        assert!(rendered.contains("engine.faults.fault_served"));
+        assert!(rendered.contains("engine.routing.epoch"));
+    }
+
+    #[test]
+    fn faulted_run_accounts_exactly_and_reports_the_log() {
+        let mut config = smoke_config();
+        // Kill node 1 early, revive it mid-run.
+        config.faults = FaultPlan::none().with_node_outage(1, 20, Some(120));
+        let outcome = serve_bench(&config).unwrap();
+        assert_eq!(outcome.offered, outcome.completed + outcome.shed, "conservation under faults");
+        assert_eq!(outcome.fault_log.len(), 2, "kill and revive both applied");
+        assert!(outcome.routing_epoch >= 3, "two liveness flips bump the epoch twice");
+        assert!(
+            outcome.shed >= outcome.shed_node_down,
+            "node-down sheds are a subset of all sheds"
+        );
+        let json = outcome.to_json();
+        assert_eq!(json.get("faults_applied").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("routing_epoch").and_then(Json::as_u64), Some(outcome.routing_epoch));
+        // The rendered fault log parses back as a spec string.
+        let rendered = json.to_string_compact();
+        assert!(rendered.contains("kill:1@20"), "{rendered}");
     }
 }

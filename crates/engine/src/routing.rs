@@ -12,6 +12,7 @@
 //! node gets its exact old share back.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use ccn_coord::RouterAssignment;
 use ccn_sim::ContentId;
@@ -143,17 +144,95 @@ impl RoutingTable {
     /// when no node is live.
     #[must_use]
     pub fn holder(&self, content: ContentId) -> Option<usize> {
+        self.holder_where(content, |node| self.live[node])
+    }
+
+    /// [`Self::holder`] under an externally supplied liveness view
+    /// (shared with [`LiveRouting`], which tracks liveness in atomics
+    /// so the hot path never takes a lock).
+    fn holder_where(&self, content: ContentId, is_live: impl Fn(usize) -> bool) -> Option<usize> {
         let primary = self.primary(content)?;
-        if self.live[primary] {
+        if is_live(primary) {
             return Some(primary);
         }
         let rank = content.rank();
-        self.live
-            .iter()
-            .enumerate()
-            .filter(|&(_, &up)| up)
-            .map(|(node, _)| node)
+        (0..self.live.len())
+            .filter(|&node| is_live(node))
             .max_by_key(|&node| mix(rank ^ mix(node as u64 + 1)))
+    }
+}
+
+/// A lock-free, epoch-stamped liveness view over a [`RoutingTable`].
+///
+/// The table's slice assignment is immutable for the life of the
+/// cluster; only *liveness* changes at runtime (plan-driven
+/// kill/revive, health-detector verdicts). `LiveRouting` keeps that
+/// mutable part in atomics so shard workers and submitters can route
+/// without locks, and stamps every liveness flip with a monotonically
+/// increasing **epoch**. In-flight operations routed under epoch N are
+/// never recalled when N+1 lands mid-batch: they complete (possibly
+/// degraded to origin) or shed under the accounting invariant, and
+/// only operations admitted after the flip see the new view.
+#[derive(Debug)]
+pub struct LiveRouting {
+    table: RoutingTable,
+    live: Vec<AtomicBool>,
+    /// Bumped on every effective liveness change; starts at 1.
+    epoch: AtomicU64,
+}
+
+impl LiveRouting {
+    /// Wraps a table; initial liveness is copied from it.
+    #[must_use]
+    pub fn new(table: RoutingTable) -> Self {
+        let live = table.live.iter().map(|&up| AtomicBool::new(up)).collect();
+        Self { table, live, epoch: AtomicU64::new(1) }
+    }
+
+    /// The immutable slice assignment underneath.
+    #[must_use]
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// The current routing epoch (1 at construction).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether `node` is currently live.
+    #[must_use]
+    pub fn is_live(&self, node: usize) -> bool {
+        self.live[node].load(Ordering::Acquire)
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|l| l.load(Ordering::Acquire)).count()
+    }
+
+    /// Marks a node up or down; bumps and returns the new epoch only
+    /// when the flag actually changed (idempotent re-marks are free).
+    pub fn set_live(&self, node: usize, up: bool) -> Option<u64> {
+        if self.live[node].swap(up, Ordering::AcqRel) == up {
+            return None;
+        }
+        Some(self.epoch.fetch_add(1, Ordering::AcqRel) + 1)
+    }
+
+    /// The assigned primary for `content`, live or not.
+    #[must_use]
+    pub fn primary(&self, content: ContentId) -> Option<usize> {
+        self.table.primary(content)
+    }
+
+    /// The live holder for `content` under the current epoch's view
+    /// (see [`RoutingTable::holder`]).
+    #[must_use]
+    pub fn holder(&self, content: ContentId) -> Option<usize> {
+        self.table.holder_where(content, |node| self.live[node].load(Ordering::Acquire))
     }
 }
 
@@ -195,6 +274,79 @@ mod tests {
         let after: Vec<_> =
             t.coordinated_range().map(|r| t.holder(ContentId(r)).unwrap()).collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn live_routing_epochs_bump_only_on_effective_change() {
+        let lr = LiveRouting::new(table(10, 4, 4));
+        assert_eq!(lr.epoch(), 1);
+        assert_eq!(lr.live_count(), 4);
+        assert_eq!(lr.set_live(2, true), None, "already live: no epoch bump");
+        assert_eq!(lr.epoch(), 1);
+        assert_eq!(lr.set_live(2, false), Some(2));
+        assert!(!lr.is_live(2));
+        assert_eq!(lr.set_live(2, false), None, "already down: no epoch bump");
+        assert_eq!(lr.set_live(2, true), Some(3));
+        assert_eq!(lr.epoch(), 3);
+        assert_eq!(lr.live_count(), 4);
+    }
+
+    #[test]
+    fn live_routing_agrees_with_the_locked_table() {
+        let mut locked = table(30, 6, 5);
+        let lr = LiveRouting::new(table(30, 6, 5));
+        for rank in lr.table().coordinated_range() {
+            assert_eq!(lr.holder(ContentId(rank)), locked.holder(ContentId(rank)));
+            assert_eq!(lr.primary(ContentId(rank)), locked.primary(ContentId(rank)));
+        }
+        locked.set_live(1, false);
+        lr.set_live(1, false);
+        locked.set_live(4, false);
+        lr.set_live(4, false);
+        for rank in lr.table().coordinated_range() {
+            assert_eq!(
+                lr.holder(ContentId(rank)),
+                locked.holder(ContentId(rank)),
+                "rank {rank} diverged with nodes 1 and 4 down"
+            );
+        }
+    }
+
+    proptest! {
+        /// Killing one node through the live view re-homes only that
+        /// node's share, exactly as on the locked table.
+        #[test]
+        fn live_single_failure_moves_only_the_failed_share(
+            nodes in 2usize..12,
+            x in 1u64..40,
+            prefix in 0u64..200,
+            victim in 0usize..12,
+        ) {
+            let lr = LiveRouting::new(table(prefix, x, nodes));
+            let victim = victim % nodes;
+            let before: Vec<usize> = lr
+                .table()
+                .coordinated_range()
+                .map(|r| lr.holder(ContentId(r)).unwrap())
+                .collect();
+            prop_assert!(lr.set_live(victim, false).is_some());
+            for (rank, old) in lr.table().coordinated_range().zip(&before) {
+                let now = lr.holder(ContentId(rank)).unwrap();
+                if *old == victim {
+                    prop_assert!(now != victim && lr.is_live(now));
+                } else {
+                    prop_assert_eq!(now, *old, "rank {} reshuffled {} -> {}", rank, old, now);
+                }
+            }
+            // Revival restores the pre-kill mapping bit-exactly.
+            prop_assert!(lr.set_live(victim, true).is_some());
+            let restored: Vec<usize> = lr
+                .table()
+                .coordinated_range()
+                .map(|r| lr.holder(ContentId(r)).unwrap())
+                .collect();
+            prop_assert_eq!(restored, before);
+        }
     }
 
     proptest! {

@@ -25,14 +25,28 @@
 //! warm-up and drain paths allocate nothing per call.
 
 use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{JoinHandle, Thread};
 use std::time::Duration;
 
 use ccn_sim::store::ContentStore;
 use ccn_sim::ContentId;
 
+use crate::error::EngineError;
 use crate::ring::{ring, Consumer, Producer};
+
+/// Poison-tolerant lock: a worker that panicked while holding one of
+/// the engine's mutexes (fault injection makes that survivable rather
+/// than hypothetical) must not cascade the panic into every other
+/// thread touching the lock. The protected data here (reply slots,
+/// pooled `Arc`s, fault logs) is valid at every instruction, so the
+/// poison flag carries no information — recover the guard.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// SplitMix64 finalizer — the same scrambling step the placement layer
 /// uses, so shard routing is uniform even for the sequential rank ids
@@ -180,18 +194,21 @@ impl ReplySlot {
     }
 
     fn fill(&self, reply: Reply) {
-        let mut slot = self.value.lock().expect("reply slot not poisoned");
+        let mut slot = lock_recover(&self.value);
         *slot = Some(reply);
         self.ready.notify_one();
     }
 
     fn take(&self) -> Reply {
-        let mut slot = self.value.lock().expect("reply slot not poisoned");
+        let mut slot = lock_recover(&self.value);
         loop {
             if let Some(reply) = slot.take() {
                 return reply;
             }
-            slot = self.ready.wait(slot).expect("reply slot not poisoned");
+            slot = match self.ready.wait(slot) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
     }
 }
@@ -263,15 +280,11 @@ struct HandleInner<J> {
 
 impl<J> HandleInner<J> {
     fn checkout_reply_slot(&self) -> Arc<ReplySlot> {
-        self.reply_pool
-            .lock()
-            .expect("reply pool not poisoned")
-            .pop()
-            .unwrap_or_else(|| Arc::new(ReplySlot::new()))
+        lock_recover(&self.reply_pool).pop().unwrap_or_else(|| Arc::new(ReplySlot::new()))
     }
 
     fn return_reply_slot(&self, slot: Arc<ReplySlot>) {
-        self.reply_pool.lock().expect("reply pool not poisoned").push(slot);
+        lock_recover(&self.reply_pool).push(slot);
     }
 }
 
@@ -467,21 +480,54 @@ impl<J: Send + 'static> ShardedStore<J> {
     ///
     /// # Panics
     ///
-    /// Panics if `shards` or `queue_capacity` is zero, or if the OS
-    /// refuses to spawn a thread.
+    /// Panics if the OS refuses to spawn a thread (see
+    /// [`ShardedStore::try_spawn`] for the fallible form) or on a
+    /// zero shard count / queue capacity.
     pub fn spawn<F, H>(
         shards: usize,
         queue_capacity: usize,
         idle: IdleStrategy,
-        mut store_factory: F,
+        store_factory: F,
         handler: Arc<H>,
     ) -> Self
     where
         F: FnMut(usize) -> Box<dyn ContentStore>,
         H: Fn(&mut dyn ContentStore, J) + Send + Sync + 'static,
     {
-        assert!(shards >= 1, "need at least one shard");
-        assert!(queue_capacity >= 1, "need a non-empty queue");
+        match Self::try_spawn(shards, queue_capacity, idle, store_factory, handler) {
+            Ok(store) => store,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`ShardedStore::spawn`]: a refused thread
+    /// spawn (or zero shards / queue capacity) surfaces as a typed
+    /// [`EngineError`] instead of aborting the process. Workers
+    /// already spawned before the failure are drained and joined, so
+    /// a partial bring-up leaks nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] for zero `shards` or
+    /// `queue_capacity`; [`EngineError::Spawn`] when the OS refuses a
+    /// worker thread.
+    pub fn try_spawn<F, H>(
+        shards: usize,
+        queue_capacity: usize,
+        idle: IdleStrategy,
+        mut store_factory: F,
+        handler: Arc<H>,
+    ) -> Result<Self, EngineError>
+    where
+        F: FnMut(usize) -> Box<dyn ContentStore>,
+        H: Fn(&mut dyn ContentStore, J) + Send + Sync + 'static,
+    {
+        if shards == 0 {
+            return Err(EngineError::InvalidConfig { reason: "need at least one shard".into() });
+        }
+        if queue_capacity == 0 {
+            return Err(EngineError::InvalidConfig { reason: "need a non-empty queue".into() });
+        }
         let mut shard_handles = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         let mut capacity = queue_capacity;
@@ -494,9 +540,8 @@ impl<J: Send + 'static> ShardedStore<J> {
             let worker_depth = Arc::clone(&depth);
             let worker_sleeping = Arc::clone(&sleeping);
             let worker_handler = Arc::clone(&handler);
-            let worker = std::thread::Builder::new()
-                .name(format!("ccn-shard-{shard}"))
-                .spawn(move || {
+            let spawned =
+                std::thread::Builder::new().name(format!("ccn-shard-{shard}")).spawn(move || {
                     worker_loop(
                         store,
                         consumer,
@@ -505,8 +550,26 @@ impl<J: Send + 'static> ShardedStore<J> {
                         idle,
                         &*worker_handler,
                     );
-                })
-                .expect("spawn shard worker");
+                });
+            let worker = match spawned {
+                Ok(worker) => worker,
+                Err(e) => {
+                    // Unwind the partial bring-up before reporting.
+                    let mut partial = Self {
+                        handle: ShardHandle {
+                            inner: Arc::new(HandleInner {
+                                shards: shard_handles,
+                                max_depth: AtomicUsize::new(0),
+                                capacity,
+                                reply_pool: Mutex::new(Vec::new()),
+                            }),
+                        },
+                        workers,
+                    };
+                    partial.shutdown();
+                    return Err(EngineError::Spawn { reason: e.to_string() });
+                }
+            };
             let thread = worker.thread().clone();
             shard_handles.push(Shard { queue: producer, depth, sleeping, thread });
             workers.push(worker);
@@ -517,7 +580,7 @@ impl<J: Send + 'static> ShardedStore<J> {
             capacity,
             reply_pool: Mutex::new(Vec::new()),
         };
-        Self { handle: ShardHandle { inner: Arc::new(inner) }, workers }
+        Ok(Self { handle: ShardHandle { inner: Arc::new(inner) }, workers })
     }
 
     /// A clonable handle for submitting work.
@@ -809,6 +872,117 @@ mod tests {
         assert_eq!(IdleStrategy::parse(&explicit.name()).unwrap(), explicit);
         assert!(IdleStrategy::parse("nonsense").is_err());
         assert!(IdleStrategy::parse("spin:abc").is_err());
+    }
+
+    #[test]
+    fn try_spawn_rejects_degenerate_shapes_with_typed_errors() {
+        let r: Result<ShardedStore<()>, _> = ShardedStore::try_spawn(
+            0,
+            64,
+            IdleStrategy::default(),
+            |_| Box::new(LruStore::new(4)),
+            noop(),
+        );
+        assert!(matches!(r, Err(EngineError::InvalidConfig { .. })));
+        let r: Result<ShardedStore<()>, _> = ShardedStore::try_spawn(
+            1,
+            0,
+            IdleStrategy::default(),
+            |_| Box::new(LruStore::new(4)),
+            noop(),
+        );
+        assert!(matches!(r, Err(EngineError::InvalidConfig { .. })));
+    }
+
+    /// Regression guard for the sleeping-flag/SeqCst-fence wake
+    /// protocol: with zero spins and zero yields the worker parks
+    /// after *every* dry poll, so each of the serial submissions below
+    /// races a worker entering park. A lost wake would stall each op
+    /// behind the 1 ms park backstop; 4000 ops would then need ≥ 4 s,
+    /// so the 2 s budget fails loudly while a working protocol
+    /// finishes in milliseconds.
+    #[test]
+    fn park_happy_wake_protocol_never_loses_a_submission() {
+        let park_eagerly = IdleStrategy { spins: 0, yields: 0, park: true };
+        let done = Arc::new(AtomicUsize::new(0));
+        let observed = Arc::clone(&done);
+        let handler = Arc::new(move |_: &mut dyn ContentStore, _v: u64| {
+            observed.fetch_add(1, Ordering::Release);
+        });
+        let mut sharded =
+            ShardedStore::spawn(1, 64, park_eagerly, |_| Box::new(LruStore::new(4)), handler);
+        let handle = sharded.handle();
+        const OPS: usize = 4_000;
+        let budget = Duration::from_secs(2);
+        let start = std::time::Instant::now();
+        for v in 0..OPS as u64 {
+            // Serial round trips: wait for the previous job to finish
+            // so the worker is guaranteed idle (and parking) when the
+            // next submission lands.
+            while handle.try_job(ContentId(v + 1), v).is_err() {
+                std::thread::yield_now();
+            }
+            while done.load(Ordering::Acquire) <= v as usize {
+                assert!(
+                    start.elapsed() < budget,
+                    "lost wake: stuck at {} of {OPS} after {:?}",
+                    done.load(Ordering::Acquire),
+                    start.elapsed()
+                );
+                std::hint::spin_loop();
+            }
+        }
+        assert_eq!(done.load(Ordering::Acquire), OPS);
+        sharded.shutdown();
+    }
+
+    /// Multi-producer variant: several submitters hammer one
+    /// eagerly-parking worker concurrently. Every job must be
+    /// processed well inside the park-backstop-dominated worst case.
+    #[test]
+    fn racing_producers_never_strand_jobs_behind_a_parked_worker() {
+        let park_eagerly = IdleStrategy { spins: 0, yields: 0, park: true };
+        let done = Arc::new(AtomicUsize::new(0));
+        let observed = Arc::clone(&done);
+        let handler = Arc::new(move |_: &mut dyn ContentStore, _v: u64| {
+            observed.fetch_add(1, Ordering::Release);
+        });
+        let mut sharded =
+            ShardedStore::spawn(1, 1_024, park_eagerly, |_| Box::new(LruStore::new(4)), handler);
+        let handle = sharded.handle();
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 2_000;
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    for v in 0..PER_PRODUCER as u64 {
+                        let id = (p as u64) << 32 | v;
+                        while handle.try_job(ContentId(v + 1), id).is_err() {
+                            std::thread::yield_now();
+                        }
+                        if v % 7 == 0 {
+                            // Let the queue run dry regularly so the
+                            // worker actually reaches the park path
+                            // mid-race instead of staying hot.
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                    }
+                });
+            }
+        });
+        let total = PRODUCERS * PER_PRODUCER;
+        let start = std::time::Instant::now();
+        while done.load(Ordering::Acquire) < total {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "stranded jobs: {} of {total} processed",
+                done.load(Ordering::Acquire)
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(handle.queue_depth(), 0);
+        sharded.shutdown();
     }
 
     #[test]

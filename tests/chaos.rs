@@ -1,0 +1,320 @@
+//! Chaos invariant harness: the live engine under deterministic
+//! fault injection.
+//!
+//! The engine's failure semantics promise three things (see
+//! DESIGN.md §10), and this harness property-tests all of them
+//! end-to-end through [`ccn_engine::load::drive`]:
+//!
+//! 1. **Exact conservation** — `offered == completed + shed`,
+//!    bit-exactly, for *every* seeded kill/revive schedule. Dead-mode
+//!    workers complete already-admitted jobs at origin, so no fault
+//!    timing can lose or double-count a request.
+//! 2. **Share isolation** — killing one node mid-run sheds exactly
+//!    that node's remaining submissions and leaves every survivor's
+//!    local-tier counts bit-identical to the no-fault run: rendezvous
+//!    failover re-homes only the victim's HRW share.
+//! 3. **Re-convergence** — after a plan-driven revival the cluster's
+//!    tier fractions match a never-faulted cluster within the same 2%
+//!    differential tolerance the engine-vs-simulator suite enforces.
+//!
+//! Determinism argument: with one generator, per-op submission
+//! (`batch == 1`), one shard per node, and provisioned (static)
+//! stores, the global admission-operation counter equals the 1-based
+//! index into the single pre-drawn request stream — so an
+//! op-scheduled fault perturbs the *same request* in every run, and
+//! expected shed counts can be recomputed by replaying
+//! [`ccn_sim::workload::zipf_irm`] offline.
+
+use std::time::Duration;
+
+use ccn_engine::load::drive;
+use ccn_engine::{
+    Cluster, ClusterConfig, DegradeConfig, EngineMetrics, FaultPlan, LoadReport, OpenLoopConfig,
+    StorePolicy,
+};
+use ccn_sim::workload::{self, Request};
+use proptest::prelude::*;
+
+const NODES: usize = 3;
+const CATALOGUE: u64 = 200;
+const CAPACITY: u64 = 30;
+const ZIPF_S: f64 = 0.8;
+const RATE_PER_MS: f64 = 1.0;
+/// The differential tolerance shared with tests/engine_vs_sim.rs.
+const TOLERANCE: f64 = 0.02;
+
+fn chaos_config(degrade: DegradeConfig) -> ClusterConfig {
+    ClusterConfig {
+        nodes: NODES,
+        shards_per_node: 1,
+        // Deep enough that these workloads never shed for queue-full:
+        // every shed below is attributable to a killed node.
+        queue_capacity: 8_192,
+        catalogue: CATALOGUE,
+        capacity: CAPACITY,
+        ell: 0.5,
+        policy: StorePolicy::Provisioned,
+        degrade,
+        ..ClusterConfig::default()
+    }
+}
+
+fn chaos_load(seed: u64, horizon_ms: f64) -> OpenLoopConfig {
+    OpenLoopConfig {
+        generators: 1,
+        zipf_s: ZIPF_S,
+        rate_per_node_per_ms: RATE_PER_MS,
+        horizon_ms,
+        paced: false,
+        seed,
+        batch: 1,
+    }
+}
+
+/// Runs one cluster+plan to completion and returns the accounting.
+fn run(
+    config: ClusterConfig,
+    plan: FaultPlan,
+    load: &OpenLoopConfig,
+) -> (LoadReport, EngineMetrics) {
+    let cluster = Cluster::with_faults(config, plan).expect("cluster provisions");
+    let report = drive(&cluster, load).expect("engine serves the workload");
+    (report, cluster.finish())
+}
+
+/// Replays the exact request stream `drive` feeds a single generator:
+/// op `i + 1` of the run is `stream[i]`.
+fn replay(seed: u64, horizon_ms: f64) -> Vec<Request> {
+    let owned: Vec<usize> = (0..NODES).collect();
+    workload::zipf_irm(&owned, ZIPF_S, CATALOGUE, RATE_PER_MS, horizon_ms, seed)
+        .expect("workload parameters are valid")
+}
+
+proptest! {
+    /// Invariant 1: exact conservation under every seeded schedule.
+    /// A seeded plan alternates kill/revive per node from an MTBF/MTTR
+    /// renewal process; whatever the interleaving, every offered
+    /// request is completed or shed — never lost, never double-counted
+    /// — and each applied transition bumps the routing epoch exactly
+    /// once (the health detector stays silent: plan kills bypass it).
+    #[test]
+    fn seeded_schedules_conserve_every_request(
+        seed in 0u64..10_000,
+        mtbf_ops in 120u64..600,
+        mttr_ops in 40u64..300,
+    ) {
+        let plan = FaultPlan::seeded(seed, NODES, mtbf_ops, mttr_ops, 1_500);
+        let (report, metrics) = run(
+            chaos_config(DegradeConfig::default()),
+            plan,
+            &chaos_load(seed, 400.0),
+        );
+        prop_assert!(report.offered > 500, "workload too small: {:?}", report);
+        prop_assert_eq!(
+            report.offered,
+            metrics.completed() + report.shed,
+            "conservation violated: {:?} vs {:?}",
+            report,
+            metrics.totals()
+        );
+        // Queues are deep enough that the only shed cause is a killed
+        // node refusing admission.
+        prop_assert_eq!(report.shed, metrics.shed_node_down);
+        prop_assert_eq!(metrics.health_marked_down, 0, "plan kills must bypass the detector");
+        // Seeded plans strictly alternate per node, so every applied
+        // transition is an effective liveness change.
+        prop_assert_eq!(metrics.routing_epoch, 1 + metrics.fault_log.len() as u64);
+        for pair in metrics.fault_log.windows(2) {
+            prop_assert!(pair[0].at_op <= pair[1].at_op, "fault log out of order");
+            prop_assert!(pair[0].epoch <= pair[1].epoch, "epochs regressed");
+        }
+    }
+
+    /// Invariant 2: a single mid-run kill moves only the victim's HRW
+    /// share. The victim sheds exactly its stream entries at ops >=
+    /// the kill trigger (recomputed by offline replay), completes
+    /// exactly its pre-kill admissions, and every survivor's
+    /// local-tier count is bit-identical to the no-fault baseline —
+    /// rendezvous failover never touched a survivor's own share.
+    #[test]
+    fn single_kill_sheds_exactly_the_victims_share(
+        victim in prop::sample::select(vec![0usize, 1, 2]),
+        kill_op in 20u64..350,
+    ) {
+        const SEED: u64 = 4242;
+        const HORIZON: f64 = 400.0;
+        let load = chaos_load(SEED, HORIZON);
+        let (base_report, baseline) =
+            run(chaos_config(DegradeConfig::default()), FaultPlan::none(), &load);
+        prop_assert_eq!(base_report.shed, 0, "baseline must not shed");
+        let plan = FaultPlan::none().with_node_outage(victim, kill_op, None);
+        let (report, metrics) = run(chaos_config(DegradeConfig::default()), plan, &load);
+        prop_assert_eq!(report.offered, base_report.offered);
+        prop_assert_eq!(report.offered, metrics.completed() + report.shed);
+
+        let stream = replay(SEED, HORIZON);
+        prop_assert_eq!(stream.len() as u64, report.offered, "replay diverged from drive");
+        let victim_total =
+            stream.iter().filter(|r| r.router == victim).count() as u64;
+        let expected_shed = stream
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| r.router == victim && (i + 1) as u64 >= kill_op)
+            .count() as u64;
+        prop_assert_eq!(report.shed, expected_shed, "shed is not exactly the victim's tail");
+        prop_assert_eq!(metrics.shed_node_down, expected_shed);
+        // The victim's pre-kill admissions all completed (dead mode
+        // finishes in-flight work at origin instead of losing it).
+        let victim_counts = &metrics.per_node[victim];
+        prop_assert_eq!(victim_counts.total(), victim_total - expected_shed);
+        // Survivors' local tier is a pure function of (requester,
+        // content): bit-identical to the no-fault run.
+        for node in (0..NODES).filter(|&n| n != victim) {
+            prop_assert_eq!(
+                metrics.per_node[node].local,
+                baseline.per_node[node].local,
+                "survivor {}'s local share moved",
+                node
+            );
+        }
+        prop_assert_eq!(metrics.routing_epoch, 2, "one effective kill, one epoch bump");
+        prop_assert_eq!(metrics.fault_log.len(), 1);
+        prop_assert_eq!(metrics.health_marked_down, 0);
+    }
+}
+
+/// Invariant 3: after a plan-driven kill + revive, the cluster
+/// re-converges — a post-revival measurement phase on the faulted
+/// cluster matches a never-faulted cluster running the identical
+/// phase within the engine-vs-sim 2% differential tolerance (static
+/// stores stay warm through the outage and rendezvous failover hands
+/// back exactly the old share).
+#[test]
+fn tier_fractions_reconverge_after_revival() {
+    let config = chaos_config(DegradeConfig::default());
+    // The revive op sits well past everything phase 1a can offer
+    // (~750 ops expected), so the victim is provably still down for
+    // all of phase 1a and provably back before phase 1b ends.
+    let plan = FaultPlan::none().with_node_outage(1, 50, Some(1_000));
+    let cluster = Cluster::with_faults(config.clone(), plan).expect("cluster provisions");
+
+    // Phase 1a (outage): drained end-to-end with the victim dead, so
+    // every post-kill request for its share was served by rendezvous
+    // survivors or degraded — never by the victim.
+    let phase1a = drive(&cluster, &chaos_load(11, 250.0)).expect("phase 1a serves");
+    assert!(phase1a.offered >= 400, "phase 1a too small: {phase1a:?}");
+    assert_eq!(cluster.routing_epoch(), 2, "the kill bumped the epoch; the revive is pending");
+
+    // Phase 1b (recovery): pushes the op counter past the revive.
+    let phase1b = drive(&cluster, &chaos_load(13, 250.0)).expect("phase 1b serves");
+    assert!(phase1a.offered + phase1b.offered >= 1_000, "phases 1a+1b never reached the revive op");
+    assert_eq!(cluster.routing_epoch(), 3, "the revive bumped the epoch");
+    let turbulent: Vec<_> = cluster.tier_totals();
+
+    // Phase 2 (measurement): fresh stream against the revived cluster.
+    let phase2 = drive(&cluster, &chaos_load(12, 400.0)).expect("phase 2 serves");
+    assert_eq!(phase2.shed, 0, "no faults are active after revival");
+    let metrics = cluster.finish();
+
+    // The same measurement stream against a never-faulted cluster.
+    let (base_report, baseline) = run(config, FaultPlan::none(), &chaos_load(12, 400.0));
+    assert_eq!(base_report.offered, phase2.offered);
+    assert_eq!(base_report.shed, 0);
+
+    // Difference out the turbulent phase and compare fractions.
+    let final_totals = metrics.totals();
+    let turbulent_sum = turbulent
+        .iter()
+        .fold((0u64, 0u64, 0u64), |acc, t| (acc.0 + t.local, acc.1 + t.peer, acc.2 + t.origin));
+    let delta = [
+        final_totals.local - turbulent_sum.0,
+        final_totals.peer - turbulent_sum.1,
+        final_totals.origin - turbulent_sum.2,
+    ];
+    let delta_total: u64 = delta.iter().sum();
+    assert_eq!(delta_total, phase2.offered, "phase 2 accounting");
+    let base_totals = baseline.totals();
+    let base = [base_totals.local, base_totals.peer, base_totals.origin];
+    for (tier, (d, b)) in ["local", "peer", "origin"].iter().zip(delta.iter().zip(base.iter())) {
+        #[allow(clippy::cast_precision_loss)]
+        let (df, bf) = (*d as f64 / delta_total as f64, *b as f64 / base_totals.total() as f64);
+        assert!(
+            (df - bf).abs() <= TOLERANCE,
+            "{tier}: post-revival {df:.4} vs no-fault {bf:.4} beyond {TOLERANCE}"
+        );
+    }
+    // Phase 1a really degraded: post-kill requests for the victim's
+    // share were failed over to rendezvous survivors while it was
+    // down (guaranteed because phase 1a drained before the revive).
+    assert!(metrics.failed_over > 0, "no forward ever failed over during the outage");
+    assert_eq!(metrics.fault_log.len(), 2);
+}
+
+/// Satellite: epoch transitions landing mid-batch. With the batched
+/// pipeline (one fault-clock tick per run) kills and revivals
+/// quantize to run boundaries; jobs admitted under epoch N complete
+/// (possibly in dead mode) while N+1 lands — conservation stays
+/// bit-exact and the run terminates.
+#[test]
+fn mid_batch_epoch_transitions_stay_conserved() {
+    let config = ClusterConfig {
+        shards_per_node: 2,
+        // Detector off: the dead shard worker below would otherwise
+        // feed it race-dependently, making the epoch count flaky.
+        degrade: DegradeConfig { timeout_threshold: 0, ..DegradeConfig::default() },
+        ..chaos_config(DegradeConfig::default())
+    };
+    // The worker kill is permanent: under unpaced load a bounded
+    // outage window passes in wall-microseconds, so only a kill that
+    // lasts to the end of the run guarantees the dead worker is
+    // actually handed jobs while down.
+    let plan = FaultPlan::none()
+        .with_node_outage(1, 100, Some(400))
+        .with_node_outage(2, 600, Some(900))
+        .with_worker_outage(0, 1, 200, None)
+        .with_stall(0, 500, 50);
+    let cluster = Cluster::with_faults(config, plan).expect("cluster provisions");
+    let load = OpenLoopConfig { batch: 64, ..chaos_load(21, 500.0) };
+    let report = drive(&cluster, &load).expect("engine serves the batched workload");
+    let metrics = cluster.finish();
+    assert!(report.offered > 1_000, "workload too small: {report:?}");
+    assert_eq!(report.offered, metrics.completed() + report.shed, "conservation violated");
+    assert_eq!(report.shed, metrics.shed_node_down, "only killed nodes shed");
+    assert_eq!(metrics.fault_log.len(), 6, "every scheduled transition applied");
+    // Four node transitions bump the epoch; the worker fault and the
+    // stall are invisible to routing.
+    assert_eq!(metrics.routing_epoch, 5);
+    assert!(metrics.fault_served > 0, "dead worker completed admitted jobs");
+}
+
+/// Degradation ladder under a slow node: forwards to it blow the
+/// deadline (answered by origin at the holder), the consecutive-
+/// timeout detector marks it down, and routing failover takes over —
+/// all without breaking conservation.
+#[test]
+fn slow_node_blows_deadlines_and_is_routed_around() {
+    let degrade = DegradeConfig {
+        forward_deadline: Duration::from_millis(50),
+        timeout_threshold: 4,
+        ..DegradeConfig::default()
+    };
+    // 2 ms per request, never cleared: node 1's backlog pushes every
+    // queued forward far past the 50 ms deadline.
+    let plan = FaultPlan::none().with_slowdown(1, 2_000, 10, None);
+    let (report, metrics) = run(chaos_config(degrade), plan, &chaos_load(31, 150.0));
+    assert_eq!(report.offered, metrics.completed() + report.shed, "conservation violated");
+    assert_eq!(report.shed, 0, "a slow node sheds nothing — it degrades");
+    assert!(metrics.deadline_expired > 0, "no forward ever expired against the slow node");
+    // The deadline budgets the whole local→peer detour, so a slowed
+    // node's *outgoing* forwards can blame healthy holders too: at
+    // least the slow node is marked down, possibly its framed peers
+    // as well.
+    assert!(metrics.health_marked_down >= 1, "the detector never fired");
+    assert_eq!(metrics.health_revived, 0, "probation window never elapsed");
+    assert_eq!(
+        metrics.routing_epoch,
+        1 + metrics.health_marked_down,
+        "each health verdict bumps the epoch exactly once"
+    );
+    assert_eq!(metrics.fault_log.len(), 1);
+}
