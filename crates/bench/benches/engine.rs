@@ -1,13 +1,18 @@
 //! Benchmarks of the serving engine's sharded-store adapter.
 //!
-//! Three rungs of the same Zipf churn stream: a raw single-threaded
+//! Four rungs of the same Zipf churn stream: a raw single-threaded
 //! [`LruStore`] (no threads, no queues), a [`ShardedStore`] driven
 //! one synchronous round trip per operation (the engine's worst-case
-//! per-op coordination cost, kept deliberately visible), and the
-//! batched pipeline ([`ShardHandle::submit_batch`]) where a run of
-//! jobs crosses the ring in one claim and the worker drains in bulk.
-//! The gap between the last two rungs is what the batching tentpole
-//! buys.
+//! per-op coordination cost, kept deliberately visible), the batched
+//! pipeline ([`ShardHandle::submit_batch`]) where a run of jobs
+//! crosses the ring in one claim and the worker drains in bulk, and
+//! the completion-batched pipeline ([`ShardHandle::apply_batch`])
+//! which keeps the per-op hit/miss replies but returns them through
+//! per-shard SPSC completion lanes drained in bulk. The gap between
+//! the per-op and batched rungs is what the batching tentpole buys;
+//! the gap between `submit_batch` and `apply_batch` is the price of
+//! replies under completion batching (vs one Mutex+Condvar round
+//! trip each under the old reply slots).
 //!
 //! `cargo bench --bench engine -- --regression-smoke` skips the sweep
 //! and runs a quick self-asserting check instead: it times per-op vs
@@ -157,6 +162,21 @@ fn queue_hop_benches(c: &mut Criterion) {
         }
     }
 
+    // Completion-batched rung: batched admission *with* per-op
+    // hit/miss replies, drained in bulk from the SPSC completion
+    // lanes (apply_batch routes by shard internally).
+    let ids: Vec<ContentId> = stream.iter().map(|&rank| ContentId(rank)).collect();
+    for shards in [1usize, 4] {
+        let mut sharded = spawn_churn(shards, &hits);
+        let handle = sharded.handle();
+        let mut replies = Vec::new();
+        handle.apply_batch(&ids, &mut replies);
+        group.bench_function(BenchmarkId::new("lru_sharded_apply_batch", shards), |b| {
+            b.iter(|| handle.apply_batch(black_box(&ids), &mut replies))
+        });
+        sharded.shutdown();
+    }
+
     group.finish();
 }
 
@@ -197,14 +217,27 @@ fn regression_smoke() {
     let batched = median_ns_per_op(SMOKE_OPS, SAMPLES, || {
         churn_batched(&handle, black_box(&by_shard), 256);
     });
+
+    let ids: Vec<ContentId> = stream.iter().map(|&rank| ContentId(rank)).collect();
+    let mut replies = Vec::new();
+    handle.apply_batch(&ids, &mut replies);
+    let completion_batched = median_ns_per_op(SMOKE_OPS, SAMPLES, || {
+        handle.apply_batch(black_box(&ids), &mut replies);
+    });
     sharded.shutdown();
 
-    println!("regression-smoke per_op    ~{per_op:>10.1} ns/op");
-    println!("regression-smoke batched   ~{batched:>10.1} ns/op");
-    println!("regression-smoke reduction  {:.2}x", per_op / batched);
+    println!("regression-smoke per_op      ~{per_op:>10.1} ns/op");
+    println!("regression-smoke batched     ~{batched:>10.1} ns/op");
+    println!("regression-smoke apply_batch ~{completion_batched:>10.1} ns/op");
+    println!("regression-smoke reduction    {:.2}x", per_op / batched);
     assert!(
         batched < per_op,
         "batched submission regressed: {batched:.1} ns/op vs per-op {per_op:.1} ns/op"
+    );
+    assert!(
+        completion_batched < per_op,
+        "completion batching regressed: {completion_batched:.1} ns/op with bulk-drained \
+         replies vs per-op {per_op:.1} ns/op with one reply-slot round trip each"
     );
     println!("regression-smoke OK: batched pipeline faster than per-op");
 }

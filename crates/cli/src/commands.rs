@@ -5,8 +5,8 @@ use std::fmt::Write as _;
 use ccn_bench::runner::{run_bench, BenchOptions};
 use ccn_coord::{CoordinatorConfig, ResilientCoordinator, RetryPolicy, RoundOutcome};
 use ccn_engine::{
-    serve_bench, ClusterConfig, DegradeConfig, FaultPlan, IdleStrategy, OpenLoopConfig,
-    ServeBenchConfig, StorePolicy,
+    serve_bench, ClusterConfig, DegradeConfig, FaultPlan, IdleStrategy, OpenLoopConfig, RingMode,
+    ServeBenchConfig, ShardPlacement, StorePolicy,
 };
 use ccn_model::planner::{capacity_for_target_origin_load, plan, PlannerConfig};
 use ccn_model::{CacheModel, ModelParams};
@@ -59,6 +59,12 @@ COMMANDS
              --policy static|lru --seed 42 --smoke false
              --batch 1 (requests admitted per queue operation)
              --idle spin-then-park|yield|spin:S,yield:Y[,park]
+             --cores 0 (placement core budget; 0 = all available)
+             --pin false (pin shard workers and generator lanes to
+               their placement cores — thread-per-core mode)
+             --ring-mode mpsc|auto|spsc (shard-queue producer
+               discipline; auto demotes to the SPSC fast path when a
+               single-node run has exactly one generator lane)
              --faults \"kill:1@500,revive:1@900\" — deterministic fault
                schedule at admission-operation counts; forms: kill:N@OP
                revive:N@OP kill-worker:N.S@OP revive-worker:N.S@OP
@@ -443,6 +449,9 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
         "seed",
         "batch",
         "idle",
+        "cores",
+        "pin",
+        "ring-mode",
         "faults",
         "deadline-us",
         "retries",
@@ -462,6 +471,14 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
     };
     let idle = IdleStrategy::parse(&args.str_or("idle", "spin-then-park"))
         .map_err(|e| ArgError(format!("--idle: {e}")))?;
+    let ring_mode = match args.str_or("ring-mode", "mpsc").as_str() {
+        "mpsc" => RingMode::Mpsc,
+        "auto" => RingMode::Auto,
+        "spsc" => RingMode::Spsc,
+        other => {
+            return Err(ArgError(format!("--ring-mode {other:?}: expected mpsc, auto, or spsc")))
+        }
+    };
     let u32_flag = |flag: &str, default: u64| -> Result<u32, ArgError> {
         u32::try_from(args.u64_or(flag, default)?).map_err(|e| ArgError(format!("--{flag}: {e}")))
     };
@@ -506,6 +523,11 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
             policy,
             idle,
             degrade,
+            placement: ShardPlacement::new(
+                usize_flag("cores", 0)?,
+                parse_bool(args, "pin", "false")?,
+            ),
+            ring_mode,
         },
         load: OpenLoopConfig {
             generators: usize_flag("generators", 1)?,
@@ -530,6 +552,7 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
     }
     let manifest =
         RunManifest::capture("ccn", &name, config.load.seed, outcome.worker_threads, smoke)
+            .with_engine_threads(outcome.worker_threads, outcome.generators)
             .with_phases(clock.finish());
     // Header to stderr, like `simulate`: stdout carries the summary.
     eprintln!("{}", manifest.to_header_line());
@@ -560,6 +583,16 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
         outcome.wall_ms,
         outcome.shed,
         outcome.degraded_to_origin
+    );
+    let _ = writeln!(
+        out,
+        "  placement: {} core(s) available, budget {}, pinned {} worker(s) + {} lane(s), \
+         ring {}",
+        outcome.available_cores,
+        outcome.placement_cores,
+        outcome.pinned_workers,
+        outcome.pinned_generators,
+        outcome.ring_mode.name(),
     );
     let _ = writeln!(
         out,
@@ -854,6 +887,56 @@ mod tests {
         assert!(err.to_string().contains("--idle"), "{err}");
         let err = run_tokens(&["serve-bench", "--batch", "0"]).unwrap_err();
         assert!(err.to_string().contains("batch"), "{err}");
+    }
+
+    #[test]
+    fn serve_bench_placement_and_ring_mode_flags_reach_the_report() {
+        let dir = std::env::temp_dir().join("ccn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve_pinned.json");
+        let text = run_tokens(&[
+            "serve-bench",
+            "--nodes",
+            "1",
+            "--ell",
+            "0.0",
+            "--catalogue",
+            "1000",
+            "--capacity",
+            "20",
+            "--rate",
+            "0.5",
+            "--duration",
+            "100",
+            "--cores",
+            "1",
+            "--pin",
+            "true",
+            "--ring-mode",
+            "auto",
+            "--smoke",
+            "true",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("placement: "), "{text}");
+        assert!(text.contains("ring spsc"), "single lane under auto must demote: {text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"ring_mode\": \"spsc\""), "{json}");
+        assert!(json.contains("\"placement_cores\": 1"), "{json}");
+        assert!(json.contains("\"placement_pin\": true"), "{json}");
+        // The manifest records engine threads separately from the
+        // runner clamp.
+        assert!(json.contains("\"engine_worker_threads\": 1"), "{json}");
+        assert!(json.contains("\"engine_generator_threads\": 1"), "{json}");
+        let verdict = run_tokens(&["validate-manifest", "--file", path.to_str().unwrap()]).unwrap();
+        assert!(verdict.contains("embedded manifest"), "{verdict}");
+
+        let err = run_tokens(&["serve-bench", "--ring-mode", "bogus"]).unwrap_err();
+        assert!(err.to_string().contains("--ring-mode"), "{err}");
+        let err = run_tokens(&["serve-bench", "--nodes", "2", "--ring-mode", "spsc"]).unwrap_err();
+        assert!(err.to_string().contains("nodes == 1"), "{err}");
     }
 
     #[test]

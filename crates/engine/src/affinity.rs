@@ -1,0 +1,304 @@
+//! Thread-per-core placement: dependency-free CPU affinity plus the
+//! [`ShardPlacement`] policy that maps shard workers and their
+//! load-generator lanes onto cores.
+//!
+//! The engine's scaling story (DESIGN.md §9) is thread-per-core in
+//! the seastar/scylla mould: each core owns one shard-set and the
+//! generator lane that feeds it, so a request's queue hop crosses a
+//! core boundary at most once and the scheduler cannot migrate a hot
+//! worker mid-run. Rust's standard library exposes no affinity API
+//! and the workspace vendors no libc, so on Linux the pinning call is
+//! the raw `sched_setaffinity(2)` syscall via inline assembly
+//! (x86_64 and aarch64); everywhere else pinning degrades to an
+//! honest no-op reported as [`PinOutcome::Unsupported`] — placement
+//! arithmetic still works, threads just float.
+//!
+//! Affinity masks use the kernel's cpumask layout: a bit array of
+//! `unsigned long` words, bit `n` = CPU `n`. 1024 bits (16 × u64)
+//! covers every machine this engine will meet; the kernel copies at
+//! most its own mask size.
+
+// Affinity needs raw syscalls (inline asm). Every unsafe block is a
+// single syscall instruction with register-only operands reading a
+// stack-local mask; nothing aliases, nothing escapes.
+#![allow(unsafe_code)]
+
+/// Bits in the affinity mask we pass to the kernel (16 × u64).
+const MASK_WORDS: usize = 16;
+const MASK_BITS: usize = MASK_WORDS * 64;
+
+/// Result of a pin attempt — callers count rather than fail, so a
+/// heterogeneous fleet (or a non-Linux dev box) degrades gracefully.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinOutcome {
+    /// The calling thread now runs only on the requested core.
+    Pinned,
+    /// This platform has no affinity syscall; the thread floats.
+    Unsupported,
+    /// The kernel rejected the mask (negated errno, e.g. `-EINVAL`
+    /// for a core outside the machine or the cgroup's cpuset).
+    Failed(i32),
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    use super::{MASK_BITS, MASK_WORDS};
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_SET: usize = 203;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_GET: usize = 204;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_SET: usize = 122;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_GET: usize = 123;
+
+    /// `syscall(nr, pid, cpusetsize, mask)` — the shared shape of
+    /// both affinity syscalls. `pid == 0` targets the calling
+    /// *thread* (the kernel's `sched_setaffinity` resolves pid 0 to
+    /// `current`). Returns the raw kernel result: `-errno` on
+    /// failure, 0 (set) or bytes-copied (get) on success.
+    fn affinity_syscall(nr: usize, mask: *mut u64) -> isize {
+        let len = MASK_WORDS * std::mem::size_of::<u64>();
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: a single `syscall` instruction. Arguments follow
+        // the x86_64 Linux ABI (rdi, rsi, rdx); rcx/r11 are
+        // clobbered by the instruction itself. `mask` points at a
+        // live `[u64; MASK_WORDS]` owned by the caller, and `len` is
+        // its exact size, so the kernel never reads or writes out of
+        // bounds.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") nr as isize => ret,
+                in("rdi") 0usize, // pid 0 = calling thread
+                in("rsi") len,
+                in("rdx") mask,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack),
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: same argument as above for the aarch64 ABI
+        // (x8 = nr; x0–x2 = args; `svc 0` clobbers nothing else).
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") nr,
+                inlateout("x0") 0usize => ret,
+                in("x1") len,
+                in("x2") mask,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    pub(super) fn set_mask(mask: &mut [u64; MASK_WORDS]) -> isize {
+        affinity_syscall(SYS_SET, mask.as_mut_ptr())
+    }
+
+    pub(super) fn get_mask(mask: &mut [u64; MASK_WORDS]) -> isize {
+        affinity_syscall(SYS_GET, mask.as_mut_ptr())
+    }
+
+    pub(super) fn pin(core: usize) -> super::PinOutcome {
+        if core >= MASK_BITS {
+            return super::PinOutcome::Failed(-22); // EINVAL
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[core / 64] = 1u64 << (core % 64);
+        let ret = set_mask(&mut mask);
+        if ret == 0 {
+            super::PinOutcome::Pinned
+        } else {
+            super::PinOutcome::Failed(ret as i32)
+        }
+    }
+
+    pub(super) fn allowed(out: &mut [u64; MASK_WORDS]) -> Option<usize> {
+        let ret = get_mask(out);
+        if ret <= 0 {
+            return None;
+        }
+        // The kernel reports how many bytes of mask it copied; the
+        // rest of `out` stayed zero, so a plain popcount is exact.
+        Some(out.iter().map(|w| w.count_ones() as usize).sum())
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod sys {
+    use super::MASK_WORDS;
+
+    pub(super) fn pin(_core: usize) -> super::PinOutcome {
+        super::PinOutcome::Unsupported
+    }
+
+    pub(super) fn allowed(_out: &mut [u64; MASK_WORDS]) -> Option<usize> {
+        None
+    }
+}
+
+/// Pins the calling thread to `core`. Threads spawned *after* a pin
+/// inherit the restricted mask on Linux, so workers pin themselves
+/// (first thing in the worker loop) rather than being pinned by their
+/// spawner.
+pub fn pin_current_thread(core: usize) -> PinOutcome {
+    sys::pin(core)
+}
+
+/// How many cores the calling thread may run on: the scheduling
+/// affinity mask's population count where the syscall exists (this
+/// respects cgroup cpusets, unlike `/proc/cpuinfo`), falling back to
+/// [`std::thread::available_parallelism`]. At least 1.
+#[must_use]
+pub fn available_cores() -> usize {
+    let mut mask = [0u64; MASK_WORDS];
+    sys::allowed(&mut mask)
+        .or_else(|| std::thread::available_parallelism().ok().map(std::num::NonZeroUsize::get))
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Thread-per-core placement policy: a core budget plus whether to
+/// actually pin. The mapping is static — worker `w` (in
+/// `node * shards_per_node + shard` order) lands on core
+/// `w % cores`, and generator lane `g` lands on the core of the
+/// first shard of the first node it owns — so with `nodes` workers
+/// and `nodes` generators on `nodes` cores, each core runs exactly
+/// one shard worker and the lane that feeds it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlacement {
+    cores: usize,
+    pin: bool,
+}
+
+impl ShardPlacement {
+    /// Placement with an explicit core budget. `cores == 0` means
+    /// "all cores this thread may run on" ([`available_cores`]);
+    /// `pin` controls whether threads call [`pin_current_thread`].
+    #[must_use]
+    pub fn new(cores: usize, pin: bool) -> Self {
+        let cores = if cores == 0 { available_cores() } else { cores };
+        Self { cores, pin }
+    }
+
+    /// The default: full core budget, no pinning (threads float, as
+    /// they did before placement existed).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::new(0, false)
+    }
+
+    /// Core budget of this placement (≥ 1).
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Whether threads should pin themselves.
+    #[must_use]
+    pub fn pin(&self) -> bool {
+        self.pin
+    }
+
+    /// Core for shard worker (`node`, `shard`): round-robin over the
+    /// budget in worker-index order.
+    #[must_use]
+    pub fn worker_core(&self, node: usize, shards_per_node: usize, shard: usize) -> usize {
+        (node * shards_per_node + shard) % self.cores
+    }
+
+    /// Core for load-generator lane `g`: the same core as the first
+    /// shard of node `g` — the first node the round-robin ownership
+    /// in `load::drive` assigns to that lane — so a lane and the
+    /// shard-set it feeds most share a core.
+    #[must_use]
+    pub fn generator_core(&self, generator: usize, shards_per_node: usize) -> usize {
+        (generator * shards_per_node) % self.cores
+    }
+
+    /// Pins the calling thread to `core` if pinning is enabled.
+    /// Returns whether the thread is now pinned.
+    pub fn pin_to(&self, core: usize) -> bool {
+        self.pin && pin_current_thread(core) == PinOutcome::Pinned
+    }
+}
+
+impl Default for ShardPlacement {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_cores_is_at_least_one() {
+        assert!(available_cores() >= 1);
+    }
+
+    #[test]
+    fn placement_maps_workers_and_lanes_round_robin() {
+        let p = ShardPlacement::new(4, true);
+        assert_eq!(p.cores(), 4);
+        assert!(p.pin());
+        // 4 nodes × 2 shards on 4 cores: workers wrap.
+        assert_eq!(p.worker_core(0, 2, 0), 0);
+        assert_eq!(p.worker_core(0, 2, 1), 1);
+        assert_eq!(p.worker_core(1, 2, 0), 2);
+        assert_eq!(p.worker_core(2, 2, 0), 0);
+        // Lane g sits with node g's first shard.
+        assert_eq!(p.generator_core(0, 2), 0);
+        assert_eq!(p.generator_core(1, 2), 2);
+        assert_eq!(p.generator_core(2, 2), 0);
+    }
+
+    #[test]
+    fn zero_core_budget_means_all_available() {
+        let p = ShardPlacement::new(0, false);
+        assert_eq!(p.cores(), available_cores());
+        assert!(!p.pin());
+        assert_eq!(p, ShardPlacement::disabled());
+        assert_eq!(ShardPlacement::default(), ShardPlacement::disabled());
+    }
+
+    #[test]
+    fn disabled_placement_never_pins() {
+        assert!(!ShardPlacement::disabled().pin_to(0));
+    }
+
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[test]
+    fn pin_and_restore_round_trips_through_the_kernel() {
+        // Snapshot this thread's mask, pin to one allowed core,
+        // confirm the kernel reports a single-core mask, restore.
+        let mut original = [0u64; MASK_WORDS];
+        let before = sys::allowed(&mut original).expect("sched_getaffinity failed");
+        assert!(before >= 1);
+        let first_allowed = original
+            .iter()
+            .enumerate()
+            .find(|(_, w)| **w != 0)
+            .map(|(i, w)| i * 64 + w.trailing_zeros() as usize)
+            .expect("non-empty mask has a set bit");
+        assert_eq!(pin_current_thread(first_allowed), PinOutcome::Pinned);
+        let mut pinned = [0u64; MASK_WORDS];
+        assert_eq!(sys::allowed(&mut pinned), Some(1), "pinned mask must be one core");
+        assert_eq!(sys::set_mask(&mut original), 0, "restoring the original mask failed");
+    }
+
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[test]
+    fn pinning_to_an_impossible_core_fails_loudly() {
+        match pin_current_thread(MASK_BITS + 5) {
+            PinOutcome::Failed(errno) => assert!(errno < 0),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+}

@@ -46,12 +46,16 @@ use ccn_obs::Histogram;
 use ccn_sim::store::{ContentStore, LruStore, StaticStore};
 use ccn_sim::{ContentId, ServedBy, TierCounts};
 
+use crate::affinity::ShardPlacement;
 use crate::error::EngineError;
 use crate::fault::{
     AppliedFault, DegradeConfig, FaultController, FaultKind, FaultPlan, FaultState,
 };
+use crate::pad::CachePadded;
 use crate::routing::{LiveRouting, RoutingTable};
-use crate::shard::{lock_recover, shard_of, IdleStrategy, ShardHandle, ShardedStore};
+use crate::shard::{
+    lock_recover, shard_of, IdleStrategy, RingMode, ShardHandle, ShardSpec, ShardedStore,
+};
 
 /// Upper bucket edges for the engine's latency histograms: the
 /// in-process tiers complete in microseconds, so the grid extends
@@ -100,6 +104,20 @@ pub struct ClusterConfig {
     /// envelope, so a fault-free run behaves identically to one
     /// without the ladder.
     pub degrade: DegradeConfig,
+    /// Thread-per-core placement: how shard workers (and, in
+    /// [`crate::load::drive`], generator lanes) map onto cores, and
+    /// whether they actually pin. Disabled by default — threads float
+    /// exactly as they did before placement existed.
+    pub placement: ShardPlacement,
+    /// Shard-queue producer discipline. [`RingMode::Mpsc`] (the
+    /// default) is always sound. [`RingMode::Auto`] demotes each
+    /// shard ring to the SPSC fast path when exactly one producer
+    /// registers before traffic; it requires `nodes == 1`, because
+    /// peer forwards make every other node's workers producers too —
+    /// with `nodes > 1` the build resolves it back to MPSC.
+    /// [`RingMode::Spsc`] asserts single-producer up front and is
+    /// rejected outright when `nodes > 1`.
+    pub ring_mode: RingMode,
 }
 
 impl Default for ClusterConfig {
@@ -114,6 +132,8 @@ impl Default for ClusterConfig {
             policy: StorePolicy::Provisioned,
             idle: IdleStrategy::default(),
             degrade: DegradeConfig::default(),
+            placement: ShardPlacement::disabled(),
+            ring_mode: RingMode::default(),
         }
     }
 }
@@ -160,7 +180,26 @@ impl ClusterConfig {
         if !(0.0..=1.0).contains(&self.ell) {
             return reject(format!("ell {} must be in [0, 1]", self.ell));
         }
+        if self.ring_mode == RingMode::Spsc && self.nodes > 1 {
+            return reject(format!(
+                "ring_mode=spsc requires nodes == 1 (peer forwards from {} nodes \
+                 would be extra producers)",
+                self.nodes
+            ));
+        }
         self.degrade.validate()
+    }
+
+    /// The ring mode the cluster actually builds with: a multi-node
+    /// cluster can never be single-producer (every peer's workers
+    /// forward into this node's queues), so `Auto` resolves to MPSC
+    /// unless `nodes == 1`.
+    #[must_use]
+    pub fn effective_ring_mode(&self) -> RingMode {
+        match self.ring_mode {
+            RingMode::Auto if self.nodes > 1 => RingMode::Mpsc,
+            mode => mode,
+        }
     }
 }
 
@@ -223,10 +262,14 @@ struct Shared {
     /// Set once after every node's shards are spawned; jobs only flow
     /// after that, so `get()` never observes the unset state.
     peers: OnceLock<Vec<ShardHandle<Job>>>,
-    recorders: Vec<NodeRecorder>,
-    in_flight: AtomicU64,
+    /// Padded per node: node `i`'s tallies are written by whichever
+    /// workers complete its jobs, and must not false-share with node
+    /// `i±1`'s equally hot tallies.
+    recorders: Vec<CachePadded<NodeRecorder>>,
+    in_flight: CachePadded<AtomicU64>,
     /// Global admission-operation counter — the fault plan's clock.
-    ops: AtomicU64,
+    /// Its own line: every admission writes it, every worker reads it.
+    ops: CachePadded<AtomicU64>,
     /// Epoch instant for stall horizons.
     anchor: Instant,
     faults: FaultState,
@@ -453,6 +496,10 @@ pub struct EngineMetrics {
     pub routing_epoch: u64,
     /// Every fault the controller applied, in application order.
     pub fault_log: Vec<AppliedFault>,
+    /// Shard workers that successfully pinned to their placement core.
+    pub pinned_workers: usize,
+    /// The producer discipline the shard rings resolved to.
+    pub ring_mode: RingMode,
 }
 
 impl EngineMetrics {
@@ -548,24 +595,36 @@ impl Cluster {
             degrade: config.degrade,
             shards_per_node: config.shards_per_node,
             peers: OnceLock::new(),
-            recorders: (0..config.nodes).map(|_| NodeRecorder::new()).collect(),
-            in_flight: AtomicU64::new(0),
-            ops: AtomicU64::new(0),
+            recorders: (0..config.nodes).map(|_| CachePadded::new(NodeRecorder::new())).collect(),
+            in_flight: CachePadded::new(AtomicU64::new(0)),
+            ops: CachePadded::new(AtomicU64::new(0)),
             anchor: Instant::now(),
             faults: FaultState::new(config.nodes, config.shards_per_node),
             controller: FaultController::new(plan),
             injects_latency,
         });
+        let ring_mode = config.effective_ring_mode();
         let stores: Vec<ShardedStore<Job>> = (0..config.nodes)
             .map(|node| {
                 let worker_shared = Arc::clone(&shared);
                 let handler = Arc::new(move |store: &mut dyn ContentStore, job: Job| {
                     process(&worker_shared, node, store, job);
                 });
-                ShardedStore::try_spawn(
-                    config.shards_per_node,
-                    config.queue_capacity,
-                    config.idle,
+                let pin_cores: Vec<Option<usize>> = if config.placement.pin() {
+                    (0..config.shards_per_node)
+                        .map(|shard| {
+                            Some(config.placement.worker_core(node, config.shards_per_node, shard))
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let spec = ShardSpec::new(config.shards_per_node, config.queue_capacity)
+                    .idle(config.idle)
+                    .ring_mode(ring_mode)
+                    .pin_cores(pin_cores);
+                ShardedStore::try_spawn_with(
+                    spec,
                     |shard| make_store(&config, node, shard),
                     handler,
                 )
@@ -580,6 +639,51 @@ impl Cluster {
     #[must_use]
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Registers the calling thread as a job producer on every node's
+    /// shard queues. Under [`RingMode::Auto`] each submitter thread
+    /// must call this before its first [`Cluster::try_submit`] /
+    /// [`Cluster::batch_submitter`] traffic, so the seal census can
+    /// decide MPSC vs SPSC honestly; under the default MPSC mode it is
+    /// optional (and free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] when a queue already
+    /// sealed single-producer and cannot admit another producer.
+    pub fn register_producer(&self) -> Result<(), EngineError> {
+        for store in &self.stores {
+            store.handle().register_producer()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the producer census on every node (idempotent): under
+    /// [`RingMode::Auto`] this is the moment each shard ring commits
+    /// to MPSC or demotes to SPSC. Submitting also seals implicitly;
+    /// calling it explicitly just makes the boundary visible.
+    pub fn seal_producers(&self) {
+        for store in &self.stores {
+            store.handle().seal_producers();
+        }
+    }
+
+    /// The ring mode node 0's queues actually run in (resolved, not
+    /// requested — under `Auto` this is unknown until the seal).
+    #[must_use]
+    pub fn ring_mode(&self) -> RingMode {
+        self.stores[0].handle().ring_mode()
+    }
+
+    /// How many shard workers successfully pinned themselves to their
+    /// placement core (0 when pinning is disabled or unsupported).
+    /// This is a live snapshot — a just-spawned worker may not have
+    /// reached its pin attempt yet; [`EngineMetrics::pinned_workers`]
+    /// (taken after the workers are joined) is the final count.
+    #[must_use]
+    pub fn pinned_workers(&self) -> usize {
+        self.stores.iter().map(|s| s.handle().pinned_workers()).sum()
     }
 
     /// Admits a request from `node`'s clients for `content`.
@@ -678,9 +782,14 @@ impl Cluster {
         self.drain();
         let max_queue_depth =
             self.stores.iter().map(|s| s.handle().max_queue_depth()).max().unwrap_or(0);
+        let ring_mode = self.ring_mode();
         for store in &mut self.stores {
             store.shutdown();
         }
+        // After the joins above every worker has run its pin attempt,
+        // so this count is final (a live read could catch a worker
+        // that hasn't reached its pin call yet).
+        let pinned_workers = self.pinned_workers();
         let mut per_node = Vec::with_capacity(self.config.nodes);
         let mut tier_latency: Vec<Histogram> =
             (0..3).map(|_| Histogram::with_bounds(&ENGINE_LATENCY_MS_BOUNDS)).collect();
@@ -721,6 +830,8 @@ impl Cluster {
             health_revived: self.shared.faults.health_revived(),
             routing_epoch: self.shared.routing.epoch(),
             fault_log: self.shared.controller.log(),
+            pinned_workers,
+            ring_mode,
         }
     }
 }
@@ -917,6 +1028,80 @@ mod tests {
         ] {
             assert!(Cluster::new(bad).is_err());
         }
+    }
+
+    #[test]
+    fn spsc_ring_mode_requires_a_single_node() {
+        let bad = ClusterConfig { nodes: 2, ring_mode: RingMode::Spsc, ..ClusterConfig::default() };
+        assert!(matches!(Cluster::new(bad), Err(EngineError::InvalidConfig { .. })));
+        let ok = ClusterConfig {
+            nodes: 1,
+            ell: 0.0,
+            ring_mode: RingMode::Spsc,
+            ..ClusterConfig::default()
+        };
+        assert!(Cluster::new(ok).is_ok());
+    }
+
+    #[test]
+    fn auto_ring_mode_resolves_mpsc_for_multi_node_clusters() {
+        let config =
+            ClusterConfig { nodes: 3, ring_mode: RingMode::Auto, ..ClusterConfig::default() };
+        assert_eq!(config.effective_ring_mode(), RingMode::Mpsc);
+        let single =
+            ClusterConfig { nodes: 1, ring_mode: RingMode::Auto, ..ClusterConfig::default() };
+        assert_eq!(single.effective_ring_mode(), RingMode::Auto);
+    }
+
+    #[test]
+    fn auto_single_node_demotes_to_spsc_and_serves_identically() {
+        let base = ClusterConfig {
+            nodes: 1,
+            catalogue: 1_000,
+            capacity: 4,
+            ell: 0.0,
+            policy: StorePolicy::Lru,
+            ..ClusterConfig::default()
+        };
+        let run = |ring_mode: RingMode| {
+            let cluster = Cluster::new(ClusterConfig { ring_mode, ..base.clone() }).unwrap();
+            cluster.register_producer().unwrap();
+            cluster.seal_producers();
+            let resolved = cluster.ring_mode();
+            for rank in [7u64, 9, 7, 11, 9, 7] {
+                drive_to_completion(&cluster, 0, ContentId(rank));
+                cluster.drain();
+            }
+            let contents = cluster.node_contents(0);
+            let metrics = cluster.finish();
+            (resolved, metrics.totals(), contents)
+        };
+        let (mpsc_mode, mpsc_totals, mpsc_contents) = run(RingMode::Mpsc);
+        let (auto_mode, auto_totals, auto_contents) = run(RingMode::Auto);
+        assert_eq!(mpsc_mode, RingMode::Mpsc);
+        assert_eq!(auto_mode, RingMode::Spsc, "sole registrant must demote");
+        assert_eq!(auto_totals, mpsc_totals, "SPSC fast path changed tier counts");
+        assert_eq!(auto_contents, mpsc_contents, "SPSC fast path changed store state");
+    }
+
+    #[test]
+    fn placement_pins_workers_when_enabled() {
+        let config = ClusterConfig {
+            nodes: 2,
+            shards_per_node: 2,
+            placement: ShardPlacement::new(0, true),
+            ..ClusterConfig::default()
+        };
+        let cluster = Cluster::new(config).unwrap();
+        drive_to_completion(&cluster, 0, ContentId(1));
+        let metrics = cluster.finish();
+        assert_eq!(metrics.completed(), 1);
+        // On Linux every worker pins (cores wrap the budget); on
+        // unsupported platforms the count is honestly zero. The
+        // metric is read after the join, so it is final.
+        let pinned = metrics.pinned_workers;
+        assert!(pinned == 4 || pinned == 0, "partial pinning: {pinned}/4");
+        assert_eq!(metrics.ring_mode, RingMode::Mpsc);
     }
 
     #[test]

@@ -30,6 +30,16 @@
 //!   apply-due-events poll, and the applied-fault log
 //!   ([`AppliedFault`]) surfaced through
 //!   [`crate::cluster::EngineMetrics`].
+//!
+//! # Interaction with thread-per-core placement
+//!
+//! Kill and revive are *mode flips*, not thread lifecycle events: a
+//! killed node or worker keeps its threads (they drain already-
+//! admitted work at origin in dead mode) and revival flips the flag
+//! back. No thread is ever respawned, so a worker pinned by
+//! [`crate::ShardPlacement`] stays on its placement core through any
+//! fault schedule — fault injection respects placement by
+//! construction.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -37,6 +47,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::error::EngineError;
+use crate::pad::CachePadded;
 use crate::routing::LiveRouting;
 use crate::shard::{lock_recover, mix};
 
@@ -523,7 +534,11 @@ struct NodeFaultState {
 
 /// Cluster-wide runtime fault state and health counters.
 pub(crate) struct FaultState {
-    nodes: Vec<NodeFaultState>,
+    /// Padded per node: every admission and every served job loads
+    /// this node's flags, and the health detector's streak counter is
+    /// written from peer workers — adjacent nodes must not share a
+    /// line.
+    nodes: Vec<CachePadded<NodeFaultState>>,
     /// Nodes currently health-marked down (fast probation guard).
     health_down_count: AtomicUsize,
     health_marked_down: AtomicU64,
@@ -534,14 +549,18 @@ impl FaultState {
     pub(crate) fn new(nodes: usize, shards_per_node: usize) -> Self {
         Self {
             nodes: (0..nodes)
-                .map(|_| NodeFaultState {
-                    killed: AtomicBool::new(false),
-                    health_down: AtomicBool::new(false),
-                    health_down_at_op: AtomicU64::new(0),
-                    consecutive_timeouts: AtomicU32::new(0),
-                    slow_nanos: AtomicU64::new(0),
-                    stall_until_nanos: AtomicU64::new(0),
-                    workers_down: (0..shards_per_node).map(|_| AtomicBool::new(false)).collect(),
+                .map(|_| {
+                    CachePadded::new(NodeFaultState {
+                        killed: AtomicBool::new(false),
+                        health_down: AtomicBool::new(false),
+                        health_down_at_op: AtomicU64::new(0),
+                        consecutive_timeouts: AtomicU32::new(0),
+                        slow_nanos: AtomicU64::new(0),
+                        stall_until_nanos: AtomicU64::new(0),
+                        workers_down: (0..shards_per_node)
+                            .map(|_| AtomicBool::new(false))
+                            .collect(),
+                    })
                 })
                 .collect(),
             health_down_count: AtomicUsize::new(0),

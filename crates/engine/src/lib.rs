@@ -11,9 +11,17 @@
 //! Architecture:
 //!
 //! - [`ring`] — a vendored, dependency-free bounded MPSC ring queue
-//!   (the crate's only `unsafe` module, with its happens-before
-//!   edges documented inline): uncontended enqueue is a couple of
-//!   atomics and a whole run of messages moves through one CAS.
+//!   (with its happens-before edges documented inline): uncontended
+//!   enqueue is a couple of atomics and a whole run of messages moves
+//!   through one CAS — or, once a ring is proven single-producer and
+//!   demoted to SPSC mode, through a plain store.
+//! - [`affinity`] — thread-per-core placement: dependency-free
+//!   `sched_setaffinity` (raw syscall on Linux, honest no-op
+//!   elsewhere) and the [`ShardPlacement`] policy pinning each shard
+//!   worker and its load-generator lane to a core.
+//! - [`pad`] — [`CachePadded`], a `#[repr(align(64))]` wrapper that
+//!   keeps independently-written hot counters (queue depths, ring
+//!   indices, per-node tallies) off each other's cache lines.
 //! - [`shard`] — each node's content store is partitioned across
 //!   single-writer worker shards behind bounded ring queues
 //!   ([`ShardedStore`]); the simulator's O(1) LRU/LFU/static stores
@@ -66,21 +74,25 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod affinity;
 pub mod cluster;
 pub mod error;
 pub mod fault;
 pub mod load;
+pub mod pad;
 pub mod report;
 pub mod ring;
 pub mod routing;
 pub mod shard;
 
+pub use affinity::{available_cores, pin_current_thread, PinOutcome, ShardPlacement};
 pub use cluster::{
     BatchSubmitter, Cluster, ClusterConfig, EngineMetrics, StorePolicy, ENGINE_LATENCY_MS_BOUNDS,
 };
 pub use error::EngineError;
 pub use fault::{AppliedFault, DegradeConfig, FaultEvent, FaultKind, FaultPlan};
 pub use load::{LoadReport, OpenLoopConfig};
+pub use pad::CachePadded;
 pub use report::{serve_bench, ServeBenchConfig, ServeBenchOutcome};
 pub use routing::{LiveRouting, RoutingTable};
-pub use shard::{shard_of, IdleStrategy, ShardHandle, ShardedStore};
+pub use shard::{shard_of, IdleStrategy, RingMode, ShardHandle, ShardSpec, ShardedStore};

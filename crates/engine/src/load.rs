@@ -17,8 +17,21 @@
 //! every buffered run is flushed before the generator sleeps, so
 //! batching never delays a request past its own arrival time; only
 //! already-due backlog is coalesced.
+//!
+//! # Placement
+//!
+//! When the cluster's [`ShardPlacement`](crate::ShardPlacement) pins,
+//! generator lane `g` pins itself to
+//! [`generator_core`](crate::ShardPlacement::generator_core) — the
+//! core of the first shard of the first node the lane owns — so under
+//! thread-per-core the producer and the consumer it feeds most share
+//! a core. [`drive`] also registers each lane in the cluster's
+//! producer census *before* spawning it (the spawn gives the
+//! happens-before edge), so a single-lane run under
+//! [`RingMode::Auto`](crate::RingMode) demotes the shard rings to the
+//! SPSC fast path with no registration race.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use ccn_sim::workload::{self, Request};
@@ -78,6 +91,9 @@ pub struct LoadReport {
     pub shed: u64,
     /// Generator threads actually used.
     pub generators: usize,
+    /// Generator threads that successfully pinned to their placement
+    /// core (0 when the cluster's placement does not pin).
+    pub pinned_generators: usize,
     /// Wall-clock duration from first issue until the cluster drained,
     /// in milliseconds.
     pub wall_ms: u64,
@@ -215,14 +231,28 @@ pub fn drive(cluster: &Cluster, config: &OpenLoopConfig) -> Result<LoadReport, E
             )
         })
         .collect::<Result<Vec<_>, _>>()?;
+    // Register every lane in the producer census before any lane can
+    // submit: the spawns below give the happens-before edge, so under
+    // RingMode::Auto the first submission's seal sees the full count
+    // (1 lane ⇒ SPSC demotion, more ⇒ MPSC) with no race.
+    for _ in 0..generators {
+        cluster.register_producer()?;
+    }
+    let placement = cluster.config().placement;
+    let shards_per_node = cluster.config().shards_per_node;
     let offered = AtomicU64::new(0);
     let shed = AtomicU64::new(0);
+    let pinned = AtomicUsize::new(0);
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for (stream, owned) in streams.iter().zip(&partitions) {
+        for (lane, (stream, owned)) in streams.iter().zip(&partitions).enumerate() {
             let offered = &offered;
             let shed = &shed;
+            let pinned = &pinned;
             scope.spawn(move || {
+                if placement.pin_to(placement.generator_core(lane, shards_per_node)) {
+                    pinned.fetch_add(1, Ordering::Relaxed);
+                }
                 let mut submitter = cluster.batch_submitter();
                 let mut generator = Generator::new(cluster, owned, config.batch);
                 for request in stream {
@@ -250,6 +280,7 @@ pub fn drive(cluster: &Cluster, config: &OpenLoopConfig) -> Result<LoadReport, E
         offered: offered.into_inner(),
         shed: shed.into_inner(),
         generators,
+        pinned_generators: pinned.into_inner(),
         wall_ms: wall_ms.max(1),
     })
 }
@@ -348,6 +379,45 @@ mod tests {
         let metrics = cluster.finish();
         assert!(report.offered > 1_000, "workload too small: {report:?}");
         assert_eq!(report.offered, metrics.totals().total() + report.shed);
+    }
+
+    #[test]
+    fn single_lane_drive_under_auto_demotes_and_matches_mpsc() {
+        use crate::affinity::ShardPlacement;
+        use crate::shard::RingMode;
+        use ccn_sim::ContentId;
+        let base = ClusterConfig {
+            nodes: 1,
+            queue_capacity: 8_192,
+            catalogue: 500,
+            capacity: 16,
+            ell: 0.0,
+            policy: StorePolicy::Lru,
+            placement: ShardPlacement::new(0, true),
+            ..ClusterConfig::default()
+        };
+        let run = |ring_mode: RingMode| -> (RingMode, LoadReport, TierCounts, Vec<ContentId>) {
+            let cluster = Cluster::new(ClusterConfig { ring_mode, ..base.clone() }).unwrap();
+            let load = OpenLoopConfig {
+                rate_per_node_per_ms: 2.0,
+                horizon_ms: 60.0,
+                batch: 32,
+                ..OpenLoopConfig::default()
+            };
+            let report = drive(&cluster, &load).unwrap();
+            let resolved = cluster.ring_mode();
+            let contents = cluster.node_contents(0);
+            (resolved, report, cluster.finish().totals(), contents)
+        };
+        let (mpsc_mode, mpsc_report, mpsc_totals, mpsc_contents) = run(RingMode::Mpsc);
+        let (auto_mode, auto_report, auto_totals, auto_contents) = run(RingMode::Auto);
+        assert_eq!(mpsc_mode, RingMode::Mpsc);
+        assert_eq!(auto_mode, RingMode::Spsc, "one registered lane must demote");
+        assert_eq!(auto_report.offered, mpsc_report.offered);
+        assert_eq!(auto_report.shed, mpsc_report.shed, "queues sized to never shed");
+        assert_eq!(auto_totals, mpsc_totals, "SPSC fast path changed tier counts");
+        assert_eq!(auto_contents, mpsc_contents, "SPSC fast path changed store state");
+        assert_eq!(auto_report.offered, auto_totals.total() + auto_report.shed);
     }
 
     mod equivalence {

@@ -1,0 +1,83 @@
+//! Cache-line padding for hot shared atomics.
+//!
+//! Hot counters that different cores write independently — per-shard
+//! queue depths, ring head/tail indices, per-node tier tallies — are
+//! small (8 bytes) and the allocator happily packs several of them
+//! into one 64-byte cache line. Every write then invalidates the line
+//! for *every* core touching *any* of the co-resident counters: false
+//! sharing. [`CachePadded`] forces each wrapped value onto its own
+//! line so independent shards stop ping-ponging lines they never
+//! logically share.
+//!
+//! The alignment is 128 bytes on aarch64 (modern ARM cores prefetch
+//! line pairs, so destructive interference spans two 64-byte lines)
+//! and 64 bytes elsewhere — the same policy crossbeam ships.
+
+/// Pads and aligns `T` to the destructive-interference boundary so
+/// two `CachePadded` values never share a cache line.
+#[cfg_attr(target_arch = "aarch64", repr(align(128)))]
+#[cfg_attr(not(target_arch = "aarch64"), repr(align(64)))]
+#[derive(Default, Debug)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn padded_values_never_share_a_line() {
+        let line = std::mem::align_of::<CachePadded<AtomicU64>>();
+        assert!(line >= 64, "alignment below a cache line: {line}");
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>() % line, 0);
+        // Adjacent array elements land on distinct lines.
+        let pair = [CachePadded::new(AtomicU64::new(0)), CachePadded::new(AtomicU64::new(0))];
+        let a = &*pair[0] as *const AtomicU64 as usize;
+        let b = &*pair[1] as *const AtomicU64 as usize;
+        assert!(b - a >= line, "elements {a:#x}/{b:#x} share a line");
+    }
+
+    #[test]
+    fn deref_and_conversions_round_trip() {
+        let mut padded = CachePadded::new(AtomicU64::new(7));
+        assert_eq!(padded.load(Ordering::Relaxed), 7);
+        *padded.get_mut() = 9;
+        assert_eq!(padded.into_inner().into_inner(), 9);
+        let from: CachePadded<u32> = 5u32.into();
+        assert_eq!(*from, 5);
+    }
+}

@@ -7,10 +7,12 @@ use ccn_sim::{ServedBy, TierCounts};
 
 use ccn_obs::Histogram;
 
+use crate::affinity::available_cores;
 use crate::cluster::{Cluster, ClusterConfig, StorePolicy};
 use crate::error::EngineError;
 use crate::fault::{AppliedFault, FaultPlan};
 use crate::load::{drive, OpenLoopConfig};
+use crate::shard::RingMode;
 
 /// Everything one serve-bench run needs.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +37,18 @@ pub struct ServeBenchOutcome {
     pub worker_threads: usize,
     /// Generator threads used.
     pub generators: usize,
+    /// Cores this process may run on (affinity-mask popcount).
+    pub available_cores: usize,
+    /// Placement core budget the run was configured with.
+    pub placement_cores: usize,
+    /// Whether placement pinning was requested.
+    pub placement_pin: bool,
+    /// Shard workers that successfully pinned to their placement core.
+    pub pinned_workers: usize,
+    /// Generator threads that successfully pinned.
+    pub pinned_generators: usize,
+    /// The producer discipline the shard rings resolved to.
+    pub ring_mode: RingMode,
     /// Requests issued by the generators.
     pub offered: u64,
     /// Requests rejected at admission.
@@ -49,6 +63,9 @@ pub struct ServeBenchOutcome {
     pub wall_ms: u64,
     /// Completed requests per wall-clock second.
     pub requests_per_sec: f64,
+    /// Throughput normalized by the placement core budget — the
+    /// number a multi-core scaling sweep gates on.
+    pub requests_per_sec_per_core: f64,
     /// High-water mark of any single shard queue.
     pub max_queue_depth: usize,
     /// Service latency per tier, indexed by [`ServedBy::index`].
@@ -129,6 +146,13 @@ impl ServeBenchOutcome {
         registry.gauge("engine.queue.max_depth").set(self.max_queue_depth as f64);
         registry.gauge("engine.throughput.req_per_sec").set(self.requests_per_sec);
         registry
+            .gauge("engine.throughput.req_per_sec_per_core")
+            .set(self.requests_per_sec_per_core);
+        #[allow(clippy::cast_precision_loss)]
+        registry
+            .gauge("engine.placement.pinned_threads")
+            .set((self.pinned_workers + self.pinned_generators) as f64);
+        registry
     }
 }
 
@@ -150,6 +174,12 @@ impl ToJson for ServeBenchOutcome {
             .field("shards_per_node", self.cluster.shards_per_node as u64)
             .field("worker_threads", self.worker_threads as u64)
             .field("generators", self.generators as u64)
+            .field("available_cores", self.available_cores as u64)
+            .field("placement_cores", self.placement_cores as u64)
+            .field("placement_pin", self.placement_pin)
+            .field("pinned_workers", self.pinned_workers as u64)
+            .field("pinned_generators", self.pinned_generators as u64)
+            .field("ring_mode", self.ring_mode.name())
             .field("queue_capacity", self.cluster.queue_capacity as u64)
             .field("batch", self.load.batch as u64)
             .field("idle", self.cluster.idle.name().as_str())
@@ -173,6 +203,7 @@ impl ToJson for ServeBenchOutcome {
             .field("origin_fraction", self.fraction(ServedBy::Origin))
             .field("wall_ms", self.wall_ms)
             .field("requests_per_sec", self.requests_per_sec)
+            .field("requests_per_sec_per_core", self.requests_per_sec_per_core)
             .field("max_queue_depth", self.max_queue_depth as u64)
             .field("retried", self.retried)
             .field("failed_over", self.failed_over)
@@ -212,9 +243,17 @@ pub fn serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchOutcome, Engin
     }
     #[allow(clippy::cast_precision_loss)]
     let requests_per_sec = completed as f64 / (load.wall_ms as f64 / 1e3);
+    #[allow(clippy::cast_precision_loss)]
+    let requests_per_sec_per_core = requests_per_sec / config.cluster.placement.cores() as f64;
     Ok(ServeBenchOutcome {
         worker_threads: config.cluster.nodes * config.cluster.shards_per_node,
         generators: load.generators,
+        available_cores: available_cores(),
+        placement_cores: config.cluster.placement.cores(),
+        placement_pin: config.cluster.placement.pin(),
+        pinned_workers: metrics.pinned_workers,
+        pinned_generators: load.pinned_generators,
+        ring_mode: metrics.ring_mode,
         offered: load.offered,
         shed: load.shed,
         completed,
@@ -222,6 +261,7 @@ pub fn serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchOutcome, Engin
         tiers: metrics.totals(),
         wall_ms: load.wall_ms,
         requests_per_sec,
+        requests_per_sec_per_core,
         max_queue_depth: metrics.max_queue_depth,
         tier_latency: metrics.tier_latency,
         retried: metrics.retried,
@@ -286,6 +326,35 @@ mod tests {
         let json = outcome.to_json();
         assert_eq!(json.get("batch").and_then(Json::as_u64), Some(64));
         assert_eq!(json.get("idle").and_then(Json::as_str), Some("yield"));
+    }
+
+    #[test]
+    fn outcome_reports_placement_and_ring_mode() {
+        use crate::affinity::ShardPlacement;
+        let mut config = smoke_config();
+        config.cluster.nodes = 1;
+        config.cluster.ell = 0.0;
+        config.cluster.placement = ShardPlacement::new(0, true);
+        config.cluster.ring_mode = RingMode::Auto;
+        let outcome = serve_bench(&config).unwrap();
+        assert!(outcome.available_cores >= 1);
+        assert_eq!(outcome.placement_cores, outcome.cluster.placement.cores());
+        assert!(outcome.placement_pin);
+        assert_eq!(outcome.ring_mode, RingMode::Spsc, "single lane under Auto demotes");
+        assert!(outcome.requests_per_sec_per_core > 0.0);
+        let json = outcome.to_json();
+        assert_eq!(json.get("ring_mode").and_then(Json::as_str), Some("spsc"));
+        assert_eq!(
+            json.get("available_cores").and_then(Json::as_u64),
+            Some(outcome.available_cores as u64)
+        );
+        assert_eq!(
+            json.get("pinned_workers").and_then(Json::as_u64),
+            Some(outcome.pinned_workers as u64)
+        );
+        let rendered = outcome.registry().to_json().to_string_compact();
+        assert!(rendered.contains("engine.throughput.req_per_sec_per_core"));
+        assert!(rendered.contains("engine.placement.pinned_threads"));
     }
 
     #[test]

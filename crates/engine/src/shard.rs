@@ -20,20 +20,43 @@
 //! job. Workers drain in bulk ([`crate::ring::Consumer::pop_batch`])
 //! and idle with a configurable spin → yield → park escalation
 //! ([`IdleStrategy`]) instead of blocking inside a channel `recv()`.
+//!
+//! # Completion batching
+//!
 //! Synchronous ops ([`ShardHandle::apply`],
-//! [`ShardHandle::shard_contents`]) reuse pooled reply slots, so the
-//! warm-up and drain paths allocate nothing per call.
+//! [`ShardHandle::apply_batch`], [`ShardHandle::shard_contents`])
+//! carry no mutex or condvar: each submitter checks a completion set
+//! out of a pool — one SPSC completion ring per shard — workers
+//! publish tagged replies into the submitter's lane for their shard,
+//! and the submitter drains them in bulk. A batched submitter
+//! ([`ShardHandle::apply_batch`]) therefore never blocks per-op: a
+//! whole window of churn is in flight before the first reply is
+//! awaited, and tags restore input order across shards. Once the
+//! pool is warm the paths allocate nothing per call.
+//!
+//! # Producer seal protocol (SPSC demotion)
+//!
+//! Rings start multi-producer. A store built in [`RingMode::Auto`]
+//! counts registered producers ([`ShardHandle::register_producer`])
+//! and *seals* at the first job submission (or an explicit
+//! [`ShardHandle::seal_producers`]): exactly one registrant demotes
+//! every shard ring to the SPSC fast path — the claim CAS becomes a
+//! plain store — otherwise the rings stay MPSC. Registration after
+//! an SPSC seal is refused, and the seal's critical section gives
+//! demotion a happens-before edge over every subsequent push.
 
-use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{fence, AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{JoinHandle, Thread};
 use std::time::Duration;
 
 use ccn_sim::store::ContentStore;
 use ccn_sim::ContentId;
 
+use crate::affinity::{pin_current_thread, PinOutcome};
 use crate::error::EngineError;
-use crate::ring::{ring, Consumer, Producer};
+use crate::pad::CachePadded;
+use crate::ring::{ring_with, Consumer, Mode, Producer};
 
 /// Poison-tolerant lock: a worker that panicked while holding one of
 /// the engine's mutexes (fault injection makes that survivable rather
@@ -173,42 +196,80 @@ impl Default for IdleStrategy {
 
 /// Reply payload for the synchronous shard ops.
 enum Reply {
-    /// `apply` answer: was the content already present?
-    Hit(bool),
+    /// `apply` answer: was the content already present? `tag` is the
+    /// submitter-chosen index, so a batch spanning shards can restore
+    /// input order however the per-shard completions interleave.
+    Hit { tag: u32, hit: bool },
     /// `shard_contents` answer.
     Contents(Vec<ContentId>),
 }
 
-/// A reusable one-shot mailbox: the caller parks on the condvar, the
-/// worker fills the slot and signals. Unlike the `sync_channel(1)`
-/// it replaces, a slot lives in a pool and is reused across calls, so
-/// the `apply`/snapshot warm-up and drain paths stop allocating.
-struct ReplySlot {
-    value: Mutex<Option<Reply>>,
-    ready: Condvar,
+/// Capacity of each completion ring — also the apply-batch window
+/// (max replies in flight per lane), so a worker's publish can stall
+/// only while the submitter is actively draining.
+const COMPLETION_CAPACITY: usize = 256;
+
+/// One submitter's reply channel from one shard worker. The ring is
+/// SPSC by construction: exactly one worker (the lane's shard) ever
+/// publishes into it, and the lane is owned exclusively by whoever
+/// checked the set out of the pool.
+struct CompletionLane {
+    tx: Producer<Reply>,
+    rx: Consumer<Reply>,
 }
 
-impl ReplySlot {
-    fn new() -> Self {
-        Self { value: Mutex::new(None), ready: Condvar::new() }
-    }
+/// Per-submitter completion queues, one lane per shard. Pooled and
+/// reused — replaces the old pooled `Mutex<Option<Reply>>`+`Condvar`
+/// slots, so completion costs two atomics instead of a lock and a
+/// condvar wake, and batched submitters drain replies in bulk.
+struct CompletionSet {
+    lanes: Vec<CompletionLane>,
+}
 
-    fn fill(&self, reply: Reply) {
-        let mut slot = lock_recover(&self.value);
-        *slot = Some(reply);
-        self.ready.notify_one();
+impl CompletionSet {
+    fn new(shards: usize) -> Self {
+        let lanes = (0..shards)
+            .map(|_| {
+                // SPSC is sound here without any seal protocol: the
+                // only thread that ever pushes into a lane is the
+                // worker of the shard the lane indexes, and workers
+                // process their queue serially.
+                let (tx, rx) = ring_with(COMPLETION_CAPACITY, Mode::Spsc);
+                CompletionLane { tx, rx }
+            })
+            .collect();
+        Self { lanes }
     }
+}
 
-    fn take(&self) -> Reply {
-        let mut slot = lock_recover(&self.value);
-        loop {
-            if let Some(reply) = slot.take() {
-                return reply;
+/// Worker-side publish: retries until the lane has room (the
+/// submitter is draining, so room appears).
+fn publish_reply(done: &Producer<Reply>, mut reply: Reply) {
+    loop {
+        match done.try_push(reply) {
+            Ok(()) => return,
+            Err(returned) => {
+                reply = returned;
+                std::thread::yield_now();
             }
-            slot = match self.ready.wait(slot) {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+        }
+    }
+}
+
+/// Submitter-side wait for a single reply: spin briefly, then yield.
+/// No park/wake protocol is needed — the worker is already awake
+/// (it is processing the message we are waiting on).
+fn await_reply(rx: &mut Consumer<Reply>) -> Reply {
+    let mut spins = 0u32;
+    loop {
+        if let Some(reply) = rx.pop() {
+            return reply;
+        }
+        if spins < 64 {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
         }
     }
 }
@@ -216,10 +277,11 @@ impl ReplySlot {
 enum ShardMsg<J> {
     /// An asynchronous unit of work handled by the engine's callback.
     Job(J),
-    /// Synchronous churn op: hit → touch, miss → insert; replies hit?.
-    Apply { content: ContentId, reply: Arc<ReplySlot> },
+    /// Synchronous churn op: hit → touch, miss → insert; publishes
+    /// `Reply::Hit` tagged with `tag` into `done`.
+    Apply { content: ContentId, tag: u32, done: Producer<Reply> },
     /// Synchronous eviction-order snapshot of one shard's store.
-    Snapshot { reply: Arc<ReplySlot> },
+    Snapshot { done: Producer<Reply> },
     /// Drain sentinel: the shard thread exits after seeing this.
     Stop,
 }
@@ -227,10 +289,14 @@ enum ShardMsg<J> {
 struct Shard<J> {
     queue: Producer<ShardMsg<J>>,
     /// Jobs currently queued (control messages are not counted).
-    depth: Arc<AtomicUsize>,
+    /// Cache-padded: each shard's depth is hammered by its producers
+    /// and its worker; without padding, adjacent shards' counters
+    /// share a line and every update invalidates the neighbours.
+    depth: Arc<CachePadded<AtomicUsize>>,
     /// Set by the worker just before parking; producers that see it
-    /// unpark the worker after publishing.
-    sleeping: Arc<AtomicBool>,
+    /// unpark the worker after publishing. Padded for the same
+    /// reason as `depth`.
+    sleeping: Arc<CachePadded<AtomicBool>>,
     /// The worker thread, for unparking.
     thread: Thread,
 }
@@ -269,22 +335,144 @@ impl<J: Send + 'static> Shard<J> {
     }
 }
 
+/// Producer claim discipline of a [`ShardedStore`]'s shard rings.
+///
+/// `Auto` is the demotion protocol from the module docs: producers
+/// register, the first job submission seals, and a sole registrant
+/// gets the SPSC fast path. In `Auto` **every job submitter must
+/// register before its first submission** — an unregistered
+/// submitter can defeat the count and race a demoted ring. The
+/// synchronous ops (`apply*`, `shard_contents`) ride the same rings:
+/// once a store may seal SPSC they must be separated from job
+/// submission by a happens-before edge (the engine's warm-up runs
+/// before the load generators spawn and its drain after they join,
+/// which is exactly that). `Mpsc` (the default) never demotes;
+/// `Spsc` builds the rings single-producer from the start and admits
+/// exactly one registrant — under the same whole-ring contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RingMode {
+    /// Always multi-producer; registration is a no-op. The default.
+    #[default]
+    Mpsc,
+    /// Count registrations; demote to SPSC at seal iff exactly one.
+    Auto,
+    /// Single-producer from construction; one registration allowed.
+    Spsc,
+}
+
+impl RingMode {
+    /// Canonical report name (`mpsc`, `auto`, `spsc`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Mpsc => "mpsc",
+            Self::Auto => "auto",
+            Self::Spsc => "spsc",
+        }
+    }
+}
+
+/// Seal states. `>= SEAL_MPSC` means the decision is final and the
+/// submission fast path can skip the protocol with one Acquire load.
+const SEAL_OPEN: u8 = 0;
+const SEAL_SEALING: u8 = 1;
+const SEAL_MPSC: u8 = 2;
+const SEAL_SPSC: u8 = 3;
+
 struct HandleInner<J> {
     shards: Vec<Shard<J>>,
-    max_depth: AtomicUsize,
+    /// High-water mark of any single shard queue. Padded: updated
+    /// (via `fetch_max`) by every producer on every accepted push.
+    max_depth: CachePadded<AtomicUsize>,
     capacity: usize,
-    /// Reusable reply slots for `apply`/`shard_contents`; grown on
-    /// first use per concurrent caller, then recycled forever.
-    reply_pool: Mutex<Vec<Arc<ReplySlot>>>,
+    /// The mode requested at construction; the *resolved* discipline
+    /// lives in `seal`.
+    requested_mode: RingMode,
+    /// Registered job producers (the seal protocol's census).
+    producers: CachePadded<AtomicUsize>,
+    seal: AtomicU8,
+    /// Workers that successfully pinned themselves to a core.
+    pinned_workers: Arc<AtomicUsize>,
+    /// Reusable per-submitter completion sets for `apply`/
+    /// `apply_batch`/`shard_contents`; grown on first use per
+    /// concurrent caller, then recycled forever.
+    completion_pool: Mutex<Vec<CompletionSet>>,
 }
 
 impl<J> HandleInner<J> {
-    fn checkout_reply_slot(&self) -> Arc<ReplySlot> {
-        lock_recover(&self.reply_pool).pop().unwrap_or_else(|| Arc::new(ReplySlot::new()))
+    fn checkout_completion_set(&self) -> CompletionSet {
+        lock_recover(&self.completion_pool)
+            .pop()
+            .unwrap_or_else(|| CompletionSet::new(self.shards.len()))
     }
 
-    fn return_reply_slot(&self, slot: Arc<ReplySlot>) {
-        lock_recover(&self.reply_pool).push(slot);
+    fn return_completion_set(&self, set: CompletionSet) {
+        lock_recover(&self.completion_pool).push(set);
+    }
+
+    /// Fast-path guard on every job submission: one Acquire load once
+    /// the seal is final.
+    #[inline]
+    fn ensure_sealed(&self) {
+        if self.seal.load(Ordering::Acquire) >= SEAL_MPSC {
+            return;
+        }
+        self.seal_slow();
+    }
+
+    /// Seal critical section. Exactly one thread wins the CAS, reads
+    /// the census, demotes if it saw a sole registrant, and publishes
+    /// the final state; everyone else spins on `SEAL_SEALING`.
+    ///
+    /// Race-freedom with [`ShardHandle::register_producer`] (SeqCst
+    /// total order): a registrant increments the census *then* loads
+    /// the seal state, while the sealer stores `SEAL_SEALING` *then*
+    /// reads the census. If the increment precedes the census read,
+    /// the sealer counts the newcomer (≥ 2 ⇒ MPSC). Otherwise the
+    /// `SEAL_SEALING` store precedes the newcomer's state load, so
+    /// the newcomer spins until the decision lands and — if it was
+    /// SPSC — is refused. There is no interleaving in which a ring
+    /// demotes with a second producer admitted.
+    #[cold]
+    fn seal_slow(&self) {
+        match self.seal.compare_exchange(
+            SEAL_OPEN,
+            SEAL_SEALING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => {
+                let spsc = self.requested_mode == RingMode::Auto
+                    && self.producers.load(Ordering::SeqCst) == 1;
+                if spsc {
+                    self.demote_rings();
+                }
+                // SeqCst publish: demotion happens-before any push
+                // that observed the final state (submitters load the
+                // seal before pushing).
+                self.seal.store(if spsc { SEAL_SPSC } else { SEAL_MPSC }, Ordering::SeqCst);
+            }
+            Err(_) => {
+                while self.seal.load(Ordering::SeqCst) < SEAL_MPSC {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    // The one unsafe call site outside `ring`: demotion inside the
+    // seal critical section.
+    #[allow(unsafe_code)]
+    fn demote_rings(&self) {
+        for shard in &self.shards {
+            // SAFETY: we hold the seal critical section (`seal ==
+            // SEAL_SEALING`), every submission path loads the seal
+            // before its first push and spins while sealing, and the
+            // census proved exactly one registered producer — so from
+            // a point that happens-before every subsequent push, at
+            // most one thread pushes at a time (see `seal_slow`).
+            unsafe { shard.queue.demote_to_spsc() };
+        }
     }
 }
 
@@ -316,6 +504,73 @@ impl<J: Send + 'static> ShardHandle<J> {
         self.inner.capacity
     }
 
+    /// Registers the calling submitter with the seal protocol (see
+    /// [`RingMode`]). Must be called before the registrant's first
+    /// job submission; meaningful in `Auto` (census) and `Spsc`
+    /// (sole-producer gate) modes, a no-op under `Mpsc`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] when the store already sealed
+    /// to SPSC (late registration would add a second producer to a
+    /// single-producer ring) or an explicit-`Spsc` store already has
+    /// its one registrant.
+    pub fn register_producer(&self) -> Result<(), EngineError> {
+        let inner = &*self.inner;
+        // Census first, state second — the mirror image of
+        // `seal_slow` (state first, census second); see its doc
+        // comment for why this ordering closes the race.
+        inner.producers.fetch_add(1, Ordering::SeqCst);
+        loop {
+            match inner.seal.load(Ordering::SeqCst) {
+                SEAL_SEALING => std::hint::spin_loop(),
+                SEAL_SPSC => {
+                    // An explicit-Spsc store admits its first (sole)
+                    // registrant; a demoted Auto store admits none —
+                    // its census is already ≥ 1 from the original
+                    // registrant, so the == 1 check refuses here too.
+                    if inner.requested_mode == RingMode::Spsc
+                        && inner.producers.load(Ordering::SeqCst) == 1
+                    {
+                        return Ok(());
+                    }
+                    inner.producers.fetch_sub(1, Ordering::SeqCst);
+                    return Err(EngineError::InvalidConfig {
+                        reason: "store is sealed single-producer; cannot register another \
+                                 job producer"
+                            .into(),
+                    });
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Seals the producer census now instead of at the first job
+    /// submission. Idempotent; concurrent callers all return with
+    /// the decision final.
+    pub fn seal_producers(&self) {
+        self.inner.ensure_sealed();
+    }
+
+    /// The resolved claim discipline: `Mpsc`/`Spsc` once sealed, the
+    /// requested [`RingMode`] while an `Auto` store is still open.
+    #[must_use]
+    pub fn ring_mode(&self) -> RingMode {
+        match self.inner.seal.load(Ordering::Acquire) {
+            SEAL_MPSC => RingMode::Mpsc,
+            SEAL_SPSC => RingMode::Spsc,
+            _ => self.inner.requested_mode,
+        }
+    }
+
+    /// Workers that successfully pinned themselves to the core their
+    /// [`ShardSpec::pin_cores`] assignment named.
+    #[must_use]
+    pub fn pinned_workers(&self) -> usize {
+        self.inner.pinned_workers.load(Ordering::Relaxed)
+    }
+
     /// Enqueues `job` on the shard owning `content`.
     ///
     /// # Errors
@@ -323,6 +578,7 @@ impl<J: Send + 'static> ShardHandle<J> {
     /// Returns the job back when that shard's bounded queue is full
     /// (or the store was shut down) so the caller can shed or degrade.
     pub fn try_job(&self, content: ContentId, job: J) -> Result<(), J> {
+        self.inner.ensure_sealed();
         let shard = &self.inner.shards[shard_of(content, self.shards())];
         // Count *before* pushing: the worker decrements only after
         // processing a pushed job, so depth can never underflow; the
@@ -360,6 +616,7 @@ impl<J: Send + 'static> ShardHandle<J> {
         if want == 0 {
             return 0;
         }
+        self.inner.ensure_sealed();
         let shard = &self.inner.shards[shard];
         // Same count-before-push discipline as `try_job`; the
         // rejected remainder is subtracted back below.
@@ -402,21 +659,104 @@ impl<J: Send + 'static> ShardHandle<J> {
     /// adapter adds over calling the store directly — benchmarked in
     /// `ccn-bench`'s `engine` bench, deliberately not hidden (and
     /// amortized by [`ShardHandle::try_submit_batch`] on the serve
-    /// path). The reply rides a pooled [`ReplySlot`], so the call
-    /// allocates nothing once the pool is warm.
+    /// path, by [`ShardHandle::apply_batch`] on the churn path). The
+    /// reply rides a pooled completion lane, so the call allocates
+    /// nothing once the pool is warm.
     ///
     /// # Panics
     ///
     /// Panics if the owning [`ShardedStore`] has been shut down.
     pub fn apply(&self, content: ContentId) -> bool {
-        let reply = self.inner.checkout_reply_slot();
-        let shard = &self.inner.shards[shard_of(content, self.shards())];
-        shard.send_control(ShardMsg::Apply { content, reply: Arc::clone(&reply) });
-        let Reply::Hit(hit) = reply.take() else {
+        let mut set = self.inner.checkout_completion_set();
+        let index = shard_of(content, self.shards());
+        let lane = &mut set.lanes[index];
+        self.inner.shards[index].send_control(ShardMsg::Apply {
+            content,
+            tag: 0,
+            done: lane.tx.clone(),
+        });
+        let Reply::Hit { hit, .. } = await_reply(&mut lane.rx) else {
             unreachable!("apply always answers Hit");
         };
-        self.inner.return_reply_slot(reply);
+        self.inner.return_completion_set(set);
         hit
+    }
+
+    /// Batched synchronous churn: every content in `run` is applied
+    /// to its owning shard (hit → touch, miss → insert) and `hits`
+    /// is filled with the per-op hit verdicts **in input order**.
+    ///
+    /// Unlike a loop over [`ShardHandle::apply`], the submitter never
+    /// blocks per-op: a window of up to [`COMPLETION_CAPACITY`] ops
+    /// is in flight across all shards before the first reply is
+    /// awaited, submissions ride the batch claim, and completions
+    /// drain in bulk from the per-shard lanes — tags restore input
+    /// order however the shards interleave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owning [`ShardedStore`] has been shut down or
+    /// `run` exceeds `u32::MAX` ops.
+    pub fn apply_batch(&self, run: &[ContentId], hits: &mut Vec<bool>) {
+        hits.clear();
+        hits.resize(run.len(), false);
+        if run.is_empty() {
+            return;
+        }
+        assert!(u32::try_from(run.len()).is_ok(), "apply_batch run too long to tag");
+        let shards = self.shards();
+        let mut set = self.inner.checkout_completion_set();
+        let mut pending: Vec<Vec<(ContentId, u32)>> = vec![Vec::new(); shards];
+        let mut drained: Vec<Reply> = Vec::with_capacity(COMPLETION_CAPACITY);
+        for window_start in (0..run.len()).step_by(COMPLETION_CAPACITY) {
+            let window = &run[window_start..run.len().min(window_start + COMPLETION_CAPACITY)];
+            for (offset, &content) in window.iter().enumerate() {
+                let tag = (window_start + offset) as u32;
+                pending[shard_of(content, shards)].push((content, tag));
+            }
+            // Submit the whole window before awaiting anything: one
+            // batch claim and one wake per shard with work.
+            for (index, ops) in pending.iter_mut().enumerate() {
+                if ops.is_empty() {
+                    continue;
+                }
+                let shard = &self.inner.shards[index];
+                let done = &set.lanes[index].tx;
+                while !ops.is_empty() {
+                    let accepted = shard.queue.try_push_batch_map(ops, |(content, tag)| {
+                        ShardMsg::Apply { content, tag, done: done.clone() }
+                    });
+                    if accepted == 0 {
+                        std::thread::yield_now();
+                    } else {
+                        shard.wake();
+                    }
+                }
+            }
+            // Drain the window's replies in bulk; the window bound
+            // (≤ lane capacity) guarantees no lane ever stalls a
+            // worker for longer than this loop takes to come around.
+            let mut outstanding = window.len();
+            while outstanding > 0 {
+                let mut progressed = false;
+                for lane in &mut set.lanes {
+                    drained.clear();
+                    lane.rx.pop_batch(&mut drained, COMPLETION_CAPACITY);
+                    for reply in drained.drain(..) {
+                        let Reply::Hit { tag, hit } = reply else {
+                            unreachable!("apply always answers Hit");
+                        };
+                        hits[tag as usize] = hit;
+                        outstanding -= 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.inner.return_completion_set(set);
     }
 
     /// Eviction-order contents of one shard's store.
@@ -426,12 +766,13 @@ impl<J: Send + 'static> ShardHandle<J> {
     /// Panics if `shard` is out of range or the store was shut down.
     #[must_use]
     pub fn shard_contents(&self, shard: usize) -> Vec<ContentId> {
-        let reply = self.inner.checkout_reply_slot();
-        self.inner.shards[shard].send_control(ShardMsg::Snapshot { reply: Arc::clone(&reply) });
-        let Reply::Contents(contents) = reply.take() else {
+        let mut set = self.inner.checkout_completion_set();
+        let lane = &mut set.lanes[shard];
+        self.inner.shards[shard].send_control(ShardMsg::Snapshot { done: lane.tx.clone() });
+        let Reply::Contents(contents) = await_reply(&mut lane.rx) else {
             unreachable!("snapshot always answers Contents");
         };
-        self.inner.return_reply_slot(reply);
+        self.inner.return_completion_set(set);
         contents
     }
 
@@ -458,6 +799,62 @@ impl<J: Send + 'static> ShardHandle<J> {
     #[must_use]
     pub fn max_queue_depth(&self) -> usize {
         self.inner.max_depth.load(Ordering::Relaxed)
+    }
+}
+
+/// Full construction recipe for a [`ShardedStore`]: shape, idle
+/// strategy, producer discipline, and thread-per-core placement.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Worker shard count (≥ 1).
+    pub shards: usize,
+    /// Per-shard bounded queue capacity (≥ 1; rounded up to a power
+    /// of two).
+    pub queue_capacity: usize,
+    /// How workers wait when their queue runs dry.
+    pub idle: IdleStrategy,
+    /// Producer claim discipline (see [`RingMode`]).
+    pub ring_mode: RingMode,
+    /// Optional per-shard core assignment: `pin_cores[shard]` names
+    /// the core that shard's worker pins itself to at thread start
+    /// (`None` floats). Empty means no pinning. Must be empty or
+    /// exactly `shards` long.
+    pub pin_cores: Vec<Option<usize>>,
+}
+
+impl ShardSpec {
+    /// A spec with the defaults the two-argument constructors used:
+    /// spin-then-park idling, MPSC rings, no pinning.
+    #[must_use]
+    pub fn new(shards: usize, queue_capacity: usize) -> Self {
+        Self {
+            shards,
+            queue_capacity,
+            idle: IdleStrategy::default(),
+            ring_mode: RingMode::default(),
+            pin_cores: Vec::new(),
+        }
+    }
+
+    /// Replaces the idle strategy.
+    #[must_use]
+    pub fn idle(mut self, idle: IdleStrategy) -> Self {
+        self.idle = idle;
+        self
+    }
+
+    /// Replaces the producer discipline.
+    #[must_use]
+    pub fn ring_mode(mut self, mode: RingMode) -> Self {
+        self.ring_mode = mode;
+        self
+    }
+
+    /// Replaces the per-shard core assignment.
+    #[must_use]
+    pub fn pin_cores(mut self, pins: Vec<Option<usize>>) -> Self {
+        self.pin_cores = pins;
+        self
     }
 }
 
@@ -515,6 +912,35 @@ impl<J: Send + 'static> ShardedStore<J> {
         shards: usize,
         queue_capacity: usize,
         idle: IdleStrategy,
+        store_factory: F,
+        handler: Arc<H>,
+    ) -> Result<Self, EngineError>
+    where
+        F: FnMut(usize) -> Box<dyn ContentStore>,
+        H: Fn(&mut dyn ContentStore, J) + Send + Sync + 'static,
+    {
+        Self::try_spawn_with(
+            ShardSpec::new(shards, queue_capacity).idle(idle),
+            store_factory,
+            handler,
+        )
+    }
+
+    /// Full-form constructor: everything [`ShardedStore::try_spawn`]
+    /// accepts plus the producer discipline and per-shard core
+    /// pinning of a [`ShardSpec`]. Workers pin themselves first
+    /// thing on their own thread (affinity is inherited by children
+    /// on Linux, so the spawner must not pin on the workers' behalf);
+    /// a refused pin is counted, not fatal — see
+    /// [`ShardHandle::pinned_workers`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] for zero `shards` or
+    /// `queue_capacity` or a `pin_cores` of the wrong length;
+    /// [`EngineError::Spawn`] when the OS refuses a worker thread.
+    pub fn try_spawn_with<F, H>(
+        spec: ShardSpec,
         mut store_factory: F,
         handler: Arc<H>,
     ) -> Result<Self, EngineError>
@@ -522,26 +948,66 @@ impl<J: Send + 'static> ShardedStore<J> {
         F: FnMut(usize) -> Box<dyn ContentStore>,
         H: Fn(&mut dyn ContentStore, J) + Send + Sync + 'static,
     {
-        if shards == 0 {
+        if spec.shards == 0 {
             return Err(EngineError::InvalidConfig { reason: "need at least one shard".into() });
         }
-        if queue_capacity == 0 {
+        if spec.queue_capacity == 0 {
             return Err(EngineError::InvalidConfig { reason: "need a non-empty queue".into() });
         }
-        let mut shard_handles = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        let mut capacity = queue_capacity;
-        for shard in 0..shards {
-            let (producer, consumer) = ring(queue_capacity);
+        if !spec.pin_cores.is_empty() && spec.pin_cores.len() != spec.shards {
+            return Err(EngineError::InvalidConfig {
+                reason: format!(
+                    "pin_cores names {} shards but the store has {}",
+                    spec.pin_cores.len(),
+                    spec.shards
+                ),
+            });
+        }
+        // Explicit-Spsc rings are single-producer from birth; Auto
+        // rings start MPSC and may demote at seal; Mpsc rings are
+        // born sealed.
+        let birth_mode = match spec.ring_mode {
+            RingMode::Spsc => Mode::Spsc,
+            _ => Mode::Mpsc,
+        };
+        let initial_seal = match spec.ring_mode {
+            RingMode::Mpsc => SEAL_MPSC,
+            RingMode::Auto => SEAL_OPEN,
+            RingMode::Spsc => SEAL_SPSC,
+        };
+        let pinned_workers = Arc::new(AtomicUsize::new(0));
+        let make_inner = |shards: Vec<Shard<J>>, capacity: usize| HandleInner {
+            shards,
+            max_depth: CachePadded::new(AtomicUsize::new(0)),
+            capacity,
+            requested_mode: spec.ring_mode,
+            producers: CachePadded::new(AtomicUsize::new(0)),
+            seal: AtomicU8::new(initial_seal),
+            pinned_workers: Arc::clone(&pinned_workers),
+            completion_pool: Mutex::new(Vec::new()),
+        };
+        let mut shard_handles = Vec::with_capacity(spec.shards);
+        let mut workers = Vec::with_capacity(spec.shards);
+        let mut capacity = spec.queue_capacity;
+        for shard in 0..spec.shards {
+            let (producer, consumer) = ring_with(spec.queue_capacity, birth_mode);
             capacity = producer.capacity();
-            let depth = Arc::new(AtomicUsize::new(0));
-            let sleeping = Arc::new(AtomicBool::new(false));
+            let depth = Arc::new(CachePadded::new(AtomicUsize::new(0)));
+            let sleeping = Arc::new(CachePadded::new(AtomicBool::new(false)));
             let store = store_factory(shard);
             let worker_depth = Arc::clone(&depth);
             let worker_sleeping = Arc::clone(&sleeping);
             let worker_handler = Arc::clone(&handler);
+            let worker_pinned = Arc::clone(&pinned_workers);
+            let pin_core = spec.pin_cores.get(shard).copied().flatten();
+            let idle = spec.idle;
             let spawned =
                 std::thread::Builder::new().name(format!("ccn-shard-{shard}")).spawn(move || {
+                    if let Some(core) = pin_core {
+                        if pin_current_thread(core) == PinOutcome::Pinned {
+                            worker_pinned.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     worker_loop(
                         store,
                         consumer,
@@ -557,12 +1023,7 @@ impl<J: Send + 'static> ShardedStore<J> {
                     // Unwind the partial bring-up before reporting.
                     let mut partial = Self {
                         handle: ShardHandle {
-                            inner: Arc::new(HandleInner {
-                                shards: shard_handles,
-                                max_depth: AtomicUsize::new(0),
-                                capacity,
-                                reply_pool: Mutex::new(Vec::new()),
-                            }),
+                            inner: Arc::new(make_inner(shard_handles, capacity)),
                         },
                         workers,
                     };
@@ -574,12 +1035,7 @@ impl<J: Send + 'static> ShardedStore<J> {
             shard_handles.push(Shard { queue: producer, depth, sleeping, thread });
             workers.push(worker);
         }
-        let inner = HandleInner {
-            shards: shard_handles,
-            max_depth: AtomicUsize::new(0),
-            capacity,
-            reply_pool: Mutex::new(Vec::new()),
-        };
+        let inner = make_inner(shard_handles, capacity);
         Ok(Self { handle: ShardHandle { inner: Arc::new(inner) }, workers })
     }
 
@@ -643,17 +1099,17 @@ fn worker_loop<J, H>(
                         jobs += 1;
                         handler(store.as_mut(), job);
                     }
-                    ShardMsg::Apply { content, reply } => {
+                    ShardMsg::Apply { content, tag, done } => {
                         let hit = store.contains(content);
                         if hit {
                             store.on_hit(content);
                         } else {
                             store.on_data(content);
                         }
-                        reply.fill(Reply::Hit(hit));
+                        publish_reply(&done, Reply::Hit { tag, hit });
                     }
-                    ShardMsg::Snapshot { reply } => {
-                        reply.fill(Reply::Contents(store.contents()));
+                    ShardMsg::Snapshot { done } => {
+                        publish_reply(&done, Reply::Contents(store.contents()));
                     }
                     ShardMsg::Stop => {
                         stop = true;
@@ -982,6 +1438,231 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(handle.queue_depth(), 0);
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn apply_batch_matches_per_op_apply_across_shards() {
+        let shards = 4;
+        let stream: Vec<ContentId> = (0..700).map(|i| ContentId(mix(i) % 60 + 1)).collect();
+        let mut serial = spawn_lru(shards, 64, 8);
+        let mut batched = spawn_lru(shards, 64, 8);
+        let serial_handle = serial.handle();
+        let batched_handle = batched.handle();
+        let serial_hits: Vec<bool> = stream.iter().map(|&c| serial_handle.apply(c)).collect();
+        let mut batched_hits = Vec::new();
+        batched_handle.apply_batch(&stream, &mut batched_hits);
+        assert_eq!(batched_hits, serial_hits, "hit verdicts diverged");
+        assert_eq!(batched_handle.contents(), serial_handle.contents(), "stores diverged");
+        // Windowing: a run far longer than one completion window.
+        let long: Vec<ContentId> = (0..3 * 256 + 17).map(|i| ContentId(mix(i) % 60 + 1)).collect();
+        let mut a = Vec::new();
+        batched_handle.apply_batch(&long, &mut a);
+        let b: Vec<bool> = long.iter().map(|&c| serial_handle.apply(c)).collect();
+        assert_eq!(a, b);
+        serial.shutdown();
+        batched.shutdown();
+    }
+
+    #[test]
+    fn auto_mode_demotes_for_a_sole_registrant_and_matches_mpsc() {
+        let stream: Vec<u64> = (0..600).map(|i| mix(i) % 48 + 1).collect();
+        let churn = Arc::new(|store: &mut dyn ContentStore, rank: u64| {
+            let c = ContentId(rank);
+            if store.contains(c) {
+                store.on_hit(c);
+            } else {
+                store.on_data(c);
+            }
+        });
+        let run = |mode: RingMode| {
+            let mut sharded: ShardedStore<u64> = ShardedStore::try_spawn_with(
+                ShardSpec::new(2, 64).ring_mode(mode),
+                |_| Box::new(LruStore::new(16)),
+                Arc::clone(&churn),
+            )
+            .unwrap();
+            let handle = sharded.handle();
+            if mode != RingMode::Mpsc {
+                handle.register_producer().unwrap();
+            }
+            assert_eq!(handle.ring_mode(), mode, "seal decided before first submission");
+            let mut pending: Vec<Vec<u64>> = vec![Vec::new(); 2];
+            for &rank in &stream {
+                pending[shard_of(ContentId(rank), 2)].push(rank);
+            }
+            for (shard, mut jobs) in pending.into_iter().enumerate() {
+                handle.submit_batch(shard, &mut jobs);
+            }
+            let resolved = handle.ring_mode();
+            while handle.queue_depth() > 0 {
+                std::thread::yield_now();
+            }
+            let contents = handle.contents();
+            sharded.shutdown();
+            (resolved, contents)
+        };
+        let (mpsc_mode, mpsc_contents) = run(RingMode::Mpsc);
+        let (auto_mode, auto_contents) = run(RingMode::Auto);
+        let (spsc_mode, spsc_contents) = run(RingMode::Spsc);
+        assert_eq!(mpsc_mode, RingMode::Mpsc);
+        assert_eq!(auto_mode, RingMode::Spsc, "sole registrant must demote");
+        assert_eq!(spsc_mode, RingMode::Spsc);
+        assert_eq!(auto_contents, mpsc_contents, "SPSC fast path diverged from MPSC");
+        assert_eq!(spsc_contents, mpsc_contents);
+    }
+
+    #[test]
+    fn auto_mode_stays_mpsc_with_two_registrants() {
+        let mut sharded = spawn_auto_lru();
+        let handle = sharded.handle();
+        handle.register_producer().unwrap();
+        handle.register_producer().unwrap();
+        handle.try_job(ContentId(1), ()).unwrap();
+        assert_eq!(handle.ring_mode(), RingMode::Mpsc);
+        // Registration stays open after an MPSC seal.
+        handle.register_producer().unwrap();
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn registration_after_an_spsc_seal_is_refused() {
+        let mut sharded = spawn_auto_lru();
+        let handle = sharded.handle();
+        handle.register_producer().unwrap();
+        handle.try_job(ContentId(1), ()).unwrap();
+        assert_eq!(handle.ring_mode(), RingMode::Spsc);
+        assert!(matches!(handle.register_producer(), Err(EngineError::InvalidConfig { .. })));
+        // Explicit-Spsc stores admit exactly one registrant.
+        let mut explicit: ShardedStore<()> = ShardedStore::try_spawn_with(
+            ShardSpec::new(1, 64).ring_mode(RingMode::Spsc),
+            |_| Box::new(LruStore::new(4)),
+            noop(),
+        )
+        .unwrap();
+        let h = explicit.handle();
+        h.register_producer().unwrap();
+        assert!(h.register_producer().is_err());
+        explicit.shutdown();
+        sharded.shutdown();
+    }
+
+    fn spawn_auto_lru() -> ShardedStore<()> {
+        ShardedStore::try_spawn_with(
+            ShardSpec::new(1, 64).ring_mode(RingMode::Auto),
+            |_| Box::new(LruStore::new(4)),
+            noop(),
+        )
+        .unwrap()
+    }
+
+    /// Loom-style interleaving stress for the seal protocol: threads
+    /// race registration against the demotion decision (triggered by
+    /// whichever registrant submits first). The invariant under every
+    /// interleaving: an SPSC seal admitted exactly one registrant,
+    /// and every job submitted by an admitted registrant is
+    /// processed. Repetition plus scheduler yields stands in for
+    /// loom's exhaustive schedule exploration (the workspace vendors
+    /// no loom).
+    #[test]
+    fn racing_registration_vs_demotion_admits_at_most_one_spsc_producer() {
+        const ITERS: usize = 150;
+        const RACERS: usize = 3;
+        const JOBS_PER_RACER: usize = 40;
+        for iter in 0..ITERS {
+            let done = Arc::new(AtomicUsize::new(0));
+            let observed = Arc::clone(&done);
+            let handler = Arc::new(move |_: &mut dyn ContentStore, _v: u64| {
+                observed.fetch_add(1, Ordering::Release);
+            });
+            let mut sharded: ShardedStore<u64> = ShardedStore::try_spawn_with(
+                ShardSpec::new(1, 256).ring_mode(RingMode::Auto),
+                |_| Box::new(LruStore::new(4)),
+                handler,
+            )
+            .unwrap();
+            let handle = sharded.handle();
+            let admitted: usize = std::thread::scope(|scope| {
+                let threads: Vec<_> = (0..RACERS)
+                    .map(|racer| {
+                        let handle = handle.clone();
+                        scope.spawn(move || {
+                            // Stagger arrival differently every
+                            // iteration to vary the interleaving.
+                            for _ in 0..(iter + racer) % 5 {
+                                std::thread::yield_now();
+                            }
+                            if handle.register_producer().is_err() {
+                                return 0usize;
+                            }
+                            for v in 0..JOBS_PER_RACER as u64 {
+                                while handle.try_job(ContentId(v + 1), v).is_err() {
+                                    std::thread::yield_now();
+                                }
+                            }
+                            1
+                        })
+                    })
+                    .collect();
+                threads.into_iter().map(|t| t.join().unwrap()).sum()
+            });
+            let expected = admitted * JOBS_PER_RACER;
+            let start = std::time::Instant::now();
+            while done.load(Ordering::Acquire) < expected {
+                assert!(
+                    start.elapsed() < Duration::from_secs(5),
+                    "iter {iter}: stuck at {} of {expected}",
+                    done.load(Ordering::Acquire)
+                );
+                std::thread::yield_now();
+            }
+            assert_eq!(done.load(Ordering::Acquire), expected, "iter {iter}: job count drifted");
+            if handle.ring_mode() == RingMode::Spsc {
+                assert_eq!(admitted, 1, "iter {iter}: SPSC seal admitted {admitted} producers");
+            } else {
+                assert!(admitted >= 1, "iter {iter}: MPSC seal refused everyone");
+            }
+            sharded.shutdown();
+        }
+    }
+
+    /// The high-water mark uses `fetch_max`, so racing producers can
+    /// never lose an observation: with the worker gated, the last of
+    /// N concurrent accepted submissions must record depth == N.
+    #[test]
+    fn max_depth_high_water_survives_racing_producers() {
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 50;
+        let gate = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&gate);
+        let handler = Arc::new(move |_: &mut dyn ContentStore, _v: u64| {
+            while seen.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+        });
+        let mut sharded = ShardedStore::spawn(
+            1,
+            1_024,
+            IdleStrategy::default(),
+            |_| Box::new(LruStore::new(4)),
+            handler,
+        );
+        let handle = sharded.handle();
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    for v in 0..PER_PRODUCER as u64 {
+                        handle.try_job(ContentId(v + 1), (p as u64) << 32 | v).unwrap();
+                    }
+                });
+            }
+        });
+        // All 200 accepted and none processed (worker gated): the
+        // producer whose fetch_add returned the final count also
+        // fetch_maxed it, whatever the interleaving.
+        assert_eq!(handle.max_queue_depth(), PRODUCERS * PER_PRODUCER);
+        gate.store(1, Ordering::Release);
         sharded.shutdown();
     }
 

@@ -152,6 +152,15 @@ pub struct RunManifest {
     pub requested_threads: usize,
     /// Worker threads actually used after clamping to cores.
     pub effective_threads: usize,
+    /// Engine shard-worker threads (`nodes × shards_per_node`), when
+    /// the run drove the serving engine. These are *not* subject to
+    /// the bench-runner clamp above: the engine oversubscribes cores
+    /// deliberately (workers park when idle), so recording them under
+    /// `effective_threads` would misstate both numbers.
+    pub engine_worker_threads: Option<usize>,
+    /// Engine load-generator threads, when the run drove the serving
+    /// engine — same distinction as `engine_worker_threads`.
+    pub engine_generator_threads: Option<usize>,
     /// Logical CPUs available to the process.
     pub available_cores: usize,
     /// `git describe --always --dirty`, or `"unknown"`.
@@ -209,6 +218,8 @@ impl RunManifest {
             seed,
             requested_threads,
             effective_threads: effective_threads(requested_threads, cores),
+            engine_worker_threads: None,
+            engine_generator_threads: None,
             available_cores: cores,
             git: git_describe(),
             smoke,
@@ -220,6 +231,16 @@ impl RunManifest {
     #[must_use]
     pub fn with_phases(mut self, phases: Vec<PhaseTiming>) -> Self {
         self.phases = phases;
+        self
+    }
+
+    /// Records the serving engine's own thread counts (builder
+    /// style): shard workers and load generators, kept separate from
+    /// the bench-runner clamp so neither number misstates the other.
+    #[must_use]
+    pub fn with_engine_threads(mut self, workers: usize, generators: usize) -> Self {
+        self.engine_worker_threads = Some(workers);
+        self.engine_generator_threads = Some(generators);
         self
     }
 
@@ -296,6 +317,16 @@ impl RunManifest {
             seed: u64_key("seed")?,
             requested_threads: u64_key("requested_threads")? as usize,
             effective_threads: u64_key("effective_threads")? as usize,
+            // Optional: only engine-driving runs record these, and
+            // pre-existing manifests predate them entirely.
+            engine_worker_threads: doc
+                .get("engine_worker_threads")
+                .and_then(Json::as_u64)
+                .map(|v| v as usize),
+            engine_generator_threads: doc
+                .get("engine_generator_threads")
+                .and_then(Json::as_u64)
+                .map(|v| v as usize),
             available_cores: u64_key("available_cores")? as usize,
             git: str_key("git")?,
             smoke: doc
@@ -309,14 +340,22 @@ impl RunManifest {
 
 impl ToJson for RunManifest {
     fn to_json(&self) -> Json {
-        Json::object()
+        let mut doc = Json::object()
             .field("schema", MANIFEST_SCHEMA)
             .field("tool", self.tool.as_str())
             .field("name", self.name.as_str())
             .field("seed", self.seed)
             .field("requested_threads", self.requested_threads)
-            .field("effective_threads", self.effective_threads)
-            .field("available_cores", self.available_cores)
+            .field("effective_threads", self.effective_threads);
+        // Emitted only when set: non-engine manifests keep their
+        // exact pre-existing shape.
+        if let Some(workers) = self.engine_worker_threads {
+            doc = doc.field("engine_worker_threads", workers);
+        }
+        if let Some(generators) = self.engine_generator_threads {
+            doc = doc.field("engine_generator_threads", generators);
+        }
+        doc.field("available_cores", self.available_cores)
             .field("git", self.git.as_str())
             .field("smoke", self.smoke)
             .field("phases", Json::Arr(self.phases.iter().map(ToJson::to_json).collect()))
@@ -354,6 +393,8 @@ mod tests {
             seed: 7,
             requested_threads: 4,
             effective_threads: 1,
+            engine_worker_threads: None,
+            engine_generator_threads: None,
             available_cores: 1,
             git: "abc1234-dirty".into(),
             smoke: true,
@@ -368,6 +409,25 @@ mod tests {
         // Throughput is derived, not stored: 1000 events / 0.25 s.
         assert_eq!(back.phases[1].events_per_sec(), Some(4000.0));
         assert_eq!(back.phases[0].events_per_sec(), None);
+    }
+
+    #[test]
+    fn engine_threads_are_optional_and_round_trip() {
+        // Without them: absent from the JSON, so pre-existing
+        // manifests (and their goldens) keep their exact shape.
+        let plain = RunManifest::capture("ccn", "serve-bench", 1, 2, false);
+        let rendered = plain.to_header_line();
+        assert!(!rendered.contains("engine_worker_threads"), "{rendered}");
+        assert_eq!(RunManifest::from_json(&rendered).unwrap(), plain);
+        // With them: recorded separately from the runner clamp — an
+        // 8-worker engine run on this host must not be clamped.
+        let engine = plain.clone().with_engine_threads(8, 2);
+        assert_eq!(engine.engine_worker_threads, Some(8));
+        let back = RunManifest::from_json(&engine.to_header_line()).unwrap();
+        assert_eq!(back, engine);
+        assert_eq!(back.engine_worker_threads, Some(8));
+        assert_eq!(back.engine_generator_threads, Some(2));
+        assert_eq!(back.effective_threads, plain.effective_threads);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::time::Duration;
 use ccn_engine::load::drive;
 use ccn_engine::{
     Cluster, ClusterConfig, DegradeConfig, EngineMetrics, FaultPlan, LoadReport, OpenLoopConfig,
-    StorePolicy,
+    ShardPlacement, StorePolicy,
 };
 use ccn_sim::workload::{self, Request};
 use proptest::prelude::*;
@@ -285,6 +285,71 @@ fn mid_batch_epoch_transitions_stay_conserved() {
     // stall are invisible to routing.
     assert_eq!(metrics.routing_epoch, 5);
     assert!(metrics.fault_served > 0, "dead worker completed admitted jobs");
+}
+
+/// Thread-per-core placement is invisible to the engine's semantics:
+/// placement moves threads, never requests. Two claims, scoped to
+/// match what the engine actually guarantees:
+///
+/// 1. **No-fault bit-exactness** — a pinned run of the deterministic
+///    chaos workload produces per-node tier counts bit-identical to
+///    the unpinned run (the determinism argument at the top of this
+///    file does not care where threads execute).
+/// 2. **Fault-schedule conservation** — under a seeded kill/revive
+///    schedule a pinned cluster conserves every request, and its
+///    offered/shed counts match the unpinned run bit-exactly (shed
+///    is decided at admission by the op-pinned fault clock, so it is
+///    deterministic; peer-vs-origin attribution of jobs in flight at
+///    a kill is timing-dependent in *any* run, pinned or not, and is
+///    deliberately not compared here — invariant 2 above scopes its
+///    bit-exact claims to survivors' local counts for the same
+///    reason).
+///
+/// Kill/revive flip worker modes without touching thread lifecycle,
+/// so pinned workers ride out the whole schedule on their cores.
+#[test]
+fn placement_leaves_fault_accounting_bit_identical() {
+    const SEED: u64 = 77;
+    let pinned_config = || ClusterConfig {
+        placement: ShardPlacement::new(0, true),
+        ..chaos_config(DegradeConfig::default())
+    };
+    let load = chaos_load(SEED, 400.0);
+
+    // Claim 1: no faults — full bit-exactness under placement.
+    let (base_report, baseline) =
+        run(chaos_config(DegradeConfig::default()), FaultPlan::none(), &load);
+    let (calm_report, calm) = run(pinned_config(), FaultPlan::none(), &load);
+    assert!(base_report.offered > 500, "workload too small: {base_report:?}");
+    assert_eq!(calm_report.offered, base_report.offered);
+    assert_eq!(calm.totals(), baseline.totals(), "tier totals moved under placement");
+    for node in 0..NODES {
+        assert_eq!(
+            calm.per_node[node], baseline.per_node[node],
+            "node {node}'s tier counts moved under placement"
+        );
+    }
+    assert_eq!(baseline.pinned_workers, 0, "the unpinned baseline must not pin");
+
+    // Claim 2: seeded kill/revive schedule — conservation and
+    // admission-side accounting stay exact under placement.
+    let plan = || FaultPlan::seeded(SEED, NODES, 200, 80, 1_500);
+    let (unpinned_report, unpinned) = run(chaos_config(DegradeConfig::default()), plan(), &load);
+    let (report, metrics) = run(pinned_config(), plan(), &load);
+    assert!(report.shed > 0, "schedule never shed — the fault plan did not bite");
+    assert_eq!(report.offered, unpinned_report.offered);
+    assert_eq!(report.shed, unpinned_report.shed, "admission-side shed moved under placement");
+    assert_eq!(report.offered, metrics.completed() + report.shed, "conservation violated");
+    assert_eq!(metrics.shed_node_down, unpinned.shed_node_down);
+    assert_eq!(metrics.fault_log.len(), unpinned.fault_log.len());
+    assert_eq!(metrics.routing_epoch, unpinned.routing_epoch);
+    // Every worker pins itself on a pin-enabled placement (or none do,
+    // on platforms where the affinity syscall is a no-op).
+    assert!(
+        metrics.pinned_workers == NODES || metrics.pinned_workers == 0,
+        "partial pinning: {}/{NODES}",
+        metrics.pinned_workers
+    );
 }
 
 /// Degradation ladder under a slow node: forwards to it blow the
