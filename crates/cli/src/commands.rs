@@ -4,6 +4,10 @@ use std::fmt::Write as _;
 
 use ccn_bench::runner::{run_bench, BenchOptions};
 use ccn_coord::{CoordinatorConfig, ResilientCoordinator, RetryPolicy, RoundOutcome};
+use ccn_engine::net::{
+    wire_bench, NodeConfig, NodeLaunch, NodeServer, NodeStatsSnapshot, WireFault, WireFaultKind,
+    WireLedger, WireOutcome, WireSpec,
+};
 use ccn_engine::{
     serve_bench, ClusterConfig, DegradeConfig, FaultPlan, IdleStrategy, OpenLoopConfig, RingMode,
     ServeBenchConfig, ShardPlacement, StorePolicy,
@@ -75,6 +79,34 @@ COMMANDS
              --timeout-threshold 16 (consecutive failures to mark a
                node down; 0 disables) --probation-ops 8192
              --name SERVE --out SERVE.json
+  node       run one cache node as a standalone TCP server (the unit
+             the wire-bench coordinator spawns); prints `READY <addr>`
+             on stdout once the listener is bound, then serves until a
+             Shutdown frame arrives
+             --id 0 --listen 127.0.0.1:0 --shards 1 --queue 1024
+             --idle spin-then-park --ring-mode auto|mpsc (spsc is
+               rejected: the listener admits remote producers)
+             --cores 0 --pin false
+             --deadline-us 1000000 --retries 2 --backoff-us 5
+             --timeout-threshold 16
+  wire-bench run the serving benchmark over real sockets: a coordinator
+             provisions a cluster of `ccn node` processes (or in-process
+             threads) with versioned config epochs and drives the same
+             zipf_irm stream as serve-bench through length-prefixed TCP
+             frames; writes a JSON report with embedded manifest
+             --nodes 3 --shards 1 --queue 1024
+             --catalogue 10000 --capacity 100 --ell 0.5 --s 0.8
+             --rate 0.5 --duration 1000 --paced false
+             --policy static|lru --seed 42 --batch 64
+             --idle spin-then-park --ring-mode auto --cores 0 --pin false
+             --deadline-us --retries --backoff-us --timeout-threshold
+             --faults \"kill:1@2000,revive:1@4000\" (forms: kill:N@OP
+               revive:N@OP; requires child processes, i.e. not
+               --in-process true)
+             --in-process false (true = node servers as driver threads,
+               loopback wire path without child processes)
+             --node-exe <path> (child executable; default: this binary)
+             --smoke false --name WIRE --out WIRE.json
   validate-manifest
              check that a JSON file carries a valid ccn.run-manifest/v1
              (standalone, or embedded under \"manifest\" in a bench or
@@ -631,6 +663,362 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn parse_idle_flag(args: &Args) -> Result<IdleStrategy, ArgError> {
+    IdleStrategy::parse(&args.str_or("idle", "spin-then-park"))
+        .map_err(|e| ArgError(format!("--idle: {e}")))
+}
+
+fn parse_ring_mode_flag(args: &Args, default: &str) -> Result<RingMode, ArgError> {
+    match args.str_or("ring-mode", default).as_str() {
+        "mpsc" => Ok(RingMode::Mpsc),
+        "auto" => Ok(RingMode::Auto),
+        "spsc" => Ok(RingMode::Spsc),
+        other => Err(ArgError(format!("--ring-mode {other:?}: expected mpsc, auto, or spsc"))),
+    }
+}
+
+fn parse_degrade_flags(args: &Args) -> Result<DegradeConfig, ArgError> {
+    let defaults = DegradeConfig::default();
+    let u32_flag = |flag: &str, default: u32| -> Result<u32, ArgError> {
+        u32::try_from(args.u64_or(flag, u64::from(default))?)
+            .map_err(|e| ArgError(format!("--{flag}: {e}")))
+    };
+    #[allow(clippy::cast_possible_truncation)]
+    Ok(DegradeConfig {
+        forward_deadline: std::time::Duration::from_micros(
+            args.u64_or("deadline-us", defaults.forward_deadline.as_micros() as u64)?,
+        ),
+        forward_retries: u32_flag("retries", defaults.forward_retries)?,
+        retry_backoff: std::time::Duration::from_micros(
+            args.u64_or("backoff-us", defaults.retry_backoff.as_micros() as u64)?,
+        ),
+        timeout_threshold: u32_flag("timeout-threshold", defaults.timeout_threshold)?,
+        probation_ops: args.u64_or("probation-ops", defaults.probation_ops)?,
+    })
+}
+
+fn node_cmd(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&[
+        "id",
+        "listen",
+        "shards",
+        "queue",
+        "idle",
+        "ring-mode",
+        "cores",
+        "pin",
+        "deadline-us",
+        "retries",
+        "backoff-us",
+        "timeout-threshold",
+        "probation-ops",
+    ])?;
+    let usize_flag = |flag: &str, default: u64| -> Result<usize, ArgError> {
+        usize::try_from(args.u64_or(flag, default)?).map_err(|e| ArgError(format!("--{flag}: {e}")))
+    };
+    let mut config = NodeConfig::new(usize_flag("id", 0)?);
+    config.listen = args.str_or("listen", "127.0.0.1:0");
+    config.shards = usize_flag("shards", 1)?;
+    config.queue_capacity = usize_flag("queue", 1_024)?;
+    config.idle = parse_idle_flag(args)?;
+    config.ring_mode = parse_ring_mode_flag(args, "auto")?;
+    config.placement =
+        ShardPlacement::new(usize_flag("cores", 0)?, parse_bool(args, "pin", "false")?);
+    config.degrade = parse_degrade_flags(args)?;
+    let id = config.id;
+    let server = NodeServer::bind(config).map_err(|e| ArgError(e.to_string()))?;
+    // The spawning driver blocks on this line; flush before serving.
+    {
+        use std::io::Write as _;
+        println!("READY {}", server.local_addr());
+        let _ = std::io::stdout().flush();
+    }
+    let stats = server.run().map_err(|e| ArgError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "node {id}: epoch {}, {} lookups (local {}, peer {}, origin {}, shed {})",
+        stats.epoch, stats.lookups, stats.local, stats.peer, stats.origin, stats.shed
+    );
+    let _ = writeln!(
+        out,
+        "  forwards out {} (retried {}, degraded {}), forwards in {} ({} hits), \
+         connections {}, epochs accepted {}",
+        stats.forwards_out,
+        stats.retried,
+        stats.degraded,
+        stats.forwards_in,
+        stats.forward_hits,
+        stats.connections,
+        stats.epochs_accepted
+    );
+    Ok(out)
+}
+
+fn parse_wire_faults(spec: &str) -> Result<Vec<WireFault>, ArgError> {
+    let mut faults = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let bad = |why: &str| ArgError(format!("--faults {part:?}: {why}"));
+        let (head, op) =
+            part.split_once('@').ok_or_else(|| bad("expected kill:N@OP or revive:N@OP"))?;
+        let at_op: u64 = op.parse().map_err(|_| bad("OP must be an offered-op count"))?;
+        let (verb, node) =
+            head.split_once(':').ok_or_else(|| bad("expected kill:N@OP or revive:N@OP"))?;
+        let n: usize = node.parse().map_err(|_| bad("N must be a node id"))?;
+        let kind = match verb {
+            "kill" => WireFaultKind::Kill(n),
+            "revive" => WireFaultKind::Revive(n),
+            _ => return Err(bad("only kill and revive act on whole processes")),
+        };
+        faults.push(WireFault { at_op, kind });
+    }
+    faults.sort_by_key(|f| f.at_op);
+    Ok(faults)
+}
+
+/// Aggregates node-side forward RTT counters into the manifest's
+/// cluster-wide summary; `None` when no forward completed anywhere
+/// (e.g. `ℓ = 0` or a single-node cluster).
+fn aggregate_rtt(stats: &[Option<NodeStatsSnapshot>]) -> Option<ccn_obs::PeerRttUs> {
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    for s in stats.iter().flatten() {
+        if s.rtt_count > 0 {
+            count += s.rtt_count;
+            sum += s.rtt_sum_us;
+            min = min.min(s.rtt_min_us);
+            max = max.max(s.rtt_max_us);
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    (count > 0).then(|| ccn_obs::PeerRttUs { min, mean: sum as f64 / count as f64, max })
+}
+
+fn ledger_json(ledger: &WireLedger) -> Json {
+    Json::object()
+        .field("offered", ledger.offered)
+        .field("local", ledger.local)
+        .field("peer", ledger.peer)
+        .field("origin", ledger.origin)
+        .field("shed", ledger.shed)
+}
+
+fn wire_outcome_json(outcome: &WireOutcome) -> Json {
+    let ledgers =
+        |list: &[WireLedger]| Json::from(list.iter().map(ledger_json).collect::<Vec<_>>());
+    let stats_json = |s: &NodeStatsSnapshot| {
+        Json::object()
+            .field("lookups", s.lookups)
+            .field("local", s.local)
+            .field("peer", s.peer)
+            .field("origin", s.origin)
+            .field("shed", s.shed)
+            .field("forwards_in", s.forwards_in)
+            .field("forward_hits", s.forward_hits)
+            .field("forwards_out", s.forwards_out)
+            .field("retried", s.retried)
+            .field("failed_over", s.failed_over)
+            .field("deadline_expired", s.deadline_expired)
+            .field("degraded", s.degraded)
+            .field("marked_down", s.marked_down)
+            .field("revived", s.revived)
+            .field("epochs_accepted", s.epochs_accepted)
+            .field("connections", s.connections)
+            .field("epoch", s.epoch)
+    };
+    let mut json = Json::object()
+        .field("nodes", outcome.nodes)
+        .field("epoch", outcome.epoch)
+        .field("wall_ms", outcome.wall_ms)
+        .field("offered", outcome.offered())
+        .field("completed", outcome.completed())
+        .field("shed", outcome.shed())
+        .field(
+            "listen_addrs",
+            Json::from(
+                outcome.listen_addrs.iter().map(|a| Json::from(a.as_str())).collect::<Vec<_>>(),
+            ),
+        )
+        .field("per_node", ledgers(&outcome.per_node))
+        .field(
+            "node_stats",
+            Json::from(
+                outcome
+                    .node_stats
+                    .iter()
+                    .map(|s| s.as_ref().map_or(Json::Null, &stats_json))
+                    .collect::<Vec<_>>(),
+            ),
+        )
+        .field(
+            "fault_log",
+            Json::from(
+                outcome.fault_log.iter().map(|f| Json::from(f.as_str())).collect::<Vec<_>>(),
+            ),
+        );
+    json = match &outcome.tail_per_node {
+        Some(tail) => json.field("tail_per_node", ledgers(tail)),
+        None => json.field("tail_per_node", Json::Null),
+    };
+    json
+}
+
+fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&[
+        "nodes",
+        "shards",
+        "queue",
+        "catalogue",
+        "capacity",
+        "ell",
+        "s",
+        "rate",
+        "duration",
+        "paced",
+        "policy",
+        "seed",
+        "batch",
+        "idle",
+        "ring-mode",
+        "cores",
+        "pin",
+        "deadline-us",
+        "retries",
+        "backoff-us",
+        "timeout-threshold",
+        "probation-ops",
+        "faults",
+        "in-process",
+        "node-exe",
+        "smoke",
+        "name",
+        "out",
+    ])?;
+    let usize_flag = |flag: &str, default: u64| -> Result<usize, ArgError> {
+        usize::try_from(args.u64_or(flag, default)?).map_err(|e| ArgError(format!("--{flag}: {e}")))
+    };
+    let mut spec = WireSpec::new(usize_flag("nodes", 3)?);
+    spec.shards_per_node = usize_flag("shards", 1)?;
+    spec.queue_capacity = usize_flag("queue", 1_024)?;
+    spec.catalogue = args.u64_or("catalogue", 10_000)?;
+    spec.capacity = args.u64_or("capacity", 100)?;
+    spec.ell = args.f64_or("ell", 0.5)?;
+    spec.policy = match args.str_or("policy", "static").as_str() {
+        "static" | "provisioned" => StorePolicy::Provisioned,
+        "lru" | "dynamic" => StorePolicy::Lru,
+        other => return Err(ArgError(format!("--policy {other:?}: expected static or lru"))),
+    };
+    spec.zipf_s = args.f64_or("s", 0.8)?;
+    spec.rate_per_node_per_ms = args.f64_or("rate", 0.5)?;
+    spec.horizon_ms = args.f64_or("duration", 1_000.0)?;
+    spec.paced = parse_bool(args, "paced", "false")?;
+    spec.seed = args.u64_or("seed", 42)?;
+    spec.batch = usize_flag("batch", 64)?;
+    spec.idle = parse_idle_flag(args)?;
+    spec.ring_mode = parse_ring_mode_flag(args, "auto")?;
+    spec.placement =
+        ShardPlacement::new(usize_flag("cores", 0)?, parse_bool(args, "pin", "false")?);
+    spec.degrade = parse_degrade_flags(args)?;
+    spec.faults = parse_wire_faults(&args.str_or("faults", ""))?;
+    spec.launch = if parse_bool(args, "in-process", "false")? {
+        NodeLaunch::InProcess
+    } else {
+        let exe = match args.get("node-exe") {
+            Some(path) => std::path::PathBuf::from(path),
+            None => std::env::current_exe()
+                .map_err(|e| ArgError(format!("cannot locate own executable: {e}")))?,
+        };
+        NodeLaunch::Exe(exe)
+    };
+    let smoke = parse_bool(args, "smoke", "false")?;
+    let name = args.str_or("name", "WIRE");
+
+    let mut clock = PhaseClock::new();
+    let outcome = wire_bench(&spec).map_err(|e| ArgError(e.to_string()))?;
+    clock.lap_events("wire_serve", outcome.offered());
+    if !spec.faults.is_empty() {
+        clock.lap_events("faults", outcome.fault_log.len() as u64);
+    }
+    outcome.check_conservation().map_err(|e| ArgError(e.to_string()))?;
+
+    let manifest =
+        RunManifest::capture("ccn", &name, spec.seed, spec.nodes * spec.shards_per_node, smoke)
+            .with_wire(ccn_obs::WireManifest {
+                listen_addrs: outcome.listen_addrs.clone(),
+                config_epoch: outcome.epoch,
+                peer_rtt_us: aggregate_rtt(&outcome.node_stats),
+            })
+            .with_phases(clock.finish());
+    eprintln!("{}", manifest.to_header_line());
+    let report = Json::object()
+        .field("bench", name.as_str())
+        .field("manifest", manifest.to_json())
+        .field("wire", wire_outcome_json(&outcome));
+    let out_path = args.str_or("out", "WIRE.json");
+    std::fs::write(&out_path, report.to_string_pretty())
+        .map_err(|e| ArgError(format!("--out {out_path:?}: {e}")))?;
+
+    let (local, peer, origin) = WireOutcome::tier_fractions(&outcome.per_node);
+    let launch = match &spec.launch {
+        NodeLaunch::InProcess => "in-process threads".to_owned(),
+        NodeLaunch::Exe(path) => format!("processes of {}", path.display()),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "wire-bench {name}: {} node(s) x {} shard(s) as {launch}, batch {}, epoch {}",
+        outcome.nodes, spec.shards_per_node, spec.batch, outcome.epoch
+    );
+    let _ = writeln!(
+        out,
+        "  offered {} over {:.0} ms, completed {}, shed {}",
+        outcome.offered(),
+        outcome.wall_ms,
+        outcome.completed(),
+        outcome.shed()
+    );
+    let _ = writeln!(
+        out,
+        "  tiers: local {:.1}%, peer {:.1}%, origin {:.1}%",
+        local * 100.0,
+        peer * 100.0,
+        origin * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  accounting: completed + shed == offered ({} + {} == {})",
+        outcome.completed(),
+        outcome.shed(),
+        outcome.offered()
+    );
+    if let Some(tail) = &outcome.tail_per_node {
+        let (tl, tp, to) = WireOutcome::tier_fractions(tail);
+        let _ = writeln!(
+            out,
+            "  post-revival tail: local {:.1}%, peer {:.1}%, origin {:.1}% \
+             over {} offered",
+            tl * 100.0,
+            tp * 100.0,
+            to * 100.0,
+            tail.iter().map(|l| l.offered).sum::<u64>()
+        );
+    }
+    if !outcome.fault_log.is_empty() {
+        let _ = writeln!(out, "  faults applied: {}", outcome.fault_log.join(", "));
+    }
+    if let Some(rtt) = aggregate_rtt(&outcome.node_stats) {
+        let _ = writeln!(
+            out,
+            "  peer RTT: min {} us, mean {:.1} us, max {} us",
+            rtt.min, rtt.mean, rtt.max
+        );
+    }
+    let _ = writeln!(out, "report written to {out_path}");
+    Ok(out)
+}
+
 fn validate_manifest(args: &Args) -> Result<String, ArgError> {
     args.ensure_known(&["file"])?;
     let path = args.str_or("file", "BENCH.json");
@@ -673,6 +1061,8 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "resilience" => resilience_cmd(args),
         "bench" => bench_cmd(args),
         "serve-bench" => serve_bench_cmd(args),
+        "node" => node_cmd(args),
+        "wire-bench" => wire_bench_cmd(args),
         "validate-manifest" => validate_manifest(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
@@ -700,10 +1090,80 @@ mod tests {
             "resilience",
             "bench",
             "serve-bench",
+            "node",
+            "wire-bench",
             "validate-manifest",
         ] {
             assert!(text.contains(cmd), "usage is missing {cmd}");
         }
+    }
+
+    #[test]
+    fn wire_fault_parsing_accepts_kill_and_revive_only() {
+        let faults = parse_wire_faults("kill:1@2000, revive:1@4000").unwrap();
+        assert_eq!(
+            faults,
+            vec![
+                WireFault { at_op: 2000, kind: WireFaultKind::Kill(1) },
+                WireFault { at_op: 4000, kind: WireFaultKind::Revive(1) },
+            ]
+        );
+        assert!(parse_wire_faults("").unwrap().is_empty());
+        // Out-of-order specs are sorted by trigger op.
+        let sorted = parse_wire_faults("revive:0@900,kill:0@100").unwrap();
+        assert!(sorted[0].at_op < sorted[1].at_op);
+        for bad in ["kill:1", "slow:1:50@10", "kill:x@5", "kill:1@y", "stall:0:9@1"] {
+            assert!(parse_wire_faults(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn node_rejects_spsc_ring_mode() {
+        let err =
+            run_tokens(&["node", "--ring-mode", "spsc", "--listen", "127.0.0.1:0"]).unwrap_err();
+        assert!(err.to_string().contains("SPSC"), "{err}");
+    }
+
+    #[test]
+    fn wire_bench_in_process_smoke_emits_valid_manifest() {
+        let dir = std::env::temp_dir().join("ccn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("WIRE_SMOKE.json");
+        let text = run_tokens(&[
+            "wire-bench",
+            "--nodes",
+            "3",
+            "--rate",
+            "0.2",
+            "--duration",
+            "300",
+            "--in-process",
+            "true",
+            "--smoke",
+            "true",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("accounting: completed + shed == offered"), "{text}");
+        let validated =
+            run_tokens(&["validate-manifest", "--file", out.to_str().unwrap()]).unwrap();
+        assert!(validated.contains("valid ccn.run-manifest/v1"), "{validated}");
+    }
+
+    #[test]
+    fn wire_bench_rejects_faults_without_processes() {
+        let err = run_tokens(&[
+            "wire-bench",
+            "--nodes",
+            "2",
+            "--in-process",
+            "true",
+            "--faults",
+            "kill:0@10",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("fault"), "{err}");
     }
 
     #[test]

@@ -631,7 +631,13 @@ impl Cluster {
             })
             .collect::<Result<_, _>>()?;
         let handles = stores.iter().map(ShardedStore::handle).collect();
-        assert!(shared.peers.set(handles).is_ok(), "peers wired exactly once");
+        if shared.peers.set(handles).is_err() {
+            // Unreachable with a freshly built `Shared`, but a typed
+            // error beats a panic on the bring-up path.
+            return Err(EngineError::InvalidConfig {
+                reason: "peer handles were wired twice during cluster bring-up".into(),
+            });
+        }
         Ok(Self { shared, stores, config })
     }
 
@@ -673,7 +679,11 @@ impl Cluster {
     /// requested — under `Auto` this is unknown until the seal).
     #[must_use]
     pub fn ring_mode(&self) -> RingMode {
-        self.stores[0].handle().ring_mode()
+        // `validate()` guarantees at least one node; fall back to the
+        // configured discipline rather than indexing blind.
+        self.stores
+            .first()
+            .map_or_else(|| self.config.effective_ring_mode(), |s| s.handle().ring_mode())
     }
 
     /// How many shard workers successfully pinned themselves to their

@@ -38,6 +38,23 @@ pub enum EngineError {
         /// Explanation of the rejected plan.
         reason: String,
     },
+    /// A wire-tier socket operation failed: connect, frame I/O, or a
+    /// torn-down peer mid-conversation. Carries the operation that
+    /// failed so a degradation decision (retry, re-route, shed) can be
+    /// made without string matching.
+    Net {
+        /// The operation that failed (`"connect"`, `"read-frame"`, …).
+        op: String,
+        /// The underlying I/O or protocol detail.
+        detail: String,
+    },
+    /// A wire frame violated the protocol: unknown kind, truncated
+    /// payload, oversized length prefix, or a reply that does not
+    /// answer the request that was sent.
+    Protocol {
+        /// Explanation of the malformed or unexpected frame.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -53,6 +70,8 @@ impl fmt::Display for EngineError {
             ),
             EngineError::Spawn { reason } => write!(f, "failed to spawn shard worker: {reason}"),
             EngineError::FaultSpec { reason } => write!(f, "invalid fault plan: {reason}"),
+            EngineError::Net { op, detail } => write!(f, "wire {op} failed: {detail}"),
+            EngineError::Protocol { reason } => write!(f, "wire protocol violation: {reason}"),
         }
     }
 }
@@ -88,5 +107,9 @@ mod tests {
         assert!(e.to_string().contains("resource exhausted"));
         let e = EngineError::FaultSpec { reason: "node 9 out of range".into() };
         assert!(e.to_string().contains("node 9 out of range"));
+        let e = EngineError::Net { op: "connect".into(), detail: "refused".into() };
+        assert!(e.to_string().contains("wire connect failed: refused"));
+        let e = EngineError::Protocol { reason: "unknown frame kind 0x7f".into() };
+        assert!(e.to_string().contains("unknown frame kind"));
     }
 }

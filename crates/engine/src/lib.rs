@@ -79,6 +79,7 @@ pub mod cluster;
 pub mod error;
 pub mod fault;
 pub mod load;
+pub mod net;
 pub mod pad;
 pub mod report;
 pub mod ring;
@@ -92,6 +93,7 @@ pub use cluster::{
 pub use error::EngineError;
 pub use fault::{AppliedFault, DegradeConfig, FaultEvent, FaultKind, FaultPlan};
 pub use load::{LoadReport, OpenLoopConfig};
+pub use net::{wire_bench, NodeLaunch, NodeServer, WireOutcome, WireSpec};
 pub use pad::CachePadded;
 pub use report::{serve_bench, ServeBenchConfig, ServeBenchOutcome};
 pub use routing::{LiveRouting, RoutingTable};

@@ -1,0 +1,2513 @@
+//! Wire tier: the serving engine on real sockets.
+//!
+//! Everything before this module runs the paper's cooperating routers
+//! inside one process — peer forwards are function calls, so the
+//! d0/d1/d2 cost hierarchy the engine validates against the DES has
+//! never crossed an actual link. This module splits the cluster into
+//! real OS processes connected by TCP on a compact length-prefixed
+//! binary protocol, in the same vendored, dependency-free style as
+//! [`crate::ring`]: `std::net` only, no async runtime, no
+//! serialization framework.
+//!
+//! # Frame layout
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! +----------------+---------+--------------------------+
+//! | len: u32 LE    | kind: u8| payload (len - 1 bytes)  |
+//! +----------------+---------+--------------------------+
+//! ```
+//!
+//! `len` counts the kind byte plus the payload and is capped at
+//! [`MAX_FRAME`]; integers are little-endian, strings are `u16`
+//! length-prefixed UTF-8. Requests are [`Request`], responses
+//! [`Response`]; kinds with the high bit set are responses.
+//!
+//! # Roles
+//!
+//! - **Node** ([`NodeServer`], the `ccn node` subcommand): one router
+//!   as a standalone process. It binds, prints its address, and waits
+//!   for a **config epoch** — the coordinator's versioned provisioning
+//!   push carrying the `ccn_coord` slice assignments, store layout,
+//!   and the peer address list. Only then does it build its sharded
+//!   store (served through the existing MPSC rings — see
+//!   *Ring discipline* below) and start serving lookups. Peer misses
+//!   are forwarded over per-peer TCP connections with the
+//!   local → peer → retry → origin → shed degradation ladder intact.
+//! - **Coordinator / driver** ([`wire_bench`]): provisions every node
+//!   (epoch 1), drives per-node Zipf request streams over the same
+//!   protocol, replays a kill/revive schedule by SIGKILLing node
+//!   *processes* and re-provisioning the survivors plus the respawned
+//!   node under a bumped epoch, and folds per-node ledgers into a
+//!   [`WireOutcome`] whose accounting (`offered == completed + shed`)
+//!   is enforced exactly, per node and in total.
+//!
+//! # Epoch semantics
+//!
+//! A config epoch is accepted iff it is strictly newer than the
+//! node's current epoch; replays and reordered pushes are answered
+//! with the current epoch and ignored. An epoch whose store layout
+//! (catalogue, capacity, prefix, slices, policy) matches the current
+//! provisioning swaps routing and peer links but **keeps the store**,
+//! so re-provisioning live survivors after a revival does not discard
+//! their cache warmth; a layout change rebuilds the store from
+//! scratch.
+//!
+//! # Failure ladder over sockets
+//!
+//! The in-process ladder survives the move onto the wire with the
+//! same rungs, re-expressed in socket vocabulary:
+//!
+//! - **peer**: one forward frame on the holder's connection, read
+//!   back under the forward deadline (socket read timeout).
+//! - **retry**: a holder that answers *refused* (admission
+//!   backpressure, not yet provisioned) is retried up to the
+//!   configured budget with linear backoff.
+//! - **origin**: a deadline expiry or socket failure (connection
+//!   refused, reset, torn down mid-conversation) degrades the request
+//!   to origin at the client node. A timed-out connection is dropped,
+//!   not reused — a late reply on a reused stream would desynchronize
+//!   the framing.
+//! - **health**: consecutive socket failures against one holder mark
+//!   it down in the node's [`LiveRouting`] view (epoch bump, HRW
+//!   failover moves exactly that node's share); a background probe
+//!   thread pings down peers and restores them when they answer
+//!   again. This replaces the in-process op-count probation with
+//!   wall-clock probing — the only rung whose clock changes.
+//! - **shed**: a killed node's clients shed at the driver edge: a
+//!   request offered to a dead process is counted shed, never lost,
+//!   so SIGKILL preserves `offered == completed + shed` bit-exactly.
+//!
+//! # Ring discipline
+//!
+//! A wire node's producers are its accepted connections, and those
+//! arrive *after* traffic starts — an [`RingMode::Auto`] census
+//! sealed at first submission could demote a shard ring to SPSC and
+//! then admit a second remote producer, corrupting the single-writer
+//! invariant. The node therefore resolves `Auto` to MPSC whenever the
+//! listener is enabled (and rejects explicit `Spsc` outright), and
+//! additionally registers one producer lane per accepted connection,
+//! so the census stays honest even if a future mode re-enables
+//! demotion. See `late_remote_producer_cannot_corrupt_sealed_ring`.
+
+use std::io::{self, BufRead as _, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs as _};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use ccn_coord::contiguous_slices;
+use ccn_sim::store::{ContentStore, LruStore, StaticStore};
+use ccn_sim::{workload, ContentId};
+
+use crate::affinity::ShardPlacement;
+use crate::cluster::StorePolicy;
+use crate::error::EngineError;
+use crate::fault::DegradeConfig;
+use crate::routing::{LiveRouting, RoutingTable};
+use crate::shard::{lock_recover, shard_of, IdleStrategy, RingMode, ShardSpec, ShardedStore};
+
+/// Hard cap on one frame (length prefix included payload): 1 MiB.
+/// Large enough for a 64k-request batch lookup, small enough that a
+/// corrupt length prefix cannot balloon an allocation.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Wire protocol version, carried in `Hello`.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+mod kind {
+    pub const HELLO: u8 = 0x01;
+    pub const CONFIG_EPOCH: u8 = 0x02;
+    pub const LOOKUP: u8 = 0x03;
+    pub const BATCH_LOOKUP: u8 = 0x04;
+    pub const PEER_FORWARD: u8 = 0x05;
+    pub const HEALTH_PROBE: u8 = 0x06;
+    pub const STATS: u8 = 0x07;
+    pub const SHUTDOWN: u8 = 0x08;
+
+    pub const EPOCH_ACK: u8 = 0x81;
+    pub const SERVED: u8 = 0x82;
+    pub const BATCH_SERVED: u8 = 0x83;
+    pub const FORWARD_REPLY: u8 = 0x84;
+    pub const HEALTH_ACK: u8 = 0x85;
+    pub const STATS_REPLY: u8 = 0x86;
+    pub const BYE: u8 = 0x87;
+    pub const REFUSED: u8 = 0x88;
+}
+
+/// Tier codes used in `Served` replies.
+pub const TIER_LOCAL: u8 = 0;
+/// See [`TIER_LOCAL`].
+pub const TIER_PEER: u8 = 1;
+/// See [`TIER_LOCAL`].
+pub const TIER_ORIGIN: u8 = 2;
+
+/// `ForwardReply` outcome codes.
+pub const FWD_HIT: u8 = 0;
+/// Holder probed its slice and missed; origin serves.
+pub const FWD_MISS: u8 = 1;
+/// Holder refused the forward (backpressure / not provisioned).
+pub const FWD_REFUSED: u8 = 2;
+
+fn net_err(op: &str, detail: impl std::fmt::Display) -> EngineError {
+    EngineError::Net { op: op.to_owned(), detail: detail.to_string() }
+}
+
+fn proto_err(reason: impl Into<String>) -> EngineError {
+    EngineError::Protocol { reason: reason.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) -> Result<(), EngineError> {
+    let len = u16::try_from(s.len()).map_err(|_| {
+        proto_err(format!("string of {} bytes exceeds the u16 frame field", s.len()))
+    })?;
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Cursor over a received payload; every read is bounds-checked so a
+/// truncated frame surfaces as a typed protocol error, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], EngineError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| proto_err("frame payload truncated"))?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, EngineError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, EngineError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, EngineError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, EngineError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn str(&mut self) -> Result<String, EngineError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| proto_err("string field is not UTF-8"))
+    }
+
+    fn done(&self) -> Result<(), EngineError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(proto_err(format!("{} trailing bytes after payload", self.buf.len() - self.at)))
+        }
+    }
+}
+
+/// Writes one frame: `len(kind + payload)` then the bytes.
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> Result<(), EngineError> {
+    let len = u32::try_from(body.len()).map_err(|_| proto_err("frame exceeds u32 length"))?;
+    if len > MAX_FRAME {
+        return Err(proto_err(format!("frame of {len} bytes exceeds MAX_FRAME {MAX_FRAME}")));
+    }
+    let mut framed = Vec::with_capacity(4 + body.len());
+    put_u32(&mut framed, len);
+    framed.extend_from_slice(body);
+    stream.write_all(&framed).map_err(|e| net_err("write-frame", e))?;
+    Ok(())
+}
+
+/// Reads one frame body (kind byte + payload), honouring the stream's
+/// read timeout. `Ok(None)` is a clean EOF on a frame boundary.
+fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, EngineError> {
+    let mut header = [0u8; 4];
+    match stream.read(&mut header) {
+        Ok(0) => return Ok(None),
+        Ok(n) if n < 4 => {
+            stream.read_exact(&mut header[n..]).map_err(|e| net_err("read-frame", e))?;
+        }
+        Ok(_) => {}
+        Err(e) => return Err(net_err("read-frame", e)),
+    }
+    let len = u32::from_le_bytes(header);
+    if len == 0 || len > MAX_FRAME {
+        return Err(proto_err(format!("frame length {len} outside 1..={MAX_FRAME}")));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body).map_err(|e| net_err("read-frame", e))?;
+    Ok(Some(body))
+}
+
+fn is_timeout(e: &EngineError) -> bool {
+    match e {
+        EngineError::Net { detail, .. } => {
+            detail.contains("timed out") || detail.contains("would block")
+        }
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// One contiguous coordinated slice `[start, end)` assigned to `node`,
+/// as produced by `ccn_coord::contiguous_slices`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceAssignment {
+    /// Owning router.
+    pub node: u32,
+    /// First coordinated rank of the slice (inclusive).
+    pub start: u64,
+    /// One past the last rank (exclusive).
+    pub end: u64,
+}
+
+/// A versioned provisioning push: everything a node process needs to
+/// build its store, its routing view, and its peer links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provision {
+    /// Monotone config version; a node accepts only strictly newer
+    /// epochs.
+    pub epoch: u64,
+    /// Cluster size (routers).
+    pub nodes: u32,
+    /// Catalogue size `c_total`.
+    pub catalogue: u64,
+    /// Per-node store capacity `c`.
+    pub capacity: u64,
+    /// Local popularity prefix `c − x`.
+    pub prefix: u64,
+    /// Coordinated slots per node `x`.
+    pub x: u64,
+    /// Store population policy.
+    pub policy: StorePolicy,
+    /// Coordinated slice assignments (the `ccn_coord` plan).
+    pub slices: Vec<SliceAssignment>,
+    /// Listen address of every node, indexed by node id; a node
+    /// ignores its own entry.
+    pub peers: Vec<String>,
+}
+
+impl Provision {
+    /// `true` when `other` provisions the identical store layout, so a
+    /// node can keep its (possibly warm) store across the epoch swap.
+    #[must_use]
+    pub fn same_layout(&self, other: &Provision) -> bool {
+        self.nodes == other.nodes
+            && self.catalogue == other.catalogue
+            && self.capacity == other.capacity
+            && self.prefix == other.prefix
+            && self.x == other.x
+            && self.policy == other.policy
+            && self.slices == other.slices
+    }
+}
+
+/// Client-to-node and node-to-node request frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Connection preamble from a peer node (`node` = sender id).
+    /// Registers the connection as a producer lane on the receiver's
+    /// shard rings.
+    Hello {
+        /// Sender's node id.
+        node: u32,
+        /// Sender's protocol version.
+        version: u8,
+    },
+    /// Coordinator provisioning push (see [`Provision`]).
+    ConfigEpoch(Provision),
+    /// One client request for `content`.
+    Lookup {
+        /// Requested rank.
+        content: u64,
+    },
+    /// A batch of client requests, answered with one tier tally.
+    BatchLookup {
+        /// Requested ranks.
+        contents: Vec<u64>,
+    },
+    /// Peer forward: the sender's client missed locally and routing
+    /// named the receiver holder of `content`.
+    PeerForward {
+        /// Requested rank.
+        content: u64,
+        /// Remaining forward-deadline budget, microseconds.
+        budget_us: u32,
+    },
+    /// Liveness probe (works before provisioning).
+    HealthProbe,
+    /// Snapshot request for the node's counters.
+    Stats,
+    /// Orderly shutdown; answered with `Bye`.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes into a frame body (kind byte + payload).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Protocol`] if a field exceeds its wire width.
+    pub fn encode(&self) -> Result<Vec<u8>, EngineError> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Hello { node, version } => {
+                buf.push(kind::HELLO);
+                put_u32(&mut buf, *node);
+                buf.push(*version);
+            }
+            Request::ConfigEpoch(p) => {
+                buf.push(kind::CONFIG_EPOCH);
+                put_u64(&mut buf, p.epoch);
+                put_u32(&mut buf, p.nodes);
+                put_u64(&mut buf, p.catalogue);
+                put_u64(&mut buf, p.capacity);
+                put_u64(&mut buf, p.prefix);
+                put_u64(&mut buf, p.x);
+                buf.push(match p.policy {
+                    StorePolicy::Provisioned => 0,
+                    StorePolicy::Lru => 1,
+                });
+                let slices = u32::try_from(p.slices.len())
+                    .map_err(|_| proto_err("too many slices for one frame"))?;
+                put_u32(&mut buf, slices);
+                for s in &p.slices {
+                    put_u32(&mut buf, s.node);
+                    put_u64(&mut buf, s.start);
+                    put_u64(&mut buf, s.end);
+                }
+                let peers = u32::try_from(p.peers.len())
+                    .map_err(|_| proto_err("too many peers for one frame"))?;
+                put_u32(&mut buf, peers);
+                for addr in &p.peers {
+                    put_str(&mut buf, addr)?;
+                }
+            }
+            Request::Lookup { content } => {
+                buf.push(kind::LOOKUP);
+                put_u64(&mut buf, *content);
+            }
+            Request::BatchLookup { contents } => {
+                buf.push(kind::BATCH_LOOKUP);
+                let count = u32::try_from(contents.len())
+                    .map_err(|_| proto_err("batch exceeds u32 count"))?;
+                put_u32(&mut buf, count);
+                for &c in contents {
+                    put_u64(&mut buf, c);
+                }
+            }
+            Request::PeerForward { content, budget_us } => {
+                buf.push(kind::PEER_FORWARD);
+                put_u64(&mut buf, *content);
+                put_u32(&mut buf, *budget_us);
+            }
+            Request::HealthProbe => buf.push(kind::HEALTH_PROBE),
+            Request::Stats => buf.push(kind::STATS),
+            Request::Shutdown => buf.push(kind::SHUTDOWN),
+        }
+        Ok(buf)
+    }
+
+    /// Parses a frame body as a request.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Protocol`] for unknown kinds, truncated or
+    /// oversized payloads.
+    pub fn decode(body: &[u8]) -> Result<Self, EngineError> {
+        let mut c = Cursor::new(body);
+        let k = c.u8()?;
+        let req = match k {
+            kind::HELLO => Request::Hello { node: c.u32()?, version: c.u8()? },
+            kind::CONFIG_EPOCH => {
+                let epoch = c.u64()?;
+                let nodes = c.u32()?;
+                let catalogue = c.u64()?;
+                let capacity = c.u64()?;
+                let prefix = c.u64()?;
+                let x = c.u64()?;
+                let policy = match c.u8()? {
+                    0 => StorePolicy::Provisioned,
+                    1 => StorePolicy::Lru,
+                    other => return Err(proto_err(format!("unknown store policy code {other}"))),
+                };
+                let n_slices = c.u32()? as usize;
+                if n_slices > MAX_FRAME as usize / 20 {
+                    return Err(proto_err("slice count exceeds frame capacity"));
+                }
+                let mut slices = Vec::with_capacity(n_slices);
+                for _ in 0..n_slices {
+                    slices.push(SliceAssignment { node: c.u32()?, start: c.u64()?, end: c.u64()? });
+                }
+                let n_peers = c.u32()? as usize;
+                if n_peers > u16::MAX as usize {
+                    return Err(proto_err("peer count exceeds frame capacity"));
+                }
+                let mut peers = Vec::with_capacity(n_peers);
+                for _ in 0..n_peers {
+                    peers.push(c.str()?);
+                }
+                Request::ConfigEpoch(Provision {
+                    epoch,
+                    nodes,
+                    catalogue,
+                    capacity,
+                    prefix,
+                    x,
+                    policy,
+                    slices,
+                    peers,
+                })
+            }
+            kind::LOOKUP => Request::Lookup { content: c.u64()? },
+            kind::BATCH_LOOKUP => {
+                let count = c.u32()? as usize;
+                if count > MAX_FRAME as usize / 8 {
+                    return Err(proto_err("batch count exceeds frame capacity"));
+                }
+                let mut contents = Vec::with_capacity(count);
+                for _ in 0..count {
+                    contents.push(c.u64()?);
+                }
+                Request::BatchLookup { contents }
+            }
+            kind::PEER_FORWARD => Request::PeerForward { content: c.u64()?, budget_us: c.u32()? },
+            kind::HEALTH_PROBE => Request::HealthProbe,
+            kind::STATS => Request::Stats,
+            kind::SHUTDOWN => Request::Shutdown,
+            other => return Err(proto_err(format!("unknown request kind {other:#04x}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+/// Node-to-client and node-to-node response frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Config push acknowledged; carries the node's (possibly
+    /// unchanged) current epoch.
+    EpochAck {
+        /// The node's config epoch after processing the push.
+        epoch: u64,
+    },
+    /// One lookup served by `tier` ([`TIER_LOCAL`] / [`TIER_PEER`] /
+    /// [`TIER_ORIGIN`]).
+    Served {
+        /// Serving tier code.
+        tier: u8,
+    },
+    /// Tier tally for one batch lookup; the four counts sum to the
+    /// batch size.
+    BatchServed {
+        /// Served from the node's own store.
+        local: u64,
+        /// Served by a peer's coordinated slice.
+        peer: u64,
+        /// Fell through to origin.
+        origin: u64,
+        /// Refused (only before provisioning).
+        shed: u64,
+    },
+    /// Forward verdict ([`FWD_HIT`] / [`FWD_MISS`] / [`FWD_REFUSED`]).
+    ForwardReply {
+        /// Outcome code.
+        outcome: u8,
+    },
+    /// Health probe answer.
+    HealthAck {
+        /// The node's config epoch (0 = not yet provisioned).
+        epoch: u64,
+    },
+    /// Counter snapshot.
+    StatsReply(NodeStatsSnapshot),
+    /// Shutdown acknowledged.
+    Bye,
+    /// The node cannot serve the request (e.g. not yet provisioned).
+    Refused {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl Response {
+    /// Serializes into a frame body (kind byte + payload).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Protocol`] if a field exceeds its wire width.
+    pub fn encode(&self) -> Result<Vec<u8>, EngineError> {
+        let mut buf = Vec::new();
+        match self {
+            Response::EpochAck { epoch } => {
+                buf.push(kind::EPOCH_ACK);
+                put_u64(&mut buf, *epoch);
+            }
+            Response::Served { tier } => {
+                buf.push(kind::SERVED);
+                buf.push(*tier);
+            }
+            Response::BatchServed { local, peer, origin, shed } => {
+                buf.push(kind::BATCH_SERVED);
+                put_u64(&mut buf, *local);
+                put_u64(&mut buf, *peer);
+                put_u64(&mut buf, *origin);
+                put_u64(&mut buf, *shed);
+            }
+            Response::ForwardReply { outcome } => {
+                buf.push(kind::FORWARD_REPLY);
+                buf.push(*outcome);
+            }
+            Response::HealthAck { epoch } => {
+                buf.push(kind::HEALTH_ACK);
+                put_u64(&mut buf, *epoch);
+            }
+            Response::StatsReply(stats) => {
+                buf.push(kind::STATS_REPLY);
+                let fields = stats.fields();
+                put_u32(&mut buf, fields.len() as u32);
+                for v in fields {
+                    put_u64(&mut buf, v);
+                }
+            }
+            Response::Bye => buf.push(kind::BYE),
+            Response::Refused { reason } => {
+                buf.push(kind::REFUSED);
+                put_str(&mut buf, reason)?;
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Parses a frame body as a response.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Protocol`] for unknown kinds or truncated
+    /// payloads.
+    pub fn decode(body: &[u8]) -> Result<Self, EngineError> {
+        let mut c = Cursor::new(body);
+        let k = c.u8()?;
+        let resp = match k {
+            kind::EPOCH_ACK => Response::EpochAck { epoch: c.u64()? },
+            kind::SERVED => Response::Served { tier: c.u8()? },
+            kind::BATCH_SERVED => Response::BatchServed {
+                local: c.u64()?,
+                peer: c.u64()?,
+                origin: c.u64()?,
+                shed: c.u64()?,
+            },
+            kind::FORWARD_REPLY => Response::ForwardReply { outcome: c.u8()? },
+            kind::HEALTH_ACK => Response::HealthAck { epoch: c.u64()? },
+            kind::STATS_REPLY => {
+                let count = c.u32()? as usize;
+                if count > 1024 {
+                    return Err(proto_err("stats field count exceeds frame capacity"));
+                }
+                let mut fields = Vec::with_capacity(count);
+                for _ in 0..count {
+                    fields.push(c.u64()?);
+                }
+                Response::StatsReply(NodeStatsSnapshot::from_fields(&fields))
+            }
+            kind::BYE => Response::Bye,
+            kind::REFUSED => Response::Refused { reason: c.str()? },
+            other => return Err(proto_err(format!("unknown response kind {other:#04x}"))),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+fn send_request(stream: &mut TcpStream, req: &Request) -> Result<(), EngineError> {
+    write_frame(stream, &req.encode()?)
+}
+
+fn recv_response(stream: &mut TcpStream) -> Result<Response, EngineError> {
+    match read_frame(stream)? {
+        Some(body) => Response::decode(&body),
+        None => Err(net_err("read-frame", "connection closed mid-conversation")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node-side counters
+// ---------------------------------------------------------------------------
+
+macro_rules! node_stats {
+    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+        #[derive(Default)]
+        struct NodeStats {
+            $($field: AtomicU64,)+
+        }
+
+        /// Plain snapshot of a node's counters, carried in
+        /// `StatsReply` frames. Field order is the wire order; a
+        /// shorter reply decodes with the missing tail fields zero, so
+        /// the snapshot can grow without breaking older peers.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        pub struct NodeStatsSnapshot {
+            $($(#[$doc])* pub $field: u64,)+
+        }
+
+        impl NodeStats {
+            fn snapshot(&self) -> NodeStatsSnapshot {
+                NodeStatsSnapshot {
+                    $($field: self.$field.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+
+        impl NodeStatsSnapshot {
+            fn fields(&self) -> Vec<u64> {
+                vec![$(self.$field,)+]
+            }
+
+            fn from_fields(fields: &[u64]) -> Self {
+                let mut it = fields.iter().copied();
+                Self {
+                    $($field: it.next().unwrap_or(0),)+
+                }
+            }
+        }
+    };
+}
+
+node_stats! {
+    /// Client lookups offered to this node (single + batched).
+    lookups,
+    /// Lookups served from this node's own store.
+    local,
+    /// Lookups served by a peer's coordinated slice over the wire.
+    peer,
+    /// Lookups that fell through to origin.
+    origin,
+    /// Lookups refused because the node was not yet provisioned.
+    shed,
+    /// Peer-forward frames this node answered as holder.
+    forwards_in,
+    /// Forwards answered as holder hits.
+    forward_hits,
+    /// Forwards answered as holder misses.
+    forward_misses,
+    /// Peer-forward frames this node sent as client edge.
+    forwards_out,
+    /// Forward retries after a holder refused (backpressure).
+    retried,
+    /// Lookups routed to a rendezvous survivor instead of the primary.
+    failed_over,
+    /// Forwards abandoned because the deadline expired on the socket.
+    deadline_expired,
+    /// Forwards degraded to origin by socket failure or retry
+    /// exhaustion.
+    degraded,
+    /// Peers this node marked down after consecutive socket failures.
+    marked_down,
+    /// Down peers restored by the background health prober.
+    revived,
+    /// Config epochs accepted (strictly newer than the current one).
+    epochs_accepted,
+    /// Connections accepted by the listener.
+    connections,
+    /// Completed forward round-trips with a measured RTT.
+    rtt_count,
+    /// Sum of measured forward RTTs, microseconds.
+    rtt_sum_us,
+    /// Minimum measured forward RTT, microseconds (0 if none).
+    rtt_min_us,
+    /// Maximum measured forward RTT, microseconds.
+    rtt_max_us,
+    /// The node's config epoch at snapshot time.
+    epoch,
+}
+
+impl NodeStats {
+    fn add(&self, field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_rtt(&self, rtt: Duration) {
+        let us = u64::try_from(rtt.as_micros()).unwrap_or(u64::MAX);
+        self.rtt_count.fetch_add(1, Ordering::Relaxed);
+        self.rtt_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.rtt_min_us
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(if cur == 0 { us } else { cur.min(us) })
+            })
+            .ok();
+        self.rtt_max_us.fetch_max(us, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Peer links (client side of the forward path)
+// ---------------------------------------------------------------------------
+
+/// Verdict of one forward attempt over a peer link.
+enum ForwardVerdict {
+    Hit,
+    Miss,
+    Refused,
+    TimedOut,
+    Broken,
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, EngineError> {
+    addr.to_socket_addrs()
+        .map_err(|e| net_err("resolve", format!("{addr}: {e}")))?
+        .next()
+        .ok_or_else(|| net_err("resolve", format!("{addr}: no addresses")))
+}
+
+/// Floor for connect/read timeouts so a zero remaining budget still
+/// maps to a valid socket timeout (`set_read_timeout` rejects zero).
+const MIN_SOCKET_TIMEOUT: Duration = Duration::from_micros(50);
+
+fn connect_hello(addr: &str, my_id: u32, timeout: Duration) -> Result<TcpStream, EngineError> {
+    let sockaddr = resolve(addr)?;
+    let timeout = timeout.max(MIN_SOCKET_TIMEOUT);
+    let mut stream =
+        TcpStream::connect_timeout(&sockaddr, timeout).map_err(|e| net_io_err("connect", &e))?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(timeout)).map_err(|e| net_io_err("connect", &e))?;
+    send_request(&mut stream, &Request::Hello { node: my_id, version: PROTOCOL_VERSION })?;
+    Ok(stream)
+}
+
+fn net_io_err(op: &str, e: &io::Error) -> EngineError {
+    let detail = match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => format!("timed out ({e})"),
+        _ => e.to_string(),
+    };
+    net_err(op, detail)
+}
+
+/// One outbound connection to a peer node, lazily established and
+/// dropped on any failure (a timed-out stream may deliver a late
+/// reply, which would desynchronize the framing — never reuse it).
+struct PeerLink {
+    node: usize,
+    addr: String,
+    stream: Mutex<Option<TcpStream>>,
+    failures: AtomicU32,
+}
+
+impl PeerLink {
+    fn new(node: usize, addr: String) -> Self {
+        Self { node, addr, stream: Mutex::new(None), failures: AtomicU32::new(0) }
+    }
+
+    /// One rung of the ladder: forward `content` to this peer under
+    /// `budget`, classifying the reply.
+    fn forward(&self, my_id: u32, content: u64, budget: Duration) -> ForwardVerdict {
+        let budget = budget.max(MIN_SOCKET_TIMEOUT);
+        let mut guard = lock_recover(&self.stream);
+        if guard.is_none() {
+            match connect_hello(&self.addr, my_id, budget) {
+                Ok(s) => *guard = Some(s),
+                Err(e) if is_timeout(&e) => return ForwardVerdict::TimedOut,
+                Err(_) => return ForwardVerdict::Broken,
+            }
+        }
+        let Some(stream) = guard.as_mut() else {
+            return ForwardVerdict::Broken;
+        };
+        let _ = stream.set_read_timeout(Some(budget));
+        let budget_us = u32::try_from(budget.as_micros()).unwrap_or(u32::MAX);
+        let result = send_request(stream, &Request::PeerForward { content, budget_us })
+            .and_then(|()| recv_response(stream));
+        match result {
+            Ok(Response::ForwardReply { outcome: FWD_HIT }) => ForwardVerdict::Hit,
+            Ok(Response::ForwardReply { outcome: FWD_MISS }) => ForwardVerdict::Miss,
+            Ok(Response::ForwardReply { outcome: FWD_REFUSED }) | Ok(Response::Refused { .. }) => {
+                ForwardVerdict::Refused
+            }
+            Ok(_) => {
+                *guard = None;
+                ForwardVerdict::Broken
+            }
+            Err(e) => {
+                *guard = None;
+                if is_timeout(&e) {
+                    ForwardVerdict::TimedOut
+                } else {
+                    ForwardVerdict::Broken
+                }
+            }
+        }
+    }
+
+    /// Health probe on a fresh short-lived connection (never the
+    /// forward stream, whose framing a probe could interleave with).
+    fn probe_health(&self, my_id: u32) -> Option<u64> {
+        let mut stream = connect_hello(&self.addr, my_id, Duration::from_millis(100)).ok()?;
+        send_request(&mut stream, &Request::HealthProbe).ok()?;
+        match recv_response(&mut stream) {
+            Ok(Response::HealthAck { epoch }) => Some(epoch),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node server
+// ---------------------------------------------------------------------------
+
+/// Static configuration of one wire node process.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's id within the cluster (validated against the
+    /// provisioned `nodes` at config-epoch time).
+    pub id: usize,
+    /// Listen address; `127.0.0.1:0` picks an ephemeral port, the
+    /// bound address is reported by [`NodeServer::local_addr`].
+    pub listen: String,
+    /// Store shards (one pinned single-writer worker each).
+    pub shards: usize,
+    /// Per-shard ring capacity.
+    pub queue_capacity: usize,
+    /// Worker idle strategy.
+    pub idle: IdleStrategy,
+    /// Requested ring mode; resolved by [`wire_ring_mode`] — the wire
+    /// listener forces MPSC (see module docs, *Ring discipline*).
+    pub ring_mode: RingMode,
+    /// Core placement for shard workers.
+    pub placement: ShardPlacement,
+    /// Degradation-ladder knobs for the forward path.
+    pub degrade: DegradeConfig,
+}
+
+impl NodeConfig {
+    /// Defaults for node `id`: one shard, 1024-slot rings, ephemeral
+    /// loopback listener, default degradation ladder, no pinning.
+    #[must_use]
+    pub fn new(id: usize) -> Self {
+        Self {
+            id,
+            listen: "127.0.0.1:0".to_owned(),
+            shards: 1,
+            queue_capacity: 1024,
+            idle: IdleStrategy::spin_then_park(),
+            ring_mode: RingMode::Auto,
+            placement: ShardPlacement::disabled(),
+            degrade: DegradeConfig::default(),
+        }
+    }
+}
+
+/// Resolves the requested ring mode for a node with the wire listener
+/// enabled: remote producers (accepted connections) register after
+/// any census seal, so `Auto` must not be allowed to demote to SPSC —
+/// it resolves to MPSC — and explicit `Spsc` is rejected outright.
+///
+/// # Errors
+///
+/// [`EngineError::InvalidConfig`] for `Spsc`.
+pub fn wire_ring_mode(requested: RingMode) -> Result<RingMode, EngineError> {
+    match requested {
+        RingMode::Auto | RingMode::Mpsc => Ok(RingMode::Mpsc),
+        RingMode::Spsc => Err(EngineError::InvalidConfig {
+            reason: "wire listener admits remote producers after the census seals; \
+                     SPSC rings are not allowed on a node with the listener enabled"
+                .into(),
+        }),
+    }
+}
+
+/// A provisioned node's runtime: store, routing view, and peer links,
+/// swapped atomically as one unit at each accepted config epoch.
+struct NodeEngine {
+    provision: Provision,
+    store: Arc<ShardedStore<()>>,
+    handle: crate::shard::ShardHandle<()>,
+    routing: LiveRouting,
+    peers: Vec<Option<PeerLink>>,
+}
+
+struct NodeShared {
+    config: NodeConfig,
+    engine: RwLock<Option<Arc<NodeEngine>>>,
+    epoch: AtomicU64,
+    stats: NodeStats,
+    shutdown: AtomicBool,
+}
+
+impl NodeShared {
+    fn current_engine(&self) -> Option<Arc<NodeEngine>> {
+        self.engine.read().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+}
+
+fn make_node_store(
+    p: &Provision,
+    my_slice: Option<&SliceAssignment>,
+    shards: usize,
+    shard: usize,
+) -> Box<dyn ContentStore> {
+    match p.policy {
+        StorePolicy::Provisioned => {
+            let (start, end) = my_slice.map_or((0, 0), |s| (s.start, s.end));
+            let pinned = (1..=p.prefix)
+                .chain(start..end)
+                .map(ContentId)
+                .filter(|&c| shard_of(c, shards) == shard);
+            Box::new(StaticStore::new(pinned))
+        }
+        StorePolicy::Lru => {
+            let base = p.capacity / shards as u64;
+            let extra = u64::from((shard as u64) < p.capacity % shards as u64);
+            #[allow(clippy::cast_possible_truncation)]
+            let capacity = ((base + extra).max(1)) as usize;
+            Box::new(LruStore::new(capacity))
+        }
+    }
+}
+
+fn build_store(
+    config: &NodeConfig,
+    p: &Provision,
+) -> Result<(Arc<ShardedStore<()>>, crate::shard::ShardHandle<()>), EngineError> {
+    let shards = config.shards;
+    let mode = wire_ring_mode(config.ring_mode)?;
+    let mut spec = ShardSpec::new(shards, config.queue_capacity).idle(config.idle).ring_mode(mode);
+    if config.placement.pin() {
+        spec = spec.pin_cores(
+            (0..shards).map(|s| Some(config.placement.worker_core(config.id, shards, s))).collect(),
+        );
+    }
+    let my_slice = p.slices.iter().find(|s| s.node as usize == config.id);
+    let store = ShardedStore::try_spawn_with(
+        spec,
+        |shard| make_node_store(p, my_slice, shards, shard),
+        Arc::new(|_store: &mut dyn ContentStore, _job: ()| {}),
+    )?;
+    let handle = store.handle();
+    Ok((Arc::new(store), handle))
+}
+
+fn provision_node(shared: &NodeShared, p: Provision) -> Result<u64, EngineError> {
+    let mut guard = shared.engine.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let current = shared.epoch.load(Ordering::Acquire);
+    if p.epoch <= current {
+        return Ok(current);
+    }
+    if shared.config.id >= p.nodes as usize {
+        return Err(EngineError::InvalidConfig {
+            reason: format!(
+                "node id {} outside provisioned cluster of {} nodes",
+                shared.config.id, p.nodes
+            ),
+        });
+    }
+    let assignments: Vec<ccn_coord::RouterAssignment> = p
+        .slices
+        .iter()
+        .map(|s| ccn_coord::RouterAssignment {
+            router: s.node as usize,
+            local_prefix: p.prefix,
+            slice: s.start..s.end,
+        })
+        .collect();
+    let table = RoutingTable::from_assignments(&assignments, p.nodes as usize)?;
+    // An epoch with an identical store layout (the common case:
+    // re-provisioning survivors after a revival changed only peer
+    // addresses) keeps the store, preserving cache warmth; a layout
+    // change rebuilds it.
+    let (store, handle) = match guard.as_ref() {
+        Some(old) if old.provision.same_layout(&p) => (old.store.clone(), old.handle.clone()),
+        _ => build_store(&shared.config, &p)?,
+    };
+    // Keep the producer census honest: one lane per connection the
+    // listener has already accepted (see module docs, *Ring
+    // discipline* — under the forced-MPSC mode this is a no-op, but
+    // it is the contract a future demotion-capable mode must honour).
+    for _ in 0..shared.stats.connections.load(Ordering::Relaxed) {
+        handle.register_producer()?;
+    }
+    let peers = (0..p.nodes as usize)
+        .map(|n| {
+            if n == shared.config.id {
+                None
+            } else {
+                p.peers.get(n).map(|addr| PeerLink::new(n, addr.clone()))
+            }
+        })
+        .collect();
+    let engine = Arc::new(NodeEngine {
+        routing: LiveRouting::new(table),
+        provision: p.clone(),
+        store,
+        handle,
+        peers,
+    });
+    *guard = Some(engine);
+    shared.epoch.store(p.epoch, Ordering::Release);
+    shared.stats.add(&shared.stats.epochs_accepted);
+    shared.stats.epoch.store(p.epoch, Ordering::Relaxed);
+    Ok(p.epoch)
+}
+
+/// Marks `holder` down once the consecutive-failure streak crosses
+/// the configured threshold, bumping the routing epoch so HRW
+/// failover moves exactly that node's share.
+fn note_forward_failure(shared: &NodeShared, engine: &NodeEngine, holder: usize) {
+    if shared.config.degrade.timeout_threshold == 0 {
+        return;
+    }
+    let Some(link) = engine.peers.get(holder).and_then(Option::as_ref) else {
+        return;
+    };
+    let streak = link.failures.fetch_add(1, Ordering::Relaxed) + 1;
+    if streak >= shared.config.degrade.timeout_threshold
+        && engine.routing.set_live(holder, false).is_some()
+    {
+        shared.stats.add(&shared.stats.marked_down);
+    }
+}
+
+/// Serves one client lookup at this node, returning the tier code.
+fn serve_one(shared: &NodeShared, engine: &NodeEngine, content: u64) -> u8 {
+    let stats = &shared.stats;
+    stats.add(&stats.lookups);
+    let id = ContentId(content);
+    if engine.handle.probe(id) {
+        stats.add(&stats.local);
+        return TIER_LOCAL;
+    }
+    let me = shared.config.id;
+    match engine.routing.holder(id) {
+        Some(holder) if holder != me => {
+            if engine.routing.primary(id) != Some(holder) {
+                stats.add(&stats.failed_over);
+            }
+            let Some(link) = engine.peers.get(holder).and_then(Option::as_ref) else {
+                stats.add(&stats.degraded);
+                stats.add(&stats.origin);
+                return TIER_ORIGIN;
+            };
+            let issued = Instant::now();
+            let deadline = shared.config.degrade.forward_deadline;
+            let mut attempt = 0u32;
+            loop {
+                let remaining = deadline.saturating_sub(issued.elapsed());
+                if remaining.is_zero() {
+                    stats.add(&stats.deadline_expired);
+                    break;
+                }
+                stats.add(&stats.forwards_out);
+                let sent = Instant::now();
+                match link.forward(me as u32, content, remaining) {
+                    ForwardVerdict::Hit => {
+                        link.failures.store(0, Ordering::Relaxed);
+                        stats.record_rtt(sent.elapsed());
+                        stats.add(&stats.peer);
+                        return TIER_PEER;
+                    }
+                    ForwardVerdict::Miss => {
+                        link.failures.store(0, Ordering::Relaxed);
+                        stats.record_rtt(sent.elapsed());
+                        stats.add(&stats.origin);
+                        return TIER_ORIGIN;
+                    }
+                    ForwardVerdict::Refused => {
+                        if attempt >= shared.config.degrade.forward_retries {
+                            stats.add(&stats.degraded);
+                            break;
+                        }
+                        attempt += 1;
+                        stats.add(&stats.retried);
+                        std::thread::sleep(shared.config.degrade.retry_backoff * attempt);
+                    }
+                    ForwardVerdict::TimedOut => {
+                        note_forward_failure(shared, engine, holder);
+                        stats.add(&stats.deadline_expired);
+                        break;
+                    }
+                    ForwardVerdict::Broken => {
+                        note_forward_failure(shared, engine, holder);
+                        stats.add(&stats.degraded);
+                        break;
+                    }
+                }
+            }
+            stats.add(&stats.origin);
+            TIER_ORIGIN
+        }
+        _ => {
+            // Uncoordinated content (or this node is the holder and
+            // missed): origin serves; under LRU the edge admits it,
+            // mirroring the in-process cluster.
+            if engine.provision.policy == StorePolicy::Lru {
+                engine.handle.apply(id);
+            }
+            stats.add(&stats.origin);
+            TIER_ORIGIN
+        }
+    }
+}
+
+/// One router as a standalone wire-serving process (or thread, for
+/// in-process tests): binds, then [`NodeServer::run`] serves until a
+/// `Shutdown` frame arrives.
+pub struct NodeServer {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<NodeShared>,
+}
+
+impl NodeServer {
+    /// Binds the listener (validating the ring mode up front) without
+    /// serving yet.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] for an SPSC ring mode,
+    /// [`EngineError::Net`] if the bind fails.
+    pub fn bind(config: NodeConfig) -> Result<Self, EngineError> {
+        wire_ring_mode(config.ring_mode)?;
+        if config.shards == 0 || config.queue_capacity == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "node needs at least one shard and a non-empty queue".into(),
+            });
+        }
+        let listener = TcpListener::bind(&config.listen)
+            .map_err(|e| net_err("bind", format!("{}: {e}", config.listen)))?;
+        let local_addr = listener.local_addr().map_err(|e| net_io_err("bind", &e))?;
+        listener.set_nonblocking(true).map_err(|e| net_io_err("bind", &e))?;
+        let shared = Arc::new(NodeShared {
+            config,
+            engine: RwLock::new(None),
+            epoch: AtomicU64::new(0),
+            stats: NodeStats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Self { listener, local_addr, shared })
+    }
+
+    /// The bound listen address (resolves `:0` to the actual port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests shutdown from another thread (tests); the serve loop
+    /// notices within one accept-poll interval.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Serves until a `Shutdown` frame (or [`Self::request_shutdown`])
+    /// stops the loop, then returns the final counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Net`] if the listener itself fails; per-
+    /// connection failures only drop that connection.
+    pub fn run(&self) -> Result<NodeStatsSnapshot, EngineError> {
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            scope.spawn(|| health_prober(shared));
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        shared.stats.add(&shared.stats.connections);
+                        // Pre-register this connection's producer lane
+                        // before any of its traffic reaches the rings.
+                        if let Some(engine) = shared.current_engine() {
+                            let _ = engine.handle.register_producer();
+                        }
+                        scope.spawn(move || serve_conn(shared, stream));
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::Interrupted =>
+                    {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => {
+                        shared.shutdown.store(true, Ordering::Release);
+                        return Err(net_io_err("accept", &e));
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        shared.stats.epoch.store(shared.epoch.load(Ordering::Acquire), Ordering::Relaxed);
+        Ok(shared.stats.snapshot())
+    }
+}
+
+/// Background prober: pings peers this node has marked down and
+/// restores them in the routing view when they answer again. This is
+/// the wire tier's analogue of the in-process op-count probation —
+/// wall-clock because a dead *process* produces no ops to count.
+fn health_prober(shared: &NodeShared) {
+    let my_id = shared.config.id as u32;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(25));
+        let Some(engine) = shared.current_engine() else {
+            continue;
+        };
+        for link in engine.peers.iter().flatten() {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if engine.routing.is_live(link.node) {
+                continue;
+            }
+            if link.probe_health(my_id).is_some() {
+                link.failures.store(0, Ordering::Relaxed);
+                if engine.routing.set_live(link.node, true).is_some() {
+                    shared.stats.add(&shared.stats.revived);
+                }
+            }
+        }
+    }
+}
+
+/// Reads the next frame, retrying idle timeouts until shutdown. A
+/// timeout can only be treated as idle on a frame boundary; frames
+/// are small enough (≤ [`MAX_FRAME`]) that a mid-frame stall means
+/// the peer is gone and the connection is dropped by the caller.
+fn read_frame_idle(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> Result<Option<Vec<u8>>, EngineError> {
+    loop {
+        match read_frame(stream) {
+            Ok(v) => return Ok(v),
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn serve_conn(shared: &NodeShared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    loop {
+        let body = match read_frame_idle(&mut stream, &shared.shutdown) {
+            Ok(Some(body)) => body,
+            Ok(None) | Err(_) => return,
+        };
+        let request = match Request::decode(&body) {
+            Ok(r) => r,
+            Err(e) => {
+                // A malformed frame poisons the framing; answer once
+                // and drop the connection.
+                let refuse = Response::Refused { reason: e.to_string() };
+                if let Ok(frame) = refuse.encode() {
+                    let _ = write_frame(&mut stream, &frame);
+                }
+                return;
+            }
+        };
+        let response = match handle_request(shared, request) {
+            Ok(None) => continue, // Hello: preamble, no reply.
+            Ok(Some(resp)) => resp,
+            Err(e) => Response::Refused { reason: e.to_string() },
+        };
+        let should_close = response == Response::Bye;
+        match response.encode() {
+            Ok(frame) => {
+                if write_frame(&mut stream, &frame).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+        if should_close {
+            return;
+        }
+    }
+}
+
+fn handle_request(shared: &NodeShared, request: Request) -> Result<Option<Response>, EngineError> {
+    let stats = &shared.stats;
+    match request {
+        Request::Hello { .. } => {
+            // The producer lane was pre-registered at accept; the
+            // preamble just identifies the peer. No reply — the
+            // sender pipelines its first forward immediately.
+            Ok(None)
+        }
+        Request::ConfigEpoch(p) => {
+            let epoch = provision_node(shared, p)?;
+            Ok(Some(Response::EpochAck { epoch }))
+        }
+        Request::Lookup { content } => match shared.current_engine() {
+            Some(engine) => {
+                Ok(Some(Response::Served { tier: serve_one(shared, &engine, content) }))
+            }
+            None => {
+                stats.add(&stats.lookups);
+                stats.add(&stats.shed);
+                Ok(Some(Response::Refused { reason: "node not provisioned".into() }))
+            }
+        },
+        Request::BatchLookup { contents } => {
+            let Some(engine) = shared.current_engine() else {
+                let n = contents.len() as u64;
+                stats.lookups.fetch_add(n, Ordering::Relaxed);
+                stats.shed.fetch_add(n, Ordering::Relaxed);
+                return Ok(Some(Response::BatchServed { local: 0, peer: 0, origin: 0, shed: n }));
+            };
+            let ids: Vec<ContentId> = contents.iter().map(|&c| ContentId(c)).collect();
+            let mut hits = Vec::with_capacity(ids.len());
+            engine.handle.probe_batch(&ids, &mut hits);
+            let (mut local, mut peer, mut origin) = (0u64, 0u64, 0u64);
+            for (i, &content) in contents.iter().enumerate() {
+                if hits.get(i).copied().unwrap_or(false) {
+                    stats.add(&stats.lookups);
+                    stats.add(&stats.local);
+                    local += 1;
+                } else {
+                    match serve_one(shared, &engine, content) {
+                        TIER_LOCAL => local += 1,
+                        TIER_PEER => peer += 1,
+                        _ => origin += 1,
+                    }
+                }
+            }
+            Ok(Some(Response::BatchServed { local, peer, origin, shed: 0 }))
+        }
+        Request::PeerForward { content, .. } => {
+            let Some(engine) = shared.current_engine() else {
+                return Ok(Some(Response::ForwardReply { outcome: FWD_REFUSED }));
+            };
+            stats.add(&stats.forwards_in);
+            let id = ContentId(content);
+            if engine.handle.probe(id) {
+                stats.add(&stats.forward_hits);
+                Ok(Some(Response::ForwardReply { outcome: FWD_HIT }))
+            } else {
+                // Holder miss: origin serves at the requesting edge;
+                // under LRU the holder admits its coordinated content
+                // so traffic attracts the slice into place.
+                if engine.provision.policy == StorePolicy::Lru
+                    && engine.routing.holder(id) == Some(shared.config.id)
+                {
+                    engine.handle.apply(id);
+                }
+                stats.add(&stats.forward_misses);
+                Ok(Some(Response::ForwardReply { outcome: FWD_MISS }))
+            }
+        }
+        Request::HealthProbe => {
+            Ok(Some(Response::HealthAck { epoch: shared.epoch.load(Ordering::Acquire) }))
+        }
+        Request::Stats => {
+            shared.stats.epoch.store(shared.epoch.load(Ordering::Acquire), Ordering::Relaxed);
+            Ok(Some(Response::StatsReply(shared.stats.snapshot())))
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            Ok(Some(Response::Bye))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator / driver
+// ---------------------------------------------------------------------------
+
+/// How the driver brings up node serving loops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeLaunch {
+    /// Node servers run as threads inside the driver process —
+    /// exercises the full wire path over loopback without child
+    /// processes. Kill/revive faults are not available (a thread
+    /// cannot be SIGKILLed).
+    InProcess,
+    /// Node servers run as `ccn node` child processes spawned from
+    /// this executable path; kill faults SIGKILL the process.
+    Exe(PathBuf),
+}
+
+/// One scheduled process-level fault, triggered when the cluster-wide
+/// offered-request count crosses `at_op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFault {
+    /// Offered-op threshold that triggers the fault.
+    pub at_op: u64,
+    /// What happens.
+    pub kind: WireFaultKind,
+}
+
+/// Process-level fault kinds for the wire driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFaultKind {
+    /// SIGKILL node `n`'s process (no warning, no drain).
+    Kill(usize),
+    /// Respawn node `n` and re-provision the cluster under a bumped
+    /// config epoch.
+    Revive(usize),
+}
+
+impl std::fmt::Display for WireFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireFaultKind::Kill(n) => write!(f, "kill:{n}"),
+            WireFaultKind::Revive(n) => write!(f, "revive:{n}"),
+        }
+    }
+}
+
+/// Full specification of a wire-mode serving benchmark.
+#[derive(Debug, Clone)]
+pub struct WireSpec {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Store shards per node.
+    pub shards_per_node: usize,
+    /// Per-shard ring capacity.
+    pub queue_capacity: usize,
+    /// Catalogue size.
+    pub catalogue: u64,
+    /// Per-node store capacity `c`.
+    pub capacity: u64,
+    /// Coordinated fraction `ℓ = x/c`.
+    pub ell: f64,
+    /// Store population policy.
+    pub policy: StorePolicy,
+    /// Zipf exponent of the request stream.
+    pub zipf_s: f64,
+    /// Per-node client request rate, requests per millisecond.
+    pub rate_per_node_per_ms: f64,
+    /// Workload horizon, milliseconds.
+    pub horizon_ms: f64,
+    /// Pace requests to their Poisson arrival times (false = drive
+    /// as fast as the wire allows).
+    pub paced: bool,
+    /// Workload seed — the driver draws the identical
+    /// `zipf_irm(&[0..nodes], …)` stream as the in-process
+    /// [`crate::load::OpenLoopConfig`] with one generator, so wire
+    /// and in-process runs are comparable request-for-request.
+    pub seed: u64,
+    /// Requests per `BatchLookup` frame.
+    pub batch: usize,
+    /// Node worker idle strategy.
+    pub idle: IdleStrategy,
+    /// Requested ring mode (nodes resolve it via [`wire_ring_mode`]).
+    pub ring_mode: RingMode,
+    /// Core placement passed through to node processes.
+    pub placement: ShardPlacement,
+    /// Degradation-ladder knobs passed through to node processes.
+    pub degrade: DegradeConfig,
+    /// Scheduled kill/revive faults (requires [`NodeLaunch::Exe`]).
+    pub faults: Vec<WireFault>,
+    /// How node serving loops are brought up.
+    pub launch: NodeLaunch,
+}
+
+impl WireSpec {
+    /// Defaults mirroring the in-process serve-bench smoke settings.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            nodes,
+            shards_per_node: 1,
+            queue_capacity: 1024,
+            catalogue: 10_000,
+            capacity: 100,
+            ell: 0.5,
+            policy: StorePolicy::Provisioned,
+            zipf_s: 0.8,
+            rate_per_node_per_ms: 0.5,
+            horizon_ms: 1_000.0,
+            paced: false,
+            seed: 42,
+            batch: 64,
+            idle: IdleStrategy::spin_then_park(),
+            ring_mode: RingMode::Auto,
+            placement: ShardPlacement::disabled(),
+            degrade: DegradeConfig::default(),
+            faults: Vec::new(),
+            launch: NodeLaunch::InProcess,
+        }
+    }
+
+    /// Coordinated slots per node, `x = round(ℓ·c)` — the identical
+    /// rounding as [`crate::ClusterConfig::x`].
+    #[must_use]
+    pub fn x(&self) -> u64 {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            (self.ell * self.capacity as f64).round() as u64
+        }
+    }
+
+    /// Local popularity prefix `c − x`.
+    #[must_use]
+    pub fn local_prefix(&self) -> u64 {
+        self.capacity - self.x()
+    }
+
+    /// Builds the provisioning push for `epoch` with the given peer
+    /// address list (one entry per node, indexed by id).
+    #[must_use]
+    pub fn provision(&self, epoch: u64, peers: Vec<String>) -> Provision {
+        let x = self.x();
+        let prefix = self.local_prefix();
+        let slices = contiguous_slices(prefix, prefix + 1, x, self.nodes)
+            .into_iter()
+            .map(|a| SliceAssignment {
+                node: a.router as u32,
+                start: a.slice.start,
+                end: a.slice.end,
+            })
+            .collect();
+        Provision {
+            epoch,
+            nodes: self.nodes as u32,
+            catalogue: self.catalogue,
+            capacity: self.capacity,
+            prefix,
+            x,
+            policy: self.policy,
+            slices,
+            peers,
+        }
+    }
+
+    fn validate(&self) -> Result<(), EngineError> {
+        let invalid = |reason: String| Err(EngineError::InvalidConfig { reason });
+        if self.nodes == 0 {
+            return invalid("need at least one node".into());
+        }
+        if self.capacity == 0 {
+            return invalid("need a non-zero store capacity".into());
+        }
+        if !(0.0..=1.0).contains(&self.ell) || self.ell.is_nan() {
+            return invalid(format!("ell {} outside [0, 1]", self.ell));
+        }
+        if self.batch == 0 {
+            return invalid("batch must be >= 1".into());
+        }
+        let coordinated_end = self.local_prefix() + self.nodes as u64 * self.x();
+        if coordinated_end > self.catalogue {
+            return invalid(format!(
+                "catalogue {} too small for prefix + {} slices of x = {}",
+                self.catalogue,
+                self.nodes,
+                self.x()
+            ));
+        }
+        wire_ring_mode(self.ring_mode)?;
+        let mut dead = vec![false; self.nodes];
+        let mut last_op = 0u64;
+        for fault in &self.faults {
+            if fault.at_op < last_op {
+                return Err(EngineError::FaultSpec {
+                    reason: "wire faults must be sorted by at_op".into(),
+                });
+            }
+            last_op = fault.at_op;
+            match fault.kind {
+                WireFaultKind::Kill(n) => {
+                    if n >= self.nodes {
+                        return Err(EngineError::FaultSpec {
+                            reason: format!("kill references node {n} of {}", self.nodes),
+                        });
+                    }
+                    if dead[n] {
+                        return Err(EngineError::FaultSpec {
+                            reason: format!("node {n} killed twice without a revive"),
+                        });
+                    }
+                    dead[n] = true;
+                }
+                WireFaultKind::Revive(n) => {
+                    if n >= self.nodes {
+                        return Err(EngineError::FaultSpec {
+                            reason: format!("revive references node {n} of {}", self.nodes),
+                        });
+                    }
+                    if !dead[n] {
+                        return Err(EngineError::FaultSpec {
+                            reason: format!("revive of node {n} without a prior kill"),
+                        });
+                    }
+                    dead[n] = false;
+                }
+            }
+        }
+        if !self.faults.is_empty() && self.launch == NodeLaunch::InProcess {
+            return Err(EngineError::FaultSpec {
+                reason: "kill/revive faults need child processes (NodeLaunch::Exe); \
+                         an in-process node thread cannot be SIGKILLed"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-node driver-side tier ledger. `offered` counts every request
+/// the driver issued for this node's clients; each lands in exactly
+/// one of the other buckets, so `offered == completed() + shed`
+/// bit-exactly by construction — including requests offered to a
+/// SIGKILLed node, which are shed at the driver edge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireLedger {
+    /// Requests issued by this node's clients.
+    pub offered: u64,
+    /// Served from the node's own store.
+    pub local: u64,
+    /// Served by a peer's coordinated slice.
+    pub peer: u64,
+    /// Fell through to origin.
+    pub origin: u64,
+    /// Shed: offered to a dead or unreachable node.
+    pub shed: u64,
+}
+
+impl WireLedger {
+    /// Requests completed by some tier.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.local + self.peer + self.origin
+    }
+
+    /// Per-field difference `self − earlier` (saturating), for
+    /// post-revival tail windows.
+    #[must_use]
+    pub fn since(&self, earlier: &WireLedger) -> WireLedger {
+        WireLedger {
+            offered: self.offered.saturating_sub(earlier.offered),
+            local: self.local.saturating_sub(earlier.local),
+            peer: self.peer.saturating_sub(earlier.peer),
+            origin: self.origin.saturating_sub(earlier.origin),
+            shed: self.shed.saturating_sub(earlier.shed),
+        }
+    }
+}
+
+#[derive(Default)]
+struct LedgerCells {
+    offered: AtomicU64,
+    local: AtomicU64,
+    peer: AtomicU64,
+    origin: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl LedgerCells {
+    fn snapshot(&self) -> WireLedger {
+        WireLedger {
+            offered: self.offered.load(Ordering::Relaxed),
+            local: self.local.load(Ordering::Relaxed),
+            peer: self.peer.load(Ordering::Relaxed),
+            origin: self.origin.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Results of one wire-mode benchmark run.
+#[derive(Debug, Clone)]
+pub struct WireOutcome {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Final config epoch (1 + one bump per revival).
+    pub epoch: u64,
+    /// Final listen address of every node.
+    pub listen_addrs: Vec<String>,
+    /// Per-node driver ledgers for the whole run.
+    pub per_node: Vec<WireLedger>,
+    /// Per-node ledgers counting only traffic after the last revival
+    /// re-provision (present iff a revival happened) — the window the
+    /// re-convergence acceptance check evaluates.
+    pub tail_per_node: Option<Vec<WireLedger>>,
+    /// Final node-side counter snapshots (None for a node that was
+    /// dead at collection time).
+    pub node_stats: Vec<Option<NodeStatsSnapshot>>,
+    /// Applied faults, `"kill:1@2000"` style.
+    pub fault_log: Vec<String>,
+    /// Wall-clock duration of the driven phase, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl WireOutcome {
+    /// Total requests offered across all nodes.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.per_node.iter().map(|l| l.offered).sum()
+    }
+
+    /// Total requests completed by some tier.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.per_node.iter().map(WireLedger::completed).sum()
+    }
+
+    /// Total requests shed at the driver edge.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.per_node.iter().map(|l| l.shed).sum()
+    }
+
+    /// Verifies `offered == completed + shed`, per node and in total.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Accounting`] with the offending totals.
+    pub fn check_conservation(&self) -> Result<(), EngineError> {
+        for ledger in &self.per_node {
+            if ledger.offered != ledger.completed() + ledger.shed {
+                return Err(EngineError::Accounting {
+                    offered: ledger.offered,
+                    completed: ledger.completed(),
+                    shed: ledger.shed,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `(local, peer, origin)` fractions of completed requests over
+    /// the given ledgers (the whole run, or a tail window).
+    #[must_use]
+    pub fn tier_fractions(ledgers: &[WireLedger]) -> (f64, f64, f64) {
+        let completed: u64 = ledgers.iter().map(WireLedger::completed).sum();
+        if completed == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let frac = |v: u64| v as f64 / completed as f64;
+        (
+            frac(ledgers.iter().map(|l| l.local).sum()),
+            frac(ledgers.iter().map(|l| l.peer).sum()),
+            frac(ledgers.iter().map(|l| l.origin).sum()),
+        )
+    }
+}
+
+enum RunningNode {
+    Proc {
+        child: Child,
+        // Keeps the stdout pipe open so the child's final summary
+        // print cannot fail with a broken pipe.
+        _stdout: Option<io::BufReader<std::process::ChildStdout>>,
+    },
+    Thread {
+        server: Arc<NodeServer>,
+        join: std::thread::JoinHandle<Result<NodeStatsSnapshot, EngineError>>,
+    },
+}
+
+struct NodeSlot {
+    addr: String,
+    generation: u64,
+    alive: bool,
+}
+
+fn connect_driver(addr: &str, timeout: Duration) -> Result<TcpStream, EngineError> {
+    let sockaddr = resolve(addr)?;
+    let stream = TcpStream::connect_timeout(&sockaddr, timeout.max(MIN_SOCKET_TIMEOUT))
+        .map_err(|e| net_io_err("connect", &e))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(timeout.max(MIN_SOCKET_TIMEOUT)))
+        .map_err(|e| net_io_err("connect", &e))?;
+    Ok(stream)
+}
+
+fn push_epoch_to(addr: &str, provision: &Provision) -> Result<(), EngineError> {
+    let mut stream = connect_driver(addr, Duration::from_secs(5))?;
+    send_request(&mut stream, &Request::ConfigEpoch(provision.clone()))?;
+    match recv_response(&mut stream)? {
+        Response::EpochAck { epoch } if epoch >= provision.epoch => Ok(()),
+        Response::EpochAck { epoch } => Err(proto_err(format!(
+            "node at {addr} acked epoch {epoch} after a push of {}",
+            provision.epoch
+        ))),
+        Response::Refused { reason } => Err(proto_err(format!("epoch push refused: {reason}"))),
+        other => Err(proto_err(format!("unexpected reply to epoch push: {other:?}"))),
+    }
+}
+
+fn spawn_thread_node(spec: &WireSpec, id: usize) -> Result<(RunningNode, String), EngineError> {
+    let mut config = NodeConfig::new(id);
+    config.shards = spec.shards_per_node;
+    config.queue_capacity = spec.queue_capacity;
+    config.idle = spec.idle;
+    config.ring_mode = spec.ring_mode;
+    config.placement = spec.placement;
+    config.degrade = spec.degrade;
+    let server = Arc::new(NodeServer::bind(config)?);
+    let addr = server.local_addr().to_string();
+    let runner = Arc::clone(&server);
+    let join = std::thread::Builder::new()
+        .name(format!("wire-node-{id}"))
+        .spawn(move || runner.run())
+        .map_err(|e| EngineError::Spawn { reason: e.to_string() })?;
+    Ok((RunningNode::Thread { server, join }, addr))
+}
+
+/// How long the driver waits for a spawned node process to print its
+/// `READY <addr>` line before giving up and killing it.
+const READY_TIMEOUT: Duration = Duration::from_secs(15);
+
+fn spawn_proc_node(
+    exe: &PathBuf,
+    spec: &WireSpec,
+    id: usize,
+) -> Result<(RunningNode, String), EngineError> {
+    let mut cmd = Command::new(exe);
+    cmd.arg("node")
+        .args(["--id", &id.to_string()])
+        .args(["--listen", "127.0.0.1:0"])
+        .args(["--shards", &spec.shards_per_node.to_string()])
+        .args(["--queue", &spec.queue_capacity.to_string()])
+        .args(["--idle", &spec.idle.name()])
+        .args(["--ring-mode", spec.ring_mode.name()])
+        .args(["--deadline-us", &spec.degrade.forward_deadline.as_micros().to_string()])
+        .args(["--retries", &spec.degrade.forward_retries.to_string()])
+        .args(["--backoff-us", &spec.degrade.retry_backoff.as_micros().to_string()])
+        .args(["--timeout-threshold", &spec.degrade.timeout_threshold.to_string()]);
+    if spec.placement.pin() {
+        cmd.args(["--cores", &spec.placement.cores().to_string()]).args(["--pin", "true"]);
+    }
+    cmd.stdout(Stdio::piped()).stderr(Stdio::inherit());
+    let mut child = cmd.spawn().map_err(|e| net_err("spawn-node", e))?;
+    let Some(stdout) = child.stdout.take() else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(net_err("spawn-node", "child stdout was not piped"));
+    };
+    // Read the READY line on a helper thread so a child that starts
+    // but never reports cannot hang the whole bench.
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = io::BufReader::new(stdout);
+        let mut line = String::new();
+        let result = reader.read_line(&mut line);
+        let _ = tx.send((result.map(|_| line), reader));
+    });
+    match rx.recv_timeout(READY_TIMEOUT) {
+        Ok((Ok(line), reader)) => {
+            let addr = line.trim().strip_prefix("READY ").map(str::to_owned).ok_or_else(|| {
+                let _ = child.kill();
+                let _ = child.wait();
+                net_err(
+                    "spawn-node",
+                    format!("node {id} reported {:?}, expected READY", line.trim()),
+                )
+            })?;
+            Ok((RunningNode::Proc { child, _stdout: Some(reader) }, addr))
+        }
+        Ok((Err(e), _)) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(net_err("spawn-node", format!("node {id} stdout failed: {e}")))
+        }
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(net_err(
+                "spawn-node",
+                format!("node {id} did not report READY within {READY_TIMEOUT:?}"),
+            ))
+        }
+    }
+}
+
+fn spawn_node(spec: &WireSpec, id: usize) -> Result<(RunningNode, String), EngineError> {
+    match &spec.launch {
+        NodeLaunch::InProcess => spawn_thread_node(spec, id),
+        NodeLaunch::Exe(exe) => spawn_proc_node(exe, spec, id),
+    }
+}
+
+fn stop_node(running: RunningNode) -> Option<NodeStatsSnapshot> {
+    match running {
+        RunningNode::Proc { mut child, _stdout } => {
+            let deadline = Instant::now() + Duration::from_secs(3);
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => return None,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return None;
+                    }
+                }
+            }
+        }
+        RunningNode::Thread { server, join } => {
+            server.request_shutdown();
+            join.join().ok().and_then(Result::ok)
+        }
+    }
+}
+
+fn pace(start: Instant, at_ms: f64) {
+    let target = start + Duration::from_secs_f64(at_ms.max(0.0) / 1000.0);
+    let now = Instant::now();
+    if target > now {
+        std::thread::sleep(target - now);
+    }
+}
+
+/// Sends one batch to the node currently occupying `slot`, lazily
+/// (re)connecting when the slot's address or generation changed.
+/// `None` means the whole batch must be shed at the driver edge.
+fn send_batch(
+    conn: &mut Option<(TcpStream, u64)>,
+    slot: &Mutex<NodeSlot>,
+    contents: Vec<u64>,
+    timeout: Duration,
+) -> Option<(u64, u64, u64, u64)> {
+    let expected = contents.len() as u64;
+    let (addr, generation, alive) = {
+        let s = lock_recover(slot);
+        (s.addr.clone(), s.generation, s.alive)
+    };
+    if !alive {
+        *conn = None;
+        return None;
+    }
+    if let Some((_, gen)) = conn {
+        if *gen != generation {
+            *conn = None;
+        }
+    }
+    if conn.is_none() {
+        match connect_driver(&addr, timeout) {
+            Ok(stream) => *conn = Some((stream, generation)),
+            Err(_) => return None,
+        }
+    }
+    let (stream, _) = conn.as_mut()?;
+    let result = send_request(stream, &Request::BatchLookup { contents })
+        .and_then(|()| recv_response(stream));
+    match result {
+        Ok(Response::BatchServed { local, peer, origin, shed })
+            if local + peer + origin + shed == expected =>
+        {
+            Some((local, peer, origin, shed))
+        }
+        _ => {
+            // Socket failure, a torn-down node mid-conversation, or a
+            // tally that does not cover the batch: shed the batch.
+            *conn = None;
+            None
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_node(
+    spec: &WireSpec,
+    requests: &[(f64, u64)],
+    slot: &Mutex<NodeSlot>,
+    cells: &LedgerCells,
+    total_offered: &AtomicU64,
+    start: Instant,
+) {
+    // Generous driver-side read timeout: the node may walk the whole
+    // retry ladder before answering a batch.
+    let ladder = spec.degrade.forward_deadline * (spec.degrade.forward_retries + 1);
+    let timeout = (ladder + Duration::from_secs(1)).max(Duration::from_secs(2));
+    let mut conn: Option<(TcpStream, u64)> = None;
+    let mut i = 0usize;
+    while i < requests.len() {
+        let end = (i + spec.batch).min(requests.len());
+        let batch = &requests[i..end];
+        if spec.paced {
+            pace(start, batch[0].0);
+        }
+        let n = batch.len() as u64;
+        cells.offered.fetch_add(n, Ordering::Relaxed);
+        total_offered.fetch_add(n, Ordering::Relaxed);
+        let contents: Vec<u64> = batch.iter().map(|&(_, c)| c).collect();
+        match send_batch(&mut conn, slot, contents, timeout) {
+            Some((local, peer, origin, shed)) => {
+                cells.local.fetch_add(local, Ordering::Relaxed);
+                cells.peer.fetch_add(peer, Ordering::Relaxed);
+                cells.origin.fetch_add(origin, Ordering::Relaxed);
+                cells.shed.fetch_add(shed, Ordering::Relaxed);
+            }
+            None => {
+                cells.shed.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        i = end;
+    }
+    if let Some((stream, _)) = conn.take() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Runs a multi-process (or in-process multi-thread) wire-mode
+/// serving benchmark: spawns the nodes, provisions them at epoch 1,
+/// drives the per-node Zipf streams over TCP, applies the kill/revive
+/// schedule, and folds the driver ledgers into a [`WireOutcome`]
+/// whose conservation invariant has already been verified.
+///
+/// # Errors
+///
+/// [`EngineError::InvalidConfig`] / [`EngineError::FaultSpec`] for a
+/// bad spec, [`EngineError::Workload`] for a bad stream,
+/// [`EngineError::Net`] if bring-up fails, and
+/// [`EngineError::Accounting`] if the conservation invariant breaks.
+pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
+    spec.validate()?;
+    let all: Vec<usize> = (0..spec.nodes).collect();
+    let stream = workload::zipf_irm(
+        &all,
+        spec.zipf_s,
+        spec.catalogue,
+        spec.rate_per_node_per_ms,
+        spec.horizon_ms,
+        spec.seed,
+    )?;
+    let mut per_node_requests: Vec<Vec<(f64, u64)>> = vec![Vec::new(); spec.nodes];
+    for request in stream {
+        per_node_requests[request.router].push((request.time, request.content.0));
+    }
+
+    // Bring-up: spawn every node, tearing down the ones already up if
+    // any spawn fails.
+    let mut running: Vec<Option<RunningNode>> = Vec::with_capacity(spec.nodes);
+    let mut addrs: Vec<String> = Vec::with_capacity(spec.nodes);
+    for id in 0..spec.nodes {
+        match spawn_node(spec, id) {
+            Ok((node, addr)) => {
+                running.push(Some(node));
+                addrs.push(addr);
+            }
+            Err(e) => {
+                for node in running.into_iter().flatten() {
+                    match node {
+                        RunningNode::Proc { mut child, .. } => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                        RunningNode::Thread { server, join } => {
+                            server.request_shutdown();
+                            let _ = join.join();
+                        }
+                    }
+                }
+                return Err(e);
+            }
+        }
+    }
+
+    let mut epoch = 1u64;
+    let initial = spec.provision(epoch, addrs.clone());
+    for addr in &addrs {
+        push_epoch_to(addr, &initial)?;
+    }
+
+    let slots: Vec<Mutex<NodeSlot>> = addrs
+        .iter()
+        .map(|addr| Mutex::new(NodeSlot { addr: addr.clone(), generation: 0, alive: true }))
+        .collect();
+    let cells: Vec<LedgerCells> = (0..spec.nodes).map(|_| LedgerCells::default()).collect();
+    let total_offered = AtomicU64::new(0);
+    let drivers_done = AtomicUsize::new(0);
+    let mut fault_log: Vec<String> = Vec::new();
+    let mut tail_base: Option<Vec<WireLedger>> = None;
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for (id, requests) in per_node_requests.iter().enumerate() {
+            let slot = &slots[id];
+            let node_cells = &cells[id];
+            let total = &total_offered;
+            let done = &drivers_done;
+            scope.spawn(move || {
+                drive_node(spec, requests, slot, node_cells, total, start);
+                done.fetch_add(1, Ordering::Release);
+            });
+        }
+
+        // Supervisor (inline): replay the fault schedule against the
+        // cluster-wide offered count.
+        for fault in &spec.faults {
+            while total_offered.load(Ordering::Relaxed) < fault.at_op {
+                if drivers_done.load(Ordering::Acquire) == spec.nodes {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            if drivers_done.load(Ordering::Acquire) == spec.nodes
+                && total_offered.load(Ordering::Relaxed) < fault.at_op
+            {
+                fault_log.push(format!("{}@unreached", fault.kind));
+                continue;
+            }
+            let fired_at = total_offered.load(Ordering::Relaxed);
+            match fault.kind {
+                WireFaultKind::Kill(n) => {
+                    {
+                        let mut slot = lock_recover(&slots[n]);
+                        slot.alive = false;
+                    }
+                    if let Some(RunningNode::Proc { mut child, .. }) = running[n].take() {
+                        // SIGKILL: no drain, no goodbye.
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                    fault_log.push(format!("kill:{n}@{fired_at}"));
+                }
+                WireFaultKind::Revive(n) => match spawn_node(spec, n) {
+                    Ok((node, addr)) => {
+                        running[n] = Some(node);
+                        addrs[n] = addr;
+                        epoch += 1;
+                        let push = spec.provision(epoch, addrs.clone());
+                        for (m, addr) in addrs.iter().enumerate() {
+                            let reachable = m == n || lock_recover(&slots[m]).alive;
+                            if reachable {
+                                if let Err(e) = push_epoch_to(addr, &push) {
+                                    fault_log
+                                        .push(format!("epoch-push-failed:{m}@{fired_at}: {e}"));
+                                }
+                            }
+                        }
+                        // The re-convergence window starts once the
+                        // revived node is provisioned and addressable.
+                        tail_base = Some(cells.iter().map(LedgerCells::snapshot).collect());
+                        {
+                            let mut slot = lock_recover(&slots[n]);
+                            slot.addr = addrs[n].clone();
+                            slot.generation += 1;
+                            slot.alive = true;
+                        }
+                        fault_log.push(format!("revive:{n}@{fired_at}"));
+                    }
+                    Err(e) => {
+                        fault_log.push(format!("revive-failed:{n}@{fired_at}: {e}"));
+                    }
+                },
+            }
+        }
+    });
+    #[allow(clippy::cast_precision_loss)]
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Collect final node-side stats from survivors, then shut every
+    // node down in an orderly way.
+    let mut node_stats: Vec<Option<NodeStatsSnapshot>> = vec![None; spec.nodes];
+    for (id, addr) in addrs.iter().enumerate() {
+        if !lock_recover(&slots[id]).alive {
+            continue;
+        }
+        if let Ok(mut stream) = connect_driver(addr, Duration::from_secs(2)) {
+            if send_request(&mut stream, &Request::Stats).is_ok() {
+                if let Ok(Response::StatsReply(snapshot)) = recv_response(&mut stream) {
+                    node_stats[id] = Some(snapshot);
+                }
+            }
+            let _ = send_request(&mut stream, &Request::Shutdown);
+            let _ = recv_response(&mut stream);
+        }
+    }
+    for (id, node) in running.into_iter().enumerate() {
+        if let Some(node) = node {
+            if let Some(snapshot) = stop_node(node) {
+                node_stats[id].get_or_insert(snapshot);
+            }
+        }
+    }
+
+    let per_node: Vec<WireLedger> = cells.iter().map(LedgerCells::snapshot).collect();
+    let tail_per_node = tail_base
+        .map(|base| per_node.iter().zip(&base).map(|(now, then)| now.since(then)).collect());
+    let outcome = WireOutcome {
+        nodes: spec.nodes,
+        epoch,
+        listen_addrs: addrs,
+        per_node,
+        tail_per_node,
+        node_stats,
+        fault_log,
+        wall_ms,
+    };
+    outcome.check_conservation()?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: &Request) {
+        let body = req.encode().expect("encode");
+        let back = Request::decode(&body).expect("decode");
+        assert_eq!(*req, back);
+    }
+
+    fn roundtrip_response(resp: &Response) {
+        let body = resp.encode().expect("encode");
+        let back = Response::decode(&body).expect("decode");
+        assert_eq!(*resp, back);
+    }
+
+    fn sample_provision(epoch: u64, peers: Vec<String>) -> Provision {
+        WireSpec::new(peers.len().max(1)).provision(epoch, peers)
+    }
+
+    #[test]
+    fn every_request_kind_roundtrips() {
+        roundtrip_request(&Request::Hello { node: 7, version: PROTOCOL_VERSION });
+        roundtrip_request(&Request::ConfigEpoch(sample_provision(
+            3,
+            vec!["127.0.0.1:4000".into(), "127.0.0.1:4001".into()],
+        )));
+        roundtrip_request(&Request::Lookup { content: 99 });
+        roundtrip_request(&Request::BatchLookup { contents: vec![1, 2, 3, u64::MAX] });
+        roundtrip_request(&Request::PeerForward { content: 5, budget_us: 250_000 });
+        roundtrip_request(&Request::HealthProbe);
+        roundtrip_request(&Request::Stats);
+        roundtrip_request(&Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_kind_roundtrips() {
+        roundtrip_response(&Response::EpochAck { epoch: 12 });
+        roundtrip_response(&Response::Served { tier: TIER_PEER });
+        roundtrip_response(&Response::BatchServed { local: 1, peer: 2, origin: 3, shed: 4 });
+        roundtrip_response(&Response::ForwardReply { outcome: FWD_MISS });
+        roundtrip_response(&Response::HealthAck { epoch: 0 });
+        let snapshot = NodeStatsSnapshot { lookups: 10, local: 6, origin: 4, ..Default::default() };
+        roundtrip_response(&Response::StatsReply(snapshot));
+        roundtrip_response(&Response::Bye);
+        roundtrip_response(&Response::Refused { reason: "not provisioned".into() });
+    }
+
+    #[test]
+    fn truncated_and_unknown_frames_are_typed_errors() {
+        let body = Request::Lookup { content: 1 }.encode().expect("encode");
+        let err = Request::decode(&body[..body.len() - 1]).expect_err("truncated");
+        assert!(matches!(err, EngineError::Protocol { .. }));
+        let err = Request::decode(&[0x7f]).expect_err("unknown kind");
+        assert!(matches!(err, EngineError::Protocol { .. }));
+        // Trailing garbage after a well-formed payload is rejected too.
+        let mut long = body;
+        long.push(0);
+        let err = Request::decode(&long).expect_err("trailing bytes");
+        assert!(matches!(err, EngineError::Protocol { .. }));
+    }
+
+    #[test]
+    fn stats_snapshot_tolerates_shorter_field_lists() {
+        let full = NodeStatsSnapshot { lookups: 5, local: 3, ..Default::default() };
+        let mut fields = full.fields();
+        fields.truncate(2);
+        let partial = NodeStatsSnapshot::from_fields(&fields);
+        assert_eq!(partial.lookups, 5);
+        assert_eq!(partial.local, 3);
+        assert_eq!(partial.origin, 0);
+    }
+
+    #[test]
+    fn wire_listener_forces_mpsc_and_rejects_spsc() {
+        assert_eq!(wire_ring_mode(RingMode::Auto).expect("auto"), RingMode::Mpsc);
+        assert_eq!(wire_ring_mode(RingMode::Mpsc).expect("mpsc"), RingMode::Mpsc);
+        assert!(matches!(wire_ring_mode(RingMode::Spsc), Err(EngineError::InvalidConfig { .. })));
+        let mut config = NodeConfig::new(0);
+        config.ring_mode = RingMode::Spsc;
+        assert!(NodeServer::bind(config).is_err());
+    }
+
+    /// Regression (the Auto-census bug this PR fixes): an Auto ring
+    /// whose census saw one in-process producer demotes to SPSC at
+    /// seal, and a producer arriving later — the position every
+    /// accepted wire connection is in — must be *rejected*, not
+    /// silently admitted onto a single-producer ring.
+    #[test]
+    fn late_remote_producer_cannot_corrupt_sealed_ring() {
+        let spec = ShardSpec::new(1, 64).ring_mode(RingMode::Auto);
+        let store = ShardedStore::try_spawn_with(
+            spec,
+            |_| Box::new(LruStore::new(4)) as Box<dyn ContentStore>,
+            Arc::new(|_store: &mut dyn ContentStore, _job: ()| {}),
+        )
+        .expect("spawn");
+        let handle = store.handle();
+        handle.register_producer().expect("local producer");
+        handle.seal_producers();
+        assert_eq!(handle.ring_mode(), RingMode::Spsc, "census of one demotes to SPSC");
+        let err = handle.register_producer().expect_err("late remote producer must be rejected");
+        assert!(matches!(err, EngineError::InvalidConfig { .. }));
+        // The wire node never reaches this state: with the listener
+        // enabled, Auto resolves to MPSC before the store is built.
+        let resolved = wire_ring_mode(RingMode::Auto).expect("auto");
+        assert_eq!(resolved, RingMode::Mpsc);
+    }
+
+    fn bind_node(id: usize) -> (Arc<NodeServer>, String) {
+        let server = Arc::new(NodeServer::bind(NodeConfig::new(id)).expect("bind"));
+        let addr = server.local_addr().to_string();
+        (server, addr)
+    }
+
+    #[test]
+    fn unprovisioned_node_refuses_lookups_but_answers_health() {
+        let (server, addr) = bind_node(0);
+        let runner = Arc::clone(&server);
+        let join = std::thread::spawn(move || runner.run());
+        let mut conn = connect_driver(&addr, Duration::from_secs(2)).expect("connect");
+        send_request(&mut conn, &Request::HealthProbe).expect("probe");
+        assert_eq!(recv_response(&mut conn).expect("ack"), Response::HealthAck { epoch: 0 });
+        send_request(&mut conn, &Request::Lookup { content: 1 }).expect("lookup");
+        assert!(matches!(recv_response(&mut conn).expect("refused"), Response::Refused { .. }));
+        send_request(&mut conn, &Request::Shutdown).expect("shutdown");
+        assert_eq!(recv_response(&mut conn).expect("bye"), Response::Bye);
+        let stats = join.join().expect("join").expect("run");
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.lookups, 1);
+    }
+
+    #[test]
+    fn stale_epoch_is_acked_with_current_and_ignored() {
+        let (server, addr) = bind_node(0);
+        let runner = Arc::clone(&server);
+        let join = std::thread::spawn(move || runner.run());
+        let mut conn = connect_driver(&addr, Duration::from_secs(2)).expect("connect");
+        let p5 = sample_provision(5, vec![addr.clone()]);
+        send_request(&mut conn, &Request::ConfigEpoch(p5)).expect("push 5");
+        assert_eq!(recv_response(&mut conn).expect("ack"), Response::EpochAck { epoch: 5 });
+        let p3 = sample_provision(3, vec![addr.clone()]);
+        send_request(&mut conn, &Request::ConfigEpoch(p3)).expect("push 3");
+        assert_eq!(
+            recv_response(&mut conn).expect("ack"),
+            Response::EpochAck { epoch: 5 },
+            "a stale push is acked with the current epoch, not applied"
+        );
+        send_request(&mut conn, &Request::Shutdown).expect("shutdown");
+        let _ = recv_response(&mut conn);
+        let stats = join.join().expect("join").expect("run");
+        assert_eq!(stats.epochs_accepted, 1);
+        assert_eq!(stats.epoch, 5);
+    }
+
+    #[test]
+    fn same_layout_epoch_swap_keeps_lru_warmth() {
+        let (server, addr) = bind_node(0);
+        let runner = Arc::clone(&server);
+        let join = std::thread::spawn(move || runner.run());
+        let mut spec = WireSpec::new(1);
+        spec.policy = StorePolicy::Lru;
+        let mut conn = connect_driver(&addr, Duration::from_secs(2)).expect("connect");
+        send_request(&mut conn, &Request::ConfigEpoch(spec.provision(1, vec![addr.clone()])))
+            .expect("push");
+        assert_eq!(recv_response(&mut conn).expect("ack"), Response::EpochAck { epoch: 1 });
+        // Rank 9999 is uncoordinated: the first lookup misses and the
+        // LRU edge admits it, the second hits locally.
+        for (expected, label) in [(TIER_ORIGIN, "miss + admit"), (TIER_LOCAL, "warm hit")] {
+            send_request(&mut conn, &Request::Lookup { content: 9_999 }).expect("lookup");
+            assert_eq!(
+                recv_response(&mut conn).expect("served"),
+                Response::Served { tier: expected },
+                "{label}"
+            );
+        }
+        // A same-layout epoch bump (what survivors see after a
+        // revival) must keep the warm store.
+        send_request(&mut conn, &Request::ConfigEpoch(spec.provision(2, vec![addr.clone()])))
+            .expect("push 2");
+        assert_eq!(recv_response(&mut conn).expect("ack"), Response::EpochAck { epoch: 2 });
+        send_request(&mut conn, &Request::Lookup { content: 9_999 }).expect("lookup");
+        assert_eq!(
+            recv_response(&mut conn).expect("served"),
+            Response::Served { tier: TIER_LOCAL },
+            "cache warmth survives a same-layout epoch swap"
+        );
+        send_request(&mut conn, &Request::Shutdown).expect("shutdown");
+        let _ = recv_response(&mut conn);
+        join.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn in_process_loopback_cluster_serves_all_tiers_conservatively() {
+        let mut spec = WireSpec::new(3);
+        spec.horizon_ms = 400.0;
+        spec.rate_per_node_per_ms = 2.0;
+        spec.seed = 7;
+        let outcome = wire_bench(&spec).expect("wire bench");
+        outcome.check_conservation().expect("conservation");
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.per_node.len(), 3);
+        let offered = outcome.offered();
+        assert!(offered > 0, "workload must offer requests");
+        assert_eq!(outcome.shed(), 0, "no faults: nothing sheds");
+        let (local, peer, origin) = WireOutcome::tier_fractions(&outcome.per_node);
+        assert!(local > 0.0, "popularity prefix must serve locally");
+        assert!(peer > 0.0, "coordinated slices must serve over the wire");
+        assert!(origin > 0.0, "catalogue tail must fall through to origin");
+        assert!((local + peer + origin - 1.0).abs() < 1e-9);
+        for stats in outcome.node_stats.iter().flatten() {
+            assert_eq!(stats.epoch, 1);
+        }
+        let forwards: u64 = outcome.node_stats.iter().flatten().map(|s| s.forwards_in).sum();
+        assert!(forwards > 0, "peer serving implies forward frames were exchanged");
+    }
+
+    #[test]
+    fn wire_spec_rejects_malformed_fault_schedules() {
+        let mut spec = WireSpec::new(2);
+        spec.faults = vec![WireFault { at_op: 10, kind: WireFaultKind::Kill(5) }];
+        assert!(matches!(wire_bench(&spec), Err(EngineError::FaultSpec { .. })));
+        spec.faults = vec![WireFault { at_op: 10, kind: WireFaultKind::Revive(0) }];
+        assert!(matches!(wire_bench(&spec), Err(EngineError::FaultSpec { .. })));
+        // Kill/revive requires real child processes.
+        spec.faults = vec![
+            WireFault { at_op: 10, kind: WireFaultKind::Kill(0) },
+            WireFault { at_op: 20, kind: WireFaultKind::Revive(0) },
+        ];
+        assert!(matches!(wire_bench(&spec), Err(EngineError::FaultSpec { .. })));
+    }
+}

@@ -277,9 +277,10 @@ fn await_reply(rx: &mut Consumer<Reply>) -> Reply {
 enum ShardMsg<J> {
     /// An asynchronous unit of work handled by the engine's callback.
     Job(J),
-    /// Synchronous churn op: hit → touch, miss → insert; publishes
-    /// `Reply::Hit` tagged with `tag` into `done`.
-    Apply { content: ContentId, tag: u32, done: Producer<Reply> },
+    /// Synchronous churn op: hit → touch; miss → insert when `insert`
+    /// is set, otherwise the store is left untouched (a pure probe).
+    /// Publishes `Reply::Hit` tagged with `tag` into `done`.
+    Apply { content: ContentId, insert: bool, tag: u32, done: Producer<Reply> },
     /// Synchronous eviction-order snapshot of one shard's store.
     Snapshot { done: Producer<Reply> },
     /// Drain sentinel: the shard thread exits after seeing this.
@@ -667,11 +668,34 @@ impl<J: Send + 'static> ShardHandle<J> {
     ///
     /// Panics if the owning [`ShardedStore`] has been shut down.
     pub fn apply(&self, content: ContentId) -> bool {
+        self.apply_inner(content, true)
+    }
+
+    /// Synchronous read-mostly lookup against the owning shard: on a
+    /// hit the store is touched (recency/frequency state advances,
+    /// exactly as a served request would) and `true` comes back; on a
+    /// miss the store is **left untouched** and `false` comes back.
+    ///
+    /// This is the wire tier's local-lookup primitive: unlike
+    /// [`ShardHandle::apply`], a miss must not insert, because whether
+    /// the content is admitted at the edge depends on the routing
+    /// decision that *follows* the probe (coordinated content belongs
+    /// to its holder, not to whichever edge node was asked first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owning [`ShardedStore`] has been shut down.
+    pub fn probe(&self, content: ContentId) -> bool {
+        self.apply_inner(content, false)
+    }
+
+    fn apply_inner(&self, content: ContentId, insert: bool) -> bool {
         let mut set = self.inner.checkout_completion_set();
         let index = shard_of(content, self.shards());
         let lane = &mut set.lanes[index];
         self.inner.shards[index].send_control(ShardMsg::Apply {
             content,
+            insert,
             tag: 0,
             done: lane.tx.clone(),
         });
@@ -698,6 +722,24 @@ impl<J: Send + 'static> ShardHandle<J> {
     /// Panics if the owning [`ShardedStore`] has been shut down or
     /// `run` exceeds `u32::MAX` ops.
     pub fn apply_batch(&self, run: &[ContentId], hits: &mut Vec<bool>) {
+        self.apply_batch_inner(run, hits, true);
+    }
+
+    /// Batched [`ShardHandle::probe`]: every content in `run` is
+    /// probed against its owning shard (hit → touch, miss → store
+    /// untouched) and `hits` is filled with per-op verdicts in input
+    /// order, with the same windowed in-flight pipeline as
+    /// [`ShardHandle::apply_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owning [`ShardedStore`] has been shut down or
+    /// `run` exceeds `u32::MAX` ops.
+    pub fn probe_batch(&self, run: &[ContentId], hits: &mut Vec<bool>) {
+        self.apply_batch_inner(run, hits, false);
+    }
+
+    fn apply_batch_inner(&self, run: &[ContentId], hits: &mut Vec<bool>, insert: bool) {
         hits.clear();
         hits.resize(run.len(), false);
         if run.is_empty() {
@@ -724,7 +766,7 @@ impl<J: Send + 'static> ShardHandle<J> {
                 let done = &set.lanes[index].tx;
                 while !ops.is_empty() {
                     let accepted = shard.queue.try_push_batch_map(ops, |(content, tag)| {
-                        ShardMsg::Apply { content, tag, done: done.clone() }
+                        ShardMsg::Apply { content, insert, tag, done: done.clone() }
                     });
                     if accepted == 0 {
                         std::thread::yield_now();
@@ -1099,11 +1141,11 @@ fn worker_loop<J, H>(
                         jobs += 1;
                         handler(store.as_mut(), job);
                     }
-                    ShardMsg::Apply { content, tag, done } => {
+                    ShardMsg::Apply { content, insert, tag, done } => {
                         let hit = store.contains(content);
                         if hit {
                             store.on_hit(content);
-                        } else {
+                        } else if insert {
                             store.on_data(content);
                         }
                         publish_reply(&done, Reply::Hit { tag, hit });

@@ -139,6 +139,35 @@ impl PhaseClock {
     }
 }
 
+/// Peer-forward round-trip statistics measured over real sockets,
+/// microseconds — only a wire-mode (multi-process) run can produce
+/// these.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerRttUs {
+    /// Fastest observed forward round-trip.
+    pub min: u64,
+    /// Mean forward round-trip.
+    pub mean: f64,
+    /// Slowest observed forward round-trip.
+    pub max: u64,
+}
+
+/// Wire-tier dimensions of a run: present iff the run drove real node
+/// processes over TCP. Mutually exclusive with the in-process
+/// `engine_worker_threads` / `engine_generator_threads` pair — a
+/// manifest carries one serving mode, never both, so a wire-mode
+/// report cannot masquerade as an in-process one (or vice versa).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireManifest {
+    /// Listen address of every node process, indexed by node id.
+    pub listen_addrs: Vec<String>,
+    /// Final config epoch the cluster converged on (1 + one bump per
+    /// revival).
+    pub config_epoch: u64,
+    /// Measured peer-forward RTT stats, when any forward completed.
+    pub peer_rtt_us: Option<PeerRttUs>,
+}
+
 /// The conditions a run was measured under — see [`MANIFEST_SCHEMA`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -161,6 +190,9 @@ pub struct RunManifest {
     /// Engine load-generator threads, when the run drove the serving
     /// engine — same distinction as `engine_worker_threads`.
     pub engine_generator_threads: Option<usize>,
+    /// Wire-tier dimensions, when the run drove node *processes* over
+    /// TCP; mutually exclusive with the two fields above.
+    pub engine_wire: Option<WireManifest>,
     /// Logical CPUs available to the process.
     pub available_cores: usize,
     /// `git describe --always --dirty`, or `"unknown"`.
@@ -180,6 +212,13 @@ pub enum ManifestError {
     WrongSchema(String),
     /// A required key is missing or has the wrong type.
     MissingKey(String),
+    /// An `engine_*` key this schema does not define — a typo or a
+    /// forged dimension, either way not a manifest to trust.
+    UnknownEngineKey(String),
+    /// Engine fields are present but mutually contradictory (a thread
+    /// count with no engine phase, wire fields alongside in-process
+    /// ones, a lone worker count without its generator count, …).
+    Contradiction(String),
 }
 
 impl std::fmt::Display for ManifestError {
@@ -191,6 +230,12 @@ impl std::fmt::Display for ManifestError {
             }
             ManifestError::MissingKey(key) => {
                 write!(f, "manifest is missing required key {key:?}")
+            }
+            ManifestError::UnknownEngineKey(key) => {
+                write!(f, "manifest carries unknown engine key {key:?}")
+            }
+            ManifestError::Contradiction(reason) => {
+                write!(f, "manifest engine fields are contradictory: {reason}")
             }
         }
     }
@@ -220,6 +265,7 @@ impl RunManifest {
             effective_threads: effective_threads(requested_threads, cores),
             engine_worker_threads: None,
             engine_generator_threads: None,
+            engine_wire: None,
             available_cores: cores,
             git: git_describe(),
             smoke,
@@ -241,6 +287,16 @@ impl RunManifest {
     pub fn with_engine_threads(mut self, workers: usize, generators: usize) -> Self {
         self.engine_worker_threads = Some(workers);
         self.engine_generator_threads = Some(generators);
+        self
+    }
+
+    /// Records the wire-tier dimensions of a multi-process run
+    /// (builder style). Mutually exclusive with
+    /// [`RunManifest::with_engine_threads`] — validation rejects a
+    /// manifest carrying both serving modes.
+    #[must_use]
+    pub fn with_wire(mut self, wire: WireManifest) -> Self {
+        self.engine_wire = Some(wire);
         self
     }
 
@@ -311,6 +367,116 @@ impl RunManifest {
             let events = entry.get("events").and_then(Json::as_u64);
             phases.push(PhaseTiming { phase, wall_ms, events });
         }
+
+        // Engine-field discipline. The engine dimensions are the part
+        // of a manifest most worth forging (they say what actually
+        // served the requests), so they get strict checks: no unknown
+        // engine keys, no lone halves of a pair, no serving mode
+        // without an engine phase, and never both modes at once.
+        if let Json::Obj(fields) = doc {
+            for (key, _) in fields {
+                if key.starts_with("engine")
+                    && !matches!(
+                        key.as_str(),
+                        "engine_worker_threads" | "engine_generator_threads" | "engine_wire"
+                    )
+                {
+                    return Err(ManifestError::UnknownEngineKey(key.clone()));
+                }
+            }
+        }
+        // Optional, but present-with-wrong-type is an error — only
+        // truly absent keys (pre-existing manifests) may be None.
+        let opt_u64 = |key: &str| -> Result<Option<u64>, ManifestError> {
+            match doc.get(key) {
+                None => Ok(None),
+                Some(v) => {
+                    v.as_u64().map(Some).ok_or_else(|| ManifestError::MissingKey(key.to_owned()))
+                }
+            }
+        };
+        let engine_worker_threads = opt_u64("engine_worker_threads")?;
+        let engine_generator_threads = opt_u64("engine_generator_threads")?;
+        if engine_worker_threads.is_some() != engine_generator_threads.is_some() {
+            return Err(ManifestError::Contradiction(
+                "engine_worker_threads and engine_generator_threads must appear together".into(),
+            ));
+        }
+        let engine_wire = match doc.get("engine_wire") {
+            None => None,
+            Some(wire) => {
+                let addrs_json =
+                    wire.get("listen_addrs").and_then(Json::as_array).ok_or_else(|| {
+                        ManifestError::MissingKey("engine_wire.listen_addrs".to_owned())
+                    })?;
+                if addrs_json.is_empty() {
+                    return Err(ManifestError::Contradiction(
+                        "engine_wire.listen_addrs is empty — a wire run has at least one node"
+                            .into(),
+                    ));
+                }
+                let mut listen_addrs = Vec::with_capacity(addrs_json.len());
+                for addr in addrs_json {
+                    listen_addrs.push(
+                        addr.as_str()
+                            .ok_or_else(|| {
+                                ManifestError::MissingKey("engine_wire.listen_addrs[]".to_owned())
+                            })?
+                            .to_owned(),
+                    );
+                }
+                let config_epoch =
+                    wire.get("config_epoch").and_then(Json::as_u64).ok_or_else(|| {
+                        ManifestError::MissingKey("engine_wire.config_epoch".to_owned())
+                    })?;
+                if config_epoch == 0 {
+                    return Err(ManifestError::Contradiction(
+                        "engine_wire.config_epoch is 0 — a provisioned cluster starts at epoch 1"
+                            .into(),
+                    ));
+                }
+                let peer_rtt_us = match wire.get("peer_rtt_us") {
+                    None => {
+                        return Err(ManifestError::MissingKey("engine_wire.peer_rtt_us".to_owned()))
+                    }
+                    Some(Json::Null) => None,
+                    Some(rtt) => {
+                        let field = |key: &str| {
+                            rtt.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                                ManifestError::MissingKey(format!("engine_wire.peer_rtt_us.{key}"))
+                            })
+                        };
+                        let min = field("min")?;
+                        let max = field("max")?;
+                        let mean = rtt.get("mean").and_then(Json::as_f64).ok_or_else(|| {
+                            ManifestError::MissingKey("engine_wire.peer_rtt_us.mean".to_owned())
+                        })?;
+                        if min > max {
+                            return Err(ManifestError::Contradiction(format!(
+                                "peer_rtt_us min {min} exceeds max {max}"
+                            )));
+                        }
+                        Some(PeerRttUs { min, mean, max })
+                    }
+                };
+                Some(WireManifest { listen_addrs, config_epoch, peer_rtt_us })
+            }
+        };
+        if engine_wire.is_some() && engine_worker_threads.is_some() {
+            return Err(ManifestError::Contradiction(
+                "engine_wire and engine_worker_threads are mutually exclusive — a run serves \
+                 either over the wire or in-process, never both"
+                    .into(),
+            ));
+        }
+        if (engine_worker_threads.is_some() || engine_wire.is_some())
+            && !phases.iter().any(|p| p.events.is_some())
+        {
+            return Err(ManifestError::Contradiction(
+                "engine fields present but no phase carries events — nothing was served".into(),
+            ));
+        }
+
         Ok(RunManifest {
             tool: str_key("tool")?,
             name: str_key("name")?,
@@ -319,14 +485,11 @@ impl RunManifest {
             effective_threads: u64_key("effective_threads")? as usize,
             // Optional: only engine-driving runs record these, and
             // pre-existing manifests predate them entirely.
-            engine_worker_threads: doc
-                .get("engine_worker_threads")
-                .and_then(Json::as_u64)
-                .map(|v| v as usize),
-            engine_generator_threads: doc
-                .get("engine_generator_threads")
-                .and_then(Json::as_u64)
-                .map(|v| v as usize),
+            #[allow(clippy::cast_possible_truncation)]
+            engine_worker_threads: engine_worker_threads.map(|v| v as usize),
+            #[allow(clippy::cast_possible_truncation)]
+            engine_generator_threads: engine_generator_threads.map(|v| v as usize),
+            engine_wire,
             available_cores: u64_key("available_cores")? as usize,
             git: str_key("git")?,
             smoke: doc
@@ -354,6 +517,25 @@ impl ToJson for RunManifest {
         }
         if let Some(generators) = self.engine_generator_threads {
             doc = doc.field("engine_generator_threads", generators);
+        }
+        if let Some(wire) = &self.engine_wire {
+            let rtt = match &wire.peer_rtt_us {
+                Some(rtt) => Json::object()
+                    .field("min", rtt.min)
+                    .field("mean", rtt.mean)
+                    .field("max", rtt.max),
+                None => Json::Null,
+            };
+            doc = doc.field(
+                "engine_wire",
+                Json::object()
+                    .field(
+                        "listen_addrs",
+                        Json::Arr(wire.listen_addrs.iter().map(|a| Json::Str(a.clone())).collect()),
+                    )
+                    .field("config_epoch", wire.config_epoch)
+                    .field("peer_rtt_us", rtt),
+            );
         }
         doc.field("available_cores", self.available_cores)
             .field("git", self.git.as_str())
@@ -395,6 +577,7 @@ mod tests {
             effective_threads: 1,
             engine_worker_threads: None,
             engine_generator_threads: None,
+            engine_wire: None,
             available_cores: 1,
             git: "abc1234-dirty".into(),
             smoke: true,
@@ -421,6 +604,13 @@ mod tests {
         assert_eq!(RunManifest::from_json(&rendered).unwrap(), plain);
         // With them: recorded separately from the runner clamp — an
         // 8-worker engine run on this host must not be clamped.
+        // Engine fields require an events-bearing phase (something
+        // must actually have been served).
+        let plain = plain.with_phases(vec![PhaseTiming {
+            phase: "serve".into(),
+            wall_ms: 10.0,
+            events: Some(100),
+        }]);
         let engine = plain.clone().with_engine_threads(8, 2);
         assert_eq!(engine.engine_worker_threads, Some(8));
         let back = RunManifest::from_json(&engine.to_header_line()).unwrap();
@@ -457,6 +647,114 @@ mod tests {
             RunManifest::from_json(text),
             Err(ManifestError::MissingKey("phases[].events_per_sec".into()))
         );
+    }
+
+    fn served_phase() -> Vec<PhaseTiming> {
+        vec![PhaseTiming { phase: "serve".into(), wall_ms: 10.0, events: Some(100) }]
+    }
+
+    fn sample_wire() -> WireManifest {
+        WireManifest {
+            listen_addrs: vec!["127.0.0.1:4000".into(), "127.0.0.1:4001".into()],
+            config_epoch: 2,
+            peer_rtt_us: Some(PeerRttUs { min: 40, mean: 95.5, max: 800 }),
+        }
+    }
+
+    #[test]
+    fn wire_fields_round_trip() {
+        let m = RunManifest::capture("ccn", "wire-bench", 3, 1, false)
+            .with_phases(served_phase())
+            .with_wire(sample_wire());
+        let back = RunManifest::from_json(&m.to_header_line()).unwrap();
+        assert_eq!(back, m);
+        let wire = back.engine_wire.expect("wire fields survive");
+        assert_eq!(wire.listen_addrs.len(), 2);
+        assert_eq!(wire.config_epoch, 2);
+        assert_eq!(wire.peer_rtt_us.unwrap().max, 800);
+        // No measured forwards: peer_rtt_us serializes as null and
+        // round-trips as None.
+        let quiet = RunManifest::capture("ccn", "wire-bench", 3, 1, false)
+            .with_phases(served_phase())
+            .with_wire(WireManifest { peer_rtt_us: None, ..sample_wire() });
+        let back = RunManifest::from_json(&quiet.to_header_line()).unwrap();
+        assert_eq!(back.engine_wire.unwrap().peer_rtt_us, None);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_engine_keys() {
+        let m = RunManifest::capture("ccn", "serve", 1, 1, false).with_phases(served_phase());
+        let Json::Obj(mut fields) = m.to_json() else { unreachable!() };
+        fields.push(("engine_worker_treads".into(), Json::Int(8)));
+        let err = RunManifest::from_value(&Json::Obj(fields)).unwrap_err();
+        assert_eq!(err, ManifestError::UnknownEngineKey("engine_worker_treads".into()));
+    }
+
+    #[test]
+    fn validation_rejects_lone_engine_thread_halves() {
+        let m = RunManifest::capture("ccn", "serve", 1, 1, false).with_phases(served_phase());
+        let Json::Obj(mut fields) = m.to_json() else { unreachable!() };
+        fields.push(("engine_worker_threads".into(), Json::Int(8)));
+        let err = RunManifest::from_value(&Json::Obj(fields)).unwrap_err();
+        assert!(matches!(err, ManifestError::Contradiction(_)), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_engine_fields_without_an_events_phase() {
+        // engine_worker_threads with no phase that carries events:
+        // the manifest claims an engine served but nothing did.
+        let m = RunManifest::capture("ccn", "serve", 1, 1, false)
+            .with_engine_threads(8, 2)
+            .with_phases(vec![PhaseTiming { phase: "setup".into(), wall_ms: 1.0, events: None }]);
+        let err = RunManifest::from_value(&m.to_json()).unwrap_err();
+        assert!(matches!(err, ManifestError::Contradiction(_)), "{err}");
+        // Same rule for wire mode.
+        let m = RunManifest::capture("ccn", "wire", 1, 1, false).with_wire(sample_wire());
+        let err = RunManifest::from_value(&m.to_json()).unwrap_err();
+        assert!(matches!(err, ManifestError::Contradiction(_)), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_wire_masquerading_as_in_process() {
+        let m = RunManifest::capture("ccn", "wire", 1, 1, false)
+            .with_phases(served_phase())
+            .with_engine_threads(8, 2)
+            .with_wire(sample_wire());
+        let err = RunManifest::from_value(&m.to_json()).unwrap_err();
+        assert!(
+            matches!(&err, ManifestError::Contradiction(reason) if reason.contains("mutually")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validation_checks_wire_field_shapes() {
+        let base = RunManifest::capture("ccn", "wire", 1, 1, false).with_phases(served_phase());
+        // Empty address list.
+        let m = base.clone().with_wire(WireManifest {
+            listen_addrs: vec![],
+            config_epoch: 1,
+            peer_rtt_us: None,
+        });
+        assert!(matches!(
+            RunManifest::from_value(&m.to_json()).unwrap_err(),
+            ManifestError::Contradiction(_)
+        ));
+        // Epoch 0 never exists on a provisioned cluster.
+        let m = base.clone().with_wire(WireManifest { config_epoch: 0, ..sample_wire() });
+        assert!(matches!(
+            RunManifest::from_value(&m.to_json()).unwrap_err(),
+            ManifestError::Contradiction(_)
+        ));
+        // RTT min above max is a forged measurement.
+        let m = base.with_wire(WireManifest {
+            peer_rtt_us: Some(PeerRttUs { min: 900, mean: 95.0, max: 800 }),
+            ..sample_wire()
+        });
+        assert!(matches!(
+            RunManifest::from_value(&m.to_json()).unwrap_err(),
+            ManifestError::Contradiction(_)
+        ));
     }
 
     #[test]

@@ -383,3 +383,127 @@ fn slow_node_blows_deadlines_and_is_routed_around() {
     );
     assert_eq!(metrics.fault_log.len(), 1);
 }
+
+// ---------------------------------------------------------------------------
+// Multi-process wire chaos: the same three invariants, but with the
+// cluster split into real OS processes serving length-prefixed TCP
+// frames, and the fault a genuine SIGKILL instead of a plan event.
+// ---------------------------------------------------------------------------
+
+/// Locates the `ccn` binary next to this test executable, building it
+/// on demand (cheap when the workspace is already compiled).
+fn ccn_exe() -> std::path::PathBuf {
+    let mut dir = std::env::current_exe().expect("test executable path");
+    dir.pop();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let exe = dir.join(format!("ccn{}", std::env::consts::EXE_SUFFIX));
+    if exe.exists() {
+        return exe;
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let mut cmd = std::process::Command::new(cargo);
+    cmd.args(["build", "-p", "ccn-cli", "--bin", "ccn"]);
+    if dir.ends_with("release") {
+        cmd.arg("--release");
+    }
+    let status = cmd.status().expect("spawn cargo to build the ccn binary");
+    assert!(status.success(), "cargo build -p ccn-cli failed");
+    assert!(exe.exists(), "built ccn binary missing at {}", exe.display());
+    exe
+}
+
+fn wire_spec(seed: u64, horizon_ms: f64) -> ccn_engine::net::WireSpec {
+    let mut spec = ccn_engine::net::WireSpec::new(NODES);
+    spec.catalogue = CATALOGUE;
+    spec.capacity = CAPACITY;
+    spec.ell = 0.5;
+    spec.zipf_s = ZIPF_S;
+    spec.rate_per_node_per_ms = RATE_PER_MS;
+    spec.horizon_ms = horizon_ms;
+    spec.seed = seed;
+    spec.queue_capacity = 8_192;
+    spec.launch = ccn_engine::net::NodeLaunch::Exe(ccn_exe());
+    spec
+}
+
+/// SIGKILL one `ccn node` process mid-run, revive it later, and check
+/// the wire-tier analogues of the three chaos invariants:
+///
+/// 1. exact conservation, per node and in total, with the shed
+///    confined to the victim — a SIGKILL loses no survivor request;
+/// 2. single-share movement — every node's offered count equals the
+///    offline `zipf_irm` replay exactly, and each survivor's
+///    local-tier count is bit-identical to a never-faulted wire run
+///    (its own store and client stream are untouched by a peer's
+///    death, so only the victim's HRW share moves);
+/// 3. re-convergence — after the revival re-provision, tail-window
+///    tier fractions match the clean run within the 2% differential
+///    tolerance.
+#[test]
+fn sigkilled_node_process_sheds_only_its_own_share_and_reconverges() {
+    use ccn_engine::net::{wire_bench, WireFault, WireFaultKind, WireOutcome};
+
+    const SEED: u64 = 7;
+    const HORIZON_MS: f64 = 2_500.0;
+    const VICTIM: usize = 1;
+
+    let mut faulted_spec = wire_spec(SEED, HORIZON_MS);
+    faulted_spec.faults = vec![
+        WireFault { at_op: 2_400, kind: WireFaultKind::Kill(VICTIM) },
+        WireFault { at_op: 5_000, kind: WireFaultKind::Revive(VICTIM) },
+    ];
+    let faulted = wire_bench(&faulted_spec).expect("faulted wire run");
+    let clean = wire_bench(&wire_spec(SEED, HORIZON_MS)).expect("clean wire run");
+
+    // Invariant 1: conservation, and the shed belongs to the victim.
+    faulted.check_conservation().expect("faulted run conserves");
+    clean.check_conservation().expect("clean run conserves");
+    assert_eq!(clean.shed(), 0, "clean loopback run shed requests");
+    assert!(faulted.per_node[VICTIM].shed > 0, "SIGKILL shed nothing");
+    for (node, ledger) in faulted.per_node.iter().enumerate() {
+        if node != VICTIM {
+            assert_eq!(ledger.shed, 0, "survivor {node} shed requests");
+        }
+    }
+    assert_eq!(faulted.fault_log.len(), 2, "fault log: {:?}", faulted.fault_log);
+    assert_eq!(faulted.epoch, 2, "revival re-provision must bump the config epoch");
+
+    // Invariant 2: offered counts equal the offline replay exactly,
+    // and survivors' local tiers are bit-identical to the clean run.
+    let stream = replay(SEED, HORIZON_MS);
+    let mut expected = [0u64; NODES];
+    for request in &stream {
+        expected[request.router] += 1;
+    }
+    for (node, ledger) in faulted.per_node.iter().enumerate() {
+        assert_eq!(
+            ledger.offered, expected[node],
+            "node {node} offered count diverges from the zipf_irm replay"
+        );
+        assert_eq!(clean.per_node[node].offered, expected[node]);
+        if node != VICTIM {
+            assert_eq!(
+                ledger.local, clean.per_node[node].local,
+                "survivor {node} local tier moved — more than the victim's share shifted"
+            );
+        }
+    }
+
+    // Invariant 3: the post-revival tail re-converges.
+    let tail = faulted.tail_per_node.as_ref().expect("revival records a tail window");
+    let tail_offered: u64 = tail.iter().map(|l| l.offered).sum();
+    assert!(tail_offered > 500, "tail window too small to judge: {tail_offered}");
+    let (tail_local, tail_peer, tail_origin) = WireOutcome::tier_fractions(tail);
+    let (local, peer, origin) = WireOutcome::tier_fractions(&clean.per_node);
+    for (name, got, want) in
+        [("local", tail_local, local), ("peer", tail_peer, peer), ("origin", tail_origin, origin)]
+    {
+        assert!(
+            (got - want).abs() <= TOLERANCE,
+            "post-revival {name} fraction {got:.4} vs clean {want:.4} \
+             differs by more than {TOLERANCE}"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Wire-tier equivalence: the multi-process TCP serving tier must
+//! reproduce the in-process engine's tier economics.
+//!
+//! Both tiers drive the *identical* pre-drawn request stream — the
+//! wire driver issues the same single `zipf_irm` call as the
+//! in-process open-loop harness with one generator — and both
+//! provision the identical static stores (`x = round(ℓ·c)` slots of
+//! the coordinated slice plus the `c − x` popularity prefix). With
+//! static stores the tier a request lands in is a pure function of
+//! `(router, content)`, so agreement is not a statistical accident:
+//! any divergence beyond sampling tolerance means the wire path
+//! routes, forwards, or sheds differently than the engine it wraps.
+//!
+//! The acceptance bar mirrors tests/engine_vs_sim.rs: tier fractions
+//! within a 2% differential tolerance, conservation bit-exact.
+
+use ccn_engine::net::{wire_bench, NodeLaunch, WireOutcome, WireSpec};
+use ccn_engine::{serve_bench, ClusterConfig, OpenLoopConfig, ServeBenchConfig, StorePolicy};
+
+const NODES: usize = 3;
+const CATALOGUE: u64 = 200;
+const CAPACITY: u64 = 30;
+const ELL: f64 = 0.5;
+const ZIPF_S: f64 = 0.8;
+const RATE_PER_MS: f64 = 1.0;
+const HORIZON_MS: f64 = 2_000.0;
+const SEED: u64 = 42;
+/// The differential tolerance shared with tests/engine_vs_sim.rs.
+const TOLERANCE: f64 = 0.02;
+
+/// Locates the `ccn` binary next to this test executable, building it
+/// on demand (cheap when the workspace is already compiled).
+fn ccn_exe() -> std::path::PathBuf {
+    let mut dir = std::env::current_exe().expect("test executable path");
+    dir.pop();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let exe = dir.join(format!("ccn{}", std::env::consts::EXE_SUFFIX));
+    if exe.exists() {
+        return exe;
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let mut cmd = std::process::Command::new(cargo);
+    cmd.args(["build", "-p", "ccn-cli", "--bin", "ccn"]);
+    if dir.ends_with("release") {
+        cmd.arg("--release");
+    }
+    let status = cmd.status().expect("spawn cargo to build the ccn binary");
+    assert!(status.success(), "cargo build -p ccn-cli failed");
+    assert!(exe.exists(), "built ccn binary missing at {}", exe.display());
+    exe
+}
+
+fn wire_spec(launch: NodeLaunch) -> WireSpec {
+    let mut spec = WireSpec::new(NODES);
+    spec.catalogue = CATALOGUE;
+    spec.capacity = CAPACITY;
+    spec.ell = ELL;
+    spec.zipf_s = ZIPF_S;
+    spec.rate_per_node_per_ms = RATE_PER_MS;
+    spec.horizon_ms = HORIZON_MS;
+    spec.seed = SEED;
+    spec.queue_capacity = 8_192;
+    spec.launch = launch;
+    spec
+}
+
+fn engine_fractions() -> (u64, f64, f64, f64) {
+    let config = ServeBenchConfig {
+        cluster: ClusterConfig {
+            nodes: NODES,
+            shards_per_node: 1,
+            queue_capacity: 8_192,
+            catalogue: CATALOGUE,
+            capacity: CAPACITY,
+            ell: ELL,
+            policy: StorePolicy::Provisioned,
+            ..ClusterConfig::default()
+        },
+        load: OpenLoopConfig {
+            generators: 1,
+            zipf_s: ZIPF_S,
+            rate_per_node_per_ms: RATE_PER_MS,
+            horizon_ms: HORIZON_MS,
+            paced: false,
+            seed: SEED,
+            batch: 1,
+        },
+        faults: ccn_engine::FaultPlan::none(),
+    };
+    let outcome = serve_bench(&config).expect("in-process engine run");
+    assert_eq!(outcome.shed, 0, "deep queues must not shed");
+    (
+        outcome.offered,
+        outcome.fraction(ccn_sim::ServedBy::Local),
+        outcome.fraction(ccn_sim::ServedBy::Peer),
+        outcome.fraction(ccn_sim::ServedBy::Origin),
+    )
+}
+
+fn assert_matches_engine(outcome: &WireOutcome, label: &str) {
+    outcome.check_conservation().expect("wire run conserves");
+    assert_eq!(outcome.shed(), 0, "{label}: healthy loopback run shed requests");
+    let (offered, local, peer, origin) = engine_fractions();
+    assert_eq!(
+        outcome.offered(),
+        offered,
+        "{label}: wire driver drew a different request stream than the engine"
+    );
+    let (wire_local, wire_peer, wire_origin) = WireOutcome::tier_fractions(&outcome.per_node);
+    for (tier, got, want) in
+        [("local", wire_local, local), ("peer", wire_peer, peer), ("origin", wire_origin, origin)]
+    {
+        assert!(
+            (got - want).abs() <= TOLERANCE,
+            "{label}: {tier} fraction {got:.4} vs engine {want:.4} \
+             differs by more than {TOLERANCE}"
+        );
+    }
+    // The cluster really served over the wire: peer-tier hits require
+    // forward frames answered by a remote holder process.
+    assert!(wire_peer > 0.0, "{label}: no request was ever peer-served over the wire");
+}
+
+/// A ≥3-node cluster of real `ccn node` OS processes serves the Zipf
+/// stream with the same tier split as the in-process engine.
+#[test]
+fn multi_process_cluster_matches_in_process_engine_tiers() {
+    let outcome =
+        wire_bench(&wire_spec(NodeLaunch::Exe(ccn_exe()))).expect("multi-process wire run");
+    assert_eq!(outcome.listen_addrs.len(), NODES);
+    assert_matches_engine(&outcome, "processes");
+}
+
+/// The same equivalence holds with node servers as driver threads —
+/// isolating the wire protocol itself from process-spawn effects.
+#[test]
+fn in_process_wire_threads_match_engine_tiers() {
+    let outcome = wire_bench(&wire_spec(NodeLaunch::InProcess)).expect("threaded wire run");
+    assert_matches_engine(&outcome, "threads");
+}
