@@ -47,6 +47,12 @@ pub enum EngineError {
         op: String,
         /// The underlying I/O or protocol detail.
         detail: String,
+        /// `true` when the failure was a socket timeout
+        /// (`io::ErrorKind::WouldBlock` / `TimedOut`). Classified from
+        /// the error *kind*, never from platform-dependent error text
+        /// ("Resource temporarily unavailable" on Linux), so idle and
+        /// deadline decisions stay portable.
+        timeout: bool,
     },
     /// A wire frame violated the protocol: unknown kind, truncated
     /// payload, oversized length prefix, or a reply that does not
@@ -70,7 +76,7 @@ impl fmt::Display for EngineError {
             ),
             EngineError::Spawn { reason } => write!(f, "failed to spawn shard worker: {reason}"),
             EngineError::FaultSpec { reason } => write!(f, "invalid fault plan: {reason}"),
-            EngineError::Net { op, detail } => write!(f, "wire {op} failed: {detail}"),
+            EngineError::Net { op, detail, .. } => write!(f, "wire {op} failed: {detail}"),
             EngineError::Protocol { reason } => write!(f, "wire protocol violation: {reason}"),
         }
     }
@@ -107,7 +113,7 @@ mod tests {
         assert!(e.to_string().contains("resource exhausted"));
         let e = EngineError::FaultSpec { reason: "node 9 out of range".into() };
         assert!(e.to_string().contains("node 9 out of range"));
-        let e = EngineError::Net { op: "connect".into(), detail: "refused".into() };
+        let e = EngineError::Net { op: "connect".into(), detail: "refused".into(), timeout: false };
         assert!(e.to_string().contains("wire connect failed: refused"));
         let e = EngineError::Protocol { reason: "unknown frame kind 0x7f".into() };
         assert!(e.to_string().contains("unknown frame kind"));

@@ -153,7 +153,7 @@ pub const FWD_MISS: u8 = 1;
 pub const FWD_REFUSED: u8 = 2;
 
 fn net_err(op: &str, detail: impl std::fmt::Display) -> EngineError {
-    EngineError::Net { op: op.to_owned(), detail: detail.to_string() }
+    EngineError::Net { op: op.to_owned(), detail: detail.to_string(), timeout: false }
 }
 
 fn proto_err(reason: impl Into<String>) -> EngineError {
@@ -247,12 +247,19 @@ fn write_frame(stream: &mut TcpStream, body: &[u8]) -> Result<(), EngineError> {
     let mut framed = Vec::with_capacity(4 + body.len());
     put_u32(&mut framed, len);
     framed.extend_from_slice(body);
-    stream.write_all(&framed).map_err(|e| net_err("write-frame", e))?;
+    stream.write_all(&framed).map_err(|e| net_io_err("write-frame", &e))?;
     Ok(())
 }
 
 /// Reads one frame body (kind byte + payload), honouring the stream's
 /// read timeout. `Ok(None)` is a clean EOF on a frame boundary.
+///
+/// Only a timeout on the *first* header byte — a frame boundary — is
+/// classified as a timeout ([`is_timeout`]): it is safe to retry
+/// (idle) or re-route (deadline). Once any frame byte has been read,
+/// a stall leaves the stream desynchronized, so mid-frame errors are
+/// deliberately wrapped via [`net_err`] (never a timeout) and the
+/// caller drops the connection.
 fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, EngineError> {
     let mut header = [0u8; 4];
     match stream.read(&mut header) {
@@ -261,7 +268,7 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, EngineError> {
             stream.read_exact(&mut header[n..]).map_err(|e| net_err("read-frame", e))?;
         }
         Ok(_) => {}
-        Err(e) => return Err(net_err("read-frame", e)),
+        Err(e) => return Err(net_io_err("read-frame", &e)),
     }
     let len = u32::from_le_bytes(header);
     if len == 0 || len > MAX_FRAME {
@@ -273,12 +280,7 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, EngineError> {
 }
 
 fn is_timeout(e: &EngineError) -> bool {
-    match e {
-        EngineError::Net { detail, .. } => {
-            detail.contains("timed out") || detail.contains("would block")
-        }
-        _ => false,
-    }
+    matches!(e, EngineError::Net { timeout: true, .. })
 }
 
 // ---------------------------------------------------------------------------
@@ -811,12 +813,13 @@ fn connect_hello(addr: &str, my_id: u32, timeout: Duration) -> Result<TcpStream,
     Ok(stream)
 }
 
+/// Wraps an `io::Error`, classifying timeouts from its *kind*: Linux
+/// reports a socket read timeout as `WouldBlock` ("Resource
+/// temporarily unavailable"), other platforms as `TimedOut` — the
+/// display string is not portable, the kind is.
 fn net_io_err(op: &str, e: &io::Error) -> EngineError {
-    let detail = match e.kind() {
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => format!("timed out ({e})"),
-        _ => e.to_string(),
-    };
-    net_err(op, detail)
+    let timeout = matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut);
+    EngineError::Net { op: op.to_owned(), detail: e.to_string(), timeout }
 }
 
 /// One outbound connection to a peer node, lazily established and
@@ -959,6 +962,13 @@ struct NodeEngine {
     handle: crate::shard::ShardHandle<()>,
     routing: LiveRouting,
     peers: Vec<Option<PeerLink>>,
+    /// Producer lanes registered on `handle` for accepted
+    /// connections, carried across same-layout epoch swaps so a
+    /// re-provision registers only the *delta* — never the whole
+    /// connection census again. Mutated under the `NodeShared::engine`
+    /// read lock (accept path); read under the write lock
+    /// ([`provision_node`]), so the delta is exact.
+    lanes: AtomicU64,
 }
 
 struct NodeShared {
@@ -1050,15 +1060,25 @@ fn provision_node(shared: &NodeShared, p: Provision) -> Result<u64, EngineError>
     // re-provisioning survivors after a revival changed only peer
     // addresses) keeps the store, preserving cache warmth; a layout
     // change rebuilds it.
-    let (store, handle) = match guard.as_ref() {
-        Some(old) if old.provision.same_layout(&p) => (old.store.clone(), old.handle.clone()),
-        _ => build_store(&shared.config, &p)?,
+    let (store, handle, lanes) = match guard.as_ref() {
+        Some(old) if old.provision.same_layout(&p) => {
+            (old.store.clone(), old.handle.clone(), old.lanes.load(Ordering::Relaxed))
+        }
+        _ => {
+            let (store, handle) = build_store(&shared.config, &p)?;
+            (store, handle, 0)
+        }
     };
     // Keep the producer census honest: one lane per connection the
     // listener has already accepted (see module docs, *Ring
     // discipline* — under the forced-MPSC mode this is a no-op, but
     // it is the contract a future demotion-capable mode must honour).
-    for _ in 0..shared.stats.connections.load(Ordering::Relaxed) {
+    // A kept same-layout store already carries lanes for every
+    // connection accepted so far, so only the delta (connections that
+    // arrived before any engine existed) is registered — re-running
+    // the full census here would overcount on each re-provision.
+    let connections = shared.stats.connections.load(Ordering::Relaxed);
+    for _ in lanes..connections {
         handle.register_producer()?;
     }
     let peers = (0..p.nodes as usize)
@@ -1076,6 +1096,7 @@ fn provision_node(shared: &NodeShared, p: Provision) -> Result<u64, EngineError>
         store,
         handle,
         peers,
+        lanes: AtomicU64::new(connections.max(lanes)),
     });
     *guard = Some(engine);
     shared.epoch.store(p.epoch, Ordering::Release);
@@ -1250,11 +1271,23 @@ impl NodeServer {
                 }
                 match self.listener.accept() {
                     Ok((stream, _)) => {
-                        shared.stats.add(&shared.stats.connections);
-                        // Pre-register this connection's producer lane
-                        // before any of its traffic reaches the rings.
-                        if let Some(engine) = shared.current_engine() {
-                            let _ = engine.handle.register_producer();
+                        // Count + pre-register this connection's
+                        // producer lane (before any of its traffic
+                        // reaches the rings) under the engine read
+                        // lock: a concurrent config epoch holds the
+                        // write lock, so it sees either both effects
+                        // or neither and its census delta stays exact.
+                        {
+                            let guard = shared
+                                .engine
+                                .read()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            shared.stats.add(&shared.stats.connections);
+                            if let Some(engine) = guard.as_ref() {
+                                if engine.handle.register_producer().is_ok() {
+                                    engine.lanes.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
                         }
                         scope.spawn(move || serve_conn(shared, stream));
                     }
@@ -1964,6 +1997,24 @@ fn spawn_node(spec: &WireSpec, id: usize) -> Result<(RunningNode, String), Engin
     }
 }
 
+/// Hard bring-up abort: kills child processes (dropping a `Child`
+/// does *not* kill it — skipping this would orphan `ccn node`
+/// processes that serve forever) and joins thread nodes.
+fn teardown_nodes(running: Vec<Option<RunningNode>>) {
+    for node in running.into_iter().flatten() {
+        match node {
+            RunningNode::Proc { mut child, .. } => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            RunningNode::Thread { server, join } => {
+                server.request_shutdown();
+                let _ = join.join();
+            }
+        }
+    }
+}
+
 fn stop_node(running: RunningNode) -> Option<NodeStatsSnapshot> {
     match running {
         RunningNode::Proc { mut child, _stdout } => {
@@ -2053,10 +2104,16 @@ fn drive_node(
     total_offered: &AtomicU64,
     start: Instant,
 ) {
-    // Generous driver-side read timeout: the node may walk the whole
-    // retry ladder before answering a batch.
+    // Generous driver-side read timeout: a batch is served
+    // sequentially, so a slow-but-alive node may walk the whole retry
+    // ladder for *every* request in the batch before its one reply —
+    // the timeout must cover the worst-case batch, or legitimately
+    // served batches get misaccounted as shed at the driver edge.
     let ladder = spec.degrade.forward_deadline * (spec.degrade.forward_retries + 1);
-    let timeout = (ladder + Duration::from_secs(1)).max(Duration::from_secs(2));
+    let worst_batch = ladder
+        .checked_mul(u32::try_from(spec.batch.max(1)).unwrap_or(u32::MAX))
+        .unwrap_or(Duration::MAX);
+    let timeout = worst_batch.saturating_add(Duration::from_secs(1)).max(Duration::from_secs(2));
     let mut conn: Option<(TcpStream, u64)> = None;
     let mut i = 0usize;
     while i < requests.len() {
@@ -2126,18 +2183,7 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
                 addrs.push(addr);
             }
             Err(e) => {
-                for node in running.into_iter().flatten() {
-                    match node {
-                        RunningNode::Proc { mut child, .. } => {
-                            let _ = child.kill();
-                            let _ = child.wait();
-                        }
-                        RunningNode::Thread { server, join } => {
-                            server.request_shutdown();
-                            let _ = join.join();
-                        }
-                    }
-                }
+                teardown_nodes(running);
                 return Err(e);
             }
         }
@@ -2146,7 +2192,12 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
     let mut epoch = 1u64;
     let initial = spec.provision(epoch, addrs.clone());
     for addr in &addrs {
-        push_epoch_to(addr, &initial)?;
+        // A provisioning failure must tear down exactly like a spawn
+        // failure, or already-spawned node processes are orphaned.
+        if let Err(e) = push_epoch_to(addr, &initial) {
+            teardown_nodes(running);
+            return Err(e);
+        }
     }
 
     let slots: Vec<Mutex<NodeSlot>> = addrs
@@ -2392,6 +2443,85 @@ mod tests {
         let server = Arc::new(NodeServer::bind(NodeConfig::new(id)).expect("bind"));
         let addr = server.local_addr().to_string();
         (server, addr)
+    }
+
+    /// Regression: a socket read timeout must classify as a timeout
+    /// from its `io::ErrorKind`. On Linux it surfaces as `WouldBlock`
+    /// and displays as "Resource temporarily unavailable (os error
+    /// 11)" — the old string-match on "timed out" never saw it.
+    #[test]
+    fn frame_read_timeout_is_classified_by_kind() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let _server = listener.accept().expect("accept");
+        client.set_read_timeout(Some(Duration::from_millis(25))).expect("set timeout");
+        let err = read_frame(&mut client).expect_err("idle read must time out");
+        assert!(is_timeout(&err), "boundary read timeout must classify as timeout, got: {err}");
+    }
+
+    /// Regression: an idle connection must survive past the server's
+    /// 200ms per-connection read timeout — misclassifying that
+    /// timeout tore down every idle peer link and paced driver
+    /// connection, forcing spurious reconnects and degradation.
+    #[test]
+    fn idle_connection_survives_past_server_read_timeout() {
+        let (server, addr) = bind_node(0);
+        let runner = Arc::clone(&server);
+        let join = std::thread::spawn(move || runner.run());
+        let mut conn = connect_driver(&addr, Duration::from_secs(2)).expect("connect");
+        send_request(&mut conn, &Request::HealthProbe).expect("probe");
+        assert_eq!(recv_response(&mut conn).expect("ack"), Response::HealthAck { epoch: 0 });
+        // Idle well past the server's read timeout, then ask again on
+        // the *same* connection.
+        std::thread::sleep(Duration::from_millis(450));
+        send_request(&mut conn, &Request::HealthProbe).expect("probe after idle");
+        assert_eq!(
+            recv_response(&mut conn).expect("idle connection must still be served"),
+            Response::HealthAck { epoch: 0 }
+        );
+        send_request(&mut conn, &Request::Shutdown).expect("shutdown");
+        let _ = recv_response(&mut conn);
+        join.join().expect("join").expect("run");
+    }
+
+    /// Regression: a same-layout re-provision keeps the store and
+    /// must register producer lanes only for connections accepted
+    /// since the last epoch — re-running the whole connection census
+    /// overcounted producers on every epoch push.
+    #[test]
+    fn kept_store_reprovision_registers_only_the_lane_delta() {
+        let shared = NodeShared {
+            config: NodeConfig::new(0),
+            engine: RwLock::new(None),
+            epoch: AtomicU64::new(0),
+            stats: NodeStats::default(),
+            shutdown: AtomicBool::new(false),
+        };
+        // Three connections accepted before any engine existed.
+        shared.stats.connections.store(3, Ordering::Relaxed);
+        let spec = WireSpec::new(1);
+        let peers = vec!["127.0.0.1:1".to_owned()];
+        provision_node(&shared, spec.provision(1, peers.clone())).expect("epoch 1");
+        let first = shared.current_engine().expect("engine").handle.producer_census();
+        provision_node(&shared, spec.provision(2, peers.clone())).expect("epoch 2");
+        let engine = shared.current_engine().expect("engine");
+        assert_eq!(
+            engine.handle.producer_census(),
+            first,
+            "a same-layout epoch swap must not re-register the existing census"
+        );
+        // One more connection accepted between epochs (what the
+        // accept loop does): the next epoch registers no extras.
+        shared.stats.add(&shared.stats.connections);
+        engine.handle.register_producer().expect("register");
+        engine.lanes.fetch_add(1, Ordering::Relaxed);
+        provision_node(&shared, spec.provision(3, peers)).expect("epoch 3");
+        assert_eq!(
+            shared.current_engine().expect("engine").handle.producer_census(),
+            first + 1,
+            "exactly one lane per newly accepted connection"
+        );
     }
 
     #[test]
