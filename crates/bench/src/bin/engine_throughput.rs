@@ -105,6 +105,7 @@ fn engine_run(cores: usize, batch: usize, idle: IdleStrategy, smoke: bool) -> Se
             ..OpenLoopConfig::default()
         },
         faults: FaultPlan::none(),
+        adapt: None,
     }
 }
 

@@ -9,8 +9,9 @@ use ccn_engine::net::{
     WireLedger, WireOutcome, WireSpec,
 };
 use ccn_engine::{
-    serve_bench, ClusterConfig, DegradeConfig, FaultPlan, IdleStrategy, OpenLoopConfig, RingMode,
-    ServeBenchConfig, ShardPlacement, StorePolicy,
+    controller_json, serve_bench, ClusterConfig, ControllerConfig, ControllerReport, DegradeConfig,
+    DriftSegment, FaultPlan, IdleStrategy, OpenLoopConfig, RingMode, ServeBenchConfig,
+    ShardPlacement, StorePolicy,
 };
 use ccn_model::planner::{capacity_for_target_origin_load, plan, PlannerConfig};
 use ccn_model::{CacheModel, ModelParams};
@@ -78,6 +79,14 @@ COMMANDS
              --retries 2 (forward retry budget before origin)
              --timeout-threshold 16 (consecutive failures to mark a
                node down; 0 disables) --probation-ops 8192
+             --drift \"1.1@500\" (scripted popularity drift: switch the
+               request stream to Zipf s=S at MS ms, comma-separated)
+             --adapt false (true = live adaptive provisioning: re-fit
+               the exponent from the admission tap, re-solve the
+               optimum, re-slice through budgeted config epochs)
+             --adapt-interval-ms 50 --adapt-budget 256
+             --adapt-hysteresis 0.05 --adapt-min-window 2000
+             --adapt-decay 0.8
              --name SERVE --out SERVE.json
   node       run one cache node as a standalone TCP server (the unit
              the wire-bench coordinator spawns); prints `READY <addr>`
@@ -106,6 +115,10 @@ COMMANDS
              --in-process false (true = node servers as driver threads,
                loopback wire path without child processes)
              --node-exe <path> (child executable; default: this binary)
+             --adapt false (true = the driver runs the adaptive
+               controller: staged epoch pushes to every live node)
+             --adapt-interval-ms --adapt-budget --adapt-hysteresis
+             --adapt-min-window --adapt-decay
              --smoke false --name WIRE --out WIRE.json
   validate-manifest
              check that a JSON file carries a valid ccn.run-manifest/v1
@@ -465,7 +478,7 @@ fn parse_bool(args: &Args, flag: &str, default: &str) -> Result<bool, ArgError> 
 }
 
 fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
-    args.ensure_known(&[
+    let mut known = vec![
         "nodes",
         "shards",
         "generators",
@@ -492,7 +505,10 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
         "smoke",
         "name",
         "out",
-    ])?;
+        "drift",
+    ];
+    known.extend(ADAPT_FLAGS);
+    args.ensure_known(&known)?;
     let policy = match args.str_or("policy", "static").as_str() {
         "static" | "provisioned" => StorePolicy::Provisioned,
         "lru" | "dynamic" => StorePolicy::Lru,
@@ -569,8 +585,10 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
             paced: parse_bool(args, "paced", "false")?,
             seed: args.u64_or("seed", 42)?,
             batch: usize_flag("batch", 1)?,
+            drift: parse_drift_flag(&args.str_or("drift", ""))?,
         },
         faults,
+        adapt: parse_adapt_flags(args)?,
     };
     let smoke = parse_bool(args, "smoke", "false")?;
     let name = args.str_or("name", "SERVE");
@@ -582,10 +600,13 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
         // the manifest carries the fault dimension of the run.
         clock.lap_events("faults", outcome.fault_log.len() as u64);
     }
-    let manifest =
+    let mut manifest =
         RunManifest::capture("ccn", &name, config.load.seed, outcome.worker_threads, smoke)
             .with_engine_threads(outcome.worker_threads, outcome.generators)
             .with_phases(clock.finish());
+    if let Some(ctl) = &outcome.controller {
+        manifest = manifest.with_controller(controller_manifest(ctl));
+    }
     // Header to stderr, like `simulate`: stdout carries the summary.
     eprintln!("{}", manifest.to_header_line());
     let report = Json::object()
@@ -639,6 +660,9 @@ fn serve_bench_cmd(args: &Args) -> Result<String, ArgError> {
         "  accounting: completed + shed == offered ({} + {} == {})",
         outcome.completed, outcome.shed, outcome.offered
     );
+    if let Some(ctl) = &outcome.controller {
+        controller_summary(&mut out, ctl);
+    }
     if !config.faults.is_empty() {
         let _ = writeln!(
             out,
@@ -695,6 +719,91 @@ fn parse_degrade_flags(args: &Args) -> Result<DegradeConfig, ArgError> {
         timeout_threshold: u32_flag("timeout-threshold", defaults.timeout_threshold)?,
         probation_ops: args.u64_or("probation-ops", defaults.probation_ops)?,
     })
+}
+
+/// Every `--adapt*` flag both serving benches accept — `--adapt true`
+/// turns the run closed-loop, the rest tune the controller around its
+/// defaults.
+const ADAPT_FLAGS: [&str; 6] = [
+    "adapt",
+    "adapt-interval-ms",
+    "adapt-budget",
+    "adapt-hysteresis",
+    "adapt-min-window",
+    "adapt-decay",
+];
+
+fn parse_adapt_flags(args: &Args) -> Result<Option<ControllerConfig>, ArgError> {
+    if !parse_bool(args, "adapt", "false")? {
+        return Ok(None);
+    }
+    let defaults = ControllerConfig::default();
+    #[allow(clippy::cast_possible_truncation)]
+    Ok(Some(ControllerConfig {
+        decay: args.f64_or("adapt-decay", defaults.decay)?,
+        min_window: args.f64_or("adapt-min-window", defaults.min_window)?,
+        hysteresis: args.f64_or("adapt-hysteresis", defaults.hysteresis)?,
+        movement_budget: args.u64_or("adapt-budget", defaults.movement_budget)?,
+        tick_interval: std::time::Duration::from_millis(
+            args.u64_or("adapt-interval-ms", defaults.tick_interval.as_millis() as u64)?,
+        ),
+        ..defaults
+    }))
+}
+
+/// Parses `--drift "S@MS,S@MS"` into scripted exponent spans:
+/// `--drift 1.1@500` switches the request stream to `s = 1.1` at
+/// 500 ms into the run. Out-of-order spans are sorted by onset.
+fn parse_drift_flag(spec: &str) -> Result<Vec<DriftSegment>, ArgError> {
+    let mut segments = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let bad = |why: &str| ArgError(format!("--drift {part:?}: {why}"));
+        let (s, at) = part.split_once('@').ok_or_else(|| bad("expected S@MS"))?;
+        let zipf_s: f64 = s.trim().parse().map_err(|_| bad("S must be a Zipf exponent"))?;
+        let at_ms: f64 = at.trim().parse().map_err(|_| bad("MS must be an onset in ms"))?;
+        if !zipf_s.is_finite() || zipf_s <= 0.0 {
+            return Err(bad("S must be finite and positive"));
+        }
+        if !at_ms.is_finite() || at_ms < 0.0 {
+            return Err(bad("MS must be finite and non-negative"));
+        }
+        segments.push(DriftSegment { at_ms, zipf_s });
+    }
+    segments.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+    Ok(segments)
+}
+
+/// The manifest's `engine_controller` block, mirroring the report's
+/// `controller` JSON.
+fn controller_manifest(report: &ControllerReport) -> ccn_obs::ControllerManifest {
+    ccn_obs::ControllerManifest {
+        fitted_s: report.fitted_s,
+        window_weight: report.window_weight,
+        refits: report.refits,
+        holds: report.holds,
+        retargets: report.retargets,
+        epochs_issued: report.epochs_issued,
+        slices_moved: report.slices_moved,
+        final_ell: report.current_ell,
+        movement_budget: report.movement_budget,
+    }
+}
+
+/// One human summary line for an adaptive run's controller.
+fn controller_summary(out: &mut String, report: &ControllerReport) {
+    let fitted = report.fitted_s.map_or_else(|| "none".to_owned(), |s| format!("{s:.4}"));
+    let _ = writeln!(
+        out,
+        "  adaptive: fitted s {fitted}, {} refit(s), {} retarget(s), {} hold(s), \
+         {} epoch(s) issued moving {} slot(s) (budget {}), final ell {:.4}",
+        report.refits,
+        report.retargets,
+        report.holds,
+        report.epochs_issued,
+        report.slices_moved,
+        report.movement_budget,
+        report.current_ell,
+    );
 }
 
 fn node_cmd(args: &Args) -> Result<String, ArgError> {
@@ -827,6 +936,7 @@ fn wire_outcome_json(outcome: &WireOutcome) -> Json {
             .field("epochs_accepted", s.epochs_accepted)
             .field("connections", s.connections)
             .field("epoch", s.epoch)
+            .field("fitted_s", f64::from_bits(s.fitted_s_bits))
     };
     let mut json = Json::object()
         .field("nodes", outcome.nodes)
@@ -862,11 +972,12 @@ fn wire_outcome_json(outcome: &WireOutcome) -> Json {
         Some(tail) => json.field("tail_per_node", ledgers(tail)),
         None => json.field("tail_per_node", Json::Null),
     };
-    json
+    json.field("adaptive", outcome.controller.is_some())
+        .field("controller", outcome.controller.as_ref().map_or_else(Json::object, controller_json))
 }
 
 fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
-    args.ensure_known(&[
+    let mut known = vec![
         "nodes",
         "shards",
         "queue",
@@ -895,7 +1006,9 @@ fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
         "smoke",
         "name",
         "out",
-    ])?;
+    ];
+    known.extend(ADAPT_FLAGS);
+    args.ensure_known(&known)?;
     let usize_flag = |flag: &str, default: u64| -> Result<usize, ArgError> {
         usize::try_from(args.u64_or(flag, default)?).map_err(|e| ArgError(format!("--{flag}: {e}")))
     };
@@ -922,6 +1035,7 @@ fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
         ShardPlacement::new(usize_flag("cores", 0)?, parse_bool(args, "pin", "false")?);
     spec.degrade = parse_degrade_flags(args)?;
     spec.faults = parse_wire_faults(&args.str_or("faults", ""))?;
+    spec.adapt = parse_adapt_flags(args)?;
     spec.launch = if parse_bool(args, "in-process", "false")? {
         NodeLaunch::InProcess
     } else {
@@ -943,7 +1057,7 @@ fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
     }
     outcome.check_conservation().map_err(|e| ArgError(e.to_string()))?;
 
-    let manifest =
+    let mut manifest =
         RunManifest::capture("ccn", &name, spec.seed, spec.nodes * spec.shards_per_node, smoke)
             .with_wire(ccn_obs::WireManifest {
                 listen_addrs: outcome.listen_addrs.clone(),
@@ -951,6 +1065,9 @@ fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
                 peer_rtt_us: aggregate_rtt(&outcome.node_stats),
             })
             .with_phases(clock.finish());
+    if let Some(ctl) = &outcome.controller {
+        manifest = manifest.with_controller(controller_manifest(ctl));
+    }
     eprintln!("{}", manifest.to_header_line());
     let report = Json::object()
         .field("bench", name.as_str())
@@ -993,6 +1110,9 @@ fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
         outcome.shed(),
         outcome.offered()
     );
+    if let Some(ctl) = &outcome.controller {
+        controller_summary(&mut out, ctl);
+    }
     if let Some(tail) = &outcome.tail_per_node {
         let (tl, tp, to) = WireOutcome::tier_fractions(tail);
         let _ = writeln!(
@@ -1164,6 +1284,49 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.to_string().contains("fault"), "{err}");
+    }
+
+    #[test]
+    fn drift_flag_parses_spans_and_rejects_malformed_ones() {
+        let spans = parse_drift_flag("1.1@500, 0.7@1200").unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].zipf_s, 1.1);
+        assert_eq!(spans[0].at_ms, 500.0);
+        // Out-of-order spans sort by onset.
+        let sorted = parse_drift_flag("0.7@1200,1.1@500").unwrap();
+        assert_eq!(sorted[0].at_ms, 500.0);
+        assert!(parse_drift_flag("").unwrap().is_empty());
+        for bad in ["1.1", "x@500", "1.1@y", "-0.5@100", "1.1@-3", "inf@100"] {
+            assert!(parse_drift_flag(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn adapt_flags_build_a_controller_config() {
+        let tokens: Vec<String> = [
+            "serve-bench",
+            "--adapt",
+            "true",
+            "--adapt-budget",
+            "96",
+            "--adapt-interval-ms",
+            "10",
+            "--adapt-min-window",
+            "500",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let args = Args::parse(&tokens).unwrap();
+        let cfg = parse_adapt_flags(&args).unwrap().expect("adapt on");
+        assert_eq!(cfg.movement_budget, 96);
+        assert_eq!(cfg.tick_interval, std::time::Duration::from_millis(10));
+        assert_eq!(cfg.min_window, 500.0);
+        // Untouched knobs keep their defaults.
+        assert_eq!(cfg.hysteresis, ControllerConfig::default().hysteresis);
+        // Off by default: the tuning flags alone don't enable it.
+        let off = Args::parse(&["serve-bench".to_owned()]).unwrap();
+        assert!(parse_adapt_flags(&off).unwrap().is_none());
     }
 
     #[test]

@@ -14,7 +14,10 @@
 use ccn_model::ModelParams;
 use ccn_zipf::fit_mle;
 
-use crate::{CoordError, Coordinator, CoordinatorConfig, ProvisioningRound};
+use crate::{
+    rebalance_slices, CoordError, Coordinator, CoordinatorConfig, LayoutDelta, ProvisioningRound,
+    RouterAssignment,
+};
 
 /// Configuration of the adaptive loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,12 +51,17 @@ pub enum Adaptation {
         /// The optimum under the new estimate.
         candidate_ell: f64,
     },
-    /// Re-provisioned: a full coordination round was executed.
+    /// Re-provisioned: a full coordination round was executed. The
+    /// round's assignments are rebalanced against the previous layout
+    /// so routers keep slices they already hold where possible.
     Reprovisioned {
         /// Freshly estimated exponent.
         estimated_s: f64,
-        /// The executed round.
+        /// The executed round (assignments already rebalanced).
         round: ProvisioningRound,
+        /// Slots routers must actually fetch for this transition —
+        /// never more than a from-scratch recompute would move.
+        moved_slots: u64,
     },
 }
 
@@ -66,6 +74,7 @@ pub struct AdaptiveCoordinator {
     coordinator: Coordinator,
     window: Vec<u64>,
     current_ell: f64,
+    assignments: Vec<RouterAssignment>,
     rounds_executed: u64,
 }
 
@@ -86,6 +95,7 @@ impl AdaptiveCoordinator {
             coordinator,
             window: Vec::new(),
             current_ell: initial.strategy.ell_star,
+            assignments: initial.assignments,
             rounds_executed: 0,
         })
     }
@@ -100,6 +110,12 @@ impl AdaptiveCoordinator {
     #[must_use]
     pub fn rounds_executed(&self) -> u64 {
         self.rounds_executed
+    }
+
+    /// The currently enacted slice layout (rebalanced across rounds).
+    #[must_use]
+    pub fn assignments(&self) -> &[RouterAssignment] {
+        &self.assignments
     }
 
     /// Feeds observed request ranks into the sliding window.
@@ -129,11 +145,25 @@ impl AdaptiveCoordinator {
                 candidate_ell: candidate.ell_star,
             });
         }
-        let round = self.coordinator.provision(candidate_params)?;
+        let mut round = self.coordinator.provision(candidate_params)?;
+        // Re-slice against the layout routers already hold instead of
+        // recomputing from scratch: the geometry (prefix, x) comes
+        // from the fresh solve, but slice-to-router matching reuses
+        // the previous assignment so warm slices move only when they
+        // must.
+        if let Some(first) = round.assignments.first() {
+            let prefix = first.local_prefix;
+            let start = round.assignments.iter().map(|a| a.slice.start).min().unwrap_or(prefix + 1);
+            let x = first.slice_len();
+            round.assignments =
+                rebalance_slices(prefix, start, x, round.assignments.len(), &self.assignments);
+        }
+        let moved_slots = LayoutDelta::between(&self.assignments, &round.assignments).moved_slots();
+        self.assignments = round.assignments.clone();
         self.params = candidate_params;
         self.current_ell = round.strategy.ell_star;
         self.rounds_executed += 1;
-        Ok(Adaptation::Reprovisioned { estimated_s: fit.exponent, round })
+        Ok(Adaptation::Reprovisioned { estimated_s: fit.exponent, round, moved_slots })
     }
 }
 
@@ -188,14 +218,37 @@ mod tests {
         // The workload turns much more concentrated.
         a.observe(draw(1.6, 30_000, 3));
         match a.adapt().unwrap() {
-            Adaptation::Reprovisioned { estimated_s, round } => {
+            Adaptation::Reprovisioned { estimated_s, round, moved_slots } => {
                 assert!((estimated_s - 1.6).abs() < 0.1, "estimated {estimated_s}");
                 assert!(round.cost.messages > 0);
+                assert!(moved_slots > 0, "a real shift moves slices");
             }
             other => panic!("expected reprovisioning, got {other:?}"),
         }
         assert_eq!(a.rounds_executed(), 1);
         assert!((a.current_ell() - before).abs() > 0.05, "level actually moved");
+    }
+
+    #[test]
+    fn reprovisioning_reuses_the_previous_layout_as_baseline() {
+        let mut a = AdaptiveCoordinator::new(params(0.4), AdaptiveConfig::default()).unwrap();
+        let before = a.assignments().to_vec();
+        a.observe(draw(1.6, 30_000, 5));
+        let moved = match a.adapt().unwrap() {
+            Adaptation::Reprovisioned { moved_slots, .. } => moved_slots,
+            other => panic!("expected reprovisioning, got {other:?}"),
+        };
+        // The enacted delta must not exceed what a from-scratch
+        // recompute of the same geometry would have moved.
+        let after = a.assignments();
+        let first = &after[0];
+        let start = after.iter().map(|x| x.slice.start).min().unwrap();
+        let naive =
+            crate::contiguous_slices(first.local_prefix, start, first.slice_len(), after.len());
+        let naive_moved = crate::LayoutDelta::between(&before, &naive).moved_slots();
+        assert!(moved <= naive_moved, "rebalanced {moved} > naive {naive_moved}");
+        // The coordinator's tracked layout matches what it reported.
+        assert_eq!(crate::LayoutDelta::between(&before, after).moved_slots(), moved);
     }
 
     #[test]

@@ -57,12 +57,14 @@ pub mod rounds;
 mod assignment;
 mod coordinator;
 mod cost;
+mod delta;
 mod error;
 mod message;
 
 pub use assignment::{centrality_ordered_slices, contiguous_slices, slice_order, RouterAssignment};
 pub use coordinator::{Coordinator, CoordinatorConfig, ProvisioningRound};
 pub use cost::CostAccounting;
+pub use delta::{rebalance_slices, LayoutDelta, RouterMove};
 pub use error::CoordError;
 pub use message::Message;
 pub use rounds::{

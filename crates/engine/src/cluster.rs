@@ -41,12 +41,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use ccn_coord::contiguous_slices;
+use ccn_coord::{contiguous_slices, RouterAssignment};
 use ccn_obs::Histogram;
 use ccn_sim::store::{ContentStore, LruStore, StaticStore};
 use ccn_sim::{ContentId, ServedBy, TierCounts};
 
 use crate::affinity::ShardPlacement;
+use crate::control::RankTap;
 use crate::error::EngineError;
 use crate::fault::{
     AppliedFault, DegradeConfig, FaultController, FaultKind, FaultPlan, FaultState,
@@ -277,6 +278,11 @@ struct Shared {
     /// Whether the plan contains latency injections (slow/stall);
     /// lets the fault-free hot path skip the per-job injection check.
     injects_latency: bool,
+    /// Optional adaptive-controller rank tap. Unset taps cost one
+    /// relaxed pointer check per admission; set taps add two relaxed
+    /// stores per sampled request. Installed at most once, before
+    /// traffic, by [`Cluster::install_tap`].
+    tap: OnceLock<Arc<RankTap>>,
 }
 
 impl Shared {
@@ -440,6 +446,14 @@ fn process(shared: &Shared, node: usize, store: &mut dyn ContentStore, job: Job)
     }
 }
 
+/// Builds the provisioned (pinned) store for one shard of a node that
+/// holds popularity prefix `1..=prefix` plus coordinated `slice`:
+/// exactly the hybrid layout, filtered to the shard's ownership.
+fn provisioned_store(prefix: u64, slice: Range<u64>, shards: usize, shard: usize) -> StaticStore {
+    let pinned = (1..=prefix).chain(slice).map(ContentId).filter(|&c| shard_of(c, shards) == shard);
+    StaticStore::new(pinned)
+}
+
 /// Builds node `node`'s store for shard `shard`.
 fn make_store(config: &ClusterConfig, node: usize, shard: usize) -> Box<dyn ContentStore> {
     let shards = config.shards_per_node;
@@ -448,11 +462,7 @@ fn make_store(config: &ClusterConfig, node: usize, shard: usize) -> Box<dyn Cont
             let x = config.x();
             let prefix = config.local_prefix();
             let slice_start = prefix + 1 + node as u64 * x;
-            let pinned = (1..=prefix)
-                .chain(slice_start..slice_start + x)
-                .map(ContentId)
-                .filter(|&c| shard_of(c, shards) == shard);
-            Box::new(StaticStore::new(pinned))
+            Box::new(provisioned_store(prefix, slice_start..slice_start + x, shards, shard))
         }
         StorePolicy::Lru => {
             let base = config.capacity / shards as u64;
@@ -488,6 +498,9 @@ pub struct EngineMetrics {
     pub fault_served: u64,
     /// Requests shed at admission because their node was killed.
     pub shed_node_down: u64,
+    /// Final config epoch (1 = the layout never changed; each
+    /// [`Cluster::apply_layout`] bumps it).
+    pub config_epoch: u64,
     /// Nodes the health detector marked down during the run.
     pub health_marked_down: u64,
     /// Health-marked-down nodes revived by probation.
@@ -602,6 +615,7 @@ impl Cluster {
             faults: FaultState::new(config.nodes, config.shards_per_node),
             controller: FaultController::new(plan),
             injects_latency,
+            tap: OnceLock::new(),
         });
         let ring_mode = config.effective_ring_mode();
         let stores: Vec<ShardedStore<Job>> = (0..config.nodes)
@@ -715,6 +729,9 @@ impl Cluster {
         };
         let op = self.shared.ops.fetch_add(1, Ordering::AcqRel) + 1;
         self.shared.tick(op);
+        if let Some(tap) = self.shared.tap.get() {
+            tap.record(node, content);
+        }
         if self.shared.faults.node_killed(node) {
             self.shared.recorders[node].shed_node_down.fetch_add(1, Ordering::Relaxed);
             return false;
@@ -785,6 +802,83 @@ impl Cluster {
         self.shared.routing.epoch()
     }
 
+    /// The current config epoch (1 = the provisioned layout never
+    /// changed; each [`Cluster::apply_layout`] bumps it).
+    #[must_use]
+    pub fn config_epoch(&self) -> u64 {
+        self.shared.routing.config_epoch()
+    }
+
+    /// Installs an adaptive-controller rank tap on the admission
+    /// path. Must be called before traffic (requests offered earlier
+    /// are simply unsampled) and at most once.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a second tap, and a tap whose lane count does not
+    /// match the cluster's nodes.
+    pub fn install_tap(&self, tap: Arc<RankTap>) -> Result<(), EngineError> {
+        if tap.lanes() != self.config.nodes {
+            return Err(EngineError::InvalidConfig {
+                reason: format!(
+                    "rank tap has {} lanes, cluster has {} nodes",
+                    tap.lanes(),
+                    self.config.nodes
+                ),
+            });
+        }
+        self.shared.tap.set(tap).map_err(|_| EngineError::InvalidConfig {
+            reason: "a rank tap is already installed on this cluster".into(),
+        })
+    }
+
+    /// Installs a new slice layout as one config epoch: swaps the
+    /// routing table, then (under [`StorePolicy::Provisioned`])
+    /// re-pins every shard's store to the new prefix + slice through
+    /// the shard workers' store-replacement control message — warm
+    /// content outside the delta survives untouched in queue order.
+    ///
+    /// The routing swap and the per-shard re-pins are not atomic as a
+    /// group: a request routed between them may consult the new table
+    /// against a shard still holding the old slice. That window only
+    /// escalates the request one tier (holder miss → origin) — it
+    /// never loses a job, so `offered == completed + shed` holds
+    /// bit-exactly across every transition. LRU clusters skip the
+    /// re-pin entirely: their stores attract the new slice
+    /// organically.
+    ///
+    /// Returns the new config epoch.
+    ///
+    /// # Errors
+    ///
+    /// Rejects layouts that do not form a valid routing table for
+    /// this cluster's node count.
+    pub fn apply_layout(&self, assignments: &[RouterAssignment]) -> Result<u64, EngineError> {
+        let table = if assignments.iter().all(|a| a.slice_len() == 0) {
+            RoutingTable::empty(self.config.nodes)
+        } else {
+            RoutingTable::from_assignments(assignments, self.config.nodes)?
+        };
+        let epoch = self.shared.routing.install_table(table)?;
+        if self.config.policy == StorePolicy::Provisioned {
+            for a in assignments {
+                let handle = self.stores[a.router].handle();
+                for shard in 0..self.config.shards_per_node {
+                    handle.replace_store(
+                        shard,
+                        Box::new(provisioned_store(
+                            a.local_prefix,
+                            a.slice.clone(),
+                            self.config.shards_per_node,
+                            shard,
+                        )),
+                    );
+                }
+            }
+        }
+        Ok(epoch)
+    }
+
     /// Drains outstanding work, stops every shard worker, and returns
     /// the aggregated metrics.
     #[must_use]
@@ -836,6 +930,7 @@ impl Cluster {
             deadline_expired,
             fault_served,
             shed_node_down,
+            config_epoch: self.shared.routing.config_epoch(),
             health_marked_down: self.shared.faults.health_marked_down(),
             health_revived: self.shared.faults.health_revived(),
             routing_epoch: self.shared.routing.epoch(),
@@ -898,6 +993,9 @@ impl BatchSubmitter<'_> {
         // (epoch-N jobs already admitted complete under dead mode).
         let op = shared.ops.fetch_add(offered, Ordering::AcqRel) + offered;
         shared.tick(op);
+        if let Some(tap) = shared.tap.get() {
+            tap.record_run(node, contents);
+        }
         if shared.faults.node_killed(node) {
             shared.recorders[node].shed_node_down.fetch_add(offered, Ordering::Relaxed);
             contents.clear();

@@ -46,6 +46,13 @@
 //!   degradation ladder (deadline-bounded forwards, bounded
 //!   retry-with-backoff, dead-mode fault serving) that keeps
 //!   `completed + shed == offered` exact through any fault schedule.
+//! - [`control`] — the live adaptive-provisioning controller
+//!   ([`Controller`] / [`ClusterController`]): a lock-free sampled
+//!   [`RankTap`] on the admission path feeds a decayed
+//!   maximum-likelihood re-fit of the Zipf exponent; the paper's
+//!   exact optimum is re-solved under hysteresis, and retargets are
+//!   applied as an *incremental chain* of config epochs, each moving
+//!   at most a budgeted number of slice slots.
 //! - [`load`] — open-loop Poisson/Zipf generators
 //!   ([`load::drive`]) reusing `ccn_sim::workload`, so the engine and
 //!   the simulator can be fed bit-identical request streams; with
@@ -76,6 +83,7 @@
 
 pub mod affinity;
 pub mod cluster;
+pub mod control;
 pub mod error;
 pub mod fault;
 pub mod load;
@@ -90,11 +98,15 @@ pub use affinity::{available_cores, pin_current_thread, PinOutcome, ShardPlaceme
 pub use cluster::{
     BatchSubmitter, Cluster, ClusterConfig, EngineMetrics, StorePolicy, ENGINE_LATENCY_MS_BOUNDS,
 };
+pub use control::{
+    ClusterController, Controller, ControllerConfig, ControllerDecision, ControllerReport,
+    LayoutStep, RankTap, TapCursor,
+};
 pub use error::EngineError;
 pub use fault::{AppliedFault, DegradeConfig, FaultEvent, FaultKind, FaultPlan};
-pub use load::{LoadReport, OpenLoopConfig};
+pub use load::{DriftSegment, LoadReport, OpenLoopConfig};
 pub use net::{wire_bench, NodeLaunch, NodeServer, WireOutcome, WireSpec};
 pub use pad::CachePadded;
-pub use report::{serve_bench, ServeBenchConfig, ServeBenchOutcome};
+pub use report::{controller_json, serve_bench, ServeBenchConfig, ServeBenchOutcome};
 pub use routing::{LiveRouting, RoutingTable};
 pub use shard::{shard_of, IdleStrategy, RingMode, ShardHandle, ShardSpec, ShardedStore};

@@ -40,12 +40,24 @@ use crate::cluster::Cluster;
 use crate::error::EngineError;
 use crate::shard::shard_of;
 
+/// One scripted popularity change: from `at_ms` of workload time
+/// onward the offered traffic is drawn with exponent `zipf_s`
+/// (until the next segment, or the horizon).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSegment {
+    /// Workload time the new exponent takes effect, in milliseconds.
+    pub at_ms: f64,
+    /// The Zipf exponent from `at_ms` onward.
+    pub zipf_s: f64,
+}
+
 /// Configuration of one open-loop driving session.
 #[derive(Debug, Clone)]
 pub struct OpenLoopConfig {
     /// Generator (client) threads; clamped to the node count.
     pub generators: usize,
-    /// Zipf popularity exponent `s` of the offered traffic.
+    /// Zipf popularity exponent `s` of the offered traffic (until the
+    /// first [`DriftSegment`], if any).
     pub zipf_s: f64,
     /// Poisson arrival rate per node, in requests per millisecond of
     /// workload time.
@@ -66,6 +78,12 @@ pub struct OpenLoopConfig {
     /// claim. Tier attribution and (single-shard) determinism are
     /// batch-size invariant — property-tested in this module.
     pub batch: usize,
+    /// Scripted popularity drift: each segment switches the offered
+    /// exponent at its `at_ms`. Must be strictly increasing and
+    /// inside `(0, horizon_ms)`. Empty (the default) keeps `zipf_s`
+    /// for the whole run — and keeps the single-generator stream
+    /// bit-identical to the simulator's for the same seed.
+    pub drift: Vec<DriftSegment>,
 }
 
 impl Default for OpenLoopConfig {
@@ -78,8 +96,46 @@ impl Default for OpenLoopConfig {
             paced: false,
             seed: 42,
             batch: 1,
+            drift: Vec::new(),
         }
     }
+}
+
+impl OpenLoopConfig {
+    /// The run as constant-exponent spans `(start_ms, end_ms, s)`
+    /// covering `[0, horizon_ms)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects drift points that are not strictly increasing or lie
+    /// outside `(0, horizon_ms)`.
+    fn spans(&self) -> Result<Vec<(f64, f64, f64)>, EngineError> {
+        let mut spans = Vec::with_capacity(self.drift.len() + 1);
+        let mut start = 0.0;
+        let mut s = self.zipf_s;
+        for segment in &self.drift {
+            if !(segment.at_ms > start && segment.at_ms < self.horizon_ms) {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!(
+                        "drift point {} ms must be strictly increasing and inside (0, {})",
+                        segment.at_ms, self.horizon_ms
+                    ),
+                });
+            }
+            spans.push((start, segment.at_ms, s));
+            start = segment.at_ms;
+            s = segment.zipf_s;
+        }
+        spans.push((start, self.horizon_ms, s));
+        Ok(spans)
+    }
+}
+
+/// A deterministic per-(lane, span) workload seed: lanes already space
+/// by `+ g`, so spans mix a large odd constant to keep every
+/// (lane, span) stream independent of every other.
+fn span_seed(seed: u64, lane: usize, span: usize) -> u64 {
+    seed.wrapping_add(lane as u64).wrapping_add((span as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// What the generators offered and what admission did with it.
@@ -216,19 +272,29 @@ pub fn drive(cluster: &Cluster, config: &OpenLoopConfig) -> Result<LoadReport, E
         partitions[node % generators].push(node);
     }
     // Pre-draw every stream before starting the clock: sampling is
-    // not part of the measured serving path.
+    // not part of the measured serving path. Drifted runs concatenate
+    // one constant-exponent draw per span, shifted to span time.
+    let spans = config.spans()?;
     let streams = partitions
         .iter()
         .enumerate()
-        .map(|(g, owned)| {
-            workload::zipf_irm(
-                owned,
-                config.zipf_s,
-                catalogue,
-                config.rate_per_node_per_ms,
-                config.horizon_ms,
-                config.seed + g as u64,
-            )
+        .map(|(g, owned)| -> Result<Vec<Request>, EngineError> {
+            let mut stream = Vec::new();
+            for (j, &(span_start, span_end, s)) in spans.iter().enumerate() {
+                let mut part = workload::zipf_irm(
+                    owned,
+                    s,
+                    catalogue,
+                    config.rate_per_node_per_ms,
+                    span_end - span_start,
+                    span_seed(config.seed, g, j),
+                )?;
+                for request in &mut part {
+                    request.time += span_start;
+                }
+                stream.append(&mut part);
+            }
+            Ok(stream)
         })
         .collect::<Result<Vec<_>, _>>()?;
     // Register every lane in the producer census before any lane can
@@ -356,6 +422,63 @@ mod tests {
         let load = OpenLoopConfig { generators: 0, ..OpenLoopConfig::default() };
         assert!(drive(&cluster, &load).is_err());
         let _ = cluster.finish();
+    }
+
+    #[test]
+    fn drift_spans_cover_the_horizon_and_reject_bad_points() {
+        let base = OpenLoopConfig { horizon_ms: 100.0, zipf_s: 0.7, ..OpenLoopConfig::default() };
+        assert_eq!(base.spans().unwrap(), vec![(0.0, 100.0, 0.7)]);
+        let drifted = OpenLoopConfig {
+            drift: vec![
+                DriftSegment { at_ms: 40.0, zipf_s: 1.1 },
+                DriftSegment { at_ms: 70.0, zipf_s: 0.9 },
+            ],
+            ..base.clone()
+        };
+        assert_eq!(
+            drifted.spans().unwrap(),
+            vec![(0.0, 40.0, 0.7), (40.0, 70.0, 1.1), (70.0, 100.0, 0.9)]
+        );
+        for bad in [
+            vec![DriftSegment { at_ms: 0.0, zipf_s: 1.1 }],
+            vec![DriftSegment { at_ms: 100.0, zipf_s: 1.1 }],
+            vec![
+                DriftSegment { at_ms: 70.0, zipf_s: 1.1 },
+                DriftSegment { at_ms: 40.0, zipf_s: 0.9 },
+            ],
+        ] {
+            let config = OpenLoopConfig { drift: bad, ..base.clone() };
+            assert!(config.spans().is_err(), "accepted bad drift {:?}", config.drift);
+        }
+    }
+
+    #[test]
+    fn drifted_runs_stay_accounted_and_shift_the_popularity_mix() {
+        // s jumps 0.4 → 1.6 halfway: the second half concentrates on
+        // low ranks, so local hits (prefix + own slice) must rise.
+        let cluster = Cluster::new(small_cluster(1)).unwrap();
+        let load = OpenLoopConfig {
+            zipf_s: 0.4,
+            rate_per_node_per_ms: 2.0,
+            horizon_ms: 400.0,
+            drift: vec![DriftSegment { at_ms: 200.0, zipf_s: 1.6 }],
+            ..OpenLoopConfig::default()
+        };
+        let before = cluster.tier_totals();
+        let report = drive(&cluster, &load).unwrap();
+        cluster.drain();
+        let after = cluster.tier_totals();
+        let metrics = cluster.finish();
+        assert_eq!(report.offered, metrics.totals().total() + report.shed);
+        let local: u64 = after.iter().zip(&before).map(|(a, b)| a.local - b.local).sum();
+        let total: u64 = metrics.completed();
+        assert!(total > 1_000, "workload too small");
+        // A pure s=0.4 run over catalogue 2000 with capacity 50 hits
+        // locally well under half the time; the drifted second half
+        // pulls the blended local fraction up decisively.
+        #[allow(clippy::cast_precision_loss)]
+        let fraction = local as f64 / total as f64;
+        assert!(fraction > 0.3, "drift never concentrated traffic: {fraction}");
     }
 
     #[test]

@@ -99,12 +99,13 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use ccn_coord::contiguous_slices;
+use ccn_coord::{contiguous_slices, RouterAssignment};
 use ccn_sim::store::{ContentStore, LruStore, StaticStore};
 use ccn_sim::{workload, ContentId};
 
 use crate::affinity::ShardPlacement;
 use crate::cluster::StorePolicy;
+use crate::control::{Controller, ControllerConfig, ControllerReport, LayoutStep, RankTap};
 use crate::error::EngineError;
 use crate::fault::DegradeConfig;
 use crate::routing::{LiveRouting, RoutingTable};
@@ -314,8 +315,15 @@ pub struct Provision {
     pub capacity: u64,
     /// Local popularity prefix `c − x`.
     pub prefix: u64,
-    /// Coordinated slots per node `x`.
+    /// Coordinated slots per node `x` (for a mid-chain incremental
+    /// layout with uneven slices: the widest slice).
     pub x: u64,
+    /// The coordinator's fitted Zipf exponent at push time, `0.0` when
+    /// none (static provisioning, or no fit yet). Metadata only — it
+    /// is excluded from [`Provision::same_layout`] so a fit-only
+    /// change never discards cache warmth — carried so each node's
+    /// stats snapshot reports what the controller believed.
+    pub fitted_s: f64,
     /// Store population policy.
     pub policy: StorePolicy,
     /// Coordinated slice assignments (the `ccn_coord` plan).
@@ -402,6 +410,7 @@ impl Request {
                 put_u64(&mut buf, p.capacity);
                 put_u64(&mut buf, p.prefix);
                 put_u64(&mut buf, p.x);
+                put_u64(&mut buf, p.fitted_s.to_bits());
                 buf.push(match p.policy {
                     StorePolicy::Provisioned => 0,
                     StorePolicy::Lru => 1,
@@ -464,6 +473,7 @@ impl Request {
                 let capacity = c.u64()?;
                 let prefix = c.u64()?;
                 let x = c.u64()?;
+                let fitted_s = f64::from_bits(c.u64()?);
                 let policy = match c.u8()? {
                     0 => StorePolicy::Provisioned,
                     1 => StorePolicy::Lru,
@@ -492,6 +502,7 @@ impl Request {
                     capacity,
                     prefix,
                     x,
+                    fitted_s,
                     policy,
                     slices,
                     peers,
@@ -758,6 +769,11 @@ node_stats! {
     rtt_max_us,
     /// The node's config epoch at snapshot time.
     epoch,
+    /// `f64::to_bits` of the fitted Zipf exponent carried by the last
+    /// accepted provisioning push (0 = static provisioning / no fit).
+    /// Sits after `epoch` so an older peer's shorter reply still
+    /// decodes with this tail field zero.
+    fitted_s_bits,
 }
 
 impl NodeStats {
@@ -1102,6 +1118,7 @@ fn provision_node(shared: &NodeShared, p: Provision) -> Result<u64, EngineError>
     shared.epoch.store(p.epoch, Ordering::Release);
     shared.stats.add(&shared.stats.epochs_accepted);
     shared.stats.epoch.store(p.epoch, Ordering::Relaxed);
+    shared.stats.fitted_s_bits.store(p.fitted_s.to_bits(), Ordering::Relaxed);
     Ok(p.epoch)
 }
 
@@ -1575,6 +1592,10 @@ pub struct WireSpec {
     pub faults: Vec<WireFault>,
     /// How node serving loops are brought up.
     pub launch: NodeLaunch,
+    /// Run the adaptive-provisioning controller on the driver: sample
+    /// offered ranks, re-fit the exponent, and stage budgeted config
+    /// epochs to every live node ([`crate::control`]).
+    pub adapt: Option<ControllerConfig>,
 }
 
 impl WireSpec {
@@ -1601,6 +1622,7 @@ impl WireSpec {
             degrade: DegradeConfig::default(),
             faults: Vec::new(),
             launch: NodeLaunch::InProcess,
+            adapt: None,
         }
     }
 
@@ -1641,6 +1663,7 @@ impl WireSpec {
             capacity: self.capacity,
             prefix,
             x,
+            fitted_s: 0.0,
             policy: self.policy,
             slices,
             peers,
@@ -1671,6 +1694,9 @@ impl WireSpec {
             ));
         }
         wire_ring_mode(self.ring_mode)?;
+        if let Some(adapt) = &self.adapt {
+            adapt.validate(self.nodes)?;
+        }
         let mut dead = vec![false; self.nodes];
         let mut last_op = 0u64;
         for fault in &self.faults {
@@ -1803,6 +1829,9 @@ pub struct WireOutcome {
     pub fault_log: Vec<String>,
     /// Wall-clock duration of the driven phase, milliseconds.
     pub wall_ms: f64,
+    /// Decision log and counters of the driver-side adaptive
+    /// controller (present iff [`WireSpec::adapt`] was set).
+    pub controller: Option<ControllerReport>,
 }
 
 impl WireOutcome {
@@ -1877,6 +1906,85 @@ struct NodeSlot {
     addr: String,
     generation: u64,
     alive: bool,
+}
+
+/// The coordinator's single epoch authority, shared between the
+/// adaptive controller and the fault supervisor. Both issue config
+/// epochs; every bump-and-push happens under this lock, so epoch
+/// order equals layout order and a node applying the highest epoch it
+/// saw holds the newest layout.
+struct WireCtl {
+    epoch: u64,
+    /// The cumulative layout as of `epoch` — for an in-flight
+    /// incremental chain, the sum of every step issued so far.
+    assignments: Vec<RouterAssignment>,
+    fitted_s: f64,
+}
+
+impl WireCtl {
+    /// Builds the provisioning push for the current cumulative layout.
+    /// This is also the revival path: a node that was SIGKILLed
+    /// mid-chain and missed epochs receives the chain's *current*
+    /// state under the newest epoch — the partial chain re-pushed as
+    /// one frame.
+    fn provision(&self, spec: &WireSpec, peers: Vec<String>) -> Provision {
+        let prefix = self.assignments.first().map_or(0, |a| a.local_prefix);
+        let x = self.assignments.iter().map(|a| a.slice.end - a.slice.start).max().unwrap_or(0);
+        Provision {
+            epoch: self.epoch,
+            nodes: spec.nodes as u32,
+            catalogue: spec.catalogue,
+            capacity: spec.capacity,
+            prefix,
+            x,
+            fitted_s: self.fitted_s,
+            policy: spec.policy,
+            slices: self
+                .assignments
+                .iter()
+                .map(|a| SliceAssignment {
+                    node: a.router as u32,
+                    start: a.slice.start,
+                    end: a.slice.end,
+                })
+                .collect(),
+            peers,
+        }
+    }
+}
+
+/// Installs one controller chain step cluster-wide: bumps the epoch,
+/// records the new cumulative layout, and pushes it to every node
+/// whose slot is alive. A push to a node that died under the
+/// supervisor's feet simply fails — the revival path re-pushes the
+/// then-current layout. The [`WireCtl`] lock is held across the
+/// pushes to serialize with revival provisioning.
+fn push_wire_step(
+    spec: &WireSpec,
+    ctl: &Mutex<WireCtl>,
+    slots: &[Mutex<NodeSlot>],
+    step: &LayoutStep,
+    fitted_s: Option<f64>,
+) {
+    let mut ctl = lock_recover(ctl);
+    ctl.epoch += 1;
+    ctl.assignments = step.assignments.clone();
+    if let Some(s) = fitted_s {
+        ctl.fitted_s = s;
+    }
+    let snapshot: Vec<(String, bool)> = slots
+        .iter()
+        .map(|slot| {
+            let slot = lock_recover(slot);
+            (slot.addr.clone(), slot.alive)
+        })
+        .collect();
+    let push = ctl.provision(spec, snapshot.iter().map(|(addr, _)| addr.clone()).collect());
+    for (addr, alive) in &snapshot {
+        if *alive {
+            let _ = push_epoch_to(addr, &push);
+        }
+    }
 }
 
 fn connect_driver(addr: &str, timeout: Duration) -> Result<TcpStream, EngineError> {
@@ -2098,10 +2206,12 @@ fn send_batch(
 #[allow(clippy::too_many_arguments)]
 fn drive_node(
     spec: &WireSpec,
+    id: usize,
     requests: &[(f64, u64)],
     slot: &Mutex<NodeSlot>,
     cells: &LedgerCells,
     total_offered: &AtomicU64,
+    tap: Option<&RankTap>,
     start: Instant,
 ) {
     // Generous driver-side read timeout: a batch is served
@@ -2125,6 +2235,15 @@ fn drive_node(
         let n = batch.len() as u64;
         cells.offered.fetch_add(n, Ordering::Relaxed);
         total_offered.fetch_add(n, Ordering::Relaxed);
+        // Each node's driver thread is the single writer of its tap
+        // lane, so the lock-free sampling contract holds on the wire
+        // exactly as in-process. Ranks are recorded at offer time —
+        // the controller observes demand, served or shed.
+        if let Some(tap) = tap {
+            for &(_, content) in batch {
+                tap.record(id, ContentId(content));
+            }
+        }
         let contents: Vec<u64> = batch.iter().map(|&(_, c)| c).collect();
         match send_batch(&mut conn, slot, contents, timeout) {
             Some((local, peer, origin, shed)) => {
@@ -2158,6 +2277,17 @@ fn drive_node(
 /// [`EngineError::Accounting`] if the conservation invariant breaks.
 pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
     spec.validate()?;
+    let tap = match &spec.adapt {
+        Some(cfg) => Some(RankTap::new(spec.nodes, cfg.tap_capacity, cfg.sample_every)?),
+        None => None,
+    };
+    let mut planner = match spec.adapt {
+        Some(cfg) => {
+            Some(Controller::new(spec.nodes, spec.catalogue, spec.capacity, spec.ell, cfg)?)
+        }
+        None => None,
+    };
+    let controller_report: Mutex<Option<ControllerReport>> = Mutex::new(None);
     let all: Vec<usize> = (0..spec.nodes).collect();
     let stream = workload::zipf_irm(
         &all,
@@ -2189,8 +2319,7 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
         }
     }
 
-    let mut epoch = 1u64;
-    let initial = spec.provision(epoch, addrs.clone());
+    let initial = spec.provision(1, addrs.clone());
     for addr in &addrs {
         // A provisioning failure must tear down exactly like a spawn
         // failure, or already-spawned node processes are orphaned.
@@ -2199,6 +2328,23 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
             return Err(e);
         }
     }
+    // The epoch authority starts at the layout just provisioned —
+    // identical to the controller's baseline (both derive the epoch-1
+    // layout from `spec.ell` with the same rounding), so the first
+    // chain step moves exactly what the planner computed.
+    let ctl = Mutex::new(WireCtl {
+        epoch: 1,
+        assignments: initial
+            .slices
+            .iter()
+            .map(|s| RouterAssignment {
+                router: s.node as usize,
+                local_prefix: initial.prefix,
+                slice: s.start..s.end,
+            })
+            .collect(),
+        fitted_s: 0.0,
+    });
 
     let slots: Vec<Mutex<NodeSlot>> = addrs
         .iter()
@@ -2217,9 +2363,53 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
             let node_cells = &cells[id];
             let total = &total_offered;
             let done = &drivers_done;
+            let node_tap = tap.as_ref();
             scope.spawn(move || {
-                drive_node(spec, requests, slot, node_cells, total, start);
+                drive_node(spec, id, requests, slot, node_cells, total, node_tap, start);
                 done.fetch_add(1, Ordering::Release);
+            });
+        }
+
+        // Adaptive controller: drain the tap, re-fit, and stage
+        // budgeted epochs while the drivers run; once they finish,
+        // drain any pending chain so the cluster lands on the final
+        // layout before stats collection.
+        if let Some(cfg) = spec.adapt {
+            let mut planner = planner.take().expect("planner built for adaptive spec");
+            let tap = tap.as_ref().expect("tap built for adaptive spec");
+            let ctl = &ctl;
+            let slots = &slots[..];
+            let done_count = &drivers_done;
+            let report_slot = &controller_report;
+            scope.spawn(move || {
+                let mut cursor = tap.cursor();
+                let mut scratch: Vec<u64> = Vec::new();
+                loop {
+                    let done = done_count.load(Ordering::Acquire) == spec.nodes;
+                    scratch.clear();
+                    tap.drain(&mut cursor, &mut scratch);
+                    planner.observe(&scratch);
+                    match planner.plan() {
+                        Ok(Some(step)) => {
+                            push_wire_step(spec, ctl, slots, &step, planner.fitted());
+                        }
+                        Ok(None) => {}
+                        Err(_) => break,
+                    }
+                    if done {
+                        while planner.pending_steps() > 0 {
+                            match planner.plan() {
+                                Ok(Some(step)) => {
+                                    push_wire_step(spec, ctl, slots, &step, planner.fitted());
+                                }
+                                _ => break,
+                            }
+                        }
+                        break;
+                    }
+                    std::thread::sleep(cfg.tick_interval);
+                }
+                *lock_recover(report_slot) = Some(planner.report());
             });
         }
 
@@ -2256,14 +2446,24 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
                     Ok((node, addr)) => {
                         running[n] = Some(node);
                         addrs[n] = addr;
-                        epoch += 1;
-                        let push = spec.provision(epoch, addrs.clone());
-                        for (m, addr) in addrs.iter().enumerate() {
-                            let reachable = m == n || lock_recover(&slots[m]).alive;
-                            if reachable {
-                                if let Err(e) = push_epoch_to(addr, &push) {
-                                    fault_log
-                                        .push(format!("epoch-push-failed:{m}@{fired_at}: {e}"));
+                        // Re-provision everyone under the coordinator's
+                        // *current* cumulative layout — the controller
+                        // may have issued chain epochs since the kill,
+                        // and the revived node must not be resurrected
+                        // onto a stale slice plan. The ctl lock is held
+                        // across the pushes to serialize with
+                        // concurrent controller epochs.
+                        {
+                            let mut ctl_guard = lock_recover(&ctl);
+                            ctl_guard.epoch += 1;
+                            let push = ctl_guard.provision(spec, addrs.clone());
+                            for (m, addr) in addrs.iter().enumerate() {
+                                let reachable = m == n || lock_recover(&slots[m]).alive;
+                                if reachable {
+                                    if let Err(e) = push_epoch_to(addr, &push) {
+                                        fault_log
+                                            .push(format!("epoch-push-failed:{m}@{fired_at}: {e}"));
+                                    }
                                 }
                             }
                         }
@@ -2288,9 +2488,26 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
     #[allow(clippy::cast_precision_loss)]
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
+    // Staged-rollout convergence: re-push the final cumulative layout
+    // to every live node, so one that missed an epoch (a push racing
+    // its kill window, a transient socket failure) catches up before
+    // stats collection. Nodes already current just ack their epoch.
+    let controller = if spec.adapt.is_some() {
+        let push = lock_recover(&ctl).provision(spec, addrs.clone());
+        for (id, addr) in addrs.iter().enumerate() {
+            if lock_recover(&slots[id]).alive {
+                let _ = push_epoch_to(addr, &push);
+            }
+        }
+        lock_recover(&controller_report).take()
+    } else {
+        None
+    };
+
     // Collect final node-side stats from survivors, then shut every
     // node down in an orderly way.
     let mut node_stats: Vec<Option<NodeStatsSnapshot>> = vec![None; spec.nodes];
+    let mut alive_epochs: Vec<(usize, u64)> = Vec::new();
     for (id, addr) in addrs.iter().enumerate() {
         if !lock_recover(&slots[id]).alive {
             continue;
@@ -2298,6 +2515,7 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
         if let Ok(mut stream) = connect_driver(addr, Duration::from_secs(2)) {
             if send_request(&mut stream, &Request::Stats).is_ok() {
                 if let Ok(Response::StatsReply(snapshot)) = recv_response(&mut stream) {
+                    alive_epochs.push((id, snapshot.epoch));
                     node_stats[id] = Some(snapshot);
                 }
             }
@@ -2313,6 +2531,16 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
         }
     }
 
+    let epoch = lock_recover(&ctl).epoch;
+    if controller.is_some() {
+        if let Some(&(id, got)) = alive_epochs.iter().find(|&&(_, e)| e != epoch) {
+            return Err(proto_err(format!(
+                "staged rollout did not converge: node {id} reports epoch {got}, \
+                 coordinator finished at {epoch}"
+            )));
+        }
+    }
+
     let per_node: Vec<WireLedger> = cells.iter().map(LedgerCells::snapshot).collect();
     let tail_per_node = tail_base
         .map(|base| per_node.iter().zip(&base).map(|(now, then)| now.since(then)).collect());
@@ -2325,6 +2553,7 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
         node_stats,
         fault_log,
         wall_ms,
+        controller,
     };
     outcome.check_conservation()?;
     Ok(outcome)
@@ -2624,6 +2853,69 @@ mod tests {
         }
         let forwards: u64 = outcome.node_stats.iter().flatten().map(|s| s.forwards_in).sum();
         assert!(forwards > 0, "peer serving implies forward frames were exchanged");
+    }
+
+    #[test]
+    fn provision_fitted_exponent_roundtrips_and_is_layout_neutral() {
+        let mut p = sample_provision(4, vec!["127.0.0.1:4000".into()]);
+        p.fitted_s = 1.0625;
+        roundtrip_request(&Request::ConfigEpoch(p.clone()));
+        // A fit-only change must not read as a layout change, or every
+        // re-fit would cold-start every store in the cluster.
+        let mut q = p.clone();
+        q.epoch = 9;
+        q.fitted_s = 0.9;
+        assert!(p.same_layout(&q));
+    }
+
+    /// The wire tier's staged rollout: a deliberately mis-provisioned
+    /// cluster (ℓ far below the optimum for the true exponent) is
+    /// walked to the re-solved layout by the driver-side controller
+    /// through multiple budgeted epochs, and every node converges to
+    /// the same final epoch carrying the fitted-exponent snapshot.
+    #[test]
+    fn adaptive_wire_bench_stages_epochs_and_converges_every_node() {
+        let mut spec = WireSpec::new(3);
+        spec.ell = 0.2;
+        spec.zipf_s = 1.1;
+        spec.rate_per_node_per_ms = 4.0;
+        spec.horizon_ms = 600.0;
+        spec.paced = true;
+        spec.batch = 16;
+        spec.seed = 11;
+        spec.adapt = Some(ControllerConfig {
+            decay: 0.9,
+            min_window: 300.0,
+            movement_budget: 64,
+            sample_every: 1,
+            tick_interval: Duration::from_millis(5),
+            ..ControllerConfig::default()
+        });
+        let outcome = wire_bench(&spec).expect("adaptive wire bench");
+        outcome.check_conservation().expect("conservation");
+        let report = outcome.controller.as_ref().expect("controller report present");
+        assert!(report.retargets >= 1, "a mis-provisioned ell must retarget");
+        assert!(
+            report.epochs_issued >= 2,
+            "the retarget must be staged incrementally, got {} epochs",
+            report.epochs_issued
+        );
+        assert!(report.slices_moved > 0);
+        assert_eq!(
+            outcome.epoch,
+            1 + report.epochs_issued,
+            "every issued epoch must have landed cluster-wide"
+        );
+        let fitted = report.fitted_s.expect("a fit happened");
+        assert!((fitted - spec.zipf_s).abs() < 0.2, "fit {fitted} missed s={}", spec.zipf_s);
+        for stats in outcome.node_stats.iter().flatten() {
+            assert_eq!(stats.epoch, outcome.epoch, "all nodes converge to the same epoch");
+            let node_view = f64::from_bits(stats.fitted_s_bits);
+            assert!(
+                (node_view - fitted).abs() < 0.2,
+                "node stats carry the fitted snapshot, got {node_view}"
+            );
+        }
     }
 
     #[test]

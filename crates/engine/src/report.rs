@@ -9,9 +9,10 @@ use ccn_obs::Histogram;
 
 use crate::affinity::available_cores;
 use crate::cluster::{Cluster, ClusterConfig, StorePolicy};
+use crate::control::{ClusterController, ControllerConfig, ControllerReport};
 use crate::error::EngineError;
 use crate::fault::{AppliedFault, FaultPlan};
-use crate::load::{drive, OpenLoopConfig};
+use crate::load::{drive, LoadReport, OpenLoopConfig};
 use crate::shard::RingMode;
 
 /// Everything one serve-bench run needs.
@@ -24,6 +25,13 @@ pub struct ServeBenchConfig {
     /// Deterministic fault schedule replayed during the run
     /// ([`FaultPlan::none`] = the fault-free baseline).
     pub faults: FaultPlan,
+    /// Live adaptive provisioning: when set, a [`ClusterController`]
+    /// rides the run on its own thread, ticking every
+    /// [`ControllerConfig::tick_interval`] — re-fitting the exponent
+    /// from the admission tap and re-slicing the cluster through
+    /// budgeted incremental config epochs. `None` (the default) is
+    /// the static baseline.
+    pub adapt: Option<ControllerConfig>,
 }
 
 /// Results of one serve-bench run.
@@ -87,8 +95,14 @@ pub struct ServeBenchOutcome {
     pub health_revived: u64,
     /// Final routing epoch (1 = liveness never changed).
     pub routing_epoch: u64,
+    /// Final config epoch (1 = the layout never changed; adaptive
+    /// runs bump it once per issued incremental epoch).
+    pub config_epoch: u64,
     /// Every fault applied during the run, in application order.
     pub fault_log: Vec<AppliedFault>,
+    /// The adaptive controller's full observability snapshot (`None`
+    /// on static runs).
+    pub controller: Option<ControllerReport>,
 }
 
 impl ServeBenchOutcome {
@@ -142,6 +156,19 @@ impl ServeBenchOutcome {
         registry.counter("engine.faults.applied").add(self.fault_log.len() as u64);
         #[allow(clippy::cast_precision_loss)]
         registry.gauge("engine.routing.epoch").set(self.routing_epoch as f64);
+        #[allow(clippy::cast_precision_loss)]
+        registry.gauge("engine.config.epoch").set(self.config_epoch as f64);
+        if let Some(ctl) = &self.controller {
+            registry.counter("engine.controller.refits").add(ctl.refits);
+            registry.counter("engine.controller.holds").add(ctl.holds);
+            registry.counter("engine.controller.retargets").add(ctl.retargets);
+            registry.counter("engine.controller.epochs_issued").add(ctl.epochs_issued);
+            registry.counter("engine.controller.slices_moved").add(ctl.slices_moved);
+            registry.counter("engine.controller.samples_observed").add(ctl.samples_observed);
+            registry.gauge("engine.controller.fitted_s").set(ctl.fitted_s.unwrap_or(f64::NAN));
+            registry.gauge("engine.controller.current_ell").set(ctl.current_ell);
+            registry.gauge("engine.controller.window_weight").set(ctl.window_weight);
+        }
         #[allow(clippy::cast_precision_loss)]
         registry.gauge("engine.queue.max_depth").set(self.max_queue_depth as f64);
         registry.gauge("engine.throughput.req_per_sec").set(self.requests_per_sec);
@@ -213,6 +240,7 @@ impl ToJson for ServeBenchOutcome {
             .field("health_marked_down", self.health_marked_down)
             .field("health_revived", self.health_revived)
             .field("routing_epoch", self.routing_epoch)
+            .field("config_epoch", self.config_epoch)
             .field("faults_applied", self.fault_log.len() as u64)
             .field(
                 "fault_log",
@@ -221,8 +249,38 @@ impl ToJson for ServeBenchOutcome {
                 ),
             )
             .field("latency_ms", latency)
+            .field("adaptive", self.controller.is_some())
+            .field(
+                "controller",
+                self.controller.as_ref().map_or_else(Json::object, controller_json),
+            )
             .field("metrics", self.registry().to_json())
     }
+}
+
+/// The controller's observability snapshot as JSON — the shape the
+/// `engine_controller` manifest block mirrors. Shared by the
+/// in-process and wire reports so both render the controller
+/// identically.
+pub fn controller_json(report: &ControllerReport) -> Json {
+    Json::object()
+        .field("fitted_s", report.fitted_s.unwrap_or(f64::NAN))
+        .field("window_weight", report.window_weight)
+        .field("samples_observed", report.samples_observed)
+        .field("refits", report.refits)
+        .field("holds", report.holds)
+        .field("retargets", report.retargets)
+        .field("epochs_issued", report.epochs_issued)
+        .field("slices_moved", report.slices_moved)
+        .field("current_ell", report.current_ell)
+        .field("movement_budget", report.movement_budget)
+        .field("pending_steps", report.pending_steps as u64)
+        .field(
+            "decisions",
+            Json::from(
+                report.decisions.iter().map(|d| Json::from(d.to_string())).collect::<Vec<_>>(),
+            ),
+        )
 }
 
 /// Provisions a cluster, drives it, and verifies the accounting
@@ -235,7 +293,13 @@ impl ToJson for ServeBenchOutcome {
 /// (`completed + shed != offered` — an engine bug, never expected).
 pub fn serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchOutcome, EngineError> {
     let cluster = Cluster::with_faults(config.cluster.clone(), config.faults.clone())?;
-    let load = drive(&cluster, &config.load)?;
+    let (load, controller) = match config.adapt {
+        None => (drive(&cluster, &config.load)?, None),
+        Some(adapt) => {
+            let (load, report) = drive_adaptive(&cluster, &config.load, adapt)?;
+            (load, Some(report))
+        }
+    };
     let metrics = cluster.finish();
     let completed = metrics.completed();
     if completed + load.shed != load.offered {
@@ -272,9 +336,42 @@ pub fn serve_bench(config: &ServeBenchConfig) -> Result<ServeBenchOutcome, Engin
         health_marked_down: metrics.health_marked_down,
         health_revived: metrics.health_revived,
         routing_epoch: metrics.routing_epoch,
+        config_epoch: metrics.config_epoch,
         fault_log: metrics.fault_log,
+        controller,
         cluster: config.cluster.clone(),
         load: config.load.clone(),
+    })
+}
+
+/// Drives the load with a live controller riding the run on its own
+/// thread: ticks every `adapt.tick_interval` while the generators
+/// offer traffic, then — once the load stops — drains any pending
+/// epoch chain and takes one final fit over the tail of the window,
+/// so a drift late in the run still converges.
+fn drive_adaptive(
+    cluster: &Cluster,
+    load: &OpenLoopConfig,
+    adapt: ControllerConfig,
+) -> Result<(LoadReport, ControllerReport), EngineError> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let mut controller = ClusterController::attach(cluster, adapt)?;
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        let ticker = scope.spawn(move || -> Result<ControllerReport, EngineError> {
+            while !stop.load(Ordering::Acquire) {
+                controller.step(cluster)?;
+                std::thread::sleep(adapt.tick_interval);
+            }
+            controller.step(cluster)?;
+            controller.drain_chain(cluster)?;
+            Ok(controller.report())
+        });
+        let load_result = drive(cluster, load);
+        stop.store(true, Ordering::Release);
+        let report = ticker.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic))?;
+        Ok((load_result?, report))
     })
 }
 
@@ -296,6 +393,7 @@ mod tests {
                 ..OpenLoopConfig::default()
             },
             faults: FaultPlan::none(),
+            adapt: None,
         }
     }
 
@@ -366,6 +464,46 @@ mod tests {
         assert!(rendered.contains("engine.requests.offered"));
         assert!(rendered.contains("engine.faults.fault_served"));
         assert!(rendered.contains("engine.routing.epoch"));
+    }
+
+    #[test]
+    fn adaptive_run_reports_the_controller_and_stays_accounted() {
+        use crate::load::DriftSegment;
+        let mut config = smoke_config();
+        config.load.rate_per_node_per_ms = 4.0;
+        config.load.drift = vec![DriftSegment { at_ms: 100.0, zipf_s: 1.5 }];
+        config.adapt = Some(ControllerConfig {
+            min_window: 200.0,
+            sample_every: 1,
+            tick_interval: std::time::Duration::from_millis(2),
+            ..ControllerConfig::default()
+        });
+        let outcome = serve_bench(&config).unwrap();
+        assert_eq!(outcome.offered, outcome.completed + outcome.shed);
+        let ctl = outcome.controller.as_ref().expect("adaptive run must report its controller");
+        assert_eq!(ctl.pending_steps, 0, "the chain is drained before reporting");
+        assert_eq!(
+            outcome.config_epoch,
+            1 + ctl.epochs_issued,
+            "every issued epoch must be visible as a config-epoch bump"
+        );
+        let json = outcome.to_json();
+        assert_eq!(json.get("adaptive").and_then(Json::as_bool), Some(true));
+        let block = json.get("controller").expect("controller block");
+        assert_eq!(block.get("epochs_issued").and_then(Json::as_u64), Some(ctl.epochs_issued));
+        assert_eq!(block.get("movement_budget").and_then(Json::as_u64), Some(ctl.movement_budget));
+        let rendered = outcome.registry().to_json().to_string_compact();
+        assert!(rendered.contains("engine.controller.refits"));
+        assert!(rendered.contains("engine.config.epoch"));
+    }
+
+    #[test]
+    fn static_runs_report_no_controller() {
+        let outcome = serve_bench(&smoke_config()).unwrap();
+        assert!(outcome.controller.is_none());
+        assert_eq!(outcome.config_epoch, 1);
+        let json = outcome.to_json();
+        assert_eq!(json.get("adaptive").and_then(Json::as_bool), Some(false));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use ccn_coord::RouterAssignment;
 use ccn_sim::ContentId;
@@ -162,23 +163,33 @@ impl RoutingTable {
     }
 }
 
-/// A lock-free, epoch-stamped liveness view over a [`RoutingTable`].
+/// An epoch-stamped liveness-and-layout view over a [`RoutingTable`].
 ///
-/// The table's slice assignment is immutable for the life of the
-/// cluster; only *liveness* changes at runtime (plan-driven
-/// kill/revive, health-detector verdicts). `LiveRouting` keeps that
-/// mutable part in atomics so shard workers and submitters can route
-/// without locks, and stamps every liveness flip with a monotonically
-/// increasing **epoch**. In-flight operations routed under epoch N are
-/// never recalled when N+1 lands mid-batch: they complete (possibly
-/// degraded to origin) or shed under the accounting invariant, and
-/// only operations admitted after the flip see the new view.
+/// Two things change at runtime, on very different cadences:
+///
+/// - **Liveness** flips on every plan-driven kill/revive or
+///   health-detector verdict. It lives in atomics so shard workers and
+///   submitters can route without locks, and every effective flip
+///   bumps a monotone *liveness epoch*.
+/// - **Layout** changes only when the adaptive controller installs a
+///   re-slice ([`Self::install_table`]). The table sits behind an
+///   `RwLock<Arc<...>>`: the hot path takes an uncontended read lock
+///   and clones the `Arc` (the same per-request cost the wire tier
+///   already pays for its engine slot), and installs are stamped with
+///   a separate monotone *config epoch*.
+///
+/// In-flight operations routed under either epoch N are never recalled
+/// when N+1 lands mid-batch: they complete (possibly degraded to
+/// origin) or shed under the accounting invariant, and only operations
+/// admitted after the flip see the new view.
 #[derive(Debug)]
 pub struct LiveRouting {
-    table: RoutingTable,
+    table: RwLock<Arc<RoutingTable>>,
     live: Vec<AtomicBool>,
     /// Bumped on every effective liveness change; starts at 1.
     epoch: AtomicU64,
+    /// Bumped on every installed layout; starts at 1.
+    config_epoch: AtomicU64,
 }
 
 impl LiveRouting {
@@ -186,19 +197,56 @@ impl LiveRouting {
     #[must_use]
     pub fn new(table: RoutingTable) -> Self {
         let live = table.live.iter().map(|&up| AtomicBool::new(up)).collect();
-        Self { table, live, epoch: AtomicU64::new(1) }
+        Self {
+            table: RwLock::new(Arc::new(table)),
+            live,
+            epoch: AtomicU64::new(1),
+            config_epoch: AtomicU64::new(1),
+        }
     }
 
-    /// The immutable slice assignment underneath.
+    /// A snapshot of the current slice assignment. The snapshot is
+    /// immutable; a concurrent [`Self::install_table`] does not affect
+    /// lookups already made through it.
     #[must_use]
-    pub fn table(&self) -> &RoutingTable {
-        &self.table
+    pub fn table(&self) -> Arc<RoutingTable> {
+        Arc::clone(&self.table.read().unwrap_or_else(PoisonError::into_inner))
     }
 
-    /// The current routing epoch (1 at construction).
+    /// Atomically replaces the slice assignment, preserving the
+    /// liveness flags (a node that is down stays down across a
+    /// re-slice). Returns the new config epoch.
+    ///
+    /// # Errors
+    ///
+    /// Rejects tables routing over a different node count — the
+    /// cluster's membership is fixed; only the slicing moves.
+    pub fn install_table(&self, table: RoutingTable) -> Result<u64, EngineError> {
+        if table.nodes() != self.live.len() {
+            return Err(EngineError::InvalidConfig {
+                reason: format!(
+                    "installed table routes {} nodes, cluster has {}",
+                    table.nodes(),
+                    self.live.len()
+                ),
+            });
+        }
+        let mut slot = self.table.write().unwrap_or_else(PoisonError::into_inner);
+        *slot = Arc::new(table);
+        drop(slot);
+        Ok(self.config_epoch.fetch_add(1, Ordering::AcqRel) + 1)
+    }
+
+    /// The current liveness epoch (1 at construction).
     #[must_use]
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current layout (config) epoch (1 at construction).
+    #[must_use]
+    pub fn config_epoch(&self) -> u64 {
+        self.config_epoch.load(Ordering::Acquire)
     }
 
     /// Whether `node` is currently live.
@@ -225,14 +273,14 @@ impl LiveRouting {
     /// The assigned primary for `content`, live or not.
     #[must_use]
     pub fn primary(&self, content: ContentId) -> Option<usize> {
-        self.table.primary(content)
+        self.table().primary(content)
     }
 
     /// The live holder for `content` under the current epoch's view
     /// (see [`RoutingTable::holder`]).
     #[must_use]
     pub fn holder(&self, content: ContentId) -> Option<usize> {
-        self.table.holder_where(content, |node| self.live[node].load(Ordering::Acquire))
+        self.table().holder_where(content, |node| self.live[node].load(Ordering::Acquire))
     }
 }
 
@@ -289,6 +337,30 @@ mod tests {
         assert_eq!(lr.set_live(2, true), Some(3));
         assert_eq!(lr.epoch(), 3);
         assert_eq!(lr.live_count(), 4);
+    }
+
+    #[test]
+    fn install_table_reslices_while_preserving_liveness() {
+        let lr = LiveRouting::new(table(10, 4, 4));
+        assert_eq!(lr.config_epoch(), 1);
+        lr.set_live(2, false);
+        let epoch = lr.install_table(table(20, 6, 4)).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(lr.config_epoch(), 2);
+        assert!(!lr.is_live(2), "liveness survives the re-slice");
+        assert_eq!(lr.table().coordinated_range(), 21..21 + 24);
+        // The dead node's share of the *new* layout re-homes to
+        // survivors, same as under a static table.
+        for rank in lr.table().coordinated_range() {
+            let holder = lr.holder(ContentId(rank)).unwrap();
+            assert!(lr.is_live(holder), "rank {rank} routed to dead node");
+        }
+        // Membership is fixed: a table over a different node count is
+        // rejected and the epoch does not move.
+        assert!(lr.install_table(table(20, 6, 5)).is_err());
+        assert_eq!(lr.config_epoch(), 2);
+        // Liveness epochs stay independent of config epochs.
+        assert_eq!(lr.epoch(), 2, "one liveness flip so far");
     }
 
     #[test]

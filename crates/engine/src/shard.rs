@@ -202,6 +202,9 @@ enum Reply {
     Hit { tag: u32, hit: bool },
     /// `shard_contents` answer.
     Contents(Vec<ContentId>),
+    /// `replace_store` answer: the old store has been retired and the
+    /// worker now serves from the replacement.
+    Replaced,
 }
 
 /// Capacity of each completion ring — also the apply-batch window
@@ -283,6 +286,12 @@ enum ShardMsg<J> {
     Apply { content: ContentId, insert: bool, tag: u32, done: Producer<Reply> },
     /// Synchronous eviction-order snapshot of one shard's store.
     Snapshot { done: Producer<Reply> },
+    /// Synchronous store swap: the worker retires its current store
+    /// and serves every later message from `store`. Used by the
+    /// adaptive controller to re-pin a provisioned shard after a
+    /// re-slice without restarting the worker. Publishes
+    /// `Reply::Replaced` into `done` once the swap is visible.
+    Replace { store: Box<dyn ContentStore>, done: Producer<Reply> },
     /// Drain sentinel: the shard thread exits after seeing this.
     Stop,
 }
@@ -810,6 +819,26 @@ impl<J: Send + 'static> ShardHandle<J> {
         self.inner.return_completion_set(set);
     }
 
+    /// Synchronously swaps one shard worker's store for `store`,
+    /// blocking until the worker has retired the old one. Messages
+    /// already queued ahead of the swap run against the old store;
+    /// everything after runs against the new — there is no window
+    /// where the shard serves from neither.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or the owning
+    /// [`ShardedStore`] has been shut down.
+    pub fn replace_store(&self, shard: usize, store: Box<dyn ContentStore>) {
+        let mut set = self.inner.checkout_completion_set();
+        let lane = &mut set.lanes[shard];
+        self.inner.shards[shard].send_control(ShardMsg::Replace { store, done: lane.tx.clone() });
+        let Reply::Replaced = await_reply(&mut lane.rx) else {
+            unreachable!("replace always answers Replaced");
+        };
+        self.inner.return_completion_set(set);
+    }
+
     /// Eviction-order contents of one shard's store.
     ///
     /// # Panics
@@ -1162,6 +1191,10 @@ fn worker_loop<J, H>(
                     ShardMsg::Snapshot { done } => {
                         publish_reply(&done, Reply::Contents(store.contents()));
                     }
+                    ShardMsg::Replace { store: replacement, done } => {
+                        store = replacement;
+                        publish_reply(&done, Reply::Replaced);
+                    }
                     ShardMsg::Stop => {
                         stop = true;
                         break;
@@ -1258,6 +1291,39 @@ mod tests {
             }
         }
         assert_eq!(handle.contents().len(), 200);
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn replace_store_swaps_one_shard_and_keeps_the_rest_warm() {
+        let shards = 4;
+        let mut sharded = spawn_lru(shards, 64, 1_000);
+        let handle = sharded.handle();
+        for rank in 1..=200u64 {
+            handle.apply(ContentId(rank));
+        }
+        let before: Vec<Vec<ContentId>> = (0..shards).map(|s| handle.shard_contents(s)).collect();
+        // Re-pin shard 1 with a pre-warmed replacement store.
+        let mut replacement = LruStore::new(1_000);
+        let seeded: Vec<u64> =
+            (500..900u64).filter(|&r| shard_of(ContentId(r), shards) == 1).collect();
+        for &rank in &seeded {
+            replacement.on_data(ContentId(rank));
+        }
+        handle.replace_store(1, Box::new(replacement));
+        // Shard 1 now serves from the replacement; the others are
+        // untouched (warmth survives).
+        let swapped = handle.shard_contents(1);
+        assert_eq!(swapped.len(), seeded.len());
+        assert!(swapped.iter().all(|c| seeded.contains(&c.rank())));
+        for s in [0, 2, 3] {
+            assert_eq!(handle.shard_contents(s), before[s], "shard {s} disturbed");
+        }
+        // The swapped shard keeps working: hits on seeded content,
+        // misses (then inserts) on the evicted old contents.
+        assert!(handle.apply(ContentId(seeded[0])));
+        let old_on_shard_1 = before[1][0];
+        assert!(!handle.apply(old_on_shard_1), "old store's content must be gone");
         sharded.shutdown();
     }
 

@@ -168,6 +168,34 @@ pub struct WireManifest {
     pub peer_rtt_us: Option<PeerRttUs>,
 }
 
+/// Adaptive-controller dimensions of a run: present iff a live
+/// controller rode the run, re-fitting the popularity exponent and
+/// re-slicing the cluster through incremental config epochs. Composes
+/// with either serving mode (in-process or wire) but requires one —
+/// a controller cannot have steered a run that served nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerManifest {
+    /// Final fitted Zipf exponent (`None` = the decayed sample window
+    /// never reached `min_window`, so no fit happened).
+    pub fitted_s: Option<f64>,
+    /// Decayed sample-window weight when the run ended.
+    pub window_weight: f64,
+    /// Exponent re-fits performed.
+    pub refits: u64,
+    /// Re-fits absorbed by hysteresis (target unchanged).
+    pub holds: u64,
+    /// Times the controller adopted a new target ℓ*.
+    pub retargets: u64,
+    /// Incremental config epochs issued (each ≤ the movement budget).
+    pub epochs_issued: u64,
+    /// Store slots moved across all issued epochs.
+    pub slices_moved: u64,
+    /// Coordination level ℓ the run converged on.
+    pub final_ell: f64,
+    /// Per-epoch movement budget B the chain was split under.
+    pub movement_budget: u64,
+}
+
 /// The conditions a run was measured under — see [`MANIFEST_SCHEMA`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -193,6 +221,9 @@ pub struct RunManifest {
     /// Wire-tier dimensions, when the run drove node *processes* over
     /// TCP; mutually exclusive with the two fields above.
     pub engine_wire: Option<WireManifest>,
+    /// Adaptive-controller dimensions, when a live controller rode the
+    /// run; requires one of the serving modes above.
+    pub engine_controller: Option<ControllerManifest>,
     /// Logical CPUs available to the process.
     pub available_cores: usize,
     /// `git describe --always --dirty`, or `"unknown"`.
@@ -266,6 +297,7 @@ impl RunManifest {
             engine_worker_threads: None,
             engine_generator_threads: None,
             engine_wire: None,
+            engine_controller: None,
             available_cores: cores,
             git: git_describe(),
             smoke,
@@ -297,6 +329,17 @@ impl RunManifest {
     #[must_use]
     pub fn with_wire(mut self, wire: WireManifest) -> Self {
         self.engine_wire = Some(wire);
+        self
+    }
+
+    /// Records the adaptive-controller dimensions of a run (builder
+    /// style). Requires a serving mode —
+    /// [`RunManifest::with_engine_threads`] or
+    /// [`RunManifest::with_wire`] — or validation rejects the
+    /// manifest.
+    #[must_use]
+    pub fn with_controller(mut self, controller: ControllerManifest) -> Self {
+        self.engine_controller = Some(controller);
         self
     }
 
@@ -378,7 +421,10 @@ impl RunManifest {
                 if key.starts_with("engine")
                     && !matches!(
                         key.as_str(),
-                        "engine_worker_threads" | "engine_generator_threads" | "engine_wire"
+                        "engine_worker_threads"
+                            | "engine_generator_threads"
+                            | "engine_wire"
+                            | "engine_controller"
                     )
                 {
                     return Err(ManifestError::UnknownEngineKey(key.clone()));
@@ -469,6 +515,71 @@ impl RunManifest {
                     .into(),
             ));
         }
+        let engine_controller = match doc.get("engine_controller") {
+            None => None,
+            Some(ctl) => {
+                let field = |key: &str| {
+                    ctl.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                        ManifestError::MissingKey(format!("engine_controller.{key}"))
+                    })
+                };
+                let f64_field = |key: &str| {
+                    ctl.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                        ManifestError::MissingKey(format!("engine_controller.{key}"))
+                    })
+                };
+                let fitted_s = match ctl.get("fitted_s") {
+                    None => {
+                        return Err(ManifestError::MissingKey(
+                            "engine_controller.fitted_s".to_owned(),
+                        ))
+                    }
+                    Some(Json::Null) => None,
+                    Some(v) => Some(v.as_f64().ok_or_else(|| {
+                        ManifestError::MissingKey("engine_controller.fitted_s".to_owned())
+                    })?),
+                };
+                let refits = field("refits")?;
+                let epochs_issued = field("epochs_issued")?;
+                let slices_moved = field("slices_moved")?;
+                let movement_budget = field("movement_budget")?;
+                if movement_budget == 0 {
+                    return Err(ManifestError::Contradiction(
+                        "engine_controller.movement_budget is 0 — no epoch could ever move \
+                         anything"
+                            .into(),
+                    ));
+                }
+                if slices_moved > 0 && epochs_issued == 0 {
+                    return Err(ManifestError::Contradiction(
+                        "engine_controller moved slices without issuing an epoch".into(),
+                    ));
+                }
+                if fitted_s.is_some() && refits == 0 {
+                    return Err(ManifestError::Contradiction(
+                        "engine_controller carries a fitted exponent but zero refits".into(),
+                    ));
+                }
+                Some(ControllerManifest {
+                    fitted_s,
+                    window_weight: f64_field("window_weight")?,
+                    refits,
+                    holds: field("holds")?,
+                    retargets: field("retargets")?,
+                    epochs_issued,
+                    slices_moved,
+                    final_ell: f64_field("final_ell")?,
+                    movement_budget,
+                })
+            }
+        };
+        if engine_controller.is_some() && engine_worker_threads.is_none() && engine_wire.is_none() {
+            return Err(ManifestError::Contradiction(
+                "engine_controller present without a serving mode — a controller cannot have \
+                 steered a run that served nothing"
+                    .into(),
+            ));
+        }
         if (engine_worker_threads.is_some() || engine_wire.is_some())
             && !phases.iter().any(|p| p.events.is_some())
         {
@@ -490,6 +601,7 @@ impl RunManifest {
             #[allow(clippy::cast_possible_truncation)]
             engine_generator_threads: engine_generator_threads.map(|v| v as usize),
             engine_wire,
+            engine_controller,
             available_cores: u64_key("available_cores")? as usize,
             git: str_key("git")?,
             smoke: doc
@@ -537,6 +649,25 @@ impl ToJson for RunManifest {
                     .field("peer_rtt_us", rtt),
             );
         }
+        if let Some(ctl) = &self.engine_controller {
+            let fitted = match ctl.fitted_s {
+                Some(s) => Json::from(s),
+                None => Json::Null,
+            };
+            doc = doc.field(
+                "engine_controller",
+                Json::object()
+                    .field("fitted_s", fitted)
+                    .field("window_weight", ctl.window_weight)
+                    .field("refits", ctl.refits)
+                    .field("holds", ctl.holds)
+                    .field("retargets", ctl.retargets)
+                    .field("epochs_issued", ctl.epochs_issued)
+                    .field("slices_moved", ctl.slices_moved)
+                    .field("final_ell", ctl.final_ell)
+                    .field("movement_budget", ctl.movement_budget),
+            );
+        }
         doc.field("available_cores", self.available_cores)
             .field("git", self.git.as_str())
             .field("smoke", self.smoke)
@@ -578,6 +709,7 @@ mod tests {
             engine_worker_threads: None,
             engine_generator_threads: None,
             engine_wire: None,
+            engine_controller: None,
             available_cores: 1,
             git: "abc1234-dirty".into(),
             smoke: true,
@@ -679,6 +811,78 @@ mod tests {
             .with_wire(WireManifest { peer_rtt_us: None, ..sample_wire() });
         let back = RunManifest::from_json(&quiet.to_header_line()).unwrap();
         assert_eq!(back.engine_wire.unwrap().peer_rtt_us, None);
+    }
+
+    fn sample_controller() -> ControllerManifest {
+        ControllerManifest {
+            fitted_s: Some(1.097),
+            window_weight: 2_413.5,
+            refits: 14,
+            holds: 9,
+            retargets: 2,
+            epochs_issued: 6,
+            slices_moved: 310,
+            final_ell: 0.6812,
+            movement_budget: 64,
+        }
+    }
+
+    #[test]
+    fn controller_fields_round_trip_on_both_serving_modes() {
+        let base =
+            RunManifest::capture("ccn", "serve-bench", 1, 2, false).with_phases(served_phase());
+        let in_process =
+            base.clone().with_engine_threads(4, 1).with_controller(sample_controller());
+        let back = RunManifest::from_json(&in_process.to_header_line()).unwrap();
+        assert_eq!(back, in_process);
+        assert_eq!(back.engine_controller.unwrap().epochs_issued, 6);
+        let wire = base.with_wire(sample_wire()).with_controller(sample_controller());
+        let back = RunManifest::from_json(&wire.to_header_line()).unwrap();
+        assert_eq!(back, wire);
+        // A never-fitted controller (window never filled) serializes
+        // fitted_s as null and round-trips as None.
+        let unfitted = ControllerManifest {
+            fitted_s: None,
+            refits: 0,
+            retargets: 0,
+            epochs_issued: 0,
+            slices_moved: 0,
+            ..sample_controller()
+        };
+        let quiet = RunManifest::capture("ccn", "serve-bench", 1, 2, false)
+            .with_phases(served_phase())
+            .with_engine_threads(4, 1)
+            .with_controller(unfitted);
+        let back = RunManifest::from_json(&quiet.to_header_line()).unwrap();
+        assert_eq!(back.engine_controller.unwrap().fitted_s, None);
+    }
+
+    #[test]
+    fn validation_rejects_controller_contradictions() {
+        // A controller with no serving mode steered nothing.
+        let orphan = RunManifest::capture("ccn", "serve-bench", 1, 2, false)
+            .with_phases(served_phase())
+            .with_controller(sample_controller());
+        assert!(matches!(
+            RunManifest::from_json(&orphan.to_header_line()),
+            Err(ManifestError::Contradiction(_))
+        ));
+        let reject = |ctl: ControllerManifest| {
+            let m = RunManifest::capture("ccn", "serve-bench", 1, 2, false)
+                .with_phases(served_phase())
+                .with_engine_threads(4, 1)
+                .with_controller(ctl);
+            assert!(matches!(
+                RunManifest::from_json(&m.to_header_line()),
+                Err(ManifestError::Contradiction(_))
+            ));
+        };
+        // Zero budget could never have moved an epoch's worth.
+        reject(ControllerManifest { movement_budget: 0, ..sample_controller() });
+        // Moved slices imply issued epochs.
+        reject(ControllerManifest { epochs_issued: 0, ..sample_controller() });
+        // A fit implies at least one refit happened.
+        reject(ControllerManifest { refits: 0, ..sample_controller() });
     }
 
     #[test]

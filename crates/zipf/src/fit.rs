@@ -72,11 +72,35 @@ pub fn fit_mle(ranks: &[u64], catalogue: u64) -> Result<FitResult, ZipfError> {
         }
         sum_log += (k as f64).ln();
     }
-    let m = ranks.len() as f64;
+    fit_from_moments(sum_log, ranks.len() as f64, catalogue)
+}
+
+/// MLE fit from sufficient statistics: the negative log-likelihood
+/// `s·Σln(k) + m·ln(H_{N,s})` depends on the sample only through the
+/// (possibly decay-weighted) log-rank sum and the total weight, so a
+/// streaming estimator never has to retain or re-walk its window.
+///
+/// # Errors
+///
+/// [`ZipfError::InvalidCatalogue`] for `catalogue == 0`,
+/// [`ZipfError::DegenerateSample`] for an empty or non-finite window.
+pub(crate) fn fit_from_moments(
+    sum_log: f64,
+    weight: f64,
+    catalogue: u64,
+) -> Result<FitResult, ZipfError> {
+    if catalogue == 0 {
+        return Err(ZipfError::InvalidCatalogue { n: 0.0 });
+    }
+    if weight <= 0.0 || !weight.is_finite() || !sum_log.is_finite() {
+        return Err(ZipfError::DegenerateSample { reason: "empty or non-finite moment window" });
+    }
     // Negative log-likelihood, to minimize.
-    let nll = |s: f64| s * sum_log + m * generalized_harmonic(catalogue, s).ln();
+    let nll = |s: f64| s * sum_log + weight * generalized_harmonic(catalogue, s).ln();
     let (s_hat, value) = golden_section_min(nll, S_SEARCH.0, S_SEARCH.1);
-    Ok(FitResult { exponent: s_hat, score: -value, samples: ranks.len() })
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let samples = weight.round() as usize;
+    Ok(FitResult { exponent: s_hat, score: -value, samples })
 }
 
 /// Least-squares fit of `ln(count) = b - s·ln(rank)` on the rank–

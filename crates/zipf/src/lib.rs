@@ -32,7 +32,9 @@
 //! - [`mandelbrot`]: the Zipf–Mandelbrot head-flattening
 //!   generalization observed in real content traces;
 //! - [`space_saving`]: the Space-Saving heavy-hitter sketch for
-//!   online popularity tracking with bounded memory.
+//!   online popularity tracking with bounded memory;
+//! - [`streaming`]: exponentially decayed sufficient statistics for
+//!   online MLE refits under popularity drift.
 //!
 //! # Example
 //!
@@ -60,6 +62,7 @@ pub mod harmonic;
 pub mod mandelbrot;
 mod sampler;
 pub mod space_saving;
+pub mod streaming;
 
 pub use continuous::ContinuousZipf;
 pub use distribution::Zipf;
@@ -67,6 +70,7 @@ pub use error::ZipfError;
 pub use fit::{fit_log_log, fit_mandelbrot_mle, fit_mle, FitResult};
 pub use harmonic::{generalized_harmonic, generalized_harmonic_exact};
 pub use sampler::ZipfSampler;
+pub use streaming::StreamingFit;
 
 /// The open parameter domain for the Zipf exponent used throughout the
 /// paper: `s ∈ (0, 1) ∪ (1, 2)`.

@@ -41,12 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     coordinator.current_ell()
                 );
             }
-            Adaptation::Reprovisioned { estimated_s, round } => {
+            Adaptation::Reprovisioned { estimated_s, round, moved_slots } => {
                 println!(
-                    "epoch {epoch}: s_true={s_true} — estimated s={estimated_s:.3}, REPROVISIONED to l={:.3} ({} messages, {} placement entries, {:.0} ms to converge)",
+                    "epoch {epoch}: s_true={s_true} — estimated s={estimated_s:.3}, REPROVISIONED to l={:.3} ({} messages, {} placement entries, {} store slots moved, {:.0} ms to converge)",
                     round.strategy.ell_star,
                     round.cost.messages,
                     round.cost.placement_entries,
+                    moved_slots,
                     round.cost.convergence_ms
                 );
             }

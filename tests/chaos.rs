@@ -68,6 +68,7 @@ fn chaos_load(seed: u64, horizon_ms: f64) -> OpenLoopConfig {
         paced: false,
         seed,
         batch: 1,
+        drift: Vec::new(),
     }
 }
 
@@ -504,6 +505,95 @@ fn sigkilled_node_process_sheds_only_its_own_share_and_reconverges() {
             (got - want).abs() <= TOLERANCE,
             "post-revival {name} fraction {got:.4} vs clean {want:.4} \
              differs by more than {TOLERANCE}"
+        );
+    }
+}
+
+/// SIGKILL a node process while the adaptive controller is walking
+/// the cluster through an incremental re-slice, then revive it. The
+/// cluster starts deliberately mis-provisioned (ℓ = 0.2 against an
+/// oracle ℓ* ≈ 0.65 for s = 0.8 at this geometry), so the controller
+/// re-fits and stages a long chain of tiny budgeted epochs; the
+/// victim dies partway through the rollout and misses an arbitrary
+/// suffix of the chain. On revival the coordinator re-pushes the
+/// chain's *cumulative* state — the partial epoch chain collapsed
+/// into one provision under the newest epoch — so the revived node
+/// rejoins on the current layout, every node converges to the same
+/// final epoch carrying the fitted-exponent snapshot (wire_bench
+/// verifies this internally before returning), and conservation
+/// stays bit-exact through kill, chain epochs, and revival alike.
+#[test]
+fn sigkill_mid_rollout_revives_onto_the_controllers_current_layout() {
+    use ccn_engine::net::{wire_bench, WireFault, WireFaultKind};
+    use ccn_engine::ControllerConfig;
+
+    const SEED: u64 = 19;
+    const HORIZON_MS: f64 = 2_500.0;
+    const VICTIM: usize = 2;
+
+    let mut spec = wire_spec(SEED, HORIZON_MS);
+    spec.ell = 0.2;
+    // Near-floor budget (3n + 1 = 10) splits the retarget into many
+    // small epochs, maximizing the window in which the SIGKILL lands
+    // mid-chain.
+    spec.adapt = Some(ControllerConfig {
+        decay: 0.9,
+        min_window: 150.0,
+        movement_budget: 12,
+        sample_every: 1,
+        tick_interval: Duration::from_millis(2),
+        ..ControllerConfig::default()
+    });
+    spec.faults = vec![
+        WireFault { at_op: 2_400, kind: WireFaultKind::Kill(VICTIM) },
+        WireFault { at_op: 5_000, kind: WireFaultKind::Revive(VICTIM) },
+    ];
+    let outcome = wire_bench(&spec).expect("adaptive faulted wire run");
+
+    // Conservation, bit-exact, per node and in total — across the
+    // SIGKILL, every chain epoch, and the revival re-provision.
+    outcome.check_conservation().expect("conservation");
+    assert!(outcome.per_node[VICTIM].shed > 0, "SIGKILL shed nothing");
+    for (node, ledger) in outcome.per_node.iter().enumerate() {
+        if node != VICTIM {
+            assert_eq!(ledger.shed, 0, "survivor {node} shed requests");
+        }
+    }
+    let stream = replay(SEED, HORIZON_MS);
+    let offered: u64 = outcome.per_node.iter().map(|l| l.offered).sum();
+    assert_eq!(offered, stream.len() as u64, "offered diverges from the zipf_irm replay");
+    assert_eq!(outcome.fault_log.len(), 2, "fault log: {:?}", outcome.fault_log);
+
+    // The controller really staged an incremental rollout: one
+    // retarget split across multiple budgeted epochs, plus exactly
+    // one revival bump.
+    let report = outcome.controller.as_ref().expect("controller report");
+    assert!(report.retargets >= 1, "mis-provisioned ell must retarget");
+    assert!(
+        report.epochs_issued >= 2,
+        "re-slice must be incremental, got {} epochs",
+        report.epochs_issued
+    );
+    assert_eq!(
+        outcome.epoch,
+        1 + report.epochs_issued + 1,
+        "final epoch = initial + chain steps + one revival bump"
+    );
+    let fitted = report.fitted_s.expect("a fit happened");
+    assert!((fitted - ZIPF_S).abs() < 0.2, "fit {fitted} missed s={ZIPF_S}");
+
+    // Every node — the revived victim included — finished on the
+    // coordinator's final epoch and carries the fitted-exponent
+    // snapshot it was re-provisioned with: the evidence that the
+    // revival push was the controller's current layout, not the
+    // stale bring-up provisioning.
+    for (node, stats) in outcome.node_stats.iter().enumerate() {
+        let stats = stats.as_ref().unwrap_or_else(|| panic!("node {node} stats missing"));
+        assert_eq!(stats.epoch, outcome.epoch, "node {node} not on the final epoch");
+        let node_view = f64::from_bits(stats.fitted_s_bits);
+        assert!(
+            (node_view - fitted).abs() < 0.2,
+            "node {node} fitted snapshot {node_view} diverges from the controller's {fitted}"
         );
     }
 }

@@ -64,6 +64,7 @@ fn engine_fractions(ell: f64, shards_per_node: usize, batch: usize) -> [f64; 3] 
         paced: false,
         seed: SEED,
         batch,
+        drift: Vec::new(),
     };
     let report = drive(&cluster, &load).expect("engine serves the workload");
     let metrics = cluster.finish();

@@ -86,8 +86,10 @@ fn engine_fractions() -> (u64, f64, f64, f64) {
             paced: false,
             seed: SEED,
             batch: 1,
+            drift: Vec::new(),
         },
         faults: ccn_engine::FaultPlan::none(),
+        adapt: None,
     };
     let outcome = serve_bench(&config).expect("in-process engine run");
     assert_eq!(outcome.shed, 0, "deep queues must not shed");
