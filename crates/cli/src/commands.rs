@@ -98,6 +98,11 @@ COMMANDS
              --cores 0 --pin false
              --deadline-us 1000000 --retries 2 --backoff-us 5
              --timeout-threshold 16
+             --window 8 (credit window on node→peer forward links;
+               1 = stop-and-wait) --wire-batch 64 (misses coalesced
+               per PeerForwardBatch frame)
+             --max-conns 1024 (accepted-connection cap; excess
+               accepts are refused with a typed frame)
   wire-bench run the serving benchmark over real sockets: a coordinator
              provisions a cluster of `ccn node` processes (or in-process
              threads) with versioned config epochs and drives the same
@@ -107,6 +112,9 @@ COMMANDS
              --catalogue 10000 --capacity 100 --ell 0.5 --s 0.8
              --rate 0.5 --duration 1000 --paced false
              --policy static|lru --seed 42 --batch 64
+             --window 8 (frames in flight per driver→node and
+               node→peer connection; 1 = PR 8 stop-and-wait)
+             --wire-batch 64 --max-conns 1024
              --idle spin-then-park --ring-mode auto --cores 0 --pin false
              --deadline-us --retries --backoff-us --timeout-threshold
              --faults \"kill:1@2000,revive:1@4000\" (forms: kill:N@OP
@@ -821,6 +829,9 @@ fn node_cmd(args: &Args) -> Result<String, ArgError> {
         "backoff-us",
         "timeout-threshold",
         "probation-ops",
+        "window",
+        "wire-batch",
+        "max-conns",
     ])?;
     let usize_flag = |flag: &str, default: u64| -> Result<usize, ArgError> {
         usize::try_from(args.u64_or(flag, default)?).map_err(|e| ArgError(format!("--{flag}: {e}")))
@@ -834,6 +845,9 @@ fn node_cmd(args: &Args) -> Result<String, ArgError> {
     config.placement =
         ShardPlacement::new(usize_flag("cores", 0)?, parse_bool(args, "pin", "false")?);
     config.degrade = parse_degrade_flags(args)?;
+    config.window = usize_flag("window", 8)?;
+    config.wire_batch = usize_flag("wire-batch", 64)?;
+    config.max_connections = usize_flag("max-conns", 1_024)?;
     let id = config.id;
     let server = NodeServer::bind(config).map_err(|e| ArgError(e.to_string()))?;
     // The spawning driver blocks on this line; flush before serving.
@@ -937,6 +951,12 @@ fn wire_outcome_json(outcome: &WireOutcome) -> Json {
             .field("connections", s.connections)
             .field("epoch", s.epoch)
             .field("fitted_s", f64::from_bits(s.fitted_s_bits))
+            .field("frames_in", s.frames_in)
+            .field("frames_out", s.frames_out)
+            .field("bytes_in", s.bytes_in)
+            .field("bytes_out", s.bytes_out)
+            .field("forward_batches", s.forward_batches)
+            .field("rejected_conns", s.rejected_conns)
     };
     let mut json = Json::object()
         .field("nodes", outcome.nodes)
@@ -972,8 +992,23 @@ fn wire_outcome_json(outcome: &WireOutcome) -> Json {
         Some(tail) => json.field("tail_per_node", ledgers(tail)),
         None => json.field("tail_per_node", Json::Null),
     };
+    let offered = outcome.offered();
+    let p = &outcome.pipeline;
     json.field("adaptive", outcome.controller.is_some())
         .field("controller", outcome.controller.as_ref().map_or_else(Json::object, controller_json))
+        .field(
+            "pipeline",
+            Json::object()
+                .field("window", p.window)
+                .field("wire_batch", p.wire_batch)
+                .field("max_in_flight", p.max_in_flight)
+                .field("frames_out", p.frames_out)
+                .field("frames_in", p.frames_in)
+                .field("bytes_out", p.bytes_out)
+                .field("bytes_in", p.bytes_in)
+                .field("frames_per_op", p.frames_per_op(offered))
+                .field("bytes_per_op", p.bytes_per_op(offered)),
+        )
 }
 
 fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
@@ -991,6 +1026,9 @@ fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
         "policy",
         "seed",
         "batch",
+        "window",
+        "wire-batch",
+        "max-conns",
         "idle",
         "ring-mode",
         "cores",
@@ -1029,6 +1067,9 @@ fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
     spec.paced = parse_bool(args, "paced", "false")?;
     spec.seed = args.u64_or("seed", 42)?;
     spec.batch = usize_flag("batch", 64)?;
+    spec.window = usize_flag("window", 8)?;
+    spec.wire_batch = usize_flag("wire-batch", 64)?;
+    spec.max_conns = usize_flag("max-conns", 1_024)?;
     spec.idle = parse_idle_flag(args)?;
     spec.ring_mode = parse_ring_mode_flag(args, "auto")?;
     spec.placement =
@@ -1063,6 +1104,13 @@ fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
                 listen_addrs: outcome.listen_addrs.clone(),
                 config_epoch: outcome.epoch,
                 peer_rtt_us: aggregate_rtt(&outcome.node_stats),
+                pipeline: Some(ccn_obs::WirePipelineManifest {
+                    window: outcome.pipeline.window,
+                    wire_batch: outcome.pipeline.wire_batch,
+                    max_in_flight: outcome.pipeline.max_in_flight,
+                    frames_per_op: outcome.pipeline.frames_per_op(outcome.offered()),
+                    bytes_per_op: outcome.pipeline.bytes_per_op(outcome.offered()),
+                }),
             })
             .with_phases(clock.finish());
     if let Some(ctl) = &outcome.controller {
@@ -1085,8 +1133,8 @@ fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "wire-bench {name}: {} node(s) x {} shard(s) as {launch}, batch {}, epoch {}",
-        outcome.nodes, spec.shards_per_node, spec.batch, outcome.epoch
+        "wire-bench {name}: {} node(s) x {} shard(s) as {launch}, batch {}, window {}, epoch {}",
+        outcome.nodes, spec.shards_per_node, spec.batch, spec.window, outcome.epoch
     );
     let _ = writeln!(
         out,
@@ -1095,6 +1143,15 @@ fn wire_bench_cmd(args: &Args) -> Result<String, ArgError> {
         outcome.wall_ms,
         outcome.completed(),
         outcome.shed()
+    );
+    let _ = writeln!(
+        out,
+        "  wire: {:.3} frames/op, {:.1} bytes/op, max {} in flight (window {}, wire-batch {})",
+        outcome.pipeline.frames_per_op(outcome.offered()),
+        outcome.pipeline.bytes_per_op(outcome.offered()),
+        outcome.pipeline.max_in_flight,
+        spec.window,
+        spec.wire_batch
     );
     let _ = writeln!(
         out,

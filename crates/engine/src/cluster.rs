@@ -81,6 +81,51 @@ pub enum StorePolicy {
     Lru,
 }
 
+/// Reusable grouping of a batch's misses by destination holder — the
+/// miss-coalescing hand-off between a probe sweep and the peer tier.
+/// The in-process [`BatchSubmitter`] coalesces per *shard ring*; the
+/// wire tier groups per *holder node* with this scratch so a burst of
+/// misses to one peer becomes one `PeerForwardBatch` frame instead of
+/// N single forwards. Holds item *indices* into the caller's batch,
+/// so the caller can map verdicts back to input order.
+///
+/// `reset` keeps the per-holder vectors, so a warm serve loop groups
+/// without allocating.
+#[derive(Debug, Default)]
+pub(crate) struct HolderGroups {
+    items: Vec<Vec<usize>>,
+    occupied: Vec<usize>,
+}
+
+impl HolderGroups {
+    /// Clears the grouping for a cluster of `holders` nodes.
+    pub(crate) fn reset(&mut self, holders: usize) {
+        for group in &mut self.items {
+            group.clear();
+        }
+        self.items.resize_with(holders, Vec::new);
+        self.occupied.clear();
+    }
+
+    /// Adds batch item `index` to `holder`'s group.
+    pub(crate) fn push(&mut self, holder: usize, index: usize) {
+        if self.items[holder].is_empty() {
+            self.occupied.push(holder);
+        }
+        self.items[holder].push(index);
+    }
+
+    /// Holders with at least one grouped item, in first-seen order.
+    pub(crate) fn occupied(&self) -> &[usize] {
+        &self.occupied
+    }
+
+    /// The batch indices grouped under `holder`.
+    pub(crate) fn items(&self, holder: usize) -> &[usize] {
+        &self.items[holder]
+    }
+}
+
 /// Static configuration of a serving cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {

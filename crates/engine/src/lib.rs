@@ -82,6 +82,8 @@
 #![deny(unsafe_code)]
 
 pub mod affinity;
+#[cfg(test)]
+mod alloc_count;
 pub mod cluster;
 pub mod control;
 pub mod error;
@@ -105,7 +107,7 @@ pub use control::{
 pub use error::EngineError;
 pub use fault::{AppliedFault, DegradeConfig, FaultEvent, FaultKind, FaultPlan};
 pub use load::{DriftSegment, LoadReport, OpenLoopConfig};
-pub use net::{wire_bench, NodeLaunch, NodeServer, WireOutcome, WireSpec};
+pub use net::{wire_bench, NodeLaunch, NodeServer, WireOutcome, WirePipelineStats, WireSpec};
 pub use pad::CachePadded;
 pub use report::{controller_json, serve_bench, ServeBenchConfig, ServeBenchOutcome};
 pub use routing::{LiveRouting, RoutingTable};

@@ -91,6 +91,7 @@
 //! so the census stays honest even if a future mode re-enables
 //! demotion. See `late_remote_producer_cannot_corrupt_sealed_ring`.
 
+use std::collections::VecDeque;
 use std::io::{self, BufRead as _, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs as _};
 use std::path::PathBuf;
@@ -116,8 +117,13 @@ use crate::shard::{lock_recover, shard_of, IdleStrategy, RingMode, ShardSpec, Sh
 /// corrupt length prefix cannot balloon an allocation.
 pub const MAX_FRAME: u32 = 1 << 20;
 
-/// Wire protocol version, carried in `Hello`.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Wire protocol version, carried in `Hello` and answered in
+/// `HelloAck`. Version 2 (this revision) tags `BatchLookup` /
+/// `BatchServed` for pipelining, adds the batched peer-forward frames,
+/// and answers `Hello` — a v1 node neither tags nor replies to the
+/// preamble, so mixed-version clusters are rejected at the handshake
+/// instead of desynchronizing mid-stream.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 mod kind {
     pub const HELLO: u8 = 0x01;
@@ -128,6 +134,7 @@ mod kind {
     pub const HEALTH_PROBE: u8 = 0x06;
     pub const STATS: u8 = 0x07;
     pub const SHUTDOWN: u8 = 0x08;
+    pub const PEER_FORWARD_BATCH: u8 = 0x09;
 
     pub const EPOCH_ACK: u8 = 0x81;
     pub const SERVED: u8 = 0x82;
@@ -137,6 +144,8 @@ mod kind {
     pub const STATS_REPLY: u8 = 0x86;
     pub const BYE: u8 = 0x87;
     pub const REFUSED: u8 = 0x88;
+    pub const FORWARD_BATCH_REPLY: u8 = 0x89;
+    pub const HELLO_ACK: u8 = 0x8A;
 }
 
 /// Tier codes used in `Served` replies.
@@ -239,45 +248,184 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Writes one frame: `len(kind + payload)` then the bytes.
-fn write_frame(stream: &mut TcpStream, body: &[u8]) -> Result<(), EngineError> {
-    let len = u32::try_from(body.len()).map_err(|_| proto_err("frame exceeds u32 length"))?;
-    if len > MAX_FRAME {
-        return Err(proto_err(format!("frame of {len} bytes exceeds MAX_FRAME {MAX_FRAME}")));
-    }
-    let mut framed = Vec::with_capacity(4 + body.len());
-    put_u32(&mut framed, len);
-    framed.extend_from_slice(body);
-    stream.write_all(&framed).map_err(|e| net_io_err("write-frame", &e))?;
-    Ok(())
+/// Shared per-role wire counters: one meter covers every metered
+/// connection of one role (a node's links, or one driver stream). All
+/// relaxed — these feed throughput accounting, not synchronization.
+#[derive(Debug, Default)]
+pub(crate) struct WireMeter {
+    frames_out: AtomicU64,
+    frames_in: AtomicU64,
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+    /// High-water mark of frames in flight on any metered connection.
+    max_window: AtomicU64,
 }
 
-/// Reads one frame body (kind byte + payload), honouring the stream's
-/// read timeout. `Ok(None)` is a clean EOF on a frame boundary.
-///
-/// Only a timeout on the *first* header byte — a frame boundary — is
-/// classified as a timeout ([`is_timeout`]): it is safe to retry
-/// (idle) or re-route (deadline). Once any frame byte has been read,
-/// a stall leaves the stream desynchronized, so mid-frame errors are
-/// deliberately wrapped via [`net_err`] (never a timeout) and the
-/// caller drops the connection.
-fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, EngineError> {
-    let mut header = [0u8; 4];
-    match stream.read(&mut header) {
-        Ok(0) => return Ok(None),
-        Ok(n) if n < 4 => {
-            stream.read_exact(&mut header[n..]).map_err(|e| net_err("read-frame", e))?;
+impl WireMeter {
+    fn sent(&self, bytes: usize) {
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn received(&self, bytes: usize) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn window(&self, depth: usize) {
+        self.max_window.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+///// One framed connection with owned codec scratch: a read buffer
+/// replacing the header/body `read_exact` syscall pairs with buffered
+/// bulk reads (one `read` often delivers several pipelined frames),
+/// and a write buffer encoded in place — 4-byte length hole, body,
+/// length patched — flushed with a single `write_all`. A warm
+/// connection sends and receives frames without allocating.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    /// Read scratch; `rbuf[rstart..rend]` is valid unconsumed input.
+    rbuf: Vec<u8>,
+    rstart: usize,
+    rend: usize,
+    /// Write scratch, reused across frames.
+    wbuf: Vec<u8>,
+    /// `(offset, len)` of the last received frame body in `rbuf`;
+    /// valid until the next `recv_len` call.
+    last: (usize, usize),
+    meter: Option<Arc<WireMeter>>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, meter: Option<Arc<WireMeter>>) -> Self {
+        Self { stream, rbuf: Vec::new(), rstart: 0, rend: 0, wbuf: Vec::new(), last: (0, 0), meter }
+    }
+
+    fn buffered(&self) -> usize {
+        self.rend - self.rstart
+    }
+
+    /// Ensures `rbuf` can hold `need` bytes starting at `rstart`,
+    /// compacting the unconsumed tail to the front before growing.
+    fn make_room(&mut self, need: usize) {
+        if self.rstart + need <= self.rbuf.len() {
+            return;
         }
-        Ok(_) => {}
-        Err(e) => return Err(net_io_err("read-frame", &e)),
+        self.rbuf.copy_within(self.rstart..self.rend, 0);
+        self.rend -= self.rstart;
+        self.rstart = 0;
+        if self.rbuf.len() < need {
+            self.rbuf.resize(need, 0);
+        }
     }
-    let len = u32::from_le_bytes(header);
-    if len == 0 || len > MAX_FRAME {
-        return Err(proto_err(format!("frame length {len} outside 1..={MAX_FRAME}")));
+
+    /// Receives one frame, honouring the stream's read timeout; the
+    /// body (kind byte + payload) is readable via [`Conn::last_frame`]
+    /// until the next receive. `Ok(None)` is a clean EOF on a frame
+    /// boundary.
+    ///
+    /// Only a timeout with *no* partial frame buffered — a frame
+    /// boundary — is classified as a timeout ([`is_timeout`]): it is
+    /// safe to retry (idle) or re-route (deadline). Once any frame
+    /// byte has arrived, a stall leaves the stream desynchronized, so
+    /// mid-frame errors are deliberately wrapped via [`net_err`]
+    /// (never a timeout) and the caller drops the connection.
+    fn recv_len(&mut self) -> Result<Option<usize>, EngineError> {
+        if self.buffered() == 0 {
+            self.rstart = 0;
+            self.rend = 0;
+        }
+        while self.buffered() < 4 {
+            let at_boundary = self.buffered() == 0;
+            self.make_room(4);
+            match self.stream.read(&mut self.rbuf[self.rend..]) {
+                Ok(0) if at_boundary => return Ok(None),
+                Ok(0) => return Err(net_err("read-frame", "connection closed mid-frame")),
+                Ok(n) => self.rend += n,
+                Err(e) if at_boundary => return Err(net_io_err("read-frame", &e)),
+                Err(e) => return Err(net_err("read-frame", e)),
+            }
+        }
+        let h = self.rstart;
+        let len = u32::from_le_bytes([
+            self.rbuf[h],
+            self.rbuf[h + 1],
+            self.rbuf[h + 2],
+            self.rbuf[h + 3],
+        ]);
+        if len == 0 || len > MAX_FRAME {
+            return Err(proto_err(format!("frame length {len} outside 1..={MAX_FRAME}")));
+        }
+        let total = 4 + len as usize;
+        self.make_room(total);
+        while self.buffered() < total {
+            match self.stream.read(&mut self.rbuf[self.rend..]) {
+                Ok(0) => return Err(net_err("read-frame", "connection closed mid-frame")),
+                Ok(n) => self.rend += n,
+                Err(e) => return Err(net_err("read-frame", e)),
+            }
+        }
+        self.last = (self.rstart + 4, len as usize);
+        self.rstart += total;
+        if let Some(m) = &self.meter {
+            m.received(total);
+        }
+        Ok(Some(len as usize))
     }
-    let mut body = vec![0u8; len as usize];
-    stream.read_exact(&mut body).map_err(|e| net_err("read-frame", e))?;
-    Ok(Some(body))
+
+    /// The body of the last frame received by [`Conn::recv_len`].
+    fn last_frame(&self) -> &[u8] {
+        &self.rbuf[self.last.0..self.last.0 + self.last.1]
+    }
+
+    /// Encodes one frame in the write scratch — length hole, body via
+    /// `enc`, length patched — and sends it with one `write_all`.
+    fn send(
+        &mut self,
+        enc: impl FnOnce(&mut Vec<u8>) -> Result<(), EngineError>,
+    ) -> Result<(), EngineError> {
+        self.wbuf.clear();
+        self.wbuf.extend_from_slice(&[0u8; 4]);
+        enc(&mut self.wbuf)?;
+        let len = u32::try_from(self.wbuf.len() - 4)
+            .ok()
+            .filter(|&len| len > 0 && len <= MAX_FRAME)
+            .ok_or_else(|| {
+                proto_err(format!(
+                    "frame of {} bytes outside 1..={MAX_FRAME}",
+                    self.wbuf.len().saturating_sub(4)
+                ))
+            })?;
+        self.wbuf[..4].copy_from_slice(&len.to_le_bytes());
+        self.stream.write_all(&self.wbuf).map_err(|e| net_io_err("write-frame", &e))?;
+        if let Some(m) = &self.meter {
+            m.sent(self.wbuf.len());
+        }
+        Ok(())
+    }
+
+    fn send_request(&mut self, req: &Request) -> Result<(), EngineError> {
+        self.send(|buf| req.encode_into(buf))
+    }
+
+    fn send_response(&mut self, resp: &Response) -> Result<(), EngineError> {
+        self.send(|buf| resp.encode_into(buf))
+    }
+
+    fn recv_response(&mut self) -> Result<Response, EngineError> {
+        match self.recv_len()? {
+            Some(_) => Response::decode(self.last_frame()),
+            None => Err(net_err("read-frame", "connection closed mid-conversation")),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Duration) -> Result<(), EngineError> {
+        self.stream
+            .set_read_timeout(Some(t.max(MIN_SOCKET_TIMEOUT)))
+            .map_err(|e| net_err("set-timeout", e))
+    }
 }
 
 fn is_timeout(e: &EngineError) -> bool {
@@ -367,8 +515,12 @@ pub enum Request {
         /// Requested rank.
         content: u64,
     },
-    /// A batch of client requests, answered with one tier tally.
+    /// A batch of client requests, answered with one tier tally. The
+    /// tag correlates the `BatchServed` reply when several batches are
+    /// pipelined on one connection; replies come back in send order.
     BatchLookup {
+        /// Sender-chosen correlation tag, echoed by the reply.
+        tag: u32,
         /// Requested ranks.
         contents: Vec<u64>,
     },
@@ -379,6 +531,17 @@ pub enum Request {
         content: u64,
         /// Remaining forward-deadline budget, microseconds.
         budget_us: u32,
+    },
+    /// A burst of same-destination peer forwards coalesced into one
+    /// frame: one syscall round-trip instead of one per miss. Each
+    /// item carries its own remaining deadline budget; the holder
+    /// answers every item in order (partial serves are per-item
+    /// verdicts, never a truncated reply).
+    PeerForwardBatch {
+        /// Sender-chosen correlation tag, echoed by the reply.
+        tag: u32,
+        /// `(content, budget_us)` per forwarded miss.
+        items: Vec<(u64, u32)>,
     },
     /// Liveness probe (works before provisioning).
     HealthProbe,
@@ -396,63 +559,71 @@ impl Request {
     /// [`EngineError::Protocol`] if a field exceeds its wire width.
     pub fn encode(&self) -> Result<Vec<u8>, EngineError> {
         let mut buf = Vec::new();
+        self.encode_into(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Serializes the frame body into caller scratch (appended), so a
+    /// warm connection encodes without allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Protocol`] if a field exceeds its wire width.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<(), EngineError> {
         match self {
             Request::Hello { node, version } => {
                 buf.push(kind::HELLO);
-                put_u32(&mut buf, *node);
+                put_u32(buf, *node);
                 buf.push(*version);
             }
             Request::ConfigEpoch(p) => {
                 buf.push(kind::CONFIG_EPOCH);
-                put_u64(&mut buf, p.epoch);
-                put_u32(&mut buf, p.nodes);
-                put_u64(&mut buf, p.catalogue);
-                put_u64(&mut buf, p.capacity);
-                put_u64(&mut buf, p.prefix);
-                put_u64(&mut buf, p.x);
-                put_u64(&mut buf, p.fitted_s.to_bits());
+                put_u64(buf, p.epoch);
+                put_u32(buf, p.nodes);
+                put_u64(buf, p.catalogue);
+                put_u64(buf, p.capacity);
+                put_u64(buf, p.prefix);
+                put_u64(buf, p.x);
+                put_u64(buf, p.fitted_s.to_bits());
                 buf.push(match p.policy {
                     StorePolicy::Provisioned => 0,
                     StorePolicy::Lru => 1,
                 });
                 let slices = u32::try_from(p.slices.len())
                     .map_err(|_| proto_err("too many slices for one frame"))?;
-                put_u32(&mut buf, slices);
+                put_u32(buf, slices);
                 for s in &p.slices {
-                    put_u32(&mut buf, s.node);
-                    put_u64(&mut buf, s.start);
-                    put_u64(&mut buf, s.end);
+                    put_u32(buf, s.node);
+                    put_u64(buf, s.start);
+                    put_u64(buf, s.end);
                 }
                 let peers = u32::try_from(p.peers.len())
                     .map_err(|_| proto_err("too many peers for one frame"))?;
-                put_u32(&mut buf, peers);
+                put_u32(buf, peers);
                 for addr in &p.peers {
-                    put_str(&mut buf, addr)?;
+                    put_str(buf, addr)?;
                 }
             }
             Request::Lookup { content } => {
                 buf.push(kind::LOOKUP);
-                put_u64(&mut buf, *content);
+                put_u64(buf, *content);
             }
-            Request::BatchLookup { contents } => {
-                buf.push(kind::BATCH_LOOKUP);
-                let count = u32::try_from(contents.len())
-                    .map_err(|_| proto_err("batch exceeds u32 count"))?;
-                put_u32(&mut buf, count);
-                for &c in contents {
-                    put_u64(&mut buf, c);
-                }
+            Request::BatchLookup { tag, contents } => {
+                encode_batch_lookup_from(buf, *tag, contents)?;
             }
             Request::PeerForward { content, budget_us } => {
                 buf.push(kind::PEER_FORWARD);
-                put_u64(&mut buf, *content);
-                put_u32(&mut buf, *budget_us);
+                put_u64(buf, *content);
+                put_u32(buf, *budget_us);
+            }
+            Request::PeerForwardBatch { tag, items } => {
+                encode_forward_batch_from(buf, *tag, items)?;
             }
             Request::HealthProbe => buf.push(kind::HEALTH_PROBE),
             Request::Stats => buf.push(kind::STATS),
             Request::Shutdown => buf.push(kind::SHUTDOWN),
         }
-        Ok(buf)
+        Ok(())
     }
 
     /// Parses a frame body as a request.
@@ -510,6 +681,7 @@ impl Request {
             }
             kind::LOOKUP => Request::Lookup { content: c.u64()? },
             kind::BATCH_LOOKUP => {
+                let tag = c.u32()?;
                 let count = c.u32()? as usize;
                 if count > MAX_FRAME as usize / 8 {
                     return Err(proto_err("batch count exceeds frame capacity"));
@@ -518,9 +690,21 @@ impl Request {
                 for _ in 0..count {
                     contents.push(c.u64()?);
                 }
-                Request::BatchLookup { contents }
+                Request::BatchLookup { tag, contents }
             }
             kind::PEER_FORWARD => Request::PeerForward { content: c.u64()?, budget_us: c.u32()? },
+            kind::PEER_FORWARD_BATCH => {
+                let tag = c.u32()?;
+                let count = c.u32()? as usize;
+                if count > MAX_FRAME as usize / 12 {
+                    return Err(proto_err("forward batch count exceeds frame capacity"));
+                }
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push((c.u64()?, c.u32()?));
+                }
+                Request::PeerForwardBatch { tag, items }
+            }
             kind::HEALTH_PROBE => Request::HealthProbe,
             kind::STATS => Request::Stats,
             kind::SHUTDOWN => Request::Shutdown,
@@ -549,6 +733,8 @@ pub enum Response {
     /// Tier tally for one batch lookup; the four counts sum to the
     /// batch size.
     BatchServed {
+        /// The tag of the `BatchLookup` this reply answers.
+        tag: u32,
         /// Served from the node's own store.
         local: u64,
         /// Served by a peer's coordinated slice.
@@ -562,6 +748,22 @@ pub enum Response {
     ForwardReply {
         /// Outcome code.
         outcome: u8,
+    },
+    /// Per-item verdicts for one `PeerForwardBatch`, in item order;
+    /// `outcomes.len()` always equals the batch's item count.
+    ForwardBatchReply {
+        /// The tag of the batch this reply answers.
+        tag: u32,
+        /// One [`FWD_HIT`] / [`FWD_MISS`] / [`FWD_REFUSED`] per item.
+        outcomes: Vec<u8>,
+    },
+    /// Handshake answer to `Hello`, carrying the node's protocol
+    /// version; a version-mismatched `Hello` is answered `Refused`
+    /// and the connection closed, so mixed-version clusters fail at
+    /// connect time.
+    HelloAck {
+        /// The node's protocol version.
+        version: u8,
     },
     /// Health probe answer.
     HealthAck {
@@ -587,45 +789,63 @@ impl Response {
     /// [`EngineError::Protocol`] if a field exceeds its wire width.
     pub fn encode(&self) -> Result<Vec<u8>, EngineError> {
         let mut buf = Vec::new();
+        self.encode_into(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Serializes the frame body into caller scratch (appended).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Protocol`] if a field exceeds its wire width.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<(), EngineError> {
         match self {
             Response::EpochAck { epoch } => {
                 buf.push(kind::EPOCH_ACK);
-                put_u64(&mut buf, *epoch);
+                put_u64(buf, *epoch);
             }
             Response::Served { tier } => {
                 buf.push(kind::SERVED);
                 buf.push(*tier);
             }
-            Response::BatchServed { local, peer, origin, shed } => {
+            Response::BatchServed { tag, local, peer, origin, shed } => {
                 buf.push(kind::BATCH_SERVED);
-                put_u64(&mut buf, *local);
-                put_u64(&mut buf, *peer);
-                put_u64(&mut buf, *origin);
-                put_u64(&mut buf, *shed);
+                put_u32(buf, *tag);
+                put_u64(buf, *local);
+                put_u64(buf, *peer);
+                put_u64(buf, *origin);
+                put_u64(buf, *shed);
             }
             Response::ForwardReply { outcome } => {
                 buf.push(kind::FORWARD_REPLY);
                 buf.push(*outcome);
             }
+            Response::ForwardBatchReply { tag, outcomes } => {
+                encode_forward_batch_reply_from(buf, *tag, outcomes)?;
+            }
+            Response::HelloAck { version } => {
+                buf.push(kind::HELLO_ACK);
+                buf.push(*version);
+            }
             Response::HealthAck { epoch } => {
                 buf.push(kind::HEALTH_ACK);
-                put_u64(&mut buf, *epoch);
+                put_u64(buf, *epoch);
             }
             Response::StatsReply(stats) => {
                 buf.push(kind::STATS_REPLY);
                 let fields = stats.fields();
-                put_u32(&mut buf, fields.len() as u32);
+                put_u32(buf, fields.len() as u32);
                 for v in fields {
-                    put_u64(&mut buf, v);
+                    put_u64(buf, v);
                 }
             }
             Response::Bye => buf.push(kind::BYE),
             Response::Refused { reason } => {
                 buf.push(kind::REFUSED);
-                put_str(&mut buf, reason)?;
+                put_str(buf, reason)?;
             }
         }
-        Ok(buf)
+        Ok(())
     }
 
     /// Parses a frame body as a response.
@@ -641,12 +861,22 @@ impl Response {
             kind::EPOCH_ACK => Response::EpochAck { epoch: c.u64()? },
             kind::SERVED => Response::Served { tier: c.u8()? },
             kind::BATCH_SERVED => Response::BatchServed {
+                tag: c.u32()?,
                 local: c.u64()?,
                 peer: c.u64()?,
                 origin: c.u64()?,
                 shed: c.u64()?,
             },
             kind::FORWARD_REPLY => Response::ForwardReply { outcome: c.u8()? },
+            kind::FORWARD_BATCH_REPLY => {
+                let tag = c.u32()?;
+                let count = c.u32()? as usize;
+                if count > MAX_FRAME as usize {
+                    return Err(proto_err("outcome count exceeds frame capacity"));
+                }
+                Response::ForwardBatchReply { tag, outcomes: c.take(count)?.to_vec() }
+            }
+            kind::HELLO_ACK => Response::HelloAck { version: c.u8()? },
             kind::HEALTH_ACK => Response::HealthAck { epoch: c.u64()? },
             kind::STATS_REPLY => {
                 let count = c.u32()? as usize;
@@ -668,15 +898,126 @@ impl Response {
     }
 }
 
-fn send_request(stream: &mut TcpStream, req: &Request) -> Result<(), EngineError> {
-    write_frame(stream, &req.encode()?)
+// ---------------------------------------------------------------------------
+// Hot-path codec (allocation-free)
+// ---------------------------------------------------------------------------
+//
+// The enum codecs above stay the canonical, proptested definition of
+// the wire format. The hot path — pipelined batch lookups and batched
+// peer forwards — encodes from and decodes into caller-owned scratch
+// with these helpers, which write/read byte-identical frames (proven
+// by `fast_path_codecs_match_enum_codecs`).
+
+fn encode_batch_lookup_from(
+    buf: &mut Vec<u8>,
+    tag: u32,
+    contents: &[u64],
+) -> Result<(), EngineError> {
+    buf.push(kind::BATCH_LOOKUP);
+    put_u32(buf, tag);
+    let count = u32::try_from(contents.len()).map_err(|_| proto_err("batch exceeds u32 count"))?;
+    put_u32(buf, count);
+    for &c in contents {
+        put_u64(buf, c);
+    }
+    Ok(())
 }
 
-fn recv_response(stream: &mut TcpStream) -> Result<Response, EngineError> {
-    match read_frame(stream)? {
-        Some(body) => Response::decode(&body),
-        None => Err(net_err("read-frame", "connection closed mid-conversation")),
+fn decode_batch_lookup_into(body: &[u8], contents: &mut Vec<u64>) -> Result<u32, EngineError> {
+    let mut c = Cursor::new(body);
+    let k = c.u8()?;
+    if k != kind::BATCH_LOOKUP {
+        return Err(proto_err(format!("expected BatchLookup, got kind {k:#04x}")));
     }
+    let tag = c.u32()?;
+    let count = c.u32()? as usize;
+    if count > MAX_FRAME as usize / 8 {
+        return Err(proto_err("batch count exceeds frame capacity"));
+    }
+    contents.clear();
+    contents.reserve(count);
+    for _ in 0..count {
+        contents.push(c.u64()?);
+    }
+    c.done()?;
+    Ok(tag)
+}
+
+/// Decodes a `BatchServed` body as `(tag, local, peer, origin, shed)`.
+fn decode_batch_served(body: &[u8]) -> Result<(u32, u64, u64, u64, u64), EngineError> {
+    let mut c = Cursor::new(body);
+    let k = c.u8()?;
+    if k != kind::BATCH_SERVED {
+        return Err(proto_err(format!("expected BatchServed, got kind {k:#04x}")));
+    }
+    let out = (c.u32()?, c.u64()?, c.u64()?, c.u64()?, c.u64()?);
+    c.done()?;
+    Ok(out)
+}
+
+fn encode_forward_batch_from(
+    buf: &mut Vec<u8>,
+    tag: u32,
+    items: &[(u64, u32)],
+) -> Result<(), EngineError> {
+    buf.push(kind::PEER_FORWARD_BATCH);
+    put_u32(buf, tag);
+    let count =
+        u32::try_from(items.len()).map_err(|_| proto_err("forward batch exceeds u32 count"))?;
+    put_u32(buf, count);
+    for &(content, budget_us) in items {
+        put_u64(buf, content);
+        put_u32(buf, budget_us);
+    }
+    Ok(())
+}
+
+fn decode_forward_batch_into(body: &[u8], items: &mut Vec<(u64, u32)>) -> Result<u32, EngineError> {
+    let mut c = Cursor::new(body);
+    let k = c.u8()?;
+    if k != kind::PEER_FORWARD_BATCH {
+        return Err(proto_err(format!("expected PeerForwardBatch, got kind {k:#04x}")));
+    }
+    let tag = c.u32()?;
+    let count = c.u32()? as usize;
+    if count > MAX_FRAME as usize / 12 {
+        return Err(proto_err("forward batch count exceeds frame capacity"));
+    }
+    items.clear();
+    items.reserve(count);
+    for _ in 0..count {
+        items.push((c.u64()?, c.u32()?));
+    }
+    c.done()?;
+    Ok(tag)
+}
+
+fn encode_forward_batch_reply_from(
+    buf: &mut Vec<u8>,
+    tag: u32,
+    outcomes: &[u8],
+) -> Result<(), EngineError> {
+    buf.push(kind::FORWARD_BATCH_REPLY);
+    put_u32(buf, tag);
+    let count = u32::try_from(outcomes.len()).map_err(|_| proto_err("reply exceeds u32 count"))?;
+    put_u32(buf, count);
+    buf.extend_from_slice(outcomes);
+    Ok(())
+}
+
+/// Parses a `ForwardBatchReply` body as `(tag, outcomes)` without
+/// copying the outcome bytes out of the receive buffer.
+fn parse_forward_batch_reply(body: &[u8]) -> Result<(u32, &[u8]), EngineError> {
+    let mut c = Cursor::new(body);
+    let k = c.u8()?;
+    if k != kind::FORWARD_BATCH_REPLY {
+        return Err(proto_err(format!("expected ForwardBatchReply, got kind {k:#04x}")));
+    }
+    let tag = c.u32()?;
+    let count = c.u32()? as usize;
+    let outcomes = c.take(count)?;
+    c.done()?;
+    Ok((tag, outcomes))
 }
 
 // ---------------------------------------------------------------------------
@@ -774,6 +1115,21 @@ node_stats! {
     /// Sits after `epoch` so an older peer's shorter reply still
     /// decodes with this tail field zero.
     fitted_s_bits,
+    /// Frames received on the node's peer links (tail fields: absent
+    /// in pre-pipelining replies, decode as zero).
+    frames_in,
+    /// Frames sent on the node's peer links.
+    frames_out,
+    /// Bytes received on the node's peer links.
+    bytes_in,
+    /// Bytes sent on the node's peer links.
+    bytes_out,
+    /// Coalesced `PeerForwardBatch` frames sent (each covers ≥ 1
+    /// forwarded miss; `forwards_out / forward_batches` is the
+    /// realized coalescing factor).
+    forward_batches,
+    /// Connections refused by the accept-loop cap.
+    rejected_conns,
 }
 
 impl NodeStats {
@@ -798,14 +1154,13 @@ impl NodeStats {
 // Peer links (client side of the forward path)
 // ---------------------------------------------------------------------------
 
-/// Verdict of one forward attempt over a peer link.
-enum ForwardVerdict {
-    Hit,
-    Miss,
-    Refused,
-    TimedOut,
-    Broken,
-}
+/// Driver-local outcome codes for forwarded items whose round-trip
+/// never completed. Never sent on the wire — the wire verdict space
+/// is [`FWD_HIT`] / [`FWD_MISS`] / [`FWD_REFUSED`] — so they sit at
+/// the top of the byte range.
+const OUT_TIMEOUT: u8 = 0xFE;
+/// See [`OUT_TIMEOUT`]: socket failure (refused, reset, desync).
+const OUT_BROKEN: u8 = 0xFF;
 
 fn resolve(addr: &str) -> Result<SocketAddr, EngineError> {
     addr.to_socket_addrs()
@@ -818,15 +1173,31 @@ fn resolve(addr: &str) -> Result<SocketAddr, EngineError> {
 /// maps to a valid socket timeout (`set_read_timeout` rejects zero).
 const MIN_SOCKET_TIMEOUT: Duration = Duration::from_micros(50);
 
-fn connect_hello(addr: &str, my_id: u32, timeout: Duration) -> Result<TcpStream, EngineError> {
+/// Dials `addr` and completes the version handshake: `Hello` out,
+/// `HelloAck` back. A mismatched or refused handshake is a hard error
+/// — mixed-version clusters fail at connect time, not mid-stream.
+fn connect_hello(
+    addr: &str,
+    my_id: u32,
+    timeout: Duration,
+    meter: Option<Arc<WireMeter>>,
+) -> Result<Conn, EngineError> {
     let sockaddr = resolve(addr)?;
     let timeout = timeout.max(MIN_SOCKET_TIMEOUT);
-    let mut stream =
+    let stream =
         TcpStream::connect_timeout(&sockaddr, timeout).map_err(|e| net_io_err("connect", &e))?;
     let _ = stream.set_nodelay(true);
     stream.set_read_timeout(Some(timeout)).map_err(|e| net_io_err("connect", &e))?;
-    send_request(&mut stream, &Request::Hello { node: my_id, version: PROTOCOL_VERSION })?;
-    Ok(stream)
+    let mut conn = Conn::new(stream, meter);
+    conn.send_request(&Request::Hello { node: my_id, version: PROTOCOL_VERSION })?;
+    match conn.recv_response()? {
+        Response::HelloAck { version: PROTOCOL_VERSION } => Ok(conn),
+        Response::HelloAck { version } => Err(proto_err(format!(
+            "protocol version mismatch: peer speaks v{version}, we speak v{PROTOCOL_VERSION}"
+        ))),
+        Response::Refused { reason } => Err(proto_err(format!("peer refused hello: {reason}"))),
+        other => Err(proto_err(format!("unexpected hello answer {other:?}"))),
+    }
 }
 
 /// Wraps an `io::Error`, classifying timeouts from its *kind*: Linux
@@ -838,71 +1209,193 @@ fn net_io_err(op: &str, e: &io::Error) -> EngineError {
     EngineError::Net { op: op.to_owned(), detail: e.to_string(), timeout }
 }
 
+/// Fails every not-yet-drained outcome slot from `from` on.
+fn mark_from(outcomes: &mut [u8], from: usize, code: u8) {
+    let from = from.min(outcomes.len());
+    for o in &mut outcomes[from..] {
+        *o = code;
+    }
+}
+
 /// One outbound connection to a peer node, lazily established and
 /// dropped on any failure (a timed-out stream may deliver a late
 /// reply, which would desynchronize the framing — never reuse it).
+/// The health prober uses its own persistent connection so probes
+/// never interleave with forward framing.
 struct PeerLink {
     node: usize,
     addr: String,
-    stream: Mutex<Option<TcpStream>>,
+    conn: Mutex<Option<Conn>>,
+    probe: Mutex<Option<Conn>>,
     failures: AtomicU32,
+    next_tag: AtomicU32,
+    meter: Arc<WireMeter>,
 }
 
 impl PeerLink {
-    fn new(node: usize, addr: String) -> Self {
-        Self { node, addr, stream: Mutex::new(None), failures: AtomicU32::new(0) }
+    fn new(node: usize, addr: String, meter: Arc<WireMeter>) -> Self {
+        Self {
+            node,
+            addr,
+            conn: Mutex::new(None),
+            probe: Mutex::new(None),
+            failures: AtomicU32::new(0),
+            next_tag: AtomicU32::new(0),
+            meter,
+        }
     }
 
-    /// One rung of the ladder: forward `content` to this peer under
-    /// `budget`, classifying the reply.
-    fn forward(&self, my_id: u32, content: u64, budget: Duration) -> ForwardVerdict {
-        let budget = budget.max(MIN_SOCKET_TIMEOUT);
-        let mut guard = lock_recover(&self.stream);
-        if guard.is_none() {
-            match connect_hello(&self.addr, my_id, budget) {
-                Ok(s) => *guard = Some(s),
-                Err(e) if is_timeout(&e) => return ForwardVerdict::TimedOut,
-                Err(_) => return ForwardVerdict::Broken,
-            }
+    /// Forwards a burst of same-holder misses: `items` chunked into
+    /// `PeerForwardBatch` frames of at most `max_per_frame` items,
+    /// up to `window` tagged frames in flight, replies drained FIFO
+    /// under the remaining `budget`. Fills one verdict per item into
+    /// `outcomes` ([`FWD_HIT`] / [`FWD_MISS`] / [`FWD_REFUSED`] /
+    /// [`OUT_TIMEOUT`] / [`OUT_BROKEN`]) and returns the number of
+    /// frames sent. Any transport failure or tag desync fails the
+    /// un-drained tail and drops the connection.
+    fn forward_batch(
+        &self,
+        my_id: u32,
+        items: &[(u64, u32)],
+        budget: Duration,
+        window: usize,
+        max_per_frame: usize,
+        outcomes: &mut Vec<u8>,
+    ) -> u64 {
+        outcomes.clear();
+        outcomes.resize(items.len(), OUT_BROKEN);
+        if items.is_empty() {
+            return 0;
         }
-        let Some(stream) = guard.as_mut() else {
-            return ForwardVerdict::Broken;
-        };
-        let _ = stream.set_read_timeout(Some(budget));
-        let budget_us = u32::try_from(budget.as_micros()).unwrap_or(u32::MAX);
-        let result = send_request(stream, &Request::PeerForward { content, budget_us })
-            .and_then(|()| recv_response(stream));
-        match result {
-            Ok(Response::ForwardReply { outcome: FWD_HIT }) => ForwardVerdict::Hit,
-            Ok(Response::ForwardReply { outcome: FWD_MISS }) => ForwardVerdict::Miss,
-            Ok(Response::ForwardReply { outcome: FWD_REFUSED }) | Ok(Response::Refused { .. }) => {
-                ForwardVerdict::Refused
-            }
-            Ok(_) => {
-                *guard = None;
-                ForwardVerdict::Broken
-            }
-            Err(e) => {
-                *guard = None;
-                if is_timeout(&e) {
-                    ForwardVerdict::TimedOut
-                } else {
-                    ForwardVerdict::Broken
+        let budget = budget.max(MIN_SOCKET_TIMEOUT);
+        let issued = Instant::now();
+        let mut guard = lock_recover(&self.conn);
+        if guard.is_none() {
+            match connect_hello(&self.addr, my_id, budget, Some(self.meter.clone())) {
+                Ok(c) => *guard = Some(c),
+                Err(e) => {
+                    let code = if is_timeout(&e) { OUT_TIMEOUT } else { OUT_BROKEN };
+                    mark_from(outcomes, 0, code);
+                    return 0;
                 }
             }
         }
+        let max_per_frame = max_per_frame.max(1);
+        let chunks = items.len().div_ceil(max_per_frame);
+        let base_tag =
+            self.next_tag.fetch_add(u32::try_from(chunks).unwrap_or(u32::MAX), Ordering::Relaxed);
+        let mut frames_sent = 0u64;
+        let conn = guard.as_mut().expect("connection just established");
+        let keep = pump_forward_batch(
+            conn,
+            base_tag,
+            items,
+            budget,
+            issued,
+            window.max(1),
+            max_per_frame,
+            outcomes,
+            &mut frames_sent,
+        );
+        if !keep {
+            *guard = None;
+        }
+        frames_sent
     }
 
-    /// Health probe on a fresh short-lived connection (never the
-    /// forward stream, whose framing a probe could interleave with).
+    /// Health probe on a persistent dedicated connection (never the
+    /// forward stream, whose framing a probe could interleave with),
+    /// lazily redialled after any failure — a healthy peer costs one
+    /// dial total instead of one per probe.
     fn probe_health(&self, my_id: u32) -> Option<u64> {
-        let mut stream = connect_hello(&self.addr, my_id, Duration::from_millis(100)).ok()?;
-        send_request(&mut stream, &Request::HealthProbe).ok()?;
-        match recv_response(&mut stream) {
+        let mut guard = lock_recover(&self.probe);
+        if guard.is_none() {
+            *guard = connect_hello(&self.addr, my_id, Duration::from_millis(100), None).ok();
+        }
+        let conn = guard.as_mut()?;
+        let result = conn.send_request(&Request::HealthProbe).and_then(|()| conn.recv_response());
+        match result {
             Ok(Response::HealthAck { epoch }) => Some(epoch),
-            _ => None,
+            _ => {
+                *guard = None;
+                None
+            }
         }
     }
+}
+
+/// The send/drain pump of [`PeerLink::forward_batch`], split out so
+/// the caller can drop the connection when it returns `false`.
+#[allow(clippy::too_many_arguments)]
+fn pump_forward_batch(
+    conn: &mut Conn,
+    base_tag: u32,
+    items: &[(u64, u32)],
+    budget: Duration,
+    issued: Instant,
+    window: usize,
+    max_per_frame: usize,
+    outcomes: &mut [u8],
+    frames_sent: &mut u64,
+) -> bool {
+    let chunks = items.len().div_ceil(max_per_frame);
+    let mut sent = 0usize;
+    let mut drained = 0usize;
+    while drained < chunks {
+        // Top up the credit window.
+        while sent < chunks && sent - drained < window {
+            let start = sent * max_per_frame;
+            let end = (start + max_per_frame).min(items.len());
+            let tag = base_tag.wrapping_add(sent as u32);
+            if conn.send(|buf| encode_forward_batch_from(buf, tag, &items[start..end])).is_err() {
+                mark_from(outcomes, drained * max_per_frame, OUT_BROKEN);
+                return false;
+            }
+            *frames_sent += 1;
+            sent += 1;
+        }
+        if let Some(m) = &conn.meter {
+            m.window(sent - drained);
+        }
+        // Drain the oldest outstanding frame under what's left of the
+        // budget.
+        let remaining = budget.saturating_sub(issued.elapsed());
+        if remaining.is_zero() {
+            mark_from(outcomes, drained * max_per_frame, OUT_TIMEOUT);
+            return false;
+        }
+        if conn.set_read_timeout(remaining).is_err() {
+            mark_from(outcomes, drained * max_per_frame, OUT_BROKEN);
+            return false;
+        }
+        let code = match conn.recv_len() {
+            Ok(Some(_)) => None,
+            Ok(None) => Some(OUT_BROKEN),
+            Err(e) if is_timeout(&e) => Some(OUT_TIMEOUT),
+            Err(_) => Some(OUT_BROKEN),
+        };
+        if let Some(code) = code {
+            mark_from(outcomes, drained * max_per_frame, code);
+            return false;
+        }
+        let start = drained * max_per_frame;
+        let end = (start + max_per_frame).min(items.len());
+        let want = base_tag.wrapping_add(drained as u32);
+        match parse_forward_batch_reply(conn.last_frame()) {
+            Ok((tag, verdicts)) if tag == want && verdicts.len() == end - start => {
+                outcomes[start..end].copy_from_slice(verdicts);
+                drained += 1;
+            }
+            // A stale tag, short reply, or any other frame means the
+            // stream is desynchronized: fail the tail, drop the
+            // connection.
+            _ => {
+                mark_from(outcomes, start, OUT_BROKEN);
+                return false;
+            }
+        }
+    }
+    true
 }
 
 // ---------------------------------------------------------------------------
@@ -931,11 +1424,21 @@ pub struct NodeConfig {
     pub placement: ShardPlacement,
     /// Degradation-ladder knobs for the forward path.
     pub degrade: DegradeConfig,
+    /// Credit window: tagged frames in flight per node→peer forward
+    /// connection (1 = stop-and-wait).
+    pub window: usize,
+    /// Maximum items coalesced into one `PeerForwardBatch` frame.
+    pub wire_batch: usize,
+    /// Accept-loop connection cap: excess accepts are answered with a
+    /// typed `Refused` frame and dropped instead of spawning a serve
+    /// thread.
+    pub max_connections: usize,
 }
 
 impl NodeConfig {
     /// Defaults for node `id`: one shard, 1024-slot rings, ephemeral
-    /// loopback listener, default degradation ladder, no pinning.
+    /// loopback listener, default degradation ladder, no pinning,
+    /// window 8 × 64-item forward batches, 1024-connection cap.
     #[must_use]
     pub fn new(id: usize) -> Self {
         Self {
@@ -947,6 +1450,9 @@ impl NodeConfig {
             ring_mode: RingMode::Auto,
             placement: ShardPlacement::disabled(),
             degrade: DegradeConfig::default(),
+            window: 8,
+            wire_batch: 64,
+            max_connections: 1024,
         }
     }
 }
@@ -993,6 +1499,13 @@ struct NodeShared {
     epoch: AtomicU64,
     stats: NodeStats,
     shutdown: AtomicBool,
+    /// Frame/byte meter shared by every accepted connection and peer
+    /// link; folded into `stats` by [`sync_wire_stats`].
+    meter: Arc<WireMeter>,
+    /// Live (not yet closed) accepted connections, gating the accept
+    /// loop's connection cap. Distinct from `stats.connections`, which
+    /// is the monotone census the producer-lane registration tracks.
+    active_conns: AtomicUsize,
 }
 
 impl NodeShared {
@@ -1102,7 +1615,7 @@ fn provision_node(shared: &NodeShared, p: Provision) -> Result<u64, EngineError>
             if n == shared.config.id {
                 None
             } else {
-                p.peers.get(n).map(|addr| PeerLink::new(n, addr.clone()))
+                p.peers.get(n).map(|addr| PeerLink::new(n, addr.clone(), shared.meter.clone()))
             }
         })
         .collect();
@@ -1124,15 +1637,23 @@ fn provision_node(shared: &NodeShared, p: Provision) -> Result<u64, EngineError>
 
 /// Marks `holder` down once the consecutive-failure streak crosses
 /// the configured threshold, bumping the routing epoch so HRW
-/// failover moves exactly that node's share.
-fn note_forward_failure(shared: &NodeShared, engine: &NodeEngine, holder: usize) {
-    if shared.config.degrade.timeout_threshold == 0 {
+/// failover moves exactly that node's share. `failed_items` counts
+/// items (not frames), matching the pre-batching per-forward streak
+/// dynamics.
+fn note_forward_failure(
+    shared: &NodeShared,
+    engine: &NodeEngine,
+    holder: usize,
+    failed_items: u64,
+) {
+    if shared.config.degrade.timeout_threshold == 0 || failed_items == 0 {
         return;
     }
     let Some(link) = engine.peers.get(holder).and_then(Option::as_ref) else {
         return;
     };
-    let streak = link.failures.fetch_add(1, Ordering::Relaxed) + 1;
+    let items = u32::try_from(failed_items).unwrap_or(u32::MAX);
+    let streak = link.failures.fetch_add(items, Ordering::Relaxed).saturating_add(items);
     if streak >= shared.config.degrade.timeout_threshold
         && engine.routing.set_live(holder, false).is_some()
     {
@@ -1140,85 +1661,245 @@ fn note_forward_failure(shared: &NodeShared, engine: &NodeEngine, holder: usize)
     }
 }
 
-/// Serves one client lookup at this node, returning the tier code.
-fn serve_one(shared: &NodeShared, engine: &NodeEngine, content: u64) -> u8 {
+/// Per-connection reusable decode/serve scratch: a warm connection
+/// serves batches end to end without allocating. `groups` is the
+/// miss-coalescing hand-off shared with the in-process cluster.
+#[derive(Default)]
+struct ServeScratch {
+    /// Decoded `BatchLookup` ranks.
+    contents: Vec<u64>,
+    /// Decoded `PeerForwardBatch` items.
+    items: Vec<(u64, u32)>,
+    /// Probe ids for `probe_batch`.
+    ids: Vec<ContentId>,
+    /// Probe verdicts.
+    hits: Vec<bool>,
+    /// Misses grouped by destination holder.
+    groups: crate::cluster::HolderGroups,
+    /// Item indices awaiting a verdict in the current retry round.
+    pending: Vec<usize>,
+    /// Item indices refused this round, retried next round.
+    retry: Vec<usize>,
+    /// `(content, budget_us)` items for the in-flight forward frames.
+    fwd_items: Vec<(u64, u32)>,
+    /// Per-item verdict bytes (forward replies in, serve replies out).
+    outcomes: Vec<u8>,
+}
+
+/// Serves one batch of client lookups, returning `(local, peer,
+/// origin)` tier counts (their sum is the batch size). Probes the
+/// whole batch through the shard pipeline first, then coalesces the
+/// misses by destination holder so a burst of misses to one peer
+/// costs one pipelined frame conversation instead of one round-trip
+/// per miss.
+fn serve_batch(
+    shared: &NodeShared,
+    engine: &NodeEngine,
+    scratch: &mut ServeScratch,
+) -> (u64, u64, u64) {
+    let ServeScratch { contents, ids, hits, groups, pending, retry, fwd_items, outcomes, .. } =
+        scratch;
     let stats = &shared.stats;
-    stats.add(&stats.lookups);
-    let id = ContentId(content);
-    if engine.handle.probe(id) {
-        stats.add(&stats.local);
-        return TIER_LOCAL;
-    }
+    stats.lookups.fetch_add(contents.len() as u64, Ordering::Relaxed);
+    ids.clear();
+    ids.extend(contents.iter().map(|&c| ContentId(c)));
+    engine.handle.probe_batch(ids, hits);
     let me = shared.config.id;
-    match engine.routing.holder(id) {
-        Some(holder) if holder != me => {
-            if engine.routing.primary(id) != Some(holder) {
-                stats.add(&stats.failed_over);
-            }
-            let Some(link) = engine.peers.get(holder).and_then(Option::as_ref) else {
-                stats.add(&stats.degraded);
-                stats.add(&stats.origin);
-                return TIER_ORIGIN;
-            };
-            let issued = Instant::now();
-            let deadline = shared.config.degrade.forward_deadline;
-            let mut attempt = 0u32;
-            loop {
-                let remaining = deadline.saturating_sub(issued.elapsed());
-                if remaining.is_zero() {
-                    stats.add(&stats.deadline_expired);
-                    break;
-                }
-                stats.add(&stats.forwards_out);
-                let sent = Instant::now();
-                match link.forward(me as u32, content, remaining) {
-                    ForwardVerdict::Hit => {
-                        link.failures.store(0, Ordering::Relaxed);
-                        stats.record_rtt(sent.elapsed());
-                        stats.add(&stats.peer);
-                        return TIER_PEER;
-                    }
-                    ForwardVerdict::Miss => {
-                        link.failures.store(0, Ordering::Relaxed);
-                        stats.record_rtt(sent.elapsed());
-                        stats.add(&stats.origin);
-                        return TIER_ORIGIN;
-                    }
-                    ForwardVerdict::Refused => {
-                        if attempt >= shared.config.degrade.forward_retries {
-                            stats.add(&stats.degraded);
-                            break;
-                        }
-                        attempt += 1;
-                        stats.add(&stats.retried);
-                        std::thread::sleep(shared.config.degrade.retry_backoff * attempt);
-                    }
-                    ForwardVerdict::TimedOut => {
-                        note_forward_failure(shared, engine, holder);
-                        stats.add(&stats.deadline_expired);
-                        break;
-                    }
-                    ForwardVerdict::Broken => {
-                        note_forward_failure(shared, engine, holder);
-                        stats.add(&stats.degraded);
-                        break;
-                    }
-                }
-            }
-            stats.add(&stats.origin);
-            TIER_ORIGIN
+    let (mut local, mut peer, mut origin) = (0u64, 0u64, 0u64);
+    groups.reset(engine.peers.len());
+    for (i, &content) in contents.iter().enumerate() {
+        let id = ContentId(content);
+        if hits.get(i).copied().unwrap_or(false) {
+            stats.add(&stats.local);
+            local += 1;
+            continue;
         }
-        _ => {
-            // Uncoordinated content (or this node is the holder and
-            // missed): origin serves; under LRU the edge admits it,
-            // mirroring the in-process cluster.
-            if engine.provision.policy == StorePolicy::Lru {
+        match engine.routing.holder(id) {
+            Some(holder) if holder != me => {
+                if engine.routing.primary(id) != Some(holder) {
+                    stats.add(&stats.failed_over);
+                }
+                groups.push(holder, i);
+            }
+            _ => {
+                // Uncoordinated content (or this node is the holder
+                // and missed): origin serves; under LRU the edge
+                // admits it, mirroring the in-process cluster.
+                if engine.provision.policy == StorePolicy::Lru {
+                    engine.handle.apply(id);
+                }
+                stats.add(&stats.origin);
+                origin += 1;
+            }
+        }
+    }
+    for gi in 0..groups.occupied().len() {
+        let holder = groups.occupied()[gi];
+        let (p, o) = forward_group(
+            shared,
+            engine,
+            holder,
+            contents,
+            groups.items(holder),
+            pending,
+            retry,
+            fwd_items,
+            outcomes,
+        );
+        peer += p;
+        origin += o;
+    }
+    (local, peer, origin)
+}
+
+/// Runs the degradation ladder for one holder's coalesced miss group:
+/// forward the whole group in pipelined batch frames, retry refused
+/// items under backoff, degrade transport failures to origin, honour
+/// the shared deadline. Returns `(peer, origin)` counts; every index
+/// in `idxs` resolves to exactly one of the two.
+#[allow(clippy::too_many_arguments)]
+fn forward_group(
+    shared: &NodeShared,
+    engine: &NodeEngine,
+    holder: usize,
+    contents: &[u64],
+    idxs: &[usize],
+    pending: &mut Vec<usize>,
+    retry: &mut Vec<usize>,
+    fwd_items: &mut Vec<(u64, u32)>,
+    outcomes: &mut Vec<u8>,
+) -> (u64, u64) {
+    let stats = &shared.stats;
+    let Some(link) = engine.peers.get(holder).and_then(Option::as_ref) else {
+        stats.degraded.fetch_add(idxs.len() as u64, Ordering::Relaxed);
+        stats.origin.fetch_add(idxs.len() as u64, Ordering::Relaxed);
+        return (0, idxs.len() as u64);
+    };
+    let me = shared.config.id as u32;
+    let deadline = shared.config.degrade.forward_deadline;
+    let issued = Instant::now();
+    pending.clear();
+    pending.extend_from_slice(idxs);
+    let (mut peer, mut origin) = (0u64, 0u64);
+    let mut attempt = 0u32;
+    loop {
+        let remaining = deadline.saturating_sub(issued.elapsed());
+        if remaining.is_zero() {
+            stats.deadline_expired.fetch_add(pending.len() as u64, Ordering::Relaxed);
+            stats.origin.fetch_add(pending.len() as u64, Ordering::Relaxed);
+            origin += pending.len() as u64;
+            break;
+        }
+        stats.forwards_out.fetch_add(pending.len() as u64, Ordering::Relaxed);
+        let budget_us = u32::try_from(remaining.as_micros()).unwrap_or(u32::MAX);
+        fwd_items.clear();
+        fwd_items.extend(pending.iter().map(|&i| (contents[i], budget_us)));
+        let sent = Instant::now();
+        let frames = link.forward_batch(
+            me,
+            fwd_items,
+            remaining,
+            shared.config.window,
+            shared.config.wire_batch,
+            outcomes,
+        );
+        stats.forward_batches.fetch_add(frames, Ordering::Relaxed);
+        retry.clear();
+        let mut answered = false;
+        let mut failed_items = 0u64;
+        for (k, &i) in pending.iter().enumerate() {
+            match outcomes.get(k).copied().unwrap_or(OUT_BROKEN) {
+                FWD_HIT => {
+                    answered = true;
+                    stats.add(&stats.peer);
+                    peer += 1;
+                }
+                FWD_MISS => {
+                    answered = true;
+                    stats.add(&stats.origin);
+                    origin += 1;
+                }
+                FWD_REFUSED => retry.push(i),
+                OUT_TIMEOUT => {
+                    failed_items += 1;
+                    stats.add(&stats.deadline_expired);
+                    stats.add(&stats.origin);
+                    origin += 1;
+                }
+                _ => {
+                    failed_items += 1;
+                    stats.add(&stats.degraded);
+                    stats.add(&stats.origin);
+                    origin += 1;
+                }
+            }
+        }
+        if answered {
+            link.failures.store(0, Ordering::Relaxed);
+            stats.record_rtt(sent.elapsed());
+        }
+        note_forward_failure(shared, engine, holder, failed_items);
+        if retry.is_empty() {
+            break;
+        }
+        if attempt >= shared.config.degrade.forward_retries {
+            stats.degraded.fetch_add(retry.len() as u64, Ordering::Relaxed);
+            stats.origin.fetch_add(retry.len() as u64, Ordering::Relaxed);
+            origin += retry.len() as u64;
+            break;
+        }
+        attempt += 1;
+        stats.retried.fetch_add(retry.len() as u64, Ordering::Relaxed);
+        std::thread::sleep(shared.config.degrade.retry_backoff * attempt);
+        std::mem::swap(pending, retry);
+    }
+    (peer, origin)
+}
+
+/// Serves one coalesced `PeerForwardBatch` as holder, filling one
+/// verdict per item into `scratch.outcomes` — always the full item
+/// count, so a partial serve is per-item verdicts, never a truncated
+/// reply.
+fn serve_forward_batch(shared: &NodeShared, engine: &NodeEngine, scratch: &mut ServeScratch) {
+    let ServeScratch { items, ids, hits, outcomes, .. } = scratch;
+    let stats = &shared.stats;
+    stats.forwards_in.fetch_add(items.len() as u64, Ordering::Relaxed);
+    ids.clear();
+    ids.extend(items.iter().map(|&(c, _)| ContentId(c)));
+    engine.handle.probe_batch(ids, hits);
+    outcomes.clear();
+    let (mut hit_n, mut miss_n) = (0u64, 0u64);
+    for (i, &(content, _budget_us)) in items.iter().enumerate() {
+        if hits.get(i).copied().unwrap_or(false) {
+            hit_n += 1;
+            outcomes.push(FWD_HIT);
+        } else {
+            // Holder miss: origin serves at the requesting edge;
+            // under LRU the holder admits its coordinated content so
+            // traffic attracts the slice into place.
+            let id = ContentId(content);
+            if engine.provision.policy == StorePolicy::Lru
+                && engine.routing.holder(id) == Some(shared.config.id)
+            {
                 engine.handle.apply(id);
             }
-            stats.add(&stats.origin);
-            TIER_ORIGIN
+            miss_n += 1;
+            outcomes.push(FWD_MISS);
         }
     }
+    stats.forward_hits.fetch_add(hit_n, Ordering::Relaxed);
+    stats.forward_misses.fetch_add(miss_n, Ordering::Relaxed);
+}
+
+/// Copies the shared wire meter into the stats counters so a
+/// `StatsReply` (and the final run snapshot) carries frame/byte
+/// totals.
+fn sync_wire_stats(shared: &NodeShared) {
+    let m = &shared.meter;
+    shared.stats.frames_in.store(m.frames_in.load(Ordering::Relaxed), Ordering::Relaxed);
+    shared.stats.frames_out.store(m.frames_out.load(Ordering::Relaxed), Ordering::Relaxed);
+    shared.stats.bytes_in.store(m.bytes_in.load(Ordering::Relaxed), Ordering::Relaxed);
+    shared.stats.bytes_out.store(m.bytes_out.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
 /// One router as a standalone wire-serving process (or thread, for
@@ -1255,6 +1936,8 @@ impl NodeServer {
             epoch: AtomicU64::new(0),
             stats: NodeStats::default(),
             shutdown: AtomicBool::new(false),
+            meter: Arc::new(WireMeter::default()),
+            active_conns: AtomicUsize::new(0),
         });
         Ok(Self { listener, local_addr, shared })
     }
@@ -1288,6 +1971,24 @@ impl NodeServer {
                 }
                 match self.listener.accept() {
                     Ok((stream, _)) => {
+                        // Connection cap first, before this connection
+                        // touches the stats census or the producer
+                        // lanes: a refused connection must not count —
+                        // the lane registration would over-provision
+                        // rings for a connection that never serves.
+                        if shared.active_conns.load(Ordering::Relaxed)
+                            >= shared.config.max_connections
+                        {
+                            shared.stats.add(&shared.stats.rejected_conns);
+                            let mut conn = Conn::new(stream, None);
+                            let _ = conn.send_response(&Response::Refused {
+                                reason: format!(
+                                    "connection cap {} reached",
+                                    shared.config.max_connections
+                                ),
+                            });
+                            continue;
+                        }
                         // Count + pre-register this connection's
                         // producer lane (before any of its traffic
                         // reaches the rings) under the engine read
@@ -1300,13 +2001,17 @@ impl NodeServer {
                                 .read()
                                 .unwrap_or_else(std::sync::PoisonError::into_inner);
                             shared.stats.add(&shared.stats.connections);
+                            shared.active_conns.fetch_add(1, Ordering::Relaxed);
                             if let Some(engine) = guard.as_ref() {
                                 if engine.handle.register_producer().is_ok() {
                                     engine.lanes.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                         }
-                        scope.spawn(move || serve_conn(shared, stream));
+                        scope.spawn(move || {
+                            serve_conn(shared, stream);
+                            shared.active_conns.fetch_sub(1, Ordering::Relaxed);
+                        });
                     }
                     Err(e)
                         if e.kind() == io::ErrorKind::WouldBlock
@@ -1323,6 +2028,7 @@ impl NodeServer {
             Ok(())
         })?;
         shared.stats.epoch.store(shared.epoch.load(Ordering::Acquire), Ordering::Relaxed);
+        sync_wire_stats(shared);
         Ok(shared.stats.snapshot())
     }
 }
@@ -1355,20 +2061,19 @@ fn health_prober(shared: &NodeShared) {
     }
 }
 
-/// Reads the next frame, retrying idle timeouts until shutdown. A
-/// timeout can only be treated as idle on a frame boundary; frames
+/// Receives the next frame on `conn`, retrying idle timeouts until
+/// shutdown; `Ok(true)` means a frame is ready in `conn.last_frame()`.
+/// A timeout can only be treated as idle on a frame boundary; frames
 /// are small enough (≤ [`MAX_FRAME`]) that a mid-frame stall means
 /// the peer is gone and the connection is dropped by the caller.
-fn read_frame_idle(
-    stream: &mut TcpStream,
-    shutdown: &AtomicBool,
-) -> Result<Option<Vec<u8>>, EngineError> {
+fn recv_idle(conn: &mut Conn, shutdown: &AtomicBool) -> Result<bool, EngineError> {
     loop {
-        match read_frame(stream) {
-            Ok(v) => return Ok(v),
+        match conn.recv_len() {
+            Ok(Some(_)) => return Ok(true),
+            Ok(None) => return Ok(false),
             Err(e) if is_timeout(&e) => {
                 if shutdown.load(Ordering::Acquire) {
-                    return Ok(None);
+                    return Ok(false);
                 }
             }
             Err(e) => return Err(e),
@@ -1376,104 +2081,162 @@ fn read_frame_idle(
     }
 }
 
-fn serve_conn(shared: &NodeShared, mut stream: TcpStream) {
+/// A malformed frame poisons the framing: answer `Refused` once, then
+/// the caller drops the connection.
+fn refuse_malformed(conn: &mut Conn, e: &EngineError) {
+    let _ = conn.send_response(&Response::Refused { reason: e.to_string() });
+}
+
+fn serve_conn(shared: &NodeShared, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut conn = Conn::new(stream, Some(shared.meter.clone()));
+    let mut scratch = ServeScratch::default();
     loop {
-        let body = match read_frame_idle(&mut stream, &shared.shutdown) {
-            Ok(Some(body)) => body,
-            Ok(None) | Err(_) => return,
-        };
-        let request = match Request::decode(&body) {
-            Ok(r) => r,
-            Err(e) => {
-                // A malformed frame poisons the framing; answer once
-                // and drop the connection.
-                let refuse = Response::Refused { reason: e.to_string() };
-                if let Ok(frame) = refuse.encode() {
-                    let _ = write_frame(&mut stream, &frame);
-                }
-                return;
-            }
-        };
-        let response = match handle_request(shared, request) {
-            Ok(None) => continue, // Hello: preamble, no reply.
-            Ok(Some(resp)) => resp,
-            Err(e) => Response::Refused { reason: e.to_string() },
-        };
-        let should_close = response == Response::Bye;
-        match response.encode() {
-            Ok(frame) => {
-                if write_frame(&mut stream, &frame).is_err() {
+        match recv_idle(&mut conn, &shared.shutdown) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        // The two hot frame kinds dispatch on the kind byte and decode
+        // into connection scratch; everything else takes the enum
+        // path.
+        match conn.last_frame().first().copied() {
+            Some(kind::BATCH_LOOKUP) => {
+                let tag = match decode_batch_lookup_into(conn.last_frame(), &mut scratch.contents) {
+                    Ok(tag) => tag,
+                    Err(e) => return refuse_malformed(&mut conn, &e),
+                };
+                let (local, peer, origin, shed) = match shared.current_engine() {
+                    Some(engine) => {
+                        let (l, p, o) = serve_batch(shared, &engine, &mut scratch);
+                        (l, p, o, 0)
+                    }
+                    None => {
+                        let n = scratch.contents.len() as u64;
+                        shared.stats.lookups.fetch_add(n, Ordering::Relaxed);
+                        shared.stats.shed.fetch_add(n, Ordering::Relaxed);
+                        (0, 0, 0, n)
+                    }
+                };
+                let reply = Response::BatchServed { tag, local, peer, origin, shed };
+                if conn.send_response(&reply).is_err() {
                     return;
                 }
             }
-            Err(_) => return,
-        }
-        if should_close {
-            return;
+            Some(kind::PEER_FORWARD_BATCH) => {
+                let tag = match decode_forward_batch_into(conn.last_frame(), &mut scratch.items) {
+                    Ok(tag) => tag,
+                    Err(e) => return refuse_malformed(&mut conn, &e),
+                };
+                match shared.current_engine() {
+                    Some(engine) => serve_forward_batch(shared, &engine, &mut scratch),
+                    None => {
+                        scratch.outcomes.clear();
+                        scratch.outcomes.resize(scratch.items.len(), FWD_REFUSED);
+                    }
+                }
+                let sent =
+                    conn.send(|buf| encode_forward_batch_reply_from(buf, tag, &scratch.outcomes));
+                if sent.is_err() {
+                    return;
+                }
+            }
+            _ => {
+                let request = match Request::decode(conn.last_frame()) {
+                    Ok(r) => r,
+                    Err(e) => return refuse_malformed(&mut conn, &e),
+                };
+                let (response, close) = match handle_control(shared, request, &mut scratch) {
+                    Ok((resp, close)) => (resp, close),
+                    Err(e) => (Response::Refused { reason: e.to_string() }, false),
+                };
+                if conn.send_response(&response).is_err() || close {
+                    return;
+                }
+            }
         }
     }
 }
 
-fn handle_request(shared: &NodeShared, request: Request) -> Result<Option<Response>, EngineError> {
+/// Handles the control-plane (non-hot-path) requests; returns the
+/// reply and whether the connection must close afterwards.
+fn handle_control(
+    shared: &NodeShared,
+    request: Request,
+    scratch: &mut ServeScratch,
+) -> Result<(Response, bool), EngineError> {
     let stats = &shared.stats;
-    match request {
-        Request::Hello { .. } => {
+    Ok(match request {
+        Request::Hello { version, .. } => {
             // The producer lane was pre-registered at accept; the
-            // preamble just identifies the peer. No reply — the
-            // sender pipelines its first forward immediately.
-            Ok(None)
+            // preamble identifies the peer and gates the protocol
+            // version — a mismatch closes the connection so mixed
+            // clusters fail at the handshake.
+            if version == PROTOCOL_VERSION {
+                (Response::HelloAck { version: PROTOCOL_VERSION }, false)
+            } else {
+                (
+                    Response::Refused {
+                        reason: format!(
+                            "protocol version mismatch: client speaks v{version}, \
+                             node speaks v{PROTOCOL_VERSION}"
+                        ),
+                    },
+                    true,
+                )
+            }
         }
         Request::ConfigEpoch(p) => {
             let epoch = provision_node(shared, p)?;
-            Ok(Some(Response::EpochAck { epoch }))
+            (Response::EpochAck { epoch }, false)
         }
         Request::Lookup { content } => match shared.current_engine() {
             Some(engine) => {
-                Ok(Some(Response::Served { tier: serve_one(shared, &engine, content) }))
+                scratch.contents.clear();
+                scratch.contents.push(content);
+                let (local, peer, _) = serve_batch(shared, &engine, scratch);
+                let tier = if local > 0 {
+                    TIER_LOCAL
+                } else if peer > 0 {
+                    TIER_PEER
+                } else {
+                    TIER_ORIGIN
+                };
+                (Response::Served { tier }, false)
             }
             None => {
                 stats.add(&stats.lookups);
                 stats.add(&stats.shed);
-                Ok(Some(Response::Refused { reason: "node not provisioned".into() }))
+                (Response::Refused { reason: "node not provisioned".into() }, false)
             }
         },
-        Request::BatchLookup { contents } => {
-            let Some(engine) = shared.current_engine() else {
-                let n = contents.len() as u64;
-                stats.lookups.fetch_add(n, Ordering::Relaxed);
-                stats.shed.fetch_add(n, Ordering::Relaxed);
-                return Ok(Some(Response::BatchServed { local: 0, peer: 0, origin: 0, shed: n }));
-            };
-            let ids: Vec<ContentId> = contents.iter().map(|&c| ContentId(c)).collect();
-            let mut hits = Vec::with_capacity(ids.len());
-            engine.handle.probe_batch(&ids, &mut hits);
-            let (mut local, mut peer, mut origin) = (0u64, 0u64, 0u64);
-            for (i, &content) in contents.iter().enumerate() {
-                if hits.get(i).copied().unwrap_or(false) {
-                    stats.add(&stats.lookups);
-                    stats.add(&stats.local);
-                    local += 1;
-                } else {
-                    match serve_one(shared, &engine, content) {
-                        TIER_LOCAL => local += 1,
-                        TIER_PEER => peer += 1,
-                        _ => origin += 1,
-                    }
+        // The batch kinds normally dispatch on the kind byte in
+        // `serve_conn`; these arms keep the enum path equivalent.
+        Request::BatchLookup { tag, contents } => {
+            scratch.contents.clear();
+            scratch.contents.extend_from_slice(&contents);
+            match shared.current_engine() {
+                Some(engine) => {
+                    let (local, peer, origin) = serve_batch(shared, &engine, scratch);
+                    (Response::BatchServed { tag, local, peer, origin, shed: 0 }, false)
+                }
+                None => {
+                    let n = contents.len() as u64;
+                    stats.lookups.fetch_add(n, Ordering::Relaxed);
+                    stats.shed.fetch_add(n, Ordering::Relaxed);
+                    (Response::BatchServed { tag, local: 0, peer: 0, origin: 0, shed: n }, false)
                 }
             }
-            Ok(Some(Response::BatchServed { local, peer, origin, shed: 0 }))
         }
         Request::PeerForward { content, .. } => {
             let Some(engine) = shared.current_engine() else {
-                return Ok(Some(Response::ForwardReply { outcome: FWD_REFUSED }));
+                return Ok((Response::ForwardReply { outcome: FWD_REFUSED }, false));
             };
             stats.add(&stats.forwards_in);
             let id = ContentId(content);
             if engine.handle.probe(id) {
                 stats.add(&stats.forward_hits);
-                Ok(Some(Response::ForwardReply { outcome: FWD_HIT }))
+                (Response::ForwardReply { outcome: FWD_HIT }, false)
             } else {
                 // Holder miss: origin serves at the requesting edge;
                 // under LRU the holder admits its coordinated content
@@ -1484,21 +2247,34 @@ fn handle_request(shared: &NodeShared, request: Request) -> Result<Option<Respon
                     engine.handle.apply(id);
                 }
                 stats.add(&stats.forward_misses);
-                Ok(Some(Response::ForwardReply { outcome: FWD_MISS }))
+                (Response::ForwardReply { outcome: FWD_MISS }, false)
             }
         }
+        Request::PeerForwardBatch { tag, items } => {
+            scratch.items.clear();
+            scratch.items.extend_from_slice(&items);
+            match shared.current_engine() {
+                Some(engine) => serve_forward_batch(shared, &engine, scratch),
+                None => {
+                    scratch.outcomes.clear();
+                    scratch.outcomes.resize(scratch.items.len(), FWD_REFUSED);
+                }
+            }
+            (Response::ForwardBatchReply { tag, outcomes: scratch.outcomes.clone() }, false)
+        }
         Request::HealthProbe => {
-            Ok(Some(Response::HealthAck { epoch: shared.epoch.load(Ordering::Acquire) }))
+            (Response::HealthAck { epoch: shared.epoch.load(Ordering::Acquire) }, false)
         }
         Request::Stats => {
             shared.stats.epoch.store(shared.epoch.load(Ordering::Acquire), Ordering::Relaxed);
-            Ok(Some(Response::StatsReply(shared.stats.snapshot())))
+            sync_wire_stats(shared);
+            (Response::StatsReply(shared.stats.snapshot()), false)
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::Release);
-            Ok(Some(Response::Bye))
+            (Response::Bye, true)
         }
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1580,6 +2356,15 @@ pub struct WireSpec {
     pub seed: u64,
     /// Requests per `BatchLookup` frame.
     pub batch: usize,
+    /// Credit window: frames in flight per driver→node (and, via the
+    /// node config, node→peer) connection. 1 = PR 8 stop-and-wait.
+    pub window: usize,
+    /// Max misses coalesced into one `PeerForwardBatch` frame on the
+    /// node side.
+    pub wire_batch: usize,
+    /// Per-node accepted-connection cap (excess accepts are refused
+    /// with a typed frame).
+    pub max_conns: usize,
     /// Node worker idle strategy.
     pub idle: IdleStrategy,
     /// Requested ring mode (nodes resolve it via [`wire_ring_mode`]).
@@ -1616,6 +2401,9 @@ impl WireSpec {
             paced: false,
             seed: 42,
             batch: 64,
+            window: 8,
+            wire_batch: 64,
+            max_conns: 1024,
             idle: IdleStrategy::spin_then_park(),
             ring_mode: RingMode::Auto,
             placement: ShardPlacement::disabled(),
@@ -1683,6 +2471,15 @@ impl WireSpec {
         }
         if self.batch == 0 {
             return invalid("batch must be >= 1".into());
+        }
+        if self.window == 0 {
+            return invalid("window must be >= 1 (1 = stop-and-wait)".into());
+        }
+        if self.wire_batch == 0 {
+            return invalid("wire-batch must be >= 1".into());
+        }
+        if self.max_conns == 0 {
+            return invalid("max-conns must be >= 1".into());
         }
         let coordinated_end = self.local_prefix() + self.nodes as u64 * self.x();
         if coordinated_end > self.catalogue {
@@ -1807,6 +2604,53 @@ impl LedgerCells {
     }
 }
 
+/// Driver-side wire-efficiency counters for one bench run, folded
+/// from the drive-path connection meters. Epoch pushes and stats
+/// collection use unmetered connections, so frames/op and bytes/op
+/// measure the hot path alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirePipelineStats {
+    /// Configured credit window (frames in flight per connection).
+    pub window: u64,
+    /// Configured peer-forward coalescing cap.
+    pub wire_batch: u64,
+    /// High-water mark of frames actually in flight on any
+    /// driver→node connection — ≤ `window`, and 1 when stop-and-wait.
+    pub max_in_flight: u64,
+    /// Frames the driver sent on the drive path.
+    pub frames_out: u64,
+    /// Frames the driver received on the drive path.
+    pub frames_in: u64,
+    /// Bytes the driver sent on the drive path.
+    pub bytes_out: u64,
+    /// Bytes the driver received on the drive path.
+    pub bytes_in: u64,
+}
+
+impl WirePipelineStats {
+    /// Wire frames (both directions) per offered request.
+    #[must_use]
+    pub fn frames_per_op(&self, offered: u64) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        if offered == 0 {
+            0.0
+        } else {
+            (self.frames_out + self.frames_in) as f64 / offered as f64
+        }
+    }
+
+    /// Wire bytes (both directions) per offered request.
+    #[must_use]
+    pub fn bytes_per_op(&self, offered: u64) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        if offered == 0 {
+            0.0
+        } else {
+            (self.bytes_out + self.bytes_in) as f64 / offered as f64
+        }
+    }
+}
+
 /// Results of one wire-mode benchmark run.
 #[derive(Debug, Clone)]
 pub struct WireOutcome {
@@ -1832,6 +2676,8 @@ pub struct WireOutcome {
     /// Decision log and counters of the driver-side adaptive
     /// controller (present iff [`WireSpec::adapt`] was set).
     pub controller: Option<ControllerReport>,
+    /// Driver-side wire-efficiency counters for the drive path.
+    pub pipeline: WirePipelineStats,
 }
 
 impl WireOutcome {
@@ -1987,21 +2833,31 @@ fn push_wire_step(
     }
 }
 
-fn connect_driver(addr: &str, timeout: Duration) -> Result<TcpStream, EngineError> {
-    let sockaddr = resolve(addr)?;
-    let stream = TcpStream::connect_timeout(&sockaddr, timeout.max(MIN_SOCKET_TIMEOUT))
-        .map_err(|e| net_io_err("connect", &e))?;
-    let _ = stream.set_nodelay(true);
-    stream
-        .set_read_timeout(Some(timeout.max(MIN_SOCKET_TIMEOUT)))
-        .map_err(|e| net_io_err("connect", &e))?;
-    Ok(stream)
+/// Driver-side node id carried in the `Hello` handshake — nodes key
+/// peer links by id, so the driver uses a sentinel outside any
+/// cluster's id range.
+const DRIVER_ID: u32 = u32::MAX;
+
+/// Dials a node as the driver: version handshake included, so a
+/// mixed-version cluster is rejected at connect time on every
+/// driver-side path (epoch pushes, the drive hot path, stats
+/// collection), not just on peer links.
+fn connect_driver(addr: &str, timeout: Duration) -> Result<Conn, EngineError> {
+    connect_driver_metered(addr, timeout, None)
+}
+
+fn connect_driver_metered(
+    addr: &str,
+    timeout: Duration,
+    meter: Option<Arc<WireMeter>>,
+) -> Result<Conn, EngineError> {
+    connect_hello(addr, DRIVER_ID, timeout, meter)
 }
 
 fn push_epoch_to(addr: &str, provision: &Provision) -> Result<(), EngineError> {
-    let mut stream = connect_driver(addr, Duration::from_secs(5))?;
-    send_request(&mut stream, &Request::ConfigEpoch(provision.clone()))?;
-    match recv_response(&mut stream)? {
+    let mut conn = connect_driver(addr, Duration::from_secs(5))?;
+    conn.send_request(&Request::ConfigEpoch(provision.clone()))?;
+    match conn.recv_response()? {
         Response::EpochAck { epoch } if epoch >= provision.epoch => Ok(()),
         Response::EpochAck { epoch } => Err(proto_err(format!(
             "node at {addr} acked epoch {epoch} after a push of {}",
@@ -2020,6 +2876,9 @@ fn spawn_thread_node(spec: &WireSpec, id: usize) -> Result<(RunningNode, String)
     config.ring_mode = spec.ring_mode;
     config.placement = spec.placement;
     config.degrade = spec.degrade;
+    config.window = spec.window;
+    config.wire_batch = spec.wire_batch;
+    config.max_connections = spec.max_conns;
     let server = Arc::new(NodeServer::bind(config)?);
     let addr = server.local_addr().to_string();
     let runner = Arc::clone(&server);
@@ -2050,7 +2909,10 @@ fn spawn_proc_node(
         .args(["--deadline-us", &spec.degrade.forward_deadline.as_micros().to_string()])
         .args(["--retries", &spec.degrade.forward_retries.to_string()])
         .args(["--backoff-us", &spec.degrade.retry_backoff.as_micros().to_string()])
-        .args(["--timeout-threshold", &spec.degrade.timeout_threshold.to_string()]);
+        .args(["--timeout-threshold", &spec.degrade.timeout_threshold.to_string()])
+        .args(["--window", &spec.window.to_string()])
+        .args(["--wire-batch", &spec.wire_batch.to_string()])
+        .args(["--max-conns", &spec.max_conns.to_string()]);
     if spec.placement.pin() {
         cmd.args(["--cores", &spec.placement.cores().to_string()]).args(["--pin", "true"]);
     }
@@ -2156,51 +3018,46 @@ fn pace(start: Instant, at_ms: f64) {
     }
 }
 
-/// Sends one batch to the node currently occupying `slot`, lazily
-/// (re)connecting when the slot's address or generation changed.
-/// `None` means the whole batch must be shed at the driver edge.
-fn send_batch(
-    conn: &mut Option<(TcpStream, u64)>,
-    slot: &Mutex<NodeSlot>,
-    contents: Vec<u64>,
-    timeout: Duration,
-) -> Option<(u64, u64, u64, u64)> {
-    let expected = contents.len() as u64;
-    let (addr, generation, alive) = {
-        let s = lock_recover(slot);
-        (s.addr.clone(), s.generation, s.alive)
+/// Sheds every in-flight frame and drops the connection — the only
+/// way the pipelined driver abandons a conversation. Each pending
+/// frame's requests were already counted offered, and a connection we
+/// no longer trust to be in sync will never answer them, so the whole
+/// tail lands in `shed` — conservation stays exact by construction.
+fn shed_conn(
+    conn: &mut Option<(Conn, u64)>,
+    pending: &mut VecDeque<(u32, u64)>,
+    cells: &LedgerCells,
+) {
+    let lost: u64 = pending.iter().map(|&(_, n)| n).sum();
+    if lost > 0 {
+        cells.shed.fetch_add(lost, Ordering::Relaxed);
+    }
+    pending.clear();
+    *conn = None;
+}
+
+/// Receives and tallies the oldest in-flight reply. The node answers
+/// frames strictly in receipt order, so the front of `pending` names
+/// the only acceptable tag; a different tag, a tally that does not
+/// cover the frame, or any socket error is a desync — the caller
+/// sheds the tail and drops the connection. Returns false on desync.
+fn drain_one(conn: &mut Conn, pending: &mut VecDeque<(u32, u64)>, cells: &LedgerCells) -> bool {
+    let Some(&(want, expected)) = pending.front() else { return true };
+    if !matches!(conn.recv_len(), Ok(Some(_))) {
+        return false;
+    }
+    let Ok((tag, local, peer, origin, shed)) = decode_batch_served(conn.last_frame()) else {
+        return false;
     };
-    if !alive {
-        *conn = None;
-        return None;
+    if tag != want || local + peer + origin + shed != expected {
+        return false;
     }
-    if let Some((_, gen)) = conn {
-        if *gen != generation {
-            *conn = None;
-        }
-    }
-    if conn.is_none() {
-        match connect_driver(&addr, timeout) {
-            Ok(stream) => *conn = Some((stream, generation)),
-            Err(_) => return None,
-        }
-    }
-    let (stream, _) = conn.as_mut()?;
-    let result = send_request(stream, &Request::BatchLookup { contents })
-        .and_then(|()| recv_response(stream));
-    match result {
-        Ok(Response::BatchServed { local, peer, origin, shed })
-            if local + peer + origin + shed == expected =>
-        {
-            Some((local, peer, origin, shed))
-        }
-        _ => {
-            // Socket failure, a torn-down node mid-conversation, or a
-            // tally that does not cover the batch: shed the batch.
-            *conn = None;
-            None
-        }
-    }
+    cells.local.fetch_add(local, Ordering::Relaxed);
+    cells.peer.fetch_add(peer, Ordering::Relaxed);
+    cells.origin.fetch_add(origin, Ordering::Relaxed);
+    cells.shed.fetch_add(shed, Ordering::Relaxed);
+    pending.pop_front();
+    true
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -2212,6 +3069,7 @@ fn drive_node(
     cells: &LedgerCells,
     total_offered: &AtomicU64,
     tap: Option<&RankTap>,
+    meter: &Arc<WireMeter>,
     start: Instant,
 ) {
     // Generous driver-side read timeout: a batch is served
@@ -2224,11 +3082,17 @@ fn drive_node(
         .checked_mul(u32::try_from(spec.batch.max(1)).unwrap_or(u32::MAX))
         .unwrap_or(Duration::MAX);
     let timeout = worst_batch.saturating_add(Duration::from_secs(1)).max(Duration::from_secs(2));
-    let mut conn: Option<(TcpStream, u64)> = None;
+    // Invariant: `pending` non-empty ⇒ `conn` is Some — shed_conn is
+    // the only path that drops the connection and it clears the queue.
+    let mut conn: Option<(Conn, u64)> = None;
+    let mut pending: VecDeque<(u32, u64)> = VecDeque::with_capacity(spec.window);
+    let mut contents: Vec<u64> = Vec::with_capacity(spec.batch);
+    let mut next_tag: u32 = 0;
     let mut i = 0usize;
     while i < requests.len() {
         let end = (i + spec.batch).min(requests.len());
         let batch = &requests[i..end];
+        i = end;
         if spec.paced {
             pace(start, batch[0].0);
         }
@@ -2244,22 +3108,66 @@ fn drive_node(
                 tap.record(id, ContentId(content));
             }
         }
-        let contents: Vec<u64> = batch.iter().map(|&(_, c)| c).collect();
-        match send_batch(&mut conn, slot, contents, timeout) {
-            Some((local, peer, origin, shed)) => {
-                cells.local.fetch_add(local, Ordering::Relaxed);
-                cells.peer.fetch_add(peer, Ordering::Relaxed);
-                cells.origin.fetch_add(origin, Ordering::Relaxed);
-                cells.shed.fetch_add(shed, Ordering::Relaxed);
-            }
-            None => {
-                cells.shed.fetch_add(n, Ordering::Relaxed);
+        // Window full: drain the oldest reply before sending another
+        // frame. In-order draining keeps the ledger identical to
+        // stop-and-wait — every frame's tally lands exactly once, in
+        // send order.
+        while pending.len() >= spec.window {
+            let Some((c, _)) = conn.as_mut() else { break };
+            if !drain_one(c, &mut pending, cells) {
+                shed_conn(&mut conn, &mut pending, cells);
             }
         }
-        i = end;
+        let (addr, generation, alive) = {
+            let s = lock_recover(slot);
+            (s.addr.clone(), s.generation, s.alive)
+        };
+        if !alive {
+            shed_conn(&mut conn, &mut pending, cells);
+            cells.shed.fetch_add(n, Ordering::Relaxed);
+            continue;
+        }
+        if let Some((_, gen)) = &conn {
+            if *gen != generation {
+                // The node was replaced under us: frames in flight
+                // belonged to the previous incarnation and will never
+                // be answered.
+                shed_conn(&mut conn, &mut pending, cells);
+            }
+        }
+        if conn.is_none() {
+            match connect_driver_metered(&addr, timeout, Some(Arc::clone(meter))) {
+                Ok(c) => conn = Some((c, generation)),
+                Err(_) => {
+                    cells.shed.fetch_add(n, Ordering::Relaxed);
+                    continue;
+                }
+            }
+        }
+        contents.clear();
+        contents.extend(batch.iter().map(|&(_, c)| c));
+        let tag = next_tag;
+        next_tag = next_tag.wrapping_add(1);
+        let (c, _) = conn.as_mut().expect("connected above");
+        if c.send(|buf| encode_batch_lookup_from(buf, tag, &contents)).is_err() {
+            shed_conn(&mut conn, &mut pending, cells);
+            cells.shed.fetch_add(n, Ordering::Relaxed);
+            continue;
+        }
+        pending.push_back((tag, n));
+        meter.window(pending.len());
     }
-    if let Some((stream, _)) = conn.take() {
-        let _ = stream.shutdown(std::net::Shutdown::Both);
+    // Tail drain: every frame still in flight resolves to completed
+    // (its reply arrives) or shed (the connection desyncs) — never
+    // lost.
+    while !pending.is_empty() {
+        let Some((c, _)) = conn.as_mut() else { break };
+        if !drain_one(c, &mut pending, cells) {
+            shed_conn(&mut conn, &mut pending, cells);
+        }
+    }
+    if let Some((conn, _)) = conn.take() {
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -2351,6 +3259,7 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
         .map(|addr| Mutex::new(NodeSlot { addr: addr.clone(), generation: 0, alive: true }))
         .collect();
     let cells: Vec<LedgerCells> = (0..spec.nodes).map(|_| LedgerCells::default()).collect();
+    let drive_meter = Arc::new(WireMeter::default());
     let total_offered = AtomicU64::new(0);
     let drivers_done = AtomicUsize::new(0);
     let mut fault_log: Vec<String> = Vec::new();
@@ -2364,8 +3273,9 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
             let total = &total_offered;
             let done = &drivers_done;
             let node_tap = tap.as_ref();
+            let meter = &drive_meter;
             scope.spawn(move || {
-                drive_node(spec, id, requests, slot, node_cells, total, node_tap, start);
+                drive_node(spec, id, requests, slot, node_cells, total, node_tap, meter, start);
                 done.fetch_add(1, Ordering::Release);
             });
         }
@@ -2512,15 +3422,15 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
         if !lock_recover(&slots[id]).alive {
             continue;
         }
-        if let Ok(mut stream) = connect_driver(addr, Duration::from_secs(2)) {
-            if send_request(&mut stream, &Request::Stats).is_ok() {
-                if let Ok(Response::StatsReply(snapshot)) = recv_response(&mut stream) {
+        if let Ok(mut conn) = connect_driver(addr, Duration::from_secs(2)) {
+            if conn.send_request(&Request::Stats).is_ok() {
+                if let Ok(Response::StatsReply(snapshot)) = conn.recv_response() {
                     alive_epochs.push((id, snapshot.epoch));
                     node_stats[id] = Some(snapshot);
                 }
             }
-            let _ = send_request(&mut stream, &Request::Shutdown);
-            let _ = recv_response(&mut stream);
+            let _ = conn.send_request(&Request::Shutdown);
+            let _ = conn.recv_response();
         }
     }
     for (id, node) in running.into_iter().enumerate() {
@@ -2554,6 +3464,15 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
         fault_log,
         wall_ms,
         controller,
+        pipeline: WirePipelineStats {
+            window: spec.window as u64,
+            wire_batch: spec.wire_batch as u64,
+            max_in_flight: drive_meter.max_window.load(Ordering::Relaxed),
+            frames_out: drive_meter.frames_out.load(Ordering::Relaxed),
+            frames_in: drive_meter.frames_in.load(Ordering::Relaxed),
+            bytes_out: drive_meter.bytes_out.load(Ordering::Relaxed),
+            bytes_in: drive_meter.bytes_in.load(Ordering::Relaxed),
+        },
     };
     outcome.check_conservation()?;
     Ok(outcome)
@@ -2562,6 +3481,7 @@ pub fn wire_bench(spec: &WireSpec) -> Result<WireOutcome, EngineError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn roundtrip_request(req: &Request) {
         let body = req.encode().expect("encode");
@@ -2587,8 +3507,12 @@ mod tests {
             vec!["127.0.0.1:4000".into(), "127.0.0.1:4001".into()],
         )));
         roundtrip_request(&Request::Lookup { content: 99 });
-        roundtrip_request(&Request::BatchLookup { contents: vec![1, 2, 3, u64::MAX] });
+        roundtrip_request(&Request::BatchLookup { tag: 41, contents: vec![1, 2, 3, u64::MAX] });
         roundtrip_request(&Request::PeerForward { content: 5, budget_us: 250_000 });
+        roundtrip_request(&Request::PeerForwardBatch {
+            tag: u32::MAX,
+            items: vec![(9, 100), (u64::MAX, u32::MAX)],
+        });
         roundtrip_request(&Request::HealthProbe);
         roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::Shutdown);
@@ -2598,8 +3522,19 @@ mod tests {
     fn every_response_kind_roundtrips() {
         roundtrip_response(&Response::EpochAck { epoch: 12 });
         roundtrip_response(&Response::Served { tier: TIER_PEER });
-        roundtrip_response(&Response::BatchServed { local: 1, peer: 2, origin: 3, shed: 4 });
+        roundtrip_response(&Response::BatchServed {
+            tag: 17,
+            local: 1,
+            peer: 2,
+            origin: 3,
+            shed: 4,
+        });
         roundtrip_response(&Response::ForwardReply { outcome: FWD_MISS });
+        roundtrip_response(&Response::ForwardBatchReply {
+            tag: 23,
+            outcomes: vec![FWD_HIT, FWD_MISS, FWD_REFUSED],
+        });
+        roundtrip_response(&Response::HelloAck { version: PROTOCOL_VERSION });
         roundtrip_response(&Response::HealthAck { epoch: 0 });
         let snapshot = NodeStatsSnapshot { lookups: 10, local: 6, origin: 4, ..Default::default() };
         roundtrip_response(&Response::StatsReply(snapshot));
@@ -2682,10 +3617,11 @@ mod tests {
     fn frame_read_timeout_is_classified_by_kind() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
-        let mut client = TcpStream::connect(addr).expect("connect");
+        let client = TcpStream::connect(addr).expect("connect");
         let _server = listener.accept().expect("accept");
         client.set_read_timeout(Some(Duration::from_millis(25))).expect("set timeout");
-        let err = read_frame(&mut client).expect_err("idle read must time out");
+        let mut conn = Conn::new(client, None);
+        let err = conn.recv_len().expect_err("idle read must time out");
         assert!(is_timeout(&err), "boundary read timeout must classify as timeout, got: {err}");
     }
 
@@ -2699,18 +3635,18 @@ mod tests {
         let runner = Arc::clone(&server);
         let join = std::thread::spawn(move || runner.run());
         let mut conn = connect_driver(&addr, Duration::from_secs(2)).expect("connect");
-        send_request(&mut conn, &Request::HealthProbe).expect("probe");
-        assert_eq!(recv_response(&mut conn).expect("ack"), Response::HealthAck { epoch: 0 });
+        conn.send_request(&Request::HealthProbe).expect("probe");
+        assert_eq!(conn.recv_response().expect("ack"), Response::HealthAck { epoch: 0 });
         // Idle well past the server's read timeout, then ask again on
         // the *same* connection.
         std::thread::sleep(Duration::from_millis(450));
-        send_request(&mut conn, &Request::HealthProbe).expect("probe after idle");
+        conn.send_request(&Request::HealthProbe).expect("probe after idle");
         assert_eq!(
-            recv_response(&mut conn).expect("idle connection must still be served"),
+            conn.recv_response().expect("idle connection must still be served"),
             Response::HealthAck { epoch: 0 }
         );
-        send_request(&mut conn, &Request::Shutdown).expect("shutdown");
-        let _ = recv_response(&mut conn);
+        conn.send_request(&Request::Shutdown).expect("shutdown");
+        let _ = conn.recv_response();
         join.join().expect("join").expect("run");
     }
 
@@ -2726,6 +3662,8 @@ mod tests {
             epoch: AtomicU64::new(0),
             stats: NodeStats::default(),
             shutdown: AtomicBool::new(false),
+            meter: Arc::new(WireMeter::default()),
+            active_conns: AtomicUsize::new(0),
         };
         // Three connections accepted before any engine existed.
         shared.stats.connections.store(3, Ordering::Relaxed);
@@ -2759,12 +3697,12 @@ mod tests {
         let runner = Arc::clone(&server);
         let join = std::thread::spawn(move || runner.run());
         let mut conn = connect_driver(&addr, Duration::from_secs(2)).expect("connect");
-        send_request(&mut conn, &Request::HealthProbe).expect("probe");
-        assert_eq!(recv_response(&mut conn).expect("ack"), Response::HealthAck { epoch: 0 });
-        send_request(&mut conn, &Request::Lookup { content: 1 }).expect("lookup");
-        assert!(matches!(recv_response(&mut conn).expect("refused"), Response::Refused { .. }));
-        send_request(&mut conn, &Request::Shutdown).expect("shutdown");
-        assert_eq!(recv_response(&mut conn).expect("bye"), Response::Bye);
+        conn.send_request(&Request::HealthProbe).expect("probe");
+        assert_eq!(conn.recv_response().expect("ack"), Response::HealthAck { epoch: 0 });
+        conn.send_request(&Request::Lookup { content: 1 }).expect("lookup");
+        assert!(matches!(conn.recv_response().expect("refused"), Response::Refused { .. }));
+        conn.send_request(&Request::Shutdown).expect("shutdown");
+        assert_eq!(conn.recv_response().expect("bye"), Response::Bye);
         let stats = join.join().expect("join").expect("run");
         assert_eq!(stats.shed, 1);
         assert_eq!(stats.lookups, 1);
@@ -2777,17 +3715,17 @@ mod tests {
         let join = std::thread::spawn(move || runner.run());
         let mut conn = connect_driver(&addr, Duration::from_secs(2)).expect("connect");
         let p5 = sample_provision(5, vec![addr.clone()]);
-        send_request(&mut conn, &Request::ConfigEpoch(p5)).expect("push 5");
-        assert_eq!(recv_response(&mut conn).expect("ack"), Response::EpochAck { epoch: 5 });
+        conn.send_request(&Request::ConfigEpoch(p5)).expect("push 5");
+        assert_eq!(conn.recv_response().expect("ack"), Response::EpochAck { epoch: 5 });
         let p3 = sample_provision(3, vec![addr.clone()]);
-        send_request(&mut conn, &Request::ConfigEpoch(p3)).expect("push 3");
+        conn.send_request(&Request::ConfigEpoch(p3)).expect("push 3");
         assert_eq!(
-            recv_response(&mut conn).expect("ack"),
+            conn.recv_response().expect("ack"),
             Response::EpochAck { epoch: 5 },
             "a stale push is acked with the current epoch, not applied"
         );
-        send_request(&mut conn, &Request::Shutdown).expect("shutdown");
-        let _ = recv_response(&mut conn);
+        conn.send_request(&Request::Shutdown).expect("shutdown");
+        let _ = conn.recv_response();
         let stats = join.join().expect("join").expect("run");
         assert_eq!(stats.epochs_accepted, 1);
         assert_eq!(stats.epoch, 5);
@@ -2801,32 +3739,32 @@ mod tests {
         let mut spec = WireSpec::new(1);
         spec.policy = StorePolicy::Lru;
         let mut conn = connect_driver(&addr, Duration::from_secs(2)).expect("connect");
-        send_request(&mut conn, &Request::ConfigEpoch(spec.provision(1, vec![addr.clone()])))
+        conn.send_request(&Request::ConfigEpoch(spec.provision(1, vec![addr.clone()])))
             .expect("push");
-        assert_eq!(recv_response(&mut conn).expect("ack"), Response::EpochAck { epoch: 1 });
+        assert_eq!(conn.recv_response().expect("ack"), Response::EpochAck { epoch: 1 });
         // Rank 9999 is uncoordinated: the first lookup misses and the
         // LRU edge admits it, the second hits locally.
         for (expected, label) in [(TIER_ORIGIN, "miss + admit"), (TIER_LOCAL, "warm hit")] {
-            send_request(&mut conn, &Request::Lookup { content: 9_999 }).expect("lookup");
+            conn.send_request(&Request::Lookup { content: 9_999 }).expect("lookup");
             assert_eq!(
-                recv_response(&mut conn).expect("served"),
+                conn.recv_response().expect("served"),
                 Response::Served { tier: expected },
                 "{label}"
             );
         }
         // A same-layout epoch bump (what survivors see after a
         // revival) must keep the warm store.
-        send_request(&mut conn, &Request::ConfigEpoch(spec.provision(2, vec![addr.clone()])))
+        conn.send_request(&Request::ConfigEpoch(spec.provision(2, vec![addr.clone()])))
             .expect("push 2");
-        assert_eq!(recv_response(&mut conn).expect("ack"), Response::EpochAck { epoch: 2 });
-        send_request(&mut conn, &Request::Lookup { content: 9_999 }).expect("lookup");
+        assert_eq!(conn.recv_response().expect("ack"), Response::EpochAck { epoch: 2 });
+        conn.send_request(&Request::Lookup { content: 9_999 }).expect("lookup");
         assert_eq!(
-            recv_response(&mut conn).expect("served"),
+            conn.recv_response().expect("served"),
             Response::Served { tier: TIER_LOCAL },
             "cache warmth survives a same-layout epoch swap"
         );
-        send_request(&mut conn, &Request::Shutdown).expect("shutdown");
-        let _ = recv_response(&mut conn);
+        conn.send_request(&Request::Shutdown).expect("shutdown");
+        let _ = conn.recv_response();
         join.join().expect("join").expect("run");
     }
 
@@ -2931,5 +3869,265 @@ mod tests {
             WireFault { at_op: 20, kind: WireFaultKind::Revive(0) },
         ];
         assert!(matches!(wire_bench(&spec), Err(EngineError::FaultSpec { .. })));
+    }
+
+    /// The enum codecs stay the canonical wire format; the hot-path
+    /// helpers must emit and accept byte-identical frames, or the two
+    /// halves of the cluster silently disagree.
+    #[test]
+    fn fast_path_codecs_match_enum_codecs() {
+        let contents = vec![1u64, 99, u64::MAX, 0];
+        let enum_body =
+            Request::BatchLookup { tag: 7, contents: contents.clone() }.encode().expect("encode");
+        let mut fast_body = Vec::new();
+        encode_batch_lookup_from(&mut fast_body, 7, &contents).expect("fast encode");
+        assert_eq!(enum_body, fast_body, "BatchLookup bytes diverge");
+        let mut decoded = Vec::new();
+        assert_eq!(decode_batch_lookup_into(&enum_body, &mut decoded).expect("fast decode"), 7);
+        assert_eq!(decoded, contents);
+
+        let items = vec![(5u64, 250u32), (u64::MAX, u32::MAX)];
+        let enum_body =
+            Request::PeerForwardBatch { tag: 31, items: items.clone() }.encode().expect("encode");
+        let mut fast_body = Vec::new();
+        encode_forward_batch_from(&mut fast_body, 31, &items).expect("fast encode");
+        assert_eq!(enum_body, fast_body, "PeerForwardBatch bytes diverge");
+        let mut decoded = Vec::new();
+        assert_eq!(decode_forward_batch_into(&enum_body, &mut decoded).expect("decode"), 31);
+        assert_eq!(decoded, items);
+
+        let served = Response::BatchServed { tag: 9, local: 1, peer: 2, origin: 3, shed: 4 }
+            .encode()
+            .expect("encode");
+        assert_eq!(decode_batch_served(&served).expect("decode"), (9, 1, 2, 3, 4));
+
+        let outcomes = vec![FWD_HIT, FWD_MISS, FWD_REFUSED];
+        let enum_body = Response::ForwardBatchReply { tag: 13, outcomes: outcomes.clone() }
+            .encode()
+            .expect("encode");
+        let mut fast_body = Vec::new();
+        encode_forward_batch_reply_from(&mut fast_body, 13, &outcomes).expect("fast encode");
+        assert_eq!(enum_body, fast_body, "ForwardBatchReply bytes diverge");
+        let (tag, parsed) = parse_forward_batch_reply(&enum_body).expect("parse");
+        assert_eq!((tag, parsed), (13, outcomes.as_slice()));
+    }
+
+    /// Oversized count fields are rejected before any allocation is
+    /// attempted — a hostile frame cannot make the decoder reserve
+    /// gigabytes off a 4-byte claim.
+    #[test]
+    fn oversized_batch_counts_are_rejected() {
+        let mut body = vec![kind::BATCH_LOOKUP];
+        put_u32(&mut body, 1);
+        put_u32(&mut body, u32::MAX);
+        let mut scratch = Vec::new();
+        let err = decode_batch_lookup_into(&body, &mut scratch).expect_err("oversized");
+        assert!(matches!(err, EngineError::Protocol { .. }));
+        let mut body = vec![kind::PEER_FORWARD_BATCH];
+        put_u32(&mut body, 1);
+        put_u32(&mut body, u32::MAX);
+        let mut scratch = Vec::new();
+        let err = decode_forward_batch_into(&body, &mut scratch).expect_err("oversized");
+        assert!(matches!(err, EngineError::Protocol { .. }));
+    }
+
+    /// A v1 peer (or any version-mismatched dialer) is refused at the
+    /// handshake, so mixed-version clusters fail at connect time.
+    #[test]
+    fn version_mismatched_hello_is_refused() {
+        let (server, addr) = bind_node(0);
+        let runner = Arc::clone(&server);
+        let join = std::thread::spawn(move || runner.run());
+        let stream = TcpStream::connect(&addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        let mut conn = Conn::new(stream, None);
+        conn.send_request(&Request::Hello { node: 1, version: PROTOCOL_VERSION - 1 })
+            .expect("send stale hello");
+        assert!(
+            matches!(conn.recv_response().expect("reply"), Response::Refused { .. }),
+            "a version-mismatched hello must be refused"
+        );
+        // The node hangs up after refusing a mismatched version; a
+        // fresh current-version dial still completes.
+        let mut conn = connect_driver(&addr, Duration::from_secs(2)).expect("v2 connect");
+        conn.send_request(&Request::Shutdown).expect("shutdown");
+        let _ = conn.recv_response();
+        join.join().expect("join").expect("run");
+    }
+
+    /// Pipelining contract on the node side: frames are answered
+    /// strictly in receipt order, each reply carrying its frame's tag
+    /// and a tally covering exactly that frame's requests.
+    #[test]
+    fn pipelined_frames_are_answered_in_order_with_matching_tags() {
+        let (server, addr) = bind_node(0);
+        let runner = Arc::clone(&server);
+        let join = std::thread::spawn(move || runner.run());
+        let mut conn = connect_driver(&addr, Duration::from_secs(2)).expect("connect");
+        conn.send_request(&Request::ConfigEpoch(sample_provision(1, vec![addr.clone()])))
+            .expect("push");
+        assert_eq!(conn.recv_response().expect("ack"), Response::EpochAck { epoch: 1 });
+        // Three frames in flight before the first reply is read.
+        let batches: [&[u64]; 3] = [&[1, 2, 3], &[4], &[5, 6]];
+        for (tag, contents) in batches.iter().enumerate() {
+            conn.send(|buf| encode_batch_lookup_from(buf, tag as u32 + 10, contents))
+                .expect("send");
+        }
+        for (tag, contents) in batches.iter().enumerate() {
+            assert!(matches!(conn.recv_len(), Ok(Some(_))), "reply {tag} must arrive");
+            let (got, local, peer, origin, shed) =
+                decode_batch_served(conn.last_frame()).expect("decode");
+            assert_eq!(got, tag as u32 + 10, "replies must drain in send order");
+            assert_eq!(
+                local + peer + origin + shed,
+                contents.len() as u64,
+                "each tally covers exactly its frame"
+            );
+        }
+        conn.send_request(&Request::Shutdown).expect("shutdown");
+        let _ = conn.recv_response();
+        join.join().expect("join").expect("run");
+    }
+
+    /// Driver-side desync handling: a reply carrying a stale tag (or
+    /// a tally that does not cover its frame) makes `drain_one` report
+    /// desync, and `shed_conn` sheds the whole in-flight tail.
+    #[test]
+    fn stale_tag_reply_sheds_the_in_flight_tail() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        client.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        let (server, _) = listener.accept().expect("accept");
+        let mut server_conn = Conn::new(server, None);
+        // The server answers the front frame (tag 1) with tag 99.
+        server_conn
+            .send(|buf| {
+                Response::BatchServed { tag: 99, local: 4, peer: 0, origin: 0, shed: 0 }
+                    .encode_into(buf)
+            })
+            .expect("mis-tagged reply");
+        let cells = LedgerCells::default();
+        let mut pending: VecDeque<(u32, u64)> = VecDeque::from([(1, 4), (2, 7)]);
+        let mut conn = Some((Conn::new(client, None), 0u64));
+        let (c, _) = conn.as_mut().expect("conn");
+        assert!(!drain_one(c, &mut pending, &cells), "stale tag must read as desync");
+        shed_conn(&mut conn, &mut pending, &cells);
+        assert!(conn.is_none() && pending.is_empty());
+        let ledger = cells.snapshot();
+        assert_eq!(ledger.completed(), 0, "a mis-tagged tally must not land");
+        assert_eq!(ledger.shed, 11, "both in-flight frames shed, 4 + 7 requests");
+    }
+
+    /// The accept loop sheds connections over the configured cap with
+    /// a typed `Refused` frame instead of spawning unboundedly.
+    #[test]
+    fn connection_cap_refuses_excess_accepts() {
+        let mut config = NodeConfig::new(0);
+        config.max_connections = 1;
+        let server = Arc::new(NodeServer::bind(config).expect("bind"));
+        let addr = server.local_addr().to_string();
+        let runner = Arc::clone(&server);
+        let join = std::thread::spawn(move || runner.run());
+        let mut first = connect_driver(&addr, Duration::from_secs(2)).expect("first connection");
+        let err = connect_driver(&addr, Duration::from_secs(2))
+            .expect_err("second connection must be refused at the cap");
+        assert!(
+            err.to_string().contains("connection cap"),
+            "refusal must name the cap, got: {err}"
+        );
+        first.send_request(&Request::Shutdown).expect("shutdown");
+        let _ = first.recv_response();
+        let stats = join.join().expect("join").expect("run");
+        assert_eq!(stats.rejected_conns, 1);
+        assert_eq!(stats.connections, 1, "a refused accept must not enter the census");
+    }
+
+    /// The allocation-free codec, proven: once the connection's
+    /// scratch buffers are warm, a driver thread pushes pipelined
+    /// frames and drains tallies without a single heap allocation.
+    /// The counter is thread-local, so the node's own threads cannot
+    /// pollute the measurement.
+    #[test]
+    fn warm_connection_serves_frames_without_allocating() {
+        let (server, addr) = bind_node(0);
+        let runner = Arc::clone(&server);
+        let join = std::thread::spawn(move || runner.run());
+        let mut conn = connect_driver(&addr, Duration::from_secs(2)).expect("connect");
+        conn.send_request(&Request::ConfigEpoch(sample_provision(1, vec![addr.clone()])))
+            .expect("push");
+        assert_eq!(conn.recv_response().expect("ack"), Response::EpochAck { epoch: 1 });
+        let contents: Vec<u64> = (0..64).collect();
+        let mut exchange = |tags: std::ops::Range<u32>| {
+            for tag in tags.clone() {
+                conn.send(|buf| encode_batch_lookup_from(buf, tag, &contents)).expect("send");
+            }
+            for tag in tags {
+                assert!(matches!(conn.recv_len(), Ok(Some(_))));
+                let (got, ..) = decode_batch_served(conn.last_frame()).expect("decode");
+                assert_eq!(got, tag);
+            }
+        };
+        // Warm-up: grows the encode/decode scratch to steady state.
+        exchange(0..4);
+        let before = crate::alloc_count::allocations();
+        exchange(4..36);
+        let after = crate::alloc_count::allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "warm frame I/O must not allocate, saw {} allocations over 32 round trips",
+            after - before
+        );
+        conn.send_request(&Request::Shutdown).expect("shutdown");
+        let _ = conn.recv_response();
+        join.join().expect("join").expect("run");
+    }
+
+    proptest! {
+        /// Canonical-codec agreement and truncation rejection across
+        /// random tagged frames: the fast path decodes exactly what
+        /// the enum codec encodes, every strict prefix is a typed
+        /// protocol error, and trailing garbage is rejected.
+        #[test]
+        fn tagged_frames_roundtrip_and_reject_truncation(
+            tag in 0u32..u32::MAX,
+            n in 0usize..33,
+            seed in 0u64..500,
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng as _, SeedableRng as _};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let contents: Vec<u64> = (0..n).map(|_| rng.gen_range(0..u64::MAX)).collect();
+            let body = Request::BatchLookup { tag, contents: contents.clone() }
+                .encode()
+                .expect("encode");
+            let mut decoded = Vec::new();
+            prop_assert_eq!(decode_batch_lookup_into(&body, &mut decoded).expect("decode"), tag);
+            prop_assert_eq!(&decoded, &contents);
+            for cut in 1..body.len() {
+                prop_assert!(
+                    matches!(
+                        decode_batch_lookup_into(&body[..cut], &mut decoded),
+                        Err(EngineError::Protocol { .. })
+                    ),
+                    "prefix of {cut} bytes must be rejected"
+                );
+            }
+            let items: Vec<(u64, u32)> =
+                contents.iter().map(|&c| (c, rng.gen_range(0..u32::MAX))).collect();
+            let body = Request::PeerForwardBatch { tag, items: items.clone() }
+                .encode()
+                .expect("encode");
+            let mut decoded = Vec::new();
+            prop_assert_eq!(decode_forward_batch_into(&body, &mut decoded).expect("decode"), tag);
+            prop_assert_eq!(&decoded, &items);
+            let mut long = body;
+            long.push(0);
+            prop_assert!(matches!(
+                decode_forward_batch_into(&long, &mut decoded),
+                Err(EngineError::Protocol { .. })
+            ));
+        }
     }
 }

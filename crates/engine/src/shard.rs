@@ -227,6 +227,13 @@ struct CompletionLane {
 /// condvar wake, and batched submitters drain replies in bulk.
 struct CompletionSet {
     lanes: Vec<CompletionLane>,
+    /// Reusable per-shard submission runs for `apply_batch`: the
+    /// `(content, tag)` ops destined for each shard in the current
+    /// window. Pooled with the set so a warm batch submitter builds
+    /// its shard runs without allocating.
+    pending: Vec<Vec<(ContentId, u32)>>,
+    /// Reusable bulk-drain buffer for completion replies.
+    drained: Vec<Reply>,
 }
 
 impl CompletionSet {
@@ -241,7 +248,11 @@ impl CompletionSet {
                 CompletionLane { tx, rx }
             })
             .collect();
-        Self { lanes }
+        Self {
+            lanes,
+            pending: (0..shards).map(|_| Vec::new()).collect(),
+            drained: Vec::with_capacity(COMPLETION_CAPACITY),
+        }
     }
 }
 
@@ -766,8 +777,9 @@ impl<J: Send + 'static> ShardHandle<J> {
         assert!(u32::try_from(run.len()).is_ok(), "apply_batch run too long to tag");
         let shards = self.shards();
         let mut set = self.inner.checkout_completion_set();
-        let mut pending: Vec<Vec<(ContentId, u32)>> = vec![Vec::new(); shards];
-        let mut drained: Vec<Reply> = Vec::with_capacity(COMPLETION_CAPACITY);
+        // The shard runs and the drain buffer live in the pooled set,
+        // so a warm submitter allocates nothing per batch.
+        let CompletionSet { lanes, pending, drained } = &mut set;
         for window_start in (0..run.len()).step_by(COMPLETION_CAPACITY) {
             let window = &run[window_start..run.len().min(window_start + COMPLETION_CAPACITY)];
             for (offset, &content) in window.iter().enumerate() {
@@ -781,7 +793,7 @@ impl<J: Send + 'static> ShardHandle<J> {
                     continue;
                 }
                 let shard = &self.inner.shards[index];
-                let done = &set.lanes[index].tx;
+                let done = &lanes[index].tx;
                 while !ops.is_empty() {
                     let accepted = shard.queue.try_push_batch_map(ops, |(content, tag)| {
                         ShardMsg::Apply { content, insert, tag, done: done.clone() }
@@ -799,9 +811,9 @@ impl<J: Send + 'static> ShardHandle<J> {
             let mut outstanding = window.len();
             while outstanding > 0 {
                 let mut progressed = false;
-                for lane in &mut set.lanes {
+                for lane in lanes.iter_mut() {
                     drained.clear();
-                    lane.rx.pop_batch(&mut drained, COMPLETION_CAPACITY);
+                    lane.rx.pop_batch(drained, COMPLETION_CAPACITY);
                     for reply in drained.drain(..) {
                         let Reply::Hit { tag, hit } = reply else {
                             unreachable!("apply always answers Hit");

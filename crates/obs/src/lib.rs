@@ -49,7 +49,7 @@ pub mod trace;
 pub use json::{Json, JsonError, ToJson};
 pub use manifest::{
     available_cores, effective_threads, git_describe, ControllerManifest, ManifestError, PeerRttUs,
-    PhaseClock, PhaseTiming, RunManifest, WireManifest, MANIFEST_SCHEMA,
+    PhaseClock, PhaseTiming, RunManifest, WireManifest, WirePipelineManifest, MANIFEST_SCHEMA,
 };
 pub use metrics::{Counter, Gauge, Histogram, Metric, Registry};
 pub use trace::{Span, SpanRecord, TraceSink, Tracer};

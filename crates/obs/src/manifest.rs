@@ -166,6 +166,26 @@ pub struct WireManifest {
     pub config_epoch: u64,
     /// Measured peer-forward RTT stats, when any forward completed.
     pub peer_rtt_us: Option<PeerRttUs>,
+    /// Driver-side pipelining dimensions and wire efficiency. `None`
+    /// for manifests written before the pipelined wire existed.
+    pub pipeline: Option<WirePipelineManifest>,
+}
+
+/// Pipelined-wire dimensions of a run: the credit window it was
+/// driven under and the realized per-operation wire cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirePipelineManifest {
+    /// Configured credit window (frames in flight per connection);
+    /// 1 = stop-and-wait.
+    pub window: u64,
+    /// Peer-forward coalescing cap (misses per `PeerForwardBatch`).
+    pub wire_batch: u64,
+    /// High-water mark of frames actually in flight — ≤ `window`.
+    pub max_in_flight: u64,
+    /// Wire frames (both directions) per offered request.
+    pub frames_per_op: f64,
+    /// Wire bytes (both directions) per offered request.
+    pub bytes_per_op: f64,
 }
 
 /// Adaptive-controller dimensions of a run: present iff a live
@@ -505,7 +525,54 @@ impl RunManifest {
                         Some(PeerRttUs { min, mean, max })
                     }
                 };
-                Some(WireManifest { listen_addrs, config_epoch, peer_rtt_us })
+                // Absent *or* null: manifests written before the
+                // pipelined wire carry no pipeline block.
+                let pipeline = match wire.get("pipeline") {
+                    None | Some(Json::Null) => None,
+                    Some(p) => {
+                        let field = |key: &str| {
+                            p.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                                ManifestError::MissingKey(format!("engine_wire.pipeline.{key}"))
+                            })
+                        };
+                        let f64_field = |key: &str| {
+                            p.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                                ManifestError::MissingKey(format!("engine_wire.pipeline.{key}"))
+                            })
+                        };
+                        let window = field("window")?;
+                        let wire_batch = field("wire_batch")?;
+                        let max_in_flight = field("max_in_flight")?;
+                        if window == 0 || wire_batch == 0 {
+                            return Err(ManifestError::Contradiction(
+                                "engine_wire.pipeline window/wire_batch of 0 — even \
+                                 stop-and-wait has one frame in flight"
+                                    .into(),
+                            ));
+                        }
+                        if max_in_flight > window {
+                            return Err(ManifestError::Contradiction(format!(
+                                "engine_wire.pipeline claims {max_in_flight} frames in flight \
+                                 under a window of {window}"
+                            )));
+                        }
+                        let frames_per_op = f64_field("frames_per_op")?;
+                        let bytes_per_op = f64_field("bytes_per_op")?;
+                        if frames_per_op < 0.0 || bytes_per_op < 0.0 {
+                            return Err(ManifestError::Contradiction(
+                                "engine_wire.pipeline per-op costs cannot be negative".into(),
+                            ));
+                        }
+                        Some(WirePipelineManifest {
+                            window,
+                            wire_batch,
+                            max_in_flight,
+                            frames_per_op,
+                            bytes_per_op,
+                        })
+                    }
+                };
+                Some(WireManifest { listen_addrs, config_epoch, peer_rtt_us, pipeline })
             }
         };
         if engine_wire.is_some() && engine_worker_threads.is_some() {
@@ -638,6 +705,15 @@ impl ToJson for RunManifest {
                     .field("max", rtt.max),
                 None => Json::Null,
             };
+            let pipeline = match &wire.pipeline {
+                Some(p) => Json::object()
+                    .field("window", p.window)
+                    .field("wire_batch", p.wire_batch)
+                    .field("max_in_flight", p.max_in_flight)
+                    .field("frames_per_op", p.frames_per_op)
+                    .field("bytes_per_op", p.bytes_per_op),
+                None => Json::Null,
+            };
             doc = doc.field(
                 "engine_wire",
                 Json::object()
@@ -646,7 +722,8 @@ impl ToJson for RunManifest {
                         Json::Arr(wire.listen_addrs.iter().map(|a| Json::Str(a.clone())).collect()),
                     )
                     .field("config_epoch", wire.config_epoch)
-                    .field("peer_rtt_us", rtt),
+                    .field("peer_rtt_us", rtt)
+                    .field("pipeline", pipeline),
             );
         }
         if let Some(ctl) = &self.engine_controller {
@@ -790,6 +867,13 @@ mod tests {
             listen_addrs: vec!["127.0.0.1:4000".into(), "127.0.0.1:4001".into()],
             config_epoch: 2,
             peer_rtt_us: Some(PeerRttUs { min: 40, mean: 95.5, max: 800 }),
+            pipeline: Some(WirePipelineManifest {
+                window: 8,
+                wire_batch: 64,
+                max_in_flight: 8,
+                frames_per_op: 0.031,
+                bytes_per_op: 9.4,
+            }),
         }
     }
 
@@ -808,9 +892,48 @@ mod tests {
         // round-trips as None.
         let quiet = RunManifest::capture("ccn", "wire-bench", 3, 1, false)
             .with_phases(served_phase())
-            .with_wire(WireManifest { peer_rtt_us: None, ..sample_wire() });
+            .with_wire(WireManifest { peer_rtt_us: None, pipeline: None, ..sample_wire() });
         let back = RunManifest::from_json(&quiet.to_header_line()).unwrap();
-        assert_eq!(back.engine_wire.unwrap().peer_rtt_us, None);
+        let wire = back.engine_wire.unwrap();
+        assert_eq!(wire.peer_rtt_us, None);
+        // Pre-pipeline manifests round-trip with no pipeline block.
+        assert_eq!(wire.pipeline, None);
+    }
+
+    #[test]
+    fn wire_pipeline_validation_rejects_forged_dimensions() {
+        let base =
+            RunManifest::capture("ccn", "wire-bench", 3, 1, false).with_phases(served_phase());
+        // More frames in flight than the window permits.
+        let m = base.clone().with_wire(WireManifest {
+            pipeline: Some(WirePipelineManifest {
+                window: 4,
+                wire_batch: 64,
+                max_in_flight: 9,
+                frames_per_op: 0.1,
+                bytes_per_op: 1.0,
+            }),
+            ..sample_wire()
+        });
+        assert!(matches!(
+            RunManifest::from_value(&m.to_json()).unwrap_err(),
+            ManifestError::Contradiction(_)
+        ));
+        // A zero window cannot have driven anything.
+        let m = base.with_wire(WireManifest {
+            pipeline: Some(WirePipelineManifest {
+                window: 0,
+                wire_batch: 64,
+                max_in_flight: 0,
+                frames_per_op: 0.1,
+                bytes_per_op: 1.0,
+            }),
+            ..sample_wire()
+        });
+        assert!(matches!(
+            RunManifest::from_value(&m.to_json()).unwrap_err(),
+            ManifestError::Contradiction(_)
+        ));
     }
 
     fn sample_controller() -> ControllerManifest {
@@ -939,6 +1062,7 @@ mod tests {
             listen_addrs: vec![],
             config_epoch: 1,
             peer_rtt_us: None,
+            pipeline: None,
         });
         assert!(matches!(
             RunManifest::from_value(&m.to_json()).unwrap_err(),

@@ -425,6 +425,13 @@ fn wire_spec(seed: u64, horizon_ms: f64) -> ccn_engine::net::WireSpec {
     spec.horizon_ms = horizon_ms;
     spec.seed = seed;
     spec.queue_capacity = 8_192;
+    // A deliberately non-trivial credit window: frames are in flight
+    // on the victim's connection at SIGKILL time, and every request
+    // inside them must resolve to shed or completed — never lost.
+    // (Conservation below is checked bit-exactly, so a dropped or
+    // double-counted in-flight frame fails the run.)
+    spec.window = 4;
+    spec.wire_batch = 16;
     spec.launch = ccn_engine::net::NodeLaunch::Exe(ccn_exe());
     spec
 }
@@ -447,7 +454,11 @@ fn sigkilled_node_process_sheds_only_its_own_share_and_reconverges() {
     use ccn_engine::net::{wire_bench, WireFault, WireFaultKind, WireOutcome};
 
     const SEED: u64 = 7;
-    const HORIZON_MS: f64 = 2_500.0;
+    // Long enough that the op-5000 revival leaves a judgeable tail
+    // even when the pipelined driver races ahead of the re-provision
+    // on a loaded single-core host (the windowed wire drains the
+    // post-revival stream several times faster than stop-and-wait).
+    const HORIZON_MS: f64 = 4_000.0;
     const VICTIM: usize = 1;
 
     let mut faulted_spec = wire_spec(SEED, HORIZON_MS);

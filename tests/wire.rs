@@ -142,3 +142,35 @@ fn in_process_wire_threads_match_engine_tiers() {
     let outcome = wire_bench(&wire_spec(NodeLaunch::InProcess)).expect("threaded wire run");
     assert_matches_engine(&outcome, "threads");
 }
+
+/// Pipelining is an optimization, not a semantics change: the same
+/// spec driven with eight tagged frames in flight (and coalesced peer
+/// forwarding) must produce *bit-identical* per-node tier ledgers to
+/// the stop-and-wait wire. With static stores the serving tier is a
+/// pure function of `(router, content)`, so any divergence — one
+/// request migrating between tiers, one extra shed — means the credit
+/// window reordered, dropped, or double-counted a frame.
+#[test]
+fn pipelined_wire_matches_stop_and_wait_ledgers_bit_exactly() {
+    let mut stop_and_wait = wire_spec(NodeLaunch::InProcess);
+    stop_and_wait.window = 1;
+    stop_and_wait.wire_batch = 1;
+    let mut pipelined = wire_spec(NodeLaunch::InProcess);
+    pipelined.window = 8;
+    pipelined.wire_batch = 64;
+
+    let baseline = wire_bench(&stop_and_wait).expect("stop-and-wait wire run");
+    let windowed = wire_bench(&pipelined).expect("pipelined wire run");
+    baseline.check_conservation().expect("stop-and-wait run conserves");
+    windowed.check_conservation().expect("pipelined run conserves");
+
+    assert_eq!(
+        baseline.pipeline.max_in_flight, 1,
+        "stop-and-wait run must never have more than one frame in flight"
+    );
+    assert_eq!(windowed.pipeline.max_in_flight, 8, "pipelined run never filled its credit window");
+    assert_eq!(
+        baseline.per_node, windowed.per_node,
+        "pipelined wire changed the per-node tier ledgers"
+    );
+}
